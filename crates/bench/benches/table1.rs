@@ -1,0 +1,45 @@
+//! Table 1 bench: scheduling-algorithm running time vs task count
+//! (50 processors, ε = 5, like the paper). The claim under test is the
+//! scaling *shape*: FTSA/MC-FTSA near-linear, FTBAR super-quadratic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftsched_bench::bench_instance;
+use ftsched_core::{ftbar::ftbar, ftsa::ftsa, mc_ftsa};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+
+    for &tasks in &[100usize, 500, 1000] {
+        let inst = bench_instance(tasks, 50, 0x7AB1E1);
+        group.bench_with_input(BenchmarkId::new("FTSA", tasks), &inst, |b, inst| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                ftsa(inst, 5, &mut rng).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("MC-FTSA", tasks), &inst, |b, inst| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                mc_ftsa::mc_ftsa(inst, 5, mc_ftsa::Selector::Greedy, &mut rng).unwrap()
+            })
+        });
+        // FTBAR's cubic growth makes the larger paper sizes too slow for
+        // a statistics-grade bench; the experiments binary (`table1
+        // --full`) measures them once.
+        if tasks <= 500 {
+            group.bench_with_input(BenchmarkId::new("FTBAR", tasks), &inst, |b, inst| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    ftbar(inst, 5, &mut rng).unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

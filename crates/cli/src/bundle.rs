@@ -1,0 +1,72 @@
+//! The self-contained *bundle* file: everything needed to re-simulate a
+//! schedule (graph, platform, execution matrix, the schedule itself and
+//! its ε).
+
+use ftsched_core::Schedule;
+use platform::{ExecutionMatrix, Instance, Platform};
+use serde::{Deserialize, Serialize};
+use taskgraph::Dag;
+
+/// A serializable scheduling artifact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Bundle {
+    /// The task graph.
+    pub dag: Dag,
+    /// The platform (link delays).
+    pub platform: Platform,
+    /// The execution-time matrix.
+    pub exec: ExecutionMatrix,
+    /// The fault-tolerant schedule.
+    pub schedule: Schedule,
+    /// Which algorithm produced it (display name).
+    pub algorithm: String,
+}
+
+impl Bundle {
+    /// Reassembles the [`Instance`] (clones the parts).
+    pub fn instance(&self) -> Instance {
+        Instance::new(self.dag.clone(), self.platform.clone(), self.exec.clone())
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Deserializes from JSON.
+    pub fn from_json(s: &str) -> serde_json::Result<Bundle> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsched_core::{schedule, Algorithm};
+    use platform::gen::{paper_instance, PaperInstanceConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bundle_round_trips() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = paper_instance(
+            &mut rng,
+            &PaperInstanceConfig { tasks_lo: 20, tasks_hi: 20, procs: 5, ..Default::default() },
+        );
+        let s = schedule(&inst, 1, Algorithm::Ftsa, &mut rng).unwrap();
+        let b = Bundle {
+            dag: inst.dag.clone(),
+            platform: inst.platform.clone(),
+            exec: inst.exec.clone(),
+            schedule: s.clone(),
+            algorithm: "FTSA".into(),
+        };
+        let json = b.to_json().unwrap();
+        let back = Bundle::from_json(&json).unwrap();
+        assert_eq!(back.schedule.replicas, s.replicas);
+        assert_eq!(back.algorithm, "FTSA");
+        // The reassembled instance still validates the schedule.
+        ftsched_core::validate::validate(&back.instance(), &back.schedule).unwrap();
+    }
+}

@@ -1,0 +1,248 @@
+//! Command implementations. Each returns the text to print on success.
+
+use crate::args::Args;
+use crate::bundle::Bundle;
+use ftsched_core::{schedule as run_schedule, validate::validate, Algorithm};
+use platform::gen::random_platform;
+use platform::granularity::scale_to_granularity;
+use platform::{ExecutionMatrix, FailureScenario, Instance, ProcId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simulator::trace::gantt;
+use simulator::simulate;
+use std::fmt::Write as _;
+use taskgraph::generators::{erdos, fork_join, layered, ErdosConfig, ForkJoinConfig, LayeredConfig};
+use taskgraph::workloads;
+use taskgraph::Dag;
+
+fn read_graph(path: &str) -> Result<Dag, String> {
+    let s = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    taskgraph::io::from_json(&s).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// `ftsched generate`
+pub fn generate(args: &Args) -> Result<String, String> {
+    let family = args.require("family")?;
+    let seed: u64 = args.get_num("seed", 42)?;
+    let tasks: usize = args.get_num("tasks", 120)?;
+    let size: usize = args.get_num("size", 8)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let dag = match family {
+        "layered" => layered(&mut rng, &LayeredConfig::paper(tasks)),
+        "erdos" => erdos(&mut rng, &ErdosConfig::sparse(tasks)),
+        "forkjoin" => fork_join(&mut rng, &ForkJoinConfig::new(size, size)),
+        "gauss" => workloads::gaussian_elimination(size.max(2), 10.0, 1.0),
+        "fft" => workloads::fft(size.next_power_of_two().max(2), 10.0, 20.0),
+        "stencil" => workloads::stencil_1d(size, size, 10.0, 15.0),
+        "wavefront" => workloads::wavefront(size, size, 10.0, 15.0),
+        "mapreduce" => workloads::map_reduce(size, size / 2 + 1, 20.0, 30.0, 10.0),
+        other => return Err(format!("unknown graph family `{other}`")),
+    };
+
+    let out = args.require("out")?;
+    let json = taskgraph::io::to_json(&dag).map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    let mut msg = format!(
+        "wrote {out}: {} tasks, {} edges ({family})\n",
+        dag.num_tasks(),
+        dag.num_edges()
+    );
+    if let Some(dot) = args.get("dot") {
+        std::fs::write(dot, taskgraph::io::to_dot(&dag))
+            .map_err(|e| format!("writing {dot}: {e}"))?;
+        let _ = writeln!(msg, "wrote {dot} (Graphviz)");
+    }
+    Ok(msg)
+}
+
+fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
+    match name {
+        "ftsa" => Ok(Algorithm::Ftsa),
+        "mc-ftsa" => Ok(Algorithm::McFtsaGreedy),
+        "mc-ftsa-bn" => Ok(Algorithm::McFtsaBottleneck),
+        "ftbar" => Ok(Algorithm::Ftbar),
+        other => Err(format!("unknown algorithm `{other}`")),
+    }
+}
+
+/// `ftsched schedule`
+pub fn schedule_cmd(args: &Args) -> Result<String, String> {
+    let dag = read_graph(args.require("graph")?)?;
+    let procs: usize = args.require_num("procs")?;
+    let epsilon: usize = args.require_num("epsilon")?;
+    let seed: u64 = args.get_num("seed", 42)?;
+    let algorithm = parse_algorithm(args.get("algorithm").unwrap_or("ftsa"))?;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let platform = random_platform(&mut rng, procs, 0.5, 1.0);
+    let mut exec = ExecutionMatrix::unrelated_with_procs(&dag, procs, &mut rng, 0.5);
+    if let Some(g) = args.get("granularity") {
+        let g: f64 = g.parse().map_err(|_| "bad --granularity")?;
+        scale_to_granularity(&dag, &platform, &mut exec, g);
+    }
+    let inst = Instance::new(dag, platform, exec);
+
+    let sched = run_schedule(&inst, epsilon, algorithm, &mut rng).map_err(|e| e.to_string())?;
+    validate(&inst, &sched).map_err(|e| e.to_string())?;
+
+    let bundle = Bundle {
+        dag: inst.dag.clone(),
+        platform: inst.platform.clone(),
+        exec: inst.exec.clone(),
+        schedule: sched,
+        algorithm: algorithm.name().to_string(),
+    };
+    let out = args.require("out")?;
+    std::fs::write(out, bundle.to_json().map_err(|e| e.to_string())?)
+        .map_err(|e| format!("writing {out}: {e}"))?;
+
+    let stats = ftsched_core::stats::schedule_stats(&inst, &bundle.schedule);
+    Ok(format!(
+        "{} schedule, ε = {epsilon}, {} processors\n{stats}\nwrote {out}\n",
+        bundle.algorithm, procs,
+    ))
+}
+
+/// `ftsched simulate`
+pub fn simulate_cmd(args: &Args) -> Result<String, String> {
+    let path = args.require("bundle")?;
+    let s = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let bundle = Bundle::from_json(&s).map_err(|e| format!("parsing {path}: {e}"))?;
+    let inst = bundle.instance();
+
+    let scenario = if let Some(list) = args.get("fail") {
+        let ids: Result<Vec<u32>, _> = list.split(',').map(str::parse).collect();
+        let ids = ids.map_err(|_| "bad --fail list (expected e.g. 0,3,7)")?;
+        for &p in &ids {
+            if p as usize >= inst.num_procs() {
+                return Err(format!("--fail: no processor P{p}"));
+            }
+        }
+        FailureScenario::at_time_zero(ids.into_iter().map(ProcId))
+    } else if let Some(k) = args.get("random-failures") {
+        let k: usize = k.parse().map_err(|_| "bad --random-failures")?;
+        let seed: u64 = args.get_num("seed", 42)?;
+        FailureScenario::uniform(&mut StdRng::seed_from_u64(seed), inst.num_procs(), k)
+    } else {
+        FailureScenario::none()
+    };
+
+    let sim = simulate(&inst, &bundle.schedule, &scenario);
+    let failed: Vec<String> = scenario.iter().map(|(p, _)| p.to_string()).collect();
+    let mut out = format!(
+        "scenario: {} failed [{}]\n",
+        scenario.len(),
+        failed.join(", ")
+    );
+    if sim.completed() {
+        let _ = writeln!(
+            out,
+            "completed; achieved latency {:.3} (bounds: [{:.3}, {:.3}])",
+            sim.latency,
+            bundle.schedule.latency_lower_bound(),
+            bundle.schedule.latency_upper_bound()
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "FAILED: a task lost all replicas (scenario exceeds the design ε = {})",
+            bundle.schedule.epsilon
+        );
+    }
+    if args.has_flag("gantt") {
+        let _ = write!(out, "\n{}", gantt(&inst, &bundle.schedule, &sim, 72));
+    }
+    Ok(out)
+}
+
+/// `ftsched info`
+pub fn info(args: &Args) -> Result<String, String> {
+    let dag = read_graph(args.require("graph")?)?;
+    let st = taskgraph::metrics::stats(&dag);
+    Ok(format!(
+        "tasks: {}\nedges: {}\nentries: {}\nexits: {}\ndepth: {}\nwidth (level bound): {}\n\
+         mean out-degree: {:.2}\ntotal work: {:.1}\ntotal volume: {:.1}\n\
+         computation critical path: {:.1}\n",
+        st.tasks,
+        st.edges,
+        st.entries,
+        st.exits,
+        st.depth,
+        st.width_lb,
+        st.mean_out_degree,
+        st.total_work,
+        st.total_volume,
+        taskgraph::metrics::critical_path_length(&dag, 0.0),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Args {
+        Args::parse(&s.split_whitespace().map(str::to_string).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("ftsched_cli_{name}_{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn full_cli_round_trip() {
+        let graph = tmp("graph.json");
+        let bundle = tmp("bundle.json");
+
+        let msg = generate(&argv(&format!(
+            "--family gauss --size 6 --out {graph}"
+        )))
+        .unwrap();
+        assert!(msg.contains("tasks"));
+
+        let msg = schedule_cmd(&argv(&format!(
+            "--graph {graph} --procs 6 --epsilon 2 --algorithm mc-ftsa --out {bundle}"
+        )))
+        .unwrap();
+        assert!(msg.contains("latency (M*/M)"), "{msg}");
+        assert!(msg.contains("utilization"));
+
+        let msg = simulate_cmd(&argv(&format!(
+            "--bundle {bundle} --fail 0,1 --gantt"
+        )))
+        .unwrap();
+        assert!(msg.contains("completed"), "{msg}");
+        assert!(msg.contains('#'));
+
+        let msg = info(&argv(&format!("--graph {graph}"))).unwrap();
+        assert!(msg.contains("critical path"));
+
+        let _ = std::fs::remove_file(graph);
+        let _ = std::fs::remove_file(bundle);
+    }
+
+    #[test]
+    fn too_many_failures_reported() {
+        let graph = tmp("g2.json");
+        let bundle = tmp("b2.json");
+        generate(&argv(&format!("--family fft --size 8 --out {graph}"))).unwrap();
+        schedule_cmd(&argv(&format!(
+            "--graph {graph} --procs 4 --epsilon 0 --out {bundle}"
+        )))
+        .unwrap();
+        let msg = simulate_cmd(&argv(&format!("--bundle {bundle} --fail 0,1,2,3"))).unwrap();
+        assert!(msg.contains("FAILED"));
+        let _ = std::fs::remove_file(graph);
+        let _ = std::fs::remove_file(bundle);
+    }
+
+    #[test]
+    fn unknown_family_and_algorithm() {
+        assert!(generate(&argv("--family nope --out /tmp/x.json")).is_err());
+        assert!(parse_algorithm("nope").is_err());
+        assert!(parse_algorithm("ftbar").is_ok());
+    }
+}

@@ -1,0 +1,59 @@
+//! Library backing the `ftsched` command-line tool.
+//!
+//! Commands:
+//!
+//! * `generate` — emit a task graph (random family or structured
+//!   workload) as JSON, optionally with a Graphviz DOT rendering.
+//! * `schedule` — read a graph, draw a paper-style random platform, run
+//!   one of the algorithms, and write a self-contained *bundle* (graph +
+//!   platform + execution matrix + schedule) for later simulation.
+//! * `simulate` — read a bundle, crash a chosen or random processor set,
+//!   and report the achieved latency with an ASCII Gantt chart.
+//! * `info` — structural statistics of a graph file.
+//!
+//! Argument parsing is a tiny hand-rolled `key value` scanner — the
+//! sanctioned dependency set has no CLI parser, and the surface is small.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod bundle;
+pub mod commands;
+
+pub use args::Args;
+pub use bundle::Bundle;
+
+/// Entry point shared by `main` and the tests.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let Some(cmd) = argv.first() else {
+        return Err(usage());
+    };
+    let args = Args::parse(&argv[1..])?;
+    match cmd.as_str() {
+        "generate" => commands::generate(&args),
+        "schedule" => commands::schedule_cmd(&args),
+        "simulate" => commands::simulate_cmd(&args),
+        "info" => commands::info(&args),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command `{other}`\n\n{}", usage())),
+    }
+}
+
+/// The usage banner.
+pub fn usage() -> String {
+    "\
+ftsched — fault-tolerant scheduling of precedence task graphs
+
+USAGE:
+  ftsched generate --family <layered|erdos|forkjoin|gauss|fft|stencil|wavefront|mapreduce>
+                   [--tasks N] [--size N] [--seed S] --out graph.json [--dot graph.dot]
+  ftsched schedule --graph graph.json --procs M --epsilon E
+                   [--algorithm ftsa|mc-ftsa|mc-ftsa-bn|ftbar] [--seed S]
+                   [--granularity G] --out bundle.json
+  ftsched simulate --bundle bundle.json [--fail 0,3,7 | --random-failures K]
+                   [--seed S] [--gantt]
+  ftsched info --graph graph.json
+"
+    .to_string()
+}

@@ -1,0 +1,12 @@
+//! The `ftsched` command-line tool. See [`ftsched_cli::usage`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match ftsched_cli::run(&argv) {
+        Ok(msg) => print!("{msg}"),
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,591 @@
+//! An AVL-balanced ordered map, implemented over an index arena.
+//!
+//! This is the balanced search tree the FTSA paper prescribes for the free
+//! list `α` (Section 4.1): insert, remove, min and max are all
+//! `O(log n)`, and the tree supports in-order traversal. The arena
+//! representation (`Vec` of nodes + free list) avoids per-node allocation
+//! and keeps the structure cache-friendly, per the workspace performance
+//! guidelines.
+//!
+//! ```
+//! use ftcollections::AvlTree;
+//!
+//! let mut t = AvlTree::new();
+//! t.insert(3, "c");
+//! t.insert(1, "a");
+//! t.insert(2, "b");
+//! assert_eq!(t.min(), Some((&1, &"a")));
+//! assert_eq!(t.max(), Some((&3, &"c")));
+//! assert_eq!(t.remove(&2), Some("b"));
+//! assert_eq!(t.len(), 2);
+//! ```
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<K, V> {
+    key: K,
+    /// `Some` for live nodes; `None` only transiently for slots sitting on
+    /// the free list (the value has been moved out to the caller).
+    value: Option<V>,
+    left: u32,
+    right: u32,
+    /// Height of the subtree rooted here (leaf = 1).
+    height: i8,
+}
+
+/// An ordered map balanced as an AVL tree.
+///
+/// Keys must implement [`Ord`]. Inserting an existing key replaces the
+/// value and returns the previous one, which matches how the scheduler uses
+/// the tree: keys are `(priority, unique tiebreak)` pairs, so genuine
+/// duplicates never arise.
+#[derive(Debug, Clone)]
+pub struct AvlTree<K, V> {
+    nodes: Vec<Node<K, V>>,
+    /// Indices of vacated arena slots, reused before growing `nodes`.
+    free: Vec<u32>,
+    root: u32,
+    len: usize,
+}
+
+impl<K: Ord, V> Default for AvlTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord, V> AvlTree<K, V> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        AvlTree { nodes: Vec::new(), free: Vec::new(), root: NIL, len: 0 }
+    }
+
+    /// Creates an empty tree with room for `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        AvlTree { nodes: Vec::with_capacity(cap), free: Vec::new(), root: NIL, len: 0 }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every entry, keeping allocated capacity.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.root = NIL;
+        self.len = 0;
+    }
+
+    #[inline]
+    fn height(&self, idx: u32) -> i8 {
+        if idx == NIL {
+            0
+        } else {
+            self.nodes[idx as usize].height
+        }
+    }
+
+    #[inline]
+    fn update_height(&mut self, idx: u32) {
+        let hl = self.height(self.nodes[idx as usize].left);
+        let hr = self.height(self.nodes[idx as usize].right);
+        self.nodes[idx as usize].height = 1 + hl.max(hr);
+    }
+
+    #[inline]
+    fn balance_factor(&self, idx: u32) -> i8 {
+        let n = &self.nodes[idx as usize];
+        self.height(n.left) - self.height(n.right)
+    }
+
+    fn alloc(&mut self, key: K, value: V) -> u32 {
+        let node = Node { key, value: Some(value), left: NIL, right: NIL, height: 1 };
+        match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot as usize] = node;
+                slot
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Right rotation around `y`; returns the new subtree root.
+    fn rotate_right(&mut self, y: u32) -> u32 {
+        let x = self.nodes[y as usize].left;
+        let t2 = self.nodes[x as usize].right;
+        self.nodes[x as usize].right = y;
+        self.nodes[y as usize].left = t2;
+        self.update_height(y);
+        self.update_height(x);
+        x
+    }
+
+    /// Left rotation around `x`; returns the new subtree root.
+    fn rotate_left(&mut self, x: u32) -> u32 {
+        let y = self.nodes[x as usize].right;
+        let t2 = self.nodes[y as usize].left;
+        self.nodes[y as usize].left = x;
+        self.nodes[x as usize].right = t2;
+        self.update_height(x);
+        self.update_height(y);
+        y
+    }
+
+    /// Restores the AVL invariant at `idx`, returning the new subtree root.
+    fn rebalance(&mut self, idx: u32) -> u32 {
+        self.update_height(idx);
+        let bf = self.balance_factor(idx);
+        if bf > 1 {
+            // Left-heavy.
+            let left = self.nodes[idx as usize].left;
+            if self.balance_factor(left) < 0 {
+                let new_left = self.rotate_left(left);
+                self.nodes[idx as usize].left = new_left;
+            }
+            self.rotate_right(idx)
+        } else if bf < -1 {
+            // Right-heavy.
+            let right = self.nodes[idx as usize].right;
+            if self.balance_factor(right) > 0 {
+                let new_right = self.rotate_right(right);
+                self.nodes[idx as usize].right = new_right;
+            }
+            self.rotate_left(idx)
+        } else {
+            idx
+        }
+    }
+
+    /// Inserts `key → value`. Returns the previous value if the key was
+    /// already present.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let (new_root, old) = self.insert_at(self.root, key, value);
+        self.root = new_root;
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    fn insert_at(&mut self, idx: u32, key: K, value: V) -> (u32, Option<V>) {
+        if idx == NIL {
+            return (self.alloc(key, value), None);
+        }
+        let ord = key.cmp(&self.nodes[idx as usize].key);
+        let old = match ord {
+            std::cmp::Ordering::Less => {
+                let (child, old) = self.insert_at(self.nodes[idx as usize].left, key, value);
+                self.nodes[idx as usize].left = child;
+                old
+            }
+            std::cmp::Ordering::Greater => {
+                let (child, old) = self.insert_at(self.nodes[idx as usize].right, key, value);
+                self.nodes[idx as usize].right = child;
+                old
+            }
+            std::cmp::Ordering::Equal => {
+                let prev = self.nodes[idx as usize].value.replace(value);
+                return (idx, prev);
+            }
+        };
+        (self.rebalance(idx), old)
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut idx = self.root;
+        while idx != NIL {
+            let n = &self.nodes[idx as usize];
+            match key.cmp(&n.key) {
+                std::cmp::Ordering::Less => idx = n.left,
+                std::cmp::Ordering::Greater => idx = n.right,
+                std::cmp::Ordering::Equal => return n.value.as_ref(),
+            }
+        }
+        None
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let (new_root, removed) = self.remove_at(self.root, key);
+        self.root = new_root;
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn remove_at(&mut self, idx: u32, key: &K) -> (u32, Option<V>) {
+        if idx == NIL {
+            return (NIL, None);
+        }
+        let ord = key.cmp(&self.nodes[idx as usize].key);
+        match ord {
+            std::cmp::Ordering::Less => {
+                let (child, removed) = self.remove_at(self.nodes[idx as usize].left, key);
+                self.nodes[idx as usize].left = child;
+                if removed.is_none() {
+                    return (idx, None);
+                }
+                (self.rebalance(idx), removed)
+            }
+            std::cmp::Ordering::Greater => {
+                let (child, removed) = self.remove_at(self.nodes[idx as usize].right, key);
+                self.nodes[idx as usize].right = child;
+                if removed.is_none() {
+                    return (idx, None);
+                }
+                (self.rebalance(idx), removed)
+            }
+            std::cmp::Ordering::Equal => {
+                let left = self.nodes[idx as usize].left;
+                let right = self.nodes[idx as usize].right;
+                if left == NIL || right == NIL {
+                    let child = if left == NIL { right } else { left };
+                    let value = self.nodes[idx as usize].value.take();
+                    debug_assert!(value.is_some(), "live node must hold a value");
+                    self.free.push(idx);
+                    (child, value)
+                } else {
+                    // Two children: swap payload with the in-order successor
+                    // (min of the right subtree), then delete the key from
+                    // the right subtree where it now sits in a node with at
+                    // most one child.
+                    let succ = self.min_index(right);
+                    let (a, b) = index_pair(&mut self.nodes, idx as usize, succ as usize);
+                    std::mem::swap(&mut a.key, &mut b.key);
+                    std::mem::swap(&mut a.value, &mut b.value);
+                    let (new_right, removed) = self.remove_at(right, key);
+                    self.nodes[idx as usize].right = new_right;
+                    (self.rebalance(idx), removed)
+                }
+            }
+        }
+    }
+
+    fn min_index(&self, mut idx: u32) -> u32 {
+        while self.nodes[idx as usize].left != NIL {
+            idx = self.nodes[idx as usize].left;
+        }
+        idx
+    }
+
+    fn max_index(&self, mut idx: u32) -> u32 {
+        while self.nodes[idx as usize].right != NIL {
+            idx = self.nodes[idx as usize].right;
+        }
+        idx
+    }
+
+    /// Smallest key and its value.
+    pub fn min(&self) -> Option<(&K, &V)> {
+        if self.root == NIL {
+            return None;
+        }
+        let idx = self.min_index(self.root);
+        let n = &self.nodes[idx as usize];
+        Some((&n.key, n.value.as_ref().expect("live node")))
+    }
+
+    /// Largest key and its value.
+    pub fn max(&self) -> Option<(&K, &V)> {
+        if self.root == NIL {
+            return None;
+        }
+        let idx = self.max_index(self.root);
+        let n = &self.nodes[idx as usize];
+        Some((&n.key, n.value.as_ref().expect("live node")))
+    }
+
+    /// Removes and returns the entry with the largest key.
+    pub fn pop_max(&mut self) -> Option<(K, V)>
+    where
+        K: Clone,
+    {
+        let (k, _) = self.max()?;
+        let k = k.clone();
+        let v = self.remove(&k).expect("max key must be removable");
+        Some((k, v))
+    }
+
+    /// Removes and returns the entry with the smallest key.
+    pub fn pop_min(&mut self) -> Option<(K, V)>
+    where
+        K: Clone,
+    {
+        let (k, _) = self.min()?;
+        let k = k.clone();
+        let v = self.remove(&k).expect("min key must be removable");
+        Some((k, v))
+    }
+
+    /// In-order (ascending key) iterator.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        let mut stack = Vec::with_capacity(self.height(self.root) as usize + 1);
+        let mut idx = self.root;
+        while idx != NIL {
+            stack.push(idx);
+            idx = self.nodes[idx as usize].left;
+        }
+        Iter { tree: self, stack }
+    }
+
+    /// Collects keys in ascending order (mainly for tests/diagnostics).
+    pub fn keys(&self) -> Vec<&K> {
+        self.iter().map(|(k, _)| k).collect()
+    }
+
+    /// Verifies the AVL invariants; used by tests.
+    ///
+    /// Checks (a) strict key ordering, (b) height bookkeeping, (c) balance
+    /// factors in `{-1, 0, 1}`, (d) `len` consistency, (e) all live nodes
+    /// hold values. Cost is `O(n)`.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        fn walk<K: Ord, V>(
+            t: &AvlTree<K, V>,
+            idx: u32,
+            lo: Option<&K>,
+            hi: Option<&K>,
+        ) -> Result<(i8, usize), String> {
+            if idx == NIL {
+                return Ok((0, 0));
+            }
+            let n = &t.nodes[idx as usize];
+            if n.value.is_none() {
+                return Err("live node without value".into());
+            }
+            if let Some(lo) = lo {
+                if n.key <= *lo {
+                    return Err("key ordering violated (left bound)".into());
+                }
+            }
+            if let Some(hi) = hi {
+                if n.key >= *hi {
+                    return Err("key ordering violated (right bound)".into());
+                }
+            }
+            let (hl, cl) = walk(t, n.left, lo, Some(&n.key))?;
+            let (hr, cr) = walk(t, n.right, Some(&n.key), hi)?;
+            let h = 1 + hl.max(hr);
+            if h != n.height {
+                return Err(format!("stale height: stored {}, actual {}", n.height, h));
+            }
+            if (hl - hr).abs() > 1 {
+                return Err(format!("balance factor {} out of range", hl - hr));
+            }
+            Ok((h, 1 + cl + cr))
+        }
+        let (_, count) = walk(self, self.root, None, None)?;
+        if count != self.len {
+            return Err(format!("len mismatch: stored {}, actual {}", self.len, count));
+        }
+        Ok(())
+    }
+}
+
+/// Borrows two distinct arena slots mutably.
+fn index_pair<T>(v: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
+    assert_ne!(i, j, "index_pair requires distinct indices");
+    if i < j {
+        let (a, b) = v.split_at_mut(j);
+        (&mut a[i], &mut b[0])
+    } else {
+        let (a, b) = v.split_at_mut(i);
+        (&mut b[0], &mut a[j])
+    }
+}
+
+/// In-order iterator over an [`AvlTree`].
+pub struct Iter<'a, K, V> {
+    tree: &'a AvlTree<K, V>,
+    stack: Vec<u32>,
+}
+
+impl<'a, K: Ord, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let idx = self.stack.pop()?;
+        let n = &self.tree.nodes[idx as usize];
+        let mut child = n.right;
+        while child != NIL {
+            self.stack.push(child);
+            child = self.tree.nodes[child as usize].left;
+        }
+        Some((&n.key, n.value.as_ref().expect("live node")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree() {
+        let t: AvlTree<i32, i32> = AvlTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.min(), None);
+        assert_eq!(t.max(), None);
+        assert!(t.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t = AvlTree::new();
+        for i in 0..100 {
+            assert_eq!(t.insert(i, i * 10), None);
+        }
+        assert_eq!(t.len(), 100);
+        t.check_invariants().unwrap();
+        for i in 0..100 {
+            assert_eq!(t.get(&i), Some(&(i * 10)));
+        }
+        for i in (0..100).step_by(2) {
+            assert_eq!(t.remove(&i), Some(i * 10));
+        }
+        assert_eq!(t.len(), 50);
+        t.check_invariants().unwrap();
+        for i in 0..100 {
+            assert_eq!(t.contains_key(&i), i % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn insert_replaces_existing() {
+        let mut t = AvlTree::new();
+        assert_eq!(t.insert(7, "a"), None);
+        assert_eq!(t.insert(7, "b"), Some("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&7), Some(&"b"));
+    }
+
+    #[test]
+    fn ascending_and_descending_insertions_stay_balanced() {
+        let mut up = AvlTree::new();
+        let mut down = AvlTree::new();
+        for i in 0..1024 {
+            up.insert(i, ());
+            down.insert(1023 - i, ());
+        }
+        up.check_invariants().unwrap();
+        down.check_invariants().unwrap();
+        // An AVL tree with n = 1024 nodes has height at most
+        // 1.44 * log2(n + 2) ≈ 14.5.
+        assert!(up.height(up.root) <= 15);
+        assert!(down.height(down.root) <= 15);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut t = AvlTree::new();
+        for &x in &[5, 3, 8, 1, 4, 7, 9, 2, 6, 0] {
+            t.insert(x, x * x);
+        }
+        let pairs: Vec<_> = t.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(
+            pairs,
+            (0..10).map(|x| (x, x * x)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn pop_max_pops_in_descending_order() {
+        let mut t = AvlTree::new();
+        for &x in &[4, 1, 9, 2, 8] {
+            t.insert(x, ());
+        }
+        let mut popped = Vec::new();
+        while let Some((k, _)) = t.pop_max() {
+            popped.push(k);
+            t.check_invariants().unwrap();
+        }
+        assert_eq!(popped, vec![9, 8, 4, 2, 1]);
+    }
+
+    #[test]
+    fn pop_min_pops_in_ascending_order() {
+        let mut t = AvlTree::new();
+        for &x in &[4, 1, 9, 2, 8] {
+            t.insert(x, ());
+        }
+        let mut popped = Vec::new();
+        while let Some((k, _)) = t.pop_min() {
+            popped.push(k);
+        }
+        assert_eq!(popped, vec![1, 2, 4, 8, 9]);
+    }
+
+    #[test]
+    fn remove_missing_returns_none() {
+        let mut t = AvlTree::new();
+        t.insert(1, ());
+        assert_eq!(t.remove(&2), None);
+        assert_eq!(t.len(), 1);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut t = AvlTree::new();
+        for i in 0..64 {
+            t.insert(i, i);
+        }
+        for i in 0..64 {
+            t.remove(&i);
+        }
+        let arena_size = t.nodes.len();
+        for i in 0..64 {
+            t.insert(i, i);
+        }
+        assert_eq!(t.nodes.len(), arena_size, "freed slots must be reused");
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = AvlTree::new();
+        for i in 0..10 {
+            t.insert(i, ());
+        }
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.min(), None);
+        t.insert(5, ());
+        assert_eq!(t.len(), 1);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn two_child_removal_deep() {
+        // Build a tree where removals repeatedly hit the two-children case.
+        let mut t = AvlTree::new();
+        for i in 0..200 {
+            t.insert((i * 37) % 200, i);
+        }
+        // Remove interior keys.
+        for i in 50..150 {
+            assert!(t.remove(&i).is_some());
+            t.check_invariants().unwrap();
+        }
+        assert_eq!(t.len(), 100);
+    }
+}

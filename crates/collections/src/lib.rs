@@ -1,0 +1,32 @@
+//! Ordered and priority data structures used by the `ftsched` scheduler.
+//!
+//! The FTSA algorithm of Benoit, Hakem and Robert (RR-6418, 2008) maintains
+//! its list of free tasks `α` "using a balanced search tree data structure
+//! (AVL)" so that selecting the critical task costs `O(log ω)` where `ω` is
+//! the width of the task graph. This crate provides that substrate, built
+//! from scratch:
+//!
+//! * [`AvlTree`] — a generic AVL-balanced ordered map with `O(log n)`
+//!   insert / remove / min / max and in-order iteration.
+//! * [`PriorityList`] — the `α` list itself: a max-priority structure over
+//!   `(priority, tie-break)` keys with stable membership queries, backed by
+//!   the AVL tree.
+//! * [`IndexedHeap`] — a binary min-heap with `O(log n)` decrease-key /
+//!   remove by handle, used by the discrete-event simulator and by the
+//!   greedy communication selector.
+//! * [`OrdF64`] — a total-order wrapper over finite `f64` values, the key
+//!   type used throughout the scheduler (latencies and priorities are
+//!   finite by construction).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod avl;
+pub mod heap;
+pub mod ordf64;
+pub mod priority_list;
+
+pub use avl::AvlTree;
+pub use heap::IndexedHeap;
+pub use ordf64::OrdF64;
+pub use priority_list::PriorityList;

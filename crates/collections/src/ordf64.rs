@@ -1,0 +1,150 @@
+//! Total-order wrapper for finite `f64` values.
+//!
+//! Scheduling lengths, levels and priorities are finite non-NaN floats by
+//! construction, so a total order is safe. The wrapper uses
+//! [`f64::total_cmp`], which orders `-NaN < -inf < … < +inf < +NaN`; the
+//! constructor debug-asserts finiteness so NaNs cannot sneak into schedule
+//! arithmetic unnoticed in test builds.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A totally ordered, finite `f64`.
+///
+/// ```
+/// use ftcollections::OrdF64;
+/// let a = OrdF64::new(1.5);
+/// let b = OrdF64::new(2.0);
+/// assert!(a < b);
+/// assert_eq!(a.get() + 0.5, b.get());
+/// ```
+#[derive(Clone, Copy, Default)]
+pub struct OrdF64(f64);
+
+impl OrdF64 {
+    /// Wraps a finite float. Debug-asserts that `x` is not NaN.
+    #[inline]
+    pub fn new(x: f64) -> Self {
+        debug_assert!(!x.is_nan(), "OrdF64 must not hold NaN");
+        OrdF64(x)
+    }
+
+    /// Returns the wrapped value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Zero.
+    pub const ZERO: OrdF64 = OrdF64(0.0);
+    /// Positive infinity; usable as an identity for `min`.
+    pub const INFINITY: OrdF64 = OrdF64(f64::INFINITY);
+    /// Negative infinity; usable as an identity for `max`.
+    pub const NEG_INFINITY: OrdF64 = OrdF64(f64::NEG_INFINITY);
+}
+
+impl From<f64> for OrdF64 {
+    #[inline]
+    fn from(x: f64) -> Self {
+        OrdF64::new(x)
+    }
+}
+
+impl From<OrdF64> for f64 {
+    #[inline]
+    fn from(x: OrdF64) -> Self {
+        x.0
+    }
+}
+
+impl PartialEq for OrdF64 {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl std::hash::Hash for OrdF64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl fmt::Debug for OrdF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl fmt::Display for OrdF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_consistent() {
+        let xs = [-3.5, -0.0, 0.0, 1.0, 2.5, f64::INFINITY];
+        for &a in &xs {
+            for &b in &xs {
+                let wa = OrdF64::new(a);
+                let wb = OrdF64::new(b);
+                assert_eq!(wa.cmp(&wb), a.total_cmp(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn constants() {
+        assert!(OrdF64::NEG_INFINITY < OrdF64::ZERO);
+        assert!(OrdF64::ZERO < OrdF64::INFINITY);
+        assert_eq!(OrdF64::ZERO.get(), 0.0);
+    }
+
+    #[test]
+    fn round_trip_conversions() {
+        let x: OrdF64 = 4.25.into();
+        let y: f64 = x.into();
+        assert_eq!(y, 4.25);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn nan_rejected_in_debug() {
+        let _ = OrdF64::new(f64::NAN);
+    }
+
+    #[test]
+    fn hash_distinguishes_values() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: OrdF64| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_ne!(h(OrdF64::new(1.0)), h(OrdF64::new(2.0)));
+        assert_eq!(h(OrdF64::new(1.0)), h(OrdF64::new(1.0)));
+    }
+}

@@ -1,0 +1,211 @@
+//! The FTSA free-task list `α`: a max-priority structure over tasks.
+//!
+//! Section 4.1 of the paper: "We maintain a priority list `α` (that
+//! contains free tasks) which is implemented by using a balanced search
+//! tree data structure (AVL). […] The head function `H(α)` returns the
+//! first task in the sorted list `α`, which is the task with the highest
+//! priority (ties are broken randomly)."
+//!
+//! Random tie-breaking is realized by attaching a caller-supplied tiebreak
+//! token (drawn from the run's seeded RNG) to each insertion; the AVL key
+//! is `(priority, tiebreak)`, so equal priorities are ordered by the random
+//! token and the head of the list is exactly the paper's `H(α)`.
+
+use crate::avl::AvlTree;
+use crate::ordf64::OrdF64;
+
+/// Composite AVL key: priority first, random tiebreak second.
+type Key = (OrdF64, u64);
+
+/// A max-priority list over dense `usize` item ids (task indices).
+///
+/// ```
+/// use ftcollections::PriorityList;
+///
+/// let mut alpha = PriorityList::new(4);
+/// alpha.insert(0, 10.0, 111);
+/// alpha.insert(1, 30.0, 222);
+/// alpha.insert(2, 30.0, 555); // tie with task 1, larger tiebreak wins
+/// assert_eq!(alpha.peek(), Some(2));
+/// assert_eq!(alpha.pop(), Some(2));
+/// assert_eq!(alpha.pop(), Some(1));
+/// assert_eq!(alpha.pop(), Some(0));
+/// assert_eq!(alpha.pop(), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PriorityList {
+    tree: AvlTree<Key, usize>,
+    /// `key_of[item]` = the AVL key under which `item` is stored.
+    key_of: Vec<Option<Key>>,
+}
+
+impl PriorityList {
+    /// Creates a list sized for ids `0..capacity` (grows on demand).
+    pub fn new(capacity: usize) -> Self {
+        PriorityList { tree: AvlTree::with_capacity(capacity), key_of: vec![None; capacity] }
+    }
+
+    /// Number of items in the list.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Whether the list is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Whether `item` is in the list.
+    pub fn contains(&self, item: usize) -> bool {
+        item < self.key_of.len() && self.key_of[item].is_some()
+    }
+
+    /// Current priority of `item`, if present.
+    pub fn priority(&self, item: usize) -> Option<f64> {
+        if item < self.key_of.len() {
+            self.key_of[item].map(|(p, _)| p.get())
+        } else {
+            None
+        }
+    }
+
+    fn ensure_id(&mut self, item: usize) {
+        if item >= self.key_of.len() {
+            self.key_of.resize(item + 1, None);
+        }
+    }
+
+    /// Inserts `item` with the given priority and random tiebreak token.
+    ///
+    /// # Panics
+    /// Panics if `item` is already present (free tasks enter `α` exactly
+    /// once in FTSA) or if `priority` is NaN.
+    pub fn insert(&mut self, item: usize, priority: f64, tiebreak: u64) {
+        self.ensure_id(item);
+        assert!(self.key_of[item].is_none(), "item {item} already in the list");
+        let key = (OrdF64::new(priority), tiebreak);
+        let prev = self.tree.insert(key, item);
+        assert!(prev.is_none(), "duplicate (priority, tiebreak) key");
+        self.key_of[item] = Some(key);
+    }
+
+    /// Changes the priority of `item` in place (used when priority values
+    /// of successors are refreshed). No-op if absent.
+    pub fn update(&mut self, item: usize, priority: f64, tiebreak: u64) {
+        if self.remove(item) {
+            self.insert(item, priority, tiebreak);
+        }
+    }
+
+    /// Removes `item`; returns whether it was present.
+    pub fn remove(&mut self, item: usize) -> bool {
+        if item >= self.key_of.len() {
+            return false;
+        }
+        match self.key_of[item].take() {
+            Some(key) => {
+                let removed = self.tree.remove(&key);
+                debug_assert_eq!(removed, Some(item));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The head `H(α)`: the item with the highest priority (random ties).
+    pub fn peek(&self) -> Option<usize> {
+        self.tree.max().map(|(_, &item)| item)
+    }
+
+    /// Removes and returns the head `H(α)`.
+    pub fn pop(&mut self) -> Option<usize> {
+        let (key, item) = self.tree.pop_max()?;
+        debug_assert_eq!(self.key_of[item], Some(key));
+        self.key_of[item] = None;
+        Some(item)
+    }
+
+    /// Items in descending priority order (diagnostics / tests).
+    pub fn descending(&self) -> Vec<usize> {
+        let mut v: Vec<(Key, usize)> = self.tree.iter().map(|(k, &i)| (*k, i)).collect();
+        v.reverse();
+        v.into_iter().map(|(_, i)| i).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_order_follows_priority() {
+        let mut l = PriorityList::new(8);
+        l.insert(0, 1.0, 0);
+        l.insert(1, 5.0, 0);
+        l.insert(2, 3.0, 0);
+        assert_eq!(l.pop(), Some(1));
+        assert_eq!(l.pop(), Some(2));
+        assert_eq!(l.pop(), Some(0));
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn ties_broken_by_token() {
+        let mut l = PriorityList::new(4);
+        l.insert(0, 2.0, 10);
+        l.insert(1, 2.0, 99);
+        l.insert(2, 2.0, 55);
+        assert_eq!(l.descending(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn remove_then_pop_skips_item() {
+        let mut l = PriorityList::new(4);
+        l.insert(0, 1.0, 0);
+        l.insert(1, 2.0, 0);
+        assert!(l.remove(1));
+        assert!(!l.remove(1));
+        assert_eq!(l.pop(), Some(0));
+    }
+
+    #[test]
+    fn update_moves_item() {
+        let mut l = PriorityList::new(4);
+        l.insert(0, 1.0, 7);
+        l.insert(1, 2.0, 8);
+        l.update(0, 9.0, 7);
+        assert_eq!(l.peek(), Some(0));
+        assert_eq!(l.priority(0), Some(9.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_insert_panics() {
+        let mut l = PriorityList::new(2);
+        l.insert(0, 1.0, 0);
+        l.insert(0, 2.0, 1);
+    }
+
+    #[test]
+    fn grows_past_capacity() {
+        let mut l = PriorityList::new(1);
+        for i in 0..50 {
+            l.insert(i, i as f64, i as u64);
+        }
+        assert_eq!(l.len(), 50);
+        assert_eq!(l.peek(), Some(49));
+    }
+
+    #[test]
+    fn contains_and_priority() {
+        let mut l = PriorityList::new(4);
+        l.insert(3, 4.5, 1);
+        assert!(l.contains(3));
+        assert!(!l.contains(2));
+        assert!(!l.contains(1000));
+        assert_eq!(l.priority(3), Some(4.5));
+        assert_eq!(l.priority(2), None);
+    }
+}

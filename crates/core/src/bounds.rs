@@ -1,0 +1,98 @@
+//! Latency bounds: `M*` (equation 2), `M` (equation 4), and absolute
+//! lower bounds used as sanity anchors by the test suite.
+//!
+//! * `M*` — the schedule's makespan when **no** processor fails: every
+//!   task starts on the first arriving copy of each input, so the
+//!   relevant finish per task is its *earliest* replica.
+//! * `M` — the guaranteed makespan under up to `ε` failures
+//!   (Proposition 4.2: the achieved latency `L ≤ M`): every input is
+//!   delivered by the *latest* replica.
+//! * [`critical_path_bound`] — no valid schedule (any algorithm, any
+//!   `ε`) can beat the DAG's critical path executed at per-task fastest
+//!   speeds with free communication.
+
+use crate::schedule::Schedule;
+use platform::Instance;
+use taskgraph::Dag;
+
+/// `M*` of equation (2) — delegates to the schedule (kept here so the
+/// formula's home is the bounds module).
+pub fn lower_bound(sched: &Schedule, dag: &Dag) -> f64 {
+    sched.latency_lower_bound_for(dag)
+}
+
+/// `M` of equation (4).
+pub fn upper_bound(sched: &Schedule, dag: &Dag) -> f64 {
+    sched.latency_upper_bound_for(dag)
+}
+
+/// Absolute latency lower bound: the critical path with every task at its
+/// fastest processor and zero communication. Any schedule's `M*` is at
+/// least this.
+pub fn critical_path_bound(inst: &Instance) -> f64 {
+    let dag = &inst.dag;
+    let mut dist = vec![0.0f64; dag.num_tasks()];
+    let mut best = 0.0f64;
+    for &t in dag.topological_order() {
+        let arr = dag
+            .preds(t)
+            .iter()
+            .map(|&(p, _)| dist[p.index()])
+            .fold(0.0f64, f64::max);
+        dist[t.index()] = arr + inst.exec.fastest(t.index());
+        best = best.max(dist[t.index()]);
+    }
+    best
+}
+
+/// Worst-case message counts of Section 4.2: `e(ε+1)²` for plain
+/// replication, `e(ε+1)` for MC-FTSA.
+pub fn max_messages(edges: usize, epsilon: usize) -> (usize, usize) {
+    let r = epsilon + 1;
+    (edges * r * r, edges * r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ftsa::ftsa;
+    use crate::mc_ftsa::{mc_ftsa, Selector};
+    use platform::gen::{paper_instance, PaperInstanceConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn critical_path_bound_holds_for_all_algorithms() {
+        for seed in 0..5u64 {
+            let mut r = StdRng::seed_from_u64(seed);
+            let inst = paper_instance(&mut r, &PaperInstanceConfig::default());
+            let cp = critical_path_bound(&inst);
+            for eps in [0usize, 1, 2] {
+                let mut tb = StdRng::seed_from_u64(seed);
+                let f = ftsa(&inst, eps, &mut tb).unwrap();
+                assert!(f.latency_lower_bound() >= cp - 1e-6);
+                let mc = mc_ftsa(&inst, eps, Selector::Greedy, &mut tb).unwrap();
+                assert!(mc.latency_lower_bound() >= cp - 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn exit_bound_equals_global_bound() {
+        let mut r = StdRng::seed_from_u64(9);
+        let inst = paper_instance(&mut r, &PaperInstanceConfig::default());
+        let s = ftsa(&inst, 1, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert!(
+            (lower_bound(&s, &inst.dag) - s.latency_lower_bound()).abs() < 1e-9
+        );
+        assert!(
+            (upper_bound(&s, &inst.dag) - s.latency_upper_bound()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn message_bound_formulas() {
+        assert_eq!(max_messages(10, 0), (10, 10));
+        assert_eq!(max_messages(10, 2), (90, 30));
+    }
+}

@@ -1,0 +1,137 @@
+//! Shared placement engine: dual-timeline bookkeeping used by FTSA,
+//! MC-FTSA and FTBAR.
+//!
+//! The engine owns the growing [`Schedule`] plus per-processor ready
+//! times `r(P_j)` on both timelines, and implements the arrival terms of
+//! equations (1) and (3):
+//!
+//! * optimistic arrival (eq. 1): `max_{t* ∈ Γ⁻(t)} min_k { F(t*ᵏ) + W(t*ᵏ, t) }`
+//! * pessimistic arrival (eq. 3): `max_{t* ∈ Γ⁻(t)} max_k { F(t*ᵏ) + W(t*ᵏ, t) }`
+//!
+//! where `W(t*ᵏ, t) = V(t*, t) · d(P(t*ᵏ), P_j)` vanishes when the sender
+//! replica lives on the candidate processor itself (the intra-processor
+//! shortcut noted below Theorem 4.1).
+
+use crate::schedule::{Replica, Schedule};
+use platform::{Instance, ProcId};
+use taskgraph::TaskId;
+
+/// Dual-timeline placement state.
+#[derive(Debug, Clone)]
+pub(crate) struct Engine<'a> {
+    pub inst: &'a Instance,
+    pub sched: Schedule,
+    /// `r(P_j)` on the optimistic timeline.
+    pub ready_lb: Vec<f64>,
+    /// `r(P_j)` on the pessimistic timeline.
+    pub ready_ub: Vec<f64>,
+}
+
+impl<'a> Engine<'a> {
+    pub fn new(inst: &'a Instance, epsilon: usize) -> Self {
+        let m = inst.num_procs();
+        Engine {
+            inst,
+            sched: Schedule::empty(inst.num_tasks(), m, epsilon),
+            ready_lb: vec![0.0; m],
+            ready_ub: vec![0.0; m],
+        }
+    }
+
+    /// Optimistic arrival term of eq. (1) for task `t` on processor `j`:
+    /// each predecessor delivers from its earliest-available replica.
+    pub fn arrival_lb(&self, t: TaskId, j: usize) -> f64 {
+        let dag = &self.inst.dag;
+        let plat = &self.inst.platform;
+        let mut arrival = 0.0f64;
+        for &(p, eid) in dag.preds(t) {
+            let vol = dag.volume(eid);
+            let best = self.sched.replicas_of(p)
+                .iter()
+                .map(|r| r.finish_lb + vol * plat.delay(r.proc.index(), j))
+                .fold(f64::INFINITY, f64::min);
+            arrival = arrival.max(best);
+        }
+        arrival
+    }
+
+    /// Pessimistic arrival term of eq. (3): each predecessor delivers
+    /// from its latest replica (worst case under failures).
+    pub fn arrival_ub(&self, t: TaskId, j: usize) -> f64 {
+        let dag = &self.inst.dag;
+        let plat = &self.inst.platform;
+        let mut arrival = 0.0f64;
+        for &(p, eid) in dag.preds(t) {
+            let vol = dag.volume(eid);
+            let worst = self.sched.replicas_of(p)
+                .iter()
+                .map(|r| r.finish_ub + vol * plat.delay(r.proc.index(), j))
+                .fold(f64::NEG_INFINITY, f64::max);
+            arrival = arrival.max(worst);
+        }
+        arrival
+    }
+
+    /// Candidate finish time `F(t, P_j)` of eq. (1).
+    pub fn finish_candidate_lb(&self, t: TaskId, j: usize) -> f64 {
+        self.inst.exec.time(t.index(), j)
+            + self.arrival_lb(t, j).max(self.ready_lb[j])
+    }
+
+    /// Places a replica of `t` on processor `j` with arrivals computed
+    /// from the current schedule state; returns the replica index.
+    pub fn place(&mut self, t: TaskId, j: usize) -> usize {
+        let e = self.inst.exec.time(t.index(), j);
+        let start_lb = self.arrival_lb(t, j).max(self.ready_lb[j]);
+        let start_ub = self.arrival_ub(t, j).max(self.ready_ub[j]);
+        self.place_with_times(t, j, start_lb, start_lb + e, start_ub, start_ub + e)
+    }
+
+    /// Places a replica with explicit times (MC-FTSA computes them from
+    /// its matched senders). Updates ready times and placement order.
+    pub fn place_with_times(
+        &mut self,
+        t: TaskId,
+        j: usize,
+        start_lb: f64,
+        finish_lb: f64,
+        start_ub: f64,
+        finish_ub: f64,
+    ) -> usize {
+        debug_assert!(start_lb >= self.ready_lb[j] - 1e-9);
+        debug_assert!(finish_lb >= start_lb && finish_ub >= start_ub);
+        let rep = Replica {
+            proc: ProcId(j as u32),
+            start_lb,
+            finish_lb,
+            start_ub,
+            finish_ub,
+        };
+        let idx = self.sched.replicas[t.index()].len();
+        self.sched.replicas[t.index()].push(rep);
+        self.sched.proc_order[j].push((t, idx));
+        self.ready_lb[j] = finish_lb;
+        self.ready_ub[j] = finish_ub;
+        idx
+    }
+
+    /// Selects the `count` processors realizing the smallest candidate
+    /// finish times of eq. (1) (ties broken toward the lower index, which
+    /// keeps runs deterministic). Returns `(proc, finish)` pairs sorted by
+    /// finish.
+    pub fn best_procs(&self, t: TaskId, count: usize) -> Vec<(usize, f64)> {
+        let m = self.inst.num_procs();
+        debug_assert!(count <= m);
+        let mut cand: Vec<(usize, f64)> =
+            (0..m).map(|j| (j, self.finish_candidate_lb(t, j))).collect();
+        cand.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        cand.truncate(count);
+        cand
+    }
+
+    /// Current schedule length on the optimistic timeline (FTBAR's
+    /// `R(n−1)`).
+    pub fn current_length_lb(&self) -> f64 {
+        self.ready_lb.iter().copied().fold(0.0, f64::max)
+    }
+}

@@ -1,0 +1,67 @@
+//! Error types of the scheduler core.
+
+use std::fmt;
+
+/// Errors raised by the scheduling algorithms and validators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// `ε + 1` replicas cannot be placed on `m < ε + 1` processors.
+    NotEnoughProcessors {
+        /// Requested number of tolerated failures.
+        epsilon: usize,
+        /// Available processor count.
+        procs: usize,
+    },
+    /// The bi-criteria run aborted: some task cannot meet its deadline
+    /// (Section 4.3's "Failed to satisfy both criteria simultaneously").
+    DeadlineViolated {
+        /// The task whose deadline is violated.
+        task: taskgraph::TaskId,
+        /// The deadline `d(t)`.
+        deadline: f64,
+        /// The best achievable guaranteed finish time.
+        finish: f64,
+    },
+    /// Schedule validation failure (detail in the message).
+    Invalid(String),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::NotEnoughProcessors { epsilon, procs } => write!(
+                f,
+                "cannot tolerate {epsilon} failures with only {procs} processors \
+                 (need at least {})",
+                epsilon + 1
+            ),
+            ScheduleError::DeadlineViolated { task, deadline, finish } => write!(
+                f,
+                "failed to satisfy both criteria simultaneously: task {task} \
+                 finishes at {finish:.3} past its deadline {deadline:.3}"
+            ),
+            ScheduleError::Invalid(msg) => write!(f, "invalid schedule: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ScheduleError::NotEnoughProcessors { epsilon: 3, procs: 2 };
+        assert!(e.to_string().contains("at least 4"));
+        let e = ScheduleError::DeadlineViolated {
+            task: taskgraph::TaskId(7),
+            deadline: 1.0,
+            finish: 2.0,
+        };
+        assert!(e.to_string().contains("t7"));
+        let e = ScheduleError::Invalid("oops".into());
+        assert!(e.to_string().contains("oops"));
+    }
+}

@@ -1,0 +1,333 @@
+//! FTBAR — Fault Tolerance Based Active Replication (Section 5), the
+//! baseline competitor, after Girault, Kalla, Sighireanu and Sorel
+//! (DSN 2003).
+//!
+//! FTBAR is a list-scheduling algorithm built on the *schedule pressure*
+//! cost function. At step `n`, for a free task `t_i` on processor `p_j`:
+//!
+//! ```text
+//! σ(n)(t_i, p_j) = S(n)(t_i, p_j) + s(t_i) − R(n−1)
+//! ```
+//!
+//! where `S(n)` is the earliest start time of `t_i` on `p_j` given the
+//! partial schedule, `s(t_i)` the static bottom-up latest start time
+//! (computed here as the average-cost bottom level, like FTSA's `bℓ`),
+//! and `R(n−1)` the current schedule length. The algorithm:
+//!
+//! 1. for each free task, keep the `N_pf + 1` processors minimizing σ;
+//! 2. select the *most urgent* pair — the free task whose best-σ set has
+//!    the largest pressure — ties broken randomly;
+//! 3. schedule the task on those `N_pf + 1` processors;
+//! 4. run the Ahmad–Kwok *Minimize-Start-Time* pass: on every chosen
+//!    processor, duplicate the arrival-critical parent onto that
+//!    processor when doing so strictly lowers the task's start time.
+//!
+//! The per-step sweep over *all free tasks × all processors* plus the
+//! duplication pass is what drives FTBAR's `O(P·N³)` running time
+//! (Table 1 of the paper), compared to FTSA's single-task step.
+//!
+//! Fidelity note: the paper's sketch leaves `S(n)` under replication
+//! ambiguous; we use the optimistic earliest start (min over predecessor
+//! replicas, like equation 1) for the selection metric and track the
+//! pessimistic timeline separately, mirroring how the paper reports both
+//! FTBAR-LowerBound and FTBAR-UpperBound curves.
+
+use crate::engine::Engine;
+use crate::error::ScheduleError;
+use crate::levels::{bottom_levels, AverageCosts};
+use crate::schedule::{CommSelection, Schedule};
+use platform::Instance;
+use rand::Rng;
+use taskgraph::TaskId;
+
+/// Runs FTBAR on `inst`, tolerating `epsilon` (`N_pf`) fail-stop
+/// failures. `rng` breaks urgency ties.
+pub fn ftbar(
+    inst: &Instance,
+    epsilon: usize,
+    rng: &mut impl Rng,
+) -> Result<Schedule, ScheduleError> {
+    ftbar_with_options(inst, epsilon, true, rng)
+}
+
+/// FTBAR with the Minimize-Start-Time duplication pass toggleable (the
+/// ablation benches compare both).
+pub fn ftbar_with_options(
+    inst: &Instance,
+    epsilon: usize,
+    minimize_start_time: bool,
+    rng: &mut impl Rng,
+) -> Result<Schedule, ScheduleError> {
+    let m = inst.num_procs();
+    if epsilon + 1 > m {
+        return Err(ScheduleError::NotEnoughProcessors { epsilon, procs: m });
+    }
+    let dag = &inst.dag;
+    let v = dag.num_tasks();
+    let npf1 = epsilon + 1;
+
+    let avg = AverageCosts::new(inst);
+    let s_latest = bottom_levels(inst, &avg); // s(t): bottom-up static level
+
+    let mut waiting_preds: Vec<usize> =
+        (0..v).map(|i| dag.in_degree(TaskId(i as u32))).collect();
+    let mut free: Vec<TaskId> = dag.entries();
+    // Random urgency tie-break tokens, assigned when a task becomes free.
+    let mut token = vec![0u64; v];
+    for t in &free {
+        token[t.index()] = rng.gen();
+    }
+
+    let mut eng = Engine::new(inst, epsilon);
+    let mut r_len = 0.0f64; // R(n-1)
+
+    while !free.is_empty() {
+        // Step 1–2: most urgent (task, processor-set) pair.
+        let mut best: Option<(usize, Vec<usize>, f64, u64)> = None;
+        for (fi, &t) in free.iter().enumerate() {
+            let mut sig: Vec<(usize, f64)> = (0..m)
+                .map(|j| {
+                    let start = eng.arrival_lb(t, j).max(eng.ready_lb[j]);
+                    (j, start + s_latest[t.index()] - r_len)
+                })
+                .collect();
+            sig.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            sig.truncate(npf1);
+            // Urgency of the pair: the largest pressure within the task's
+            // best set (its (N_pf+1)-th smallest σ).
+            let urgency = sig.last().expect("npf1 >= 1").1;
+            let tok = token[t.index()];
+            let better = match &best {
+                None => true,
+                Some((_, _, u, bt)) => urgency > *u || (urgency == *u && tok > *bt),
+            };
+            if better {
+                best = Some((fi, sig.iter().map(|&(j, _)| j).collect(), urgency, tok));
+            }
+        }
+        let (fi, procs, _, _) = best.expect("free list nonempty");
+        let t = free.swap_remove(fi);
+
+        // Step 3–4: place on each selected processor, with optional
+        // parent duplication.
+        for &j in &procs {
+            if minimize_start_time {
+                try_duplicate_critical_parent(&mut eng, t, j);
+            }
+            eng.place(t, j);
+        }
+        eng.sched.schedule_order.push(t);
+        r_len = eng.current_length_lb();
+
+        for &(s, _) in dag.succs(t) {
+            let si = s.index();
+            waiting_preds[si] -= 1;
+            if waiting_preds[si] == 0 {
+                token[si] = rng.gen();
+                free.push(s);
+            }
+        }
+    }
+
+    eng.sched.comm = CommSelection::AllToAll;
+    Ok(eng.sched)
+}
+
+/// Ahmad–Kwok Minimize-Start-Time (one level): if the start of `t` on
+/// `j` is dominated by the arrival from one parent, and duplicating that
+/// parent onto `j` would strictly lower the start, insert the duplicate.
+fn try_duplicate_critical_parent(eng: &mut Engine<'_>, t: TaskId, j: usize) {
+    let dag = &eng.inst.dag;
+    let plat = &eng.inst.platform;
+
+    let preds = dag.preds(t);
+    if preds.is_empty() {
+        return;
+    }
+    // Arrival per parent (optimistic) and the critical one.
+    let mut crit: Option<(TaskId, f64)> = None;
+    let mut second = 0.0f64;
+    for &(p, eid) in preds {
+        let vol = dag.volume(eid);
+        let a = eng.sched.replicas_of(p)
+            .iter()
+            .map(|r| r.finish_lb + vol * plat.delay(r.proc.index(), j))
+            .fold(f64::INFINITY, f64::min);
+        match crit {
+            Some((_, ca)) if a > ca => {
+                second = second.max(ca);
+                crit = Some((p, a));
+            }
+            Some(_) => second = second.max(a),
+            None => crit = Some((p, a)),
+        }
+    }
+    let (p, crit_arrival) = crit.expect("nonempty preds");
+    let old_start = crit_arrival.max(eng.ready_lb[j]);
+    if old_start <= eng.ready_lb[j] + 1e-12 {
+        return; // the processor, not the parent, is the constraint
+    }
+    // Already collocated? Then the arrival is already communication-free.
+    if eng.sched.replicas_of(p).iter().any(|r| r.proc.index() == j) {
+        return;
+    }
+    // Cost of running a duplicate of p on j, right now.
+    let dup_finish = eng.inst.exec.time(p.index(), j)
+        + eng.arrival_lb(p, j).max(eng.ready_lb[j]);
+    let new_start = dup_finish.max(second);
+    if new_start + 1e-12 < old_start {
+        eng.place(p, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ftsa::ftsa;
+    use platform::gen::{paper_instance, PaperInstanceConfig};
+    use platform::{ExecutionMatrix, Platform};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use taskgraph::DagBuilder;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xF7BA)
+    }
+
+    fn diamond_instance(m: usize) -> Instance {
+        let mut b = DagBuilder::new();
+        let t: Vec<TaskId> = (0..4).map(|_| b.add_task(10.0)).collect();
+        b.add_edge(t[0], t[1], 5.0);
+        b.add_edge(t[0], t[2], 5.0);
+        b.add_edge(t[1], t[3], 5.0);
+        b.add_edge(t[2], t[3], 5.0);
+        let dag = b.build().unwrap();
+        let plat = Platform::uniform_delay(m, 1.0);
+        let exec = ExecutionMatrix::consistent(&dag, &vec![1.0; m]);
+        Instance::new(dag, plat, exec)
+    }
+
+    #[test]
+    fn primary_replicas_on_distinct_processors() {
+        let inst = diamond_instance(4);
+        for eps in [0usize, 1, 2] {
+            let s = ftbar(&inst, eps, &mut rng()).unwrap();
+            for t in inst.dag.tasks() {
+                let reps = s.replicas_of(t);
+                assert!(reps.len() > eps);
+                let primaries: std::collections::HashSet<_> =
+                    reps[..eps + 1].iter().map(|r| r.proc).collect();
+                assert_eq!(primaries.len(), eps + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn too_few_processors_rejected() {
+        let inst = diamond_instance(2);
+        assert!(matches!(
+            ftbar(&inst, 2, &mut rng()),
+            Err(ScheduleError::NotEnoughProcessors { .. })
+        ));
+    }
+
+    #[test]
+    fn bounds_ordered() {
+        let inst = diamond_instance(4);
+        let s = ftbar(&inst, 2, &mut rng()).unwrap();
+        assert!(s.latency_lower_bound() <= s.latency_upper_bound() + 1e-9);
+    }
+
+    #[test]
+    fn duplication_never_hurts_lower_bound() {
+        let mut r = StdRng::seed_from_u64(31);
+        let inst = paper_instance(&mut r, &PaperInstanceConfig::default());
+        let with = ftbar_with_options(&inst, 1, true, &mut StdRng::seed_from_u64(1))
+            .unwrap()
+            .latency_lower_bound();
+        let without = ftbar_with_options(&inst, 1, false, &mut StdRng::seed_from_u64(1))
+            .unwrap()
+            .latency_lower_bound();
+        // Duplication is accepted only when it strictly lowers a start
+        // time, but interactions across steps can still go either way;
+        // require it not to blow up the schedule.
+        assert!(with <= without * 1.25 + 1e-9);
+    }
+
+    #[test]
+    fn ftsa_tends_to_beat_ftbar_on_lower_bound() {
+        // The paper's headline experimental claim: "FTSA always
+        // outperforms FTBAR in terms of lower bound". Check it holds on
+        // average over several random instances (individual instances may
+        // tie or flip due to tie-breaking).
+        let mut wins = 0usize;
+        let mut total = 0usize;
+        for seed in 0..8u64 {
+            let mut r = StdRng::seed_from_u64(seed);
+            let inst = paper_instance(
+                &mut r,
+                &PaperInstanceConfig { granularity: 1.0, ..Default::default() },
+            );
+            let f = ftsa(&inst, 1, &mut StdRng::seed_from_u64(seed))
+                .unwrap()
+                .latency_lower_bound();
+            let b = ftbar(&inst, 1, &mut StdRng::seed_from_u64(seed))
+                .unwrap()
+                .latency_lower_bound();
+            if f <= b + 1e-9 {
+                wins += 1;
+            }
+            total += 1;
+        }
+        assert!(
+            wins * 2 > total,
+            "FTSA should win on at least half the instances ({wins}/{total})"
+        );
+    }
+
+    #[test]
+    fn schedule_order_is_topological() {
+        let inst = diamond_instance(4);
+        let s = ftbar(&inst, 1, &mut rng()).unwrap();
+        let mut pos = vec![usize::MAX; inst.num_tasks()];
+        for (i, t) in s.schedule_order.iter().enumerate() {
+            pos[t.index()] = i;
+        }
+        for (_, src, dst, _) in inst.dag.edge_list() {
+            assert!(pos[src.index()] < pos[dst.index()]);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inst = diamond_instance(4);
+        let a = ftbar(&inst, 1, &mut StdRng::seed_from_u64(77)).unwrap();
+        let b = ftbar(&inst, 1, &mut StdRng::seed_from_u64(77)).unwrap();
+        assert_eq!(a.replicas, b.replicas);
+    }
+
+    #[test]
+    fn duplication_collocates_heavy_parent() {
+        // Parent with huge output volume; duplicating it onto the child's
+        // processor(s) avoids the transfer. Build a two-proc-friendly
+        // case: parent on P0, child would start late anywhere else.
+        let mut b = DagBuilder::new();
+        let p = b.add_task(1.0);
+        let q = b.add_task(1.0); // decoy entry occupying the other proc
+        let c = b.add_task(1.0);
+        b.add_edge(p, c, 1000.0);
+        b.add_edge(q, c, 1.0);
+        let dag = b.build().unwrap();
+        let plat = Platform::uniform_delay(3, 1.0);
+        let exec = ExecutionMatrix::consistent(&dag, &[1.0, 1.0, 1.0]);
+        let inst = Instance::new(dag, plat, exec);
+        let s = ftbar_with_options(&inst, 0, true, &mut rng()).unwrap();
+        // c must be collocated with *some* replica of p (original or
+        // duplicate), making the huge edge free.
+        let cproc = s.replicas_of(c)[0].proc;
+        assert!(
+            s.replicas_of(p).iter().any(|r| r.proc == cproc),
+            "minimize-start-time must collocate the critical parent"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Fault-tolerant scheduling of precedence task graphs on heterogeneous
+//! platforms.
+//!
+//! This crate implements the contribution of Benoit, Hakem and Robert,
+//! *Fault Tolerant Scheduling of Precedence Task Graphs on Heterogeneous
+//! Platforms* (INRIA RR-6418, IPDPS 2008):
+//!
+//! * [`ftsa`] — **FTSA**, a greedy list-scheduling heuristic driven by
+//!   task *criticalness* (dynamic top level + static bottom level) that
+//!   places `ε + 1` active replicas of every task on distinct processors,
+//!   guaranteeing a valid schedule under up to `ε` fail-stop failures
+//!   (Theorem 4.1) in time `O(e·m² + v·log ω)` (Theorem 4.2).
+//! * [`mc_ftsa`] — **MC-FTSA**, the Minimum-Communications variant, which
+//!   cuts the number of replication-induced messages from `e(ε+1)²` to
+//!   `e(ε+1)` by selecting a robust one-to-one communication matching per
+//!   precedence edge (Proposition 4.3), via either the greedy or the
+//!   bottleneck-optimal selector.
+//! * [`ftbar`] — **FTBAR** (Girault, Kalla, Sighireanu, Sorel, DSN 2003),
+//!   the paper's direct competitor, reimplemented as the baseline:
+//!   schedule-pressure driven selection plus the Ahmad–Kwok
+//!   minimize-start-time duplication pass.
+//! * [`bounds`] / [`validate`] — the latency bounds `M*` (eq. 2) and `M`
+//!   (eq. 4) and structural schedule validation (Propositions 4.1/4.3).
+//! * [`bicriteria`] — the Section 4.3 drivers: maximize tolerated
+//!   failures under a latency budget, or check both criteria at once via
+//!   per-task deadlines.
+//!
+//! The entry point is [`schedule()`](fn@crate::schedule):
+//!
+//! ```
+//! use ftsched_core::{schedule, Algorithm};
+//! use platform::gen::{paper_instance, PaperInstanceConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let inst = paper_instance(&mut rng, &PaperInstanceConfig::default());
+//! let sched = schedule(&inst, 2, Algorithm::Ftsa, &mut rng).unwrap();
+//! assert!(sched.latency_lower_bound() <= sched.latency_upper_bound());
+//! ftsched_core::validate::validate(&inst, &sched).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bicriteria;
+pub mod bounds;
+pub(crate) mod engine;
+pub mod error;
+pub mod ftbar;
+pub mod ftsa;
+pub mod levels;
+pub mod mc_ftsa;
+pub mod schedule;
+pub mod stats;
+pub mod validate;
+
+pub use error::ScheduleError;
+pub use schedule::{CommSelection, Replica, Schedule};
+
+use platform::Instance;
+use rand::Rng;
+
+/// Which scheduling heuristic to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// FTSA (Section 4.1), all-to-all replica communication.
+    Ftsa,
+    /// MC-FTSA with the greedy communication selector (the variant used
+    /// in the paper's experiments).
+    McFtsaGreedy,
+    /// MC-FTSA with the bottleneck-optimal communication selector.
+    McFtsaBottleneck,
+    /// FTBAR (Section 5), the baseline.
+    Ftbar,
+}
+
+impl Algorithm {
+    /// Short display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Ftsa => "FTSA",
+            Algorithm::McFtsaGreedy => "MC-FTSA",
+            Algorithm::McFtsaBottleneck => "MC-FTSA(bn)",
+            Algorithm::Ftbar => "FTBAR",
+        }
+    }
+}
+
+/// Schedules `inst` tolerating `epsilon` fail-stop processor failures
+/// with the chosen heuristic. `rng` drives random tie-breaking only.
+///
+/// `epsilon = 0` yields the *fault-free* variant of each algorithm (one
+/// replica per task, no replication overhead).
+pub fn schedule(
+    inst: &Instance,
+    epsilon: usize,
+    algorithm: Algorithm,
+    rng: &mut impl Rng,
+) -> Result<Schedule, ScheduleError> {
+    match algorithm {
+        Algorithm::Ftsa => ftsa::ftsa(inst, epsilon, rng),
+        Algorithm::McFtsaGreedy => {
+            mc_ftsa::mc_ftsa(inst, epsilon, mc_ftsa::Selector::Greedy, rng)
+        }
+        Algorithm::McFtsaBottleneck => {
+            mc_ftsa::mc_ftsa(inst, epsilon, mc_ftsa::Selector::Bottleneck, rng)
+        }
+        Algorithm::Ftbar => ftbar::ftbar(inst, epsilon, rng),
+    }
+}

@@ -1,0 +1,308 @@
+//! MC-FTSA — FTSA with Minimum Communications (Section 4.2).
+//!
+//! Replicating every task `ε + 1` times is mandatory to resist `ε`
+//! failures, but duplicating every precedence edge `(ε + 1)²` times is
+//! not. MC-FTSA keeps FTSA's processor selection (equation 1) and then,
+//! for every predecessor `t'` of the freshly mapped task `t`, picks a
+//! *robust* one-to-one communication set between `A(t')` (the processors
+//! running `t'`) and `A(t)`:
+//!
+//! * a processor in `A(t') ∩ A(t)` communicates **only with itself**
+//!   (forced internal edge — the proof of Proposition 4.3 needs this);
+//! * the remaining senders/receivers are matched one-to-one, minimizing
+//!   completion times, by either the greedy selector (the paper's
+//!   experiments) or the bottleneck-optimal binary-search selector.
+//!
+//! The total message count drops from `e(ε+1)²` to `e(ε+1)`, at a small
+//! latency cost; each replica then has a *single* sender per predecessor,
+//! so its start/finish times are deterministic and the per-replica
+//! optimistic and pessimistic timelines coincide.
+
+use crate::engine::Engine;
+use crate::error::ScheduleError;
+use crate::levels::{bottom_levels, AverageCosts};
+use crate::schedule::{CommSelection, Schedule};
+use ftcollections::PriorityList;
+use matching::{bottleneck_matching, greedy_matching, BipartiteGraph, Matching};
+use platform::Instance;
+use rand::Rng;
+use taskgraph::TaskId;
+
+/// Which robust-communication selector to use (Section 4.2 offers both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Selector {
+    /// Internal edges first, then non-decreasing weight order — the
+    /// variant used in the paper's experiments.
+    Greedy,
+    /// Binary search on the bottleneck threshold with a Hopcroft–Karp
+    /// feasibility oracle — the paper's polynomial optimal variant.
+    Bottleneck,
+}
+
+/// Runs MC-FTSA on `inst`, tolerating `epsilon` fail-stop failures.
+pub fn mc_ftsa(
+    inst: &Instance,
+    epsilon: usize,
+    selector: Selector,
+    rng: &mut impl Rng,
+) -> Result<Schedule, ScheduleError> {
+    let m = inst.num_procs();
+    if epsilon + 1 > m {
+        return Err(ScheduleError::NotEnoughProcessors { epsilon, procs: m });
+    }
+    let dag = &inst.dag;
+    let v = dag.num_tasks();
+
+    let avg = AverageCosts::new(inst);
+    let bl = bottom_levels(inst, &avg);
+    let mut tl = vec![0.0f64; v];
+
+    let mut alpha = PriorityList::new(v);
+    let mut waiting_preds: Vec<usize> =
+        (0..v).map(|i| dag.in_degree(TaskId(i as u32))).collect();
+    for t in dag.entries() {
+        alpha.insert(t.index(), bl[t.index()], rng.gen());
+    }
+
+    let mut eng = Engine::new(inst, epsilon);
+    let replicas = epsilon + 1;
+    let mut comm: Vec<Vec<(usize, usize)>> = vec![Vec::new(); dag.num_edges()];
+
+    while let Some(ti) = alpha.pop() {
+        let t = TaskId(ti as u32);
+
+        // FTSA's processor selection: A(t) = the ε+1 processors with the
+        // smallest equation-(1) finish times.
+        let chosen = eng.best_procs(t, replicas);
+        let procs: Vec<usize> = chosen.iter().map(|&(j, _)| j).collect();
+
+        // Per destination replica r (running on procs[r]), the arrival
+        // time of each predecessor's data through the selected matching.
+        let mut arrival = vec![0.0f64; replicas];
+
+        for &(p, eid) in dag.preds(t) {
+            let vol = dag.volume(eid);
+            let senders = eng.sched.replicas_of(p).to_vec();
+            // Build the bipartite graph of Section 4.2.
+            let mut g = BipartiteGraph::new(senders.len(), replicas);
+            let mut forced: Vec<(usize, usize)> = Vec::new();
+            for (k, srep) in senders.iter().enumerate() {
+                let sp = srep.proc.index();
+                if let Some(r) = procs.iter().position(|&q| q == sp) {
+                    // Shared processor: the only outgoing edge is the
+                    // internal one (weight = completion of t on that
+                    // processor if t' were its only predecessor).
+                    let w = (srep.finish_lb).max(eng.ready_lb[sp])
+                        + inst.exec.time(t.index(), sp);
+                    g.add_edge(k, r, w);
+                    forced.push((k, r));
+                } else {
+                    for (r, &q) in procs.iter().enumerate() {
+                        let w = (srep.finish_lb + vol * inst.platform.delay(sp, q))
+                            .max(eng.ready_lb[q])
+                            + inst.exec.time(t.index(), q);
+                        g.add_edge(k, r, w);
+                    }
+                }
+            }
+            let matching: Matching = match selector {
+                Selector::Greedy => greedy_matching(&g, &forced),
+                Selector::Bottleneck => bottleneck_matching(&g, &forced),
+            }
+            .expect("MC-FTSA bipartite graphs always admit a left-perfect matching");
+
+            for &(k, r) in &matching.pairs {
+                let srep = &senders[k];
+                let q = procs[r];
+                let a = srep.finish_lb
+                    + vol * inst.platform.delay(srep.proc.index(), q);
+                arrival[r] = arrival[r].max(a);
+                comm[eid.index()].push((k, r));
+            }
+        }
+
+        // Place the replicas with their deterministic matched times.
+        for (r, &j) in procs.iter().enumerate() {
+            let e = inst.exec.time(t.index(), j);
+            let start = arrival[r].max(eng.ready_lb[j]);
+            eng.place_with_times(t, j, start, start + e, start, start + e);
+        }
+        eng.sched.schedule_order.push(t);
+
+        // Successor priority refresh, identical to FTSA.
+        for &(s, eid) in dag.succs(t) {
+            let vol = dag.volume(eid);
+            let cand = eng.sched.replicas_of(t)
+                .iter()
+                .map(|r| {
+                    r.finish_lb + vol * inst.platform.max_delay_from(r.proc.index())
+                })
+                .fold(f64::INFINITY, f64::min);
+            let si = s.index();
+            tl[si] = tl[si].max(cand);
+            waiting_preds[si] -= 1;
+            if waiting_preds[si] == 0 {
+                alpha.insert(si, tl[si] + bl[si], rng.gen());
+            }
+        }
+    }
+
+    eng.sched.comm = CommSelection::Matched(comm);
+    Ok(eng.sched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ftsa::ftsa;
+    use platform::gen::{paper_instance, PaperInstanceConfig};
+    use platform::{ExecutionMatrix, Platform};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use taskgraph::DagBuilder;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x3C57)
+    }
+
+    fn diamond_instance(m: usize) -> Instance {
+        let mut b = DagBuilder::new();
+        let t: Vec<TaskId> = (0..4).map(|_| b.add_task(10.0)).collect();
+        b.add_edge(t[0], t[1], 5.0);
+        b.add_edge(t[0], t[2], 5.0);
+        b.add_edge(t[1], t[3], 5.0);
+        b.add_edge(t[2], t[3], 5.0);
+        let dag = b.build().unwrap();
+        let plat = Platform::uniform_delay(m, 1.0);
+        let exec = ExecutionMatrix::consistent(&dag, &vec![1.0; m]);
+        Instance::new(dag, plat, exec)
+    }
+
+    #[test]
+    fn message_count_is_linear_in_epsilon() {
+        // Paper: e(ε+1) messages for MC-FTSA vs up to e(ε+1)² for FTSA.
+        let mut r = StdRng::seed_from_u64(11);
+        let inst = paper_instance(&mut r, &PaperInstanceConfig::default());
+        let e = inst.dag.num_edges();
+        for eps in [1usize, 2, 3] {
+            let mc = mc_ftsa(&inst, eps, Selector::Greedy, &mut rng()).unwrap();
+            assert!(
+                mc.message_count(&inst.dag) <= e * (eps + 1),
+                "MC-FTSA must ship at most e(ε+1) messages"
+            );
+            let ft = ftsa(&inst, eps, &mut rng()).unwrap();
+            assert!(ft.message_count(&inst.dag) <= e * (eps + 1) * (eps + 1));
+        }
+    }
+
+    #[test]
+    fn matched_comm_covers_every_edge_with_eps_plus_one_pairs() {
+        let inst = diamond_instance(4);
+        let eps = 2;
+        let s = mc_ftsa(&inst, eps, Selector::Greedy, &mut rng()).unwrap();
+        match &s.comm {
+            CommSelection::Matched(m) => {
+                for pairs in m {
+                    assert_eq!(pairs.len(), eps + 1);
+                    // One-to-one on both sides.
+                    let src: std::collections::HashSet<_> =
+                        pairs.iter().map(|&(k, _)| k).collect();
+                    let dst: std::collections::HashSet<_> =
+                        pairs.iter().map(|&(_, r)| r).collect();
+                    assert_eq!(src.len(), eps + 1);
+                    assert_eq!(dst.len(), eps + 1);
+                }
+            }
+            CommSelection::AllToAll => panic!("MC-FTSA must record matchings"),
+        }
+    }
+
+    #[test]
+    fn shared_processor_forces_internal_communication() {
+        // Chain a → c on 2 procs with eps=1: both tasks occupy both
+        // processors, so A(a) ∩ A(c) = {P0, P1} and every communication
+        // must be internal (message count 0).
+        let mut b = DagBuilder::new();
+        let a = b.add_task(10.0);
+        let c = b.add_task(10.0);
+        b.add_edge(a, c, 100.0);
+        let dag = b.build().unwrap();
+        let plat = Platform::uniform_delay(2, 1.0);
+        let exec = ExecutionMatrix::consistent(&dag, &[1.0, 1.0]);
+        let inst = Instance::new(dag, plat, exec);
+        let s = mc_ftsa(&inst, 1, Selector::Greedy, &mut rng()).unwrap();
+        assert_eq!(s.message_count(&inst.dag), 0);
+        // Each replica of c starts right after the collocated replica of a.
+        for r in s.replicas_of(c) {
+            assert_eq!(r.start_lb, 10.0);
+        }
+    }
+
+    #[test]
+    fn per_replica_bounds_coincide() {
+        let inst = diamond_instance(4);
+        let s = mc_ftsa(&inst, 2, Selector::Greedy, &mut rng()).unwrap();
+        for t in inst.dag.tasks() {
+            for r in s.replicas_of(t) {
+                assert_eq!(r.start_lb, r.start_ub);
+                assert_eq!(r.finish_lb, r.finish_ub);
+            }
+        }
+    }
+
+    #[test]
+    fn bottleneck_never_worse_than_greedy_on_upper_bound() {
+        let mut r = StdRng::seed_from_u64(23);
+        let inst = paper_instance(&mut r, &PaperInstanceConfig::default());
+        let g = mc_ftsa(&inst, 2, Selector::Greedy, &mut rng()).unwrap();
+        let b = mc_ftsa(&inst, 2, Selector::Bottleneck, &mut rng()).unwrap();
+        // Not a theorem globally (greedy decisions interact across steps),
+        // but both must produce valid bounded schedules of similar quality.
+        assert!(b.latency_upper_bound() <= g.latency_upper_bound() * 1.5);
+        assert!(g.latency_upper_bound() <= b.latency_upper_bound() * 1.5);
+    }
+
+    #[test]
+    fn mc_latency_at_least_ftsa_lower_bound() {
+        // MC-FTSA restricts communications, so its optimistic latency
+        // cannot beat FTSA's optimistic latency on the same instance...
+        // up to tie-breaking noise; check the documented direction on a
+        // deterministic instance.
+        let inst = diamond_instance(4);
+        let ft = ftsa(&inst, 1, &mut StdRng::seed_from_u64(1)).unwrap();
+        let mc = mc_ftsa(&inst, 1, Selector::Greedy, &mut StdRng::seed_from_u64(1)).unwrap();
+        assert!(mc.latency_lower_bound() >= ft.latency_lower_bound() - 1e-9);
+    }
+
+    #[test]
+    fn epsilon_zero_single_matching() {
+        let inst = diamond_instance(3);
+        let s = mc_ftsa(&inst, 0, Selector::Bottleneck, &mut rng()).unwrap();
+        for t in inst.dag.tasks() {
+            assert_eq!(s.replicas_of(t).len(), 1);
+        }
+        if let CommSelection::Matched(m) = &s.comm {
+            assert!(m.iter().all(|p| p.len() == 1));
+        } else {
+            panic!("expected matched comm");
+        }
+    }
+
+    #[test]
+    fn too_few_processors_rejected() {
+        let inst = diamond_instance(2);
+        assert!(matches!(
+            mc_ftsa(&inst, 2, Selector::Greedy, &mut rng()),
+            Err(ScheduleError::NotEnoughProcessors { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inst = diamond_instance(4);
+        let a = mc_ftsa(&inst, 1, Selector::Greedy, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = mc_ftsa(&inst, 1, Selector::Greedy, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a.replicas, b.replicas);
+        assert_eq!(a.comm, b.comm);
+    }
+}

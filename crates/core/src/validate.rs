@@ -1,0 +1,313 @@
+//! Structural validation of fault-tolerant schedules.
+//!
+//! A schedule is *valid* when (numbering follows the paper):
+//!
+//! 1. **Proposition 4.1** — every task has at least `ε + 1` replicas and
+//!    its first `ε + 1` (primary) replicas sit on pairwise distinct
+//!    processors.
+//! 2. **Processor exclusivity** — on every processor, the placed replicas
+//!    are sequential (no overlap) on both timelines, and the placement
+//!    lists mirror the replica records exactly.
+//! 3. **Optimistic precedence feasibility** — for every replica `r` of
+//!    `t` and every predecessor `t'`, at least one replica of `t'`
+//!    delivers its data by `start_lb(r)` (for matched communications, the
+//!    matched sender).
+//! 4. **Pessimistic guarantee** — `start_ub(r)` is no earlier than the
+//!    latest delivery among the *primary* replicas of each predecessor
+//!    (the equation-3 term; FTBAR duplicates added later are exempt by
+//!    first-arrival semantics).
+//! 5. **Proposition 4.3 structure** (matched communications only) — per
+//!    DAG edge the selected pairs form a one-to-one mapping saturating
+//!    all `ε + 1` senders and receivers, and any sender collocated with a
+//!    receiver is matched to itself.
+//! 6. **Order sanity** — `schedule_order` is a topological order covering
+//!    every task.
+
+use crate::schedule::{CommSelection, Schedule};
+use crate::ScheduleError;
+use platform::Instance;
+
+const TOL: f64 = 1e-6;
+
+/// Validates `sched` against `inst`; returns the first violation found.
+pub fn validate(inst: &Instance, sched: &Schedule) -> Result<(), ScheduleError> {
+    let dag = &inst.dag;
+    let plat = &inst.platform;
+    let eps1 = sched.epsilon + 1;
+    let fail = |msg: String| Err(ScheduleError::Invalid(msg));
+
+    // (6) schedule_order is a complete topological order.
+    if sched.schedule_order.len() != dag.num_tasks() {
+        return fail(format!(
+            "schedule_order covers {} of {} tasks",
+            sched.schedule_order.len(),
+            dag.num_tasks()
+        ));
+    }
+    let mut pos = vec![usize::MAX; dag.num_tasks()];
+    for (i, t) in sched.schedule_order.iter().enumerate() {
+        if pos[t.index()] != usize::MAX {
+            return fail(format!("task {t} scheduled twice"));
+        }
+        pos[t.index()] = i;
+    }
+    for (_, s, d, _) in dag.edge_list() {
+        if pos[s.index()] >= pos[d.index()] {
+            return fail(format!("schedule_order violates edge {s} -> {d}"));
+        }
+    }
+
+    // (1) replica counts and primary distinctness.
+    for t in dag.tasks() {
+        let reps = sched.replicas_of(t);
+        if reps.len() < eps1 {
+            return fail(format!(
+                "task {t} has {} replicas, needs at least {eps1}",
+                reps.len()
+            ));
+        }
+        let mut procs = std::collections::HashSet::new();
+        for r in &reps[..eps1] {
+            if !procs.insert(r.proc) {
+                return fail(format!(
+                    "Proposition 4.1 violated: primary replicas of {t} share {}",
+                    r.proc
+                ));
+            }
+        }
+        for r in reps {
+            if r.proc.index() >= plat.num_procs() {
+                return fail(format!("task {t} placed on unknown {}", r.proc));
+            }
+            if r.start_lb < -TOL
+                || r.finish_lb < r.start_lb - TOL
+                || r.finish_ub < r.start_ub - TOL
+            {
+                return fail(format!("task {t} has inconsistent replica times"));
+            }
+        }
+    }
+
+    // (2) per-processor sequences.
+    let mut seen = vec![vec![false; 0]; dag.num_tasks()];
+    for t in dag.tasks() {
+        seen[t.index()] = vec![false; sched.replicas_of(t).len()];
+    }
+    for (j, order) in sched.proc_order.iter().enumerate() {
+        let mut last_lb = f64::NEG_INFINITY;
+        let mut last_ub = f64::NEG_INFINITY;
+        for &(t, k) in order {
+            let reps = sched.replicas_of(t);
+            if k >= reps.len() {
+                return fail(format!("proc P{j} references missing replica {k} of {t}"));
+            }
+            if seen[t.index()][k] {
+                return fail(format!("replica {k} of {t} placed twice"));
+            }
+            seen[t.index()][k] = true;
+            let r = reps[k];
+            if r.proc.index() != j {
+                return fail(format!(
+                    "replica {k} of {t} recorded on {} but placed on P{j}",
+                    r.proc
+                ));
+            }
+            if r.start_lb < last_lb - TOL || r.start_ub < last_ub - TOL {
+                return fail(format!("overlapping replicas on P{j} at task {t}"));
+            }
+            last_lb = r.finish_lb;
+            last_ub = r.finish_ub;
+        }
+    }
+    for t in dag.tasks() {
+        if seen[t.index()].iter().any(|&s| !s) {
+            return fail(format!("task {t} has replicas missing from proc_order"));
+        }
+    }
+
+    // (3) + (4) precedence feasibility.
+    for t in dag.tasks() {
+        for (ri, r) in sched.replicas_of(t).iter().enumerate() {
+            for &(p, eid) in dag.preds(t) {
+                let vol = dag.volume(eid);
+                let senders = sched.replicas_of(p);
+                match &sched.comm {
+                    CommSelection::AllToAll => {
+                        // (3): someone delivers by start_lb.
+                        let earliest = senders
+                            .iter()
+                            .map(|s| {
+                                s.finish_lb
+                                    + vol * plat.delay(s.proc.index(), r.proc.index())
+                            })
+                            .fold(f64::INFINITY, f64::min);
+                        if earliest > r.start_lb + TOL {
+                            return fail(format!(
+                                "optimistic data of {p} reaches {t} replica {ri} at \
+                                 {earliest:.6} after start {:.6}",
+                                r.start_lb
+                            ));
+                        }
+                        // (4): primaries all deliver by start_ub. Only
+                        // meaningful for primary destination replicas;
+                        // duplicates inherit the guarantee from
+                        // first-arrival semantics.
+                        if ri < eps1 {
+                            let latest = senders[..eps1.min(senders.len())]
+                                .iter()
+                                .map(|s| {
+                                    s.finish_ub
+                                        + vol
+                                            * plat.delay(
+                                                s.proc.index(),
+                                                r.proc.index(),
+                                            )
+                                })
+                                .fold(f64::NEG_INFINITY, f64::max);
+                            if latest > r.start_ub + TOL {
+                                return fail(format!(
+                                    "pessimistic data of {p} reaches {t} replica {ri} \
+                                     at {latest:.6} after start_ub {:.6}",
+                                    r.start_ub
+                                ));
+                            }
+                        }
+                    }
+                    CommSelection::Matched(m) => {
+                        let pairs = &m[eid.index()];
+                        let Some(&(k, _)) =
+                            pairs.iter().find(|&&(_, d)| d == ri)
+                        else {
+                            return fail(format!(
+                                "no matched sender for {t} replica {ri} on edge {p}->{t}"
+                            ));
+                        };
+                        let s = &senders[k];
+                        let arrive = s.finish_lb
+                            + vol * plat.delay(s.proc.index(), r.proc.index());
+                        if arrive > r.start_lb + TOL {
+                            return fail(format!(
+                                "matched data of {p} reaches {t} replica {ri} at \
+                                 {arrive:.6} after start {:.6}",
+                                r.start_lb
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // (5) matched-communication structure.
+    if let CommSelection::Matched(m) = &sched.comm {
+        if m.len() != dag.num_edges() {
+            return fail("matched comm table size mismatch".into());
+        }
+        for (eid, src, dst, _) in dag.edge_list() {
+            let pairs = &m[eid.index()];
+            if pairs.len() != eps1 {
+                return fail(format!(
+                    "edge {src}->{dst} has {} matched pairs, expected {eps1}",
+                    pairs.len()
+                ));
+            }
+            let mut ls = std::collections::HashSet::new();
+            let mut rs = std::collections::HashSet::new();
+            for &(k, d) in pairs {
+                if k >= sched.replicas_of(src).len() || d >= sched.replicas_of(dst).len()
+                {
+                    return fail(format!("edge {src}->{dst} pair out of range"));
+                }
+                if !ls.insert(k) || !rs.insert(d) {
+                    return fail(format!("edge {src}->{dst} matching not one-to-one"));
+                }
+            }
+            // Forced internal edges of Proposition 4.3.
+            for (k, s) in sched.replicas_of(src).iter().enumerate().take(eps1) {
+                if let Some(d) = sched.replicas_of(dst)[..eps1]
+                    .iter()
+                    .position(|r| r.proc == s.proc)
+                {
+                    if !pairs.contains(&(k, d)) {
+                        return fail(format!(
+                            "edge {src}->{dst}: sender on shared {} must be matched \
+                             internally (Proposition 4.3)",
+                            s.proc
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ftbar::ftbar;
+    use crate::ftsa::ftsa;
+    use crate::mc_ftsa::{mc_ftsa, Selector};
+    use platform::gen::{paper_instance, PaperInstanceConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_algorithms_produce_valid_schedules() {
+        for seed in 0..4u64 {
+            let mut r = StdRng::seed_from_u64(seed);
+            let inst = paper_instance(&mut r, &PaperInstanceConfig::default());
+            for eps in [0usize, 1, 2, 5] {
+                let mut tb = StdRng::seed_from_u64(seed * 31 + eps as u64);
+                let f = ftsa(&inst, eps, &mut tb).unwrap();
+                validate(&inst, &f).unwrap();
+                let g = mc_ftsa(&inst, eps, Selector::Greedy, &mut tb).unwrap();
+                validate(&inst, &g).unwrap();
+                let bn = mc_ftsa(&inst, eps, Selector::Bottleneck, &mut tb).unwrap();
+                validate(&inst, &bn).unwrap();
+                let fb = ftbar(&inst, eps, &mut tb).unwrap();
+                validate(&inst, &fb).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn detects_shared_primary_processor() {
+        let mut r = StdRng::seed_from_u64(3);
+        let inst = paper_instance(&mut r, &PaperInstanceConfig::default());
+        let mut s = ftsa(&inst, 1, &mut StdRng::seed_from_u64(3)).unwrap();
+        // Corrupt: force both replicas of task 0 onto the same processor.
+        let p = s.replicas[0][0].proc;
+        let old = s.replicas[0][1].proc;
+        s.replicas[0][1].proc = p;
+        let err = validate(&inst, &s).unwrap_err();
+        assert!(err.to_string().contains("4.1") || err.to_string().contains("recorded"));
+        let _ = old;
+    }
+
+    #[test]
+    fn detects_precedence_violation() {
+        let mut r = StdRng::seed_from_u64(4);
+        let inst = paper_instance(&mut r, &PaperInstanceConfig::default());
+        let mut s = ftsa(&inst, 1, &mut StdRng::seed_from_u64(4)).unwrap();
+        // Find a task with a predecessor and pull its start to 0.
+        let t = inst
+            .dag
+            .tasks()
+            .find(|&t| inst.dag.in_degree(t) > 0)
+            .expect("nonempty dag");
+        s.replicas[t.index()][0].start_lb = 0.0;
+        s.replicas[t.index()][0].finish_lb = 0.01;
+        assert!(validate(&inst, &s).is_err());
+    }
+
+    #[test]
+    fn detects_truncated_schedule_order() {
+        let mut r = StdRng::seed_from_u64(5);
+        let inst = paper_instance(&mut r, &PaperInstanceConfig::default());
+        let mut s = ftsa(&inst, 1, &mut StdRng::seed_from_u64(5)).unwrap();
+        s.schedule_order.pop();
+        assert!(validate(&inst, &s).is_err());
+    }
+}

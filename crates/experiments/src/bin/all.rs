@@ -1,0 +1,42 @@
+//! Regenerates every figure and table of the paper in one run.
+//!
+//! Usage: `all [--reps N | --quick] [--out DIR] [--full]`
+
+mod common;
+
+use experiments::figures::FigureConfig;
+use experiments::table1::{format_table1, run_table1, Table1Config};
+
+fn main() {
+    let reps = common::repetitions_from_args();
+    for (id, eps) in [("fig1", 1usize), ("fig2", 2), ("fig3", 5)] {
+        let cfg = FigureConfig::comparison(id, eps, reps);
+        common::run_comparison_figure(&cfg);
+        println!();
+    }
+
+    // Figure 4 (small platform).
+    let cfg = FigureConfig::small_platform(reps);
+    println!("== fig4 — ε = 2, 5 processors, {reps} graphs/point ==");
+    let fig = experiments::figures::run_figure(&cfg);
+    println!(
+        "{}",
+        experiments::output::figure_to_table(
+            &fig,
+            &[
+                "FTSA with 2 Crash",
+                "FTSA with 1 Crash",
+                "FTSA with 0 Crash",
+                "Overhead: FTSA with 2 Crash",
+                "Overhead: FTSA with 1 Crash",
+            ],
+        )
+    );
+    common::write_csv(&fig);
+    println!();
+
+    let full = std::env::args().any(|a| a == "--full");
+    let tcfg = if full { Table1Config::paper() } else { Table1Config::quick() };
+    println!("== Table 1 — running times in seconds ==");
+    print!("{}", format_table1(&run_table1(&tcfg)));
+}

@@ -1,0 +1,96 @@
+#![allow(dead_code)] // each binary uses a subset of these helpers
+
+//! Shared glue for the figure binaries: argument parsing, printing the
+//! three sub-figures (bounds / crash latency / overhead) and CSV output.
+
+use experiments::figures::{run_figure, FigureConfig, FigureResult};
+use experiments::output::{figure_to_table, write_figure_csv};
+use std::path::PathBuf;
+
+/// Repetitions from `--reps N` (default: the paper's 60; `--quick` = 10).
+pub fn repetitions_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--quick") {
+        return 10;
+    }
+    args.iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60)
+}
+
+/// Output directory from `--out DIR` (default `results/`).
+pub fn out_dir_from_args() -> PathBuf {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(|| PathBuf::from("results"), PathBuf::from)
+}
+
+/// Runs a comparison figure (Figures 1–3) and prints its three panels.
+pub fn run_comparison_figure(cfg: &FigureConfig) {
+    let eps = cfg.epsilon;
+    println!(
+        "== {} — ε = {eps}, {} processors, {} graphs/point ==\n",
+        cfg.id, cfg.procs, cfg.repetitions
+    );
+    let fig = run_figure(cfg);
+
+    println!("--- ({}a) normalized latency bounds ---", cfg.id);
+    println!(
+        "{}",
+        figure_to_table(
+            &fig,
+            &[
+                "FTSA-LowerBound",
+                "FTSA-UpperBound",
+                "FTBAR-LowerBound",
+                "FTBAR-UpperBound",
+                "MC-FTSA-LowerBound",
+                "MC-FTSA-UpperBound",
+                "FaultFree-FTSA",
+                "FaultFree-FTBAR",
+            ],
+        )
+    );
+
+    let mut crash_series: Vec<String> = vec![
+        format!("FTSA with {eps} Crash"),
+        format!("MC-FTSA with {eps} Crash"),
+        format!("FTBAR with {eps} Crash"),
+        "FTSA with 0 Crash".to_string(),
+    ];
+    for &k in &cfg.extra_crash_counts {
+        crash_series.push(format!("FTSA with {k} Crash"));
+    }
+    crash_series.push("FaultFree-FTSA".to_string());
+    let refs: Vec<&str> = crash_series.iter().map(String::as_str).collect();
+    println!("--- ({}b) crash-case normalized latency ---", cfg.id);
+    println!("{}", figure_to_table(&fig, &refs));
+
+    let mut ov_series: Vec<String> = vec![
+        format!("Overhead: FTSA with {eps} Crash"),
+        format!("Overhead: MC-FTSA with {eps} Crash"),
+        format!("Overhead: FTBAR with {eps} Crash"),
+        "Overhead: FTSA with 0 Crash".to_string(),
+    ];
+    for &k in &cfg.extra_crash_counts {
+        ov_series.push(format!("Overhead: FTSA with {k} Crash"));
+    }
+    let refs: Vec<&str> = ov_series.iter().map(String::as_str).collect();
+    println!("--- ({}c) average overhead (%) ---", cfg.id);
+    println!("{}", figure_to_table(&fig, &refs));
+
+    write_csv(&fig);
+}
+
+/// Writes the figure CSV and reports where it went.
+pub fn write_csv(fig: &FigureResult) {
+    let dir = out_dir_from_args();
+    match write_figure_csv(fig, &dir) {
+        Ok(path) => println!("[csv] {}", path.display()),
+        Err(e) => eprintln!("[csv] failed to write: {e}"),
+    }
+}

@@ -1,0 +1,32 @@
+//! Extension experiment (paper Section 7, future work): one-port
+//! communication contention. Quantifies the prediction that MC-FTSA's
+//! `e(ε+1)` messages pay a smaller serialization penalty than FTSA's
+//! `e(ε+1)²`.
+//!
+//! Usage: `contention [--reps N] [--granularity G]`
+
+use experiments::extensions::{format_contention, run_contention};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let reps = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    let granularity = args
+        .iter()
+        .position(|a| a == "--granularity")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.4);
+
+    println!(
+        "== one-port contention, fine-grain instances (g = {granularity}), \
+         {reps} graphs/point =="
+    );
+    println!("(penalty = one-port latency / unbounded latency, fault-free)\n");
+    let rows = run_contention(&[1, 2, 3, 5], reps, granularity, 0xC0417);
+    print!("{}", format_contention(&rows));
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 1 of the paper: average normalized latency and
+//! overhead comparison between FTSA, MC-FTSA and FTBAR (bound and crash
+//! cases, ε = 1, 20 processors).
+//!
+//! Usage: `fig1 [--reps N | --quick] [--out DIR]`
+
+mod common;
+
+use experiments::figures::FigureConfig;
+
+fn main() {
+    let reps = common::repetitions_from_args();
+    let cfg = FigureConfig::comparison("fig1", 1, reps);
+    common::run_comparison_figure(&cfg);
+}

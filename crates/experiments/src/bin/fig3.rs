@@ -1,0 +1,15 @@
+//! Regenerates Figure 3 of the paper: average normalized latency and
+//! overhead comparison between FTSA, MC-FTSA and FTBAR (bound and crash
+//! cases, ε = 5, 20 processors).
+//!
+//! Usage: `fig3 [--reps N | --quick] [--out DIR]`
+
+mod common;
+
+use experiments::figures::FigureConfig;
+
+fn main() {
+    let reps = common::repetitions_from_args();
+    let cfg = FigureConfig::comparison("fig3", 5, reps);
+    common::run_comparison_figure(&cfg);
+}

@@ -1,0 +1,50 @@
+//! Regenerates Figure 4 of the paper: average normalized latency and
+//! overhead for FTSA with 0, 1 and 2 crashes on a *small* platform
+//! (5 processors, ε = 2) — where the latency increase with the number of
+//! failures becomes clearly visible.
+//!
+//! Usage: `fig4 [--reps N | --quick] [--out DIR]`
+
+mod common;
+
+use experiments::figures::{run_figure, FigureConfig};
+use experiments::output::figure_to_table;
+
+fn main() {
+    let reps = common::repetitions_from_args();
+    let cfg = FigureConfig::small_platform(reps);
+    println!(
+        "== fig4 — ε = 2, {} processors, {} graphs/point ==\n",
+        cfg.procs, cfg.repetitions
+    );
+    let fig = run_figure(&cfg);
+
+    println!("--- (fig4a) normalized latency, FTSA with 0/1/2 crashes ---");
+    println!(
+        "{}",
+        figure_to_table(
+            &fig,
+            &[
+                "FTSA with 2 Crash",
+                "FTSA with 1 Crash",
+                "FTSA with 0 Crash",
+                "FaultFree-FTSA",
+            ],
+        )
+    );
+
+    println!("--- (fig4b) average overhead (%) ---");
+    println!(
+        "{}",
+        figure_to_table(
+            &fig,
+            &[
+                "Overhead: FTSA with 2 Crash",
+                "Overhead: FTSA with 1 Crash",
+                "Overhead: FTSA with 0 Crash",
+            ],
+        )
+    );
+
+    common::write_csv(&fig);
+}

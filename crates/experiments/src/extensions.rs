@@ -1,0 +1,192 @@
+//! Extension experiments beyond the paper's figures: the Section 7
+//! future-work directions, quantified.
+//!
+//! * [`run_contention`] — one-port / bounded multi-port penalties of
+//!   FTSA vs MC-FTSA ("we expect MC-FTSA to be superior to other
+//!   scheduling algorithms, since it already accounts for reduced
+//!   communications").
+//! * [`run_reliability`] — survival probability under iid processor
+//!   failure probabilities ("account for the failure probability of the
+//!   application").
+
+use crate::mean;
+use crate::parallel::{default_threads, parallel_map};
+use ftsched_core::{schedule, Algorithm};
+use platform::gen::{paper_instance, PaperInstanceConfig};
+use platform::FailureScenario;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simulator::contention::{simulate_contention, PortModel};
+use simulator::reliability::{
+    design_point_probability, survival_probability_exact,
+};
+
+/// One row of the contention experiment.
+#[derive(Debug, Clone)]
+pub struct ContentionRow {
+    /// Tolerated failures ε.
+    pub epsilon: usize,
+    /// Mean one-port latency penalty of FTSA (one-port / unbounded).
+    pub ftsa_penalty: f64,
+    /// Mean one-port latency penalty of MC-FTSA.
+    pub mc_penalty: f64,
+    /// Mean FTSA transfers per instance.
+    pub ftsa_transfers: f64,
+    /// Mean MC-FTSA transfers per instance.
+    pub mc_transfers: f64,
+}
+
+/// Measures the one-port latency penalty of FTSA vs MC-FTSA across ε.
+///
+/// Fine-grain instances (low granularity) are used: communication
+/// dominates there, so port contention has the most room to bite.
+pub fn run_contention(
+    epsilons: &[usize],
+    repetitions: usize,
+    granularity: f64,
+    seed: u64,
+) -> Vec<ContentionRow> {
+    epsilons
+        .iter()
+        .map(|&eps| {
+            let cells = parallel_map(repetitions, default_threads(), |rep| {
+                let cell_seed = seed ^ (eps as u64) << 32 | rep as u64;
+                let mut g = StdRng::seed_from_u64(cell_seed);
+                let inst = paper_instance(
+                    &mut g,
+                    &PaperInstanceConfig { granularity, ..Default::default() },
+                );
+                let mut tie = StdRng::seed_from_u64(cell_seed ^ 0xBEEF);
+                let f = schedule(&inst, eps, Algorithm::Ftsa, &mut tie).unwrap();
+                let mc = schedule(&inst, eps, Algorithm::McFtsaGreedy, &mut tie).unwrap();
+                let measure = |s: &ftsched_core::Schedule| {
+                    let unb = simulate_contention(
+                        &inst, s, &FailureScenario::none(), PortModel::Unbounded,
+                    );
+                    let one = simulate_contention(
+                        &inst, s, &FailureScenario::none(), PortModel::OnePort,
+                    );
+                    (one.latency / unb.latency, one.transfers as f64)
+                };
+                let (fp, ft) = measure(&f);
+                let (mp, mt) = measure(&mc);
+                (fp, mp, ft, mt)
+            });
+            ContentionRow {
+                epsilon: eps,
+                ftsa_penalty: mean(&cells.iter().map(|c| c.0).collect::<Vec<_>>()),
+                mc_penalty: mean(&cells.iter().map(|c| c.1).collect::<Vec<_>>()),
+                ftsa_transfers: mean(&cells.iter().map(|c| c.2).collect::<Vec<_>>()),
+                mc_transfers: mean(&cells.iter().map(|c| c.3).collect::<Vec<_>>()),
+            }
+        })
+        .collect()
+}
+
+/// Formats the contention rows as an aligned table.
+pub fn format_contention(rows: &[ContentionRow]) -> String {
+    let mut out = String::from(
+        "  eps   FTSA 1-port penalty   MC-FTSA 1-port penalty   FTSA msgs   MC msgs\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>5} {:>21.3} {:>24.3} {:>11.0} {:>9.0}\n",
+            r.epsilon, r.ftsa_penalty, r.mc_penalty, r.ftsa_transfers, r.mc_transfers
+        ));
+    }
+    out
+}
+
+/// One row of the reliability experiment.
+#[derive(Debug, Clone)]
+pub struct ReliabilityRow {
+    /// Tolerated failures ε.
+    pub epsilon: usize,
+    /// Per-processor failure probability.
+    pub p: f64,
+    /// Exact survival probability of the FTSA schedule.
+    pub survival: f64,
+    /// The `P(≤ ε failures)` design point (a guaranteed lower bound).
+    pub design_point: f64,
+}
+
+/// Exact survival probabilities of FTSA schedules over a sweep of ε and
+/// per-processor failure probabilities, on a small platform where the
+/// `2^m` enumeration is instant.
+pub fn run_reliability(
+    epsilons: &[usize],
+    probabilities: &[f64],
+    procs: usize,
+    seed: u64,
+) -> Vec<ReliabilityRow> {
+    let mut g = StdRng::seed_from_u64(seed);
+    let inst = paper_instance(
+        &mut g,
+        &PaperInstanceConfig {
+            tasks_lo: 60,
+            tasks_hi: 60,
+            procs,
+            granularity: 1.0,
+            ..Default::default()
+        },
+    );
+    let mut rows = Vec::new();
+    for &eps in epsilons {
+        let mut tie = StdRng::seed_from_u64(seed ^ eps as u64);
+        let sched = schedule(&inst, eps, Algorithm::Ftsa, &mut tie).unwrap();
+        for &p in probabilities {
+            rows.push(ReliabilityRow {
+                epsilon: eps,
+                p,
+                survival: survival_probability_exact(&inst, &sched, p),
+                design_point: design_point_probability(procs, eps, p),
+            });
+        }
+    }
+    rows
+}
+
+/// Formats the reliability rows as an aligned table.
+pub fn format_reliability(rows: &[ReliabilityRow]) -> String {
+    let mut out =
+        String::from("  eps      p    P(survive)   P(<=eps failures)   headroom\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:>5} {:>6.2} {:>12.6} {:>19.6} {:>10.6}\n",
+            r.epsilon,
+            r.p,
+            r.survival,
+            r.design_point,
+            r.survival - r.design_point
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contention_rows_report_mc_advantage() {
+        let rows = run_contention(&[2], 4, 0.4, 77);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert!(r.mc_penalty <= r.ftsa_penalty + 1e-9);
+        assert!(r.mc_transfers < r.ftsa_transfers);
+        let s = format_contention(&rows);
+        assert!(s.contains("penalty"));
+    }
+
+    #[test]
+    fn reliability_rows_respect_theorem() {
+        let rows = run_reliability(&[0, 2], &[0.1, 0.4], 8, 5);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.survival >= r.design_point - 1e-9, "Theorem 4.1 lower bound");
+            assert!((0.0..=1.0).contains(&r.survival));
+        }
+        let s = format_reliability(&rows);
+        assert!(s.contains("P(survive)"));
+    }
+}

@@ -1,0 +1,349 @@
+//! The figure experiments: normalized-latency bounds, crash-case
+//! latencies and replication overheads over the granularity sweep.
+//!
+//! One run evaluates, per (granularity, repetition) cell:
+//!
+//! * FTSA, MC-FTSA (greedy) and FTBAR schedules at the figure's `ε`,
+//!   plus the fault-free (`ε = 0`) FTSA and FTBAR baselines;
+//! * the equation-(2)/(4) bounds of each schedule;
+//! * crash simulations with the figure's crash counts (the failed
+//!   processors are drawn uniformly, identically for every algorithm of
+//!   the cell);
+//! * the Section 6 overhead
+//!   `(X − FTSA*) / FTSA*` where `FTSA*` is the fault-free FTSA latency.
+//!
+//! Series names match the paper's legends (`FTSA-LowerBound`,
+//! `MC-FTSA with 2 Crash`, …) so the printed tables read like the
+//! original plots.
+
+use crate::parallel::{default_threads, parallel_map};
+use crate::{mean, paper_granularities};
+use ftsched_core::{ftbar::ftbar, ftsa::ftsa, mc_ftsa, Schedule};
+use platform::gen::{paper_instance, PaperInstanceConfig};
+use platform::{FailureScenario, Instance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simulator::simulate;
+use std::collections::BTreeMap;
+
+/// Configuration of one figure experiment.
+#[derive(Debug, Clone)]
+pub struct FigureConfig {
+    /// Figure identifier used in logs and CSV names (e.g. `"fig1"`).
+    pub id: String,
+    /// Tolerated failures ε of the fault-tolerant schedules.
+    pub epsilon: usize,
+    /// Processor count (20 for Figures 1–3, 5 for Figure 4).
+    pub procs: usize,
+    /// Granularity sweep.
+    pub granularities: Vec<f64>,
+    /// Random graphs per point (60 in the paper).
+    pub repetitions: usize,
+    /// Crash counts simulated on the FTSA schedule (the figure's `ε`
+    /// count is always simulated on all three algorithms).
+    pub extra_crash_counts: Vec<usize>,
+    /// Include FTBAR and MC-FTSA series (Figure 4 plots FTSA only).
+    pub compare_algorithms: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl FigureConfig {
+    /// Figures 1–3: 20 processors, comparison of all algorithms.
+    pub fn comparison(id: &str, epsilon: usize, repetitions: usize) -> Self {
+        let extra = match epsilon {
+            0 | 1 => vec![],
+            2 => vec![1],
+            _ => vec![2],
+        };
+        FigureConfig {
+            id: id.into(),
+            epsilon,
+            procs: 20,
+            granularities: paper_granularities(),
+            repetitions,
+            extra_crash_counts: extra,
+            compare_algorithms: true,
+            seed: 0xF16_0000 + epsilon as u64,
+        }
+    }
+
+    /// Figure 4: 5 processors, ε = 2, FTSA with 0/1/2 crashes.
+    pub fn small_platform(repetitions: usize) -> Self {
+        FigureConfig {
+            id: "fig4".into(),
+            epsilon: 2,
+            procs: 5,
+            granularities: paper_granularities(),
+            repetitions,
+            extra_crash_counts: vec![1],
+            compare_algorithms: false,
+            seed: 0xF16_4444,
+        }
+    }
+}
+
+/// One aggregated point of a figure: the granularity plus the mean value
+/// of every series.
+#[derive(Debug, Clone)]
+pub struct FigurePoint {
+    /// The x-coordinate (granularity).
+    pub granularity: f64,
+    /// Mean value per series name.
+    pub series: BTreeMap<String, f64>,
+}
+
+/// A complete figure: its config echo and the per-granularity points.
+#[derive(Debug, Clone)]
+pub struct FigureResult {
+    /// Which experiment this is.
+    pub id: String,
+    /// Aggregated points in granularity order.
+    pub points: Vec<FigurePoint>,
+}
+
+/// Normalization constant: the instance's mean edge communication cost
+/// `W̄ = mean_e V(e) · d̄` (see the crate docs).
+pub fn normalization(inst: &Instance) -> f64 {
+    let e = inst.dag.num_edges();
+    if e == 0 {
+        return 1.0;
+    }
+    let d = inst.platform.average_delay();
+    let total: f64 = inst.dag.edge_list().map(|(_, _, _, v)| v * d).sum();
+    (total / e as f64).max(f64::MIN_POSITIVE)
+}
+
+fn crash_latency(
+    inst: &Instance,
+    sched: &Schedule,
+    crashes: usize,
+    rng: &mut StdRng,
+) -> f64 {
+    let scen = if crashes == 0 {
+        FailureScenario::none()
+    } else {
+        FailureScenario::uniform(rng, inst.num_procs(), crashes)
+    };
+    simulate(inst, sched, &scen).latency
+}
+
+/// Evaluates one (granularity, repetition) cell; returns the raw series.
+fn run_cell(cfg: &FigureConfig, granularity: f64, rep: usize) -> BTreeMap<String, f64> {
+    // Cell-local deterministic seed.
+    let cell_seed = cfg
+        .seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((granularity * 1e6) as u64)
+        .wrapping_add(rep as u64);
+    let mut gen_rng = StdRng::seed_from_u64(cell_seed);
+    let inst = paper_instance(
+        &mut gen_rng,
+        &PaperInstanceConfig {
+            procs: cfg.procs,
+            granularity,
+            ..Default::default()
+        },
+    );
+    let norm = normalization(&inst);
+    let eps = cfg.epsilon;
+
+    let mut tie = StdRng::seed_from_u64(cell_seed ^ 0xA5A5);
+    let ftsa_s = ftsa(&inst, eps, &mut tie).expect("enough processors");
+    let ff_ftsa = ftsa(&inst, 0, &mut tie).expect("enough processors");
+
+    let mut out = BTreeMap::new();
+    let nl = |x: f64| x / norm;
+    out.insert("FTSA-LowerBound".into(), nl(ftsa_s.latency_lower_bound()));
+    out.insert("FTSA-UpperBound".into(), nl(ftsa_s.latency_upper_bound()));
+    out.insert("FaultFree-FTSA".into(), nl(ff_ftsa.latency_lower_bound()));
+
+    let ftsa_star = ff_ftsa.latency_lower_bound();
+    let ov = |x: f64| (x - ftsa_star) / ftsa_star * 100.0;
+
+    // Crash cases. One scenario per crash count, shared by algorithms.
+    let mut crash_rng = StdRng::seed_from_u64(cell_seed ^ 0xC4A5);
+    let l_ftsa_crash = crash_latency(&inst, &ftsa_s, eps, &mut crash_rng);
+    out.insert(format!("FTSA with {eps} Crash"), nl(l_ftsa_crash));
+    out.insert(format!("Overhead: FTSA with {eps} Crash"), ov(l_ftsa_crash));
+    let l_ftsa_0 = crash_latency(&inst, &ftsa_s, 0, &mut crash_rng);
+    out.insert("FTSA with 0 Crash".into(), nl(l_ftsa_0));
+    out.insert("Overhead: FTSA with 0 Crash".into(), ov(l_ftsa_0));
+    for &k in &cfg.extra_crash_counts {
+        let l = crash_latency(&inst, &ftsa_s, k, &mut crash_rng);
+        out.insert(format!("FTSA with {k} Crash"), nl(l));
+        out.insert(format!("Overhead: FTSA with {k} Crash"), ov(l));
+    }
+
+    if cfg.compare_algorithms {
+        let mc_s = mc_ftsa::mc_ftsa(&inst, eps, mc_ftsa::Selector::Greedy, &mut tie)
+            .expect("enough processors");
+        let ftbar_s = ftbar(&inst, eps, &mut tie).expect("enough processors");
+        let ff_ftbar = ftbar(&inst, 0, &mut tie).expect("enough processors");
+
+        out.insert("MC-FTSA-LowerBound".into(), nl(mc_s.latency_lower_bound()));
+        out.insert("MC-FTSA-UpperBound".into(), nl(mc_s.latency_upper_bound()));
+        out.insert("FTBAR-LowerBound".into(), nl(ftbar_s.latency_lower_bound()));
+        out.insert("FTBAR-UpperBound".into(), nl(ftbar_s.latency_upper_bound()));
+        out.insert("FaultFree-FTBAR".into(), nl(ff_ftbar.latency_lower_bound()));
+
+        // Same crash pattern for the competing algorithms.
+        let mut crash_rng2 = StdRng::seed_from_u64(cell_seed ^ 0xC4A5);
+        let scen = if eps == 0 {
+            FailureScenario::none()
+        } else {
+            FailureScenario::uniform(&mut crash_rng2, inst.num_procs(), eps)
+        };
+        let l_mc = simulate(&inst, &mc_s, &scen).latency;
+        let l_fb = simulate(&inst, &ftbar_s, &scen).latency;
+        out.insert(format!("MC-FTSA with {eps} Crash"), nl(l_mc));
+        out.insert(format!("Overhead: MC-FTSA with {eps} Crash"), ov(l_mc));
+        out.insert(format!("FTBAR with {eps} Crash"), nl(l_fb));
+        out.insert(format!("Overhead: FTBAR with {eps} Crash"), ov(l_fb));
+
+        // Message-count economy of Section 4.2 (extra series, not in the
+        // paper's plots but underpinning its e(ε+1)² vs e(ε+1) claim).
+        out.insert(
+            "Messages: FTSA".into(),
+            ftsa_s.message_count(&inst.dag) as f64,
+        );
+        out.insert(
+            "Messages: MC-FTSA".into(),
+            mc_s.message_count(&inst.dag) as f64,
+        );
+    }
+
+    out
+}
+
+/// Runs a figure experiment, parallelized over all cells.
+pub fn run_figure(cfg: &FigureConfig) -> FigureResult {
+    run_figure_with_threads(cfg, default_threads())
+}
+
+/// Runs a figure experiment with an explicit worker count (tests use 1).
+pub fn run_figure_with_threads(cfg: &FigureConfig, threads: usize) -> FigureResult {
+    let cells: Vec<(f64, usize)> = cfg
+        .granularities
+        .iter()
+        .flat_map(|&g| (0..cfg.repetitions).map(move |r| (g, r)))
+        .collect();
+    let raw = parallel_map(cells.len(), threads, |i| {
+        let (g, r) = cells[i];
+        (g, run_cell(cfg, g, r))
+    });
+
+    let mut points = Vec::with_capacity(cfg.granularities.len());
+    for &g in &cfg.granularities {
+        let mut acc: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        for (gg, cell) in raw.iter().filter(|(gg, _)| (gg - g).abs() < 1e-12) {
+            let _ = gg;
+            for (k, v) in cell {
+                acc.entry(k.clone()).or_default().push(*v);
+            }
+        }
+        let series = acc.into_iter().map(|(k, vs)| (k, mean(&vs))).collect();
+        points.push(FigurePoint { granularity: g, series });
+    }
+    FigureResult { id: cfg.id.clone(), points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> FigureConfig {
+        FigureConfig {
+            granularities: vec![0.4, 1.2],
+            repetitions: 3,
+            ..FigureConfig::comparison("figtest", 1, 3)
+        }
+    }
+
+    #[test]
+    fn figure_run_produces_all_series() {
+        let res = run_figure_with_threads(&tiny_config(), 2);
+        assert_eq!(res.points.len(), 2);
+        for p in &res.points {
+            for key in [
+                "FTSA-LowerBound",
+                "FTSA-UpperBound",
+                "MC-FTSA-LowerBound",
+                "MC-FTSA-UpperBound",
+                "FTBAR-LowerBound",
+                "FTBAR-UpperBound",
+                "FaultFree-FTSA",
+                "FaultFree-FTBAR",
+                "FTSA with 1 Crash",
+                "MC-FTSA with 1 Crash",
+                "FTBAR with 1 Crash",
+                "FTSA with 0 Crash",
+                "Overhead: FTSA with 1 Crash",
+            ] {
+                assert!(p.series.contains_key(key), "missing series {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_are_ordered_in_aggregates() {
+        let res = run_figure_with_threads(&tiny_config(), 2);
+        for p in &res.points {
+            assert!(p.series["FTSA-LowerBound"] <= p.series["FTSA-UpperBound"] + 1e-9);
+            assert!(
+                p.series["MC-FTSA-LowerBound"] <= p.series["MC-FTSA-UpperBound"] + 1e-9
+            );
+            // Fault-free schedules can't be slower than replicated lower
+            // bounds on average.
+            assert!(p.series["FaultFree-FTSA"] <= p.series["FTSA-LowerBound"] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn latency_grows_with_granularity() {
+        // The paper's headline shape: more computation per communication
+        // unit → longer normalized latency.
+        let cfg = FigureConfig {
+            granularities: vec![0.2, 2.0],
+            repetitions: 5,
+            ..FigureConfig::comparison("figshape", 1, 5)
+        };
+        let res = run_figure_with_threads(&cfg, 2);
+        assert!(
+            res.points[1].series["FTSA-LowerBound"]
+                > res.points[0].series["FTSA-LowerBound"]
+        );
+    }
+
+    #[test]
+    fn mc_ftsa_ships_fewer_messages() {
+        let res = run_figure_with_threads(&tiny_config(), 2);
+        for p in &res.points {
+            assert!(p.series["Messages: MC-FTSA"] <= p.series["Messages: FTSA"] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn small_platform_config_skips_competitors() {
+        let cfg = FigureConfig {
+            granularities: vec![0.6],
+            repetitions: 2,
+            ..FigureConfig::small_platform(2)
+        };
+        let res = run_figure_with_threads(&cfg, 1);
+        let p = &res.points[0];
+        assert!(p.series.contains_key("FTSA with 2 Crash"));
+        assert!(p.series.contains_key("FTSA with 1 Crash"));
+        assert!(!p.series.contains_key("FTBAR-LowerBound"));
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let cfg = tiny_config();
+        let a = run_figure_with_threads(&cfg, 1);
+        let b = run_figure_with_threads(&cfg, 4);
+        for (pa, pb) in a.points.iter().zip(&b.points) {
+            assert_eq!(pa.series, pb.series);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! CSV emission and ASCII plotting of experiment series.
+
+use crate::figures::FigureResult;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Renders a figure as CSV: one row per granularity, one column per
+/// series (sorted by name for stable diffs).
+pub fn figure_to_csv(fig: &FigureResult) -> String {
+    let mut names: Vec<&str> = fig
+        .points
+        .iter()
+        .flat_map(|p| p.series.keys().map(String::as_str))
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+
+    let mut out = String::new();
+    out.push_str("granularity");
+    for n in &names {
+        let _ = write!(out, ",{}", n.replace(',', ";"));
+    }
+    out.push('\n');
+    for p in &fig.points {
+        let _ = write!(out, "{:.3}", p.granularity);
+        for n in &names {
+            match p.series.get(*n) {
+                Some(v) => {
+                    let _ = write!(out, ",{v:.6}");
+                }
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the figure CSV under `dir/<id>.csv`, creating `dir`.
+pub fn write_figure_csv(fig: &FigureResult, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.csv", fig.id));
+    std::fs::write(&path, figure_to_csv(fig))?;
+    Ok(path)
+}
+
+/// Prints selected series of a figure as an aligned text table (the
+/// "rows the paper reports").
+pub fn figure_to_table(fig: &FigureResult, series: &[&str]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:>11}", "granularity");
+    for s in series {
+        let _ = write!(out, "  {s:>24}");
+    }
+    out.push('\n');
+    for p in &fig.points {
+        let _ = write!(out, "{:>11.1}", p.granularity);
+        for s in series {
+            match p.series.get(*s) {
+                Some(v) => {
+                    let _ = write!(out, "  {v:>24.3}");
+                }
+                None => {
+                    let _ = write!(out, "  {:>24}", "-");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Minimal ASCII line plot of one series against granularity.
+pub fn ascii_plot(fig: &FigureResult, series: &str, height: usize) -> String {
+    let values: Vec<(f64, f64)> = fig
+        .points
+        .iter()
+        .filter_map(|p| p.series.get(series).map(|&v| (p.granularity, v)))
+        .collect();
+    if values.is_empty() {
+        return format!("(no data for series {series})\n");
+    }
+    let ymax = values.iter().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max);
+    let ymin = values.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+    let span = (ymax - ymin).max(1e-12);
+    let height = height.max(3);
+
+    let mut rows = vec![vec![' '; values.len() * 6]; height];
+    for (i, &(_, v)) in values.iter().enumerate() {
+        let level = ((v - ymin) / span * (height - 1) as f64).round() as usize;
+        let row = height - 1 - level;
+        rows[row][i * 6 + 2] = '*';
+    }
+    let mut out = format!("{series}  [{ymin:.2} .. {ymax:.2}]\n");
+    for r in rows {
+        out.push('|');
+        out.extend(r);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(values.len() * 6));
+    out.push('\n');
+    out.push_str(" g: ");
+    for &(g, _) in &values {
+        let _ = write!(out, "{g:>5.1} ");
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::FigurePoint;
+    use std::collections::BTreeMap;
+
+    fn fig() -> FigureResult {
+        let mut s1 = BTreeMap::new();
+        s1.insert("A".to_string(), 1.0);
+        s1.insert("B".to_string(), 2.0);
+        let mut s2 = BTreeMap::new();
+        s2.insert("A".to_string(), 3.0);
+        s2.insert("B".to_string(), 4.0);
+        FigureResult {
+            id: "figtest".into(),
+            points: vec![
+                FigurePoint { granularity: 0.2, series: s1 },
+                FigurePoint { granularity: 0.4, series: s2 },
+            ],
+        }
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = figure_to_csv(&fig());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "granularity,A,B");
+        assert!(lines[1].starts_with("0.200,1.000000,2.000000"));
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn table_includes_headers_and_dashes() {
+        let t = figure_to_table(&fig(), &["A", "missing"]);
+        assert!(t.contains("granularity"));
+        assert!(t.contains('A'));
+        assert!(t.contains('-'));
+    }
+
+    #[test]
+    fn csv_written_to_disk() {
+        let dir = std::env::temp_dir().join("ftsched_csv_test");
+        let path = write_figure_csv(&fig(), &dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("granularity"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn ascii_plot_marks_points() {
+        let p = ascii_plot(&fig(), "A", 5);
+        assert!(p.contains('*'));
+        assert!(p.contains("0.2"));
+        let missing = ascii_plot(&fig(), "Z", 5);
+        assert!(missing.contains("no data"));
+    }
+}

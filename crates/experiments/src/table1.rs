@@ -1,0 +1,187 @@
+//! Table 1: running times of FTSA, MC-FTSA and FTBAR.
+//!
+//! Paper setup: 50 processors, ε = 5, task counts 100–5000, wall-clock
+//! seconds of the scheduling algorithms themselves (no simulation). The
+//! reproducible claim is the *scaling shape*: FTSA and MC-FTSA stay
+//! near-linear in `v` while FTBAR's per-step sweep over all free tasks ×
+//! processors blows up (`O(P·N³)` in the paper).
+
+use ftsched_core::{ftbar::ftbar, ftsa::ftsa, mc_ftsa};
+use platform::gen::{paper_instance, PaperInstanceConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Configuration of the timing experiment.
+#[derive(Debug, Clone)]
+pub struct Table1Config {
+    /// Task counts to measure (paper: 100, 500, 1000, 2000, 3000, 5000).
+    pub sizes: Vec<usize>,
+    /// Processor count (paper: 50).
+    pub procs: usize,
+    /// Tolerated failures (paper: 5).
+    pub epsilon: usize,
+    /// Cap above which FTBAR is skipped (its cubic growth makes the
+    /// largest paper sizes take minutes; `usize::MAX` measures all).
+    pub ftbar_size_cap: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Table1Config {
+    /// The paper's full configuration.
+    pub fn paper() -> Self {
+        Table1Config {
+            sizes: vec![100, 500, 1000, 2000, 3000, 5000],
+            procs: 50,
+            epsilon: 5,
+            ftbar_size_cap: usize::MAX,
+            seed: 0x7AB1E1,
+        }
+    }
+
+    /// A minutes-friendly subset used by default runs and benches.
+    pub fn quick() -> Self {
+        Table1Config {
+            sizes: vec![100, 500, 1000, 2000],
+            procs: 50,
+            epsilon: 5,
+            ftbar_size_cap: 2000,
+            seed: 0x7AB1E1,
+        }
+    }
+}
+
+/// One measured row.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Number of tasks `v`.
+    pub tasks: usize,
+    /// FTSA wall-clock seconds.
+    pub ftsa_secs: f64,
+    /// MC-FTSA (greedy) wall-clock seconds.
+    pub mc_ftsa_secs: f64,
+    /// FTBAR wall-clock seconds (`None` when skipped by the cap).
+    pub ftbar_secs: Option<f64>,
+}
+
+/// Runs the timing experiment.
+pub fn run_table1(cfg: &Table1Config) -> Vec<Table1Row> {
+    cfg.sizes
+        .iter()
+        .map(|&v| {
+            let mut gen_rng = StdRng::seed_from_u64(cfg.seed ^ v as u64);
+            let inst = paper_instance(
+                &mut gen_rng,
+                &PaperInstanceConfig {
+                    tasks_lo: v,
+                    tasks_hi: v,
+                    procs: cfg.procs,
+                    granularity: 1.0,
+                    ..Default::default()
+                },
+            );
+            let time = |f: &dyn Fn()| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed().as_secs_f64()
+            };
+            let ftsa_secs = time(&|| {
+                let mut r = StdRng::seed_from_u64(cfg.seed);
+                let _ = ftsa(&inst, cfg.epsilon, &mut r).expect("schedulable");
+            });
+            let mc_ftsa_secs = time(&|| {
+                let mut r = StdRng::seed_from_u64(cfg.seed);
+                let _ = mc_ftsa::mc_ftsa(
+                    &inst,
+                    cfg.epsilon,
+                    mc_ftsa::Selector::Greedy,
+                    &mut r,
+                )
+                .expect("schedulable");
+            });
+            let ftbar_secs = (v <= cfg.ftbar_size_cap).then(|| {
+                time(&|| {
+                    let mut r = StdRng::seed_from_u64(cfg.seed);
+                    let _ = ftbar(&inst, cfg.epsilon, &mut r).expect("schedulable");
+                })
+            });
+            Table1Row { tasks: v, ftsa_secs, mc_ftsa_secs, ftbar_secs }
+        })
+        .collect()
+}
+
+/// Formats the rows like the paper's Table 1.
+pub fn format_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Number of tasks    FTSA     MC-FTSA    FTBAR\n");
+    for r in rows {
+        let fb = r
+            .ftbar_secs
+            .map_or_else(|| "   (skipped)".into(), |s| format!("{s:>9.2}"));
+        out.push_str(&format!(
+            "{:>14} {:>8.2} {:>10.2} {}\n",
+            r.tasks, r.ftsa_secs, r.mc_ftsa_secs, fb
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_table_runs_and_orders() {
+        let cfg = Table1Config {
+            sizes: vec![100, 300],
+            procs: 20,
+            epsilon: 2,
+            ftbar_size_cap: 300,
+            seed: 1,
+        };
+        let rows = run_table1(&cfg);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.ftsa_secs >= 0.0);
+            assert!(r.ftbar_secs.is_some());
+        }
+        // FTBAR must be slower than FTSA at the larger size — this is the
+        // paper's central Table 1 claim (debug builds keep the ordering).
+        let last = &rows[1];
+        assert!(
+            last.ftbar_secs.unwrap() > last.ftsa_secs,
+            "FTBAR ({}s) should be slower than FTSA ({}s)",
+            last.ftbar_secs.unwrap(),
+            last.ftsa_secs
+        );
+    }
+
+    #[test]
+    fn cap_skips_ftbar() {
+        let cfg = Table1Config {
+            sizes: vec![200],
+            procs: 10,
+            epsilon: 1,
+            ftbar_size_cap: 100,
+            seed: 2,
+        };
+        let rows = run_table1(&cfg);
+        assert!(rows[0].ftbar_secs.is_none());
+        let s = format_table1(&rows);
+        assert!(s.contains("skipped"));
+    }
+
+    #[test]
+    fn formatting_contains_header_and_sizes() {
+        let rows = vec![Table1Row {
+            tasks: 100,
+            ftsa_secs: 0.01,
+            mc_ftsa_secs: 0.02,
+            ftbar_secs: Some(0.15),
+        }];
+        let s = format_table1(&rows);
+        assert!(s.contains("Number of tasks"));
+        assert!(s.contains("100"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Weighted bipartite graph representation.
+
+/// A weighted edge between left node `left` and right node `right`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Left endpoint (sender side in MC-FTSA).
+    pub left: usize,
+    /// Right endpoint (receiver side in MC-FTSA).
+    pub right: usize,
+    /// Edge weight; in MC-FTSA the completion time of the receiver if this
+    /// were its only incoming communication.
+    pub weight: f64,
+}
+
+/// A weighted bipartite graph with `n_left` left and `n_right` right nodes.
+///
+/// ```
+/// use matching::BipartiteGraph;
+/// let mut g = BipartiteGraph::new(2, 2);
+/// g.add_edge(0, 1, 3.5);
+/// assert_eq!(g.weight(0, 1), Some(3.5));
+/// assert_eq!(g.weight(0, 0), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BipartiteGraph {
+    n_left: usize,
+    n_right: usize,
+    edges: Vec<Edge>,
+}
+
+impl BipartiteGraph {
+    /// Creates an empty graph with the given side sizes.
+    pub fn new(n_left: usize, n_right: usize) -> Self {
+        BipartiteGraph { n_left, n_right, edges: Vec::new() }
+    }
+
+    /// Number of left nodes.
+    #[inline]
+    pub fn n_left(&self) -> usize {
+        self.n_left
+    }
+
+    /// Number of right nodes.
+    #[inline]
+    pub fn n_right(&self) -> usize {
+        self.n_right
+    }
+
+    /// All edges, in insertion order.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Adds an edge. Parallel edges are allowed (the lighter one will win
+    /// in any selector); weights must be finite.
+    pub fn add_edge(&mut self, left: usize, right: usize, weight: f64) {
+        assert!(left < self.n_left, "left node {left} out of range");
+        assert!(right < self.n_right, "right node {right} out of range");
+        assert!(weight.is_finite(), "edge weight must be finite");
+        self.edges.push(Edge { left, right, weight });
+    }
+
+    /// Weight of the lightest edge `(left, right)` if any exists.
+    pub fn weight(&self, left: usize, right: usize) -> Option<f64> {
+        self.edges
+            .iter()
+            .filter(|e| e.left == left && e.right == right)
+            .map(|e| e.weight)
+            .fold(None, |acc, w| Some(acc.map_or(w, |a: f64| a.min(w))))
+    }
+
+    /// Left-side adjacency lists of edge indices.
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.n_left];
+        for (i, e) in self.edges.iter().enumerate() {
+            adj[e.left].push(i);
+        }
+        adj
+    }
+
+    /// Left-side adjacency restricted to edges with `weight <= threshold`.
+    pub fn adjacency_up_to(&self, threshold: f64) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.n_left];
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.weight <= threshold {
+                adj[e.left].push(i);
+            }
+        }
+        adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_picks_lightest_parallel_edge() {
+        let mut g = BipartiteGraph::new(1, 1);
+        g.add_edge(0, 0, 5.0);
+        g.add_edge(0, 0, 2.0);
+        assert_eq!(g.weight(0, 0), Some(2.0));
+    }
+
+    #[test]
+    fn adjacency_threshold_filters() {
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(0, 0, 1.0);
+        g.add_edge(0, 1, 10.0);
+        g.add_edge(1, 1, 5.0);
+        let adj = g.adjacency_up_to(5.0);
+        assert_eq!(adj[0].len(), 1);
+        assert_eq!(adj[1].len(), 1);
+        let all = g.adjacency();
+        assert_eq!(all[0].len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_left_panics() {
+        let mut g = BipartiteGraph::new(1, 1);
+        g.add_edge(1, 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_finite_weight_panics() {
+        let mut g = BipartiteGraph::new(1, 1);
+        g.add_edge(0, 0, f64::INFINITY);
+    }
+}

@@ -1,0 +1,257 @@
+//! Bottleneck (min–max weight) left-perfect matching with forced edges.
+//!
+//! Implements the first selector of Section 4.2: "For any value of T, we
+//! can find in polynomial time if there exists a subset whose largest edge
+//! weight does not exceed T. […] We perform a binary search on T to
+//! determine the smallest value that leads to a solution. Note that T is
+//! searched in the set of edge weights, hence the overall complexity of the
+//! algorithm remains polynomial."
+//!
+//! Forced edges model the internal communications required by the proof of
+//! Proposition 4.3: when a processor executes both the predecessor and the
+//! task itself, its replica of the predecessor *must* send to itself.
+//! Forced edges are always part of the solution; their weights participate
+//! in the reported bottleneck but not in the binary search domain unless
+//! they dominate.
+
+use crate::bipartite::BipartiteGraph;
+use crate::hopcroft_karp::maximum_matching_with_adjacency;
+use crate::Matching;
+
+/// Finds a left-perfect matching minimizing the maximum selected edge
+/// weight, subject to `forced` pairs being selected. Returns `None` when no
+/// left-perfect matching exists at all.
+///
+/// `forced` pairs must reference existing edges and be pairwise disjoint in
+/// both endpoints.
+///
+/// ```
+/// use matching::{BipartiteGraph, bottleneck_matching};
+/// let mut g = BipartiteGraph::new(2, 2);
+/// g.add_edge(0, 0, 1.0);
+/// g.add_edge(0, 1, 9.0);
+/// g.add_edge(1, 0, 2.0);
+/// g.add_edge(1, 1, 3.0);
+/// let m = bottleneck_matching(&g, &[]).unwrap();
+/// assert_eq!(m.bottleneck, 3.0); // {0-0, 1-1} beats {0-1, 1-0}
+/// ```
+pub fn bottleneck_matching(g: &BipartiteGraph, forced: &[(usize, usize)]) -> Option<Matching> {
+    let n_left = g.n_left();
+
+    // Validate forced pairs and mark their endpoints as excluded from the
+    // search; the search runs on the residual graph.
+    let mut left_fixed = vec![false; n_left];
+    let mut right_fixed = vec![false; g.n_right()];
+    let mut forced_bottleneck = f64::NEG_INFINITY;
+    for &(l, r) in forced {
+        let w = g
+            .weight(l, r)
+            .unwrap_or_else(|| panic!("forced pair ({l}, {r}) is not an edge"));
+        assert!(!left_fixed[l] && !right_fixed[r], "forced pairs must be disjoint");
+        left_fixed[l] = true;
+        right_fixed[r] = true;
+        forced_bottleneck = forced_bottleneck.max(w);
+    }
+
+    let free_left: Vec<usize> = (0..n_left).filter(|&l| !left_fixed[l]).collect();
+    if free_left.is_empty() {
+        return Some(Matching::from_pairs(g, forced.to_vec()));
+    }
+
+    // Candidate thresholds: the distinct weights of usable residual edges.
+    let mut weights: Vec<f64> = g
+        .edges()
+        .iter()
+        .filter(|e| !left_fixed[e.left] && !right_fixed[e.right])
+        .map(|e| e.weight)
+        .collect();
+    weights.sort_by(f64::total_cmp);
+    weights.dedup();
+    if weights.is_empty() {
+        return None; // free left nodes but no usable edges
+    }
+
+    // Feasibility oracle: does the ≤ threshold residual subgraph saturate
+    // all free left nodes?
+    let residual_adjacency = |threshold: f64| -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); n_left];
+        for (i, e) in g.edges().iter().enumerate() {
+            if e.weight <= threshold && !left_fixed[e.left] && !right_fixed[e.right] {
+                adj[e.left].push(i);
+            }
+        }
+        adj
+    };
+    let feasible = |threshold: f64| -> Option<Vec<(usize, usize)>> {
+        let adj = residual_adjacency(threshold);
+        let m = maximum_matching_with_adjacency(g, &adj);
+        if free_left.iter().all(|&l| m.match_left[l].is_some()) {
+            Some(
+                free_left
+                    .iter()
+                    .map(|&l| (l, m.match_left[l].expect("saturated")))
+                    .collect(),
+            )
+        } else {
+            None
+        }
+    };
+
+    // Binary search for the smallest feasible threshold.
+    feasible(*weights.last().expect("nonempty"))?;
+    let mut lo = 0usize; // invariant: weights[hi] feasible
+    let mut hi = weights.len() - 1;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if feasible(weights[mid]).is_some() {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let pairs_free = feasible(weights[hi]).expect("binary search invariant");
+
+    let mut pairs = forced.to_vec();
+    pairs.extend(pairs_free);
+    Some(Matching::from_pairs(g, pairs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weighted(n: usize, edges: &[(usize, usize, f64)]) -> BipartiteGraph {
+        let mut g = BipartiteGraph::new(n, n);
+        for &(l, r, w) in edges {
+            g.add_edge(l, r, w);
+        }
+        g
+    }
+
+    /// Exhaustive bottleneck optimum over all left-perfect matchings.
+    fn brute_bottleneck(g: &BipartiteGraph, forced: &[(usize, usize)]) -> Option<f64> {
+        fn go(
+            g: &BipartiteGraph,
+            l: usize,
+            used: &mut Vec<bool>,
+            left_fixed: &[bool],
+            current: f64,
+            best: &mut Option<f64>,
+        ) {
+            if l == g.n_left() {
+                *best = Some(best.map_or(current, |b: f64| b.min(current)));
+                return;
+            }
+            if left_fixed[l] {
+                go(g, l + 1, used, left_fixed, current, best);
+                return;
+            }
+            for e in g.edges().iter().filter(|e| e.left == l) {
+                if !used[e.right] {
+                    used[e.right] = true;
+                    go(g, l + 1, used, left_fixed, current.max(e.weight), best, );
+                    used[e.right] = false;
+                }
+            }
+        }
+        let mut used = vec![false; g.n_right()];
+        let mut left_fixed = vec![false; g.n_left()];
+        let mut base = f64::NEG_INFINITY;
+        for &(l, r) in forced {
+            used[r] = true;
+            left_fixed[l] = true;
+            base = base.max(g.weight(l, r).unwrap());
+        }
+        let mut best = None;
+        go(g, 0, &mut used, &left_fixed, base, &mut best);
+        best
+    }
+
+    #[test]
+    fn picks_min_max_assignment() {
+        let g = weighted(
+            3,
+            &[
+                (0, 0, 4.0),
+                (0, 1, 1.0),
+                (0, 2, 3.0),
+                (1, 0, 2.0),
+                (1, 1, 5.0),
+                (1, 2, 9.0),
+                (2, 0, 6.0),
+                (2, 1, 7.0),
+                (2, 2, 3.0),
+            ],
+        );
+        let m = bottleneck_matching(&g, &[]).unwrap();
+        assert!(m.is_left_perfect(3));
+        assert_eq!(m.bottleneck, brute_bottleneck(&g, &[]).unwrap());
+        assert_eq!(m.bottleneck, 3.0); // 0->1(1), 1->0(2), 2->2(3)
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        // Left node 1 has no edges.
+        let g = weighted(2, &[(0, 0, 1.0), (0, 1, 2.0)]);
+        assert!(bottleneck_matching(&g, &[]).is_none());
+    }
+
+    #[test]
+    fn forced_edge_respected_even_if_heavy() {
+        let g = weighted(
+            2,
+            &[(0, 0, 100.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0)],
+        );
+        let m = bottleneck_matching(&g, &[(0, 0)]).unwrap();
+        assert!(m.pairs.contains(&(0, 0)));
+        assert!(m.pairs.contains(&(1, 1)));
+        assert_eq!(m.bottleneck, 100.0);
+    }
+
+    #[test]
+    fn all_forced() {
+        let g = weighted(2, &[(0, 0, 3.0), (1, 1, 7.0)]);
+        let m = bottleneck_matching(&g, &[(0, 0), (1, 1)]).unwrap();
+        assert_eq!(m.pairs.len(), 2);
+        assert_eq!(m.bottleneck, 7.0);
+        assert!(m.is_left_perfect(2));
+    }
+
+    #[test]
+    fn forced_blocking_makes_infeasible() {
+        // Forcing 0->0 leaves node 1 with no free right node.
+        let g = weighted(2, &[(0, 0, 1.0), (1, 0, 1.0)]);
+        assert!(bottleneck_matching(&g, &[(0, 0)]).is_none());
+    }
+
+    #[test]
+    fn single_node() {
+        let g = weighted(1, &[(0, 0, 42.0)]);
+        let m = bottleneck_matching(&g, &[]).unwrap();
+        assert_eq!(m.pairs, vec![(0, 0)]);
+        assert_eq!(m.bottleneck, 42.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_dense_cases() {
+        // Deterministic pseudo-random dense instances.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 10.0
+        };
+        for n in 2..=5 {
+            let mut g = BipartiteGraph::new(n, n);
+            for l in 0..n {
+                for r in 0..n {
+                    g.add_edge(l, r, next());
+                }
+            }
+            let m = bottleneck_matching(&g, &[]).unwrap();
+            assert!(m.is_left_perfect(n));
+            assert_eq!(m.bottleneck, brute_bottleneck(&g, &[]).unwrap(), "n={n}");
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Greedy robust-communication selection (the variant used in the paper's
+//! experiments).
+//!
+//! Section 4.2: "We can use a greedy algorithm that gives priority to
+//! internal communications and then greedily select the edges in the order
+//! of non-decreasing weights. We retain the current edge if it satisfies to
+//! the condition of proposition 4.3 given already taken decisions, i.e., if
+//! it saturates a new left node and a new right node in the graph, and
+//! otherwise we proceed to the next edge."
+
+use crate::bipartite::BipartiteGraph;
+use crate::Matching;
+
+/// Greedily selects a left-perfect matching: `forced` (internal) pairs
+/// first, then remaining edges in non-decreasing weight order, keeping an
+/// edge iff both endpoints are still unsaturated.
+///
+/// Returns `None` if the greedy pass fails to saturate every left node
+/// (cannot happen on MC-FTSA's graphs, where every non-internal left node
+/// is connected to *all* right nodes, but callers with sparser graphs must
+/// handle it).
+///
+/// ```
+/// use matching::{BipartiteGraph, greedy_matching};
+/// let mut g = BipartiteGraph::new(2, 2);
+/// g.add_edge(0, 0, 5.0);
+/// g.add_edge(0, 1, 1.0);
+/// g.add_edge(1, 0, 2.0);
+/// g.add_edge(1, 1, 3.0);
+/// let m = greedy_matching(&g, &[]).unwrap();
+/// // Greedy takes 0-1 (w=1), then 1-0 (w=2).
+/// assert_eq!(m.bottleneck, 2.0);
+/// ```
+pub fn greedy_matching(g: &BipartiteGraph, forced: &[(usize, usize)]) -> Option<Matching> {
+    let mut left_used = vec![false; g.n_left()];
+    let mut right_used = vec![false; g.n_right()];
+    let mut pairs = Vec::with_capacity(g.n_left());
+
+    for &(l, r) in forced {
+        assert!(
+            g.weight(l, r).is_some(),
+            "forced pair ({l}, {r}) is not an edge"
+        );
+        assert!(!left_used[l] && !right_used[r], "forced pairs must be disjoint");
+        left_used[l] = true;
+        right_used[r] = true;
+        pairs.push((l, r));
+    }
+
+    // Sort edge indices by weight (stable ⇒ deterministic for ties).
+    let mut order: Vec<usize> = (0..g.edges().len()).collect();
+    order.sort_by(|&a, &b| g.edges()[a].weight.total_cmp(&g.edges()[b].weight));
+
+    for ei in order {
+        let e = g.edges()[ei];
+        if !left_used[e.left] && !right_used[e.right] {
+            left_used[e.left] = true;
+            right_used[e.right] = true;
+            pairs.push((e.left, e.right));
+            if pairs.len() == g.n_left() {
+                break;
+            }
+        }
+    }
+
+    if left_used.iter().all(|&u| u) {
+        Some(Matching::from_pairs(g, pairs))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(n: usize, w: impl Fn(usize, usize) -> f64) -> BipartiteGraph {
+        let mut g = BipartiteGraph::new(n, n);
+        for l in 0..n {
+            for r in 0..n {
+                g.add_edge(l, r, w(l, r));
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn selects_cheapest_available() {
+        let g = complete(3, |l, r| (l * 3 + r) as f64);
+        let m = greedy_matching(&g, &[]).unwrap();
+        assert!(m.is_left_perfect(3));
+        // Greedy picks (0,0)=0, then (1,1)=4, then (2,2)=8.
+        assert_eq!(m.pairs, vec![(0, 0), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn forced_internal_first() {
+        // The forced pair is the *worst* edge, yet must be selected.
+        let g = complete(2, |l, r| if (l, r) == (0, 0) { 99.0 } else { 1.0 });
+        let m = greedy_matching(&g, &[(0, 0)]).unwrap();
+        assert!(m.pairs.contains(&(0, 0)));
+        assert_eq!(m.pairs.len(), 2);
+        assert_eq!(m.bottleneck, 99.0);
+    }
+
+    #[test]
+    fn greedy_always_succeeds_on_complete_graphs() {
+        for n in 1..6 {
+            let g = complete(n, |l, r| ((l * 7 + r * 13) % 10) as f64);
+            let m = greedy_matching(&g, &[]).unwrap();
+            assert!(m.is_left_perfect(n));
+        }
+    }
+
+    #[test]
+    fn sparse_failure_returns_none() {
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(0, 0, 1.0);
+        g.add_edge(1, 0, 2.0); // both left nodes only reach right 0
+        assert!(greedy_matching(&g, &[]).is_none());
+    }
+
+    #[test]
+    fn greedy_can_be_suboptimal_but_valid() {
+        // Classic greedy trap: taking the lightest edge first forces a
+        // heavy completion. Bottleneck-optimal would pick {0-0, 1-1} = 5.
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(0, 0, 4.0);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 0, 9.0);
+        g.add_edge(1, 1, 5.0);
+        let m = greedy_matching(&g, &[]).unwrap();
+        assert!(m.is_left_perfect(2));
+        assert_eq!(m.pairs, vec![(0, 1), (1, 0)]);
+        assert_eq!(m.bottleneck, 9.0);
+        let opt = crate::bottleneck_matching(&g, &[]).unwrap();
+        assert_eq!(opt.bottleneck, 5.0);
+        assert!(opt.bottleneck <= m.bottleneck);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let g = complete(4, |_, _| 1.0);
+        let a = greedy_matching(&g, &[]).unwrap();
+        let b = greedy_matching(&g, &[]).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,71 @@
+//! Bipartite matching machinery for the MC-FTSA communication selector.
+//!
+//! Section 4.2 of the FTSA paper (Benoit–Hakem–Robert, RR-6418) reduces the
+//! number of replication-induced messages from `e(ε+1)²` to `e(ε+1)` by
+//! choosing, for every precedence edge `(t', t)`, a set of `ε+1`
+//! communications forming a one-to-one mapping between the processors of
+//! `A(t')` (senders) and `A(t)` (receivers), with *forced* internal edges
+//! whenever a processor belongs to both sets (Proposition 4.3).
+//!
+//! Two selectors are offered, exactly as the paper describes:
+//!
+//! * [`bottleneck_matching`] — the polynomial-time optimal variant: binary
+//!   search on the threshold `T` over the set of edge weights, feasibility
+//!   decided by a maximum-matching ([Hopcroft–Karp][hopcroft_karp]) run on
+//!   the `≤ T` subgraph.
+//! * [`greedy_matching`] — the greedy variant used in the paper's
+//!   experiments: forced internal edges first, then edges in non-decreasing
+//!   weight order, keeping an edge iff it saturates a new left node *and* a
+//!   new right node.
+//!
+//! The crate is self-contained and generic; the scheduler core builds the
+//! per-predecessor bipartite graphs and interprets the returned pairs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bipartite;
+pub mod bottleneck;
+pub mod greedy;
+pub mod hopcroft_karp;
+
+pub use bipartite::{BipartiteGraph, Edge};
+pub use bottleneck::bottleneck_matching;
+pub use greedy::greedy_matching;
+pub use hopcroft_karp::{maximum_matching, MatchResult};
+
+/// A selected set of communications: one `(left, right)` pair per edge of
+/// the matching, plus the bottleneck (largest selected weight).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matching {
+    /// Selected `(left, right)` pairs, including any forced edges.
+    pub pairs: Vec<(usize, usize)>,
+    /// The largest weight among selected edges (`-inf` if empty).
+    pub bottleneck: f64,
+}
+
+impl Matching {
+    /// Builds a matching and computes its bottleneck from the graph.
+    pub(crate) fn from_pairs(g: &BipartiteGraph, pairs: Vec<(usize, usize)>) -> Self {
+        let bottleneck = pairs
+            .iter()
+            .map(|&(l, r)| g.weight(l, r).expect("selected pair must be an edge"))
+            .fold(f64::NEG_INFINITY, f64::max);
+        Matching { pairs, bottleneck }
+    }
+
+    /// True iff every left node in `0..n_left` appears exactly once and no
+    /// right node appears twice — i.e. the pairs form a left-perfect
+    /// matching (what Proposition 4.3 calls a *robust* set).
+    pub fn is_left_perfect(&self, n_left: usize) -> bool {
+        let mut left_seen = vec![false; n_left];
+        let mut right_seen = std::collections::HashSet::new();
+        for &(l, r) in &self.pairs {
+            if l >= n_left || left_seen[l] || !right_seen.insert(r) {
+                return false;
+            }
+            left_seen[l] = true;
+        }
+        left_seen.iter().all(|&s| s)
+    }
+}

@@ -1,0 +1,192 @@
+//! Fail-stop failure scenarios.
+//!
+//! The paper assumes *fail-silent (fail-stop)* processor failures: a
+//! failed processor computes nothing and sends nothing from its failure
+//! time onwards, and never recovers. The experiments of Section 6 crash
+//! `ε` processors "chosen uniformly" (from time 0); mid-execution crash
+//! times are supported as an extension.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense identifier of a processor.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A set of fail-stop failures: each failed processor with its failure
+/// time (time 0 = the processor never executes anything).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FailureScenario {
+    failures: Vec<(ProcId, f64)>,
+}
+
+impl FailureScenario {
+    /// The empty scenario (no failures).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builds a scenario from explicit `(processor, time)` pairs.
+    ///
+    /// # Panics
+    /// Panics on duplicate processors or negative/non-finite times.
+    pub fn new(failures: Vec<(ProcId, f64)>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        for &(p, t) in &failures {
+            assert!(seen.insert(p), "duplicate failure for {p}");
+            assert!(t >= 0.0 && t.is_finite(), "failure time must be finite and >= 0");
+        }
+        FailureScenario { failures }
+    }
+
+    /// All processors failing at time 0 — the paper's experimental model.
+    pub fn at_time_zero(procs: impl IntoIterator<Item = ProcId>) -> Self {
+        Self::new(procs.into_iter().map(|p| (p, 0.0)).collect())
+    }
+
+    /// Draws `count` distinct processors uniformly from `0..m`, all
+    /// failing at time 0 ("processors that fail during the schedule
+    /// process are chosen uniformly", Section 6).
+    pub fn uniform(rng: &mut impl Rng, m: usize, count: usize) -> Self {
+        assert!(count <= m, "cannot fail more processors than exist");
+        // Partial Fisher–Yates for distinct picks.
+        let mut ids: Vec<u32> = (0..m as u32).collect();
+        for i in 0..count {
+            let j = rng.gen_range(i..ids.len());
+            ids.swap(i, j);
+        }
+        Self::at_time_zero(ids[..count].iter().map(|&i| ProcId(i)))
+    }
+
+    /// Like [`FailureScenario::uniform`] but with failure times drawn
+    /// uniformly in `[0, horizon]` — the mid-execution crash extension.
+    pub fn uniform_timed(
+        rng: &mut impl Rng,
+        m: usize,
+        count: usize,
+        horizon: f64,
+    ) -> Self {
+        assert!(count <= m);
+        assert!(horizon >= 0.0 && horizon.is_finite());
+        let mut ids: Vec<u32> = (0..m as u32).collect();
+        for i in 0..count {
+            let j = rng.gen_range(i..ids.len());
+            ids.swap(i, j);
+        }
+        Self::new(
+            ids[..count]
+                .iter()
+                .map(|&i| (ProcId(i), if horizon == 0.0 { 0.0 } else { rng.gen_range(0.0..=horizon) }))
+                .collect(),
+        )
+    }
+
+    /// Number of failures.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.failures.len()
+    }
+
+    /// Whether no processor fails.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The failure time of `p`, or `None` if `p` stays alive.
+    pub fn failure_time(&self, p: ProcId) -> Option<f64> {
+        self.failures.iter().find(|&&(q, _)| q == p).map(|&(_, t)| t)
+    }
+
+    /// Whether `p` fails (at any time) in this scenario.
+    pub fn fails(&self, p: ProcId) -> bool {
+        self.failure_time(p).is_some()
+    }
+
+    /// Iterates over `(processor, time)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcId, f64)> + '_ {
+        self.failures.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_scenario() {
+        let s = FailureScenario::none();
+        assert!(s.is_empty());
+        assert!(!s.fails(ProcId(0)));
+    }
+
+    #[test]
+    fn uniform_draws_distinct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let s = FailureScenario::uniform(&mut rng, 20, 5);
+            assert_eq!(s.len(), 5);
+            let set: std::collections::HashSet<_> = s.iter().map(|(p, _)| p).collect();
+            assert_eq!(set.len(), 5);
+            assert!(s.iter().all(|(p, t)| p.index() < 20 && t == 0.0));
+        }
+    }
+
+    #[test]
+    fn uniform_all_processors() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = FailureScenario::uniform(&mut rng, 4, 4);
+        assert_eq!(s.len(), 4);
+        for p in 0..4 {
+            assert!(s.fails(ProcId(p)));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_failures_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = FailureScenario::uniform(&mut rng, 3, 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_processor_panics() {
+        let _ = FailureScenario::new(vec![(ProcId(1), 0.0), (ProcId(1), 5.0)]);
+    }
+
+    #[test]
+    fn timed_failures_within_horizon() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = FailureScenario::uniform_timed(&mut rng, 10, 3, 100.0);
+        for (_, t) in s.iter() {
+            assert!((0.0..=100.0).contains(&t));
+        }
+    }
+
+    #[test]
+    fn failure_time_lookup() {
+        let s = FailureScenario::new(vec![(ProcId(2), 7.5)]);
+        assert_eq!(s.failure_time(ProcId(2)), Some(7.5));
+        assert_eq!(s.failure_time(ProcId(3)), None);
+    }
+}

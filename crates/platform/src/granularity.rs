@@ -1,0 +1,118 @@
+//! The paper's granularity `g(G, P)` and its calibration.
+//!
+//! Section 2: "For a given graph `G` and processor set `P`, `g(G, P)` is
+//! the granularity, i.e., the ratio of the sum of slowest computation
+//! times of each task, to the sum of slowest communication times along
+//! each edge. If `g(G, P) ≥ 1`, the task graph is said to be coarse
+//! grain, otherwise it is fine grain."
+//!
+//! The experiments sweep `g` from 0.2 to 2.0: after drawing random
+//! volumes, delays and raw execution times, [`scale_to_granularity`]
+//! rescales the execution matrix so the instance hits the target exactly.
+
+use crate::exec::ExecutionMatrix;
+use crate::plat::Platform;
+use taskgraph::Dag;
+
+/// Sum over edges of the *slowest* communication time
+/// `V(e) · max_{k≠h} d(P_k, P_h)`.
+pub fn total_slowest_communication(dag: &Dag, platform: &Platform) -> f64 {
+    let m = platform.num_procs();
+    let max_delay = (0..m)
+        .flat_map(|k| (0..m).map(move |h| (k, h)))
+        .filter(|&(k, h)| k != h)
+        .map(|(k, h)| platform.delay(k, h))
+        .fold(0.0, f64::max);
+    dag.total_volume() * max_delay
+}
+
+/// The granularity `g(G, P)`; `None` when the graph has no communication
+/// at all (no edges, zero volumes, or a single processor), in which case
+/// granularity is undefined (infinite).
+pub fn granularity(dag: &Dag, platform: &Platform, exec: &ExecutionMatrix) -> Option<f64> {
+    let comm = total_slowest_communication(dag, platform);
+    if comm == 0.0 {
+        None
+    } else {
+        Some(exec.total_slowest() / comm)
+    }
+}
+
+/// Rescales `exec` in place so the instance's granularity becomes exactly
+/// `target`. Returns the applied factor. Panics if granularity is
+/// undefined (no communication) or `target` is not positive.
+pub fn scale_to_granularity(
+    dag: &Dag,
+    platform: &Platform,
+    exec: &mut ExecutionMatrix,
+    target: f64,
+) -> f64 {
+    assert!(target > 0.0 && target.is_finite());
+    let current = granularity(dag, platform, exec)
+        .expect("granularity undefined: instance has no communication");
+    let factor = target / current;
+    exec.scale(factor);
+    factor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskgraph::DagBuilder;
+
+    fn instance() -> (Dag, Platform, ExecutionMatrix) {
+        let mut b = DagBuilder::new();
+        let a = b.add_task(10.0);
+        let c = b.add_task(10.0);
+        b.add_edge(a, c, 100.0);
+        let dag = b.build().unwrap();
+        let platform = Platform::uniform_delay(2, 0.5);
+        let exec = ExecutionMatrix::consistent(&dag, &[1.0, 2.0]);
+        (dag, platform, exec)
+    }
+
+    #[test]
+    fn granularity_formula() {
+        let (dag, platform, exec) = instance();
+        // Slowest computation: both tasks are slowest on proc 0 → 10+10.
+        // Slowest communication: 100 * 0.5 = 50.
+        assert_eq!(granularity(&dag, &platform, &exec), Some(0.4));
+    }
+
+    #[test]
+    fn scaling_hits_target_exactly() {
+        let (dag, platform, mut exec) = instance();
+        for target in [0.2, 0.6, 1.0, 1.4, 2.0] {
+            scale_to_granularity(&dag, &platform, &mut exec, target);
+            let g = granularity(&dag, &platform, &exec).unwrap();
+            assert!((g - target).abs() < 1e-9, "target {target}, got {g}");
+        }
+    }
+
+    #[test]
+    fn scaling_preserves_relative_speeds() {
+        let (dag, platform, mut exec) = instance();
+        let ratio_before = exec.time(0, 0) / exec.time(0, 1);
+        scale_to_granularity(&dag, &platform, &mut exec, 1.5);
+        let ratio_after = exec.time(0, 0) / exec.time(0, 1);
+        assert!((ratio_before - ratio_after).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_edges_means_undefined() {
+        let mut b = DagBuilder::new();
+        b.add_task(5.0);
+        let dag = b.build().unwrap();
+        let platform = Platform::uniform_delay(2, 1.0);
+        let exec = ExecutionMatrix::consistent(&dag, &[1.0, 1.0]);
+        assert_eq!(granularity(&dag, &platform, &exec), None);
+    }
+
+    #[test]
+    fn single_processor_undefined() {
+        let (dag, _, _) = instance();
+        let platform = Platform::uniform_delay(1, 0.0);
+        let exec = ExecutionMatrix::consistent(&dag, &[1.0]);
+        assert_eq!(granularity(&dag, &platform, &exec), None);
+    }
+}

@@ -1,0 +1,75 @@
+//! Heterogeneous platform model for fault-tolerant scheduling.
+//!
+//! Section 2 of the FTSA paper: a platform is a finite set
+//! `P = {P_1, …, P_m}` of fully connected processors. Computational
+//! heterogeneity is the function `E : V × P → R⁺` (execution time of each
+//! task on each processor); communication heterogeneity is
+//! `W(t_i, t_j) = V(t_i, t_j) · d(P_k, P_h)` where `d` is the unit-data
+//! link delay and `d(P, P) = 0`.
+//!
+//! * [`Platform`] — the link-delay matrix `d` and its derived statistics
+//!   (average delay `d̄`, worst-case outgoing delay, fastest links).
+//! * [`ExecutionMatrix`] — the `E(t, P)` matrix, with consistent
+//!   (speed-scaled) and unrelated (per-pair random) generators.
+//! * [`FailureScenario`] — fail-stop failure patterns, with the paper's
+//!   "ε processors chosen uniformly" generator.
+//! * [`granularity`] — the paper's granularity `g(G, P)` and the scaling
+//!   used to sweep it from 0.2 to 2.0 in the experiments.
+//! * [`Instance`] — a bundled `(Dag, Platform, ExecutionMatrix)` problem
+//!   instance, the input type of every scheduling algorithm.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod failure;
+pub mod gen;
+pub mod granularity;
+pub mod plat;
+
+pub use exec::ExecutionMatrix;
+pub use failure::{FailureScenario, ProcId};
+pub use plat::Platform;
+
+use taskgraph::Dag;
+
+/// A complete scheduling problem instance: the task graph, the platform
+/// and the execution-time matrix binding them.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// The precedence task graph `G = (V, E)`.
+    pub dag: Dag,
+    /// The processor set and link delays.
+    pub platform: Platform,
+    /// The execution-time matrix `E(t, P)`.
+    pub exec: ExecutionMatrix,
+}
+
+impl Instance {
+    /// Bundles the three components, validating dimensions.
+    pub fn new(dag: Dag, platform: Platform, exec: ExecutionMatrix) -> Self {
+        assert_eq!(
+            exec.num_tasks(),
+            dag.num_tasks(),
+            "execution matrix rows must match task count"
+        );
+        assert_eq!(
+            exec.num_procs(),
+            platform.num_procs(),
+            "execution matrix columns must match processor count"
+        );
+        Instance { dag, platform, exec }
+    }
+
+    /// Number of processors `m`.
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.platform.num_procs()
+    }
+
+    /// Number of tasks `v`.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.dag.num_tasks()
+    }
+}

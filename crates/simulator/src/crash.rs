@@ -1,0 +1,807 @@
+//! The event-queue crash-execution engine.
+//!
+//! # MC-FTSA delivery semantics
+//!
+//! For matched (MC-FTSA) communications two delivery policies are
+//! offered, because Proposition 4.3 of the paper is a *per-edge*
+//! statement: for every precedence edge, some selected communication
+//! survives any `ε` failures. Composed across several predecessors it
+//! does **not** guarantee that a single replica receives *all* its
+//! inputs — one failed processor can starve different replicas of a task
+//! through different predecessors' matchings (see the
+//! `strict_semantics_composition_gap` test for a concrete instance).
+//!
+//! * [`FallbackPolicy::Strict`] — the literal reading: a replica only
+//!   ever receives from its matched sender. Rare failure patterns can
+//!   then lose a task even with `≤ ε` failures.
+//! * [`FallbackPolicy::Rerouted`] (default for matched schedules) — when
+//!   a matched sender is dead, the receiver accepts the first copy from
+//!   any surviving replica of the predecessor. This models the natural
+//!   runtime recovery (fail-stop senders are silent, so any functional
+//!   system must re-route) and restores the Theorem 4.1 guarantee; the
+//!   fault-free message count — the paper's `e(ε+1)` headline — is
+//!   unchanged, since fallback messages flow only after a failure.
+//!   Supported for fail-at-time-zero scenarios (the paper's experimental
+//!   model).
+
+use ftcollections::{IndexedHeap, OrdF64};
+use ftsched_core::{CommSelection, Schedule};
+use platform::{FailureScenario, Instance};
+use taskgraph::TaskId;
+
+/// Delivery policy for matched (MC-FTSA) communications under failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackPolicy {
+    /// Matched sender only (the paper's literal Proposition 4.3).
+    Strict,
+    /// Re-route to any surviving replica when the matched sender dies.
+    Rerouted,
+}
+
+/// Status of a replica at the end of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaStatus {
+    /// Completed successfully.
+    Done,
+    /// Never completed: hosted on a failed processor, killed mid-run, or
+    /// starved of an input.
+    Dead,
+}
+
+/// Whether the application survived the scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimOutcome {
+    /// Every task completed at least one replica.
+    Completed,
+    /// Some task lost all its replicas.
+    Failed {
+        /// The first task (by id) with no surviving replica.
+        lost_task: TaskId,
+    },
+}
+
+/// Result of a crash simulation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Achieved application latency: max over exit tasks of the earliest
+    /// completed replica. `f64::INFINITY` when the outcome is `Failed`.
+    pub latency: f64,
+    /// Outcome of the run.
+    pub outcome: SimOutcome,
+    /// Per task, per replica: final status.
+    pub status: Vec<Vec<ReplicaStatus>>,
+    /// Per task, per replica: simulated `(start, finish)`; `None` for
+    /// dead replicas.
+    pub times: Vec<Vec<Option<(f64, f64)>>>,
+    /// Number of events processed (diagnostics).
+    pub events: usize,
+}
+
+impl SimResult {
+    /// Simulated finish of the earliest completed replica of `t`.
+    pub fn earliest_finish(&self, t: TaskId) -> Option<f64> {
+        self.times[t.index()]
+            .iter()
+            .flatten()
+            .map(|&(_, f)| f)
+            .min_by(f64::total_cmp)
+    }
+
+    /// Whether the application completed.
+    pub fn completed(&self) -> bool {
+        matches!(self.outcome, SimOutcome::Completed)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RepState {
+    /// Per predecessor slot: first arrival received?
+    satisfied: Vec<bool>,
+    /// Per predecessor slot: potential senders that may still deliver.
+    remaining: Vec<usize>,
+    /// Per predecessor slot: has the matched sender died (rerouted mode)?
+    matched_dead: Vec<bool>,
+    /// Number of satisfied slots.
+    satisfied_count: usize,
+    /// Time the latest first-arrival landed.
+    ready_time: f64,
+    phase: Phase,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Waiting,
+    Running,
+    Done,
+    Dead,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Data for replica `(task, rep)` along predecessor slot `slot`.
+    Arrival { task: TaskId, rep: usize, slot: usize },
+    /// Replica `(task, rep)` on processor `proc` completes.
+    Finish { task: TaskId, rep: usize, proc: usize },
+}
+
+/// Simulates `sched` under `scenario` with the default policy:
+/// [`FallbackPolicy::Rerouted`] for matched schedules (requires
+/// fail-at-time-zero scenarios), plain first-input-wins for all-to-all.
+pub fn simulate(inst: &Instance, sched: &Schedule, scenario: &FailureScenario) -> SimResult {
+    simulate_with(inst, sched, scenario, FallbackPolicy::Rerouted)
+}
+
+/// Simulates with an explicit matched-communication policy.
+///
+/// Failure time 0 means the processor never runs anything (the paper's
+/// experimental model); positive times model mid-execution fail-stops
+/// (a replica whose execution spans the failure instant is lost together
+/// with everything planned after it on that processor; a replica
+/// finishing at or before the instant completes and its messages are
+/// delivered — fail-silent semantics). Rerouted matched delivery is
+/// restricted to fail-at-time-zero scenarios.
+pub fn simulate_with(
+    inst: &Instance,
+    sched: &Schedule,
+    scenario: &FailureScenario,
+    policy: FallbackPolicy,
+) -> SimResult {
+    let matched = matches!(sched.comm, CommSelection::Matched(_));
+    let rerouted = matched && policy == FallbackPolicy::Rerouted;
+    if rerouted {
+        assert!(
+            scenario.iter().all(|(_, t)| t == 0.0),
+            "rerouted matched delivery supports fail-at-time-zero scenarios only"
+        );
+    }
+
+    let m = inst.num_procs();
+    let dag = &inst.dag;
+
+    let mut fail_at = vec![f64::INFINITY; m];
+    for (p, t) in scenario.iter() {
+        fail_at[p.index()] = t;
+    }
+
+    // Slot of each edge within its destination's predecessor list.
+    let mut slot_of_edge = vec![usize::MAX; dag.num_edges()];
+    for t in dag.tasks() {
+        for (slot, &(_, eid)) in dag.preds(t).iter().enumerate() {
+            slot_of_edge[eid.index()] = slot;
+        }
+    }
+
+    // matched_of[eid][dst_rep] = src replica index (matched schedules).
+    let matched_of: Vec<Vec<usize>> = match &sched.comm {
+        CommSelection::AllToAll => Vec::new(),
+        CommSelection::Matched(mm) => dag
+            .edge_list()
+            .map(|(eid, _, dst, _)| {
+                let mut v = vec![usize::MAX; sched.replicas_of(dst).len()];
+                for &(s, d) in &mm[eid.index()] {
+                    v[d] = s;
+                }
+                v
+            })
+            .collect(),
+    };
+
+    // Per-replica state. `remaining` counts the senders that may still
+    // deliver: all replicas of the predecessor for all-to-all and for
+    // rerouted matched delivery; exactly the matched sender for strict.
+    let mut state: Vec<Vec<RepState>> = Vec::with_capacity(dag.num_tasks());
+    for t in dag.tasks() {
+        let preds = dag.preds(t);
+        let reps = sched.replicas_of(t).len();
+        let mut per_task = Vec::with_capacity(reps);
+        #[allow(clippy::needless_range_loop)] // `rep` indexes parallel tables
+        for rep in 0..reps {
+            let remaining: Vec<usize> = preds
+                .iter()
+                .map(|&(p, eid)| {
+                    if matched && !rerouted {
+                        usize::from(matched_of[eid.index()][rep] != usize::MAX)
+                    } else {
+                        sched.replicas_of(p).len()
+                    }
+                })
+                .collect();
+            per_task.push(RepState {
+                satisfied: vec![false; preds.len()],
+                remaining,
+                matched_dead: vec![false; preds.len()],
+                satisfied_count: 0,
+                ready_time: 0.0,
+                phase: Phase::Waiting,
+            });
+        }
+        state.push(per_task);
+    }
+
+    let mut times: Vec<Vec<Option<(f64, f64)>>> = dag
+        .tasks()
+        .map(|t| vec![None; sched.replicas_of(t).len()])
+        .collect();
+
+    let mut ptr = vec![0usize; m];
+    let mut free_at = vec![0.0f64; m];
+    let mut proc_dead = vec![false; m];
+    let mut events: IndexedHeap<(OrdF64, usize)> = IndexedHeap::new(1024);
+    let mut event_data: Vec<Event> = Vec::with_capacity(1024);
+
+    // Receivers a dying/finishing sender replica `k` is *matched* to.
+    let matched_receivers = |eid: taskgraph::EdgeId, k: usize| -> Vec<usize> {
+        match &sched.comm {
+            CommSelection::AllToAll => Vec::new(),
+            CommSelection::Matched(mm) => mm[eid.index()]
+                .iter()
+                .filter(|&&(s, _)| s == k)
+                .map(|&(_, d)| d)
+                .collect(),
+        }
+    };
+
+    // Kill cascade: marks replicas dead, propagates starvation, flags
+    // matched_dead slots in rerouted mode. Returns touched processors.
+    let kill_cascade = |seed: Vec<(TaskId, usize)>,
+                        state: &mut Vec<Vec<RepState>>|
+     -> Vec<usize> {
+        let mut work = seed;
+        let mut touched = Vec::new();
+        while let Some((t, k)) = work.pop() {
+            if state[t.index()][k].phase != Phase::Waiting {
+                continue;
+            }
+            state[t.index()][k].phase = Phase::Dead;
+            touched.push(sched.replicas_of(t)[k].proc.index());
+            for &(s, eid) in dag.succs(t) {
+                let slot = slot_of_edge[eid.index()];
+                // Who loses a potential sender?
+                let affected: Vec<usize> = match (&sched.comm, rerouted) {
+                    (CommSelection::AllToAll, _) => {
+                        (0..sched.replicas_of(s).len()).collect()
+                    }
+                    (CommSelection::Matched(_), true) => {
+                        // Every receiver counted all senders; also flag
+                        // the matched ones for fallback delivery.
+                        for d in matched_receivers(eid, k) {
+                            state[s.index()][d].matched_dead[slot] = true;
+                        }
+                        (0..sched.replicas_of(s).len()).collect()
+                    }
+                    (CommSelection::Matched(_), false) => matched_receivers(eid, k),
+                };
+                for d in affected {
+                    let rst = &mut state[s.index()][d];
+                    if rst.phase == Phase::Waiting && !rst.satisfied[slot] {
+                        rst.remaining[slot] -= 1;
+                        if rst.remaining[slot] == 0 {
+                            work.push((s, d));
+                        }
+                    }
+                }
+            }
+        }
+        touched
+    };
+
+    // Advances processor `j`: skips dead replicas, starts the head when
+    // its inputs are ready, detects fail-stop overruns.
+    #[allow(clippy::too_many_arguments)]
+    fn try_advance(
+        j: usize,
+        inst: &Instance,
+        sched: &Schedule,
+        state: &mut [Vec<RepState>],
+        times: &mut [Vec<Option<(f64, f64)>>],
+        ptr: &mut [usize],
+        free_at: &mut [f64],
+        proc_dead: &mut [bool],
+        fail_at: &[f64],
+        start_queue: &mut Vec<(f64, TaskId, usize, usize)>,
+        kill_queue: &mut Vec<(TaskId, usize)>,
+    ) {
+        if proc_dead[j] {
+            return;
+        }
+        let order = &sched.proc_order[j];
+        while ptr[j] < order.len() {
+            let (t, k) = order[ptr[j]];
+            let st = &state[t.index()][k];
+            match st.phase {
+                Phase::Dead => {
+                    ptr[j] += 1;
+                }
+                Phase::Running | Phase::Done => return,
+                Phase::Waiting => {
+                    if st.satisfied_count < inst.dag.preds(t).len() {
+                        return; // head waits for inputs
+                    }
+                    let start = st.ready_time.max(free_at[j]);
+                    let finish = start + inst.exec.time(t.index(), j);
+                    if finish > fail_at[j] {
+                        // Fail-stop during (or before) this replica: it
+                        // and everything after it on this queue are lost.
+                        proc_dead[j] = true;
+                        for &(t2, k2) in &order[ptr[j]..] {
+                            kill_queue.push((t2, k2));
+                        }
+                        return;
+                    }
+                    state[t.index()][k].phase = Phase::Running;
+                    times[t.index()][k] = Some((start, finish));
+                    free_at[j] = finish;
+                    ptr[j] += 1;
+                    start_queue.push((finish, t, k, j));
+                }
+            }
+        }
+    }
+
+    // --- main loop -------------------------------------------------------
+
+    let mut seed_kills = Vec::new();
+    for j in 0..m {
+        if fail_at[j] <= 0.0 {
+            proc_dead[j] = true;
+            seed_kills.extend(sched.proc_order[j].iter().copied());
+        }
+    }
+    let mut pending_advance: Vec<usize> = (0..m).collect();
+    pending_advance.extend(kill_cascade(seed_kills, &mut state));
+
+    let mut start_queue: Vec<(f64, TaskId, usize, usize)> = Vec::new();
+    let mut kill_queue: Vec<(TaskId, usize)> = Vec::new();
+    let mut processed = 0usize;
+
+    loop {
+        while let Some(j) = pending_advance.pop() {
+            try_advance(
+                j, inst, sched, &mut state, &mut times, &mut ptr, &mut free_at,
+                &mut proc_dead, &fail_at, &mut start_queue, &mut kill_queue,
+            );
+            if !kill_queue.is_empty() {
+                let seeds = std::mem::take(&mut kill_queue);
+                pending_advance.extend(kill_cascade(seeds, &mut state));
+            }
+            for (finish, t, k, j2) in start_queue.drain(..) {
+                let id = event_data.len();
+                event_data.push(Event::Finish { task: t, rep: k, proc: j2 });
+                events.push(id, (OrdF64::new(finish), id));
+            }
+        }
+
+        let Some((id, (time, _))) = events.pop() else { break };
+        processed += 1;
+        let now = time.get();
+        match event_data[id] {
+            Event::Arrival { task, rep, slot } => {
+                let st = &mut state[task.index()][rep];
+                if st.phase != Phase::Waiting || st.satisfied[slot] {
+                    continue; // first-input-wins: later copies ignored
+                }
+                st.satisfied[slot] = true;
+                st.satisfied_count += 1;
+                st.ready_time = st.ready_time.max(now);
+                if st.satisfied_count == dag.preds(task).len() {
+                    pending_advance.push(sched.replicas_of(task)[rep].proc.index());
+                }
+            }
+            Event::Finish { task, rep, proc } => {
+                state[task.index()][rep].phase = Phase::Done;
+                for &(s, eid) in dag.succs(task) {
+                    let vol = dag.volume(eid);
+                    let slot = slot_of_edge[eid.index()];
+                    let candidates: Vec<usize> = match &sched.comm {
+                        CommSelection::AllToAll => {
+                            (0..sched.replicas_of(s).len()).collect()
+                        }
+                        CommSelection::Matched(_) if rerouted => {
+                            (0..sched.replicas_of(s).len()).collect()
+                        }
+                        CommSelection::Matched(_) => matched_receivers(eid, rep),
+                    };
+                    for d in candidates {
+                        let rst = &state[s.index()][d];
+                        if rst.phase != Phase::Waiting || rst.satisfied[slot] {
+                            continue;
+                        }
+                        // Rerouted matched delivery: a non-matched sender
+                        // only feeds receivers whose matched sender died.
+                        if rerouted
+                            && matched_of[eid.index()][d] != rep
+                            && !rst.matched_dead[slot]
+                        {
+                            continue;
+                        }
+                        let dst_proc = sched.replicas_of(s)[d].proc.index();
+                        let at = now + vol * inst.platform.delay(proc, dst_proc);
+                        let nid = event_data.len();
+                        event_data.push(Event::Arrival { task: s, rep: d, slot });
+                        events.push(nid, (OrdF64::new(at), nid));
+                    }
+                }
+                pending_advance.push(proc);
+            }
+        }
+    }
+
+    // --- results ----------------------------------------------------------
+
+    let status: Vec<Vec<ReplicaStatus>> = state
+        .iter()
+        .map(|per| {
+            per.iter()
+                .map(|s| match s.phase {
+                    Phase::Done => ReplicaStatus::Done,
+                    _ => ReplicaStatus::Dead,
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut outcome = SimOutcome::Completed;
+    for t in dag.tasks() {
+        if !times[t.index()].iter().any(Option::is_some) {
+            outcome = SimOutcome::Failed { lost_task: t };
+            break;
+        }
+    }
+    let latency = if matches!(outcome, SimOutcome::Failed { .. }) {
+        f64::INFINITY
+    } else {
+        dag.exits()
+            .iter()
+            .map(|&t| {
+                times[t.index()]
+                    .iter()
+                    .flatten()
+                    .map(|&(_, f)| f)
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .fold(0.0, f64::max)
+    };
+
+    SimResult { latency, outcome, status, times, events: processed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsched_core::{schedule, Algorithm, Replica};
+    use platform::gen::{paper_instance, PaperInstanceConfig};
+    use platform::{ExecutionMatrix, Platform, ProcId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use taskgraph::DagBuilder;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn diamond_instance(m: usize) -> Instance {
+        let mut b = DagBuilder::new();
+        let t: Vec<TaskId> = (0..4).map(|_| b.add_task(10.0)).collect();
+        b.add_edge(t[0], t[1], 5.0);
+        b.add_edge(t[0], t[2], 5.0);
+        b.add_edge(t[1], t[3], 5.0);
+        b.add_edge(t[2], t[3], 5.0);
+        let dag = b.build().unwrap();
+        let plat = Platform::uniform_delay(m, 1.0);
+        let exec = ExecutionMatrix::consistent(&dag, &vec![1.0; m]);
+        Instance::new(dag, plat, exec)
+    }
+
+    #[test]
+    fn no_failure_matches_lower_bound_ftsa() {
+        for seed in 0..4u64 {
+            let mut r = rng(seed);
+            let inst = paper_instance(&mut r, &PaperInstanceConfig::default());
+            for eps in [0usize, 1, 2] {
+                let s = schedule(&inst, eps, Algorithm::Ftsa, &mut rng(seed)).unwrap();
+                let sim = simulate(&inst, &s, &FailureScenario::none());
+                assert!(sim.completed());
+                assert!(
+                    (sim.latency - s.latency_lower_bound()).abs() < 1e-6,
+                    "sim(∅) must equal M* for FTSA (eps={eps}, seed={seed}): \
+                     {} vs {}",
+                    sim.latency,
+                    s.latency_lower_bound()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_failure_matches_lower_bound_mc_ftsa() {
+        let mut r = rng(10);
+        let inst = paper_instance(&mut r, &PaperInstanceConfig::default());
+        let s = schedule(&inst, 2, Algorithm::McFtsaGreedy, &mut rng(10)).unwrap();
+        let sim = simulate(&inst, &s, &FailureScenario::none());
+        assert!(sim.completed());
+        assert!((sim.latency - s.latency_lower_bound()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_failure_ftbar_within_bounds() {
+        let mut r = rng(11);
+        let inst = paper_instance(&mut r, &PaperInstanceConfig::default());
+        let s = schedule(&inst, 1, Algorithm::Ftbar, &mut rng(11)).unwrap();
+        let sim = simulate(&inst, &s, &FailureScenario::none());
+        assert!(sim.completed());
+        // FTBAR duplicates placed after a consumer can only improve
+        // arrivals, so the simulation may beat the stored bound.
+        assert!(sim.latency <= s.latency_lower_bound() + 1e-6);
+    }
+
+    #[test]
+    fn proposition_4_2_bounds_hold_for_all_to_all() {
+        for seed in 0..4u64 {
+            let mut r = rng(seed + 50);
+            let inst = paper_instance(&mut r, &PaperInstanceConfig::default());
+            for (eps, alg) in [
+                (1usize, Algorithm::Ftsa),
+                (2, Algorithm::Ftsa),
+                (1, Algorithm::Ftbar),
+            ] {
+                let s = schedule(&inst, eps, alg, &mut rng(seed)).unwrap();
+                for probe in 0..6u64 {
+                    let scen = FailureScenario::uniform(
+                        &mut rng(seed * 100 + probe),
+                        inst.num_procs(),
+                        eps,
+                    );
+                    let sim = simulate(&inst, &s, &scen);
+                    assert!(sim.completed(), "Theorem 4.1 violated ({alg:?})");
+                    assert!(
+                        sim.latency <= s.latency_upper_bound() + 1e-6,
+                        "L <= M violated ({alg:?}, eps={eps})"
+                    );
+                    assert!(
+                        sim.latency >= s.latency_lower_bound() - 1e-6,
+                        "M* <= L violated ({alg:?}, eps={eps})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mc_ftsa_rerouted_always_completes() {
+        for seed in 0..4u64 {
+            let mut r = rng(seed + 70);
+            let inst = paper_instance(&mut r, &PaperInstanceConfig::default());
+            for eps in [1usize, 2] {
+                let s =
+                    schedule(&inst, eps, Algorithm::McFtsaGreedy, &mut rng(seed)).unwrap();
+                for probe in 0..6u64 {
+                    let scen = FailureScenario::uniform(
+                        &mut rng(seed * 131 + probe),
+                        inst.num_procs(),
+                        eps,
+                    );
+                    let sim = simulate(&inst, &s, &scen);
+                    assert!(sim.completed(), "rerouted MC-FTSA must complete");
+                    assert!(sim.latency.is_finite());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mc_ftsa_strict_times_match_plan_when_completed() {
+        // Under strict delivery, every surviving replica runs exactly at
+        // its planned (deterministic) times.
+        let mut r = rng(12);
+        let inst = paper_instance(&mut r, &PaperInstanceConfig::default());
+        let s = schedule(&inst, 2, Algorithm::McFtsaGreedy, &mut rng(12)).unwrap();
+        for probe in 0..10u64 {
+            let scen = FailureScenario::uniform(&mut rng(probe), inst.num_procs(), 2);
+            let sim = simulate_with(&inst, &s, &scen, FallbackPolicy::Strict);
+            if !sim.completed() {
+                continue; // the composition gap: allowed under strict
+            }
+            for t in inst.dag.tasks() {
+                for (k, tm) in sim.times[t.index()].iter().enumerate() {
+                    if let Some((st, fi)) = *tm {
+                        let r = s.replicas_of(t)[k];
+                        assert!((st - r.start_lb).abs() < 1e-6);
+                        assert!((fi - r.finish_lb).abs() < 1e-6);
+                    }
+                }
+            }
+            assert!(sim.latency >= s.latency_lower_bound() - 1e-6);
+            assert!(sim.latency <= s.latency_upper_bound() + 1e-6);
+        }
+    }
+
+    /// Documents the Proposition 4.3 composition gap: per-edge robust
+    /// matchings do not guarantee joint input survival. One failure kills
+    /// both replicas of the join task under strict delivery; rerouted
+    /// delivery recovers it.
+    #[test]
+    fn strict_semantics_composition_gap() {
+        // DAG: a → t, b → t. ε = 1.
+        // a replicas: P0, P1; b replicas: P0, P2; t replicas: P3, P4.
+        // Matchings: a@P0 → t@P3, a@P1 → t@P4; b@P0 → t@P4, b@P2 → t@P3.
+        // Failure of P0 kills a@P0 (starving t@P3 via a) and b@P0
+        // (starving t@P4 via b): both replicas of t starve.
+        let mut bd = DagBuilder::new();
+        let a = bd.add_task(1.0);
+        let b = bd.add_task(1.0);
+        let t = bd.add_task(1.0);
+        let e_at = bd.add_edge(a, t, 1.0);
+        let e_bt = bd.add_edge(b, t, 1.0);
+        let dag = bd.build().unwrap();
+        let plat = Platform::uniform_delay(5, 1.0);
+        let exec = ExecutionMatrix::consistent(&dag, &[1.0; 5]);
+        let inst = Instance::new(dag, plat, exec);
+
+        let mk = |proc: u32, s: f64, f: f64| Replica {
+            proc: ProcId(proc),
+            start_lb: s,
+            finish_lb: f,
+            start_ub: s,
+            finish_ub: f,
+        };
+        let mut sched = ftsched_core::Schedule {
+            epsilon: 1,
+            replicas: vec![
+                vec![mk(0, 0.0, 1.0), mk(1, 0.0, 1.0)],
+                vec![mk(0, 1.0, 2.0), mk(2, 0.0, 1.0)],
+                vec![mk(3, 3.0, 4.0), mk(4, 3.0, 4.0)],
+            ],
+            proc_order: vec![
+                vec![(a, 0), (b, 0)],
+                vec![(a, 1)],
+                vec![(b, 1)],
+                vec![(t, 0)],
+                vec![(t, 1)],
+            ],
+            comm: CommSelection::AllToAll,
+            schedule_order: vec![a, b, t],
+        };
+        let mut matched = vec![Vec::new(); 2];
+        matched[e_at.index()] = vec![(0usize, 0usize), (1, 1)];
+        matched[e_bt.index()] = vec![(0usize, 1usize), (1, 0)];
+        sched.comm = CommSelection::Matched(matched);
+
+        let scen = FailureScenario::at_time_zero([ProcId(0)]);
+        let strict = simulate_with(&inst, &sched, &scen, FallbackPolicy::Strict);
+        assert!(
+            !strict.completed(),
+            "strict matched delivery must exhibit the composition gap"
+        );
+        let rerouted = simulate_with(&inst, &sched, &scen, FallbackPolicy::Rerouted);
+        assert!(rerouted.completed(), "rerouting must recover the join task");
+    }
+
+    #[test]
+    fn exhaustive_single_failures_diamond() {
+        let inst = diamond_instance(4);
+        for alg in [Algorithm::Ftsa, Algorithm::McFtsaGreedy, Algorithm::McFtsaBottleneck] {
+            let s = schedule(&inst, 1, alg, &mut rng(3)).unwrap();
+            for p in 0..4u32 {
+                let scen = FailureScenario::at_time_zero([ProcId(p)]);
+                let sim = simulate(&inst, &s, &scen);
+                assert!(sim.completed(), "{alg:?} lost a task when P{p} failed");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_double_failures_diamond() {
+        let inst = diamond_instance(5);
+        for alg in [Algorithm::Ftsa, Algorithm::McFtsaGreedy] {
+            let s = schedule(&inst, 2, alg, &mut rng(4)).unwrap();
+            for a in 0..5u32 {
+                for b in (a + 1)..5u32 {
+                    let scen = FailureScenario::at_time_zero([ProcId(a), ProcId(b)]);
+                    let sim = simulate(&inst, &s, &scen);
+                    assert!(sim.completed(), "{alg:?} failed under {{P{a}, P{b}}}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_failures_than_tolerated_can_lose_tasks() {
+        let inst = diamond_instance(3);
+        let s = schedule(&inst, 0, Algorithm::Ftsa, &mut rng(5)).unwrap();
+        let scen = FailureScenario::at_time_zero((0..3).map(ProcId));
+        let sim = simulate(&inst, &s, &scen);
+        assert!(!sim.completed());
+        assert_eq!(sim.latency, f64::INFINITY);
+    }
+
+    #[test]
+    fn failed_processor_executes_nothing() {
+        let inst = diamond_instance(4);
+        let s = schedule(&inst, 1, Algorithm::Ftsa, &mut rng(6)).unwrap();
+        let scen = FailureScenario::at_time_zero([ProcId(0)]);
+        let sim = simulate(&inst, &s, &scen);
+        for t in inst.dag.tasks() {
+            for (k, r) in s.replicas_of(t).iter().enumerate() {
+                if r.proc == ProcId(0) {
+                    assert_eq!(sim.status[t.index()][k], ReplicaStatus::Dead);
+                    assert!(sim.times[t.index()][k].is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mid_execution_failure_keeps_earlier_work() {
+        // Single proc chain: a (0..10) then c (10..20); proc fails at 15:
+        // a completes, c dies.
+        let mut b = DagBuilder::new();
+        let a = b.add_task(10.0);
+        let c = b.add_task(10.0);
+        b.add_edge(a, c, 0.0);
+        let dag = b.build().unwrap();
+        let plat = Platform::uniform_delay(2, 1.0);
+        let exec = ExecutionMatrix::consistent(&dag, &[1.0, 0.01]);
+        let inst = Instance::new(dag, plat, exec);
+        let s = schedule(&inst, 0, Algorithm::Ftsa, &mut rng(7)).unwrap();
+        // Both tasks land on fast P0 (P1 is 100x slower; intra comm free).
+        assert_eq!(s.replicas_of(a)[0].proc, ProcId(0));
+        assert_eq!(s.replicas_of(c)[0].proc, ProcId(0));
+        let scen = FailureScenario::new(vec![(ProcId(0), 15.0)]);
+        let sim = simulate(&inst, &s, &scen);
+        assert_eq!(sim.status[a.index()][0], ReplicaStatus::Done);
+        assert_eq!(sim.status[c.index()][0], ReplicaStatus::Dead);
+        assert!(!sim.completed());
+    }
+
+    #[test]
+    fn failure_exactly_at_finish_boundary_completes() {
+        let mut b = DagBuilder::new();
+        b.add_task(10.0);
+        let dag = b.build().unwrap();
+        let plat = Platform::uniform_delay(1, 1.0);
+        let exec = ExecutionMatrix::consistent(&dag, &[1.0]);
+        let inst = Instance::new(dag, plat, exec);
+        let s = schedule(&inst, 0, Algorithm::Ftsa, &mut rng(8)).unwrap();
+        let sim = simulate(
+            &inst,
+            &s,
+            &FailureScenario::new(vec![(ProcId(0), 10.0)]),
+        );
+        assert!(sim.completed(), "fail-silent boundary: finish == τ completes");
+        assert_eq!(sim.latency, 10.0);
+    }
+
+    #[test]
+    fn mc_ftsa_exhaustive_double_failures_rerouted() {
+        let mut r = rng(60);
+        let inst = paper_instance(
+            &mut r,
+            &PaperInstanceConfig {
+                tasks_lo: 30,
+                tasks_hi: 30,
+                procs: 6,
+                ..Default::default()
+            },
+        );
+        let s = schedule(&inst, 2, Algorithm::McFtsaGreedy, &mut rng(60)).unwrap();
+        for a in 0..6u32 {
+            for b in (a + 1)..6u32 {
+                let scen = FailureScenario::at_time_zero([ProcId(a), ProcId(b)]);
+                let sim = simulate(&inst, &s, &scen);
+                assert!(sim.completed(), "rerouted delivery failed {{P{a}, P{b}}}");
+                assert!(sim.latency.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_simulation() {
+        let inst = diamond_instance(4);
+        let s = schedule(&inst, 1, Algorithm::Ftsa, &mut rng(9)).unwrap();
+        let scen = FailureScenario::at_time_zero([ProcId(1)]);
+        let a = simulate(&inst, &s, &scen);
+        let b = simulate(&inst, &s, &scen);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.times, b.times);
+    }
+}

@@ -1,0 +1,264 @@
+//! Reliability analysis: the failure-probability model of the paper's
+//! future work (Section 7: "we want to study a more complex failure
+//! model, in which we would also account for the failure probability of
+//! the application").
+//!
+//! Processors fail independently with probability `p` (fail-stop, from
+//! time 0). A schedule *survives* a failure pattern when every task
+//! keeps at least one live, non-starved replica. Two estimators:
+//!
+//! * [`survival_probability_exact`] — sums over all `2^m` failure
+//!   patterns. The per-pattern check reduces to bitmask tests: a task
+//!   dies iff the failure mask covers its replica-processor mask, so the
+//!   exact computation handles `m ≤ ~24` comfortably after mask
+//!   deduplication.
+//! * [`survival_probability_monte_carlo`] — samples failure patterns;
+//!   also reports the conditional expected latency `E[L | survival]`
+//!   via the analytic replay.
+//!
+//! For all-to-all communication the mask reduction is *exact* (Theorem
+//! 4.1's argument: a task dies iff all its replica processors fail).
+//! For matched communication under the rerouted delivery policy the same
+//! rule applies (see `crash.rs`), so both schedule families are covered.
+
+use crate::replay::replay;
+use ftsched_core::Schedule;
+use platform::{FailureScenario, Instance, ProcId};
+use rand::Rng;
+
+/// Per-task replica-processor masks, deduplicated. The schedule fails
+/// under failure mask `F` iff some task mask `T` satisfies `T & F == T`.
+fn task_masks(sched: &Schedule, m: usize) -> Vec<u64> {
+    assert!(m <= 64, "mask-based reliability supports up to 64 processors");
+    let mut masks: Vec<u64> = sched
+        .replicas
+        .iter()
+        .filter(|reps| !reps.is_empty())
+        .map(|reps| {
+            reps.iter().fold(0u64, |acc, r| acc | (1u64 << r.proc.index()))
+        })
+        .collect();
+    masks.sort_unstable();
+    masks.dedup();
+    // Drop masks that are supersets of another mask: if the smaller mask
+    // is fully failed, the schedule already failed.
+    let reduced: Vec<u64> = masks
+        .iter()
+        .copied()
+        .filter(|&t| !masks.iter().any(|&o| o != t && (t & o) == o))
+        .collect();
+    reduced
+}
+
+/// Exact probability that the schedule survives iid per-processor
+/// failure probability `p` (any number of failures may occur — this goes
+/// beyond the `≤ ε` design point).
+pub fn survival_probability_exact(inst: &Instance, sched: &Schedule, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p));
+    let m = inst.num_procs();
+    assert!(m <= 24, "exact enumeration is exponential; use Monte Carlo beyond 24");
+    let masks = task_masks(sched, m);
+    if masks.is_empty() {
+        return 1.0;
+    }
+    let mut survive = 0.0f64;
+    for f in 0u64..(1u64 << m) {
+        // Subset test, not equality — clippy's `contains` rewrite would
+        // change the semantics.
+        #[allow(clippy::manual_contains)]
+        let dead_task = masks.iter().any(|&t| (t & f) == t);
+        if dead_task {
+            continue; // some task lost every replica
+        }
+        let k = f.count_ones() as i32;
+        survive += p.powi(k) * (1.0 - p).powi(m as i32 - k);
+    }
+    survive
+}
+
+/// Result of a Monte Carlo reliability estimate.
+#[derive(Debug, Clone)]
+pub struct MonteCarloReliability {
+    /// Estimated survival probability.
+    pub survival: f64,
+    /// Mean achieved latency conditioned on survival (`NaN` when no
+    /// sample survived).
+    pub expected_latency: f64,
+    /// Number of samples drawn.
+    pub samples: usize,
+}
+
+/// Monte Carlo estimate of the survival probability and the conditional
+/// expected latency under iid per-processor failure probability `p`.
+pub fn survival_probability_monte_carlo(
+    inst: &Instance,
+    sched: &Schedule,
+    p: f64,
+    samples: usize,
+    rng: &mut impl Rng,
+) -> MonteCarloReliability {
+    assert!((0.0..=1.0).contains(&p));
+    assert!(samples > 0);
+    let m = inst.num_procs();
+    let mut survived = 0usize;
+    let mut latency_acc = 0.0f64;
+    for _ in 0..samples {
+        let failed: Vec<ProcId> = (0..m as u32)
+            .map(ProcId)
+            .filter(|_| rng.gen_bool(p))
+            .collect();
+        let scen = FailureScenario::at_time_zero(failed);
+        let r = replay(inst, sched, &scen);
+        if r.completed {
+            survived += 1;
+            latency_acc += r.latency;
+        }
+    }
+    MonteCarloReliability {
+        survival: survived as f64 / samples as f64,
+        expected_latency: if survived > 0 {
+            latency_acc / survived as f64
+        } else {
+            f64::NAN
+        },
+        samples,
+    }
+}
+
+/// Probability that *at most* `epsilon` of `m` processors fail — the
+/// design point the ε-replication targets. `P(valid) ≥ P(≤ ε failures)`
+/// always holds by Theorem 4.1.
+pub fn design_point_probability(m: usize, epsilon: usize, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p));
+    let mut total = 0.0f64;
+    for k in 0..=epsilon.min(m) {
+        total += binomial(m, k) * p.powi(k as i32) * (1.0 - p).powi((m - k) as i32);
+    }
+    total.min(1.0)
+}
+
+fn binomial(n: usize, k: usize) -> f64 {
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsched_core::{schedule, Algorithm};
+    use platform::gen::{paper_instance, PaperInstanceConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_instance(procs: usize, seed: u64) -> Instance {
+        let mut r = StdRng::seed_from_u64(seed);
+        paper_instance(
+            &mut r,
+            &PaperInstanceConfig {
+                tasks_lo: 25,
+                tasks_hi: 25,
+                procs,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn zero_failure_probability_means_certainty() {
+        let inst = small_instance(6, 1);
+        let s = schedule(&inst, 1, Algorithm::Ftsa, &mut StdRng::seed_from_u64(1)).unwrap();
+        assert_eq!(survival_probability_exact(&inst, &s, 0.0), 1.0);
+    }
+
+    #[test]
+    fn all_processors_failing_kills_everything() {
+        let inst = small_instance(6, 2);
+        let s = schedule(&inst, 1, Algorithm::Ftsa, &mut StdRng::seed_from_u64(2)).unwrap();
+        let surv = survival_probability_exact(&inst, &s, 1.0);
+        assert!(surv.abs() < 1e-12);
+    }
+
+    #[test]
+    fn survival_dominates_design_point() {
+        // Theorem 4.1 probabilistically: P(survive) >= P(<= eps failures).
+        let inst = small_instance(8, 3);
+        for eps in [1usize, 2] {
+            let s = schedule(&inst, eps, Algorithm::Ftsa, &mut StdRng::seed_from_u64(3))
+                .unwrap();
+            for p in [0.05, 0.2, 0.5] {
+                let surv = survival_probability_exact(&inst, &s, p);
+                let dp = design_point_probability(8, eps, p);
+                assert!(
+                    surv >= dp - 1e-12,
+                    "eps={eps} p={p}: survival {surv} < design point {dp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replication_improves_reliability() {
+        let inst = small_instance(8, 4);
+        let p = 0.3;
+        let mut last = 0.0;
+        for eps in [0usize, 1, 2, 3] {
+            let s = schedule(&inst, eps, Algorithm::Ftsa, &mut StdRng::seed_from_u64(4))
+                .unwrap();
+            let surv = survival_probability_exact(&inst, &s, p);
+            assert!(surv >= last - 1e-9, "more replicas must not hurt reliability");
+            last = surv;
+        }
+        assert!(last > 0.5, "eps=3 of 8 procs at p=0.3 should be quite safe");
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_exact() {
+        let inst = small_instance(7, 5);
+        let s = schedule(&inst, 2, Algorithm::Ftsa, &mut StdRng::seed_from_u64(5)).unwrap();
+        let p = 0.25;
+        let exact = survival_probability_exact(&inst, &s, p);
+        let mc = survival_probability_monte_carlo(
+            &inst,
+            &s,
+            p,
+            4000,
+            &mut StdRng::seed_from_u64(99),
+        );
+        assert!(
+            (mc.survival - exact).abs() < 0.03,
+            "MC {} vs exact {exact}",
+            mc.survival
+        );
+        if mc.survival > 0.0 {
+            assert!(mc.expected_latency >= s.latency_lower_bound() - 1e-6);
+        }
+    }
+
+    #[test]
+    fn matched_schedules_supported() {
+        let inst = small_instance(6, 6);
+        let s = schedule(&inst, 2, Algorithm::McFtsaGreedy, &mut StdRng::seed_from_u64(6))
+            .unwrap();
+        let surv = survival_probability_exact(&inst, &s, 0.2);
+        assert!((0.0..=1.0).contains(&surv));
+        // Sanity against Monte Carlo (which uses rerouted replay).
+        let mc = survival_probability_monte_carlo(
+            &inst,
+            &s,
+            0.2,
+            3000,
+            &mut StdRng::seed_from_u64(7),
+        );
+        assert!((mc.survival - surv).abs() < 0.04);
+    }
+
+    #[test]
+    fn design_point_formula() {
+        // m=2, eps=1, p=0.5: P(0 or 1 failure) = 0.25 + 0.5 = 0.75.
+        assert!((design_point_probability(2, 1, 0.5) - 0.75).abs() < 1e-12);
+        assert_eq!(design_point_probability(5, 5, 0.9), 1.0);
+    }
+}

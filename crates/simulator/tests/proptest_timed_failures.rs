@@ -1,0 +1,120 @@
+//! Property tests for mid-execution (timed) fail-stop failures — the
+//! extension beyond the paper's fail-at-time-zero experimental model.
+//!
+//! Key monotonicity: a processor failing at time `τ > 0` has delivered a
+//! superset of what it delivers failing at time 0, and the first-input-
+//! wins / in-order execution semantics are monotone in deliveries, so
+//! the achieved latency can only improve (and `L ≤ M` still holds for
+//! all-to-all schedules).
+
+use ftsched_core::{schedule, Algorithm};
+use platform::gen::{paper_instance, PaperInstanceConfig};
+use platform::{FailureScenario, Instance, ProcId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simulator::simulate;
+
+fn make_instance(seed: u64, procs: usize) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    paper_instance(
+        &mut rng,
+        &PaperInstanceConfig {
+            tasks_lo: 40,
+            tasks_hi: 40,
+            procs,
+            granularity: 1.0,
+            ..Default::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn timed_failures_complete_and_respect_upper_bound(
+        seed in 0u64..3_000,
+        procs in 4usize..9,
+        eps_raw in 1usize..3,
+        // Failure times as fractions of the guaranteed latency M.
+        fracs in proptest::collection::vec(0.0f64..1.5, 1..3),
+    ) {
+        let eps = eps_raw.min(procs - 1);
+        let inst = make_instance(seed, procs);
+        let sched =
+            schedule(&inst, eps, Algorithm::Ftsa, &mut StdRng::seed_from_u64(seed)).unwrap();
+        let m_up = sched.latency_upper_bound();
+
+        // Fail |fracs| <= eps distinct processors at the given times.
+        let count = fracs.len().min(eps);
+        let mut frng = StdRng::seed_from_u64(seed ^ 0x71D);
+        let base = FailureScenario::uniform(&mut frng, procs, count);
+        let victims: Vec<ProcId> = base.iter().map(|(p, _)| p).collect();
+        let scen = FailureScenario::new(
+            victims
+                .iter()
+                .zip(&fracs)
+                .map(|(&p, &f)| (p, f * m_up))
+                .collect(),
+        );
+
+        let sim = simulate(&inst, &sched, &scen);
+        prop_assert!(sim.completed(), "≤ ε timed failures must be masked");
+        prop_assert!(
+            sim.latency <= m_up + 1e-6,
+            "L = {} must stay within M = {m_up}",
+            sim.latency
+        );
+        prop_assert!(sim.latency >= sched.latency_lower_bound() - 1e-6);
+    }
+
+    #[test]
+    fn later_failure_never_hurts(
+        seed in 0u64..3_000,
+        procs in 4usize..9,
+        frac in 0.0f64..1.2,
+    ) {
+        let inst = make_instance(seed, procs);
+        let sched =
+            schedule(&inst, 1, Algorithm::Ftsa, &mut StdRng::seed_from_u64(seed)).unwrap();
+        let victim = ProcId((seed % procs as u64) as u32);
+        let at_zero = simulate(
+            &inst,
+            &sched,
+            &FailureScenario::at_time_zero([victim]),
+        );
+        let timed = simulate(
+            &inst,
+            &sched,
+            &FailureScenario::new(vec![(victim, frac * sched.latency_upper_bound())]),
+        );
+        prop_assert!(timed.completed() && at_zero.completed());
+        prop_assert!(
+            timed.latency <= at_zero.latency + 1e-6,
+            "failing later ({}) must not be worse than failing at 0 ({})",
+            timed.latency,
+            at_zero.latency
+        );
+    }
+
+    #[test]
+    fn failure_after_completion_is_invisible(
+        seed in 0u64..2_000,
+        procs in 4usize..8,
+    ) {
+        let inst = make_instance(seed, procs);
+        let sched =
+            schedule(&inst, 1, Algorithm::Ftsa, &mut StdRng::seed_from_u64(seed)).unwrap();
+        let clean = simulate(&inst, &sched, &FailureScenario::none());
+        // Fail every processor strictly after the last replica finished:
+        // nothing changes.
+        let horizon = sched.latency_upper_bound() + 1.0;
+        let scen = FailureScenario::new(
+            (0..procs as u32).map(|p| (ProcId(p), horizon)).collect(),
+        );
+        let sim = simulate(&inst, &sched, &scen);
+        prop_assert!(sim.completed());
+        prop_assert!((sim.latency - clean.latency).abs() < 1e-9);
+    }
+}

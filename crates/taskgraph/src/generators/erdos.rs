@@ -1,0 +1,128 @@
+//! Erdős–Rényi-style random DAGs: a random topological permutation with
+//! independent forward edges.
+
+use super::{connect_components, Range, DEFAULT_WORK, PAPER_VOLUMES};
+use crate::graph::{Dag, DagBuilder, TaskId};
+use rand::Rng;
+
+/// Configuration for [`erdos`].
+#[derive(Debug, Clone)]
+pub struct ErdosConfig {
+    /// Total number of tasks.
+    pub tasks: usize,
+    /// Probability of each forward pair `(i, j)` being an edge.
+    pub edge_prob: f64,
+    /// Cap on the out-degree of a task (keeps dense instances bounded);
+    /// `usize::MAX` disables the cap.
+    pub max_out_degree: usize,
+    /// Distribution of raw task work.
+    pub work: Range,
+    /// Distribution of edge data volumes.
+    pub volumes: Range,
+}
+
+impl ErdosConfig {
+    /// Sparse default: expected out-degree ≈ 3, paper-style volumes.
+    pub fn sparse(tasks: usize) -> Self {
+        ErdosConfig {
+            tasks,
+            edge_prob: (3.0 / tasks.max(2) as f64).min(1.0),
+            max_out_degree: 8,
+            work: DEFAULT_WORK,
+            volumes: PAPER_VOLUMES,
+        }
+    }
+}
+
+/// Generates a random DAG by sampling forward edges over a random
+/// permutation of the tasks, then connecting stray components.
+pub fn erdos(rng: &mut impl Rng, cfg: &ErdosConfig) -> Dag {
+    assert!(cfg.tasks > 0);
+    assert!((0.0..=1.0).contains(&cfg.edge_prob));
+
+    let mut b = DagBuilder::with_capacity(cfg.tasks, cfg.tasks * 4);
+    let ids: Vec<TaskId> = (0..cfg.tasks).map(|_| b.add_task(cfg.work.sample(rng))).collect();
+
+    // Random topological permutation.
+    let mut order: Vec<usize> = (0..cfg.tasks).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+
+    for i in 0..cfg.tasks {
+        let mut out = 0usize;
+        for j in (i + 1)..cfg.tasks {
+            if out >= cfg.max_out_degree {
+                break;
+            }
+            if rng.gen_bool(cfg.edge_prob) {
+                b.add_edge(ids[order[i]], ids[order[j]], cfg.volumes.sample(rng));
+                out += 1;
+            }
+        }
+    }
+
+    let dag = b.build().expect("forward edges over a permutation are acyclic");
+    connect_components(dag, rng, cfg.volumes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::is_weakly_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn basic_properties() {
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = erdos(&mut rng, &ErdosConfig::sparse(100));
+            assert_eq!(g.num_tasks(), 100);
+            assert!(is_weakly_connected(&g));
+            assert_eq!(g.topological_order().len(), 100);
+        }
+    }
+
+    #[test]
+    fn out_degree_cap_respected_before_connection() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = ErdosConfig {
+            tasks: 60,
+            edge_prob: 0.9,
+            max_out_degree: 3,
+            work: Range::new(1.0, 1.0),
+            volumes: Range::new(1.0, 1.0),
+        };
+        let g = erdos(&mut rng, &cfg);
+        // Connection pass may add a handful of extra edges; allow slack 1.
+        for t in g.tasks() {
+            assert!(g.out_degree(t) <= 4, "task {t} exceeds capped degree");
+        }
+    }
+
+    #[test]
+    fn zero_probability_still_connects() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = ErdosConfig { edge_prob: 0.0, ..ErdosConfig::sparse(20) };
+        let g = erdos(&mut rng, &cfg);
+        assert!(is_weakly_connected(&g));
+        // Connecting 20 isolated nodes takes >= 19 edges.
+        assert!(g.num_edges() >= 19);
+    }
+
+    #[test]
+    fn dense_graph_has_many_edges() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let cfg = ErdosConfig {
+            tasks: 30,
+            edge_prob: 0.5,
+            max_out_degree: usize::MAX,
+            work: DEFAULT_WORK,
+            volumes: PAPER_VOLUMES,
+        };
+        let g = erdos(&mut rng, &cfg);
+        assert!(g.num_edges() > 100);
+    }
+}

@@ -1,0 +1,157 @@
+//! Layered random DAGs — the workhorse of the scheduling literature.
+//!
+//! Tasks are partitioned into consecutive layers; every non-entry task
+//! draws 1–`max_in_degree` predecessors from the `locality` preceding
+//! layers. The result is weakly connected (a post-pass links stray
+//! components with level-respecting edges).
+
+use super::{connect_components, Range, DEFAULT_WORK, PAPER_VOLUMES};
+use crate::graph::{Dag, DagBuilder, TaskId};
+use rand::Rng;
+
+/// Configuration for [`layered`].
+#[derive(Debug, Clone)]
+pub struct LayeredConfig {
+    /// Total number of tasks.
+    pub tasks: usize,
+    /// Mean layer width; actual widths are uniform in `[1, 2·mean − 1]`.
+    pub mean_width: usize,
+    /// Maximum number of predecessors drawn per non-entry task.
+    pub max_in_degree: usize,
+    /// How many preceding layers a task may draw predecessors from.
+    pub locality: usize,
+    /// Distribution of raw task work (calibrated later for granularity).
+    pub work: Range,
+    /// Distribution of edge data volumes.
+    pub volumes: Range,
+}
+
+impl LayeredConfig {
+    /// Paper-style configuration for a graph of `tasks` tasks: mean width
+    /// `√tasks`, up to 4 predecessors, locality 3, volumes `U[50, 150]`.
+    pub fn paper(tasks: usize) -> Self {
+        let mean_width = (tasks as f64).sqrt().round().max(2.0) as usize;
+        LayeredConfig {
+            tasks,
+            mean_width,
+            max_in_degree: 4,
+            locality: 3,
+            work: DEFAULT_WORK,
+            volumes: PAPER_VOLUMES,
+        }
+    }
+}
+
+/// Generates a layered random DAG.
+pub fn layered(rng: &mut impl Rng, cfg: &LayeredConfig) -> Dag {
+    assert!(cfg.tasks > 0, "need at least one task");
+    assert!(cfg.mean_width > 0 && cfg.max_in_degree > 0 && cfg.locality > 0);
+
+    // Partition tasks into layers.
+    let mut layer_of: Vec<Vec<TaskId>> = Vec::new();
+    let mut b = DagBuilder::with_capacity(cfg.tasks, cfg.tasks * 2);
+    let mut remaining = cfg.tasks;
+    while remaining > 0 {
+        let hi = (2 * cfg.mean_width).saturating_sub(1).max(1);
+        let width = rng.gen_range(1..=hi).min(remaining);
+        let layer: Vec<TaskId> =
+            (0..width).map(|_| b.add_task(cfg.work.sample(rng))).collect();
+        layer_of.push(layer);
+        remaining -= width;
+    }
+
+    // Draw predecessors for every task beyond layer 0.
+    for li in 1..layer_of.len() {
+        let lo_layer = li.saturating_sub(cfg.locality);
+        let pool: Vec<TaskId> = layer_of[lo_layer..li].iter().flatten().copied().collect();
+        for &t in &layer_of[li] {
+            let k = rng.gen_range(1..=cfg.max_in_degree).min(pool.len());
+            // Partial Fisher–Yates over a scratch copy for distinct picks.
+            let mut scratch = pool.clone();
+            for i in 0..k {
+                let j = rng.gen_range(i..scratch.len());
+                scratch.swap(i, j);
+                b.add_edge(scratch[i], t, cfg.volumes.sample(rng));
+            }
+        }
+    }
+
+    let dag = b.build().expect("layered construction is acyclic by layer order");
+    connect_components(dag, rng, cfg.volumes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{is_weakly_connected, levels};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn respects_task_count() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for tasks in [1, 2, 17, 100, 137] {
+            let g = layered(&mut rng, &LayeredConfig::paper(tasks));
+            assert_eq!(g.num_tasks(), tasks);
+        }
+    }
+
+    #[test]
+    fn connected_and_acyclic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for seed in 0..20 {
+            let mut r2 = StdRng::seed_from_u64(seed);
+            let g = layered(&mut r2, &LayeredConfig::paper(120));
+            assert!(is_weakly_connected(&g), "seed {seed}");
+            assert_eq!(g.topological_order().len(), g.num_tasks());
+            let _ = &mut rng;
+        }
+    }
+
+    #[test]
+    fn volumes_and_work_within_ranges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = LayeredConfig::paper(100);
+        let g = layered(&mut rng, &cfg);
+        for t in g.tasks() {
+            assert!(g.work(t) >= cfg.work.lo && g.work(t) <= cfg.work.hi);
+        }
+        for (_, _, _, v) in g.edge_list() {
+            assert!((cfg.volumes.lo..=cfg.volumes.hi).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g1 = layered(&mut StdRng::seed_from_u64(9), &LayeredConfig::paper(80));
+        let g2 = layered(&mut StdRng::seed_from_u64(9), &LayeredConfig::paper(80));
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        let e1: Vec<_> = g1.edge_list().collect();
+        let e2: Vec<_> = g2.edge_list().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn locality_bounds_edge_span() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = LayeredConfig { locality: 1, ..LayeredConfig::paper(90) };
+        let g = layered(&mut rng, &cfg);
+        // With locality 1, in the pre-connection graph every edge spans
+        // exactly one layer. The connection pass may add longer edges, so
+        // only check that *most* edges are short.
+        let lv = levels(&g);
+        let short = g
+            .edge_list()
+            .filter(|(_, s, d, _)| lv[d.index()] - lv[s.index()] <= 1)
+            .count();
+        assert!(short * 10 >= g.num_edges() * 9);
+    }
+
+    #[test]
+    fn single_task() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = layered(&mut rng, &LayeredConfig::paper(1));
+        assert_eq!(g.num_tasks(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

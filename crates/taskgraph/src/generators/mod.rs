@@ -1,0 +1,202 @@
+//! Random task-graph generators.
+//!
+//! The paper's evaluation (Section 6) uses "randomly generated graphs,
+//! whose parameters are consistent with those used in the literature":
+//! task counts uniform in `[100, 150]`, message volumes uniform in
+//! `[50, 150]`, and granularity calibrated afterwards against the platform
+//! (see the platform crate). The layered generator is the classic shape
+//! used throughout the list-scheduling literature; Erdős–Rényi-style and
+//! fork–join generators cover sparser/denser and more structured regimes.
+
+mod erdos;
+mod fork_join;
+mod layered;
+mod series_parallel;
+
+pub use erdos::{erdos, ErdosConfig};
+pub use fork_join::{fork_join, ForkJoinConfig};
+pub use layered::{layered, LayeredConfig};
+pub use series_parallel::{series_parallel, SeriesParallelConfig};
+
+use crate::graph::{Dag, DagBuilder, TaskId};
+use crate::topology::levels;
+use rand::Rng;
+
+/// Inclusive range helper for drawing uniform values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Range {
+    /// Lower bound (inclusive).
+    pub lo: f64,
+    /// Upper bound (inclusive).
+    pub hi: f64,
+}
+
+impl Range {
+    /// Creates a range; requires `lo <= hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi && lo.is_finite() && hi.is_finite());
+        Range { lo, hi }
+    }
+
+    /// Draws a uniform sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        if self.lo == self.hi {
+            self.lo
+        } else {
+            rng.gen_range(self.lo..=self.hi)
+        }
+    }
+}
+
+/// The paper's message-volume distribution `U[50, 150]`.
+pub const PAPER_VOLUMES: Range = Range { lo: 50.0, hi: 150.0 };
+
+/// Raw task work distribution used before granularity calibration.
+pub const DEFAULT_WORK: Range = Range { lo: 10.0, hi: 100.0 };
+
+/// Connects a possibly-disconnected layered DAG into one weak component by
+/// adding forward edges between components, respecting the level order so
+/// the result stays acyclic. Returns the connected DAG.
+pub(crate) fn connect_components(
+    dag: Dag,
+    rng: &mut impl Rng,
+    volumes: Range,
+) -> Dag {
+    let n = dag.num_tasks();
+    if n <= 1 {
+        return dag;
+    }
+    // Union-find over the undirected skeleton.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let union = |parent: &mut [usize], a: usize, b: usize| {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    };
+    for (_, s, d, _) in dag.edge_list() {
+        union(&mut parent, s.index(), d.index());
+    }
+    let lv = levels(&dag);
+    let roots: Vec<usize> = (0..n).map(|i| find(&mut parent, i)).collect();
+    let distinct: std::collections::HashSet<usize> = roots.iter().copied().collect();
+    if distinct.len() == 1 {
+        return dag;
+    }
+
+    // Rebuild with extra linking edges: attach every secondary component to
+    // the component of task 0 via a level-respecting edge.
+    let mut b = DagBuilder::with_capacity(n, dag.num_edges() + distinct.len());
+    for t in dag.tasks() {
+        b.add_task(dag.work(t));
+    }
+    for (_, s, d, v) in dag.edge_list() {
+        b.add_edge(s, d, v);
+    }
+    let main_root = roots[0];
+    // Representatives of each non-main component.
+    let mut reps: Vec<usize> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for (i, &r) in roots.iter().enumerate() {
+        if r != main_root && seen.insert(r) {
+            reps.push(i);
+        }
+    }
+    // Collect main-component members once.
+    let main_members: Vec<usize> = (0..n).filter(|&i| roots[i] == main_root).collect();
+    for rep in reps {
+        // Pick a main-component node at a strictly different level; edge
+        // direction follows the level order, so no cycle can form.
+        let candidates: Vec<usize> = main_members
+            .iter()
+            .copied()
+            .filter(|&mmm| lv[mmm] != lv[rep])
+            .collect();
+        let (src, dst) = if let Some(&mm) = pick(rng, &candidates) {
+            if lv[mm] < lv[rep] {
+                (mm, rep)
+            } else {
+                (rep, mm)
+            }
+        } else {
+            // Entire main component sits on the same level as `rep` (an
+            // antichain); a direct edge is still acyclic.
+            let mm = *pick(rng, &main_members).expect("main component nonempty");
+            (rep, mm)
+        };
+        b.add_edge(
+            TaskId(src as u32),
+            TaskId(dst as u32),
+            volumes.sample(rng),
+        );
+    }
+    b.build().expect("level-respecting extra edges keep the DAG acyclic")
+}
+
+fn pick<'a, T>(rng: &mut impl Rng, xs: &'a [T]) -> Option<&'a T> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(&xs[rng.gen_range(0..xs.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn range_sampling_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = Range::new(2.0, 5.0);
+        for _ in 0..100 {
+            let x = r.sample(&mut rng);
+            assert!((2.0..=5.0).contains(&x));
+        }
+        let point = Range::new(3.0, 3.0);
+        assert_eq!(point.sample(&mut rng), 3.0);
+    }
+
+    #[test]
+    fn connect_components_links_everything() {
+        use crate::graph::DagBuilder;
+        use crate::topology::is_weakly_connected;
+        // Three disjoint chains.
+        let mut b = DagBuilder::new();
+        for _ in 0..3 {
+            let a = b.add_task(1.0);
+            let c = b.add_task(1.0);
+            b.add_edge(a, c, 1.0);
+        }
+        let g = b.build().unwrap();
+        assert!(!is_weakly_connected(&g));
+        let mut rng = StdRng::seed_from_u64(7);
+        let g2 = connect_components(g, &mut rng, Range::new(1.0, 1.0));
+        assert!(is_weakly_connected(&g2));
+        assert_eq!(g2.num_tasks(), 6);
+        assert!(g2.num_edges() >= 5);
+    }
+
+    #[test]
+    fn connect_antichain() {
+        use crate::graph::DagBuilder;
+        use crate::topology::is_weakly_connected;
+        let mut b = DagBuilder::new();
+        for _ in 0..4 {
+            b.add_task(1.0);
+        }
+        let g = b.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let g2 = connect_components(g, &mut rng, Range::new(1.0, 1.0));
+        assert!(is_weakly_connected(&g2));
+    }
+}

@@ -1,0 +1,156 @@
+//! Random series–parallel DAGs.
+//!
+//! Built by recursive composition starting from a single edge: a
+//! component is either a *series* composition (two components chained)
+//! or a *parallel* composition (two components sharing endpoints).
+//! Series–parallel graphs are a classic benchmark family in the
+//! scheduling literature; their recursive structure gives schedulers
+//! clean join points that random layered graphs lack.
+
+use super::Range;
+use crate::graph::{Dag, DagBuilder, TaskId};
+use rand::Rng;
+
+/// Configuration for [`series_parallel`].
+#[derive(Debug, Clone)]
+pub struct SeriesParallelConfig {
+    /// Approximate number of tasks (the recursion stops once reached;
+    /// actual counts land within a small factor).
+    pub target_tasks: usize,
+    /// Probability of a parallel (vs series) composition at each step.
+    pub parallel_prob: f64,
+    /// Distribution of raw task work.
+    pub work: Range,
+    /// Distribution of edge data volumes.
+    pub volumes: Range,
+}
+
+impl SeriesParallelConfig {
+    /// Balanced default: equal series/parallel mix.
+    pub fn new(target_tasks: usize) -> Self {
+        SeriesParallelConfig {
+            target_tasks,
+            parallel_prob: 0.5,
+            work: Range::new(10.0, 100.0),
+            volumes: Range::new(50.0, 150.0),
+        }
+    }
+}
+
+/// Generates a random series–parallel DAG with a single entry and a
+/// single exit.
+pub fn series_parallel(rng: &mut impl Rng, cfg: &SeriesParallelConfig) -> Dag {
+    assert!(cfg.target_tasks >= 2);
+    assert!((0.0..=1.0).contains(&cfg.parallel_prob));
+    let mut b = DagBuilder::new();
+    let source = b.add_task(cfg.work.sample(rng));
+    let sink = b.add_task(cfg.work.sample(rng));
+    expand(rng, cfg, &mut b, source, sink, cfg.target_tasks.saturating_sub(2));
+    b.build().expect("series-parallel construction is acyclic")
+}
+
+/// Recursively expands the component between `from` and `to` using up to
+/// `budget` additional tasks.
+fn expand(
+    rng: &mut impl Rng,
+    cfg: &SeriesParallelConfig,
+    b: &mut DagBuilder,
+    from: TaskId,
+    to: TaskId,
+    budget: usize,
+) {
+    if budget == 0 {
+        b.add_edge(from, to, cfg.volumes.sample(rng));
+        return;
+    }
+    if rng.gen_bool(cfg.parallel_prob) {
+        // Parallel: split the budget over 2 branches sharing (from, to).
+        // Each branch gets an intermediate node so the two branches stay
+        // distinct edges.
+        let left_budget = rng.gen_range(0..=budget.saturating_sub(1));
+        let right_budget = budget - 1 - left_budget.min(budget - 1);
+        let mid = b.add_task(cfg.work.sample(rng));
+        expand(rng, cfg, b, from, mid, left_budget.min(budget - 1));
+        b.add_edge(mid, to, cfg.volumes.sample(rng));
+        if right_budget == 0 {
+            // Second branch may collapse to a direct edge — allowed only
+            // if no such edge exists yet; otherwise give it a node.
+            let mid2 = b.add_task(cfg.work.sample(rng));
+            b.add_edge(from, mid2, cfg.volumes.sample(rng));
+            b.add_edge(mid2, to, cfg.volumes.sample(rng));
+        } else {
+            let mid2 = b.add_task(cfg.work.sample(rng));
+            expand(rng, cfg, b, from, mid2, right_budget - 1);
+            b.add_edge(mid2, to, cfg.volumes.sample(rng));
+        }
+    } else {
+        // Series: from → mid → to, budget split across the two halves.
+        let mid = b.add_task(cfg.work.sample(rng));
+        let first = rng.gen_range(0..budget);
+        expand(rng, cfg, b, from, mid, first);
+        expand(rng, cfg, b, mid, to, budget - 1 - first);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::is_weakly_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_source_and_sink() {
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = series_parallel(&mut rng, &SeriesParallelConfig::new(50));
+            assert_eq!(g.entries().len(), 1, "seed {seed}");
+            assert_eq!(g.exits().len(), 1, "seed {seed}");
+            assert!(is_weakly_connected(&g));
+            assert_eq!(g.topological_order().len(), g.num_tasks());
+        }
+    }
+
+    #[test]
+    fn task_count_near_target() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = series_parallel(&mut rng, &SeriesParallelConfig::new(100));
+        assert!(g.num_tasks() >= 50 && g.num_tasks() <= 300, "{}", g.num_tasks());
+    }
+
+    #[test]
+    fn all_series_is_a_chain() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = SeriesParallelConfig {
+            parallel_prob: 0.0,
+            ..SeriesParallelConfig::new(20)
+        };
+        let g = series_parallel(&mut rng, &cfg);
+        // A pure series composition is a path: every node has in/out
+        // degree at most 1.
+        for t in g.tasks() {
+            assert!(g.in_degree(t) <= 1);
+            assert!(g.out_degree(t) <= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = SeriesParallelConfig::new(40);
+        let a = series_parallel(&mut StdRng::seed_from_u64(9), &cfg);
+        let b = series_parallel(&mut StdRng::seed_from_u64(9), &cfg);
+        assert_eq!(a.num_tasks(), b.num_tasks());
+        assert_eq!(
+            a.edge_list().collect::<Vec<_>>(),
+            b.edge_list().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn minimum_size() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = series_parallel(&mut rng, &SeriesParallelConfig::new(2));
+        assert_eq!(g.num_tasks(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+}

@@ -1,0 +1,423 @@
+//! The DAG representation: dense task/edge ids, bidirectional adjacency,
+//! edge data volumes and abstract per-task work.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense identifier of a task (node) in a [`Dag`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Dense identifier of an edge in a [`Dag`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct NodeData {
+    /// Abstract amount of computation; the platform model turns this into
+    /// per-processor execution times.
+    pub work: f64,
+    /// Optional human-readable label (workloads name their tasks).
+    pub label: Option<String>,
+}
+
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub(crate) struct EdgeData {
+    pub src: TaskId,
+    pub dst: TaskId,
+    /// Data volume `V(src, dst)` shipped along this edge.
+    pub volume: f64,
+}
+
+/// A weighted directed acyclic task graph.
+///
+/// Construct with [`DagBuilder`], which validates acyclicity:
+///
+/// ```
+/// use taskgraph::DagBuilder;
+/// let mut b = DagBuilder::new();
+/// let a = b.add_task(2.0);
+/// let c = b.add_task(3.0);
+/// b.add_edge(a, c, 10.0);
+/// let dag = b.build().unwrap();
+/// assert_eq!(dag.num_tasks(), 2);
+/// assert_eq!(dag.num_edges(), 1);
+/// assert_eq!(dag.entries(), vec![a]);
+/// assert_eq!(dag.exits(), vec![c]);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dag {
+    pub(crate) nodes: Vec<NodeData>,
+    pub(crate) edges: Vec<EdgeData>,
+    /// `preds[t]` = (predecessor, connecting edge) pairs — `Γ⁻(t)`.
+    pub(crate) preds: Vec<Vec<(TaskId, EdgeId)>>,
+    /// `succs[t]` = (successor, connecting edge) pairs — `Γ⁺(t)`.
+    pub(crate) succs: Vec<Vec<(TaskId, EdgeId)>>,
+    /// A fixed topological order, computed at build time.
+    pub(crate) topo: Vec<TaskId>,
+}
+
+impl Dag {
+    /// Number of tasks `v = |V|`.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges `e = |E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All task ids in increasing id order.
+    pub fn tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.nodes.len() as u32).map(TaskId)
+    }
+
+    /// Abstract computation amount of `t`.
+    #[inline]
+    pub fn work(&self, t: TaskId) -> f64 {
+        self.nodes[t.index()].work
+    }
+
+    /// Sets the abstract computation amount of `t`.
+    pub fn set_work(&mut self, t: TaskId, work: f64) {
+        assert!(work >= 0.0 && work.is_finite());
+        self.nodes[t.index()].work = work;
+    }
+
+    /// Optional label of `t`.
+    pub fn label(&self, t: TaskId) -> Option<&str> {
+        self.nodes[t.index()].label.as_deref()
+    }
+
+    /// Data volume `V(src, dst)` of edge `e`.
+    #[inline]
+    pub fn volume(&self, e: EdgeId) -> f64 {
+        self.edges[e.index()].volume
+    }
+
+    /// Endpoints `(src, dst)` of edge `e`.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (TaskId, TaskId) {
+        let d = &self.edges[e.index()];
+        (d.src, d.dst)
+    }
+
+    /// Immediate predecessors `Γ⁻(t)` with the connecting edges.
+    #[inline]
+    pub fn preds(&self, t: TaskId) -> &[(TaskId, EdgeId)] {
+        &self.preds[t.index()]
+    }
+
+    /// Immediate successors `Γ⁺(t)` with the connecting edges.
+    #[inline]
+    pub fn succs(&self, t: TaskId) -> &[(TaskId, EdgeId)] {
+        &self.succs[t.index()]
+    }
+
+    /// In-degree of `t`.
+    #[inline]
+    pub fn in_degree(&self, t: TaskId) -> usize {
+        self.preds[t.index()].len()
+    }
+
+    /// Out-degree of `t`.
+    #[inline]
+    pub fn out_degree(&self, t: TaskId) -> usize {
+        self.succs[t.index()].len()
+    }
+
+    /// Entry tasks (no predecessors).
+    pub fn entries(&self) -> Vec<TaskId> {
+        self.tasks().filter(|&t| self.in_degree(t) == 0).collect()
+    }
+
+    /// Exit tasks (no successors).
+    pub fn exits(&self) -> Vec<TaskId> {
+        self.tasks().filter(|&t| self.out_degree(t) == 0).collect()
+    }
+
+    /// A topological order of the tasks (fixed at build time).
+    #[inline]
+    pub fn topological_order(&self) -> &[TaskId] {
+        &self.topo
+    }
+
+    /// All edges as `(EdgeId, src, dst, volume)` tuples.
+    pub fn edge_list(&self) -> impl Iterator<Item = (EdgeId, TaskId, TaskId, f64)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId(i as u32), e.src, e.dst, e.volume))
+    }
+
+    /// Sum of all task work values.
+    pub fn total_work(&self) -> f64 {
+        self.nodes.iter().map(|n| n.work).sum()
+    }
+
+    /// Sum of all edge volumes.
+    pub fn total_volume(&self) -> f64 {
+        self.edges.iter().map(|e| e.volume).sum()
+    }
+
+    /// Scales every task's work by `factor` (used to calibrate
+    /// granularity; see the platform crate).
+    pub fn scale_work(&mut self, factor: f64) {
+        assert!(factor > 0.0 && factor.is_finite());
+        for n in &mut self.nodes {
+            n.work *= factor;
+        }
+    }
+}
+
+/// Incremental constructor for [`Dag`]; validates acyclicity in
+/// [`DagBuilder::build`].
+#[derive(Debug, Clone, Default)]
+pub struct DagBuilder {
+    nodes: Vec<NodeData>,
+    edges: Vec<EdgeData>,
+}
+
+/// Errors raised when finalizing a [`DagBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The edge set contains a directed cycle.
+    Cyclic,
+    /// An edge repeats an existing (src, dst) pair.
+    DuplicateEdge(TaskId, TaskId),
+    /// An edge is a self-loop.
+    SelfLoop(TaskId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Cyclic => write!(f, "graph contains a directed cycle"),
+            GraphError::DuplicateEdge(s, d) => write!(f, "duplicate edge {s} -> {d}"),
+            GraphError::SelfLoop(t) => write!(f, "self loop on {t}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl DagBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with reserved capacity.
+    pub fn with_capacity(tasks: usize, edges: usize) -> Self {
+        DagBuilder {
+            nodes: Vec::with_capacity(tasks),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Adds a task with the given abstract work; returns its id.
+    pub fn add_task(&mut self, work: f64) -> TaskId {
+        assert!(work >= 0.0 && work.is_finite(), "work must be finite and >= 0");
+        let id = TaskId(self.nodes.len() as u32);
+        self.nodes.push(NodeData { work, label: None });
+        id
+    }
+
+    /// Adds a labelled task.
+    pub fn add_labelled_task(&mut self, work: f64, label: impl Into<String>) -> TaskId {
+        let id = self.add_task(work);
+        self.nodes[id.index()].label = Some(label.into());
+        id
+    }
+
+    /// Adds a precedence edge shipping `volume` units of data.
+    pub fn add_edge(&mut self, src: TaskId, dst: TaskId, volume: f64) -> EdgeId {
+        assert!(src.index() < self.nodes.len(), "unknown src task");
+        assert!(dst.index() < self.nodes.len(), "unknown dst task");
+        assert!(volume >= 0.0 && volume.is_finite(), "volume must be finite and >= 0");
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(EdgeData { src, dst, volume });
+        id
+    }
+
+    /// Number of tasks added so far.
+    pub fn num_tasks(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Finalizes the graph, checking for self-loops, duplicate edges and
+    /// cycles (Kahn's algorithm).
+    pub fn build(self) -> Result<Dag, GraphError> {
+        let v = self.nodes.len();
+        let mut preds: Vec<Vec<(TaskId, EdgeId)>> = vec![Vec::new(); v];
+        let mut succs: Vec<Vec<(TaskId, EdgeId)>> = vec![Vec::new(); v];
+        let mut seen = std::collections::HashSet::with_capacity(self.edges.len());
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.src == e.dst {
+                return Err(GraphError::SelfLoop(e.src));
+            }
+            if !seen.insert((e.src, e.dst)) {
+                return Err(GraphError::DuplicateEdge(e.src, e.dst));
+            }
+            let eid = EdgeId(i as u32);
+            succs[e.src.index()].push((e.dst, eid));
+            preds[e.dst.index()].push((e.src, eid));
+        }
+
+        // Kahn's algorithm: topological order + cycle detection.
+        let mut indeg: Vec<usize> = preds.iter().map(Vec::len).collect();
+        let mut queue: std::collections::VecDeque<TaskId> = (0..v as u32)
+            .map(TaskId)
+            .filter(|t| indeg[t.index()] == 0)
+            .collect();
+        let mut topo = Vec::with_capacity(v);
+        while let Some(t) = queue.pop_front() {
+            topo.push(t);
+            for &(s, _) in &succs[t.index()] {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    queue.push_back(s);
+                }
+            }
+        }
+        if topo.len() != v {
+            return Err(GraphError::Cyclic);
+        }
+
+        Ok(Dag { nodes: self.nodes, edges: self.edges, preds, succs, topo })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        // a -> b, a -> c, b -> d, c -> d
+        let mut b = DagBuilder::new();
+        let t: Vec<TaskId> = (0..4).map(|i| b.add_task(i as f64 + 1.0)).collect();
+        b.add_edge(t[0], t[1], 1.0);
+        b.add_edge(t[0], t[2], 2.0);
+        b.add_edge(t[1], t[3], 3.0);
+        b.add_edge(t[2], t[3], 4.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_structure() {
+        let g = diamond();
+        assert_eq!(g.num_tasks(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.entries(), vec![TaskId(0)]);
+        assert_eq!(g.exits(), vec![TaskId(3)]);
+        assert_eq!(g.in_degree(TaskId(3)), 2);
+        assert_eq!(g.out_degree(TaskId(0)), 2);
+        assert_eq!(g.total_work(), 10.0);
+        assert_eq!(g.total_volume(), 10.0);
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = diamond();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; g.num_tasks()];
+            for (i, t) in g.topological_order().iter().enumerate() {
+                p[t.index()] = i;
+            }
+            p
+        };
+        for (_, s, d, _) in g.edge_list() {
+            assert!(pos[s.index()] < pos[d.index()]);
+        }
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut b = DagBuilder::new();
+        let x = b.add_task(1.0);
+        let y = b.add_task(1.0);
+        b.add_edge(x, y, 1.0);
+        b.add_edge(y, x, 1.0);
+        assert_eq!(b.build().unwrap_err(), GraphError::Cyclic);
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let mut b = DagBuilder::new();
+        let x = b.add_task(1.0);
+        b.add_edge(x, x, 1.0);
+        assert_eq!(b.build().unwrap_err(), GraphError::SelfLoop(x));
+    }
+
+    #[test]
+    fn duplicate_edge_detected() {
+        let mut b = DagBuilder::new();
+        let x = b.add_task(1.0);
+        let y = b.add_task(1.0);
+        b.add_edge(x, y, 1.0);
+        b.add_edge(x, y, 2.0);
+        assert_eq!(b.build().unwrap_err(), GraphError::DuplicateEdge(x, y));
+    }
+
+    #[test]
+    fn scale_work_multiplies() {
+        let mut g = diamond();
+        g.scale_work(2.0);
+        assert_eq!(g.total_work(), 20.0);
+        assert_eq!(g.work(TaskId(0)), 2.0);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let mut b = DagBuilder::new();
+        let t = b.add_labelled_task(1.0, "pivot(0)");
+        let g = b.build().unwrap();
+        assert_eq!(g.label(t), Some("pivot(0)"));
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let g = DagBuilder::new().build().unwrap();
+        assert_eq!(g.num_tasks(), 0);
+        assert!(g.entries().is_empty());
+    }
+
+    #[test]
+    fn serde_json_round_trip() {
+        let g = diamond();
+        let s = serde_json::to_string(&g).unwrap();
+        let g2: Dag = serde_json::from_str(&s).unwrap();
+        assert_eq!(g2.num_tasks(), g.num_tasks());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.total_work(), g.total_work());
+    }
+}

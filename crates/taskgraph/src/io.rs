@@ -1,0 +1,78 @@
+//! Graph I/O: Graphviz DOT export and JSON (de)serialization.
+
+use crate::graph::Dag;
+use std::fmt::Write as _;
+
+/// Renders the DAG in Graphviz DOT syntax. Node labels show the task id
+/// (or its workload label) and work; edge labels show the data volume.
+pub fn to_dot(dag: &Dag) -> String {
+    let mut out = String::with_capacity(64 * dag.num_tasks());
+    out.push_str("digraph taskgraph {\n  rankdir=TB;\n  node [shape=ellipse];\n");
+    for t in dag.tasks() {
+        let name = dag.label(t).map_or_else(|| t.to_string(), str::to_owned);
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\\nw={:.1}\"];",
+            t.index(),
+            name,
+            dag.work(t)
+        );
+    }
+    for (_, s, d, v) in dag.edge_list() {
+        let _ = writeln!(out, "  {} -> {} [label=\"{:.0}\"];", s.index(), d.index(), v);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Serializes the DAG to a JSON string.
+pub fn to_json(dag: &Dag) -> serde_json::Result<String> {
+    serde_json::to_string_pretty(dag)
+}
+
+/// Deserializes a DAG from JSON produced by [`to_json`].
+pub fn from_json(s: &str) -> serde_json::Result<Dag> {
+    serde_json::from_str(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DagBuilder;
+
+    fn tiny() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.add_labelled_task(1.5, "start");
+        let c = b.add_task(2.5);
+        b.add_edge(a, c, 42.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let dot = to_dot(&tiny());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("start"));
+        assert!(dot.contains("0 -> 1"));
+        assert!(dot.contains("42"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_structure() {
+        let g = tiny();
+        let s = to_json(&g).unwrap();
+        let g2 = from_json(&s).unwrap();
+        assert_eq!(g2.num_tasks(), 2);
+        assert_eq!(g2.num_edges(), 1);
+        assert_eq!(g2.label(crate::TaskId(0)), Some("start"));
+        assert_eq!(g2.volume(crate::EdgeId(0)), 42.0);
+        // Topological order must survive the trip.
+        assert_eq!(g2.topological_order(), g.topological_order());
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(from_json("{not json").is_err());
+    }
+}

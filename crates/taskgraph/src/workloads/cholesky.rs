@@ -1,0 +1,154 @@
+//! Tiled Cholesky factorization task graph.
+//!
+//! The classic dense-linear-algebra DAG over an `n × n` tile grid with
+//! four kernels per step `k`:
+//!
+//! * `POTRF(k)` — factor diagonal tile `(k,k)`;
+//! * `TRSM(k,i)` for `i > k` — triangular solve of tile `(i,k)`;
+//! * `SYRK(k,i)` for `i > k` — symmetric update of diagonal tile `(i,i)`;
+//! * `GEMM(k,i,j)` for `i > j > k` — update of tile `(i,j)`.
+//!
+//! Dependencies follow the standard tiled factorization:
+//! `POTRF(k) → TRSM(k,i)`; `TRSM(k,i) → SYRK(k,i)` and
+//! `TRSM(k,i), TRSM(k,j) → GEMM(k,i,j)`; updates feed the next step's
+//! kernels on the same tiles. Total tasks: `Σ_k 1 + (n−k−1) + (n−k−1) +
+//! C(n−k−1, 2)` — cubic in `n`, with a wide middle, the shape that
+//! stresses replication-induced processor pressure.
+
+use crate::graph::{Dag, DagBuilder, TaskId};
+use std::collections::HashMap;
+
+/// Builds the tiled-Cholesky DAG for an `n × n` tile grid (`n ≥ 2`).
+///
+/// Kernel work follows the classic flop ratios (`POTRF` 1/3, `TRSM` 1,
+/// `SYRK` 1, `GEMM` 2 — scaled by `work_scale`); every dependency ships
+/// one tile of `volume` units.
+pub fn cholesky(n: usize, work_scale: f64, volume: f64) -> Dag {
+    assert!(n >= 2, "need at least a 2x2 tile grid");
+    let mut b = DagBuilder::new();
+
+    // Last writer of each tile (i, j), i >= j.
+    let mut writer: HashMap<(usize, usize), TaskId> = HashMap::new();
+
+    let dep = |b: &mut DagBuilder, from: TaskId, to: TaskId, seen: &mut Vec<TaskId>| {
+        // Deduplicate multi-edges from the same producer.
+        if !seen.contains(&from) {
+            b.add_edge(from, to, volume);
+            seen.push(from);
+        }
+    };
+
+    for k in 0..n {
+        let potrf = b.add_labelled_task(work_scale / 3.0, format!("potrf({k})"));
+        {
+            let mut seen = Vec::new();
+            if let Some(&w) = writer.get(&(k, k)) {
+                dep(&mut b, w, potrf, &mut seen);
+            }
+        }
+        writer.insert((k, k), potrf);
+
+        let mut trsm = Vec::new();
+        for i in k + 1..n {
+            let t = b.add_labelled_task(work_scale, format!("trsm({k},{i})"));
+            let mut seen = Vec::new();
+            dep(&mut b, potrf, t, &mut seen);
+            if let Some(&w) = writer.get(&(i, k)) {
+                dep(&mut b, w, t, &mut seen);
+            }
+            writer.insert((i, k), t);
+            trsm.push((i, t));
+        }
+
+        for &(i, ti) in &trsm {
+            // SYRK updates the diagonal tile (i, i).
+            let s = b.add_labelled_task(work_scale, format!("syrk({k},{i})"));
+            let mut seen = Vec::new();
+            dep(&mut b, ti, s, &mut seen);
+            if let Some(&w) = writer.get(&(i, i)) {
+                dep(&mut b, w, s, &mut seen);
+            }
+            writer.insert((i, i), s);
+
+            // GEMM updates tiles (i, j) for k < j < i.
+            for &(j, tj) in trsm.iter().filter(|&&(j, _)| j < i) {
+                let g = b.add_labelled_task(2.0 * work_scale, format!("gemm({k},{i},{j})"));
+                let mut seen = Vec::new();
+                dep(&mut b, ti, g, &mut seen);
+                dep(&mut b, tj, g, &mut seen);
+                if let Some(&w) = writer.get(&(i, j)) {
+                    dep(&mut b, w, g, &mut seen);
+                }
+                writer.insert((i, j), g);
+            }
+        }
+    }
+
+    b.build().expect("cholesky DAG is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::stats;
+    use crate::topology::is_weakly_connected;
+
+    fn kernel_count(n: usize) -> usize {
+        // Σ_k [1 + (n-k-1) + (n-k-1) + C(n-k-1, 2)]
+        (0..n)
+            .map(|k| {
+                let r = n - k - 1;
+                1 + 2 * r + r * (r.saturating_sub(1)) / 2
+            })
+            .sum()
+    }
+
+    #[test]
+    fn task_counts_match_formula() {
+        for n in [2, 3, 4, 6] {
+            let g = cholesky(n, 3.0, 10.0);
+            assert_eq!(g.num_tasks(), kernel_count(n), "n={n}");
+            assert!(is_weakly_connected(&g));
+        }
+    }
+
+    #[test]
+    fn single_entry_single_exit() {
+        let g = cholesky(5, 3.0, 10.0);
+        // potrf(0) is the only entry; potrf(n-1) the only exit.
+        assert_eq!(g.entries().len(), 1);
+        assert_eq!(g.exits().len(), 1);
+        assert_eq!(g.label(g.entries()[0]), Some("potrf(0)"));
+        assert_eq!(g.label(g.exits()[0]), Some("potrf(4)"));
+    }
+
+    #[test]
+    fn gemm_has_double_work() {
+        let g = cholesky(4, 3.0, 10.0);
+        let gemm_work = g
+            .tasks()
+            .find(|&t| g.label(t).is_some_and(|l| l.starts_with("gemm")))
+            .map(|t| g.work(t))
+            .unwrap();
+        assert_eq!(gemm_work, 6.0);
+    }
+
+    #[test]
+    fn depth_grows_linearly() {
+        let s4 = stats(&cholesky(4, 1.0, 1.0));
+        let s8 = stats(&cholesky(8, 1.0, 1.0));
+        assert!(s8.depth > s4.depth);
+        assert!(s8.depth <= 4 * 8, "depth is O(n)");
+    }
+
+    #[test]
+    fn no_duplicate_edges() {
+        // DagBuilder would reject duplicates at build time; reaching here
+        // means the writer-tracking logic deduplicated correctly.
+        let g = cholesky(6, 1.0, 1.0);
+        let mut seen = std::collections::HashSet::new();
+        for (_, s, d, _) in g.edge_list() {
+            assert!(seen.insert((s, d)));
+        }
+    }
+}

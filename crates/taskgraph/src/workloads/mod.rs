@@ -1,0 +1,22 @@
+//! Structured application task graphs.
+//!
+//! These are the classic kernels the heterogeneous-scheduling literature
+//! motivates (linear algebra factorizations, FFTs, stencil sweeps,
+//! map–reduce) and they back the runnable examples and the extended
+//! benchmarks: their regular structure makes scheduler behaviour easy to
+//! reason about, while their widths/depths stress different parts of the
+//! algorithms than random layered graphs do.
+
+mod cholesky;
+mod fft;
+mod gauss;
+mod mapreduce;
+mod stencil;
+mod wavefront;
+
+pub use cholesky::cholesky;
+pub use fft::fft;
+pub use gauss::gaussian_elimination;
+pub use mapreduce::map_reduce;
+pub use stencil::stencil_1d;
+pub use wavefront::wavefront;

@@ -1,0 +1,127 @@
+//! Property-based tests over the random generators: every generated graph
+//! must be acyclic, weakly connected, respect its configured ranges, and
+//! have internally consistent adjacency.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use taskgraph::generators::{
+    erdos, fork_join, layered, ErdosConfig, ForkJoinConfig, LayeredConfig,
+};
+use taskgraph::metrics::{width_exact, width_lower_bound};
+use taskgraph::topology::{is_weakly_connected, levels};
+use taskgraph::Dag;
+
+fn check_structural_sanity(g: &Dag) {
+    // Topological order covers all tasks and respects edges.
+    let topo = g.topological_order();
+    assert_eq!(topo.len(), g.num_tasks());
+    let mut pos = vec![usize::MAX; g.num_tasks()];
+    for (i, t) in topo.iter().enumerate() {
+        pos[t.index()] = i;
+    }
+    for (_, s, d, v) in g.edge_list() {
+        assert!(pos[s.index()] < pos[d.index()], "topo order violates edge");
+        assert!(v >= 0.0);
+    }
+    // preds/succs mirror each other.
+    for t in g.tasks() {
+        for &(p, e) in g.preds(t) {
+            assert!(g.succs(p).iter().any(|&(s, e2)| s == t && e2 == e));
+        }
+        for &(s, e) in g.succs(t) {
+            assert!(g.preds(s).iter().any(|&(p, e2)| p == t && e2 == e));
+        }
+    }
+    // Levels are monotone along edges.
+    let lv = levels(g);
+    for (_, s, d, _) in g.edge_list() {
+        assert!(lv[s.index()] < lv[d.index()]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn layered_graphs_are_sane(seed in 0u64..10_000, tasks in 1usize..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = layered(&mut rng, &LayeredConfig::paper(tasks));
+        prop_assert_eq!(g.num_tasks(), tasks);
+        prop_assert!(is_weakly_connected(&g));
+        check_structural_sanity(&g);
+    }
+
+    #[test]
+    fn erdos_graphs_are_sane(seed in 0u64..10_000, tasks in 1usize..150) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos(&mut rng, &ErdosConfig::sparse(tasks));
+        prop_assert_eq!(g.num_tasks(), tasks);
+        prop_assert!(is_weakly_connected(&g));
+        check_structural_sanity(&g);
+    }
+
+    #[test]
+    fn fork_join_graphs_are_sane(
+        seed in 0u64..10_000,
+        stages in 1usize..6,
+        width in 1usize..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = fork_join(&mut rng, &ForkJoinConfig::new(stages, width));
+        prop_assert_eq!(g.num_tasks(), stages * (width + 1) + 1);
+        prop_assert!(is_weakly_connected(&g));
+        check_structural_sanity(&g);
+    }
+
+    #[test]
+    fn exact_width_dominates_level_bound(seed in 0u64..2_000, tasks in 1usize..60) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = layered(&mut rng, &LayeredConfig::paper(tasks));
+        prop_assert!(width_exact(&g) >= width_lower_bound(&g));
+        prop_assert!(width_exact(&g) <= g.num_tasks());
+    }
+
+    /// Theorem 4.2 relies on `|α| ≤ ω`: the set of simultaneously free
+    /// tasks is an antichain, so the maximum Kahn frontier is bounded by
+    /// the exact width.
+    #[test]
+    fn free_set_bounded_by_width(seed in 0u64..2_000, tasks in 1usize..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = layered(&mut rng, &LayeredConfig::paper(tasks));
+        let omega = width_exact(&g);
+
+        // Kahn's algorithm, tracking the largest frontier.
+        let mut indeg: Vec<usize> =
+            g.tasks().map(|t| g.in_degree(t)).collect();
+        let mut free: Vec<taskgraph::TaskId> =
+            g.tasks().filter(|&t| g.in_degree(t) == 0).collect();
+        let mut max_frontier = free.len();
+        while let Some(t) = free.pop() {
+            for &(s, _) in g.succs(t) {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    free.push(s);
+                }
+            }
+            max_frontier = max_frontier.max(free.len());
+        }
+        prop_assert!(
+            max_frontier <= omega,
+            "frontier {max_frontier} exceeded width {omega}"
+        );
+    }
+
+    #[test]
+    fn json_round_trip_any_layered(seed in 0u64..1_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = layered(&mut rng, &LayeredConfig::paper(40));
+        let s = taskgraph::io::to_json(&g).unwrap();
+        let g2 = taskgraph::io::from_json(&s).unwrap();
+        prop_assert_eq!(g.num_tasks(), g2.num_tasks());
+        prop_assert_eq!(g.num_edges(), g2.num_edges());
+        let e1: Vec<_> = g.edge_list().collect();
+        let e2: Vec<_> = g2.edge_list().collect();
+        prop_assert_eq!(e1, e2);
+    }
+}

@@ -1,0 +1,54 @@
+//! The bi-criteria trade-off of Section 4.3: how many failures can a
+//! latency budget buy? Sweeps the budget, reports the maximum tolerated
+//! ε (linear scan and binary search), and demonstrates the early
+//! infeasibility detection when both criteria are fixed.
+//!
+//! Run with: `cargo run --release -p ftsched --example bicriteria_tradeoff`
+
+use ftsched::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(314);
+    let inst = paper_instance(
+        &mut rng,
+        &PaperInstanceConfig { procs: 12, granularity: 1.0, ..Default::default() },
+    );
+
+    // Reference: the fault-free latency and the fully replicated one.
+    let base = schedule(&inst, 0, Algorithm::Ftsa, &mut rng)
+        .unwrap()
+        .latency_upper_bound();
+    println!(
+        "instance: {} tasks on 12 processors; fault-free guaranteed latency {base:.0}\n",
+        inst.num_tasks()
+    );
+
+    println!("{:>8} {:>12} {:>14} {:>14}", "budget", "max ε (scan)", "max ε (binary)", "achieved M");
+    for factor in [1.0, 1.2, 1.5, 2.0, 3.0, 5.0] {
+        let budget = base * factor;
+        let lin = max_epsilon_linear(&inst, budget, 7);
+        let bin = max_epsilon_binary(&inst, budget, 7);
+        let (eps_l, m_l) = lin
+            .map(|r| (r.epsilon as i64, r.schedule.latency_upper_bound()))
+            .unwrap_or((-1, f64::NAN));
+        let eps_b = bin.map(|r| r.epsilon as i64).unwrap_or(-1);
+        println!("{:>7.1}x {:>12} {:>14} {:>14.0}", factor, eps_l, eps_b, m_l);
+    }
+
+    // Both criteria fixed: the deadline test aborts the run as soon as
+    // one task proves the combination infeasible.
+    println!("\nboth criteria fixed (ε = 2):");
+    for factor in [1.1, 2.0, 4.0] {
+        let budget = base * factor;
+        let mut tie = StdRng::seed_from_u64(7);
+        match ftsa_both_criteria(&inst, 2, budget, &mut tie) {
+            Ok(s) => println!(
+                "  budget {:>7.0}: feasible, M = {:.0}",
+                budget,
+                s.latency_upper_bound()
+            ),
+            Err(e) => println!("  budget {budget:>7.0}: {e}"),
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: build a task graph, schedule it fault-tolerantly, inspect
+//! the bounds, crash a processor, and print the executed Gantt chart.
+//!
+//! Run with: `cargo run -p ftsched --example quickstart`
+
+use ftsched::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    // 1. A small application DAG: prepare → {filter_a, filter_b} → merge.
+    let mut b = DagBuilder::new();
+    let prepare = b.add_labelled_task(8.0, "prepare");
+    let filter_a = b.add_labelled_task(20.0, "filter_a");
+    let filter_b = b.add_labelled_task(14.0, "filter_b");
+    let merge = b.add_labelled_task(6.0, "merge");
+    b.add_edge(prepare, filter_a, 40.0);
+    b.add_edge(prepare, filter_b, 40.0);
+    b.add_edge(filter_a, merge, 25.0);
+    b.add_edge(filter_b, merge, 25.0);
+    let dag = b.build().expect("acyclic");
+
+    // 2. A heterogeneous 4-processor platform: two fast nodes, two slow,
+    //    symmetric links with a 0.05 s/unit delay.
+    let platform = Platform::uniform_delay(4, 0.05);
+    let exec = ExecutionMatrix::consistent(&dag, &[2.0, 2.0, 1.0, 1.0]);
+    let inst = Instance::new(dag, platform, exec);
+
+    // 3. Schedule with ε = 1: every task runs as 2 replicas on distinct
+    //    processors, so any single fail-stop failure is masked.
+    let mut rng = StdRng::seed_from_u64(7);
+    let sched = schedule(&inst, 1, Algorithm::Ftsa, &mut rng).expect("schedulable");
+    validate(&inst, &sched).expect("structurally valid");
+
+    println!("tasks: {}, replicas per task: {}", inst.num_tasks(), sched.epsilon + 1);
+    println!("latency if nothing fails (M*): {:.2}", sched.latency_lower_bound());
+    println!("guaranteed latency under 1 failure (M): {:.2}", sched.latency_upper_bound());
+    println!("messages shipped: {}", sched.message_count(&inst.dag));
+
+    // 4. Crash the fastest processor and replay the execution.
+    let scenario = FailureScenario::at_time_zero([ProcId(0)]);
+    let sim = simulate(&inst, &sched, &scenario);
+    assert!(sim.completed(), "the schedule tolerates one failure by design");
+    println!("\nachieved latency with P0 down: {:.2}", sim.latency);
+
+    println!("\nGantt chart of the crashed run (P0 row stays idle):\n");
+    print!("{}", gantt(&inst, &sched, &sim, 60));
+}

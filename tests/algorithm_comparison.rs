@@ -1,0 +1,130 @@
+//! Cross-algorithm comparison tests: the qualitative claims of
+//! Section 6 must hold on averaged random instances.
+
+use ftsched::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn mean_over_instances(
+    n: usize,
+    granularity: f64,
+    eps: usize,
+    f: impl Fn(&Instance, u64) -> f64,
+) -> f64 {
+    let mut acc = 0.0;
+    for seed in 0..n as u64 {
+        let mut rng = StdRng::seed_from_u64(seed * 31 + eps as u64);
+        let inst = paper_instance(
+            &mut rng,
+            &PaperInstanceConfig { granularity, ..Default::default() },
+        );
+        acc += f(&inst, seed);
+    }
+    acc / n as f64
+}
+
+#[test]
+fn ftsa_beats_ftbar_on_average_lower_bound() {
+    // "FTSA always outperforms FTBAR in terms of lower bound" — we check
+    // the averaged claim on coarse-grain instances where the paper's gap
+    // is widest.
+    let n = 8;
+    let diff = mean_over_instances(n, 1.6, 1, |inst, seed| {
+        let f = schedule(inst, 1, Algorithm::Ftsa, &mut StdRng::seed_from_u64(seed))
+            .unwrap()
+            .latency_lower_bound();
+        let b = schedule(inst, 1, Algorithm::Ftbar, &mut StdRng::seed_from_u64(seed))
+            .unwrap()
+            .latency_lower_bound();
+        b - f
+    });
+    assert!(
+        diff > 0.0,
+        "on average FTBAR's lower bound should exceed FTSA's (diff = {diff})"
+    );
+}
+
+#[test]
+fn mc_ftsa_upper_bound_hugs_its_lower_bound() {
+    // Paper: "its upper bound is close to the lower bound since we keep
+    // only the best communication edges" — for MC-FTSA the per-replica
+    // times are deterministic, so the gap is much smaller than FTSA's.
+    let ratio = mean_over_instances(6, 1.0, 2, |inst, seed| {
+        let mc = schedule(inst, 2, Algorithm::McFtsaGreedy, &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        let f = schedule(inst, 2, Algorithm::Ftsa, &mut StdRng::seed_from_u64(seed)).unwrap();
+        let gap_mc = mc.latency_upper_bound() - mc.latency_lower_bound();
+        let gap_f = f.latency_upper_bound() - f.latency_lower_bound();
+        gap_mc / gap_f.max(1e-9)
+    });
+    assert!(
+        ratio < 0.6,
+        "MC-FTSA's bound gap should be well under FTSA's (ratio = {ratio})"
+    );
+}
+
+#[test]
+fn replication_overhead_grows_with_epsilon() {
+    // Figures 1c → 3c: overhead increases with the number of supported
+    // failures.
+    let overhead = |eps: usize| {
+        mean_over_instances(6, 1.0, eps, |inst, seed| {
+            let ft = schedule(inst, eps, Algorithm::Ftsa, &mut StdRng::seed_from_u64(seed))
+                .unwrap()
+                .latency_lower_bound();
+            let ff = schedule(inst, 0, Algorithm::Ftsa, &mut StdRng::seed_from_u64(seed))
+                .unwrap()
+                .latency_lower_bound();
+            (ft - ff) / ff
+        })
+    };
+    let o1 = overhead(1);
+    let o5 = overhead(5);
+    assert!(
+        o5 > o1,
+        "tolerating 5 failures must cost more than tolerating 1 ({o1} vs {o5})"
+    );
+}
+
+#[test]
+fn bottleneck_selector_tightens_worst_edge() {
+    // Per-step the bottleneck selector minimizes the worst completion;
+    // end-to-end both must stay valid and close. Check validity plus a
+    // loose mutual bound.
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(seed + 900);
+        let inst = paper_instance(&mut rng, &PaperInstanceConfig::default());
+        let g = schedule(&inst, 2, Algorithm::McFtsaGreedy, &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        let b = schedule(
+            &inst,
+            2,
+            Algorithm::McFtsaBottleneck,
+            &mut StdRng::seed_from_u64(seed),
+        )
+        .unwrap();
+        validate(&inst, &g).unwrap();
+        validate(&inst, &b).unwrap();
+        let (lg, lb) = (g.latency_upper_bound(), b.latency_upper_bound());
+        assert!(lb <= lg * 1.3 && lg <= lb * 1.3, "selectors diverged: {lg} vs {lb}");
+    }
+}
+
+#[test]
+fn fault_free_variants_agree_with_epsilon_zero() {
+    // The "fault free version (without replication)" in the figures is
+    // exactly ε = 0 of each algorithm.
+    let mut rng = StdRng::seed_from_u64(77);
+    let inst = paper_instance(&mut rng, &PaperInstanceConfig::default());
+    for alg in [Algorithm::Ftsa, Algorithm::McFtsaGreedy, Algorithm::Ftbar] {
+        let s = schedule(&inst, 0, alg, &mut StdRng::seed_from_u64(3)).unwrap();
+        for t in inst.dag.tasks() {
+            assert!(!s.replicas_of(t).is_empty());
+            // ε = 0 ⇒ one primary replica (FTBAR may add duplicates).
+            if alg != Algorithm::Ftbar {
+                assert_eq!(s.replicas_of(t).len(), 1);
+            }
+        }
+        let sim = simulate(&inst, &s, &FailureScenario::none());
+        assert!(sim.completed());
+    }
+}

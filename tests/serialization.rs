@@ -1,0 +1,68 @@
+//! Serialization integration tests: graphs, platforms, schedules and
+//! failure scenarios must round-trip through JSON so experiments can be
+//! archived and replayed.
+
+use ftsched::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+#[test]
+fn schedule_round_trips_through_json() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let inst = paper_instance(&mut rng, &PaperInstanceConfig::default());
+    let sched = schedule(&inst, 2, Algorithm::McFtsaGreedy, &mut rng).unwrap();
+
+    let json = serde_json::to_string(&sched).unwrap();
+    let back: Schedule = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.epsilon, sched.epsilon);
+    assert_eq!(back.replicas, sched.replicas);
+    assert_eq!(back.proc_order, sched.proc_order);
+    assert_eq!(back.comm, sched.comm);
+
+    // The deserialized schedule still validates and simulates.
+    validate(&inst, &back).unwrap();
+    let sim = simulate(&inst, &back, &FailureScenario::none());
+    assert!(sim.completed());
+}
+
+#[test]
+fn instance_components_round_trip() {
+    let mut rng = StdRng::seed_from_u64(12);
+    let inst = paper_instance(&mut rng, &PaperInstanceConfig::default());
+
+    let dag_json = taskgraph::io::to_json(&inst.dag).unwrap();
+    let dag2 = taskgraph::io::from_json(&dag_json).unwrap();
+    assert_eq!(dag2.num_tasks(), inst.dag.num_tasks());
+
+    let plat_json = serde_json::to_string(&inst.platform).unwrap();
+    let plat2: Platform = serde_json::from_str(&plat_json).unwrap();
+    assert_eq!(plat2.num_procs(), inst.platform.num_procs());
+    assert_eq!(plat2.delay(0, 1), inst.platform.delay(0, 1));
+
+    let exec_json = serde_json::to_string(&inst.exec).unwrap();
+    let exec2: ExecutionMatrix = serde_json::from_str(&exec_json).unwrap();
+    assert_eq!(exec2.time(0, 0), inst.exec.time(0, 0));
+
+    // Rebuild an instance from the parts and schedule it identically.
+    let rebuilt = Instance::new(dag2, plat2, exec2);
+    let a = schedule(&inst, 1, Algorithm::Ftsa, &mut StdRng::seed_from_u64(5)).unwrap();
+    let b = schedule(&rebuilt, 1, Algorithm::Ftsa, &mut StdRng::seed_from_u64(5)).unwrap();
+    assert_eq!(a.replicas, b.replicas);
+}
+
+#[test]
+fn failure_scenarios_round_trip() {
+    let scen = FailureScenario::new(vec![(ProcId(3), 0.0), (ProcId(7), 12.5)]);
+    let json = serde_json::to_string(&scen).unwrap();
+    let back: FailureScenario = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, scen);
+    assert_eq!(back.failure_time(ProcId(7)), Some(12.5));
+}
+
+#[test]
+fn dot_export_of_workloads() {
+    let dag = gaussian_elimination(5, 1.0, 1.0);
+    let dot = taskgraph::io::to_dot(&dag);
+    assert!(dot.contains("digraph"));
+    assert!(dot.contains("pivot(0)"));
+    assert!(dot.matches("->").count() >= dag.num_edges());
+}
