@@ -20,7 +20,9 @@ fn bench_priority_list(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/priority-list");
     let n = 10_000usize;
     let mut rng = StdRng::seed_from_u64(1);
-    let items: Vec<(f64, u64)> = (0..n).map(|_| (rng.gen::<f64>() * 1e6, rng.gen())).collect();
+    let items: Vec<(f64, u64)> = (0..n)
+        .map(|_| (rng.gen::<f64>() * 1e6, rng.gen()))
+        .collect();
 
     group.bench_function("avl-priority-list", |b| {
         b.iter(|| {
@@ -89,8 +91,14 @@ fn bench_ftsa_priority(c: &mut Criterion) {
     group.sample_size(10);
     let inst = bench_instance(125, 20, 45);
     for (name, policy) in [
-        ("criticalness", ftsched_core::ftsa::PriorityPolicy::Criticalness),
-        ("bottom-level", ftsched_core::ftsa::PriorityPolicy::BottomLevelOnly),
+        (
+            "criticalness",
+            ftsched_core::ftsa::PriorityPolicy::Criticalness,
+        ),
+        (
+            "bottom-level",
+            ftsched_core::ftsa::PriorityPolicy::BottomLevelOnly,
+        ),
     ] {
         group.bench_with_input(BenchmarkId::new(name, 2), &inst, |b, inst| {
             b.iter(|| {
@@ -114,9 +122,7 @@ fn bench_contention_models(c: &mut Criterion) {
         ("multi-port-4", PortModel::BoundedMultiPort(4)),
     ] {
         group.bench_function(name, |b| {
-            b.iter(|| {
-                simulate_contention(&inst, &sched, &FailureScenario::none(), model)
-            })
+            b.iter(|| simulate_contention(&inst, &sched, &FailureScenario::none(), model))
         });
     }
     group.finish();
@@ -129,7 +135,9 @@ fn bench_sim_engines(c: &mut Criterion) {
     let sched = schedule(&inst, 2, Algorithm::Ftsa, &mut StdRng::seed_from_u64(1)).unwrap();
     let scen = FailureScenario::uniform(&mut StdRng::seed_from_u64(2), 20, 2);
     group.bench_function("event-queue", |b| b.iter(|| simulate(&inst, &sched, &scen)));
-    group.bench_function("analytic-replay", |b| b.iter(|| replay(&inst, &sched, &scen)));
+    group.bench_function("analytic-replay", |b| {
+        b.iter(|| replay(&inst, &sched, &scen))
+    });
     group.finish();
 }
 

@@ -52,7 +52,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let inst = paper_instance(
             &mut rng,
-            &PaperInstanceConfig { tasks_lo: 20, tasks_hi: 20, procs: 5, ..Default::default() },
+            &PaperInstanceConfig {
+                tasks_lo: 20,
+                tasks_hi: 20,
+                procs: 5,
+                ..Default::default()
+            },
         );
         let s = schedule(&inst, 1, Algorithm::Ftsa, &mut rng).unwrap();
         let b = Bundle {

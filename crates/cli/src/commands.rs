@@ -8,10 +8,12 @@ use platform::granularity::scale_to_granularity;
 use platform::{ExecutionMatrix, FailureScenario, Instance, ProcId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use simulator::trace::gantt;
 use simulator::simulate;
+use simulator::trace::gantt;
 use std::fmt::Write as _;
-use taskgraph::generators::{erdos, fork_join, layered, ErdosConfig, ForkJoinConfig, LayeredConfig};
+use taskgraph::generators::{
+    erdos, fork_join, layered, ErdosConfig, ForkJoinConfig, LayeredConfig,
+};
 use taskgraph::workloads;
 use taskgraph::Dag;
 
@@ -197,10 +199,7 @@ mod tests {
         let graph = tmp("graph.json");
         let bundle = tmp("bundle.json");
 
-        let msg = generate(&argv(&format!(
-            "--family gauss --size 6 --out {graph}"
-        )))
-        .unwrap();
+        let msg = generate(&argv(&format!("--family gauss --size 6 --out {graph}"))).unwrap();
         assert!(msg.contains("tasks"));
 
         let msg = schedule_cmd(&argv(&format!(
@@ -210,10 +209,7 @@ mod tests {
         assert!(msg.contains("latency (M*/M)"), "{msg}");
         assert!(msg.contains("utilization"));
 
-        let msg = simulate_cmd(&argv(&format!(
-            "--bundle {bundle} --fail 0,1 --gantt"
-        )))
-        .unwrap();
+        let msg = simulate_cmd(&argv(&format!("--bundle {bundle} --fail 0,1 --gantt"))).unwrap();
         assert!(msg.contains("completed"), "{msg}");
         assert!(msg.contains('#'));
 

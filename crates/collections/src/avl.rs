@@ -58,12 +58,22 @@ impl<K: Ord, V> Default for AvlTree<K, V> {
 impl<K: Ord, V> AvlTree<K, V> {
     /// Creates an empty tree.
     pub fn new() -> Self {
-        AvlTree { nodes: Vec::new(), free: Vec::new(), root: NIL, len: 0 }
+        AvlTree {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            len: 0,
+        }
     }
 
     /// Creates an empty tree with room for `cap` entries.
     pub fn with_capacity(cap: usize) -> Self {
-        AvlTree { nodes: Vec::with_capacity(cap), free: Vec::new(), root: NIL, len: 0 }
+        AvlTree {
+            nodes: Vec::with_capacity(cap),
+            free: Vec::new(),
+            root: NIL,
+            len: 0,
+        }
     }
 
     /// Number of entries.
@@ -109,7 +119,13 @@ impl<K: Ord, V> AvlTree<K, V> {
     }
 
     fn alloc(&mut self, key: K, value: V) -> u32 {
-        let node = Node { key, value: Some(value), left: NIL, right: NIL, height: 1 };
+        let node = Node {
+            key,
+            value: Some(value),
+            left: NIL,
+            right: NIL,
+            height: 1,
+        };
         match self.free.pop() {
             Some(slot) => {
                 self.nodes[slot as usize] = node;
@@ -395,7 +411,10 @@ impl<K: Ord, V> AvlTree<K, V> {
         }
         let (_, count) = walk(self, self.root, None, None)?;
         if count != self.len {
-            return Err(format!("len mismatch: stored {}, actual {}", self.len, count));
+            return Err(format!(
+                "len mismatch: stored {}, actual {}",
+                self.len, count
+            ));
         }
         Ok(())
     }
@@ -501,10 +520,7 @@ mod tests {
             t.insert(x, x * x);
         }
         let pairs: Vec<_> = t.iter().map(|(k, v)| (*k, *v)).collect();
-        assert_eq!(
-            pairs,
-            (0..10).map(|x| (x, x * x)).collect::<Vec<_>>()
-        );
+        assert_eq!(pairs, (0..10).map(|x| (x, x * x)).collect::<Vec<_>>());
     }
 
     #[test]

@@ -32,7 +32,10 @@ const ABSENT: usize = usize::MAX;
 impl<P: Ord + Clone> IndexedHeap<P> {
     /// Creates a heap able to hold ids `0..capacity` (grows on demand).
     pub fn new(capacity: usize) -> Self {
-        IndexedHeap { data: Vec::with_capacity(capacity), pos: vec![ABSENT; capacity] }
+        IndexedHeap {
+            data: Vec::with_capacity(capacity),
+            pos: vec![ABSENT; capacity],
+        }
     }
 
     /// Number of entries currently in the heap.

@@ -42,7 +42,10 @@ pub struct PriorityList {
 impl PriorityList {
     /// Creates a list sized for ids `0..capacity` (grows on demand).
     pub fn new(capacity: usize) -> Self {
-        PriorityList { tree: AvlTree::with_capacity(capacity), key_of: vec![None; capacity] }
+        PriorityList {
+            tree: AvlTree::with_capacity(capacity),
+            key_of: vec![None; capacity],
+        }
     }
 
     /// Number of items in the list.
@@ -84,7 +87,10 @@ impl PriorityList {
     /// once in FTSA) or if `priority` is NaN.
     pub fn insert(&mut self, item: usize, priority: f64, tiebreak: u64) {
         self.ensure_id(item);
-        assert!(self.key_of[item].is_none(), "item {item} already in the list");
+        assert!(
+            self.key_of[item].is_none(),
+            "item {item} already in the list"
+        );
         let key = (OrdF64::new(priority), tiebreak);
         let prev = self.tree.insert(key, item);
         assert!(prev.is_none(), "duplicate (priority, tiebreak) key");

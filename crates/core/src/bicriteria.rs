@@ -32,7 +32,8 @@ pub struct MaxEpsilon {
 fn run_at(inst: &Instance, eps: usize, seed: u64) -> Option<Schedule> {
     // Each ε gets its own deterministic tie-break stream so the search is
     // reproducible regardless of probe order.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ (eps as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut rng =
+        rand::rngs::StdRng::seed_from_u64(seed ^ (eps as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     ftsa(inst, eps, &mut rng).ok()
 }
 
@@ -44,7 +45,10 @@ pub fn max_epsilon_linear(inst: &Instance, budget: f64, seed: u64) -> Option<Max
     for eps in 0..inst.num_procs() {
         match run_at(inst, eps, seed) {
             Some(s) if s.latency_upper_bound() <= budget + 1e-9 => {
-                best = Some(MaxEpsilon { epsilon: eps, schedule: s });
+                best = Some(MaxEpsilon {
+                    epsilon: eps,
+                    schedule: s,
+                });
             }
             _ => break,
         }
@@ -71,7 +75,10 @@ pub fn max_epsilon_binary(inst: &Instance, budget: f64, seed: u64) -> Option<Max
             hi = mid - 1;
         }
     }
-    feasible(lo).map(|schedule| MaxEpsilon { epsilon: lo, schedule })
+    feasible(lo).map(|schedule| MaxEpsilon {
+        epsilon: lo,
+        schedule,
+    })
 }
 
 /// Per-task deadlines of Section 4.3 for latency budget `latency` and

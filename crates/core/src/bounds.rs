@@ -82,12 +82,8 @@ mod tests {
         let mut r = StdRng::seed_from_u64(9);
         let inst = paper_instance(&mut r, &PaperInstanceConfig::default());
         let s = ftsa(&inst, 1, &mut StdRng::seed_from_u64(9)).unwrap();
-        assert!(
-            (lower_bound(&s, &inst.dag) - s.latency_lower_bound()).abs() < 1e-9
-        );
-        assert!(
-            (upper_bound(&s, &inst.dag) - s.latency_upper_bound()).abs() < 1e-9
-        );
+        assert!((lower_bound(&s, &inst.dag) - s.latency_lower_bound()).abs() < 1e-9);
+        assert!((upper_bound(&s, &inst.dag) - s.latency_upper_bound()).abs() < 1e-9);
     }
 
     #[test]

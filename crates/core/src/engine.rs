@@ -46,7 +46,9 @@ impl<'a> Engine<'a> {
         let mut arrival = 0.0f64;
         for &(p, eid) in dag.preds(t) {
             let vol = dag.volume(eid);
-            let best = self.sched.replicas_of(p)
+            let best = self
+                .sched
+                .replicas_of(p)
                 .iter()
                 .map(|r| r.finish_lb + vol * plat.delay(r.proc.index(), j))
                 .fold(f64::INFINITY, f64::min);
@@ -63,7 +65,9 @@ impl<'a> Engine<'a> {
         let mut arrival = 0.0f64;
         for &(p, eid) in dag.preds(t) {
             let vol = dag.volume(eid);
-            let worst = self.sched.replicas_of(p)
+            let worst = self
+                .sched
+                .replicas_of(p)
                 .iter()
                 .map(|r| r.finish_ub + vol * plat.delay(r.proc.index(), j))
                 .fold(f64::NEG_INFINITY, f64::max);
@@ -74,8 +78,7 @@ impl<'a> Engine<'a> {
 
     /// Candidate finish time `F(t, P_j)` of eq. (1).
     pub fn finish_candidate_lb(&self, t: TaskId, j: usize) -> f64 {
-        self.inst.exec.time(t.index(), j)
-            + self.arrival_lb(t, j).max(self.ready_lb[j])
+        self.inst.exec.time(t.index(), j) + self.arrival_lb(t, j).max(self.ready_lb[j])
     }
 
     /// Places a replica of `t` on processor `j` with arrivals computed
@@ -122,8 +125,9 @@ impl<'a> Engine<'a> {
     pub fn best_procs(&self, t: TaskId, count: usize) -> Vec<(usize, f64)> {
         let m = self.inst.num_procs();
         debug_assert!(count <= m);
-        let mut cand: Vec<(usize, f64)> =
-            (0..m).map(|j| (j, self.finish_candidate_lb(t, j))).collect();
+        let mut cand: Vec<(usize, f64)> = (0..m)
+            .map(|j| (j, self.finish_candidate_lb(t, j)))
+            .collect();
         cand.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         cand.truncate(count);
         cand

@@ -35,7 +35,11 @@ impl fmt::Display for ScheduleError {
                  (need at least {})",
                 epsilon + 1
             ),
-            ScheduleError::DeadlineViolated { task, deadline, finish } => write!(
+            ScheduleError::DeadlineViolated {
+                task,
+                deadline,
+                finish,
+            } => write!(
                 f,
                 "failed to satisfy both criteria simultaneously: task {task} \
                  finishes at {finish:.3} past its deadline {deadline:.3}"
@@ -53,7 +57,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = ScheduleError::NotEnoughProcessors { epsilon: 3, procs: 2 };
+        let e = ScheduleError::NotEnoughProcessors {
+            epsilon: 3,
+            procs: 2,
+        };
         assert!(e.to_string().contains("at least 4"));
         let e = ScheduleError::DeadlineViolated {
             task: taskgraph::TaskId(7),

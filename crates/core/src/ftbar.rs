@@ -69,8 +69,7 @@ pub fn ftbar_with_options(
     let avg = AverageCosts::new(inst);
     let s_latest = bottom_levels(inst, &avg); // s(t): bottom-up static level
 
-    let mut waiting_preds: Vec<usize> =
-        (0..v).map(|i| dag.in_degree(TaskId(i as u32))).collect();
+    let mut waiting_preds: Vec<usize> = (0..v).map(|i| dag.in_degree(TaskId(i as u32))).collect();
     let mut free: Vec<TaskId> = dag.entries();
     // Random urgency tie-break tokens, assigned when a task becomes free.
     let mut token = vec![0u64; v];
@@ -149,7 +148,9 @@ fn try_duplicate_critical_parent(eng: &mut Engine<'_>, t: TaskId, j: usize) {
     let mut second = 0.0f64;
     for &(p, eid) in preds {
         let vol = dag.volume(eid);
-        let a = eng.sched.replicas_of(p)
+        let a = eng
+            .sched
+            .replicas_of(p)
             .iter()
             .map(|r| r.finish_lb + vol * plat.delay(r.proc.index(), j))
             .fold(f64::INFINITY, f64::min);
@@ -172,8 +173,7 @@ fn try_duplicate_critical_parent(eng: &mut Engine<'_>, t: TaskId, j: usize) {
         return;
     }
     // Cost of running a duplicate of p on j, right now.
-    let dup_finish = eng.inst.exec.time(p.index(), j)
-        + eng.arrival_lb(p, j).max(eng.ready_lb[j]);
+    let dup_finish = eng.inst.exec.time(p.index(), j) + eng.arrival_lb(p, j).max(eng.ready_lb[j]);
     let new_start = dup_finish.max(second);
     if new_start + 1e-12 < old_start {
         eng.place(p, j);
@@ -266,7 +266,10 @@ mod tests {
             let mut r = StdRng::seed_from_u64(seed);
             let inst = paper_instance(
                 &mut r,
-                &PaperInstanceConfig { granularity: 1.0, ..Default::default() },
+                &PaperInstanceConfig {
+                    granularity: 1.0,
+                    ..Default::default()
+                },
             );
             let f = ftsa(&inst, 1, &mut StdRng::seed_from_u64(seed))
                 .unwrap()

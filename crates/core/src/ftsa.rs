@@ -95,9 +95,7 @@ pub(crate) fn ftsa_impl(
 
     // Free list α, seeded with the entry tasks.
     let mut alpha = PriorityList::new(v);
-    let mut waiting_preds: Vec<usize> = (0..v)
-        .map(|i| dag.in_degree(TaskId(i as u32)))
-        .collect();
+    let mut waiting_preds: Vec<usize> = (0..v).map(|i| dag.in_degree(TaskId(i as u32))).collect();
     for t in dag.entries() {
         alpha.insert(t.index(), bl[t.index()], rng.gen());
     }
@@ -138,11 +136,11 @@ pub(crate) fn ftsa_impl(
         // min over replicas matches equation (1)'s optimistic semantics).
         for &(s, eid) in dag.succs(t) {
             let vol = dag.volume(eid);
-            let cand = eng.sched.replicas_of(t)
+            let cand = eng
+                .sched
+                .replicas_of(t)
                 .iter()
-                .map(|r| {
-                    r.finish_lb + vol * inst.platform.max_delay_from(r.proc.index())
-                })
+                .map(|r| r.finish_lb + vol * inst.platform.max_delay_from(r.proc.index()))
                 .fold(f64::INFINITY, f64::min);
             let si = s.index();
             tl[si] = tl[si].max(cand);
@@ -207,8 +205,7 @@ mod tests {
             for t in inst.dag.tasks() {
                 let reps = s.replicas_of(t);
                 assert_eq!(reps.len(), eps + 1);
-                let procs: std::collections::HashSet<_> =
-                    reps.iter().map(|r| r.proc).collect();
+                let procs: std::collections::HashSet<_> = reps.iter().map(|r| r.proc).collect();
                 assert_eq!(procs.len(), eps + 1, "Proposition 4.1 violated");
             }
         }
@@ -218,7 +215,13 @@ mod tests {
     fn too_few_processors_rejected() {
         let inst = diamond_instance();
         let err = ftsa(&inst, 3, &mut rng()).unwrap_err();
-        assert_eq!(err, ScheduleError::NotEnoughProcessors { epsilon: 3, procs: 3 });
+        assert_eq!(
+            err,
+            ScheduleError::NotEnoughProcessors {
+                epsilon: 3,
+                procs: 3
+            }
+        );
     }
 
     #[test]
@@ -337,9 +340,11 @@ mod tests {
         use platform::gen::{paper_instance, PaperInstanceConfig};
         let mut r = StdRng::seed_from_u64(404);
         let inst = paper_instance(&mut r, &PaperInstanceConfig::default());
-        for policy in [PriorityPolicy::Criticalness, PriorityPolicy::BottomLevelOnly] {
-            let s = ftsa_with_policy(&inst, 2, policy, &mut StdRng::seed_from_u64(1))
-                .unwrap();
+        for policy in [
+            PriorityPolicy::Criticalness,
+            PriorityPolicy::BottomLevelOnly,
+        ] {
+            let s = ftsa_with_policy(&inst, 2, policy, &mut StdRng::seed_from_u64(1)).unwrap();
             crate::validate::validate(&inst, &s).unwrap();
         }
     }

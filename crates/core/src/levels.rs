@@ -29,8 +29,13 @@ pub struct AverageCosts {
 impl AverageCosts {
     /// Computes the averages for `inst`.
     pub fn new(inst: &Instance) -> Self {
-        let exec = (0..inst.num_tasks()).map(|t| inst.exec.average(t)).collect();
-        AverageCosts { exec, mean_delay: inst.platform.average_delay() }
+        let exec = (0..inst.num_tasks())
+            .map(|t| inst.exec.average(t))
+            .collect();
+        AverageCosts {
+            exec,
+            mean_delay: inst.platform.average_delay(),
+        }
     }
 
     /// Average communication cost `W̄` of shipping `volume` units.

@@ -99,9 +99,7 @@ pub fn schedule(
 ) -> Result<Schedule, ScheduleError> {
     match algorithm {
         Algorithm::Ftsa => ftsa::ftsa(inst, epsilon, rng),
-        Algorithm::McFtsaGreedy => {
-            mc_ftsa::mc_ftsa(inst, epsilon, mc_ftsa::Selector::Greedy, rng)
-        }
+        Algorithm::McFtsaGreedy => mc_ftsa::mc_ftsa(inst, epsilon, mc_ftsa::Selector::Greedy, rng),
         Algorithm::McFtsaBottleneck => {
             mc_ftsa::mc_ftsa(inst, epsilon, mc_ftsa::Selector::Bottleneck, rng)
         }

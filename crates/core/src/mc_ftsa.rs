@@ -58,8 +58,7 @@ pub fn mc_ftsa(
     let mut tl = vec![0.0f64; v];
 
     let mut alpha = PriorityList::new(v);
-    let mut waiting_preds: Vec<usize> =
-        (0..v).map(|i| dag.in_degree(TaskId(i as u32))).collect();
+    let mut waiting_preds: Vec<usize> = (0..v).map(|i| dag.in_degree(TaskId(i as u32))).collect();
     for t in dag.entries() {
         alpha.insert(t.index(), bl[t.index()], rng.gen());
     }
@@ -92,8 +91,7 @@ pub fn mc_ftsa(
                     // Shared processor: the only outgoing edge is the
                     // internal one (weight = completion of t on that
                     // processor if t' were its only predecessor).
-                    let w = (srep.finish_lb).max(eng.ready_lb[sp])
-                        + inst.exec.time(t.index(), sp);
+                    let w = (srep.finish_lb).max(eng.ready_lb[sp]) + inst.exec.time(t.index(), sp);
                     g.add_edge(k, r, w);
                     forced.push((k, r));
                 } else {
@@ -114,8 +112,7 @@ pub fn mc_ftsa(
             for &(k, r) in &matching.pairs {
                 let srep = &senders[k];
                 let q = procs[r];
-                let a = srep.finish_lb
-                    + vol * inst.platform.delay(srep.proc.index(), q);
+                let a = srep.finish_lb + vol * inst.platform.delay(srep.proc.index(), q);
                 arrival[r] = arrival[r].max(a);
                 comm[eid.index()].push((k, r));
             }
@@ -132,11 +129,11 @@ pub fn mc_ftsa(
         // Successor priority refresh, identical to FTSA.
         for &(s, eid) in dag.succs(t) {
             let vol = dag.volume(eid);
-            let cand = eng.sched.replicas_of(t)
+            let cand = eng
+                .sched
+                .replicas_of(t)
                 .iter()
-                .map(|r| {
-                    r.finish_lb + vol * inst.platform.max_delay_from(r.proc.index())
-                })
+                .map(|r| r.finish_lb + vol * inst.platform.max_delay_from(r.proc.index()))
                 .fold(f64::INFINITY, f64::min);
             let si = s.index();
             tl[si] = tl[si].max(cand);
@@ -205,10 +202,8 @@ mod tests {
                 for pairs in m {
                     assert_eq!(pairs.len(), eps + 1);
                     // One-to-one on both sides.
-                    let src: std::collections::HashSet<_> =
-                        pairs.iter().map(|&(k, _)| k).collect();
-                    let dst: std::collections::HashSet<_> =
-                        pairs.iter().map(|&(_, r)| r).collect();
+                    let src: std::collections::HashSet<_> = pairs.iter().map(|&(k, _)| k).collect();
+                    let dst: std::collections::HashSet<_> = pairs.iter().map(|&(_, r)| r).collect();
                     assert_eq!(src.len(), eps + 1);
                     assert_eq!(dst.len(), eps + 1);
                 }

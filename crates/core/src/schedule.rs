@@ -50,11 +50,7 @@ pub enum CommSelection {
 impl CommSelection {
     /// For a destination replica `dst_rep` of the edge's target, which
     /// source replicas feed it? `None` = all of them (all-to-all).
-    pub fn senders_for(
-        &self,
-        edge: taskgraph::EdgeId,
-        dst_rep: usize,
-    ) -> Option<Vec<usize>> {
+    pub fn senders_for(&self, edge: taskgraph::EdgeId, dst_rep: usize) -> Option<Vec<usize>> {
         match self {
             CommSelection::AllToAll => None,
             CommSelection::Matched(m) => Some(
@@ -266,7 +262,10 @@ mod tests {
         let comm = CommSelection::Matched(vec![vec![(0, 1), (1, 0)]]);
         assert_eq!(comm.senders_for(taskgraph::EdgeId(0), 0), Some(vec![1]));
         assert_eq!(comm.senders_for(taskgraph::EdgeId(0), 1), Some(vec![0]));
-        assert_eq!(CommSelection::AllToAll.senders_for(taskgraph::EdgeId(0), 0), None);
+        assert_eq!(
+            CommSelection::AllToAll.senders_for(taskgraph::EdgeId(0), 0),
+            None
+        );
     }
 
     #[test]

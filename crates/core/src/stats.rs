@@ -79,10 +79,18 @@ pub fn schedule_stats(inst: &Instance, sched: &Schedule) -> ScheduleStats {
 
 impl fmt::Display for ScheduleStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "latency (M*/M):        {:.2} / {:.2}", self.latency_lb, self.latency_ub)?;
+        writeln!(
+            f,
+            "latency (M*/M):        {:.2} / {:.2}",
+            self.latency_lb, self.latency_ub
+        )?;
         writeln!(f, "replicas placed:       {}", self.replicas)?;
         writeln!(f, "messages:              {}", self.messages)?;
-        writeln!(f, "mean utilization:      {:.1}%", self.mean_utilization * 100.0)?;
+        writeln!(
+            f,
+            "mean utilization:      {:.1}%",
+            self.mean_utilization * 100.0
+        )?;
         writeln!(f, "load imbalance:        {:.2}x", self.load_imbalance)?;
         write!(
             f,
@@ -132,7 +140,13 @@ mod tests {
         let inst = inst();
         let s = ftsa(&inst, 1, &mut StdRng::seed_from_u64(3)).unwrap();
         let text = schedule_stats(&inst, &s).to_string();
-        for key in ["latency", "replicas", "messages", "utilization", "imbalance"] {
+        for key in [
+            "latency",
+            "replicas",
+            "messages",
+            "utilization",
+            "imbalance",
+        ] {
             assert!(text.contains(key), "missing {key} in:\n{text}");
         }
     }

@@ -79,9 +79,7 @@ pub fn validate(inst: &Instance, sched: &Schedule) -> Result<(), ScheduleError> 
             if r.proc.index() >= plat.num_procs() {
                 return fail(format!("task {t} placed on unknown {}", r.proc));
             }
-            if r.start_lb < -TOL
-                || r.finish_lb < r.start_lb - TOL
-                || r.finish_ub < r.start_ub - TOL
+            if r.start_lb < -TOL || r.finish_lb < r.start_lb - TOL || r.finish_ub < r.start_ub - TOL
             {
                 return fail(format!("task {t} has inconsistent replica times"));
             }
@@ -136,10 +134,7 @@ pub fn validate(inst: &Instance, sched: &Schedule) -> Result<(), ScheduleError> 
                         // (3): someone delivers by start_lb.
                         let earliest = senders
                             .iter()
-                            .map(|s| {
-                                s.finish_lb
-                                    + vol * plat.delay(s.proc.index(), r.proc.index())
-                            })
+                            .map(|s| s.finish_lb + vol * plat.delay(s.proc.index(), r.proc.index()))
                             .fold(f64::INFINITY, f64::min);
                         if earliest > r.start_lb + TOL {
                             return fail(format!(
@@ -156,12 +151,7 @@ pub fn validate(inst: &Instance, sched: &Schedule) -> Result<(), ScheduleError> 
                             let latest = senders[..eps1.min(senders.len())]
                                 .iter()
                                 .map(|s| {
-                                    s.finish_ub
-                                        + vol
-                                            * plat.delay(
-                                                s.proc.index(),
-                                                r.proc.index(),
-                                            )
+                                    s.finish_ub + vol * plat.delay(s.proc.index(), r.proc.index())
                                 })
                                 .fold(f64::NEG_INFINITY, f64::max);
                             if latest > r.start_ub + TOL {
@@ -175,16 +165,13 @@ pub fn validate(inst: &Instance, sched: &Schedule) -> Result<(), ScheduleError> 
                     }
                     CommSelection::Matched(m) => {
                         let pairs = &m[eid.index()];
-                        let Some(&(k, _)) =
-                            pairs.iter().find(|&&(_, d)| d == ri)
-                        else {
+                        let Some(&(k, _)) = pairs.iter().find(|&&(_, d)| d == ri) else {
                             return fail(format!(
                                 "no matched sender for {t} replica {ri} on edge {p}->{t}"
                             ));
                         };
                         let s = &senders[k];
-                        let arrive = s.finish_lb
-                            + vol * plat.delay(s.proc.index(), r.proc.index());
+                        let arrive = s.finish_lb + vol * plat.delay(s.proc.index(), r.proc.index());
                         if arrive > r.start_lb + TOL {
                             return fail(format!(
                                 "matched data of {p} reaches {t} replica {ri} at \
@@ -214,8 +201,7 @@ pub fn validate(inst: &Instance, sched: &Schedule) -> Result<(), ScheduleError> 
             let mut ls = std::collections::HashSet::new();
             let mut rs = std::collections::HashSet::new();
             for &(k, d) in pairs {
-                if k >= sched.replicas_of(src).len() || d >= sched.replicas_of(dst).len()
-                {
+                if k >= sched.replicas_of(src).len() || d >= sched.replicas_of(dst).len() {
                     return fail(format!("edge {src}->{dst} pair out of range"));
                 }
                 if !ls.insert(k) || !rs.insert(d) {

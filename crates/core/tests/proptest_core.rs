@@ -11,8 +11,8 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use taskgraph::generators::{
-    erdos, fork_join, layered, series_parallel, ErdosConfig, ForkJoinConfig,
-    LayeredConfig, SeriesParallelConfig,
+    erdos, fork_join, layered, series_parallel, ErdosConfig, ForkJoinConfig, LayeredConfig,
+    SeriesParallelConfig,
 };
 use taskgraph::workloads::{cholesky, fft, gaussian_elimination};
 use taskgraph::Dag;
@@ -33,9 +33,7 @@ fn build(family: Family, seed: u64, size: usize) -> Dag {
     match family {
         Family::Layered => layered(&mut rng, &LayeredConfig::paper(size.max(1))),
         Family::Erdos => erdos(&mut rng, &ErdosConfig::sparse(size.max(1))),
-        Family::ForkJoin => {
-            fork_join(&mut rng, &ForkJoinConfig::new(size % 4 + 1, size % 6 + 1))
-        }
+        Family::ForkJoin => fork_join(&mut rng, &ForkJoinConfig::new(size % 4 + 1, size % 6 + 1)),
         Family::SeriesParallel => {
             series_parallel(&mut rng, &SeriesParallelConfig::new(size.max(2)))
         }

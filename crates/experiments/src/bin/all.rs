@@ -36,7 +36,11 @@ fn main() {
     println!();
 
     let full = std::env::args().any(|a| a == "--full");
-    let tcfg = if full { Table1Config::paper() } else { Table1Config::quick() };
+    let tcfg = if full {
+        Table1Config::paper()
+    } else {
+        Table1Config::quick()
+    };
     println!("== Table 1 — running times in seconds ==");
     print!("{}", format_table1(&run_table1(&tcfg)));
 }

@@ -12,7 +12,11 @@ use experiments::table1::{format_table1, run_table1, Table1Config};
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
-    let cfg = if full { Table1Config::paper() } else { Table1Config::quick() };
+    let cfg = if full {
+        Table1Config::paper()
+    } else {
+        Table1Config::quick()
+    };
     println!(
         "== Table 1 — running times in seconds ({} processors, ε = {}) ==",
         cfg.procs, cfg.epsilon

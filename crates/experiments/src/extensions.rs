@@ -17,9 +17,7 @@ use platform::FailureScenario;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use simulator::contention::{simulate_contention, PortModel};
-use simulator::reliability::{
-    design_point_probability, survival_probability_exact,
-};
+use simulator::reliability::{design_point_probability, survival_probability_exact};
 
 /// One row of the contention experiment.
 #[derive(Debug, Clone)]
@@ -54,18 +52,23 @@ pub fn run_contention(
                 let mut g = StdRng::seed_from_u64(cell_seed);
                 let inst = paper_instance(
                     &mut g,
-                    &PaperInstanceConfig { granularity, ..Default::default() },
+                    &PaperInstanceConfig {
+                        granularity,
+                        ..Default::default()
+                    },
                 );
                 let mut tie = StdRng::seed_from_u64(cell_seed ^ 0xBEEF);
                 let f = schedule(&inst, eps, Algorithm::Ftsa, &mut tie).unwrap();
                 let mc = schedule(&inst, eps, Algorithm::McFtsaGreedy, &mut tie).unwrap();
                 let measure = |s: &ftsched_core::Schedule| {
                     let unb = simulate_contention(
-                        &inst, s, &FailureScenario::none(), PortModel::Unbounded,
+                        &inst,
+                        s,
+                        &FailureScenario::none(),
+                        PortModel::Unbounded,
                     );
-                    let one = simulate_contention(
-                        &inst, s, &FailureScenario::none(), PortModel::OnePort,
-                    );
+                    let one =
+                        simulate_contention(&inst, s, &FailureScenario::none(), PortModel::OnePort);
                     (one.latency / unb.latency, one.transfers as f64)
                 };
                 let (fp, ft) = measure(&f);
@@ -148,8 +151,7 @@ pub fn run_reliability(
 
 /// Formats the reliability rows as an aligned table.
 pub fn format_reliability(rows: &[ReliabilityRow]) -> String {
-    let mut out =
-        String::from("  eps      p    P(survive)   P(<=eps failures)   headroom\n");
+    let mut out = String::from("  eps      p    P(survive)   P(<=eps failures)   headroom\n");
     for r in rows {
         out.push_str(&format!(
             "{:>5} {:>6.2} {:>12.6} {:>19.6} {:>10.6}\n",
@@ -183,7 +185,10 @@ mod tests {
         let rows = run_reliability(&[0, 2], &[0.1, 0.4], 8, 5);
         assert_eq!(rows.len(), 4);
         for r in &rows {
-            assert!(r.survival >= r.design_point - 1e-9, "Theorem 4.1 lower bound");
+            assert!(
+                r.survival >= r.design_point - 1e-9,
+                "Theorem 4.1 lower bound"
+            );
             assert!((0.0..=1.0).contains(&r.survival));
         }
         let s = format_reliability(&rows);

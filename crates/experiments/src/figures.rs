@@ -114,12 +114,7 @@ pub fn normalization(inst: &Instance) -> f64 {
     (total / e as f64).max(f64::MIN_POSITIVE)
 }
 
-fn crash_latency(
-    inst: &Instance,
-    sched: &Schedule,
-    crashes: usize,
-    rng: &mut StdRng,
-) -> f64 {
+fn crash_latency(inst: &Instance, sched: &Schedule, crashes: usize, rng: &mut StdRng) -> f64 {
     let scen = if crashes == 0 {
         FailureScenario::none()
     } else {
@@ -243,9 +238,15 @@ pub fn run_figure_with_threads(cfg: &FigureConfig, threads: usize) -> FigureResu
             }
         }
         let series = acc.into_iter().map(|(k, vs)| (k, mean(&vs))).collect();
-        points.push(FigurePoint { granularity: g, series });
+        points.push(FigurePoint {
+            granularity: g,
+            series,
+        });
     }
-    FigureResult { id: cfg.id.clone(), points }
+    FigureResult {
+        id: cfg.id.clone(),
+        points,
+    }
 }
 
 #[cfg(test)]
@@ -290,9 +291,7 @@ mod tests {
         let res = run_figure_with_threads(&tiny_config(), 2);
         for p in &res.points {
             assert!(p.series["FTSA-LowerBound"] <= p.series["FTSA-UpperBound"] + 1e-9);
-            assert!(
-                p.series["MC-FTSA-LowerBound"] <= p.series["MC-FTSA-UpperBound"] + 1e-9
-            );
+            assert!(p.series["MC-FTSA-LowerBound"] <= p.series["MC-FTSA-UpperBound"] + 1e-9);
             // Fault-free schedules can't be slower than replicated lower
             // bounds on average.
             assert!(p.series["FaultFree-FTSA"] <= p.series["FTSA-LowerBound"] + 1e-9);
@@ -309,10 +308,7 @@ mod tests {
             ..FigureConfig::comparison("figshape", 1, 5)
         };
         let res = run_figure_with_threads(&cfg, 2);
-        assert!(
-            res.points[1].series["FTSA-LowerBound"]
-                > res.points[0].series["FTSA-LowerBound"]
-        );
+        assert!(res.points[1].series["FTSA-LowerBound"] > res.points[0].series["FTSA-LowerBound"]);
     }
 
     #[test]

@@ -80,7 +80,10 @@ pub fn ascii_plot(fig: &FigureResult, series: &str, height: usize) -> String {
     if values.is_empty() {
         return format!("(no data for series {series})\n");
     }
-    let ymax = values.iter().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max);
+    let ymax = values
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::NEG_INFINITY, f64::max);
     let ymin = values.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
     let span = (ymax - ymin).max(1e-12);
     let height = height.max(3);
@@ -124,8 +127,14 @@ mod tests {
         FigureResult {
             id: "figtest".into(),
             points: vec![
-                FigurePoint { granularity: 0.2, series: s1 },
-                FigurePoint { granularity: 0.4, series: s2 },
+                FigurePoint {
+                    granularity: 0.2,
+                    series: s1,
+                },
+                FigurePoint {
+                    granularity: 0.4,
+                    series: s2,
+                },
             ],
         }
     }

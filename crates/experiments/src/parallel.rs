@@ -40,7 +40,9 @@ where
     })
     .expect("experiment worker panicked");
 
-    out.into_iter().map(|v| v.expect("all cells computed")).collect()
+    out.into_iter()
+        .map(|v| v.expect("all cells computed"))
+        .collect()
 }
 
 /// Number of worker threads to use: the available parallelism, capped so

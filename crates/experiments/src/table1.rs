@@ -92,13 +92,8 @@ pub fn run_table1(cfg: &Table1Config) -> Vec<Table1Row> {
             });
             let mc_ftsa_secs = time(&|| {
                 let mut r = StdRng::seed_from_u64(cfg.seed);
-                let _ = mc_ftsa::mc_ftsa(
-                    &inst,
-                    cfg.epsilon,
-                    mc_ftsa::Selector::Greedy,
-                    &mut r,
-                )
-                .expect("schedulable");
+                let _ = mc_ftsa::mc_ftsa(&inst, cfg.epsilon, mc_ftsa::Selector::Greedy, &mut r)
+                    .expect("schedulable");
             });
             let ftbar_secs = (v <= cfg.ftbar_size_cap).then(|| {
                 time(&|| {
@@ -106,7 +101,12 @@ pub fn run_table1(cfg: &Table1Config) -> Vec<Table1Row> {
                     let _ = ftbar(&inst, cfg.epsilon, &mut r).expect("schedulable");
                 })
             });
-            Table1Row { tasks: v, ftsa_secs, mc_ftsa_secs, ftbar_secs }
+            Table1Row {
+                tasks: v,
+                ftsa_secs,
+                mc_ftsa_secs,
+                ftbar_secs,
+            }
         })
         .collect()
 }

@@ -55,24 +55,21 @@ pub mod prelude {
     pub use ftsched_core::mc_ftsa::{mc_ftsa, Selector};
     pub use ftsched_core::stats::{schedule_stats, ScheduleStats};
     pub use ftsched_core::validate::validate;
-    pub use ftsched_core::{
-        schedule, Algorithm, CommSelection, Replica, Schedule, ScheduleError,
-    };
+    pub use ftsched_core::{schedule, Algorithm, CommSelection, Replica, Schedule, ScheduleError};
     pub use platform::gen::{paper_instance, random_platform, PaperInstanceConfig};
     pub use platform::granularity::{granularity, scale_to_granularity};
     pub use platform::{ExecutionMatrix, FailureScenario, Instance, Platform, ProcId};
     pub use simulator::contention::{simulate_contention, ContentionResult, PortModel};
     pub use simulator::crash::FallbackPolicy;
     pub use simulator::reliability::{
-        design_point_probability, survival_probability_exact,
-        survival_probability_monte_carlo,
+        design_point_probability, survival_probability_exact, survival_probability_monte_carlo,
     };
     pub use simulator::replay::replay;
     pub use simulator::trace::{gantt, trace};
     pub use simulator::{simulate, SimOutcome, SimResult};
     pub use taskgraph::generators::{
-        erdos, fork_join, layered, series_parallel, ErdosConfig, ForkJoinConfig,
-        LayeredConfig, SeriesParallelConfig,
+        erdos, fork_join, layered, series_parallel, ErdosConfig, ForkJoinConfig, LayeredConfig,
+        SeriesParallelConfig,
     };
     pub use taskgraph::workloads::{
         cholesky, fft, gaussian_elimination, map_reduce, stencil_1d, wavefront,

@@ -31,7 +31,11 @@ pub struct BipartiteGraph {
 impl BipartiteGraph {
     /// Creates an empty graph with the given side sizes.
     pub fn new(n_left: usize, n_right: usize) -> Self {
-        BipartiteGraph { n_left, n_right, edges: Vec::new() }
+        BipartiteGraph {
+            n_left,
+            n_right,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of left nodes.
@@ -58,7 +62,11 @@ impl BipartiteGraph {
         assert!(left < self.n_left, "left node {left} out of range");
         assert!(right < self.n_right, "right node {right} out of range");
         assert!(weight.is_finite(), "edge weight must be finite");
-        self.edges.push(Edge { left, right, weight });
+        self.edges.push(Edge {
+            left,
+            right,
+            weight,
+        });
     }
 
     /// Weight of the lightest edge `(left, right)` if any exists.

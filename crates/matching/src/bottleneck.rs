@@ -47,7 +47,10 @@ pub fn bottleneck_matching(g: &BipartiteGraph, forced: &[(usize, usize)]) -> Opt
         let w = g
             .weight(l, r)
             .unwrap_or_else(|| panic!("forced pair ({l}, {r}) is not an edge"));
-        assert!(!left_fixed[l] && !right_fixed[r], "forced pairs must be disjoint");
+        assert!(
+            !left_fixed[l] && !right_fixed[r],
+            "forced pairs must be disjoint"
+        );
         left_fixed[l] = true;
         right_fixed[r] = true;
         forced_bottleneck = forced_bottleneck.max(w);
@@ -149,7 +152,7 @@ mod tests {
             for e in g.edges().iter().filter(|e| e.left == l) {
                 if !used[e.right] {
                     used[e.right] = true;
-                    go(g, l + 1, used, left_fixed, current.max(e.weight), best, );
+                    go(g, l + 1, used, left_fixed, current.max(e.weight), best);
                     used[e.right] = false;
                 }
             }
@@ -198,10 +201,7 @@ mod tests {
 
     #[test]
     fn forced_edge_respected_even_if_heavy() {
-        let g = weighted(
-            2,
-            &[(0, 0, 100.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0)],
-        );
+        let g = weighted(2, &[(0, 0, 100.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0)]);
         let m = bottleneck_matching(&g, &[(0, 0)]).unwrap();
         assert!(m.pairs.contains(&(0, 0)));
         assert!(m.pairs.contains(&(1, 1)));

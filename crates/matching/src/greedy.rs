@@ -41,7 +41,10 @@ pub fn greedy_matching(g: &BipartiteGraph, forced: &[(usize, usize)]) -> Option<
             g.weight(l, r).is_some(),
             "forced pair ({l}, {r}) is not an edge"
         );
-        assert!(!left_used[l] && !right_used[r], "forced pairs must be disjoint");
+        assert!(
+            !left_used[l] && !right_used[r],
+            "forced pairs must be disjoint"
+        );
         left_used[l] = true;
         right_used[r] = true;
         pairs.push((l, r));

@@ -45,10 +45,7 @@ pub fn maximum_matching(g: &BipartiteGraph) -> MatchResult {
 /// Computes a maximum matching over a caller-filtered adjacency (e.g. the
 /// `≤ T` subgraph of the bottleneck search). `adj[l]` holds indices into
 /// `g.edges()`.
-pub fn maximum_matching_with_adjacency(
-    g: &BipartiteGraph,
-    adj: &[Vec<usize>],
-) -> MatchResult {
+pub fn maximum_matching_with_adjacency(g: &BipartiteGraph, adj: &[Vec<usize>]) -> MatchResult {
     let n_left = g.n_left();
     let n_right = g.n_right();
     let edges = g.edges();
@@ -218,7 +215,11 @@ mod tests {
         let cases: Vec<Case> = vec![
             (3, 3, vec![(0, 0), (0, 1), (1, 1), (2, 1), (2, 2)]),
             (4, 3, vec![(0, 0), (1, 0), (2, 1), (3, 2), (3, 1)]),
-            (5, 5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 0), (4, 4)]),
+            (
+                5,
+                5,
+                vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 0), (4, 4)],
+            ),
         ];
         for (nl, nr, edges) in cases {
             let g = graph(nl, nr, &edges);

@@ -161,7 +161,13 @@ fn permute(v: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
 }
 
 fn for_each_subset(items: &[usize], size: usize, f: &mut impl FnMut(&[usize])) {
-    fn go(items: &[usize], size: usize, start: usize, cur: &mut Vec<usize>, f: &mut impl FnMut(&[usize])) {
+    fn go(
+        items: &[usize],
+        size: usize,
+        start: usize,
+        cur: &mut Vec<usize>,
+        f: &mut impl FnMut(&[usize]),
+    ) {
         if cur.len() == size {
             f(cur);
             return;

@@ -50,12 +50,7 @@ impl ExecutionMatrix {
     /// paper's general model: each `(task, processor)` pair draws an
     /// independent factor in `[1 − spread, 1 + spread]` applied to the
     /// task's work.
-    pub fn unrelated_with_procs(
-        dag: &Dag,
-        m: usize,
-        rng: &mut impl Rng,
-        spread: f64,
-    ) -> Self {
+    pub fn unrelated_with_procs(dag: &Dag, m: usize, rng: &mut impl Rng, spread: f64) -> Self {
         assert!((0.0..1.0).contains(&spread));
         assert!(m >= 1);
         let mut times = Vec::with_capacity(dag.num_tasks() * m);
@@ -70,7 +65,11 @@ impl ExecutionMatrix {
                 times.push(w * factor);
             }
         }
-        ExecutionMatrix { v: dag.num_tasks(), m, times }
+        ExecutionMatrix {
+            v: dag.num_tasks(),
+            m,
+            times,
+        }
     }
 
     /// Number of tasks (rows).

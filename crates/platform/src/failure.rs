@@ -11,9 +11,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Dense identifier of a processor.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ProcId(pub u32);
 
 impl ProcId {
@@ -51,7 +49,10 @@ impl FailureScenario {
         let mut seen = std::collections::HashSet::new();
         for &(p, t) in &failures {
             assert!(seen.insert(p), "duplicate failure for {p}");
-            assert!(t >= 0.0 && t.is_finite(), "failure time must be finite and >= 0");
+            assert!(
+                t >= 0.0 && t.is_finite(),
+                "failure time must be finite and >= 0"
+            );
         }
         FailureScenario { failures }
     }
@@ -77,12 +78,7 @@ impl FailureScenario {
 
     /// Like [`FailureScenario::uniform`] but with failure times drawn
     /// uniformly in `[0, horizon]` — the mid-execution crash extension.
-    pub fn uniform_timed(
-        rng: &mut impl Rng,
-        m: usize,
-        count: usize,
-        horizon: f64,
-    ) -> Self {
+    pub fn uniform_timed(rng: &mut impl Rng, m: usize, count: usize, horizon: f64) -> Self {
         assert!(count <= m);
         assert!(horizon >= 0.0 && horizon.is_finite());
         let mut ids: Vec<u32> = (0..m as u32).collect();
@@ -93,7 +89,16 @@ impl FailureScenario {
         Self::new(
             ids[..count]
                 .iter()
-                .map(|&i| (ProcId(i), if horizon == 0.0 { 0.0 } else { rng.gen_range(0.0..=horizon) }))
+                .map(|&i| {
+                    (
+                        ProcId(i),
+                        if horizon == 0.0 {
+                            0.0
+                        } else {
+                            rng.gen_range(0.0..=horizon)
+                        },
+                    )
+                })
                 .collect(),
         )
     }
@@ -112,7 +117,10 @@ impl FailureScenario {
 
     /// The failure time of `p`, or `None` if `p` stays alive.
     pub fn failure_time(&self, p: ProcId) -> Option<f64> {
-        self.failures.iter().find(|&&(q, _)| q == p).map(|&(_, t)| t)
+        self.failures
+            .iter()
+            .find(|&&(q, _)| q == p)
+            .map(|&(_, t)| t)
     }
 
     /// Whether `p` fails (at any time) in this scenario.

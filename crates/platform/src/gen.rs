@@ -64,8 +64,7 @@ pub fn paper_instance(rng: &mut impl Rng, cfg: &PaperInstanceConfig) -> Instance
     };
     let dag: Dag = layered(rng, &LayeredConfig::paper(tasks));
     let platform = random_platform(rng, cfg.procs, 0.5, 1.0);
-    let mut exec =
-        ExecutionMatrix::unrelated_with_procs(&dag, cfg.procs, rng, cfg.heterogeneity);
+    let mut exec = ExecutionMatrix::unrelated_with_procs(&dag, cfg.procs, rng, cfg.heterogeneity);
     scale_to_granularity(&dag, &platform, &mut exec, cfg.granularity);
     Instance::new(dag, platform, exec)
 }
@@ -96,7 +95,10 @@ mod tests {
     #[test]
     fn paper_instance_matches_config() {
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = PaperInstanceConfig { granularity: 0.8, ..Default::default() };
+        let cfg = PaperInstanceConfig {
+            granularity: 0.8,
+            ..Default::default()
+        };
         let inst = paper_instance(&mut rng, &cfg);
         assert!(inst.num_tasks() >= 100 && inst.num_tasks() <= 150);
         assert_eq!(inst.num_procs(), 20);
@@ -117,7 +119,11 @@ mod tests {
     #[test]
     fn fixed_task_count() {
         let mut rng = StdRng::seed_from_u64(4);
-        let cfg = PaperInstanceConfig { tasks_lo: 42, tasks_hi: 42, ..Default::default() };
+        let cfg = PaperInstanceConfig {
+            tasks_lo: 42,
+            tasks_hi: 42,
+            ..Default::default()
+        };
         let inst = paper_instance(&mut rng, &cfg);
         assert_eq!(inst.num_tasks(), 42);
     }

@@ -58,7 +58,11 @@ impl Instance {
             platform.num_procs(),
             "execution matrix columns must match processor count"
         );
-        Instance { dag, platform, exec }
+        Instance {
+            dag,
+            platform,
+            exec,
+        }
     }
 
     /// Number of processors `m`.

@@ -74,9 +74,7 @@ impl Platform {
     /// Worst-case outgoing delay `max_j d(P_k, P_j)` — the pessimistic
     /// factor in the dynamic top level of FTSA.
     pub fn max_delay_from(&self, k: usize) -> f64 {
-        (0..self.m)
-            .map(|h| self.delay(k, h))
-            .fold(0.0, f64::max)
+        (0..self.m).map(|h| self.delay(k, h)).fold(0.0, f64::max)
     }
 
     /// Mean delay of the `count` fastest (smallest-delay) inter-processor

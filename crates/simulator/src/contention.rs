@@ -81,7 +81,11 @@ struct Transfer {
 #[derive(Debug, Clone, Copy)]
 enum Ev {
     /// Replica `(task, rep)` finishes computing on `proc`.
-    Finish { task: TaskId, rep: usize, proc: usize },
+    Finish {
+        task: TaskId,
+        rep: usize,
+        proc: usize,
+    },
     /// A transfer out of `proc` completes; its payload lands at the
     /// destination replica.
     TransferDone { proc: usize, t: Transfer },
@@ -157,9 +161,7 @@ pub fn simulate_contention(
     // Per-replica input state: satisfied flags + ready time.
     let mut satisfied: Vec<Vec<Vec<bool>>> = dag
         .tasks()
-        .map(|t| {
-            vec![vec![false; dag.preds(t).len()]; sched.replicas_of(t).len()]
-        })
+        .map(|t| vec![vec![false; dag.preds(t).len()]; sched.replicas_of(t).len()])
         .collect();
     let mut sat_count: Vec<Vec<usize>> = dag
         .tasks()
@@ -234,7 +236,14 @@ pub fn simulate_contention(
                     finish_time[t.index()][k] = Some(fin);
                     free_at[j] = fin;
                     ptr[j] += 1;
-                    push_ev!(fin, Ev::Finish { task: t, rep: k, proc: j });
+                    push_ev!(
+                        fin,
+                        Ev::Finish {
+                            task: t,
+                            rep: k,
+                            proc: j
+                        }
+                    );
                 }
             }
         }};
@@ -264,8 +273,7 @@ pub fn simulate_contention(
                         if dst_proc == proc {
                             satisfied[s.index()][d][slot] = true;
                             sat_count[s.index()][d] += 1;
-                            ready_time[s.index()][d] =
-                                ready_time[s.index()][d].max(now);
+                            ready_time[s.index()][d] = ready_time[s.index()][d].max(now);
                             try_advance!(dst_proc, sched);
                             continue;
                         }
@@ -310,10 +318,7 @@ pub fn simulate_contention(
 
     let completed = dag
         .tasks()
-        .all(|t| {
-            (0..sched.replicas_of(t).len())
-                .any(|k| finish_time[t.index()][k].is_some())
-        });
+        .all(|t| (0..sched.replicas_of(t).len()).any(|k| finish_time[t.index()][k].is_some()));
     let latency = if !completed {
         f64::INFINITY
     } else {
@@ -329,7 +334,12 @@ pub fn simulate_contention(
             .fold(0.0, f64::max)
     };
 
-    ContentionResult { latency, completed, transfers, queueing_delay }
+    ContentionResult {
+        latency,
+        completed,
+        transfers,
+        queueing_delay,
+    }
 }
 
 #[cfg(test)]
@@ -354,12 +364,8 @@ mod tests {
             for alg in [Algorithm::Ftsa, Algorithm::McFtsaGreedy] {
                 let s = schedule(&inst, 2, alg, &mut StdRng::seed_from_u64(seed)).unwrap();
                 let base = simulate(&inst, &s, &FailureScenario::none());
-                let cont = simulate_contention(
-                    &inst,
-                    &s,
-                    &FailureScenario::none(),
-                    PortModel::Unbounded,
-                );
+                let cont =
+                    simulate_contention(&inst, &s, &FailureScenario::none(), PortModel::Unbounded);
                 assert!(
                     (base.latency - cont.latency).abs() < 1e-9,
                     "{alg:?} seed {seed}: {} vs {}",
@@ -376,14 +382,10 @@ mod tests {
     fn one_port_can_only_slow_things_down() {
         for seed in 0..3u64 {
             let inst = instance(seed + 10);
-            let s = schedule(&inst, 2, Algorithm::Ftsa, &mut StdRng::seed_from_u64(seed))
-                .unwrap();
-            let unb = simulate_contention(
-                &inst, &s, &FailureScenario::none(), PortModel::Unbounded,
-            );
-            let one = simulate_contention(
-                &inst, &s, &FailureScenario::none(), PortModel::OnePort,
-            );
+            let s = schedule(&inst, 2, Algorithm::Ftsa, &mut StdRng::seed_from_u64(seed)).unwrap();
+            let unb =
+                simulate_contention(&inst, &s, &FailureScenario::none(), PortModel::Unbounded);
+            let one = simulate_contention(&inst, &s, &FailureScenario::none(), PortModel::OnePort);
             assert!(one.latency >= unb.latency - 1e-9);
             assert!(one.completed);
         }
@@ -417,18 +419,19 @@ mod tests {
         let mut mc_penalty = 0.0;
         for seed in 0..5u64 {
             let inst = instance(seed + 60);
-            let f = schedule(&inst, 2, Algorithm::Ftsa, &mut StdRng::seed_from_u64(seed))
-                .unwrap();
-            let mc =
-                schedule(&inst, 2, Algorithm::McFtsaGreedy, &mut StdRng::seed_from_u64(seed))
-                    .unwrap();
+            let f = schedule(&inst, 2, Algorithm::Ftsa, &mut StdRng::seed_from_u64(seed)).unwrap();
+            let mc = schedule(
+                &inst,
+                2,
+                Algorithm::McFtsaGreedy,
+                &mut StdRng::seed_from_u64(seed),
+            )
+            .unwrap();
             let pen = |s: &ftsched_core::Schedule| {
-                let unb = simulate_contention(
-                    &inst, s, &FailureScenario::none(), PortModel::Unbounded,
-                );
-                let one = simulate_contention(
-                    &inst, s, &FailureScenario::none(), PortModel::OnePort,
-                );
+                let unb =
+                    simulate_contention(&inst, s, &FailureScenario::none(), PortModel::Unbounded);
+                let one =
+                    simulate_contention(&inst, s, &FailureScenario::none(), PortModel::OnePort);
                 one.latency / unb.latency
             };
             ftsa_penalty += pen(&f);

@@ -119,9 +119,17 @@ enum Phase {
 #[derive(Debug, Clone, Copy)]
 enum Event {
     /// Data for replica `(task, rep)` along predecessor slot `slot`.
-    Arrival { task: TaskId, rep: usize, slot: usize },
+    Arrival {
+        task: TaskId,
+        rep: usize,
+        slot: usize,
+    },
     /// Replica `(task, rep)` on processor `proc` completes.
-    Finish { task: TaskId, rep: usize, proc: usize },
+    Finish {
+        task: TaskId,
+        rep: usize,
+        proc: usize,
+    },
 }
 
 /// Simulates `sched` under `scenario` with the default policy:
@@ -243,9 +251,7 @@ pub fn simulate_with(
 
     // Kill cascade: marks replicas dead, propagates starvation, flags
     // matched_dead slots in rerouted mode. Returns touched processors.
-    let kill_cascade = |seed: Vec<(TaskId, usize)>,
-                        state: &mut Vec<Vec<RepState>>|
-     -> Vec<usize> {
+    let kill_cascade = |seed: Vec<(TaskId, usize)>, state: &mut Vec<Vec<RepState>>| -> Vec<usize> {
         let mut work = seed;
         let mut touched = Vec::new();
         while let Some((t, k)) = work.pop() {
@@ -258,9 +264,7 @@ pub fn simulate_with(
                 let slot = slot_of_edge[eid.index()];
                 // Who loses a potential sender?
                 let affected: Vec<usize> = match (&sched.comm, rerouted) {
-                    (CommSelection::AllToAll, _) => {
-                        (0..sched.replicas_of(s).len()).collect()
-                    }
+                    (CommSelection::AllToAll, _) => (0..sched.replicas_of(s).len()).collect(),
                     (CommSelection::Matched(_), true) => {
                         // Every receiver counted all senders; also flag
                         // the matched ones for fallback delivery.
@@ -357,8 +361,17 @@ pub fn simulate_with(
     loop {
         while let Some(j) = pending_advance.pop() {
             try_advance(
-                j, inst, sched, &mut state, &mut times, &mut ptr, &mut free_at,
-                &mut proc_dead, &fail_at, &mut start_queue, &mut kill_queue,
+                j,
+                inst,
+                sched,
+                &mut state,
+                &mut times,
+                &mut ptr,
+                &mut free_at,
+                &mut proc_dead,
+                &fail_at,
+                &mut start_queue,
+                &mut kill_queue,
             );
             if !kill_queue.is_empty() {
                 let seeds = std::mem::take(&mut kill_queue);
@@ -366,12 +379,18 @@ pub fn simulate_with(
             }
             for (finish, t, k, j2) in start_queue.drain(..) {
                 let id = event_data.len();
-                event_data.push(Event::Finish { task: t, rep: k, proc: j2 });
+                event_data.push(Event::Finish {
+                    task: t,
+                    rep: k,
+                    proc: j2,
+                });
                 events.push(id, (OrdF64::new(finish), id));
             }
         }
 
-        let Some((id, (time, _))) = events.pop() else { break };
+        let Some((id, (time, _))) = events.pop() else {
+            break;
+        };
         processed += 1;
         let now = time.get();
         match event_data[id] {
@@ -393,9 +412,7 @@ pub fn simulate_with(
                     let vol = dag.volume(eid);
                     let slot = slot_of_edge[eid.index()];
                     let candidates: Vec<usize> = match &sched.comm {
-                        CommSelection::AllToAll => {
-                            (0..sched.replicas_of(s).len()).collect()
-                        }
+                        CommSelection::AllToAll => (0..sched.replicas_of(s).len()).collect(),
                         CommSelection::Matched(_) if rerouted => {
                             (0..sched.replicas_of(s).len()).collect()
                         }
@@ -408,16 +425,18 @@ pub fn simulate_with(
                         }
                         // Rerouted matched delivery: a non-matched sender
                         // only feeds receivers whose matched sender died.
-                        if rerouted
-                            && matched_of[eid.index()][d] != rep
-                            && !rst.matched_dead[slot]
+                        if rerouted && matched_of[eid.index()][d] != rep && !rst.matched_dead[slot]
                         {
                             continue;
                         }
                         let dst_proc = sched.replicas_of(s)[d].proc.index();
                         let at = now + vol * inst.platform.delay(proc, dst_proc);
                         let nid = event_data.len();
-                        event_data.push(Event::Arrival { task: s, rep: d, slot });
+                        event_data.push(Event::Arrival {
+                            task: s,
+                            rep: d,
+                            slot,
+                        });
                         events.push(nid, (OrdF64::new(at), nid));
                     }
                 }
@@ -462,7 +481,13 @@ pub fn simulate_with(
             .fold(0.0, f64::max)
     };
 
-    SimResult { latency, outcome, status, times, events: processed }
+    SimResult {
+        latency,
+        outcome,
+        status,
+        times,
+        events: processed,
+    }
 }
 
 #[cfg(test)]
@@ -572,8 +597,7 @@ mod tests {
             let mut r = rng(seed + 70);
             let inst = paper_instance(&mut r, &PaperInstanceConfig::default());
             for eps in [1usize, 2] {
-                let s =
-                    schedule(&inst, eps, Algorithm::McFtsaGreedy, &mut rng(seed)).unwrap();
+                let s = schedule(&inst, eps, Algorithm::McFtsaGreedy, &mut rng(seed)).unwrap();
                 for probe in 0..6u64 {
                     let scen = FailureScenario::uniform(
                         &mut rng(seed * 131 + probe),
@@ -679,7 +703,11 @@ mod tests {
     #[test]
     fn exhaustive_single_failures_diamond() {
         let inst = diamond_instance(4);
-        for alg in [Algorithm::Ftsa, Algorithm::McFtsaGreedy, Algorithm::McFtsaBottleneck] {
+        for alg in [
+            Algorithm::Ftsa,
+            Algorithm::McFtsaGreedy,
+            Algorithm::McFtsaBottleneck,
+        ] {
             let s = schedule(&inst, 1, alg, &mut rng(3)).unwrap();
             for p in 0..4u32 {
                 let scen = FailureScenario::at_time_zero([ProcId(p)]);
@@ -762,12 +790,11 @@ mod tests {
         let exec = ExecutionMatrix::consistent(&dag, &[1.0]);
         let inst = Instance::new(dag, plat, exec);
         let s = schedule(&inst, 0, Algorithm::Ftsa, &mut rng(8)).unwrap();
-        let sim = simulate(
-            &inst,
-            &s,
-            &FailureScenario::new(vec![(ProcId(0), 10.0)]),
+        let sim = simulate(&inst, &s, &FailureScenario::new(vec![(ProcId(0), 10.0)]));
+        assert!(
+            sim.completed(),
+            "fail-silent boundary: finish == τ completes"
         );
-        assert!(sim.completed(), "fail-silent boundary: finish == τ completes");
         assert_eq!(sim.latency, 10.0);
     }
 

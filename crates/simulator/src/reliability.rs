@@ -29,13 +29,17 @@ use rand::Rng;
 /// Per-task replica-processor masks, deduplicated. The schedule fails
 /// under failure mask `F` iff some task mask `T` satisfies `T & F == T`.
 fn task_masks(sched: &Schedule, m: usize) -> Vec<u64> {
-    assert!(m <= 64, "mask-based reliability supports up to 64 processors");
+    assert!(
+        m <= 64,
+        "mask-based reliability supports up to 64 processors"
+    );
     let mut masks: Vec<u64> = sched
         .replicas
         .iter()
         .filter(|reps| !reps.is_empty())
         .map(|reps| {
-            reps.iter().fold(0u64, |acc, r| acc | (1u64 << r.proc.index()))
+            reps.iter()
+                .fold(0u64, |acc, r| acc | (1u64 << r.proc.index()))
         })
         .collect();
     masks.sort_unstable();
@@ -56,7 +60,10 @@ fn task_masks(sched: &Schedule, m: usize) -> Vec<u64> {
 pub fn survival_probability_exact(inst: &Instance, sched: &Schedule, p: f64) -> f64 {
     assert!((0.0..=1.0).contains(&p));
     let m = inst.num_procs();
-    assert!(m <= 24, "exact enumeration is exponential; use Monte Carlo beyond 24");
+    assert!(
+        m <= 24,
+        "exact enumeration is exponential; use Monte Carlo beyond 24"
+    );
     let masks = task_masks(sched, m);
     if masks.is_empty() {
         return 1.0;
@@ -186,8 +193,7 @@ mod tests {
         // Theorem 4.1 probabilistically: P(survive) >= P(<= eps failures).
         let inst = small_instance(8, 3);
         for eps in [1usize, 2] {
-            let s = schedule(&inst, eps, Algorithm::Ftsa, &mut StdRng::seed_from_u64(3))
-                .unwrap();
+            let s = schedule(&inst, eps, Algorithm::Ftsa, &mut StdRng::seed_from_u64(3)).unwrap();
             for p in [0.05, 0.2, 0.5] {
                 let surv = survival_probability_exact(&inst, &s, p);
                 let dp = design_point_probability(8, eps, p);
@@ -205,10 +211,12 @@ mod tests {
         let p = 0.3;
         let mut last = 0.0;
         for eps in [0usize, 1, 2, 3] {
-            let s = schedule(&inst, eps, Algorithm::Ftsa, &mut StdRng::seed_from_u64(4))
-                .unwrap();
+            let s = schedule(&inst, eps, Algorithm::Ftsa, &mut StdRng::seed_from_u64(4)).unwrap();
             let surv = survival_probability_exact(&inst, &s, p);
-            assert!(surv >= last - 1e-9, "more replicas must not hurt reliability");
+            assert!(
+                surv >= last - 1e-9,
+                "more replicas must not hurt reliability"
+            );
             last = surv;
         }
         assert!(last > 0.5, "eps=3 of 8 procs at p=0.3 should be quite safe");
@@ -220,13 +228,8 @@ mod tests {
         let s = schedule(&inst, 2, Algorithm::Ftsa, &mut StdRng::seed_from_u64(5)).unwrap();
         let p = 0.25;
         let exact = survival_probability_exact(&inst, &s, p);
-        let mc = survival_probability_monte_carlo(
-            &inst,
-            &s,
-            p,
-            4000,
-            &mut StdRng::seed_from_u64(99),
-        );
+        let mc =
+            survival_probability_monte_carlo(&inst, &s, p, 4000, &mut StdRng::seed_from_u64(99));
         assert!(
             (mc.survival - exact).abs() < 0.03,
             "MC {} vs exact {exact}",
@@ -240,18 +243,18 @@ mod tests {
     #[test]
     fn matched_schedules_supported() {
         let inst = small_instance(6, 6);
-        let s = schedule(&inst, 2, Algorithm::McFtsaGreedy, &mut StdRng::seed_from_u64(6))
-            .unwrap();
+        let s = schedule(
+            &inst,
+            2,
+            Algorithm::McFtsaGreedy,
+            &mut StdRng::seed_from_u64(6),
+        )
+        .unwrap();
         let surv = survival_probability_exact(&inst, &s, 0.2);
         assert!((0.0..=1.0).contains(&surv));
         // Sanity against Monte Carlo (which uses rerouted replay).
-        let mc = survival_probability_monte_carlo(
-            &inst,
-            &s,
-            0.2,
-            3000,
-            &mut StdRng::seed_from_u64(7),
-        );
+        let mc =
+            survival_probability_monte_carlo(&inst, &s, 0.2, 3000, &mut StdRng::seed_from_u64(7));
         assert!((mc.survival - surv).abs() < 0.04);
     }
 

@@ -44,7 +44,8 @@ pub fn replay(inst: &Instance, sched: &Schedule, scenario: &FailureScenario) -> 
     );
     let dag = &inst.dag;
     assert!(
-        dag.tasks().all(|t| sched.replicas_of(t).len() == sched.epsilon + 1),
+        dag.tasks()
+            .all(|t| sched.replicas_of(t).len() == sched.epsilon + 1),
         "analytic replay requires exactly ε+1 replicas per task (no duplicates)"
     );
 
@@ -120,8 +121,8 @@ pub fn replay(inst: &Instance, sched: &Schedule, scenario: &FailureScenario) -> 
                         .enumerate()
                         .filter(|&(sk, _)| !dead[p.index()][sk])
                         .map(|(sk, s)| {
-                            let (_, f) = times[p.index()][sk]
-                                .expect("live sender computed earlier");
+                            let (_, f) =
+                                times[p.index()][sk].expect("live sender computed earlier");
                             f + vol * inst.platform.delay(s.proc.index(), j)
                         })
                         .fold(f64::INFINITY, f64::min)
@@ -132,8 +133,8 @@ pub fn replay(inst: &Instance, sched: &Schedule, scenario: &FailureScenario) -> 
                         let sk = matched_of[eid.index()][k];
                         if sk != usize::MAX && !dead[p.index()][sk] {
                             let s = &sched.replicas_of(p)[sk];
-                            let (_, f) = times[p.index()][sk]
-                                .expect("live sender computed earlier");
+                            let (_, f) =
+                                times[p.index()][sk].expect("live sender computed earlier");
                             f + vol * inst.platform.delay(s.proc.index(), j)
                         } else {
                             // Matched sender dead: rerouted delivery.
@@ -168,7 +169,11 @@ pub fn replay(inst: &Instance, sched: &Schedule, scenario: &FailureScenario) -> 
             .fold(0.0, f64::max)
     };
 
-    ReplayResult { latency, completed, times }
+    ReplayResult {
+        latency,
+        completed,
+        times,
+    }
 }
 
 #[cfg(test)]
@@ -187,8 +192,7 @@ mod tests {
             let mut r = StdRng::seed_from_u64(seed);
             let inst = paper_instance(&mut r, &PaperInstanceConfig::default());
             for alg in [Algorithm::Ftsa, Algorithm::McFtsaGreedy] {
-                let s =
-                    schedule(&inst, 2, alg, &mut StdRng::seed_from_u64(seed)).unwrap();
+                let s = schedule(&inst, 2, alg, &mut StdRng::seed_from_u64(seed)).unwrap();
                 let a = replay(&inst, &s, &FailureScenario::none());
                 let b = simulate(&inst, &s, &FailureScenario::none());
                 assert!((a.latency - b.latency).abs() < 1e-9, "{alg:?} seed {seed}");
@@ -202,8 +206,7 @@ mod tests {
             let mut r = StdRng::seed_from_u64(seed + 40);
             let inst = paper_instance(&mut r, &PaperInstanceConfig::default());
             for alg in [Algorithm::Ftsa, Algorithm::McFtsaGreedy] {
-                let s =
-                    schedule(&inst, 2, alg, &mut StdRng::seed_from_u64(seed)).unwrap();
+                let s = schedule(&inst, 2, alg, &mut StdRng::seed_from_u64(seed)).unwrap();
                 for probe in 0..8u64 {
                     let scen = FailureScenario::uniform(
                         &mut StdRng::seed_from_u64(seed * 97 + probe),

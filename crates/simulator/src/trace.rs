@@ -57,7 +57,12 @@ pub fn gantt(inst: &Instance, sched: &Schedule, sim: &SimResult, width: usize) -
     let scale = width as f64 / horizon;
 
     let mut out = String::new();
-    let _ = writeln!(out, "time 0 {:-^w$} {horizon:.1}", "", w = width.saturating_sub(8));
+    let _ = writeln!(
+        out,
+        "time 0 {:-^w$} {horizon:.1}",
+        "",
+        w = width.saturating_sub(8)
+    );
     for j in 0..m {
         let mut row = vec!['.'; width];
         for e in entries.iter().filter(|e| e.proc == j) {

@@ -41,7 +41,9 @@ pub fn erdos(rng: &mut impl Rng, cfg: &ErdosConfig) -> Dag {
     assert!((0.0..=1.0).contains(&cfg.edge_prob));
 
     let mut b = DagBuilder::with_capacity(cfg.tasks, cfg.tasks * 4);
-    let ids: Vec<TaskId> = (0..cfg.tasks).map(|_| b.add_task(cfg.work.sample(rng))).collect();
+    let ids: Vec<TaskId> = (0..cfg.tasks)
+        .map(|_| b.add_task(cfg.work.sample(rng)))
+        .collect();
 
     // Random topological permutation.
     let mut order: Vec<usize> = (0..cfg.tasks).collect();
@@ -63,7 +65,9 @@ pub fn erdos(rng: &mut impl Rng, cfg: &ErdosConfig) -> Dag {
         }
     }
 
-    let dag = b.build().expect("forward edges over a permutation are acyclic");
+    let dag = b
+        .build()
+        .expect("forward edges over a permutation are acyclic");
     connect_components(dag, rng, cfg.volumes)
 }
 
@@ -105,7 +109,10 @@ mod tests {
     #[test]
     fn zero_probability_still_connects() {
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = ErdosConfig { edge_prob: 0.0, ..ErdosConfig::sparse(20) };
+        let cfg = ErdosConfig {
+            edge_prob: 0.0,
+            ..ErdosConfig::sparse(20)
+        };
         let g = erdos(&mut rng, &cfg);
         assert!(is_weakly_connected(&g));
         // Connecting 20 isolated nodes takes >= 19 edges.

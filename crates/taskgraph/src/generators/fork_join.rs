@@ -34,19 +34,14 @@ impl ForkJoinConfig {
 /// number of stages. Total tasks: `stages * (width + 1) + 1`.
 pub fn fork_join(rng: &mut impl Rng, cfg: &ForkJoinConfig) -> Dag {
     assert!(cfg.stages > 0 && cfg.width > 0);
-    let mut b = DagBuilder::with_capacity(
-        cfg.stages * (cfg.width + 1) + 1,
-        cfg.stages * cfg.width * 2,
-    );
+    let mut b =
+        DagBuilder::with_capacity(cfg.stages * (cfg.width + 1) + 1, cfg.stages * cfg.width * 2);
     let mut hub = b.add_labelled_task(cfg.work.sample(rng), "source");
     for s in 0..cfg.stages {
         let join = {
             let branches: Vec<_> = (0..cfg.width)
                 .map(|i| {
-                    let t = b.add_labelled_task(
-                        cfg.work.sample(rng),
-                        format!("s{s}b{i}"),
-                    );
+                    let t = b.add_labelled_task(cfg.work.sample(rng), format!("s{s}b{i}"));
                     b.add_edge(hub, t, cfg.volumes.sample(rng));
                     t
                 })

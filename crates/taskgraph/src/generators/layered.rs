@@ -54,8 +54,9 @@ pub fn layered(rng: &mut impl Rng, cfg: &LayeredConfig) -> Dag {
     while remaining > 0 {
         let hi = (2 * cfg.mean_width).saturating_sub(1).max(1);
         let width = rng.gen_range(1..=hi).min(remaining);
-        let layer: Vec<TaskId> =
-            (0..width).map(|_| b.add_task(cfg.work.sample(rng))).collect();
+        let layer: Vec<TaskId> = (0..width)
+            .map(|_| b.add_task(cfg.work.sample(rng)))
+            .collect();
         layer_of.push(layer);
         remaining -= width;
     }
@@ -76,7 +77,9 @@ pub fn layered(rng: &mut impl Rng, cfg: &LayeredConfig) -> Dag {
         }
     }
 
-    let dag = b.build().expect("layered construction is acyclic by layer order");
+    let dag = b
+        .build()
+        .expect("layered construction is acyclic by layer order");
     connect_components(dag, rng, cfg.volumes)
 }
 
@@ -134,7 +137,10 @@ mod tests {
     #[test]
     fn locality_bounds_edge_span() {
         let mut rng = StdRng::seed_from_u64(11);
-        let cfg = LayeredConfig { locality: 1, ..LayeredConfig::paper(90) };
+        let cfg = LayeredConfig {
+            locality: 1,
+            ..LayeredConfig::paper(90)
+        };
         let g = layered(&mut rng, &cfg);
         // With locality 1, in the pre-connection graph every edge spans
         // exactly one layer. The connection pass may add longer edges, so

@@ -49,19 +49,21 @@ impl Range {
 }
 
 /// The paper's message-volume distribution `U[50, 150]`.
-pub const PAPER_VOLUMES: Range = Range { lo: 50.0, hi: 150.0 };
+pub const PAPER_VOLUMES: Range = Range {
+    lo: 50.0,
+    hi: 150.0,
+};
 
 /// Raw task work distribution used before granularity calibration.
-pub const DEFAULT_WORK: Range = Range { lo: 10.0, hi: 100.0 };
+pub const DEFAULT_WORK: Range = Range {
+    lo: 10.0,
+    hi: 100.0,
+};
 
 /// Connects a possibly-disconnected layered DAG into one weak component by
 /// adding forward edges between components, respecting the level order so
 /// the result stays acyclic. Returns the connected DAG.
-pub(crate) fn connect_components(
-    dag: Dag,
-    rng: &mut impl Rng,
-    volumes: Range,
-) -> Dag {
+pub(crate) fn connect_components(dag: Dag, rng: &mut impl Rng, volumes: Range) -> Dag {
     let n = dag.num_tasks();
     if n <= 1 {
         return dag;
@@ -131,13 +133,10 @@ pub(crate) fn connect_components(
             let mm = *pick(rng, &main_members).expect("main component nonempty");
             (rep, mm)
         };
-        b.add_edge(
-            TaskId(src as u32),
-            TaskId(dst as u32),
-            volumes.sample(rng),
-        );
+        b.add_edge(TaskId(src as u32), TaskId(dst as u32), volumes.sample(rng));
     }
-    b.build().expect("level-respecting extra edges keep the DAG acyclic")
+    b.build()
+        .expect("level-respecting extra edges keep the DAG acyclic")
 }
 
 fn pick<'a, T>(rng: &mut impl Rng, xs: &'a [T]) -> Option<&'a T> {

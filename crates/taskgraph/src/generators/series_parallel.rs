@@ -45,7 +45,14 @@ pub fn series_parallel(rng: &mut impl Rng, cfg: &SeriesParallelConfig) -> Dag {
     let mut b = DagBuilder::new();
     let source = b.add_task(cfg.work.sample(rng));
     let sink = b.add_task(cfg.work.sample(rng));
-    expand(rng, cfg, &mut b, source, sink, cfg.target_tasks.saturating_sub(2));
+    expand(
+        rng,
+        cfg,
+        &mut b,
+        source,
+        sink,
+        cfg.target_tasks.saturating_sub(2),
+    );
     b.build().expect("series-parallel construction is acyclic")
 }
 
@@ -115,7 +122,11 @@ mod tests {
     fn task_count_near_target() {
         let mut rng = StdRng::seed_from_u64(3);
         let g = series_parallel(&mut rng, &SeriesParallelConfig::new(100));
-        assert!(g.num_tasks() >= 50 && g.num_tasks() <= 300, "{}", g.num_tasks());
+        assert!(
+            g.num_tasks() >= 50 && g.num_tasks() <= 300,
+            "{}",
+            g.num_tasks()
+        );
     }
 
     #[test]

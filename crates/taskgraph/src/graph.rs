@@ -5,9 +5,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Dense identifier of a task (node) in a [`Dag`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TaskId(pub u32);
 
 impl TaskId {
@@ -25,9 +23,7 @@ impl fmt::Display for TaskId {
 }
 
 /// Dense identifier of an edge in a [`Dag`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct EdgeId(pub u32);
 
 impl EdgeId {
@@ -246,7 +242,10 @@ impl DagBuilder {
 
     /// Adds a task with the given abstract work; returns its id.
     pub fn add_task(&mut self, work: f64) -> TaskId {
-        assert!(work >= 0.0 && work.is_finite(), "work must be finite and >= 0");
+        assert!(
+            work >= 0.0 && work.is_finite(),
+            "work must be finite and >= 0"
+        );
         let id = TaskId(self.nodes.len() as u32);
         self.nodes.push(NodeData { work, label: None });
         id
@@ -263,7 +262,10 @@ impl DagBuilder {
     pub fn add_edge(&mut self, src: TaskId, dst: TaskId, volume: f64) -> EdgeId {
         assert!(src.index() < self.nodes.len(), "unknown src task");
         assert!(dst.index() < self.nodes.len(), "unknown dst task");
-        assert!(volume >= 0.0 && volume.is_finite(), "volume must be finite and >= 0");
+        assert!(
+            volume >= 0.0 && volume.is_finite(),
+            "volume must be finite and >= 0"
+        );
         let id = EdgeId(self.edges.len() as u32);
         self.edges.push(EdgeData { src, dst, volume });
         id
@@ -313,7 +315,13 @@ impl DagBuilder {
             return Err(GraphError::Cyclic);
         }
 
-        Ok(Dag { nodes: self.nodes, edges: self.edges, preds, succs, topo })
+        Ok(Dag {
+            nodes: self.nodes,
+            edges: self.edges,
+            preds,
+            succs,
+            topo,
+        })
     }
 }
 

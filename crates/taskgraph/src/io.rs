@@ -19,7 +19,13 @@ pub fn to_dot(dag: &Dag) -> String {
         );
     }
     for (_, s, d, v) in dag.edge_list() {
-        let _ = writeln!(out, "  {} -> {} [label=\"{:.0}\"];", s.index(), d.index(), v);
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{:.0}\"];",
+            s.index(),
+            d.index(),
+            v
+        );
     }
     out.push_str("}\n");
     out

@@ -39,7 +39,9 @@ pub struct TaskSet {
 impl TaskSet {
     /// Creates an empty set over `n` tasks.
     pub fn new(n: usize) -> Self {
-        TaskSet { words: vec![0; n.div_ceil(64)] }
+        TaskSet {
+            words: vec![0; n.div_ceil(64)],
+        }
     }
 
     /// Inserts task index `i`.

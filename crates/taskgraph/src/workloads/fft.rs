@@ -11,7 +11,10 @@ use crate::graph::{Dag, DagBuilder, TaskId};
 /// two, `n >= 2`). Each butterfly costs `work`, each dependency carries
 /// `volume` units of data.
 pub fn fft(n: usize, work: f64, volume: f64) -> Dag {
-    assert!(n >= 2 && n.is_power_of_two(), "n must be a power of two >= 2");
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "n must be a power of two >= 2"
+    );
     let stages = n.trailing_zeros() as usize;
     let mut b = DagBuilder::with_capacity(n * (stages + 1), 2 * n * stages);
 

@@ -12,7 +12,11 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(314);
     let inst = paper_instance(
         &mut rng,
-        &PaperInstanceConfig { procs: 12, granularity: 1.0, ..Default::default() },
+        &PaperInstanceConfig {
+            procs: 12,
+            granularity: 1.0,
+            ..Default::default()
+        },
     );
 
     // Reference: the fault-free latency and the fully replicated one.
@@ -24,7 +28,10 @@ fn main() {
         inst.num_tasks()
     );
 
-    println!("{:>8} {:>12} {:>14} {:>14}", "budget", "max ε (scan)", "max ε (binary)", "achieved M");
+    println!(
+        "{:>8} {:>12} {:>14} {:>14}",
+        "budget", "max ε (scan)", "max ε (binary)", "achieved M"
+    );
     for factor in [1.0, 1.2, 1.5, 2.0, 3.0, 5.0] {
         let budget = base * factor;
         let lin = max_epsilon_linear(&inst, budget, 7);

@@ -14,7 +14,11 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2024);
     let inst = paper_instance(
         &mut rng,
-        &PaperInstanceConfig { procs, granularity: 1.0, ..Default::default() },
+        &PaperInstanceConfig {
+            procs,
+            granularity: 1.0,
+            ..Default::default()
+        },
     );
     let sched = schedule(&inst, epsilon, Algorithm::Ftsa, &mut rng).expect("schedulable");
     let m_star = sched.latency_lower_bound();
@@ -30,9 +34,7 @@ fn main() {
     let mut latencies = Vec::new();
     let mut worst: (f64, Vec<u32>) = (0.0, vec![]);
     for a in 0..procs as u32 {
-        for pattern in std::iter::once(vec![a]).chain(
-            ((a + 1)..procs as u32).map(|b| vec![a, b]),
-        ) {
+        for pattern in std::iter::once(vec![a]).chain(((a + 1)..procs as u32).map(|b| vec![a, b])) {
             let scen = FailureScenario::at_time_zero(pattern.iter().copied().map(ProcId));
             let sim = simulate(&inst, &sched, &scen);
             assert!(sim.completed(), "≤ ε failures must be masked");
@@ -48,8 +50,13 @@ fn main() {
     let n = latencies.len();
     let pct = |q: f64| latencies[((n - 1) as f64 * q) as usize];
     println!("{n} failure patterns simulated (all 1- and 2-subsets)");
-    println!("latency min/median/p90/max: {:.1} / {:.1} / {:.1} / {:.1}",
-        latencies[0], pct(0.5), pct(0.9), latencies[n - 1]);
+    println!(
+        "latency min/median/p90/max: {:.1} / {:.1} / {:.1} / {:.1}",
+        latencies[0],
+        pct(0.5),
+        pct(0.9),
+        latencies[n - 1]
+    );
     println!(
         "worst pattern: processors {:?} → latency {:.1} ({}% of the M guarantee)",
         worst.1,

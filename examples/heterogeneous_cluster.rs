@@ -23,7 +23,9 @@ fn main() {
     let m = 12usize;
     let tier = |p: usize| usize::from(p >= 4);
     let platform = Platform::from_fn(m, |a, b| if tier(a) == tier(b) { 0.02 } else { 0.1 });
-    let speeds: Vec<f64> = (0..m).map(|p| if tier(p) == 0 { 3.0 } else { 1.0 }).collect();
+    let speeds: Vec<f64> = (0..m)
+        .map(|p| if tier(p) == 0 { 3.0 } else { 1.0 })
+        .collect();
     let exec = ExecutionMatrix::consistent(&dag, &speeds);
     let inst = Instance::new(dag, platform, exec);
 
@@ -57,7 +59,11 @@ fn main() {
         assert!(sim.completed());
         println!(
             "P{victim} ({}) down → achieved latency {:.1} (+{:.0}% vs M*)",
-            if tier(victim as usize) == 0 { "big" } else { "little" },
+            if tier(victim as usize) == 0 {
+                "big"
+            } else {
+                "little"
+            },
             sim.latency,
             (sim.latency / sched.latency_lower_bound() - 1.0) * 100.0
         );

@@ -31,15 +31,28 @@ fn main() {
     let sched = schedule(&inst, 1, Algorithm::Ftsa, &mut rng).expect("schedulable");
     validate(&inst, &sched).expect("structurally valid");
 
-    println!("tasks: {}, replicas per task: {}", inst.num_tasks(), sched.epsilon + 1);
-    println!("latency if nothing fails (M*): {:.2}", sched.latency_lower_bound());
-    println!("guaranteed latency under 1 failure (M): {:.2}", sched.latency_upper_bound());
+    println!(
+        "tasks: {}, replicas per task: {}",
+        inst.num_tasks(),
+        sched.epsilon + 1
+    );
+    println!(
+        "latency if nothing fails (M*): {:.2}",
+        sched.latency_lower_bound()
+    );
+    println!(
+        "guaranteed latency under 1 failure (M): {:.2}",
+        sched.latency_upper_bound()
+    );
     println!("messages shipped: {}", sched.message_count(&inst.dag));
 
     // 4. Crash the fastest processor and replay the execution.
     let scenario = FailureScenario::at_time_zero([ProcId(0)]);
     let sim = simulate(&inst, &sched, &scenario);
-    assert!(sim.completed(), "the schedule tolerates one failure by design");
+    assert!(
+        sim.completed(),
+        "the schedule tolerates one failure by design"
+    );
     println!("\nachieved latency with P0 down: {:.2}", sim.latency);
 
     println!("\nGantt chart of the crashed run (P0 row stays idle):\n");

@@ -13,7 +13,11 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2718);
     let inst = paper_instance(
         &mut rng,
-        &PaperInstanceConfig { procs, granularity: 0.5, ..Default::default() },
+        &PaperInstanceConfig {
+            procs,
+            granularity: 0.5,
+            ..Default::default()
+        },
     );
     println!(
         "instance: {} tasks, {} edges, {} processors (communication-heavy, g = 0.5)\n",
@@ -24,7 +28,10 @@ fn main() {
 
     // --- reliability ------------------------------------------------------
     println!("survival probability under iid processor failure probability p:");
-    println!("{:>4} {:>8} {:>12} {:>12} {:>22}", "ε", "p", "exact", "monte-carlo", "guaranteed P(≤ε fail)");
+    println!(
+        "{:>4} {:>8} {:>12} {:>12} {:>22}",
+        "ε", "p", "exact", "monte-carlo", "guaranteed P(≤ε fail)"
+    );
     for eps in [1usize, 2] {
         let sched = schedule(&inst, eps, Algorithm::Ftsa, &mut rng).unwrap();
         for p in [0.05, 0.2] {
@@ -50,10 +57,7 @@ fn main() {
         "{:<10} {:>12} {:>12} {:>9} {:>10}",
         "algorithm", "unbounded", "one-port", "penalty", "transfers"
     );
-    for (alg, eps) in [
-        (Algorithm::Ftsa, 2usize),
-        (Algorithm::McFtsaGreedy, 2),
-    ] {
+    for (alg, eps) in [(Algorithm::Ftsa, 2usize), (Algorithm::McFtsaGreedy, 2)] {
         let sched = schedule(&inst, eps, alg, &mut StdRng::seed_from_u64(5)).unwrap();
         let unb = simulate_contention(
             &inst,
@@ -61,12 +65,7 @@ fn main() {
             &FailureScenario::none(),
             PortModel::Unbounded,
         );
-        let one = simulate_contention(
-            &inst,
-            &sched,
-            &FailureScenario::none(),
-            PortModel::OnePort,
-        );
+        let one = simulate_contention(&inst, &sched, &FailureScenario::none(), PortModel::OnePort);
         println!(
             "{:<10} {:>12.1} {:>12.1} {:>8.2}x {:>10}",
             alg.name(),

@@ -1,0 +1,9 @@
+//! Offline placeholder for `clap`.
+//!
+//! Reserved in `workspace.dependencies` so a future CLI expansion has a
+//! stable dependency name; `ftsched-cli` currently uses a small
+//! hand-rolled `key value` scanner instead. Implement a derive-free
+//! builder subset here if the CLI outgrows it (or swap the path for the
+//! real crate once the build has registry access).
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,157 @@
+//! Offline shim for `proptest`.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! a minimal property-testing harness exposing the subset of the proptest
+//! API the test suites use: the [`strategy::Strategy`] trait with
+//! `prop_map` / `prop_flat_map` / `boxed`, range and tuple strategies,
+//! [`collection::vec`], [`strategy::Just`], `any::<T>()`, the
+//! [`proptest!`] / [`prop_oneof!`] / `prop_assert*!` macros,
+//! [`ProptestConfig`] and [`test_runner::TestCaseError`].
+//!
+//! Differences from upstream: cases are drawn from a fixed per-test seed
+//! (deterministic across runs and platforms) and failing cases are
+//! reported with their inputs but **not shrunk**.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+#[doc(hidden)]
+pub use rand;
+
+pub use test_runner::{ProptestConfig, TestCaseError};
+
+/// Everything the test suites import.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// FNV-1a hash of a test name, used as its deterministic base seed.
+#[doc(hidden)]
+pub fn seed_of(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(
+                    $crate::seed_of(stringify!($name)),
+                );
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut __rng);)+
+                let __inputs = ::std::format!(
+                    ::std::concat!($("\n  ", ::std::stringify!($arg), " = {:?}"),+),
+                    $(&$arg),+
+                );
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(__e) = __outcome {
+                    ::std::panic!(
+                        "proptest case {}/{} failed: {}\ninputs:{}",
+                        __case + 1,
+                        __config.cases,
+                        __e,
+                        __inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+}
+
+/// Fails the current proptest case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", ::std::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current proptest case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            ::std::stringify!($left),
+            ::std::stringify!($right),
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// Fails the current proptest case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            ::std::stringify!($left),
+            ::std::stringify!($right),
+            __l
+        );
+    }};
+}
+
+/// Uniformly picks one of the listed strategies per sample.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

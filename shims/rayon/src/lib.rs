@@ -1,0 +1,9 @@
+//! Offline placeholder for `rayon`.
+//!
+//! Reserved in `workspace.dependencies` so future scaling PRs have a
+//! stable dependency name to grow into; the experiment harness currently
+//! parallelizes with `crossbeam` scoped threads instead. When data
+//! parallelism lands, implement the needed `par_iter` subset here (or
+//! swap the path for the real crate once the build has registry access).
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,89 @@
+//! The generic value tree shared by `serde` and `serde_json`.
+
+/// A JSON-like number: integers keep full 64-bit precision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// An unsigned integer.
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A double-precision float.
+    Float(f64),
+}
+
+/// A JSON-like dynamically typed value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map (field order is preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::UInt(n)) => Some(*n),
+            Value::Number(Number::Int(n)) => u64::try_from(*n).ok(),
+            Value::Number(Number::Float(f))
+                if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 =>
+            {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::Int(n)) => Some(*n),
+            Value::Number(Number::UInt(n)) => i64::try_from(*n).ok(),
+            Value::Number(Number::Float(f))
+                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 =>
+            {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::Float(f)) => Some(*f),
+            Value::Number(Number::UInt(n)) => Some(*n as f64),
+            Value::Number(Number::Int(n)) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Offline derive macros for the vendored `serde` shim.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! item shapes the workspace actually uses, parsing the raw token stream
+//! directly (the registry-free build cannot depend on `syn`/`quote`):
+//!
+//! * structs with named fields (any visibility, attributes/doc comments);
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays);
+//! * enums with unit and newtype variants (externally tagged, matching
+//!   upstream serde's default representation).
+//!
+//! Generic parameters and `#[serde(...)]` attributes are rejected with a
+//! compile error rather than silently mishandled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+use std::iter::Peekable;
+
+/// Derives `serde::Serialize` (value-tree rendering).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives `serde::Deserialize` (value-tree parsing).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, ser: bool) -> TokenStream {
+    match Item::parse(input) {
+        Ok(item) => {
+            let code = if ser {
+                item.impl_serialize()
+            } else {
+                item.impl_deserialize()
+            };
+            code.parse().expect("serde_derive generated invalid Rust")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+enum Shape {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with this many fields.
+    TupleStruct(usize),
+    /// Variants: name + whether the variant carries one payload field.
+    Enum(Vec<(String, bool)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn skip_attrs_and_vis(it: &mut Tokens) -> Result<(), String> {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        let text = g.stream().to_string();
+                        if text.starts_with("serde") {
+                            return Err(format!("serde shim derive does not support #[{text}]"));
+                        }
+                    }
+                    _ => return Err("malformed attribute".into()),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            _ => return Ok(()),
+        }
+    }
+}
+
+fn expect_ident(it: &mut Tokens, what: &str) -> Result<String, String> {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+        other => Err(format!("expected {what}, found {other:?}")),
+    }
+}
+
+/// Consumes type tokens until a top-level `,` (angle-bracket aware).
+/// Returns `true` when a comma was consumed, `false` at end of stream.
+fn skip_type(it: &mut Tokens) -> bool {
+    let mut depth = 0i32;
+    for tt in it.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return true,
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Result<Item, String> {
+        let mut it: Tokens = input.into_iter().peekable();
+        skip_attrs_and_vis(&mut it)?;
+        let kw = expect_ident(&mut it, "`struct` or `enum`")?;
+        let name = expect_ident(&mut it, "item name")?;
+        if matches!(&it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            return Err(format!(
+                "serde shim derive does not support generic type `{name}`"
+            ));
+        }
+        let body = it.next();
+        match (kw.as_str(), body) {
+            ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item {
+                    name,
+                    shape: Shape::Struct(parse_named_fields(g.stream())?),
+                })
+            }
+            ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item {
+                    name,
+                    shape: Shape::TupleStruct(parse_tuple_arity(g.stream())?),
+                })
+            }
+            ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                shape: Shape::Enum(parse_variants(g.stream())?),
+            }),
+            (kw, body) => Err(format!("unsupported item: {kw} with body {body:?}")),
+        }
+    }
+
+    fn impl_serialize(&self) -> String {
+        let name = &self.name;
+        let body = match &self.shape {
+            Shape::Struct(fields) => {
+                let mut entries = String::new();
+                for f in fields {
+                    let _ = write!(
+                        entries,
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    );
+                }
+                format!("::serde::Value::Object(::std::vec![{entries}])")
+            }
+            Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Shape::TupleStruct(n) => {
+                let mut entries = String::new();
+                for i in 0..*n {
+                    let _ = write!(entries, "::serde::Serialize::to_value(&self.{i}),");
+                }
+                format!("::serde::Value::Array(::std::vec![{entries}])")
+            }
+            Shape::Enum(variants) => {
+                let mut arms = String::new();
+                for (v, payload) in variants {
+                    if *payload {
+                        let _ = write!(
+                            arms,
+                            "{name}::{v}(__x) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from({v:?}), \
+                             ::serde::Serialize::to_value(__x))]),"
+                        );
+                    } else {
+                        let _ = write!(
+                            arms,
+                            "{name}::{v} => ::serde::Value::String(\
+                             ::std::string::String::from({v:?})),"
+                        );
+                    }
+                }
+                format!("match self {{ {arms} }}")
+            }
+        };
+        format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+             }}"
+        )
+    }
+
+    fn impl_deserialize(&self) -> String {
+        let name = &self.name;
+        let body = match &self.shape {
+            Shape::Struct(fields) => {
+                let mut entries = String::new();
+                for f in fields {
+                    let _ = write!(
+                        entries,
+                        "{f}: ::serde::Deserialize::from_value(__v.get({f:?})\
+                         .ok_or_else(|| ::serde::Error::custom(\
+                         concat!(\"missing field `\", {f:?}, \"` in {name}\")))?)?,"
+                    );
+                }
+                format!("::std::result::Result::Ok({name} {{ {entries} }})")
+            }
+            Shape::TupleStruct(1) => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            }
+            Shape::TupleStruct(n) => {
+                let mut entries = String::new();
+                for i in 0..*n {
+                    let _ = write!(entries, "::serde::Deserialize::from_value(&__xs[{i}])?,");
+                }
+                format!(
+                    "match __v {{\n\
+                         ::serde::Value::Array(__xs) if __xs.len() == {n} => \
+                             ::std::result::Result::Ok({name}({entries})),\n\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(\"expected {n}-element array for {name}, got {{}}\", \
+                             __other.kind()))),\n\
+                     }}"
+                )
+            }
+            Shape::Enum(variants) => {
+                let mut unit_arms = String::new();
+                let mut payload_arms = String::new();
+                for (v, payload) in variants {
+                    if *payload {
+                        let _ = write!(
+                            payload_arms,
+                            "{v:?} => return ::std::result::Result::Ok({name}::{v}(\
+                             ::serde::Deserialize::from_value(__inner)?)),"
+                        );
+                    } else {
+                        let _ = write!(
+                            unit_arms,
+                            "{v:?} => return ::std::result::Result::Ok({name}::{v}),"
+                        );
+                    }
+                }
+                format!(
+                    "if let ::serde::Value::String(__s) = __v {{\n\
+                         match __s.as_str() {{ {unit_arms} _ => {{}} }}\n\
+                     }}\n\
+                     if let ::serde::Value::Object(__fields) = __v {{\n\
+                         if __fields.len() == 1 {{\n\
+                             let (__tag, __inner) = &__fields[0];\n\
+                             match __tag.as_str() {{ {payload_arms} _ => {{}} }}\n\
+                         }}\n\
+                     }}\n\
+                     ::std::result::Result::Err(::serde::Error::custom(\
+                         format!(\"unrecognized {name} variant encoding: {{}}\", __v.kind())))"
+                )
+            }
+        };
+        format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Deserialize for {name} {{\n\
+                 #[allow(unused_variables)]\n\
+                 fn from_value(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+             }}"
+        )
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut it: Tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it)?;
+        if it.peek().is_none() {
+            return Ok(fields);
+        }
+        let field = expect_ident(&mut it, "field name")?;
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field, found {other:?}")),
+        }
+        fields.push(field);
+        if !skip_type(&mut it) {
+            return Ok(fields);
+        }
+    }
+}
+
+fn parse_tuple_arity(stream: TokenStream) -> Result<usize, String> {
+    let mut it: Tokens = stream.into_iter().peekable();
+    let mut arity = 0usize;
+    loop {
+        skip_attrs_and_vis(&mut it)?;
+        if it.peek().is_none() {
+            return Ok(arity);
+        }
+        arity += 1;
+        if !skip_type(&mut it) {
+            return Ok(arity);
+        }
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, bool)>, String> {
+    let mut it: Tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it)?;
+        if it.peek().is_none() {
+            return Ok(variants);
+        }
+        let variant = expect_ident(&mut it, "variant name")?;
+        let mut payload = false;
+        match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Tokens = g.stream().into_iter().peekable();
+                let mut count_it = inner;
+                skip_attrs_and_vis(&mut count_it)?;
+                let mut arity = 0usize;
+                if count_it.peek().is_some() {
+                    arity = 1;
+                    while skip_type(&mut count_it) {
+                        skip_attrs_and_vis(&mut count_it)?;
+                        if count_it.peek().is_some() {
+                            arity += 1;
+                        }
+                    }
+                }
+                if arity != 1 {
+                    return Err(format!(
+                        "variant `{variant}`: only unit and newtype variants supported"
+                    ));
+                }
+                payload = true;
+                it.next();
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "variant `{variant}`: struct variants are not supported"
+                ));
+            }
+            _ => {}
+        }
+        variants.push((variant, payload));
+        match it.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            other => return Err(format!("expected `,` between variants, found {other:?}")),
+        }
+    }
+}

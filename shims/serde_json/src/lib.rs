@@ -1,0 +1,127 @@
+//! Offline shim for `serde_json`: renders and parses the vendored serde
+//! shim's [`Value`] tree as JSON text.
+//!
+//! Floats are written with Rust's shortest round-trip formatting, so
+//! `f64` values survive `to_string` → `from_str` exactly — the archival
+//! tests of the scheduler rely on that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod read;
+mod write;
+
+pub use serde::{Number, Value};
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A JSON (de)serialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// `Result` alias matching upstream `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(write::compact(&value.to_value()))
+}
+
+/// Serializes `value` as human-readable, 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(write::pretty(&value.to_value()))
+}
+
+/// Parses a value of type `T` from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let v = read::parse(s)?;
+    T::from_value(&v).map_err(Error::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trip_compact_and_pretty() {
+        let v: (Vec<Option<String>>, bool, f64) =
+            (vec![Some("a\"b\\c\n".into()), None], true, -0.125);
+        let compact = to_string(&v).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        let a: (Vec<Option<String>>, bool, f64) = from_str(&compact).unwrap();
+        let b: (Vec<Option<String>>, bool, f64) = from_str(&pretty).unwrap();
+        assert_eq!(a, v);
+        assert_eq!(b, v);
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for &x in &[
+            0.1f64,
+            1.0 / 3.0,
+            1e-300,
+            2.5e300,
+            -0.0,
+            123_456_789.123_456_79,
+        ] {
+            let s = to_string(&x).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "failed for {x}");
+        }
+    }
+
+    #[test]
+    fn integers_keep_precision() {
+        let big = u64::MAX - 1;
+        let s = to_string(&big).unwrap();
+        let back: u64 = from_str(&s).unwrap();
+        assert_eq!(back, big);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(from_str::<bool>("{not json").is_err());
+        assert!(from_str::<bool>("true false").is_err());
+        assert!(from_str::<Vec<u8>>("[1, 2").is_err());
+        assert!(from_str::<f64>("").is_err());
+    }
+
+    #[test]
+    fn non_rfc_numbers_rejected() {
+        // Rust's float parser would accept all of these; RFC 8259 doesn't.
+        for bad in ["1.", ".5", "0123", "-", "1e", "1e+", "+1", "01.5"] {
+            assert!(from_str::<f64>(bad).is_err(), "accepted {bad:?}");
+        }
+        // ...while legitimate shapes still parse.
+        assert_eq!(from_str::<f64>("0.5").unwrap(), 0.5);
+        assert_eq!(from_str::<f64>("-0.5e-2").unwrap(), -0.005);
+        assert_eq!(from_str::<u64>("0").unwrap(), 0);
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let s: String = from_str(r#""Aé 😀""#).unwrap();
+        assert_eq!(s, "Aé 😀");
+    }
+}

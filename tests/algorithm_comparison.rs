@@ -15,7 +15,10 @@ fn mean_over_instances(
         let mut rng = StdRng::seed_from_u64(seed * 31 + eps as u64);
         let inst = paper_instance(
             &mut rng,
-            &PaperInstanceConfig { granularity, ..Default::default() },
+            &PaperInstanceConfig {
+                granularity,
+                ..Default::default()
+            },
         );
         acc += f(&inst, seed);
     }
@@ -49,8 +52,13 @@ fn mc_ftsa_upper_bound_hugs_its_lower_bound() {
     // only the best communication edges" — for MC-FTSA the per-replica
     // times are deterministic, so the gap is much smaller than FTSA's.
     let ratio = mean_over_instances(6, 1.0, 2, |inst, seed| {
-        let mc = schedule(inst, 2, Algorithm::McFtsaGreedy, &mut StdRng::seed_from_u64(seed))
-            .unwrap();
+        let mc = schedule(
+            inst,
+            2,
+            Algorithm::McFtsaGreedy,
+            &mut StdRng::seed_from_u64(seed),
+        )
+        .unwrap();
         let f = schedule(inst, 2, Algorithm::Ftsa, &mut StdRng::seed_from_u64(seed)).unwrap();
         let gap_mc = mc.latency_upper_bound() - mc.latency_lower_bound();
         let gap_f = f.latency_upper_bound() - f.latency_lower_bound();
@@ -93,8 +101,13 @@ fn bottleneck_selector_tightens_worst_edge() {
     for seed in 0..4u64 {
         let mut rng = StdRng::seed_from_u64(seed + 900);
         let inst = paper_instance(&mut rng, &PaperInstanceConfig::default());
-        let g = schedule(&inst, 2, Algorithm::McFtsaGreedy, &mut StdRng::seed_from_u64(seed))
-            .unwrap();
+        let g = schedule(
+            &inst,
+            2,
+            Algorithm::McFtsaGreedy,
+            &mut StdRng::seed_from_u64(seed),
+        )
+        .unwrap();
         let b = schedule(
             &inst,
             2,
@@ -105,7 +118,10 @@ fn bottleneck_selector_tightens_worst_edge() {
         validate(&inst, &g).unwrap();
         validate(&inst, &b).unwrap();
         let (lg, lb) = (g.latency_upper_bound(), b.latency_upper_bound());
-        assert!(lb <= lg * 1.3 && lg <= lb * 1.3, "selectors diverged: {lg} vs {lb}");
+        assert!(
+            lb <= lg * 1.3 && lg <= lb * 1.3,
+            "selectors diverged: {lg} vs {lb}"
+        );
     }
 }
 

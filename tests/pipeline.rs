@@ -24,14 +24,9 @@ fn random_instances_full_pipeline() {
                 let mut tie = StdRng::seed_from_u64(seed * 7 + eps as u64);
                 let sched = schedule(&inst, eps, alg, &mut tie)
                     .unwrap_or_else(|e| panic!("{alg:?} eps={eps}: {e}"));
-                validate(&inst, &sched)
-                    .unwrap_or_else(|e| panic!("{alg:?} eps={eps}: {e}"));
-                assert!(
-                    sched.latency_lower_bound() >= critical_path_bound(&inst) - 1e-6
-                );
-                assert!(
-                    sched.latency_lower_bound() <= sched.latency_upper_bound() + 1e-6
-                );
+                validate(&inst, &sched).unwrap_or_else(|e| panic!("{alg:?} eps={eps}: {e}"));
+                assert!(sched.latency_lower_bound() >= critical_path_bound(&inst) - 1e-6);
+                assert!(sched.latency_lower_bound() <= sched.latency_upper_bound() + 1e-6);
                 let sim = simulate(&inst, &sched, &FailureScenario::none());
                 assert!(sim.completed());
                 assert!(sim.latency <= sched.latency_lower_bound() + 1e-6);
@@ -62,8 +57,8 @@ fn structured_workloads_schedule_and_survive() {
         let exec = ExecutionMatrix::unrelated_with_procs(&dag, m, &mut rng, 0.4);
         let inst = Instance::new(dag, platform, exec);
         for alg in [Algorithm::Ftsa, Algorithm::McFtsaGreedy] {
-            let sched = schedule(&inst, 2, alg, &mut rng)
-                .unwrap_or_else(|e| panic!("{name}/{alg:?}: {e}"));
+            let sched =
+                schedule(&inst, 2, alg, &mut rng).unwrap_or_else(|e| panic!("{name}/{alg:?}: {e}"));
             validate(&inst, &sched).unwrap_or_else(|e| panic!("{name}/{alg:?}: {e}"));
             // Two failures, drawn adversarially as the two most-loaded
             // processors.
@@ -75,9 +70,8 @@ fn structured_workloads_schedule_and_survive() {
             }
             let mut by_load: Vec<usize> = (0..m).collect();
             by_load.sort_by_key(|&p| std::cmp::Reverse(load[p]));
-            let scen = FailureScenario::at_time_zero(
-                by_load[..2].iter().map(|&p| ProcId(p as u32)),
-            );
+            let scen =
+                FailureScenario::at_time_zero(by_load[..2].iter().map(|&p| ProcId(p as u32)));
             let sim = simulate(&inst, &sched, &scen);
             assert!(sim.completed(), "{name}/{alg:?} lost a task");
         }
@@ -121,9 +115,7 @@ fn epsilon_covers_entire_platform() {
     }
     // Any 3 processors may fail; the remaining one carries the run.
     for keep in 0..4u32 {
-        let scen = FailureScenario::at_time_zero(
-            (0..4u32).filter(|&p| p != keep).map(ProcId),
-        );
+        let scen = FailureScenario::at_time_zero((0..4u32).filter(|&p| p != keep).map(ProcId));
         let sim = simulate(&inst, &sched, &scen);
         assert!(sim.completed());
     }
@@ -144,8 +136,7 @@ fn message_economy_headline() {
         assert!(f.message_count(&inst.dag) <= max_full);
         assert!(m.message_count(&inst.dag) <= max_mc);
         assert!(
-            (m.message_count(&inst.dag) as f64)
-                < 0.8 * f.message_count(&inst.dag) as f64,
+            (m.message_count(&inst.dag) as f64) < 0.8 * f.message_count(&inst.dag) as f64,
             "MC must ship substantially fewer messages (eps={eps})"
         );
     }

@@ -1,0 +1,71 @@
+//! Workspace-wiring smoke test: every algorithm schedules a small seeded
+//! instance end-to-end through the public facade, validates structurally,
+//! and survives crash simulation — the minimal "the workspace is wired
+//! correctly" guarantee this repo's build system PR established.
+
+use ftsched::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn small_instance(seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    paper_instance(
+        &mut rng,
+        &PaperInstanceConfig {
+            tasks_lo: 25,
+            tasks_hi: 25,
+            procs: 6,
+            granularity: 1.0,
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn all_algorithms_schedule_validate_and_simulate() {
+    let inst = small_instance(2024);
+    let eps = 2;
+    for alg in [
+        Algorithm::Ftsa,
+        Algorithm::McFtsaGreedy,
+        Algorithm::McFtsaBottleneck,
+        Algorithm::Ftbar,
+    ] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let sched = schedule(&inst, eps, alg, &mut rng)
+            .unwrap_or_else(|e| panic!("{alg:?} failed to schedule: {e}"));
+        validate(&inst, &sched).unwrap_or_else(|e| panic!("{alg:?} invalid: {e}"));
+
+        // Theorem 4.1's replica-count guarantee: ε + 1 replicas per task
+        // on pairwise distinct processors (FTBAR may append duplicates).
+        for t in inst.dag.tasks() {
+            let primaries = &sched.replicas_of(t)[..eps + 1];
+            let distinct: std::collections::HashSet<_> = primaries.iter().map(|r| r.proc).collect();
+            assert_eq!(
+                distinct.len(),
+                eps + 1,
+                "{alg:?}: clustered replicas for {t}"
+            );
+        }
+
+        // Bounds sanity (eq. 2 and eq. 4) and crash survival.
+        assert!(sched.latency_lower_bound() <= sched.latency_upper_bound() + 1e-9);
+        let mut frng = StdRng::seed_from_u64(99);
+        let scen = FailureScenario::uniform(&mut frng, inst.num_procs(), eps);
+        let sim = simulate(&inst, &sched, &scen);
+        assert!(
+            sim.completed(),
+            "{alg:?}: schedule did not survive ε failures"
+        );
+        assert!(sim.latency <= sched.latency_upper_bound() + 1e-6);
+    }
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // The facade's module aliases and the prelude expose the same types.
+    let mut rng = StdRng::seed_from_u64(1);
+    let inst = paper_instance(&mut rng, &PaperInstanceConfig::default());
+    let s: ftsched::core::Schedule = schedule(&inst, 1, Algorithm::Ftsa, &mut rng).unwrap();
+    let stats = schedule_stats(&inst, &s);
+    assert_eq!(stats.replicas, inst.num_tasks() * 2);
+}
