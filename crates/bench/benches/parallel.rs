@@ -1,0 +1,44 @@
+//! Parallel-harness bench: the figure-sweep pipeline through the rayon
+//! shim at 1, 2 and 4 workers, plus the raw `parallel_map` dispatch
+//! overhead. The 1- vs 4-thread pair is the wall-clock speedup
+//! measurement behind the scaling claim (also asserted, where cores
+//! exist, by `tests/parallel_determinism.rs`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use experiments::figures::{run_figure_with_threads, FigureConfig};
+use experiments::parallel::parallel_map;
+
+fn bench_figure_sweep_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_sweep");
+    group.sample_size(5);
+    let cfg = FigureConfig {
+        granularities: vec![0.4, 1.2],
+        repetitions: 4,
+        ..FigureConfig::comparison("bench", 1, 4)
+    };
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("threads/{threads}"), |b| {
+            b.iter(|| run_figure_with_threads(black_box(&cfg), threads))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_map_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_map");
+    group.sample_size(20);
+    // Cheap cells: measures dispatch + recombination cost, not work.
+    for threads in [1usize, 4] {
+        group.bench_function(format!("dispatch_1k_cells/{threads}"), |b| {
+            b.iter(|| parallel_map(1000, threads, |i| black_box(i as u64).wrapping_mul(0x9E37)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_figure_sweep_threads,
+    bench_parallel_map_overhead
+);
+criterion_main!(benches);

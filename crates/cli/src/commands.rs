@@ -2,14 +2,19 @@
 
 use crate::args::Args;
 use crate::bundle::Bundle;
+use experiments::figures::{run_figure_with_threads, FigureConfig};
+use experiments::output::{figure_to_table, write_figure_csv};
+use experiments::parallel::default_threads;
+use experiments::table1::{format_table1, run_table1_with_threads, Table1Config};
 use ftsched_core::{schedule as run_schedule, validate::validate, Algorithm};
 use platform::gen::random_platform;
 use platform::granularity::scale_to_granularity;
 use platform::{ExecutionMatrix, FailureScenario, Instance, ProcId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use simulator::simulate;
+use simulator::reliability::survival_probability_monte_carlo_par;
 use simulator::trace::gantt;
+use simulator::{simulate, simulate_replications};
 use std::fmt::Write as _;
 use taskgraph::generators::{
     erdos, fork_join, layered, ErdosConfig, ForkJoinConfig, LayeredConfig,
@@ -113,6 +118,59 @@ pub fn simulate_cmd(args: &Args) -> Result<String, String> {
     let bundle = Bundle::from_json(&s).map_err(|e| format!("parsing {path}: {e}"))?;
     let inst = bundle.instance();
 
+    // Monte-Carlo mode: many random scenarios through the parallel
+    // replication campaign instead of one simulation. The single-run
+    // scenario options would be silently meaningless here, so reject
+    // them instead of ignoring them.
+    if let Some(reps) = args.get("replications") {
+        for conflicting in ["fail", "random-failures"] {
+            if args.get(conflicting).is_some() {
+                return Err(format!(
+                    "--replications draws its own random scenarios; \
+                     it cannot be combined with --{conflicting} (use --crashes K)"
+                ));
+            }
+        }
+        if args.has_flag("gantt") {
+            return Err("--gantt applies to a single simulation, not --replications".into());
+        }
+        let reps: usize = reps.parse().map_err(|_| "bad --replications")?;
+        if reps == 0 {
+            return Err("--replications must be at least 1".into());
+        }
+        let crashes: usize = args.get_num("crashes", bundle.schedule.epsilon)?;
+        let seed: u64 = args.get_num("seed", 42)?;
+        let threads = threads_from(args)?;
+        let sims = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .map_err(|e| e.to_string())?
+            .install(|| simulate_replications(&inst, &bundle.schedule, crashes, reps, seed));
+        let completed = sims.iter().filter(|s| s.completed()).count();
+        let latencies: Vec<f64> = sims
+            .iter()
+            .filter(|s| s.completed())
+            .map(|s| s.latency)
+            .collect();
+        let mut out = format!(
+            "{reps} replications x {crashes} crash(es) on {threads} thread(s)\n\
+             completed: {completed}/{reps}\n",
+        );
+        if !latencies.is_empty() {
+            let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+            let min = latencies.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = latencies.iter().copied().fold(0.0f64, f64::max);
+            let _ = writeln!(
+                out,
+                "latency over completed runs: mean {mean:.3}, min {min:.3}, max {max:.3}\n\
+                 schedule bounds: [{:.3}, {:.3}]",
+                bundle.schedule.latency_lower_bound(),
+                bundle.schedule.latency_upper_bound()
+            );
+        }
+        return Ok(out);
+    }
+
     let scenario = if let Some(list) = args.get("fail") {
         let ids: Result<Vec<u32>, _> = list.split(',').map(str::parse).collect();
         let ids = ids.map_err(|_| "bad --fail list (expected e.g. 0,3,7)")?;
@@ -156,6 +214,108 @@ pub fn simulate_cmd(args: &Args) -> Result<String, String> {
         let _ = write!(out, "\n{}", gantt(&inst, &bundle.schedule, &sim, 72));
     }
     Ok(out)
+}
+
+/// Worker count from `--threads` (0 or absent = `FTSCHED_THREADS` /
+/// available parallelism via [`default_threads`]).
+fn threads_from(args: &Args) -> Result<usize, String> {
+    let t: usize = args.get_num("threads", 0)?;
+    Ok(if t == 0 { default_threads() } else { t })
+}
+
+/// `ftsched experiment` — drives the paper's sweeps through the rayon
+/// shim's parallel harness.
+pub fn experiment(args: &Args) -> Result<String, String> {
+    let what = args.require("what")?;
+    let threads = threads_from(args)?;
+    let reps: usize = args.get_num("reps", 10)?;
+
+    match what {
+        "fig1" | "fig2" | "fig3" | "fig4" => {
+            let cfg = match what {
+                "fig1" => FigureConfig::comparison("fig1", 1, reps),
+                "fig2" => FigureConfig::comparison("fig2", 2, reps),
+                "fig3" => FigureConfig::comparison("fig3", 5, reps),
+                _ => FigureConfig::small_platform(reps),
+            };
+            let fig = run_figure_with_threads(&cfg, threads);
+            let mut out = format!(
+                "== {what}: ε = {}, {} processors, {} graphs/point, {threads} thread(s) ==\n",
+                cfg.epsilon, cfg.procs, cfg.repetitions
+            );
+            let mut series: Vec<String> = vec![
+                "FTSA-LowerBound".into(),
+                "FTSA-UpperBound".into(),
+                "FaultFree-FTSA".into(),
+                format!("FTSA with {} Crash", cfg.epsilon),
+            ];
+            if cfg.compare_algorithms {
+                series.push("MC-FTSA-LowerBound".into());
+                series.push("FTBAR-LowerBound".into());
+                series.push(format!("MC-FTSA with {} Crash", cfg.epsilon));
+                series.push(format!("FTBAR with {} Crash", cfg.epsilon));
+            }
+            let refs: Vec<&str> = series.iter().map(String::as_str).collect();
+            let _ = write!(out, "{}", figure_to_table(&fig, &refs));
+            if let Some(dir) = args.get("out") {
+                let path = write_figure_csv(&fig, std::path::Path::new(dir))
+                    .map_err(|e| format!("writing CSV: {e}"))?;
+                let _ = writeln!(out, "[csv] {}", path.display());
+            }
+            Ok(out)
+        }
+        "table1" => {
+            // Table 1's primary output is wall-clock seconds; co-running
+            // rows would contend for cores and distort exactly what the
+            // table measures. Sequential by default — a row sweep is
+            // only parallelized when --threads asks for it explicitly.
+            let threads: usize = args.get_num("threads", 1)?.max(1);
+            let mut cfg = if args.has_flag("paper") {
+                Table1Config::paper()
+            } else {
+                Table1Config::quick()
+            };
+            if let Some(list) = args.get("sizes") {
+                let sizes: Result<Vec<usize>, _> = list.split(',').map(str::parse).collect();
+                cfg.sizes = sizes.map_err(|_| "bad --sizes list (expected e.g. 100,500)")?;
+            }
+            cfg.procs = args.get_num("procs", cfg.procs)?;
+            cfg.epsilon = args.get_num("epsilon", cfg.epsilon)?;
+            let rows = run_table1_with_threads(&cfg, threads);
+            Ok(format!(
+                "== table1: {} processors, ε = {}, {threads} thread(s) ==\n{}",
+                cfg.procs,
+                cfg.epsilon,
+                format_table1(&rows)
+            ))
+        }
+        "reliability" => {
+            let bundle_path = args.require("bundle")?;
+            let s = std::fs::read_to_string(bundle_path)
+                .map_err(|e| format!("reading {bundle_path}: {e}"))?;
+            let bundle =
+                Bundle::from_json(&s).map_err(|e| format!("parsing {bundle_path}: {e}"))?;
+            let inst = bundle.instance();
+            let p: f64 = args.get_num("p", 0.1)?;
+            let samples: usize = args.get_num("samples", 10_000)?;
+            let seed: u64 = args.get_num("seed", 42)?;
+            let mc = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .map_err(|e| e.to_string())?
+                .install(|| {
+                    survival_probability_monte_carlo_par(&inst, &bundle.schedule, p, samples, seed)
+                });
+            Ok(format!(
+                "Monte-Carlo reliability ({samples} samples, p = {p}, {threads} thread(s))\n\
+                 P(survive) = {:.6}\nE[latency | survival] = {:.3}\n",
+                mc.survival, mc.expected_latency
+            ))
+        }
+        other => Err(format!(
+            "unknown experiment `{other}` (expected fig1|fig2|fig3|fig4|table1|reliability)"
+        )),
+    }
 }
 
 /// `ftsched info`
@@ -233,6 +393,72 @@ mod tests {
         assert!(msg.contains("FAILED"));
         let _ = std::fs::remove_file(graph);
         let _ = std::fs::remove_file(bundle);
+    }
+
+    #[test]
+    fn monte_carlo_simulate_and_reliability() {
+        let graph = tmp("g3.json");
+        let bundle = tmp("b3.json");
+        generate(&argv(&format!("--family gauss --size 5 --out {graph}"))).unwrap();
+        schedule_cmd(&argv(&format!(
+            "--graph {graph} --procs 6 --epsilon 1 --out {bundle}"
+        )))
+        .unwrap();
+
+        let msg = simulate_cmd(&argv(&format!(
+            "--bundle {bundle} --replications 12 --crashes 1 --threads 2"
+        )))
+        .unwrap();
+        assert!(msg.contains("completed: 12/12"), "{msg}");
+        // Identical campaign at a different thread count.
+        let msg2 = simulate_cmd(&argv(&format!(
+            "--bundle {bundle} --replications 12 --crashes 1 --threads 1"
+        )))
+        .unwrap();
+        let stats = |m: &str| {
+            m.lines()
+                .find(|l| l.starts_with("latency over completed runs"))
+                .map(String::from)
+        };
+        assert_eq!(stats(&msg), stats(&msg2));
+
+        let msg = experiment(&argv(&format!(
+            "--what reliability --bundle {bundle} --p 0.2 --samples 500 --threads 2"
+        )))
+        .unwrap();
+        assert!(msg.contains("P(survive)"), "{msg}");
+
+        // Single-run scenario options conflict with the campaign mode.
+        let err = simulate_cmd(&argv(&format!(
+            "--bundle {bundle} --replications 4 --fail 0"
+        )))
+        .unwrap_err();
+        assert!(err.contains("--fail"), "{err}");
+        let err = simulate_cmd(&argv(&format!(
+            "--bundle {bundle} --replications 4 --random-failures 1"
+        )))
+        .unwrap_err();
+        assert!(err.contains("--random-failures"), "{err}");
+        let err = simulate_cmd(&argv(&format!(
+            "--bundle {bundle} --replications 4 --gantt"
+        )))
+        .unwrap_err();
+        assert!(err.contains("--gantt"), "{err}");
+
+        let _ = std::fs::remove_file(graph);
+        let _ = std::fs::remove_file(bundle);
+    }
+
+    #[test]
+    fn experiment_figure_and_table_run() {
+        let msg = experiment(&argv("--what fig4 --reps 2 --threads 2")).unwrap();
+        assert!(msg.contains("FTSA with 2 Crash"), "{msg}");
+        let msg = experiment(&argv(
+            "--what table1 --sizes 60,120 --procs 10 --epsilon 1 --threads 2",
+        ))
+        .unwrap();
+        assert!(msg.contains("Number of tasks"), "{msg}");
+        assert!(experiment(&argv("--what nope")).is_err());
     }
 
     #[test]

@@ -8,7 +8,12 @@
 //!   one of the algorithms, and write a self-contained *bundle* (graph +
 //!   platform + execution matrix + schedule) for later simulation.
 //! * `simulate` — read a bundle, crash a chosen or random processor set,
-//!   and report the achieved latency with an ASCII Gantt chart.
+//!   and report the achieved latency with an ASCII Gantt chart; or run a
+//!   parallel Monte-Carlo crash campaign with `--replications`.
+//! * `experiment` — drive the paper's figure/table sweeps and the
+//!   Monte-Carlo reliability estimator through the rayon shim's parallel
+//!   harness (`--threads` pins the worker count; results are identical
+//!   at any thread count).
 //! * `info` — structural statistics of a graph file.
 //!
 //! Argument parsing is a tiny hand-rolled `key value` scanner — the
@@ -34,6 +39,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "generate" => commands::generate(&args),
         "schedule" => commands::schedule_cmd(&args),
         "simulate" => commands::simulate_cmd(&args),
+        "experiment" => commands::experiment(&args),
         "info" => commands::info(&args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command `{other}`\n\n{}", usage())),
@@ -52,8 +58,18 @@ USAGE:
                    [--algorithm ftsa|mc-ftsa|mc-ftsa-bn|ftbar] [--seed S]
                    [--granularity G] --out bundle.json
   ftsched simulate --bundle bundle.json [--fail 0,3,7 | --random-failures K]
+                   [--replications N [--crashes K] [--threads T]]
                    [--seed S] [--gantt]
+  ftsched experiment --what <fig1|fig2|fig3|fig4|table1|reliability>
+                     [--reps N] [--threads T] [--out DIR]
+                     [--paper | --sizes 100,500] [--procs M] [--epsilon E]  (table1)
+                     [--bundle b.json] [--p P] [--samples N]  (reliability)
   ftsched info --graph graph.json
+
+`--threads 0` (the default) resolves from FTSCHED_THREADS or the
+available parallelism; sweeps yield identical results at any thread
+count. Exception: table1 rows time the algorithms, so they stay
+sequential unless --threads explicitly asks otherwise.
 "
     .to_string()
 }

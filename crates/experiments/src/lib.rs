@@ -9,8 +9,9 @@
 //! * [`figures`] — the latency-bound / crash / overhead sweeps behind
 //!   Figures 1–4.
 //! * [`table1`] — the running-time scaling experiment behind Table 1.
-//! * [`parallel`] — a crossbeam-based deterministic parallel map used to
-//!   spread the 60-graph repetitions across cores.
+//! * [`parallel`] — a deterministic parallel map on the `rayon` shim's
+//!   work-stealing pool, used to spread the 60-graph repetitions across
+//!   cores (`FTSCHED_THREADS` pins the worker count).
 //! * [`output`] — CSV writing and ASCII plotting of the measured series.
 //!
 //! **Normalization.** The paper plots "normalized latency" without

@@ -1,12 +1,21 @@
-//! Deterministic parallel map built on crossbeam scoped threads.
+//! Deterministic parallel map built on the `rayon` shim's work-stealing
+//! executor.
 //!
 //! The figure experiments evaluate hundreds of independent (granularity,
-//! repetition) cells; this module fans them out over the available cores
-//! with a shared atomic work index. Each cell derives its own RNG seed
-//! from its index, so results are identical whatever the thread count.
+//! repetition) cells; this module fans them out over a pinned-size
+//! thread pool. Each cell derives its own RNG seed from its index, so
+//! results are identical whatever the thread count — the
+//! **index-derived-seed determinism contract** every sweep in this crate
+//! relies on, and which `tests/parallel_determinism.rs` (repo root)
+//! enforces end to end.
+//!
+//! Results travel through the executor's disjoint per-task slots and are
+//! recombined in index order — no lock is held while a result is stored
+//! (the earlier crossbeam implementation serialized every write-back
+//! through a `Mutex<&mut Vec<Option<T>>>`).
 
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
 
 /// Applies `f` to every index `0..n` in parallel, returning the results
 /// in index order. `f` must be deterministic in its index argument for
@@ -14,40 +23,28 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
-    F: Fn(usize) -> T + Sync,
+    F: Fn(usize) -> T + Sync + Send,
 {
     assert!(threads >= 1);
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    if n == 0 {
-        return Vec::new();
-    }
-    let next = AtomicUsize::new(0);
-    let slots = Mutex::new(&mut out);
-
-    crossbeam::scope(|scope| {
-        for _ in 0..threads.min(n) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let value = f(i);
-                // Store under the lock; cells are disjoint but a plain
-                // &mut Vec cannot be shared across threads without it.
-                slots.lock()[i] = Some(value);
-            });
-        }
-    })
-    .expect("experiment worker panicked");
-
-    out.into_iter()
-        .map(|v| v.expect("all cells computed"))
-        .collect()
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool handle");
+    pool.install(|| (0..n).into_par_iter().map(f).collect())
 }
 
-/// Number of worker threads to use: the available parallelism, capped so
-/// small sweeps don't spawn idle threads.
+/// Number of worker threads to use: the `FTSCHED_THREADS` environment
+/// variable when set to a positive integer (the CI thread matrix uses
+/// this to pin both the sequential and parallel paths), otherwise the
+/// available parallelism.
 pub fn default_threads() -> usize {
+    if let Some(n) = std::env::var("FTSCHED_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
     std::thread::available_parallelism().map_or(4, |n| n.get())
 }
 
@@ -78,5 +75,42 @@ mod tests {
     fn more_threads_than_items() {
         let out = parallel_map(3, 16, |i| i + 1);
         assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn index_order_survives_skewed_work() {
+        // Regression test for the write-back path: early indices get the
+        // most work, so late (cheap) results land first — they must still
+        // come back in index order through the disjoint slots.
+        let out = parallel_map(64, 8, |i| {
+            let mut acc = i as u64;
+            for _ in 0..(64 - i) * 2000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (i, acc)
+        });
+        assert_eq!(out.len(), 64);
+        for (idx, (i, _)) in out.iter().enumerate() {
+            assert_eq!(idx, *i);
+        }
+        let again = parallel_map(64, 3, |i| {
+            let mut acc = i as u64;
+            for _ in 0..(64 - i) * 2000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (i, acc)
+        });
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn env_override_controls_default_threads() {
+        // Only meaningful when the harness hasn't set the variable.
+        if std::env::var("FTSCHED_THREADS").is_err() {
+            assert!(default_threads() >= 1);
+        } else {
+            let n: usize = std::env::var("FTSCHED_THREADS").unwrap().parse().unwrap();
+            assert_eq!(default_threads(), n);
+        }
     }
 }

@@ -6,6 +6,7 @@
 //! near-linear in `v` while FTBAR's per-step sweep over all free tasks ×
 //! processors blows up (`O(P·N³)` in the paper).
 
+use crate::parallel::parallel_map;
 use ftsched_core::{ftbar::ftbar, ftsa::ftsa, mc_ftsa};
 use platform::gen::{paper_instance, PaperInstanceConfig};
 use rand::rngs::StdRng;
@@ -63,52 +64,77 @@ pub struct Table1Row {
     pub mc_ftsa_secs: f64,
     /// FTBAR wall-clock seconds (`None` when skipped by the cap).
     pub ftbar_secs: Option<f64>,
+    /// Latency lower bound `M*` of the FTSA schedule — deterministic in
+    /// `(cfg.seed, tasks)` alone, so it is identical whatever the thread
+    /// count or machine (unlike the wall-clock columns).
+    pub ftsa_latency: f64,
+    /// Latency lower bound of the MC-FTSA (greedy) schedule.
+    pub mc_ftsa_latency: f64,
+    /// Latency lower bound of the FTBAR schedule (`None` when skipped).
+    pub ftbar_latency: Option<f64>,
 }
 
-/// Runs the timing experiment.
+/// Runs the timing experiment sequentially (one row at a time), keeping
+/// the wall-clock columns free of co-scheduling noise.
 pub fn run_table1(cfg: &Table1Config) -> Vec<Table1Row> {
-    cfg.sizes
-        .iter()
-        .map(|&v| {
-            let mut gen_rng = StdRng::seed_from_u64(cfg.seed ^ v as u64);
-            let inst = paper_instance(
-                &mut gen_rng,
-                &PaperInstanceConfig {
-                    tasks_lo: v,
-                    tasks_hi: v,
-                    procs: cfg.procs,
-                    granularity: 1.0,
-                    ..Default::default()
-                },
-            );
-            let time = |f: &dyn Fn()| {
-                let t0 = Instant::now();
-                f();
-                t0.elapsed().as_secs_f64()
-            };
-            let ftsa_secs = time(&|| {
-                let mut r = StdRng::seed_from_u64(cfg.seed);
-                let _ = ftsa(&inst, cfg.epsilon, &mut r).expect("schedulable");
-            });
-            let mc_ftsa_secs = time(&|| {
-                let mut r = StdRng::seed_from_u64(cfg.seed);
-                let _ = mc_ftsa::mc_ftsa(&inst, cfg.epsilon, mc_ftsa::Selector::Greedy, &mut r)
-                    .expect("schedulable");
-            });
-            let ftbar_secs = (v <= cfg.ftbar_size_cap).then(|| {
-                time(&|| {
-                    let mut r = StdRng::seed_from_u64(cfg.seed);
-                    let _ = ftbar(&inst, cfg.epsilon, &mut r).expect("schedulable");
-                })
-            });
-            Table1Row {
-                tasks: v,
-                ftsa_secs,
-                mc_ftsa_secs,
-                ftbar_secs,
-            }
+    run_table1_with_threads(cfg, 1)
+}
+
+/// Runs the timing experiment with rows fanned out over `threads`
+/// workers through the rayon shim. The latency columns are unaffected by
+/// the worker count; the seconds columns measure algorithms that now run
+/// concurrently, so absolute timings are only comparable within a run at
+/// the same thread count (the scaling *shape* — Table 1's claim — is
+/// preserved).
+pub fn run_table1_with_threads(cfg: &Table1Config, threads: usize) -> Vec<Table1Row> {
+    let sizes = cfg.sizes.clone();
+    parallel_map(sizes.len(), threads, |i| run_row(cfg, sizes[i]))
+}
+
+fn run_row(cfg: &Table1Config, v: usize) -> Table1Row {
+    let mut gen_rng = StdRng::seed_from_u64(cfg.seed ^ v as u64);
+    let inst = paper_instance(
+        &mut gen_rng,
+        &PaperInstanceConfig {
+            tasks_lo: v,
+            tasks_hi: v,
+            procs: cfg.procs,
+            granularity: 1.0,
+            ..Default::default()
+        },
+    );
+    let time = |f: &dyn Fn() -> f64| {
+        let t0 = Instant::now();
+        let latency = f();
+        (t0.elapsed().as_secs_f64(), latency)
+    };
+    let (ftsa_secs, ftsa_latency) = time(&|| {
+        let mut r = StdRng::seed_from_u64(cfg.seed);
+        let s = ftsa(&inst, cfg.epsilon, &mut r).expect("schedulable");
+        s.latency_lower_bound()
+    });
+    let (mc_ftsa_secs, mc_ftsa_latency) = time(&|| {
+        let mut r = StdRng::seed_from_u64(cfg.seed);
+        let s = mc_ftsa::mc_ftsa(&inst, cfg.epsilon, mc_ftsa::Selector::Greedy, &mut r)
+            .expect("schedulable");
+        s.latency_lower_bound()
+    });
+    let ftbar_run = (v <= cfg.ftbar_size_cap).then(|| {
+        time(&|| {
+            let mut r = StdRng::seed_from_u64(cfg.seed);
+            let s = ftbar(&inst, cfg.epsilon, &mut r).expect("schedulable");
+            s.latency_lower_bound()
         })
-        .collect()
+    });
+    Table1Row {
+        tasks: v,
+        ftsa_secs,
+        mc_ftsa_secs,
+        ftbar_secs: ftbar_run.map(|(secs, _)| secs),
+        ftsa_latency,
+        mc_ftsa_latency,
+        ftbar_latency: ftbar_run.map(|(_, latency)| latency),
+    }
 }
 
 /// Formats the rows like the paper's Table 1.
@@ -179,9 +205,34 @@ mod tests {
             ftsa_secs: 0.01,
             mc_ftsa_secs: 0.02,
             ftbar_secs: Some(0.15),
+            ftsa_latency: 12.5,
+            mc_ftsa_latency: 13.0,
+            ftbar_latency: Some(20.0),
         }];
         let s = format_table1(&rows);
         assert!(s.contains("Number of tasks"));
         assert!(s.contains("100"));
+    }
+
+    #[test]
+    fn latency_columns_are_thread_invariant() {
+        let cfg = Table1Config {
+            sizes: vec![60, 120],
+            procs: 10,
+            epsilon: 1,
+            ftbar_size_cap: 120,
+            seed: 3,
+        };
+        let seq = run_table1_with_threads(&cfg, 1);
+        let par = run_table1_with_threads(&cfg, 4);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.tasks, b.tasks);
+            assert_eq!(a.ftsa_latency.to_bits(), b.ftsa_latency.to_bits());
+            assert_eq!(a.mc_ftsa_latency.to_bits(), b.mc_ftsa_latency.to_bits());
+            assert_eq!(
+                a.ftbar_latency.map(f64::to_bits),
+                b.ftbar_latency.map(f64::to_bits)
+            );
+        }
     }
 }

@@ -27,6 +27,9 @@
 use ftcollections::{IndexedHeap, OrdF64};
 use ftsched_core::{CommSelection, Schedule};
 use platform::{FailureScenario, Instance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
 use taskgraph::TaskId;
 
 /// Delivery policy for matched (MC-FTSA) communications under failures.
@@ -490,6 +493,37 @@ pub fn simulate_with(
     }
 }
 
+/// Monte-Carlo crash campaign: simulates `replications` independent
+/// uniform `crashes`-processor fail-at-time-zero scenarios against
+/// `sched`, fanned out over the ambient rayon thread pool (pin the
+/// worker count with `ThreadPool::install` or `FTSCHED_THREADS` in the
+/// experiment layers).
+///
+/// Replication `r` draws its scenario from
+/// [`crate::replication_seed`]`(base_seed, r)`, so the returned vector is
+/// bit-identical whatever the thread count and stable across reruns —
+/// the contract `tests/parallel_determinism.rs` (repo root) enforces.
+pub fn simulate_replications(
+    inst: &Instance,
+    sched: &Schedule,
+    crashes: usize,
+    replications: usize,
+    base_seed: u64,
+) -> Vec<SimResult> {
+    (0..replications)
+        .into_par_iter()
+        .map(|r| {
+            let mut rng = StdRng::seed_from_u64(crate::replication_seed(base_seed, r as u64));
+            let scenario = if crashes == 0 {
+                FailureScenario::none()
+            } else {
+                FailureScenario::uniform(&mut rng, inst.num_procs(), crashes)
+            };
+            simulate(inst, sched, &scenario)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -818,6 +852,40 @@ mod tests {
                 assert!(sim.completed(), "rerouted delivery failed {{P{a}, P{b}}}");
                 assert!(sim.latency.is_finite());
             }
+        }
+    }
+
+    #[test]
+    fn replications_complete_within_design_point() {
+        let mut r = rng(90);
+        let inst = paper_instance(&mut r, &PaperInstanceConfig::default());
+        let s = schedule(&inst, 2, Algorithm::Ftsa, &mut rng(90)).unwrap();
+        let sims = simulate_replications(&inst, &s, 2, 20, 0xCAFE);
+        assert_eq!(sims.len(), 20);
+        for sim in &sims {
+            assert!(sim.completed(), "≤ ε crashes must not lose tasks");
+            assert!(sim.latency <= s.latency_upper_bound() + 1e-6);
+            assert!(sim.latency >= s.latency_lower_bound() - 1e-6);
+        }
+    }
+
+    #[test]
+    fn replications_are_thread_count_invariant() {
+        let mut r = rng(91);
+        let inst = paper_instance(&mut r, &PaperInstanceConfig::default());
+        let s = schedule(&inst, 1, Algorithm::Ftsa, &mut rng(91)).unwrap();
+        let run = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| simulate_replications(&inst, &s, 1, 16, 7))
+        };
+        let a = run(1);
+        let b = run(4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.latency.to_bits(), y.latency.to_bits());
+            assert_eq!(x.times, y.times);
         }
     }
 

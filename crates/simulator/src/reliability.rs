@@ -24,7 +24,9 @@
 use crate::replay::replay;
 use ftsched_core::Schedule;
 use platform::{FailureScenario, Instance, ProcId};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// Per-task replica-processor masks, deduplicated. The schedule fails
 /// under failure mask `F` iff some task mask `T` satisfies `T & F == T`.
@@ -121,6 +123,53 @@ pub fn survival_probability_monte_carlo(
             latency_acc += r.latency;
         }
     }
+    MonteCarloReliability {
+        survival: survived as f64 / samples as f64,
+        expected_latency: if survived > 0 {
+            latency_acc / survived as f64
+        } else {
+            f64::NAN
+        },
+        samples,
+    }
+}
+
+/// Parallel Monte Carlo estimate of the survival probability and the
+/// conditional expected latency, fanned out over the ambient rayon
+/// thread pool.
+///
+/// Unlike [`survival_probability_monte_carlo`] — which consumes a
+/// caller-provided RNG stream and is therefore inherently sequential —
+/// sample `i` here draws its failure pattern from
+/// [`crate::replication_seed`]`(base_seed, i)`. The per-sample outcomes
+/// are combined in sample order on the calling thread, so the estimate
+/// (including the floating-point latency mean) is bit-identical at any
+/// thread count.
+pub fn survival_probability_monte_carlo_par(
+    inst: &Instance,
+    sched: &Schedule,
+    p: f64,
+    samples: usize,
+    base_seed: u64,
+) -> MonteCarloReliability {
+    assert!((0.0..=1.0).contains(&p));
+    assert!(samples > 0);
+    let m = inst.num_procs();
+    let outcomes: Vec<Option<f64>> = (0..samples)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(crate::replication_seed(base_seed, i as u64));
+            let failed: Vec<ProcId> = (0..m as u32)
+                .map(ProcId)
+                .filter(|_| rng.gen_bool(p))
+                .collect();
+            let scen = FailureScenario::at_time_zero(failed);
+            let r = replay(inst, sched, &scen);
+            r.completed.then_some(r.latency)
+        })
+        .collect();
+    let survived = outcomes.iter().flatten().count();
+    let latency_acc: f64 = outcomes.iter().flatten().sum();
     MonteCarloReliability {
         survival: survived as f64 / samples as f64,
         expected_latency: if survived > 0 {
@@ -238,6 +287,40 @@ mod tests {
         if mc.survival > 0.0 {
             assert!(mc.expected_latency >= s.latency_lower_bound() - 1e-6);
         }
+    }
+
+    #[test]
+    fn parallel_monte_carlo_agrees_with_exact() {
+        let inst = small_instance(7, 8);
+        let s = schedule(&inst, 2, Algorithm::Ftsa, &mut StdRng::seed_from_u64(8)).unwrap();
+        let p = 0.25;
+        let exact = survival_probability_exact(&inst, &s, p);
+        let mc = survival_probability_monte_carlo_par(&inst, &s, p, 4000, 0xAB5EED);
+        assert!(
+            (mc.survival - exact).abs() < 0.03,
+            "parallel MC {} vs exact {exact}",
+            mc.survival
+        );
+        if mc.survival > 0.0 {
+            assert!(mc.expected_latency >= s.latency_lower_bound() - 1e-6);
+        }
+    }
+
+    #[test]
+    fn parallel_monte_carlo_is_thread_count_invariant() {
+        let inst = small_instance(6, 9);
+        let s = schedule(&inst, 1, Algorithm::Ftsa, &mut StdRng::seed_from_u64(9)).unwrap();
+        let run = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| survival_probability_monte_carlo_par(&inst, &s, 0.3, 1000, 17))
+        };
+        let a = run(1);
+        let b = run(5);
+        assert_eq!(a.survival.to_bits(), b.survival.to_bits());
+        assert_eq!(a.expected_latency.to_bits(), b.expected_latency.to_bits());
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! The scoped work-stealing executor behind every parallel operation.
+//!
+//! A parallel operation arrives as a vector of pre-split task inputs (one
+//! per deterministic chunk of the underlying sequence). Tasks are dealt
+//! round-robin into per-worker deques; each worker pops from the *back*
+//! of its own deque (LIFO, cache-warm) and, when that runs dry, steals
+//! from the *front* of a victim's deque (FIFO, the oldest — and therefore
+//! least cache-relevant — work). Because every task exists before the
+//! workers start and none is ever re-queued, a worker may exit as soon as
+//! every deque reads empty.
+//!
+//! Results are written through **disjoint `&mut` slots** (one per task,
+//! obtained by splitting a single results vector), so no lock is held
+//! while a result is stored and the output order is the chunk order — a
+//! property the determinism guarantees of the workspace rely on.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, MutexGuard};
+
+/// One unit of work: the chunk input plus the slot its result lands in.
+struct Task<'slots, In, U> {
+    input: In,
+    slot: &'slots mut Option<U>,
+}
+
+fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A worker that panicked mid-task poisons its deque; the remaining
+    // tasks are still intact, so treat the lock as usable (the panic
+    // itself propagates when the scope joins).
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Runs `work` over every input on up to `threads` workers and returns
+/// the results in input order. Sequential (zero threads spawned) when a
+/// single worker suffices, which also makes `threads == 1` a bit-exact
+/// reference execution for any other worker count.
+pub(crate) fn run_ordered<In, U, F>(inputs: Vec<In>, threads: usize, work: F) -> Vec<U>
+where
+    In: Send,
+    U: Send,
+    F: Fn(In) -> U + Sync,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads.clamp(1, n);
+    if workers == 1 {
+        return inputs.into_iter().map(work).collect();
+    }
+
+    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    {
+        let mut deques: Vec<VecDeque<Task<'_, In, U>>> =
+            (0..workers).map(|_| VecDeque::new()).collect();
+        for (i, (input, slot)) in inputs.into_iter().zip(slots.iter_mut()).enumerate() {
+            deques[i % workers].push_back(Task { input, slot });
+        }
+        let deques: Vec<Mutex<VecDeque<Task<'_, In, U>>>> =
+            deques.into_iter().map(Mutex::new).collect();
+
+        std::thread::scope(|scope| {
+            for me in 0..workers {
+                let deques = &deques;
+                let work = &work;
+                scope.spawn(move || worker_loop(me, deques, work));
+            }
+        });
+    }
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("executor ran every task"))
+        .collect()
+}
+
+fn worker_loop<In, U, F>(me: usize, deques: &[Mutex<VecDeque<Task<'_, In, U>>>], work: &F)
+where
+    F: Fn(In) -> U,
+{
+    'run: loop {
+        // Own deque first (back = most recently dealt).
+        if let Some(task) = lock(&deques[me]).pop_back() {
+            *task.slot = Some(work(task.input));
+            continue 'run;
+        }
+        // Steal the oldest task from the first non-empty victim.
+        for offset in 1..deques.len() {
+            let victim = (me + offset) % deques.len();
+            if let Some(task) = lock(&deques[victim]).pop_front() {
+                *task.slot = Some(work(task.input));
+                continue 'run;
+            }
+        }
+        // Every deque is empty and no task is ever re-queued: done.
+        return;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_input_order() {
+        let out = run_ordered((0..257).collect(), 8, |i: i32| i * 2);
+        assert_eq!(out, (0..257).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let seq = run_ordered(inputs.clone(), 1, |i| i * i);
+        let par = run_ordered(inputs, 7, |i| i * i);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u8> = run_ordered(Vec::<u8>::new(), 4, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let out = run_ordered((0..64).collect(), 5, |i: usize| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let caught = std::panic::catch_unwind(|| {
+            run_ordered((0..16).collect(), 4, |i: usize| {
+                if i == 9 {
+                    panic!("task nine exploded");
+                }
+                i
+            })
+        });
+        assert!(caught.is_err());
+    }
+}

@@ -1,0 +1,530 @@
+//! The `par_iter` subset: sources over slices, ranges and vectors,
+//! `map`/`filter` adapters, and `collect`/`sum`/`reduce`/`for_each`/
+//! `count` consumers.
+//!
+//! # Execution and determinism model
+//!
+//! Every pipeline bottoms out in [`ParallelIterator::drive`]: the source
+//! splits its sequence into **deterministic, ordered chunks whose
+//! boundaries depend only on the sequence length** (never on the worker
+//! count), each chunk is folded sequentially by one task on the
+//! work-stealing executor, and the per-chunk results are combined in
+//! chunk order on the calling thread. Consequently every consumer in this
+//! module returns *bit-identical* results whatever the ambient thread
+//! count — including floating-point reductions, whose association order
+//! is fixed by the chunking. This is stronger than upstream rayon, where
+//! `reduce` association varies with runtime splitting; code written
+//! against the shim must not rely on that extra strength if it is ever
+//! swapped for the registry crate.
+
+use crate::exec;
+use crate::registry;
+use std::ops::Range;
+
+/// Number of tasks a parallel operation is split into (at most): enough
+/// over-decomposition for the work-stealing executor to balance uneven
+/// chunks, independent of the worker count so chunk boundaries — and
+/// therefore reduction order — never change with parallelism.
+const TASK_TARGET: usize = 64;
+
+/// Deterministic task spans of `0..len`: contiguous, in order, boundaries
+/// a function of `len` alone.
+fn spans(len: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunk = len.div_ceil(TASK_TARGET).max(1);
+    let mut out = Vec::with_capacity(len.div_ceil(chunk));
+    let mut lo = 0;
+    while lo < len {
+        let hi = (lo + chunk).min(len);
+        out.push(lo..hi);
+        lo = hi;
+    }
+    out
+}
+
+/// A parallel iterator: a splittable sequence plus a per-item pipeline.
+///
+/// The one required driver is chunk-fold ([`drive`](Self::drive));
+/// adapters compose by wrapping the chunk's sequential iterator, so the
+/// whole pipeline runs fused, once per item, inside each task.
+pub trait ParallelIterator: Sized + Send {
+    /// The element type produced by this iterator.
+    type Item: Send;
+
+    /// Number of *underlying* items before any filtering — a splitting
+    /// hint, not an exact output count.
+    fn len_hint(&self) -> usize;
+
+    /// Folds every deterministic chunk of the sequence with `fold` (in
+    /// parallel) and returns the per-chunk results in chunk order.
+    fn drive<U, F>(self, fold: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(&mut dyn Iterator<Item = Self::Item>) -> U + Sync;
+
+    /// Transforms every item with `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Keeps only the items `f` accepts (output order is preserved).
+    fn filter<F>(self, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        Filter { base: self, f }
+    }
+
+    /// Runs `f` on every item (no output; side effects must be
+    /// synchronized by the caller as with upstream).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        self.drive(|it: &mut dyn Iterator<Item = Self::Item>| {
+            for item in it {
+                f(item);
+            }
+        });
+    }
+
+    /// Collects into `C` preserving the sequence order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sums the items: each chunk is summed sequentially, then the chunk
+    /// sums are added in chunk order (deterministic for floats).
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        self.drive(|it: &mut dyn Iterator<Item = Self::Item>| it.sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    /// Reduces with `op`, seeding every chunk (and the final combine)
+    /// with `identity()`. `op` must be associative and `identity()` its
+    /// neutral element; the association order is fixed by the chunking.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        self.drive(|it: &mut dyn Iterator<Item = Self::Item>| it.fold(identity(), &op))
+            .into_iter()
+            .fold(identity(), &op)
+    }
+
+    /// Counts the items surviving the pipeline.
+    fn count(self) -> usize {
+        self.drive(|it: &mut dyn Iterator<Item = Self::Item>| it.count())
+            .into_iter()
+            .sum()
+    }
+}
+
+/// Conversion into a [`ParallelIterator`], mirroring upstream's trait.
+pub trait IntoParallelIterator {
+    /// The iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` by shared reference — blanket-implemented for every type
+/// whose reference converts via [`IntoParallelIterator`], exactly like
+/// upstream.
+pub trait IntoParallelRefIterator<'data> {
+    /// The iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type (a reference into `self`).
+    type Item: Send + 'data;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoParallelIterator,
+{
+    type Iter = <&'data C as IntoParallelIterator>::Iter;
+    type Item = <&'data C as IntoParallelIterator>::Item;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Collecting from a parallel iterator, mirroring upstream's trait.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds `Self` from the items of `iter`, in sequence order.
+    fn from_par_iter<I>(iter: I) -> Self
+    where
+        I: ParallelIterator<Item = T>;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I>(iter: I) -> Self
+    where
+        I: ParallelIterator<Item = T>,
+    {
+        let chunks = iter.drive(|it: &mut dyn Iterator<Item = T>| it.collect::<Vec<T>>());
+        let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
+    }
+}
+
+// --- sources ---------------------------------------------------------------
+
+/// Parallel iterator over `&[T]` (items are `&T`).
+#[derive(Debug)]
+pub struct SliceIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for SliceIter<'data, T> {
+    type Item = &'data T;
+
+    fn len_hint(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn drive<U, F>(self, fold: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(&mut dyn Iterator<Item = Self::Item>) -> U + Sync,
+    {
+        let slice = self.slice;
+        let parts: Vec<&'data [T]> = spans(slice.len()).into_iter().map(|r| &slice[r]).collect();
+        exec::run_ordered(parts, registry::current_num_threads(), |part| {
+            fold(&mut part.iter())
+        })
+    }
+}
+
+impl<'data, T: Sync> IntoParallelIterator for &'data [T] {
+    type Iter = SliceIter<'data, T>;
+    type Item = &'data T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync> IntoParallelIterator for &'data Vec<T> {
+    type Iter = SliceIter<'data, T>;
+    type Item = &'data T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIter {
+            slice: self.as_slice(),
+        }
+    }
+}
+
+/// Owning parallel iterator over `Vec<T>`.
+#[derive(Debug)]
+pub struct VecIter<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+
+    fn len_hint(&self) -> usize {
+        self.vec.len()
+    }
+
+    fn drive<U, F>(self, fold: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(&mut dyn Iterator<Item = T>) -> U + Sync,
+    {
+        // Split into owned chunks along the same span boundaries,
+        // working from the back so each element is moved exactly once
+        // (a front split would memmove the whole tail per chunk).
+        let bounds = spans(self.vec.len());
+        let mut rest = self.vec;
+        let mut parts: Vec<Vec<T>> = Vec::with_capacity(bounds.len());
+        for r in bounds.iter().rev() {
+            parts.push(rest.split_off(r.start));
+        }
+        parts.reverse();
+        exec::run_ordered(parts, registry::current_num_threads(), |part| {
+            fold(&mut part.into_iter())
+        })
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        VecIter { vec: self }
+    }
+}
+
+/// Parallel iterator over an integer range.
+#[derive(Debug)]
+pub struct RangeIter<T> {
+    range: Range<T>,
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Iter = RangeIter<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> Self::Iter {
+                RangeIter { range: self }
+            }
+        }
+
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+
+            fn len_hint(&self) -> usize {
+                (self.range.end as i128 - self.range.start as i128).max(0) as usize
+            }
+
+            fn drive<U, F>(self, fold: F) -> Vec<U>
+            where
+                U: Send,
+                F: Fn(&mut dyn Iterator<Item = $t>) -> U + Sync,
+            {
+                // Offsets via i128: `lo + offset` stays in range for the
+                // result (it is ≤ range.end) but the intermediate `as $t`
+                // cast of a usize offset would truncate for long signed
+                // ranges (e.g. i32::MIN..i32::MAX).
+                let lo = self.range.start as i128;
+                let parts: Vec<Range<$t>> = spans(self.len_hint())
+                    .into_iter()
+                    .map(|r| ((lo + r.start as i128) as $t)..((lo + r.end as i128) as $t))
+                    .collect();
+                exec::run_ordered(parts, registry::current_num_threads(), |mut part| {
+                    fold(&mut part)
+                })
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(u32, u64, usize, i32, i64);
+
+/// Parallel iterator over non-overlapping sub-slices (see
+/// [`ParallelSlice::par_chunks`](crate::slice::ParallelSlice::par_chunks)).
+#[derive(Debug)]
+pub struct ChunksIter<'data, T> {
+    pub(crate) slice: &'data [T],
+    pub(crate) size: usize,
+}
+
+impl<'data, T: Sync> ParallelIterator for ChunksIter<'data, T> {
+    type Item = &'data [T];
+
+    fn len_hint(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn drive<U, F>(self, fold: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(&mut dyn Iterator<Item = Self::Item>) -> U + Sync,
+    {
+        let (slice, size) = (self.slice, self.size);
+        // Task spans are whole numbers of chunks so sub-slice boundaries
+        // match `slice.chunks(size)` exactly.
+        let parts: Vec<&'data [T]> = spans(slice.len().div_ceil(size))
+            .into_iter()
+            .map(|r| &slice[r.start * size..(r.end * size).min(slice.len())])
+            .collect();
+        exec::run_ordered(parts, registry::current_num_threads(), |part| {
+            fold(&mut part.chunks(size))
+        })
+    }
+}
+
+// --- adapters --------------------------------------------------------------
+
+/// A parallel iterator transforming items with a closure; see
+/// [`ParallelIterator::map`].
+#[derive(Debug)]
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Sync + Send,
+    R: Send,
+{
+    type Item = R;
+
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+
+    fn drive<U, G>(self, fold: G) -> Vec<U>
+    where
+        U: Send,
+        G: Fn(&mut dyn Iterator<Item = R>) -> U + Sync,
+    {
+        let f = self.f;
+        self.base
+            .drive(move |it: &mut dyn Iterator<Item = I::Item>| fold(&mut it.map(&f)))
+    }
+}
+
+/// A parallel iterator dropping items a predicate rejects; see
+/// [`ParallelIterator::filter`].
+#[derive(Debug)]
+pub struct Filter<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F> ParallelIterator for Filter<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(&I::Item) -> bool + Sync + Send,
+{
+    type Item = I::Item;
+
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+
+    fn drive<U, G>(self, fold: G) -> Vec<U>
+    where
+        U: Send,
+        G: Fn(&mut dyn Iterator<Item = I::Item>) -> U + Sync,
+    {
+        let f = self.f;
+        self.base
+            .drive(move |it: &mut dyn Iterator<Item = I::Item>| fold(&mut it.filter(&f)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_cover_in_order() {
+        for len in [0usize, 1, 7, 63, 64, 65, 1000, 64 * 64 + 3] {
+            let s = spans(len);
+            let mut expect = 0;
+            for r in &s {
+                assert_eq!(r.start, expect);
+                assert!(r.end > r.start);
+                expect = r.end;
+            }
+            assert_eq!(expect, len);
+            assert!(s.len() <= TASK_TARGET.max(1));
+        }
+    }
+
+    #[test]
+    fn slice_map_collect_in_order() {
+        let xs: Vec<i64> = (0..500).collect();
+        let out: Vec<i64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..500).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_sum_matches_closed_form() {
+        let n = 10_000u64;
+        let total: u64 = (0..n).into_par_iter().sum();
+        assert_eq!(total, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn filter_preserves_order() {
+        let out: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .filter(|x| x % 3 == 0)
+            .collect();
+        assert_eq!(out, (0..100).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vec_into_par_iter_owns_items() {
+        let xs: Vec<String> = (0..130).map(|i| format!("item-{i}")).collect();
+        let out: Vec<String> = xs.clone().into_par_iter().collect();
+        assert_eq!(out, xs);
+    }
+
+    #[test]
+    fn float_sum_is_thread_count_invariant() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 1e-3).collect();
+        let sums: Vec<f64> = [1usize, 2, 3, 8]
+            .iter()
+            .map(|&t| {
+                crate::ThreadPoolBuilder::new()
+                    .num_threads(t)
+                    .build()
+                    .unwrap()
+                    .install(|| xs.par_iter().sum::<f64>())
+            })
+            .collect();
+        assert!(sums.windows(2).all(|w| w[0].to_bits() == w[1].to_bits()));
+    }
+
+    #[test]
+    fn reduce_uses_identity() {
+        let max = (0..1000u64)
+            .into_par_iter()
+            .map(|x| (x * 37) % 1000)
+            .reduce(|| 0, u64::max);
+        assert_eq!(max, 999);
+        let empty = (0..0u64).into_par_iter().reduce(|| 7, u64::max);
+        assert_eq!(empty, 7);
+    }
+
+    #[test]
+    fn count_after_filter() {
+        let n = (0..1234usize)
+            .into_par_iter()
+            .filter(|x| x % 2 == 0)
+            .count();
+        assert_eq!(n, 617);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let acc = AtomicU64::new(0);
+        (0..300u64).into_par_iter().for_each(|x| {
+            acc.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), 299 * 300 / 2);
+    }
+
+    #[test]
+    #[allow(clippy::reversed_empty_ranges)] // empty range is the case under test
+    fn signed_range_endpoints() {
+        let out: Vec<i32> = (-5i32..5).into_par_iter().collect();
+        assert_eq!(out, (-5..5).collect::<Vec<_>>());
+        assert_eq!((5i32..-5).into_par_iter().count(), 0);
+    }
+}

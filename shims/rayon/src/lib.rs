@@ -1,9 +1,100 @@
-//! Offline placeholder for `rayon`.
+//! Offline shim for `rayon`: a safe, work-stealing data-parallelism
+//! subset.
 //!
-//! Reserved in `workspace.dependencies` so future scaling PRs have a
-//! stable dependency name to grow into; the experiment harness currently
-//! parallelizes with `crossbeam` scoped threads instead. When data
-//! parallelism lands, implement the needed `par_iter` subset here (or
-//! swap the path for the real crate once the build has registry access).
+//! The build environment has no registry access, so this workspace
+//! vendors the subset of rayon's API its workload layers use. Parallel
+//! pipelines are split into deterministic chunks (boundaries depend only
+//! on sequence length, never on the worker count) and executed by a
+//! work-stealing scheduler: per-worker deques, LIFO local pops, FIFO
+//! steals from victims. Results are written through disjoint per-task
+//! slots and recombined in chunk order.
+//!
+//! # Supported API subset
+//!
+//! * **Global pool configuration** — [`ThreadPoolBuilder`] (`new`,
+//!   `num_threads`, `build`, `build_global`), [`ThreadPool`] (`install`,
+//!   `current_num_threads`, `join`, `scope`, `spawn`),
+//!   [`current_num_threads`], and the `RAYON_NUM_THREADS` environment
+//!   variable. A persistent global worker pool is started lazily by the
+//!   first [`spawn`] call.
+//! * **Fork–join** — [`join`], [`scope`] / [`Scope::spawn`], [`spawn`].
+//! * **Parallel iterators** — `par_iter` over slices and `Vec`
+//!   references, `into_par_iter` over `Vec<T>` and integer ranges
+//!   (`u32`/`u64`/`usize`/`i32`/`i64`), `par_chunks` over slices, with
+//!   the `map` / `filter` adapters and the `collect` (into `Vec`) /
+//!   `sum` / `reduce` / `for_each` / `count` consumers — all via
+//!   [`prelude`].
+//!
+//! # Determinism guarantee (stronger than upstream)
+//!
+//! Every consumer returns bit-identical results for every thread count,
+//! including floating-point `sum` / `reduce`, because chunk boundaries
+//! and the combination order are functions of the input length alone.
+//! The workspace's sequential-equivalence suite
+//! (`tests/parallel_determinism.rs` at the repo root) and this crate's
+//! property tests enforce it. Upstream rayon does *not* promise this for
+//! non-associative reductions; code must stay correct under upstream's
+//! weaker contract if the shim is ever swapped for the registry crate by
+//! editing `[workspace.dependencies]`.
+//!
+//! # Upstream-compat caveats
+//!
+//! * Borrowed (scoped) work cannot run on persistent workers without
+//!   `unsafe` lifetime erasure, which this crate forbids: `join`,
+//!   `scope` and the parallel iterators spawn *scoped* workers per
+//!   top-level call (bounded by the configured thread count) instead of
+//!   re-using pool threads. Chunked over-decomposition amortizes the
+//!   spawn cost; `threads == 1` runs inline with zero spawns.
+//! * [`Scope::spawn`] uses one scoped OS thread per task and the shim's
+//!   `Scope` carries `std`-style `'scope`/`'env` lifetimes (upstream
+//!   multiplexes tasks over pool workers and uses a single lifetime).
+//! * [`ThreadPool::install`] pins the thread count for parallel calls
+//!   made *on the calling thread*; nested parallelism started from
+//!   inside worker closures sees the global count instead of the pool's.
+//! * A panicking [`spawn`] job is contained and its worker survives
+//!   (upstream aborts the process by default).
+//! * Unsupported surface (non-exhaustive): `par_iter_mut`, `par_sort*`,
+//!   `flat_map`/`fold`/`try_*` adapters, `enumerate`/`zip` indexed
+//!   adapters, `collect` into non-`Vec` collections, `par_bridge`.
+//!
+//! If a future environment has network access, swap this shim for the
+//! real crate by editing `[workspace.dependencies]` only.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exec;
+pub mod iter;
+mod registry;
+mod scoped;
+pub mod slice;
+
+pub use registry::{
+    current_num_threads, spawn, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder,
+};
+pub use scoped::{join, scope, Scope};
+
+/// Everything a `use rayon::prelude::*;` call site expects.
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+    pub use crate::slice::ParallelSlice;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn prelude_compiles_a_typical_pipeline() {
+        let xs: Vec<u64> = (0..256).collect();
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let doubled: Vec<u64> = pool.install(|| xs.par_iter().map(|&x| x * 2).collect());
+        assert_eq!(doubled.len(), 256);
+        assert_eq!(doubled[255], 510);
+    }
+}

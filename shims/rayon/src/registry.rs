@@ -1,0 +1,335 @@
+//! The lazily-initialized global thread pool and its configuration
+//! surface: [`ThreadPoolBuilder`], [`ThreadPool`], [`current_num_threads`]
+//! and the `'static`-job [`spawn`] entry point.
+//!
+//! Two kinds of state live here:
+//!
+//! * the **global thread count** — resolved once from
+//!   `ThreadPoolBuilder::build_global`, the `RAYON_NUM_THREADS`
+//!   environment variable, or `std::thread::available_parallelism`, in
+//!   that priority order; and
+//! * the **persistent worker pool** — started lazily on the first
+//!   [`spawn`] call, it executes boxed `'static` jobs for the rest of the
+//!   process lifetime.
+//!
+//! Borrowed (scoped) parallel work — `join`, `scope`, the parallel
+//! iterators — cannot run on persistent workers without `unsafe` lifetime
+//! erasure, which this crate forbids; those operations spawn scoped
+//! workers per call instead (see the crate docs for the caveat) but obey
+//! the thread count configured here, including per-call overrides
+//! installed with [`ThreadPool::install`].
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Thread count fixed by `build_global` or first use; `OnceLock` gives
+/// rayon's semantics that later `build_global` calls fail.
+static GLOBAL_THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// Per-thread override pushed by [`ThreadPool::install`] (0 = none).
+    static INSTALLED: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Returns the number of worker threads parallel operations use on the
+/// current thread: the innermost [`ThreadPool::install`] override if one
+/// is active, otherwise the global pool's thread count (initializing the
+/// global configuration on first use, exactly like upstream).
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED.with(Cell::get);
+    if installed > 0 {
+        return installed;
+    }
+    *GLOBAL_THREADS.get_or_init(default_threads)
+}
+
+/// Error returned when a thread pool cannot be built (for this shim:
+/// only when the global pool is already initialized).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    msg: &'static str,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builds [`ThreadPool`]s, mirroring rayon's builder surface for the
+/// options this workspace uses.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default configuration.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Pins the worker count; `0` (the default) means "resolve from the
+    /// environment / available parallelism".
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    fn resolve(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            default_threads()
+        }
+    }
+
+    /// Builds a pool handle whose thread count callers pin via
+    /// [`ThreadPool::install`].
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.resolve(),
+        })
+    }
+
+    /// Fixes the global pool's thread count. Fails if the global pool was
+    /// already initialized — explicitly or lazily by a prior parallel
+    /// call, matching upstream behaviour.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let n = self.resolve();
+        GLOBAL_THREADS.set(n).map_err(|_| ThreadPoolBuildError {
+            msg: "the global thread pool has already been initialized",
+        })
+    }
+}
+
+/// A handle pinning a worker count for the operations run under
+/// [`install`](ThreadPool::install).
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count as the ambient
+    /// parallelism: every parallel operation `op` performs (directly on
+    /// this thread) uses `self.current_num_threads()` workers.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED.with(|c| c.set(self.0));
+            }
+        }
+        let prev = INSTALLED.with(|c| {
+            let prev = c.get();
+            c.set(self.threads);
+            prev
+        });
+        let _restore = Restore(prev);
+        op()
+    }
+
+    /// The worker count this pool was built with.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// [`crate::join`] under this pool's thread count.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        self.install(|| crate::join(a, b))
+    }
+
+    /// [`crate::scope`] under this pool's thread count.
+    pub fn scope<'env, OP, R>(&self, op: OP) -> R
+    where
+        OP: for<'scope> FnOnce(&crate::Scope<'scope, 'env>) -> R,
+    {
+        self.install(|| crate::scope(op))
+    }
+
+    /// Queues a `'static` job. Shim caveat: the job runs on the shared
+    /// persistent worker pool, not on workers private to this handle.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        spawn(f)
+    }
+}
+
+// --- the persistent 'static-job pool --------------------------------------
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct SpawnPool {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+fn spawn_pool() -> &'static SpawnPool {
+    static POOL: OnceLock<SpawnPool> = OnceLock::new();
+    static WORKERS: OnceLock<()> = OnceLock::new();
+    let pool = POOL.get_or_init(|| SpawnPool {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+    });
+    WORKERS.get_or_init(|| {
+        let n = *GLOBAL_THREADS.get_or_init(default_threads);
+        for i in 0..n {
+            std::thread::Builder::new()
+                .name(format!("rayon-shim-{i}"))
+                .spawn(move || worker(pool))
+                .expect("spawning global pool worker");
+        }
+    });
+    pool
+}
+
+fn worker(pool: &'static SpawnPool) {
+    loop {
+        let job = {
+            let mut queue = pool
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = pool
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        // Upstream aborts the process when a spawned job panics; the shim
+        // contains the panic and keeps the worker alive (documented
+        // divergence — the workspace treats job panics as test failures
+        // through other channels).
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+    }
+}
+
+/// Queues `f` on the lazily-started persistent global worker pool. The
+/// call returns immediately; there is no way to wait for the job other
+/// than application-level signalling (as with upstream `rayon::spawn`).
+pub fn spawn<F>(f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    let pool = spawn_pool();
+    lock_queue(pool).push_back(Box::new(f));
+    pool.available.notify_one();
+}
+
+fn lock_queue(pool: &SpawnPool) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
+    pool.queue
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn install_pins_and_restores() {
+        let outer = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let inner = pool.install(current_num_threads);
+        assert_eq!(inner, 3);
+        assert_eq!(pool.current_num_threads(), 3);
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn installs_nest() {
+        let p2 = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let p5 = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        p2.install(|| {
+            assert_eq!(current_num_threads(), 2);
+            p5.install(|| assert_eq!(current_num_threads(), 5));
+            assert_eq!(current_num_threads(), 2);
+        });
+    }
+
+    #[test]
+    fn install_restores_on_panic() {
+        let before = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| panic!("boom"))
+        }));
+        assert!(caught.is_err());
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn second_build_global_fails() {
+        // Whichever of the two calls runs after the global configuration
+        // is fixed (possibly lazily, by an earlier test) must fail.
+        let first = ThreadPoolBuilder::new().num_threads(1).build_global();
+        let second = ThreadPoolBuilder::new().num_threads(2).build_global();
+        assert!(first.is_err() || second.is_err());
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn spawned_jobs_run() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let hits = Arc::clone(&hits);
+            spawn(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        for _ in 0..500 {
+            if hits.load(Ordering::SeqCst) == 8 {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        panic!("spawned jobs did not complete in 5s");
+    }
+
+    #[test]
+    fn spawned_panic_does_not_kill_the_pool() {
+        let done = Arc::new(AtomicUsize::new(0));
+        spawn(|| panic!("contained"));
+        let d = Arc::clone(&done);
+        spawn(move || {
+            d.store(1, Ordering::SeqCst);
+        });
+        for _ in 0..500 {
+            if done.load(Ordering::SeqCst) == 1 {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        panic!("pool stopped executing after a panicking job");
+    }
+}

@@ -1,0 +1,109 @@
+//! Potentially-parallel `join` and scoped `spawn`, on `std::thread::scope`.
+
+/// Runs `a` and `b`, potentially in parallel, and returns both results.
+///
+/// With an ambient thread count of 1 both closures run sequentially on
+/// the calling thread; otherwise `b` runs on a scoped thread while the
+/// caller runs `a`. A panic in either closure propagates to the caller
+/// after both have been joined, as with upstream.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if crate::current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let handle = s.spawn(b);
+        let ra = a();
+        match handle.join() {
+            Ok(rb) => (ra, rb),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}
+
+/// A scope in which borrowing tasks can be spawned; every spawned task is
+/// joined before [`scope`] returns.
+///
+/// Shim caveat: upstream's `Scope<'scope>` carries a single lifetime;
+/// this shim mirrors `std`/`crossbeam`'s two-lifetime shape
+/// (`'scope` for the scope itself, `'env` for borrowed data), which
+/// accepts the same call sites.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that may borrow from the enclosing environment. The
+    /// task receives the scope again so it can spawn further tasks.
+    ///
+    /// Shim caveat: each spawned task gets its own scoped OS thread
+    /// (upstream multiplexes tasks over pool workers). Counts are small
+    /// in this workspace — the data-parallel sweeps go through the
+    /// chunked work-stealing executor instead.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Creates a scope for spawning borrowing tasks and blocks until the
+/// scope body *and* every task spawned within it have completed. Returns
+/// the body's value; panics from tasks propagate after all are joined.
+pub fn scope<'env, OP, R>(op: OP) -> R
+where
+    OP: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| op(&Scope { inner: s }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 6 * 7, || "right".len());
+        assert_eq!(a, 42);
+        assert_eq!(b, 5);
+    }
+
+    #[test]
+    fn join_borrows_shared_state() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let (lo, hi) = join(
+            || xs[..500].iter().sum::<u64>(),
+            || xs[500..].iter().sum::<u64>(),
+        );
+        assert_eq!(lo + hi, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn scope_joins_all_spawned_tasks() {
+        let hits = AtomicUsize::new(0);
+        let out = scope(|s| {
+            for _ in 0..5 {
+                s.spawn(|inner| {
+                    // Nested spawn through the scope handle.
+                    inner.spawn(|_| {
+                        hits.fetch_add(1, Ordering::SeqCst);
+                    });
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            "body"
+        });
+        assert_eq!(out, "body");
+        assert_eq!(hits.load(Ordering::SeqCst), 10);
+    }
+}

@@ -1,0 +1,55 @@
+//! Parallel operations on slices (`par_chunks`).
+
+use crate::iter::ChunksIter;
+
+/// Parallel slice views, mirroring upstream's `rayon::slice::ParallelSlice`.
+pub trait ParallelSlice<T: Sync> {
+    /// The underlying slice.
+    fn as_parallel_slice(&self) -> &[T];
+
+    /// Parallel iterator over non-overlapping sub-slices of length
+    /// `chunk_size` (the last chunk may be shorter). Panics if
+    /// `chunk_size` is zero, as upstream does.
+    fn par_chunks(&self, chunk_size: usize) -> ChunksIter<'_, T> {
+        assert!(chunk_size != 0, "chunk_size must not be zero");
+        ChunksIter {
+            slice: self.as_parallel_slice(),
+            size: chunk_size,
+        }
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn as_parallel_slice(&self) -> &[T] {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iter::ParallelIterator;
+
+    #[test]
+    fn par_chunks_matches_sequential_chunks() {
+        let xs: Vec<u32> = (0..103).collect();
+        let par: Vec<Vec<u32>> = xs.par_chunks(10).map(|c| c.to_vec()).collect();
+        let seq: Vec<Vec<u32>> = xs.chunks(10).map(|c| c.to_vec()).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_chunks_on_vec_via_deref() {
+        let xs = vec![1.0f64; 37];
+        let sums: Vec<f64> = xs.par_chunks(8).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums.len(), 5);
+        assert!((sums.iter().sum::<f64>() - 37.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size")]
+    fn zero_chunk_size_panics() {
+        let xs = [1, 2, 3];
+        let _ = xs.par_chunks(0);
+    }
+}

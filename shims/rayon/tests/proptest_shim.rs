@@ -1,0 +1,192 @@
+//! Property tests for the rayon shim: every parallel consumer must agree
+//! with its sequential `Iterator` counterpart on arbitrary inputs, and
+//! panics must propagate out of `join` and `scope`.
+
+use proptest::prelude::*;
+use rayon::prelude::*;
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool handle")
+}
+
+proptest! {
+    #[test]
+    fn par_map_collect_matches_sequential(
+        xs in collection::vec(-1_000_000i64..1_000_000, 0..300),
+        threads in 1usize..9,
+    ) {
+        let par: Vec<i64> = pool(threads).install(|| xs.par_iter().map(|&x| x * 3 - 1).collect());
+        let seq: Vec<i64> = xs.iter().map(|&x| x * 3 - 1).collect();
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_sum_matches_sequential(
+        xs in collection::vec(-1_000_000i64..1_000_000, 0..300),
+        threads in 1usize..9,
+    ) {
+        let par: i64 = pool(threads).install(|| xs.par_iter().map(|&x| x).sum());
+        let seq: i64 = xs.iter().sum();
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_float_sum_is_thread_invariant_and_close_to_sequential(
+        xs in collection::vec(-1000.0f64..1000.0, 0..300),
+    ) {
+        let sums: Vec<f64> = (1usize..=6)
+            .map(|t| pool(t).install(|| xs.par_iter().sum::<f64>()))
+            .collect();
+        // Bit-identical across thread counts (the shim's chunking is a
+        // function of length alone)...
+        for w in sums.windows(2) {
+            prop_assert_eq!(w[0].to_bits(), w[1].to_bits());
+        }
+        // ...and within reassociation tolerance of the sequential sum.
+        let seq: f64 = xs.iter().sum();
+        prop_assert!((sums[0] - seq).abs() <= 1e-9 * (1.0 + seq.abs()));
+    }
+
+    #[test]
+    fn par_reduce_matches_sequential_fold(
+        xs in collection::vec(any::<i64>(), 0..300),
+        threads in 1usize..9,
+    ) {
+        // Wrapping addition is associative with identity 0, so the
+        // chunked reduction must equal the strict left fold exactly.
+        let par = pool(threads).install(|| {
+            xs.par_iter().map(|&x| x).reduce(|| 0i64, i64::wrapping_add)
+        });
+        let seq = xs.iter().fold(0i64, |a, &b| a.wrapping_add(b));
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_filter_matches_sequential(
+        xs in collection::vec(-10_000i32..10_000, 0..300),
+        modulus in 2i32..7,
+        threads in 1usize..9,
+    ) {
+        let par: Vec<i32> = pool(threads).install(|| {
+            xs.clone().into_par_iter().filter(|x| x % modulus == 0).collect()
+        });
+        let seq: Vec<i32> = xs.iter().copied().filter(|x| x % modulus == 0).collect();
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_count_matches_sequential(
+        xs in collection::vec(any::<u64>(), 0..300),
+        threads in 1usize..9,
+    ) {
+        let par = pool(threads).install(|| xs.par_iter().filter(|x| *x % 2 == 0).count());
+        let seq = xs.iter().filter(|x| *x % 2 == 0).count();
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_chunks_matches_sequential_chunks(
+        xs in collection::vec(any::<u32>(), 0..300),
+        size in 1usize..17,
+        threads in 1usize..9,
+    ) {
+        let par: Vec<Vec<u32>> =
+            pool(threads).install(|| xs.par_chunks(size).map(|c| c.to_vec()).collect());
+        let seq: Vec<Vec<u32>> = xs.chunks(size).map(|c| c.to_vec()).collect();
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn range_pipeline_matches_sequential(
+        n in 0usize..2000,
+        threads in 1usize..9,
+    ) {
+        let par: usize = pool(threads).install(|| {
+            (0..n).into_par_iter().map(|i| i * i).filter(|s| s % 3 != 0).sum()
+        });
+        let seq: usize = (0..n).map(|i| i * i).filter(|s| s % 3 != 0).sum();
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn vec_into_par_iter_round_trips(xs in collection::vec(any::<i64>(), 0..300)) {
+        let par: Vec<i64> = xs.clone().into_par_iter().collect();
+        prop_assert_eq!(par, xs);
+    }
+}
+
+// --- panic propagation ------------------------------------------------------
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string panic payload>")
+}
+
+#[test]
+fn join_propagates_right_panic() {
+    let caught = std::panic::catch_unwind(|| {
+        pool(4).install(|| rayon::join(|| 1 + 1, || panic!("right side exploded")))
+    });
+    let payload = caught.expect_err("join must propagate the panic");
+    assert!(panic_message(payload.as_ref()).contains("right side exploded"));
+}
+
+#[test]
+fn join_propagates_left_panic() {
+    let caught = std::panic::catch_unwind(|| {
+        pool(4).install(|| rayon::join(|| panic!("left side exploded"), || 2 + 2))
+    });
+    let payload = caught.expect_err("join must propagate the panic");
+    assert!(panic_message(payload.as_ref()).contains("left side exploded"));
+}
+
+#[test]
+fn join_sequential_fallback_propagates_panic() {
+    let caught = std::panic::catch_unwind(|| {
+        pool(1).install(|| rayon::join(|| (), || panic!("sequential path")))
+    });
+    let payload = caught.expect_err("sequential join must propagate the panic");
+    assert!(panic_message(payload.as_ref()).contains("sequential path"));
+}
+
+#[test]
+fn scope_propagates_spawned_panic_after_joining_others() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let finished = AtomicUsize::new(0);
+    let caught = std::panic::catch_unwind(|| {
+        rayon::scope(|s| {
+            s.spawn(|_| panic!("spawned task exploded"));
+            s.spawn(|_| {
+                finished.fetch_add(1, Ordering::SeqCst);
+            });
+            s.spawn(|_| {
+                finished.fetch_add(1, Ordering::SeqCst);
+            });
+        })
+    });
+    assert!(caught.is_err(), "scope must re-raise the spawned panic");
+    assert_eq!(
+        finished.load(Ordering::SeqCst),
+        2,
+        "non-panicking tasks must still be joined"
+    );
+}
+
+#[test]
+fn par_iter_propagates_worker_panic() {
+    let caught = std::panic::catch_unwind(|| {
+        pool(4).install(|| {
+            (0..100usize)
+                .into_par_iter()
+                .map(|i| if i == 73 { panic!("item 73") } else { i })
+                .sum::<usize>()
+        })
+    });
+    assert!(caught.is_err());
+}

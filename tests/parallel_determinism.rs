@@ -1,0 +1,207 @@
+//! Sequential-equivalence suite for every parallelized sweep.
+//!
+//! The workspace's parallelism contract: a sweep fanned out over the
+//! rayon shim returns **bit-identical** output at `threads = 1`, `2` and
+//! `available_parallelism()`, and reruns with the same seed are
+//! identical across runs. This suite enforces the contract end to end
+//! for the figure cells, the Table 1 rows, the Monte-Carlo
+//! crash-simulation replications and the reliability estimator. (The
+//! companion wall-clock speedup measurement lives in its own binary,
+//! `tests/parallel_speedup.rs`, so nothing competes with its timing.)
+//!
+//! The CI thread matrix reruns this suite under `FTSCHED_THREADS=1` and
+//! `FTSCHED_THREADS=4` so both the inline sequential path and the
+//! work-stealing path are exercised on every push.
+
+use experiments::figures::{run_figure_with_threads, FigureConfig};
+use experiments::parallel::{default_threads, parallel_map};
+use experiments::table1::{run_table1_with_threads, Table1Config};
+use ftsched::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simulator::reliability::survival_probability_monte_carlo_par;
+use simulator::simulate_replications;
+
+/// Thread counts every sweep must agree across: sequential, minimal
+/// parallelism, whatever this machine offers, and the CI matrix value.
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![
+        1,
+        2,
+        std::thread::available_parallelism().map_or(4, |n| n.get()),
+        default_threads(),
+    ];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+fn pinned<R>(threads: usize, op: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool handle")
+        .install(op)
+}
+
+fn tiny_figure() -> FigureConfig {
+    FigureConfig {
+        granularities: vec![0.4, 1.2],
+        repetitions: 4,
+        ..FigureConfig::comparison("det", 1, 4)
+    }
+}
+
+/// Exact (bitwise) equality of two figure results.
+fn assert_figures_identical(
+    a: &experiments::figures::FigureResult,
+    b: &experiments::figures::FigureResult,
+) {
+    assert_eq!(a.points.len(), b.points.len());
+    for (pa, pb) in a.points.iter().zip(&b.points) {
+        assert_eq!(pa.granularity.to_bits(), pb.granularity.to_bits());
+        assert_eq!(
+            pa.series.keys().collect::<Vec<_>>(),
+            pb.series.keys().collect::<Vec<_>>()
+        );
+        for (name, va) in &pa.series {
+            let vb = pb.series[name];
+            assert_eq!(
+                va.to_bits(),
+                vb.to_bits(),
+                "series `{name}` at g={} differs: {va} vs {vb}",
+                pa.granularity
+            );
+        }
+    }
+}
+
+#[test]
+fn figure_cells_identical_across_thread_counts() {
+    let cfg = tiny_figure();
+    let reference = run_figure_with_threads(&cfg, 1);
+    for threads in thread_counts() {
+        let run = run_figure_with_threads(&cfg, threads);
+        assert_figures_identical(&reference, &run);
+    }
+}
+
+#[test]
+fn figure_rerun_with_same_seed_is_identical() {
+    let cfg = tiny_figure();
+    let a = run_figure_with_threads(&cfg, 2);
+    let b = run_figure_with_threads(&cfg, 2);
+    assert_figures_identical(&a, &b);
+}
+
+#[test]
+fn table1_rows_identical_across_thread_counts() {
+    let cfg = Table1Config {
+        sizes: vec![60, 100, 140],
+        procs: 10,
+        epsilon: 1,
+        ftbar_size_cap: 140,
+        seed: 0xDE7,
+    };
+    let reference = run_table1_with_threads(&cfg, 1);
+    for threads in thread_counts() {
+        let rows = run_table1_with_threads(&cfg, threads);
+        assert_eq!(rows.len(), reference.len());
+        for (a, b) in reference.iter().zip(&rows) {
+            // Wall-clock columns are measurements, not outputs; every
+            // deterministic column must match bitwise.
+            assert_eq!(a.tasks, b.tasks);
+            assert_eq!(a.ftsa_latency.to_bits(), b.ftsa_latency.to_bits());
+            assert_eq!(a.mc_ftsa_latency.to_bits(), b.mc_ftsa_latency.to_bits());
+            assert_eq!(
+                a.ftbar_latency.map(f64::to_bits),
+                b.ftbar_latency.map(f64::to_bits)
+            );
+        }
+    }
+}
+
+fn determinism_instance() -> (Instance, Schedule) {
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    let inst = paper_instance(&mut rng, &PaperInstanceConfig::default());
+    let sched = schedule(&inst, 2, Algorithm::Ftsa, &mut rng).expect("schedulable");
+    (inst, sched)
+}
+
+#[test]
+fn crash_replications_identical_across_thread_counts() {
+    let (inst, sched) = determinism_instance();
+    let reference = pinned(1, || simulate_replications(&inst, &sched, 2, 24, 0xC4A5));
+    for threads in thread_counts() {
+        let sims = pinned(threads, || {
+            simulate_replications(&inst, &sched, 2, 24, 0xC4A5)
+        });
+        assert_eq!(sims.len(), reference.len());
+        for (a, b) in reference.iter().zip(&sims) {
+            assert_eq!(a.latency.to_bits(), b.latency.to_bits());
+            assert_eq!(a.status, b.status);
+            assert_eq!(a.times, b.times);
+        }
+    }
+}
+
+#[test]
+fn crash_replications_rerun_identical() {
+    let (inst, sched) = determinism_instance();
+    let a = pinned(2, || simulate_replications(&inst, &sched, 1, 16, 99));
+    let b = pinned(2, || simulate_replications(&inst, &sched, 1, 16, 99));
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.latency.to_bits(), y.latency.to_bits());
+    }
+}
+
+#[test]
+fn reliability_estimate_identical_across_thread_counts() {
+    let (inst, sched) = determinism_instance();
+    let reference = pinned(1, || {
+        survival_probability_monte_carlo_par(&inst, &sched, 0.2, 2000, 0x11)
+    });
+    for threads in thread_counts() {
+        let mc = pinned(threads, || {
+            survival_probability_monte_carlo_par(&inst, &sched, 0.2, 2000, 0x11)
+        });
+        assert_eq!(reference.survival.to_bits(), mc.survival.to_bits());
+        assert_eq!(
+            reference.expected_latency.to_bits(),
+            mc.expected_latency.to_bits()
+        );
+        assert_eq!(reference.samples, mc.samples);
+    }
+}
+
+#[test]
+fn parallel_map_keeps_index_derived_seed_contract() {
+    // The contract every sweep builds on: f(i) may only depend on i.
+    let cell = |i: usize| {
+        let mut rng = StdRng::seed_from_u64(simulator::replication_seed(0xABCD, i as u64));
+        let inst = paper_instance(
+            &mut rng,
+            &PaperInstanceConfig {
+                tasks_lo: 20,
+                tasks_hi: 30,
+                procs: 5,
+                ..Default::default()
+            },
+        );
+        let sched = schedule(&inst, 1, Algorithm::Ftsa, &mut rng).expect("schedulable");
+        sched.latency_lower_bound()
+    };
+    let reference = parallel_map(24, 1, cell);
+    for threads in thread_counts() {
+        let got = parallel_map(24, threads, cell);
+        let same = reference
+            .iter()
+            .zip(&got)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "parallel_map diverged at {threads} threads");
+    }
+}
+
+// The wall-clock speedup measurement lives in its own test binary
+// (`tests/parallel_speedup.rs`) so no sibling test competes for cores
+// while it times the sweep.

@@ -1,0 +1,51 @@
+//! Wall-clock speedup of the figure sweep at 4 threads over 1 thread.
+//!
+//! This lives in its own test binary on purpose: cargo runs test
+//! binaries one at a time, so no sibling test competes for cores while
+//! the sweep is being timed. The speedup is only *asserted* where at
+//! least 4 cores exist (CI runners); on smaller machines the measurement
+//! is reported and the assertion skipped. Each thread count takes the
+//! minimum of three runs — the minimum is the noise-robust estimator for
+//! "how fast can this go".
+
+use experiments::figures::{run_figure_with_threads, FigureConfig};
+
+#[test]
+fn figure_sweep_speedup_at_four_threads() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cfg = FigureConfig {
+        granularities: vec![0.4, 0.8, 1.2, 1.6],
+        repetitions: 8,
+        ..FigureConfig::comparison("speedup", 1, 8)
+    };
+    // Warm-up run so page faults and lazy init don't skew the baseline.
+    let warm = run_figure_with_threads(&cfg, 4);
+    assert_eq!(warm.points.len(), 4);
+
+    let time = |threads: usize| {
+        (0..3)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                let fig = run_figure_with_threads(&cfg, threads);
+                assert_eq!(fig.points.len(), 4);
+                t0.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let t1 = time(1);
+    let t4 = time(4);
+    let speedup = t1 / t4;
+    eprintln!(
+        "figure sweep: {t1:.3}s at 1 thread, {t4:.3}s at 4 threads \
+         (speedup {speedup:.2}x, {cores} cores)"
+    );
+    if cores >= 4 {
+        assert!(
+            speedup > 1.5,
+            "expected >1.5x speedup at 4 threads on {cores} cores, measured {speedup:.2}x \
+             ({t1:.3}s -> {t4:.3}s)"
+        );
+    } else {
+        eprintln!("skipping speedup assertion: only {cores} core(s) available");
+    }
+}
