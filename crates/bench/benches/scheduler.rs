@@ -1,0 +1,59 @@
+//! Scheduler hot-path bench: `schedule()` throughput on fig1-style
+//! instances (20 processors, granularity 1.0, ε = 1) at v ∈ {100, 500,
+//! 1000} tasks, one series per algorithm, plus the ε = 5 stress shape
+//! Table 1 uses. This is the target tracked by `BENCH_scheduler.json`
+//! (see `crates/bench/BENCH_scheduler.json`): later PRs compare their
+//! medians against that baseline to keep the placement loop fast.
+//!
+//! Run a quick correctness pass (1 sample per benchmark) with
+//! `cargo bench --bench scheduler -- --test`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftsched_bench::bench_instance;
+use ftsched_core::{schedule, Algorithm};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The fig1 sweep sizes tracked by the baseline JSON.
+const SIZES: [usize; 3] = [100, 500, 1000];
+
+fn bench_schedule_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler/fig1");
+    group.sample_size(10);
+    for v in SIZES {
+        let inst = bench_instance(v, 20, 0xF161 + v as u64);
+        for alg in [Algorithm::Ftsa, Algorithm::McFtsaGreedy, Algorithm::Ftbar] {
+            group.bench_with_input(BenchmarkId::new(alg.name(), v), &inst, |b, inst| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(7);
+                    schedule(inst, 1, alg, &mut rng).unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_schedule_high_replication(c: &mut Criterion) {
+    // Table 1's shape: ε = 5 on 50 processors — the regime where the
+    // per-(task, proc) arrival caches pay off most (6 replicas/pred).
+    let mut group = c.benchmark_group("scheduler/eps5");
+    group.sample_size(10);
+    let inst = bench_instance(1000, 50, 0x7AB1E);
+    for alg in [Algorithm::Ftsa, Algorithm::McFtsaGreedy] {
+        group.bench_with_input(BenchmarkId::new(alg.name(), 1000), &inst, |b, inst| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                schedule(inst, 5, alg, &mut rng).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_schedule_fig1,
+    bench_schedule_high_replication
+);
+criterion_main!(benches);

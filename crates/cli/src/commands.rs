@@ -64,13 +64,12 @@ pub fn generate(args: &Args) -> Result<String, String> {
 }
 
 fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
-    match name {
-        "ftsa" => Ok(Algorithm::Ftsa),
-        "mc-ftsa" => Ok(Algorithm::McFtsaGreedy),
-        "mc-ftsa-bn" => Ok(Algorithm::McFtsaBottleneck),
-        "ftbar" => Ok(Algorithm::Ftbar),
-        other => Err(format!("unknown algorithm `{other}`")),
-    }
+    name.parse()
+}
+
+/// Parses a `--algorithms a,b,c` list (used by the experiment axes).
+fn parse_algorithm_list(list: &str) -> Result<Vec<Algorithm>, String> {
+    list.split(',').map(|s| parse_algorithm(s.trim())).collect()
 }
 
 /// `ftsched schedule`
@@ -232,12 +231,15 @@ pub fn experiment(args: &Args) -> Result<String, String> {
 
     match what {
         "fig1" | "fig2" | "fig3" | "fig4" => {
-            let cfg = match what {
+            let mut cfg = match what {
                 "fig1" => FigureConfig::comparison("fig1", 1, reps),
                 "fig2" => FigureConfig::comparison("fig2", 2, reps),
                 "fig3" => FigureConfig::comparison("fig3", 5, reps),
                 _ => FigureConfig::small_platform(reps),
             };
+            if let Some(list) = args.get("algorithms") {
+                cfg.extra_algorithms = parse_algorithm_list(list)?;
+            }
             let fig = run_figure_with_threads(&cfg, threads);
             let mut out = format!(
                 "== {what}: ε = {}, {} processors, {} graphs/point, {threads} thread(s) ==\n",
@@ -254,6 +256,16 @@ pub fn experiment(args: &Args) -> Result<String, String> {
                 series.push("FTBAR-LowerBound".into());
                 series.push(format!("MC-FTSA with {} Crash", cfg.epsilon));
                 series.push(format!("FTBAR with {} Crash", cfg.epsilon));
+            }
+            for alg in &cfg.extra_algorithms {
+                for s in [
+                    format!("{}-LowerBound", alg.name()),
+                    format!("{} with {} Crash", alg.name(), cfg.epsilon),
+                ] {
+                    if !series.contains(&s) {
+                        series.push(s);
+                    }
+                }
             }
             let refs: Vec<&str> = series.iter().map(String::as_str).collect();
             let _ = write!(out, "{}", figure_to_table(&fig, &refs));
@@ -281,6 +293,9 @@ pub fn experiment(args: &Args) -> Result<String, String> {
             }
             cfg.procs = args.get_num("procs", cfg.procs)?;
             cfg.epsilon = args.get_num("epsilon", cfg.epsilon)?;
+            if let Some(list) = args.get("algorithms") {
+                cfg.extra_algorithms = parse_algorithm_list(list)?;
+            }
             let rows = run_table1_with_threads(&cfg, threads);
             Ok(format!(
                 "== table1: {} processors, ε = {}, {threads} thread(s) ==\n{}",
@@ -466,5 +481,41 @@ mod tests {
         assert!(generate(&argv("--family nope --out /tmp/x.json")).is_err());
         assert!(parse_algorithm("nope").is_err());
         assert!(parse_algorithm("ftbar").is_ok());
+        assert!(parse_algorithm_list("p-ftsa, mc-ftbar").is_ok());
+        assert!(parse_algorithm_list("p-ftsa,wat").is_err());
+    }
+
+    #[test]
+    fn cross_combination_algorithms_end_to_end() {
+        // The pipeline cross-combinations must be first-class citizens:
+        // schedule → simulate via the CLI, and act as extra series in
+        // the experiment sweeps.
+        let graph = tmp("g5.json");
+        generate(&argv(&format!("--family gauss --size 6 --out {graph}"))).unwrap();
+        for alg in ["p-ftsa", "ftsa-mst", "mc-ftbar"] {
+            let bundle = tmp(&format!("b5_{alg}.json"));
+            let msg = schedule_cmd(&argv(&format!(
+                "--graph {graph} --procs 6 --epsilon 2 --algorithm {alg} --out {bundle}"
+            )))
+            .unwrap();
+            assert!(msg.contains("latency (M*/M)"), "{alg}: {msg}");
+            let msg = simulate_cmd(&argv(&format!("--bundle {bundle} --fail 0,1"))).unwrap();
+            assert!(msg.contains("completed"), "{alg}: {msg}");
+            let _ = std::fs::remove_file(bundle);
+        }
+        let _ = std::fs::remove_file(graph);
+
+        let msg = experiment(&argv(
+            "--what fig4 --reps 2 --threads 2 --algorithms p-ftsa,mc-ftbar",
+        ))
+        .unwrap();
+        assert!(msg.contains("P-FTSA-LowerBound"), "{msg}");
+        assert!(msg.contains("MC-FTBAR with 2 Crash"), "{msg}");
+
+        let msg = experiment(&argv(
+            "--what table1 --sizes 60 --procs 10 --epsilon 1 --algorithms p-ftsa,mc-ftbar",
+        ))
+        .unwrap();
+        assert!(msg.contains("P-FTSA") && msg.contains("MC-FTBAR"), "{msg}");
     }
 }

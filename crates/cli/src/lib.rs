@@ -55,13 +55,14 @@ USAGE:
   ftsched generate --family <layered|erdos|forkjoin|gauss|fft|stencil|wavefront|mapreduce>
                    [--tasks N] [--size N] [--seed S] --out graph.json [--dot graph.dot]
   ftsched schedule --graph graph.json --procs M --epsilon E
-                   [--algorithm ftsa|mc-ftsa|mc-ftsa-bn|ftbar] [--seed S]
-                   [--granularity G] --out bundle.json
+                   [--algorithm ftsa|mc-ftsa|mc-ftsa-bn|ftbar|p-ftsa|ftsa-mst|mc-ftbar]
+                   [--seed S] [--granularity G] --out bundle.json
   ftsched simulate --bundle bundle.json [--fail 0,3,7 | --random-failures K]
                    [--replications N [--crashes K] [--threads T]]
                    [--seed S] [--gantt]
   ftsched experiment --what <fig1|fig2|fig3|fig4|table1|reliability>
                      [--reps N] [--threads T] [--out DIR]
+                     [--algorithms p-ftsa,mc-ftbar,...]  (extra series, figures+table1)
                      [--paper | --sizes 100,500] [--procs M] [--epsilon E]  (table1)
                      [--bundle b.json] [--p P] [--samples N]  (reliability)
   ftsched info --graph graph.json

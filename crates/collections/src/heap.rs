@@ -5,8 +5,17 @@
 //! non-decreasing weight order. Entries are identified by a caller-chosen
 //! `usize` id (dense ids expected); the heap maintains an id → position
 //! index so keys can be updated or entries removed in place.
+//!
+//! Since the d-ary generalization landed ([`crate::dary`]), the binary
+//! heap is simply the arity-2 instantiation — one implementation, two
+//! names. `DaryHeap`'s sift paths at `D = 2` are operation-for-operation
+//! identical to the original binary implementation, so pop order (and
+//! with it simulator determinism) is unchanged.
 
-/// A binary min-heap keyed by `P: Ord`, addressable by dense `usize` ids.
+use crate::dary::DaryHeap;
+
+/// A binary min-heap keyed by `P: Ord`, addressable by dense `usize` ids:
+/// the arity-2 case of [`DaryHeap`].
 ///
 /// ```
 /// use ftcollections::IndexedHeap;
@@ -19,201 +28,7 @@
 /// assert_eq!(h.pop(), Some((2, 10)));
 /// assert_eq!(h.pop(), Some((1, 30)));
 /// ```
-#[derive(Debug, Clone)]
-pub struct IndexedHeap<P> {
-    /// Heap-ordered `(priority, id)` pairs.
-    data: Vec<(P, usize)>,
-    /// `pos[id]` = index into `data`, or `usize::MAX` when absent.
-    pos: Vec<usize>,
-}
-
-const ABSENT: usize = usize::MAX;
-
-impl<P: Ord + Clone> IndexedHeap<P> {
-    /// Creates a heap able to hold ids `0..capacity` (grows on demand).
-    pub fn new(capacity: usize) -> Self {
-        IndexedHeap {
-            data: Vec::with_capacity(capacity),
-            pos: vec![ABSENT; capacity],
-        }
-    }
-
-    /// Number of entries currently in the heap.
-    #[inline]
-    pub fn len(&self) -> usize {
-        self.data.len()
-    }
-
-    /// Whether the heap is empty.
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
-    }
-
-    /// Whether `id` is currently enqueued.
-    #[inline]
-    pub fn contains(&self, id: usize) -> bool {
-        id < self.pos.len() && self.pos[id] != ABSENT
-    }
-
-    /// Current priority of `id`, if enqueued.
-    pub fn priority(&self, id: usize) -> Option<&P> {
-        if self.contains(id) {
-            Some(&self.data[self.pos[id]].0)
-        } else {
-            None
-        }
-    }
-
-    fn ensure_id(&mut self, id: usize) {
-        if id >= self.pos.len() {
-            self.pos.resize(id + 1, ABSENT);
-        }
-    }
-
-    /// Inserts `id` with `priority`.
-    ///
-    /// # Panics
-    /// Panics if `id` is already enqueued (use [`IndexedHeap::update_key`]).
-    pub fn push(&mut self, id: usize, priority: P) {
-        self.ensure_id(id);
-        assert_eq!(self.pos[id], ABSENT, "id {id} already enqueued");
-        self.data.push((priority, id));
-        let i = self.data.len() - 1;
-        self.pos[id] = i;
-        self.sift_up(i);
-    }
-
-    /// Removes and returns the minimum entry.
-    pub fn pop(&mut self) -> Option<(usize, P)> {
-        if self.data.is_empty() {
-            return None;
-        }
-        let last = self.data.len() - 1;
-        self.data.swap(0, last);
-        let (priority, id) = self.data.pop().expect("nonempty");
-        self.pos[id] = ABSENT;
-        if !self.data.is_empty() {
-            self.pos[self.data[0].1] = 0;
-            self.sift_down(0);
-        }
-        Some((id, priority))
-    }
-
-    /// Returns the minimum entry without removing it.
-    pub fn peek(&self) -> Option<(usize, &P)> {
-        self.data.first().map(|(p, id)| (*id, p))
-    }
-
-    /// Lowers the priority of `id`. Panics if absent or if the new priority
-    /// is greater than the current one.
-    pub fn decrease_key(&mut self, id: usize, priority: P) {
-        assert!(self.contains(id), "id {id} not enqueued");
-        let i = self.pos[id];
-        assert!(
-            priority <= self.data[i].0,
-            "decrease_key must not increase the priority"
-        );
-        self.data[i].0 = priority;
-        self.sift_up(i);
-    }
-
-    /// Sets the priority of `id` to any value, inserting it if absent.
-    pub fn update_key(&mut self, id: usize, priority: P) {
-        self.ensure_id(id);
-        if self.pos[id] == ABSENT {
-            self.push(id, priority);
-            return;
-        }
-        let i = self.pos[id];
-        let up = priority < self.data[i].0;
-        self.data[i].0 = priority;
-        if up {
-            self.sift_up(i);
-        } else {
-            self.sift_down(i);
-        }
-    }
-
-    /// Removes `id` from the heap, returning its priority.
-    pub fn remove(&mut self, id: usize) -> Option<P> {
-        if !self.contains(id) {
-            return None;
-        }
-        let i = self.pos[id];
-        let last = self.data.len() - 1;
-        self.data.swap(i, last);
-        let (priority, removed_id) = self.data.pop().expect("nonempty");
-        debug_assert_eq!(removed_id, id);
-        self.pos[id] = ABSENT;
-        if i < self.data.len() {
-            self.pos[self.data[i].1] = i;
-            // The swapped-in element may need to move either way. If
-            // sift_up moved it, the element now at `i` is a former ancestor
-            // and already satisfies the heap property, so the sift_down is
-            // a no-op.
-            self.sift_up(i);
-            self.sift_down(i);
-        }
-        Some(priority)
-    }
-
-    fn sift_up(&mut self, mut i: usize) {
-        while i > 0 {
-            let parent = (i - 1) / 2;
-            if self.data[i].0 < self.data[parent].0 {
-                self.data.swap(i, parent);
-                self.pos[self.data[i].1] = i;
-                self.pos[self.data[parent].1] = parent;
-                i = parent;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn sift_down(&mut self, mut i: usize) {
-        let n = self.data.len();
-        loop {
-            let l = 2 * i + 1;
-            let r = 2 * i + 2;
-            let mut smallest = i;
-            if l < n && self.data[l].0 < self.data[smallest].0 {
-                smallest = l;
-            }
-            if r < n && self.data[r].0 < self.data[smallest].0 {
-                smallest = r;
-            }
-            if smallest == i {
-                break;
-            }
-            self.data.swap(i, smallest);
-            self.pos[self.data[i].1] = i;
-            self.pos[self.data[smallest].1] = smallest;
-            i = smallest;
-        }
-    }
-
-    /// Verifies the heap property and index consistency; used by tests.
-    pub fn check_invariants(&self) -> Result<(), String> {
-        for i in 1..self.data.len() {
-            let parent = (i - 1) / 2;
-            if self.data[i].0 < self.data[parent].0 {
-                return Err(format!("heap property violated at index {i}"));
-            }
-        }
-        for (i, (_, id)) in self.data.iter().enumerate() {
-            if self.pos[*id] != i {
-                return Err(format!("pos index stale for id {id}"));
-            }
-        }
-        let live = self.pos.iter().filter(|&&p| p != ABSENT).count();
-        if live != self.data.len() {
-            return Err("pos/data length mismatch".into());
-        }
-        Ok(())
-    }
-}
+pub type IndexedHeap<P> = DaryHeap<P, 2>;
 
 #[cfg(test)]
 mod tests {

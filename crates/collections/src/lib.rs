@@ -14,6 +14,12 @@
 //! * [`IndexedHeap`] — a binary min-heap with `O(log n)` decrease-key /
 //!   remove by handle, used by the discrete-event simulator and by the
 //!   greedy communication selector.
+//! * [`DaryHeap`] — an indexed d-ary min-heap (default arity 4); the
+//!   unified list-scheduling pipeline keeps its free list `α` here
+//!   (max-ordering via `core::cmp::Reverse` keys).
+//! * [`select_smallest`] — deterministic `O(m · k)` partial selection of
+//!   the `k` smallest candidates, bit-equal to a stable sort-then-
+//!   truncate; backs the `ε + 1`-processor selection of the scheduler.
 //! * [`OrdF64`] — a total-order wrapper over finite `f64` values, the key
 //!   type used throughout the scheduler (latencies and priorities are
 //!   finite by construction).
@@ -22,11 +28,15 @@
 #![warn(missing_docs)]
 
 pub mod avl;
+pub mod dary;
 pub mod heap;
 pub mod ordf64;
 pub mod priority_list;
+pub mod select;
 
 pub use avl::AvlTree;
+pub use dary::DaryHeap;
 pub use heap::IndexedHeap;
 pub use ordf64::OrdF64;
 pub use priority_list::PriorityList;
+pub use select::select_smallest;

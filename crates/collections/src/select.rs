@@ -1,0 +1,108 @@
+//! Deterministic partial selection of the `k` smallest candidates.
+//!
+//! The scheduler's inner loop repeatedly needs "the `ε + 1` processors
+//! minimizing a score" out of `m` candidates. Allocating all `m` pairs
+//! and fully sorting them costs `O(m log m)` per task; since `ε + 1 ≪ m`
+//! in every paper configuration, a bounded insertion into a `k`-slot
+//! buffer does the same job in `O(m · k)` comparisons with a single
+//! small allocation — and `k` is a small constant, so this is O(m).
+//!
+//! The result is *defined* to equal the first `k` elements of the
+//! stable-by-index full sort: candidates are ordered by
+//! `(value, index)` with [`f64::total_cmp`] on the value. The golden
+//! bit-identity suite relies on this equivalence.
+
+/// Returns the `count` smallest `(index, value(index))` pairs over
+/// `0..m`, ordered by `(value, index)` ascending — exactly the
+/// `count`-prefix of sorting all candidates by `(value, index)`.
+///
+/// `value` is invoked once per index, in increasing index order.
+///
+/// # Panics
+/// Panics (in debug builds) if `count > m`.
+pub fn select_smallest(
+    m: usize,
+    count: usize,
+    mut value: impl FnMut(usize) -> f64,
+) -> Vec<(usize, f64)> {
+    debug_assert!(count <= m, "cannot select {count} of {m} candidates");
+    let mut best: Vec<(usize, f64)> = Vec::with_capacity(count);
+    for j in 0..m {
+        let v = value(j);
+        if best.len() == count {
+            // Full buffer: j only enters if strictly smaller than the
+            // current worst (on ties the incumbent's lower index wins,
+            // matching the stable sort).
+            match best.last() {
+                Some(&(_, worst)) if v.total_cmp(&worst).is_lt() => {
+                    best.pop();
+                }
+                _ => continue,
+            }
+        }
+        // Insert keeping (value, index) order; `j` exceeds every stored
+        // index, so on equal values it lands after the incumbents.
+        let at = best.partition_point(|&(_, w)| w.total_cmp(&v).is_le());
+        best.insert(at, (j, v));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Oracle: full stable sort by (value, index), then truncate.
+    fn oracle(values: &[f64], count: usize) -> Vec<(usize, f64)> {
+        let mut all: Vec<(usize, f64)> = values.iter().copied().enumerate().collect();
+        all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        all.truncate(count);
+        all
+    }
+
+    #[test]
+    fn matches_sort_truncate_oracle() {
+        let vals = [5.0, 1.0, 3.0, 1.0, 4.0, 1.0, 2.0, 0.5];
+        for count in 0..=vals.len() {
+            assert_eq!(
+                select_smallest(vals.len(), count, |j| vals[j]),
+                oracle(&vals, count),
+                "count={count}"
+            );
+        }
+    }
+
+    #[test]
+    fn ties_keep_lower_indices() {
+        let vals = [2.0, 2.0, 2.0, 2.0];
+        assert_eq!(select_smallest(4, 2, |j| vals[j]), vec![(0, 2.0), (1, 2.0)]);
+    }
+
+    #[test]
+    fn pseudo_random_agreement() {
+        // Deterministic LCG-driven values, many shapes.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 10.0
+        };
+        for m in [1usize, 2, 7, 20, 50] {
+            let vals: Vec<f64> = (0..m).map(|_| next()).collect();
+            for count in [0, 1.min(m), 2.min(m), m / 2, m] {
+                assert_eq!(
+                    select_smallest(m, count, |j| vals[j]),
+                    oracle(&vals, count),
+                    "m={m} count={count}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn negative_zero_and_infinities_total_order() {
+        let vals = [0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY, 1.0];
+        assert_eq!(select_smallest(5, 5, |j| vals[j]), oracle(&vals, 5));
+    }
+}

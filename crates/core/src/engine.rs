@@ -1,5 +1,6 @@
-//! Shared placement engine: dual-timeline bookkeeping used by FTSA,
-//! MC-FTSA and FTBAR.
+//! Shared placement engine: dual-timeline bookkeeping with incremental
+//! arrival caches, used by every configuration of the list-scheduling
+//! pipeline.
 //!
 //! The engine owns the growing [`Schedule`] plus per-processor ready
 //! times `r(P_j)` on both timelines, and implements the arrival terms of
@@ -11,10 +12,40 @@
 //! where `W(t*ᵏ, t) = V(t*, t) · d(P(t*ᵏ), P_j)` vanishes when the sender
 //! replica lives on the candidate processor itself (the intra-processor
 //! shortcut noted below Theorem 4.1).
+//!
+//! # Incremental arrival caches
+//!
+//! The seed implementation recomputed the eq. (1) inner fold from
+//! scratch for every `(task, processor)` query: `O(preds · reps · m)`
+//! per selection. The engine instead maintains, per DAG edge
+//! `e = (t* → t)` and processor `P_j`, the partially-folded optimistic
+//! term:
+//!
+//! * `arrive_lb[e][j] = min_k { F_lb(t*ᵏ) + V(e) · d(P(t*ᵏ), P_j) }`
+//!
+//! folded over the replicas `t*ᵏ` placed *so far* (`+∞` while the source
+//! is unplaced). Placing one replica streams its contribution into each
+//! outgoing edge row in `O(succs · m)`; an eq. (1) arrival query then
+//! only folds the `O(preds)` cached edge terms. The cache stays exact
+//! under FTBAR's late parent duplication because adding a replica moves
+//! each cached `min` monotonically down — the per-edge granularity is
+//! precisely what makes the fold updatable (a per-task `max`-of-`min`s
+//! cache could not absorb a decreasing inner `min`).
+//!
+//! The pessimistic eq. (3) fold is *not* cached: it is queried exactly
+//! once per placed replica (never during selection sweeps), so the seed
+//! recomputation is already optimal there and a second `e × m` cache
+//! would only add memory traffic.
+//!
+//! Both folds select (never combine) IEEE values and every summand is
+//! computed by the same `F + V·d` expression as the seed, so cached
+//! arrivals are bit-identical to the from-scratch recomputation — the
+//! golden suite pins this.
 
 use crate::schedule::{Replica, Schedule};
+use ftcollections::select_smallest;
 use platform::{Instance, ProcId};
-use taskgraph::TaskId;
+use taskgraph::{EdgeId, TaskId};
 
 /// Dual-timeline placement state.
 #[derive(Debug, Clone)]
@@ -25,40 +56,41 @@ pub(crate) struct Engine<'a> {
     pub ready_lb: Vec<f64>,
     /// `r(P_j)` on the pessimistic timeline.
     pub ready_ub: Vec<f64>,
+    /// `arrive_lb[eid · m + j]`: cached optimistic per-edge arrival.
+    arrive_lb: Vec<f64>,
+    /// Processor count (row stride of the edge cache).
+    m: usize,
 }
 
 impl<'a> Engine<'a> {
     pub fn new(inst: &'a Instance, epsilon: usize) -> Self {
         let m = inst.num_procs();
+        let cells = inst.dag.num_edges() * m;
         Engine {
             inst,
             sched: Schedule::empty(inst.num_tasks(), m, epsilon),
             ready_lb: vec![0.0; m],
             ready_ub: vec![0.0; m],
+            arrive_lb: vec![f64::INFINITY; cells],
+            m,
         }
     }
 
     /// Optimistic arrival term of eq. (1) for task `t` on processor `j`:
     /// each predecessor delivers from its earliest-available replica.
     pub fn arrival_lb(&self, t: TaskId, j: usize) -> f64 {
-        let dag = &self.inst.dag;
-        let plat = &self.inst.platform;
         let mut arrival = 0.0f64;
-        for &(p, eid) in dag.preds(t) {
-            let vol = dag.volume(eid);
-            let best = self
-                .sched
-                .replicas_of(p)
-                .iter()
-                .map(|r| r.finish_lb + vol * plat.delay(r.proc.index(), j))
-                .fold(f64::INFINITY, f64::min);
-            arrival = arrival.max(best);
+        for &(_, eid) in self.inst.dag.preds(t) {
+            arrival = arrival.max(self.arrive_lb[eid.index() * self.m + j]);
         }
         arrival
     }
 
     /// Pessimistic arrival term of eq. (3): each predecessor delivers
-    /// from its latest replica (worst case under failures).
+    /// from its latest replica (worst case under failures). Computed
+    /// from the replicas directly — this fold is queried once per
+    /// placement, never in a selection sweep, so caching it would cost
+    /// more than it saves.
     pub fn arrival_ub(&self, t: TaskId, j: usize) -> f64 {
         let dag = &self.inst.dag;
         let plat = &self.inst.platform;
@@ -76,6 +108,13 @@ impl<'a> Engine<'a> {
         arrival
     }
 
+    /// Cached optimistic arrival of one edge on processor `j`: the
+    /// earliest time the edge's data can reach `P_j` from the source
+    /// replicas placed so far (`+∞` while the source is unplaced).
+    pub fn edge_arrival_lb(&self, eid: EdgeId, j: usize) -> f64 {
+        self.arrive_lb[eid.index() * self.m + j]
+    }
+
     /// Candidate finish time `F(t, P_j)` of eq. (1).
     pub fn finish_candidate_lb(&self, t: TaskId, j: usize) -> f64 {
         self.inst.exec.time(t.index(), j) + self.arrival_lb(t, j).max(self.ready_lb[j])
@@ -90,8 +129,9 @@ impl<'a> Engine<'a> {
         self.place_with_times(t, j, start_lb, start_lb + e, start_ub, start_ub + e)
     }
 
-    /// Places a replica with explicit times (MC-FTSA computes them from
-    /// its matched senders). Updates ready times and placement order.
+    /// Places a replica with explicit times (matched-communication
+    /// placement computes them from its selected senders). Updates ready
+    /// times, placement order and the outgoing-edge arrival caches.
     pub fn place_with_times(
         &mut self,
         t: TaskId,
@@ -115,22 +155,31 @@ impl<'a> Engine<'a> {
         self.sched.proc_order[j].push((t, idx));
         self.ready_lb[j] = finish_lb;
         self.ready_ub[j] = finish_ub;
+
+        // Fold the new replica into every outgoing edge's arrival cache:
+        // O(succs · m) — the flip side of O(preds) arrival queries. The
+        // sender's delay row and the edge row are streamed as slices so
+        // the fold compiles to a branchless vectorizable min.
+        let dag = &self.inst.dag;
+        let drow = self.inst.platform.delay_row(j);
+        for &(_, eid) in dag.succs(t) {
+            let vol = dag.volume(eid);
+            let base = eid.index() * self.m;
+            let row = &mut self.arrive_lb[base..base + self.m];
+            for (cell, &d) in row.iter_mut().zip(drow) {
+                *cell = cell.min(finish_lb + vol * d);
+            }
+        }
         idx
     }
 
     /// Selects the `count` processors realizing the smallest candidate
     /// finish times of eq. (1) (ties broken toward the lower index, which
     /// keeps runs deterministic). Returns `(proc, finish)` pairs sorted by
-    /// finish.
+    /// finish — a partial selection, not a full `m log m` sort.
     pub fn best_procs(&self, t: TaskId, count: usize) -> Vec<(usize, f64)> {
-        let m = self.inst.num_procs();
-        debug_assert!(count <= m);
-        let mut cand: Vec<(usize, f64)> = (0..m)
-            .map(|j| (j, self.finish_candidate_lb(t, j)))
-            .collect();
-        cand.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-        cand.truncate(count);
-        cand
+        debug_assert!(count <= self.m);
+        select_smallest(self.m, count, |j| self.finish_candidate_lb(t, j))
     }
 
     /// Current schedule length on the optimistic timeline (FTBAR's

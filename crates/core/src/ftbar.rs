@@ -32,13 +32,11 @@
 //! pessimistic timeline separately, mirroring how the paper reports both
 //! FTBAR-LowerBound and FTBAR-UpperBound curves.
 
-use crate::engine::Engine;
 use crate::error::ScheduleError;
-use crate::levels::{bottom_levels, AverageCosts};
-use crate::schedule::{CommSelection, Schedule};
+use crate::pipeline::{CommAxis, ListScheduler, PlacementAxis, PriorityAxis};
+use crate::schedule::Schedule;
 use platform::Instance;
 use rand::Rng;
-use taskgraph::TaskId;
 
 /// Runs FTBAR on `inst`, tolerating `epsilon` (`N_pf`) fail-stop
 /// failures. `rng` breaks urgency ties.
@@ -52,132 +50,23 @@ pub fn ftbar(
 
 /// FTBAR with the Minimize-Start-Time duplication pass toggleable (the
 /// ablation benches compare both).
+///
+/// A named configuration of the [`crate::pipeline`]: schedule-pressure
+/// priority × minimize-start-time placement × all-to-all communication.
 pub fn ftbar_with_options(
     inst: &Instance,
     epsilon: usize,
     minimize_start_time: bool,
     rng: &mut impl Rng,
 ) -> Result<Schedule, ScheduleError> {
-    let m = inst.num_procs();
-    if epsilon + 1 > m {
-        return Err(ScheduleError::NotEnoughProcessors { epsilon, procs: m });
-    }
-    let dag = &inst.dag;
-    let v = dag.num_tasks();
-    let npf1 = epsilon + 1;
-
-    let avg = AverageCosts::new(inst);
-    let s_latest = bottom_levels(inst, &avg); // s(t): bottom-up static level
-
-    let mut waiting_preds: Vec<usize> = (0..v).map(|i| dag.in_degree(TaskId(i as u32))).collect();
-    let mut free: Vec<TaskId> = dag.entries();
-    // Random urgency tie-break tokens, assigned when a task becomes free.
-    let mut token = vec![0u64; v];
-    for t in &free {
-        token[t.index()] = rng.gen();
-    }
-
-    let mut eng = Engine::new(inst, epsilon);
-    let mut r_len = 0.0f64; // R(n-1)
-
-    while !free.is_empty() {
-        // Step 1–2: most urgent (task, processor-set) pair.
-        let mut best: Option<(usize, Vec<usize>, f64, u64)> = None;
-        for (fi, &t) in free.iter().enumerate() {
-            let mut sig: Vec<(usize, f64)> = (0..m)
-                .map(|j| {
-                    let start = eng.arrival_lb(t, j).max(eng.ready_lb[j]);
-                    (j, start + s_latest[t.index()] - r_len)
-                })
-                .collect();
-            sig.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-            sig.truncate(npf1);
-            // Urgency of the pair: the largest pressure within the task's
-            // best set (its (N_pf+1)-th smallest σ).
-            let urgency = sig.last().expect("npf1 >= 1").1;
-            let tok = token[t.index()];
-            let better = match &best {
-                None => true,
-                Some((_, _, u, bt)) => urgency > *u || (urgency == *u && tok > *bt),
-            };
-            if better {
-                best = Some((fi, sig.iter().map(|&(j, _)| j).collect(), urgency, tok));
-            }
-        }
-        let (fi, procs, _, _) = best.expect("free list nonempty");
-        let t = free.swap_remove(fi);
-
-        // Step 3–4: place on each selected processor, with optional
-        // parent duplication.
-        for &j in &procs {
-            if minimize_start_time {
-                try_duplicate_critical_parent(&mut eng, t, j);
-            }
-            eng.place(t, j);
-        }
-        eng.sched.schedule_order.push(t);
-        r_len = eng.current_length_lb();
-
-        for &(s, _) in dag.succs(t) {
-            let si = s.index();
-            waiting_preds[si] -= 1;
-            if waiting_preds[si] == 0 {
-                token[si] = rng.gen();
-                free.push(s);
-            }
-        }
-    }
-
-    eng.sched.comm = CommSelection::AllToAll;
-    Ok(eng.sched)
-}
-
-/// Ahmad–Kwok Minimize-Start-Time (one level): if the start of `t` on
-/// `j` is dominated by the arrival from one parent, and duplicating that
-/// parent onto `j` would strictly lower the start, insert the duplicate.
-fn try_duplicate_critical_parent(eng: &mut Engine<'_>, t: TaskId, j: usize) {
-    let dag = &eng.inst.dag;
-    let plat = &eng.inst.platform;
-
-    let preds = dag.preds(t);
-    if preds.is_empty() {
-        return;
-    }
-    // Arrival per parent (optimistic) and the critical one.
-    let mut crit: Option<(TaskId, f64)> = None;
-    let mut second = 0.0f64;
-    for &(p, eid) in preds {
-        let vol = dag.volume(eid);
-        let a = eng
-            .sched
-            .replicas_of(p)
-            .iter()
-            .map(|r| r.finish_lb + vol * plat.delay(r.proc.index(), j))
-            .fold(f64::INFINITY, f64::min);
-        match crit {
-            Some((_, ca)) if a > ca => {
-                second = second.max(ca);
-                crit = Some((p, a));
-            }
-            Some(_) => second = second.max(a),
-            None => crit = Some((p, a)),
-        }
-    }
-    let (p, crit_arrival) = crit.expect("nonempty preds");
-    let old_start = crit_arrival.max(eng.ready_lb[j]);
-    if old_start <= eng.ready_lb[j] + 1e-12 {
-        return; // the processor, not the parent, is the constraint
-    }
-    // Already collocated? Then the arrival is already communication-free.
-    if eng.sched.replicas_of(p).iter().any(|r| r.proc.index() == j) {
-        return;
-    }
-    // Cost of running a duplicate of p on j, right now.
-    let dup_finish = eng.inst.exec.time(p.index(), j) + eng.arrival_lb(p, j).max(eng.ready_lb[j]);
-    let new_start = dup_finish.max(second);
-    if new_start + 1e-12 < old_start {
-        eng.place(p, j);
-    }
+    ListScheduler::new(
+        PriorityAxis::Pressure,
+        PlacementAxis::MinStart {
+            duplicate: minimize_start_time,
+        },
+        CommAxis::AllToAll,
+    )
+    .run(inst, epsilon, rng)
 }
 
 #[cfg(test)]
@@ -188,7 +77,7 @@ mod tests {
     use platform::{ExecutionMatrix, Platform};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use taskgraph::DagBuilder;
+    use taskgraph::{DagBuilder, TaskId};
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0xF7BA)

@@ -22,17 +22,21 @@
 //! 12:   put t's free successors in α
 //! ```
 //!
-//! Complexity `O(e·m² + v·log ω)` (Theorem 4.2). With `ε = 0` this is the
-//! fault-free variant used as the baseline in the paper's figures.
+//! Complexity `O(e·m² + v·log ω)` (Theorem 4.2) — realized with a much
+//! smaller constant by the [`crate::pipeline`]'s incremental arrival
+//! caches. With `ε = 0` this is the fault-free variant used as the
+//! baseline in the paper's figures.
+//!
+//! Since the pipeline refactor this module is a *named configuration*:
+//! criticalness priority × best-finish placement × all-to-all
+//! communication (see [`ListScheduler`]). The golden suite pins that it
+//! still produces bit-identical schedules to the original loop.
 
-use crate::engine::Engine;
 use crate::error::ScheduleError;
-use crate::levels::{bottom_levels, AverageCosts};
-use crate::schedule::{CommSelection, Schedule};
-use ftcollections::PriorityList;
+use crate::pipeline::{CommAxis, ListScheduler, PlacementAxis, PriorityAxis};
+use crate::schedule::Schedule;
 use platform::Instance;
 use rand::Rng;
-use taskgraph::TaskId;
 
 /// Runs FTSA on `inst`, tolerating `epsilon` fail-stop failures.
 ///
@@ -81,82 +85,12 @@ pub(crate) fn ftsa_impl(
     deadlines: Option<&[f64]>,
     policy: PriorityPolicy,
 ) -> Result<Schedule, ScheduleError> {
-    let m = inst.num_procs();
-    if epsilon + 1 > m {
-        return Err(ScheduleError::NotEnoughProcessors { epsilon, procs: m });
-    }
-    let dag = &inst.dag;
-    let v = dag.num_tasks();
-
-    // Static bottom levels and dynamic top levels.
-    let avg = AverageCosts::new(inst);
-    let bl = bottom_levels(inst, &avg);
-    let mut tl = vec![0.0f64; v];
-
-    // Free list α, seeded with the entry tasks.
-    let mut alpha = PriorityList::new(v);
-    let mut waiting_preds: Vec<usize> = (0..v).map(|i| dag.in_degree(TaskId(i as u32))).collect();
-    for t in dag.entries() {
-        alpha.insert(t.index(), bl[t.index()], rng.gen());
-    }
-
-    let mut eng = Engine::new(inst, epsilon);
-    let replicas = epsilon + 1;
-
-    while let Some(ti) = alpha.pop() {
-        let t = TaskId(ti as u32);
-
-        // Equation (1) on every processor; keep the ε+1 best.
-        let chosen = eng.best_procs(t, replicas);
-
-        // Section 4.3 feasibility test: the worst guaranteed finish among
-        // the selected processors must meet the task's deadline.
-        if let Some(d) = deadlines {
-            let worst = chosen
-                .iter()
-                .map(|&(_, f)| f)
-                .fold(f64::NEG_INFINITY, f64::max);
-            if worst > d[t.index()] + 1e-9 {
-                return Err(ScheduleError::DeadlineViolated {
-                    task: t,
-                    deadline: d[t.index()],
-                    finish: worst,
-                });
-            }
-        }
-
-        for &(j, _) in &chosen {
-            eng.place(t, j);
-        }
-        eng.sched.schedule_order.push(t);
-
-        // Refresh successor top levels:
-        //   tℓ(s) ≥ min_k { F(tᵏ) + V(t, s) · max_j d(P(tᵏ), P_j) }
-        // (worst-case outgoing delay since s's processor is unknown yet;
-        // min over replicas matches equation (1)'s optimistic semantics).
-        for &(s, eid) in dag.succs(t) {
-            let vol = dag.volume(eid);
-            let cand = eng
-                .sched
-                .replicas_of(t)
-                .iter()
-                .map(|r| r.finish_lb + vol * inst.platform.max_delay_from(r.proc.index()))
-                .fold(f64::INFINITY, f64::min);
-            let si = s.index();
-            tl[si] = tl[si].max(cand);
-            waiting_preds[si] -= 1;
-            if waiting_preds[si] == 0 {
-                let priority = match policy {
-                    PriorityPolicy::Criticalness => tl[si] + bl[si],
-                    PriorityPolicy::BottomLevelOnly => bl[si],
-                };
-                alpha.insert(si, priority, rng.gen());
-            }
-        }
-    }
-
-    eng.sched.comm = CommSelection::AllToAll;
-    Ok(eng.sched)
+    let priority = match policy {
+        PriorityPolicy::Criticalness => PriorityAxis::Criticalness,
+        PriorityPolicy::BottomLevelOnly => PriorityAxis::BottomLevel,
+    };
+    ListScheduler::new(priority, PlacementAxis::BestFinish, CommAxis::AllToAll)
+        .run_with_deadlines(inst, epsilon, rng, deadlines)
 }
 
 #[cfg(test)]
@@ -165,7 +99,7 @@ mod tests {
     use platform::{ExecutionMatrix, FailureScenario, Platform};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use taskgraph::DagBuilder;
+    use taskgraph::{DagBuilder, TaskId};
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0xF75A)

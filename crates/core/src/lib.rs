@@ -3,27 +3,57 @@
 //!
 //! This crate implements the contribution of Benoit, Hakem and Robert,
 //! *Fault Tolerant Scheduling of Precedence Task Graphs on Heterogeneous
-//! Platforms* (INRIA RR-6418, IPDPS 2008):
+//! Platforms* (INRIA RR-6418, IPDPS 2008), restructured around one
+//! **unified list-scheduling pipeline**.
 //!
-//! * [`ftsa`] — **FTSA**, a greedy list-scheduling heuristic driven by
-//!   task *criticalness* (dynamic top level + static bottom level) that
-//!   places `ε + 1` active replicas of every task on distinct processors,
-//!   guaranteeing a valid schedule under up to `ε` fail-stop failures
+//! # Architecture
+//!
+//! All heuristics share a single loop in [`pipeline`]: *select a free
+//! task → pick `ε + 1` processors → place replicas → refresh
+//! successors*. A [`pipeline::ListScheduler`] fixes the three orthogonal
+//! axes of that loop:
+//!
+//! * **priority** ([`pipeline::PriorityAxis`]) — FTSA's criticalness
+//!   `tℓ + bℓ` on a heap-backed free list `α`, the static bottom level
+//!   alone, or FTBAR's schedule-pressure sweep;
+//! * **placement** ([`pipeline::PlacementAxis`]) — the `ε + 1`
+//!   best-finish processors of equation (1), or minimize-start-time
+//!   selection with the optional Ahmad–Kwok duplication pass;
+//! * **communication** ([`pipeline::CommAxis`]) — all-to-all replica
+//!   messaging, or MC-FTSA's robust one-to-one matching (greedy or
+//!   bottleneck-optimal, via `ftsched-matching`).
+//!
+//! Underneath, the shared placement engine maintains **incremental
+//! per-(edge, processor) arrival caches**: placing a replica folds its
+//! contribution into each outgoing edge in `O(succs · m)`, and the
+//! arrival terms of equations (1)/(3) are then read back in `O(preds)`
+//! per `(task, processor)` query instead of being recomputed from every
+//! predecessor replica — the `O(e·m²)` bound of Theorem 4.2 with a much
+//! smaller constant (see `engine.rs` for the cache invariants).
+//!
+//! The paper's algorithms are *named configurations* of the pipeline
+//! ([`Algorithm::scheduler`]), pinned bit-for-bit to the original
+//! implementations by the golden suite (`tests/golden.rs`):
+//!
+//! * [`ftsa`] — **FTSA** (Section 4.1): criticalness × best-finish ×
+//!   all-to-all. Places `ε + 1` active replicas of every task on
+//!   distinct processors, tolerating `ε` fail-stop failures
 //!   (Theorem 4.1) in time `O(e·m² + v·log ω)` (Theorem 4.2).
-//! * [`mc_ftsa`] — **MC-FTSA**, the Minimum-Communications variant, which
-//!   cuts the number of replication-induced messages from `e(ε+1)²` to
-//!   `e(ε+1)` by selecting a robust one-to-one communication matching per
-//!   precedence edge (Proposition 4.3), via either the greedy or the
-//!   bottleneck-optimal selector.
-//! * [`ftbar`] — **FTBAR** (Girault, Kalla, Sighireanu, Sorel, DSN 2003),
-//!   the paper's direct competitor, reimplemented as the baseline:
-//!   schedule-pressure driven selection plus the Ahmad–Kwok
-//!   minimize-start-time duplication pass.
-//! * [`bounds`] / [`validate`] — the latency bounds `M*` (eq. 2) and `M`
-//!   (eq. 4) and structural schedule validation (Propositions 4.1/4.3).
-//! * [`bicriteria`] — the Section 4.3 drivers: maximize tolerated
-//!   failures under a latency budget, or check both criteria at once via
-//!   per-task deadlines.
+//! * [`mc_ftsa`] — **MC-FTSA** (Section 4.2): criticalness ×
+//!   best-finish × matched. Cuts the replication-induced messages from
+//!   `e(ε+1)²` to `e(ε+1)` via a robust one-to-one matching per edge
+//!   (Proposition 4.3).
+//! * [`ftbar`] — **FTBAR** (Girault, Kalla, Sighireanu, Sorel,
+//!   DSN 2003), the baseline: pressure × minimize-start-time(+dup) ×
+//!   all-to-all.
+//!
+//! Cross-combinations that used to require a fourth copy of the loop are
+//! now one-liners — see [`Algorithm::FtsaPressure`], [`Algorithm::FtsaMst`]
+//! and [`Algorithm::FtbarMatched`].
+//!
+//! Supporting modules: [`bounds`] / [`validate`] (the latency bounds
+//! `M*` / `M` of eqs. (2)/(4) and structural validation), [`bicriteria`]
+//! (the Section 4.3 drivers), [`levels`], [`stats`].
 //!
 //! The entry point is [`schedule()`](fn@crate::schedule):
 //!
@@ -50,6 +80,7 @@ pub mod ftbar;
 pub mod ftsa;
 pub mod levels;
 pub mod mc_ftsa;
+pub mod pipeline;
 pub mod schedule;
 pub mod stats;
 pub mod validate;
@@ -57,10 +88,12 @@ pub mod validate;
 pub use error::ScheduleError;
 pub use schedule::{CommSelection, Replica, Schedule};
 
+use crate::pipeline::{CommAxis, ListScheduler, PlacementAxis, PriorityAxis};
 use platform::Instance;
 use rand::Rng;
 
-/// Which scheduling heuristic to run.
+/// Which scheduling heuristic to run — a named configuration of the
+/// [`pipeline`] (see [`Algorithm::scheduler`] for the exact axes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// FTSA (Section 4.1), all-to-all replica communication.
@@ -72,9 +105,40 @@ pub enum Algorithm {
     McFtsaBottleneck,
     /// FTBAR (Section 5), the baseline.
     Ftbar,
+    /// Pressure-driven FTSA: FTBAR's schedule-pressure task selection
+    /// with FTSA's best-finish placement and all-to-all communication.
+    FtsaPressure,
+    /// FTSA with the Ahmad–Kwok minimize-start-time duplication pass:
+    /// criticalness selection, min-start placement with duplication.
+    FtsaMst,
+    /// FTBAR with MC-FTSA's matched communications (greedy selector).
+    /// Matched comm fixes one sender per replica, so the duplication
+    /// pass is disabled (see the [`pipeline`] composition rule).
+    FtbarMatched,
 }
 
 impl Algorithm {
+    /// Every algorithm, in canonical order: the four paper algorithms
+    /// first, then the pipeline cross-combinations.
+    pub const ALL: [Algorithm; 7] = [
+        Algorithm::Ftsa,
+        Algorithm::McFtsaGreedy,
+        Algorithm::McFtsaBottleneck,
+        Algorithm::Ftbar,
+        Algorithm::FtsaPressure,
+        Algorithm::FtsaMst,
+        Algorithm::FtbarMatched,
+    ];
+
+    /// The four algorithms evaluated in the paper, whose schedules are
+    /// pinned bit-for-bit by the golden suite.
+    pub const PAPER: [Algorithm; 4] = [
+        Algorithm::Ftsa,
+        Algorithm::McFtsaGreedy,
+        Algorithm::McFtsaBottleneck,
+        Algorithm::Ftbar,
+    ];
+
     /// Short display name used in experiment tables.
     pub fn name(self) -> &'static str {
         match self {
@@ -82,7 +146,82 @@ impl Algorithm {
             Algorithm::McFtsaGreedy => "MC-FTSA",
             Algorithm::McFtsaBottleneck => "MC-FTSA(bn)",
             Algorithm::Ftbar => "FTBAR",
+            Algorithm::FtsaPressure => "P-FTSA",
+            Algorithm::FtsaMst => "FTSA+MST",
+            Algorithm::FtbarMatched => "MC-FTBAR",
         }
+    }
+
+    /// The CLI token parsed by [`Algorithm::from_str`](std::str::FromStr).
+    pub fn key(self) -> &'static str {
+        match self {
+            Algorithm::Ftsa => "ftsa",
+            Algorithm::McFtsaGreedy => "mc-ftsa",
+            Algorithm::McFtsaBottleneck => "mc-ftsa-bn",
+            Algorithm::Ftbar => "ftbar",
+            Algorithm::FtsaPressure => "p-ftsa",
+            Algorithm::FtsaMst => "ftsa-mst",
+            Algorithm::FtbarMatched => "mc-ftbar",
+        }
+    }
+
+    /// The pipeline configuration this name stands for.
+    pub fn scheduler(self) -> ListScheduler {
+        let best_finish = PlacementAxis::BestFinish;
+        let mst = PlacementAxis::MinStart { duplicate: true };
+        match self {
+            Algorithm::Ftsa => {
+                ListScheduler::new(PriorityAxis::Criticalness, best_finish, CommAxis::AllToAll)
+            }
+            Algorithm::McFtsaGreedy => ListScheduler::new(
+                PriorityAxis::Criticalness,
+                best_finish,
+                CommAxis::Matched(mc_ftsa::Selector::Greedy),
+            ),
+            Algorithm::McFtsaBottleneck => ListScheduler::new(
+                PriorityAxis::Criticalness,
+                best_finish,
+                CommAxis::Matched(mc_ftsa::Selector::Bottleneck),
+            ),
+            Algorithm::Ftbar => ListScheduler::new(PriorityAxis::Pressure, mst, CommAxis::AllToAll),
+            Algorithm::FtsaPressure => {
+                ListScheduler::new(PriorityAxis::Pressure, best_finish, CommAxis::AllToAll)
+            }
+            Algorithm::FtsaMst => {
+                ListScheduler::new(PriorityAxis::Criticalness, mst, CommAxis::AllToAll)
+            }
+            Algorithm::FtbarMatched => ListScheduler::new(
+                PriorityAxis::Pressure,
+                PlacementAxis::MinStart { duplicate: false },
+                CommAxis::Matched(mc_ftsa::Selector::Greedy),
+            ),
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+
+    /// Parses the CLI token ([`Algorithm::key`]) or the display name
+    /// ([`Algorithm::name`]), case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        Algorithm::ALL
+            .into_iter()
+            .find(|a| a.key() == lower || a.name().to_ascii_lowercase() == lower)
+            .ok_or_else(|| {
+                let keys: Vec<&str> = Algorithm::ALL.iter().map(|a| a.key()).collect();
+                format!(
+                    "unknown algorithm `{s}` (expected one of: {})",
+                    keys.join("|")
+                )
+            })
     }
 }
 
@@ -97,12 +236,32 @@ pub fn schedule(
     algorithm: Algorithm,
     rng: &mut impl Rng,
 ) -> Result<Schedule, ScheduleError> {
-    match algorithm {
-        Algorithm::Ftsa => ftsa::ftsa(inst, epsilon, rng),
-        Algorithm::McFtsaGreedy => mc_ftsa::mc_ftsa(inst, epsilon, mc_ftsa::Selector::Greedy, rng),
-        Algorithm::McFtsaBottleneck => {
-            mc_ftsa::mc_ftsa(inst, epsilon, mc_ftsa::Selector::Bottleneck, rng)
+    algorithm.scheduler().run(inst, epsilon, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_str_round_trips_every_algorithm() {
+        for alg in Algorithm::ALL {
+            assert_eq!(alg.key().parse::<Algorithm>().unwrap(), alg);
+            assert_eq!(alg.name().parse::<Algorithm>().unwrap(), alg);
+            assert_eq!(
+                alg.name()
+                    .to_ascii_lowercase()
+                    .parse::<Algorithm>()
+                    .unwrap(),
+                alg
+            );
         }
-        Algorithm::Ftbar => ftbar::ftbar(inst, epsilon, rng),
+        assert!("nope".parse::<Algorithm>().is_err());
+        assert_eq!(format!("{}", Algorithm::FtbarMatched), "MC-FTBAR");
+    }
+
+    #[test]
+    fn all_contains_paper_prefix() {
+        assert_eq!(&Algorithm::ALL[..4], &Algorithm::PAPER[..]);
     }
 }

@@ -18,18 +18,14 @@
 //! so its start/finish times are deterministic and the per-replica
 //! optimistic and pessimistic timelines coincide.
 
-use crate::engine::Engine;
 use crate::error::ScheduleError;
-use crate::levels::{bottom_levels, AverageCosts};
-use crate::schedule::{CommSelection, Schedule};
-use ftcollections::PriorityList;
-use matching::{bottleneck_matching, greedy_matching, BipartiteGraph, Matching};
+use crate::pipeline::{CommAxis, ListScheduler, PlacementAxis, PriorityAxis};
+use crate::schedule::Schedule;
 use platform::Instance;
 use rand::Rng;
-use taskgraph::TaskId;
 
 /// Which robust-communication selector to use (Section 4.2 offers both).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Selector {
     /// Internal edges first, then non-decreasing weight order — the
     /// variant used in the paper's experiments.
@@ -40,123 +36,33 @@ pub enum Selector {
 }
 
 /// Runs MC-FTSA on `inst`, tolerating `epsilon` fail-stop failures.
+///
+/// A named configuration of the [`crate::pipeline`]: criticalness
+/// priority × best-finish placement × matched communication.
 pub fn mc_ftsa(
     inst: &Instance,
     epsilon: usize,
     selector: Selector,
     rng: &mut impl Rng,
 ) -> Result<Schedule, ScheduleError> {
-    let m = inst.num_procs();
-    if epsilon + 1 > m {
-        return Err(ScheduleError::NotEnoughProcessors { epsilon, procs: m });
-    }
-    let dag = &inst.dag;
-    let v = dag.num_tasks();
-
-    let avg = AverageCosts::new(inst);
-    let bl = bottom_levels(inst, &avg);
-    let mut tl = vec![0.0f64; v];
-
-    let mut alpha = PriorityList::new(v);
-    let mut waiting_preds: Vec<usize> = (0..v).map(|i| dag.in_degree(TaskId(i as u32))).collect();
-    for t in dag.entries() {
-        alpha.insert(t.index(), bl[t.index()], rng.gen());
-    }
-
-    let mut eng = Engine::new(inst, epsilon);
-    let replicas = epsilon + 1;
-    let mut comm: Vec<Vec<(usize, usize)>> = vec![Vec::new(); dag.num_edges()];
-
-    while let Some(ti) = alpha.pop() {
-        let t = TaskId(ti as u32);
-
-        // FTSA's processor selection: A(t) = the ε+1 processors with the
-        // smallest equation-(1) finish times.
-        let chosen = eng.best_procs(t, replicas);
-        let procs: Vec<usize> = chosen.iter().map(|&(j, _)| j).collect();
-
-        // Per destination replica r (running on procs[r]), the arrival
-        // time of each predecessor's data through the selected matching.
-        let mut arrival = vec![0.0f64; replicas];
-
-        for &(p, eid) in dag.preds(t) {
-            let vol = dag.volume(eid);
-            let senders = eng.sched.replicas_of(p).to_vec();
-            // Build the bipartite graph of Section 4.2.
-            let mut g = BipartiteGraph::new(senders.len(), replicas);
-            let mut forced: Vec<(usize, usize)> = Vec::new();
-            for (k, srep) in senders.iter().enumerate() {
-                let sp = srep.proc.index();
-                if let Some(r) = procs.iter().position(|&q| q == sp) {
-                    // Shared processor: the only outgoing edge is the
-                    // internal one (weight = completion of t on that
-                    // processor if t' were its only predecessor).
-                    let w = (srep.finish_lb).max(eng.ready_lb[sp]) + inst.exec.time(t.index(), sp);
-                    g.add_edge(k, r, w);
-                    forced.push((k, r));
-                } else {
-                    for (r, &q) in procs.iter().enumerate() {
-                        let w = (srep.finish_lb + vol * inst.platform.delay(sp, q))
-                            .max(eng.ready_lb[q])
-                            + inst.exec.time(t.index(), q);
-                        g.add_edge(k, r, w);
-                    }
-                }
-            }
-            let matching: Matching = match selector {
-                Selector::Greedy => greedy_matching(&g, &forced),
-                Selector::Bottleneck => bottleneck_matching(&g, &forced),
-            }
-            .expect("MC-FTSA bipartite graphs always admit a left-perfect matching");
-
-            for &(k, r) in &matching.pairs {
-                let srep = &senders[k];
-                let q = procs[r];
-                let a = srep.finish_lb + vol * inst.platform.delay(srep.proc.index(), q);
-                arrival[r] = arrival[r].max(a);
-                comm[eid.index()].push((k, r));
-            }
-        }
-
-        // Place the replicas with their deterministic matched times.
-        for (r, &j) in procs.iter().enumerate() {
-            let e = inst.exec.time(t.index(), j);
-            let start = arrival[r].max(eng.ready_lb[j]);
-            eng.place_with_times(t, j, start, start + e, start, start + e);
-        }
-        eng.sched.schedule_order.push(t);
-
-        // Successor priority refresh, identical to FTSA.
-        for &(s, eid) in dag.succs(t) {
-            let vol = dag.volume(eid);
-            let cand = eng
-                .sched
-                .replicas_of(t)
-                .iter()
-                .map(|r| r.finish_lb + vol * inst.platform.max_delay_from(r.proc.index()))
-                .fold(f64::INFINITY, f64::min);
-            let si = s.index();
-            tl[si] = tl[si].max(cand);
-            waiting_preds[si] -= 1;
-            if waiting_preds[si] == 0 {
-                alpha.insert(si, tl[si] + bl[si], rng.gen());
-            }
-        }
-    }
-
-    eng.sched.comm = CommSelection::Matched(comm);
-    Ok(eng.sched)
+    ListScheduler::new(
+        PriorityAxis::Criticalness,
+        PlacementAxis::BestFinish,
+        CommAxis::Matched(selector),
+    )
+    .run(inst, epsilon, rng)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ftsa::ftsa;
+    use crate::schedule::CommSelection;
     use platform::gen::{paper_instance, PaperInstanceConfig};
     use platform::{ExecutionMatrix, Platform};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use taskgraph::DagBuilder;
+    use taskgraph::{DagBuilder, TaskId};
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0x3C57)

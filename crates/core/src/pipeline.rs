@@ -1,0 +1,524 @@
+//! The unified list-scheduling pipeline.
+//!
+//! FTSA, MC-FTSA and FTBAR are all instances of one loop — *select a
+//! free task, pick `ε + 1` processors, place replicas, refresh
+//! successors* — differing only along three orthogonal axes:
+//!
+//! | axis | options | paper origin |
+//! |------|---------|--------------|
+//! | [`PriorityAxis`] | criticalness `tℓ + bℓ` / static `bℓ` / schedule pressure σ | FTSA §4.1 vs FTBAR |
+//! | [`PlacementAxis`] | `ε+1` best-finish (eq. 1) / minimize-start-time (± duplication) | FTSA vs Ahmad–Kwok MST |
+//! | [`CommAxis`] | all-to-all / robust one-to-one matching | FTSA vs MC-FTSA §4.2 |
+//!
+//! A [`ListScheduler`] is one point in that 3×2×2+ grid; the public
+//! [`Algorithm`](crate::Algorithm) variants are named configurations
+//! (see [`Algorithm::scheduler`](crate::Algorithm::scheduler)), and new
+//! cross-combinations — pressure-driven FTSA, FTBAR with matched
+//! communications — are one-liners rather than a fourth copy of the
+//! loop.
+//!
+//! # Registering a new policy
+//!
+//! 1. Add a variant to the relevant axis enum below.
+//! 2. Implement it in the *one* `match` that consumes the axis
+//!    (`select` for priorities, `choose_procs` for placements,
+//!    `place_replicas` for comm policies) — the compiler's
+//!    exhaustiveness check lists every site.
+//! 3. Optionally name the combination: add an [`crate::Algorithm`]
+//!    variant, wire `scheduler()` / `name()` / `FromStr`, and append it
+//!    to [`crate::Algorithm::ALL`] so the CLI, the experiment axes and
+//!    the property suite pick it up automatically.
+//!
+//! # Bit-identity contract
+//!
+//! For the four paper configurations this pipeline reproduces the seed
+//! implementations byte for byte (see `tests/golden.rs`): every
+//! floating-point expression is evaluated in the same form and the RNG
+//! is consulted in the same order. Treat any change to the loop
+//! structure, the fold expressions in [`crate::engine`] or the RNG
+//! discipline as a semantic change that must be justified against the
+//! golden suite.
+//!
+//! Composition rule: [`CommAxis::Matched`] disables the duplication half
+//! of [`PlacementAxis::MinStart`]. Matched schedules give every replica
+//! a *unique* sender per predecessor (Proposition 4.3); minimize-start-
+//! time duplication exploits all-to-all first-arrival semantics, and the
+//! one-to-one structure of eq. (5) validation has no slot for extra
+//! sender replicas.
+
+use crate::engine::Engine;
+use crate::error::ScheduleError;
+use crate::levels::{bottom_levels, AverageCosts};
+use crate::mc_ftsa::Selector;
+use crate::schedule::{CommSelection, Schedule};
+use ftcollections::{select_smallest, DaryHeap, OrdF64};
+use matching::{bottleneck_matching, greedy_matching, BipartiteGraph, Matching};
+use platform::Instance;
+use rand::Rng;
+use std::cmp::Reverse;
+use taskgraph::TaskId;
+
+/// How the next free task is selected (the `H(α)` of Section 4.1, or
+/// FTBAR's most-urgent sweep).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PriorityAxis {
+    /// The paper's *criticalness* `tℓ(t) + bℓ(t)`: dynamic top level
+    /// (refreshed as predecessors land) plus static bottom level.
+    Criticalness,
+    /// Static bottom level only (a HEFT-style upward rank): cheaper to
+    /// maintain but blind to where predecessors actually landed.
+    BottomLevel,
+    /// FTBAR's *schedule pressure*: every step sweeps all free tasks and
+    /// picks the pair maximizing `σ(t, P) = S(t, P) + s(t) − R(n−1)`
+    /// over each task's best `ε + 1` processors. The sweep also yields
+    /// the processor set, which [`PlacementAxis::MinStart`] reuses.
+    Pressure,
+}
+
+/// How the `ε + 1` hosting processors are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlacementAxis {
+    /// The `ε + 1` processors minimizing the eq. (1) candidate finish
+    /// time (FTSA's rule).
+    BestFinish,
+    /// The `ε + 1` processors minimizing the start time; with
+    /// `duplicate`, each placement first runs the Ahmad–Kwok
+    /// minimize-start-time pass (FTBAR's rule), duplicating the
+    /// arrival-critical parent when that strictly lowers the start.
+    /// Under [`PriorityAxis::Pressure`] the processor set from the σ
+    /// sweep is reused instead of being recomputed.
+    MinStart {
+        /// Run the minimize-start-time duplication pass.
+        duplicate: bool,
+    },
+}
+
+/// How replica-to-replica communications are orchestrated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommAxis {
+    /// Every source replica sends to every destination replica; start
+    /// times follow the optimistic/pessimistic folds of eqs. (1)/(3).
+    AllToAll,
+    /// MC-FTSA's robust one-to-one matching per precedence edge
+    /// (Section 4.2): `e(ε+1)` messages, deterministic per-replica
+    /// times (the two timelines coincide).
+    Matched(Selector),
+}
+
+/// One configuration of the unified pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ListScheduler {
+    /// Task-selection policy.
+    pub priority: PriorityAxis,
+    /// Processor-selection / duplication policy.
+    pub placement: PlacementAxis,
+    /// Communication policy.
+    pub comm: CommAxis,
+}
+
+impl ListScheduler {
+    /// Builds a pipeline configuration.
+    pub fn new(priority: PriorityAxis, placement: PlacementAxis, comm: CommAxis) -> Self {
+        ListScheduler {
+            priority,
+            placement,
+            comm,
+        }
+    }
+
+    /// Schedules `inst` tolerating `epsilon` fail-stop failures. `rng`
+    /// drives random tie-breaking only.
+    pub fn run(
+        &self,
+        inst: &Instance,
+        epsilon: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Schedule, ScheduleError> {
+        self.run_with_deadlines(inst, epsilon, rng, None)
+    }
+
+    /// [`ListScheduler::run`] with the Section 4.3 per-task deadline
+    /// check: the run aborts with [`ScheduleError::DeadlineViolated`] as
+    /// soon as a selected task cannot finish by its deadline on its
+    /// chosen processors.
+    pub(crate) fn run_with_deadlines(
+        &self,
+        inst: &Instance,
+        epsilon: usize,
+        rng: &mut impl Rng,
+        deadlines: Option<&[f64]>,
+    ) -> Result<Schedule, ScheduleError> {
+        let m = inst.num_procs();
+        if epsilon + 1 > m {
+            return Err(ScheduleError::NotEnoughProcessors { epsilon, procs: m });
+        }
+        let dag = &inst.dag;
+        let v = dag.num_tasks();
+        let replicas = epsilon + 1;
+
+        let avg = AverageCosts::new(inst);
+        let bl = bottom_levels(inst, &avg);
+        let mut waiting_preds: Vec<usize> =
+            (0..v).map(|i| dag.in_degree(TaskId(i as u32))).collect();
+
+        let mut sel = SelectState::init(self.priority, inst, &bl, rng);
+        let mut eng = Engine::new(inst, epsilon);
+        let mut comm_tbl: Option<Vec<Vec<(usize, usize)>>> = match self.comm {
+            CommAxis::AllToAll => None,
+            CommAxis::Matched(_) => Some(vec![Vec::new(); dag.num_edges()]),
+        };
+
+        while let Some((t, suggested)) = sel.select(&eng, &bl, replicas) {
+            let chosen = self.choose_procs(&eng, t, replicas, suggested);
+            let procs: Vec<usize> = chosen.iter().map(|&(j, _)| j).collect();
+
+            // Section 4.3 feasibility: the worst guaranteed finish among
+            // the selected processors must meet the task's deadline.
+            // Best-finish placements already scored each processor with
+            // its eq. (1) finish; other placements score by start time,
+            // so the finish is derived on demand.
+            if let Some(d) = deadlines {
+                let worst = chosen
+                    .iter()
+                    .map(|&(j, score)| match self.placement {
+                        PlacementAxis::BestFinish => score,
+                        PlacementAxis::MinStart { .. } => eng.finish_candidate_lb(t, j),
+                    })
+                    .fold(f64::NEG_INFINITY, f64::max);
+                if worst > d[t.index()] + 1e-9 {
+                    return Err(ScheduleError::DeadlineViolated {
+                        task: t,
+                        deadline: d[t.index()],
+                        finish: worst,
+                    });
+                }
+            }
+
+            self.place_replicas(&mut eng, t, &procs, replicas, comm_tbl.as_mut());
+            eng.sched.schedule_order.push(t);
+            sel.after_schedule(t, &eng, &bl, &mut waiting_preds, rng);
+        }
+
+        eng.sched.comm = match comm_tbl {
+            None => CommSelection::AllToAll,
+            Some(tbl) => CommSelection::Matched(tbl),
+        };
+        Ok(eng.sched)
+    }
+
+    /// The processor set hosting `t`'s primary replicas, as
+    /// `(processor, selection score)` pairs — the score is the eq. (1)
+    /// candidate finish under [`PlacementAxis::BestFinish`] and the
+    /// earliest start (or σ-sweep value) under
+    /// [`PlacementAxis::MinStart`].
+    fn choose_procs(
+        &self,
+        eng: &Engine<'_>,
+        t: TaskId,
+        replicas: usize,
+        suggested: Option<ScoredProcs>,
+    ) -> ScoredProcs {
+        match self.placement {
+            PlacementAxis::BestFinish => eng.best_procs(t, replicas),
+            PlacementAxis::MinStart { .. } => match suggested {
+                // The σ sweep already ordered processors by start time.
+                Some(procs) => procs,
+                None => select_smallest(eng.inst.num_procs(), replicas, |j| {
+                    eng.arrival_lb(t, j).max(eng.ready_lb[j])
+                }),
+            },
+        }
+    }
+
+    /// Places `t`'s replicas on `procs` under the comm policy.
+    fn place_replicas(
+        &self,
+        eng: &mut Engine<'_>,
+        t: TaskId,
+        procs: &[usize],
+        replicas: usize,
+        comm_tbl: Option<&mut Vec<Vec<(usize, usize)>>>,
+    ) {
+        match (self.comm, comm_tbl) {
+            (CommAxis::AllToAll, _) => {
+                let duplicate =
+                    matches!(self.placement, PlacementAxis::MinStart { duplicate: true });
+                for &j in procs {
+                    if duplicate {
+                        try_duplicate_critical_parent(eng, t, j);
+                    }
+                    eng.place(t, j);
+                }
+            }
+            (CommAxis::Matched(selector), Some(tbl)) => {
+                place_matched(eng, t, procs, replicas, selector, tbl);
+            }
+            (CommAxis::Matched(_), None) => unreachable!("matched comm allocates its table"),
+        }
+    }
+}
+
+/// `(processor, selection score)` pairs ordered by score — the output
+/// of every processor-selection rule.
+type ScoredProcs = Vec<(usize, f64)>;
+
+/// Task-selection state: the heap-backed `α` of FTSA, or FTBAR's plain
+/// free list swept under the pressure objective.
+enum SelectState {
+    /// Priority-ranked free list `α` on an indexed 4-ary max-heap; the
+    /// key is `(priority, random tie-break)`, so the head is exactly the
+    /// paper's `H(α)` with random tie-breaking.
+    Ranked {
+        alpha: DaryHeap<Reverse<(OrdF64, u64)>, 4>,
+        /// Dynamic top levels `tℓ` (left at 0 under [`PriorityAxis::BottomLevel`]).
+        tl: Vec<f64>,
+        /// Whether the priority is `tℓ + bℓ` (true) or `bℓ` alone.
+        dynamic: bool,
+    },
+    /// FTBAR's free list; selection sweeps all free tasks each step.
+    Pressure {
+        free: Vec<TaskId>,
+        /// Random urgency tie-break tokens, drawn when a task frees up.
+        token: Vec<u64>,
+        /// Current schedule length `R(n−1)`.
+        r_len: f64,
+    },
+}
+
+impl SelectState {
+    fn init(
+        priority: PriorityAxis,
+        inst: &Instance,
+        bl: &[f64],
+        rng: &mut impl Rng,
+    ) -> SelectState {
+        let dag = &inst.dag;
+        let v = dag.num_tasks();
+        match priority {
+            PriorityAxis::Criticalness | PriorityAxis::BottomLevel => {
+                let mut alpha = DaryHeap::new(v);
+                for t in dag.entries() {
+                    alpha.push(t.index(), Reverse((OrdF64::new(bl[t.index()]), rng.gen())));
+                }
+                SelectState::Ranked {
+                    alpha,
+                    tl: vec![0.0f64; v],
+                    dynamic: matches!(priority, PriorityAxis::Criticalness),
+                }
+            }
+            PriorityAxis::Pressure => {
+                let free = dag.entries();
+                let mut token = vec![0u64; v];
+                for t in &free {
+                    token[t.index()] = rng.gen();
+                }
+                SelectState::Pressure {
+                    free,
+                    token,
+                    r_len: 0.0,
+                }
+            }
+        }
+    }
+
+    /// Pops the next task; the pressure sweep also returns its processor
+    /// set (ordered by σ, i.e. by start time).
+    fn select(
+        &mut self,
+        eng: &Engine<'_>,
+        s_latest: &[f64],
+        replicas: usize,
+    ) -> Option<(TaskId, Option<ScoredProcs>)> {
+        match self {
+            SelectState::Ranked { alpha, .. } => {
+                let (ti, _) = alpha.pop()?;
+                Some((TaskId(ti as u32), None))
+            }
+            SelectState::Pressure { free, token, r_len } => {
+                if free.is_empty() {
+                    return None;
+                }
+                let m = eng.inst.num_procs();
+                // Most urgent (task, processor-set) pair: the free task
+                // whose best-σ set has the largest `ε+1`-th pressure,
+                // ties broken by the larger random token.
+                let mut best: Option<(usize, ScoredProcs, f64, u64)> = None;
+                for (fi, &t) in free.iter().enumerate() {
+                    let sig = select_smallest(m, replicas, |j| {
+                        let start = eng.arrival_lb(t, j).max(eng.ready_lb[j]);
+                        start + s_latest[t.index()] - *r_len
+                    });
+                    let urgency = sig.last().expect("replicas >= 1").1;
+                    let tok = token[t.index()];
+                    let better = match &best {
+                        None => true,
+                        Some((_, _, u, bt)) => urgency > *u || (urgency == *u && tok > *bt),
+                    };
+                    if better {
+                        best = Some((fi, sig, urgency, tok));
+                    }
+                }
+                let (fi, procs, _, _) = best.expect("free list nonempty");
+                Some((free.swap_remove(fi), Some(procs)))
+            }
+        }
+    }
+
+    /// Refreshes successor priorities after `t` was placed and releases
+    /// the successors that became free.
+    fn after_schedule(
+        &mut self,
+        t: TaskId,
+        eng: &Engine<'_>,
+        bl: &[f64],
+        waiting_preds: &mut [usize],
+        rng: &mut impl Rng,
+    ) {
+        let inst = eng.inst;
+        let dag = &inst.dag;
+        match self {
+            SelectState::Ranked { alpha, tl, dynamic } => {
+                // Refresh successor top levels:
+                //   tℓ(s) ≥ min_k { F(tᵏ) + V(t, s) · max_j d(P(tᵏ), P_j) }
+                // (worst-case outgoing delay since s's processor is unknown
+                // yet; min over replicas matches equation (1)'s optimistic
+                // semantics).
+                for &(s, eid) in dag.succs(t) {
+                    let vol = dag.volume(eid);
+                    let cand = eng
+                        .sched
+                        .replicas_of(t)
+                        .iter()
+                        .map(|r| r.finish_lb + vol * inst.platform.max_delay_from(r.proc.index()))
+                        .fold(f64::INFINITY, f64::min);
+                    let si = s.index();
+                    tl[si] = tl[si].max(cand);
+                    waiting_preds[si] -= 1;
+                    if waiting_preds[si] == 0 {
+                        let priority = if *dynamic { tl[si] + bl[si] } else { bl[si] };
+                        alpha.push(si, Reverse((OrdF64::new(priority), rng.gen())));
+                    }
+                }
+            }
+            SelectState::Pressure { free, token, r_len } => {
+                *r_len = eng.current_length_lb();
+                for &(s, _) in dag.succs(t) {
+                    let si = s.index();
+                    waiting_preds[si] -= 1;
+                    if waiting_preds[si] == 0 {
+                        token[si] = rng.gen();
+                        free.push(s);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Ahmad–Kwok Minimize-Start-Time (one level): if the start of `t` on
+/// `j` is dominated by the arrival from one parent, and duplicating that
+/// parent onto `j` would strictly lower the start, insert the duplicate.
+fn try_duplicate_critical_parent(eng: &mut Engine<'_>, t: TaskId, j: usize) {
+    let dag = &eng.inst.dag;
+
+    let preds = dag.preds(t);
+    if preds.is_empty() {
+        return;
+    }
+    // Arrival per parent (the cached optimistic edge fold) and the
+    // critical one.
+    let mut crit: Option<(TaskId, f64)> = None;
+    let mut second = 0.0f64;
+    for &(p, eid) in preds {
+        let a = eng.edge_arrival_lb(eid, j);
+        match crit {
+            Some((_, ca)) if a > ca => {
+                second = second.max(ca);
+                crit = Some((p, a));
+            }
+            Some(_) => second = second.max(a),
+            None => crit = Some((p, a)),
+        }
+    }
+    let (p, crit_arrival) = crit.expect("nonempty preds");
+    let old_start = crit_arrival.max(eng.ready_lb[j]);
+    if old_start <= eng.ready_lb[j] + 1e-12 {
+        return; // the processor, not the parent, is the constraint
+    }
+    // Already collocated? Then the arrival is already communication-free.
+    if eng.sched.replicas_of(p).iter().any(|r| r.proc.index() == j) {
+        return;
+    }
+    // Cost of running a duplicate of p on j, right now.
+    let dup_finish = eng.inst.exec.time(p.index(), j) + eng.arrival_lb(p, j).max(eng.ready_lb[j]);
+    let new_start = dup_finish.max(second);
+    if new_start + 1e-12 < old_start {
+        eng.place(p, j);
+    }
+}
+
+/// MC-FTSA's placement step (Section 4.2): per predecessor, select a
+/// robust one-to-one communication set between the predecessor's
+/// replicas and the destination processors, then place each replica
+/// with its deterministic matched times (the two timelines coincide).
+fn place_matched(
+    eng: &mut Engine<'_>,
+    t: TaskId,
+    procs: &[usize],
+    replicas: usize,
+    selector: Selector,
+    comm: &mut [Vec<(usize, usize)>],
+) {
+    let inst = eng.inst;
+    let dag = &inst.dag;
+
+    // Per destination replica r (running on procs[r]), the arrival time
+    // of each predecessor's data through the selected matching.
+    let mut arrival = vec![0.0f64; replicas];
+
+    for &(p, eid) in dag.preds(t) {
+        let vol = dag.volume(eid);
+        let senders = eng.sched.replicas_of(p).to_vec();
+        // Build the bipartite graph of Section 4.2.
+        let mut g = BipartiteGraph::new(senders.len(), replicas);
+        let mut forced: Vec<(usize, usize)> = Vec::new();
+        for (k, srep) in senders.iter().enumerate() {
+            let sp = srep.proc.index();
+            if let Some(r) = procs.iter().position(|&q| q == sp) {
+                // Shared processor: the only outgoing edge is the
+                // internal one (weight = completion of t on that
+                // processor if t' were its only predecessor).
+                let w = (srep.finish_lb).max(eng.ready_lb[sp]) + inst.exec.time(t.index(), sp);
+                g.add_edge(k, r, w);
+                forced.push((k, r));
+            } else {
+                for (r, &q) in procs.iter().enumerate() {
+                    let w = (srep.finish_lb + vol * inst.platform.delay(sp, q))
+                        .max(eng.ready_lb[q])
+                        + inst.exec.time(t.index(), q);
+                    g.add_edge(k, r, w);
+                }
+            }
+        }
+        let matching: Matching = match selector {
+            Selector::Greedy => greedy_matching(&g, &forced),
+            Selector::Bottleneck => bottleneck_matching(&g, &forced),
+        }
+        .expect("matched-comm bipartite graphs always admit a left-perfect matching");
+
+        for &(k, r) in &matching.pairs {
+            let srep = &senders[k];
+            let q = procs[r];
+            let a = srep.finish_lb + vol * inst.platform.delay(srep.proc.index(), q);
+            arrival[r] = arrival[r].max(a);
+            comm[eid.index()].push((k, r));
+        }
+    }
+
+    // Place the replicas with their deterministic matched times.
+    for (r, &j) in procs.iter().enumerate() {
+        let e = inst.exec.time(t.index(), j);
+        let start = arrival[r].max(eng.ready_lb[j]);
+        eng.place_with_times(t, j, start, start + e, start, start + e);
+    }
+}

@@ -232,9 +232,8 @@ pub fn validate(inst: &Instance, sched: &Schedule) -> Result<(), ScheduleError> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ftbar::ftbar;
     use crate::ftsa::ftsa;
-    use crate::mc_ftsa::{mc_ftsa, Selector};
+    use crate::Algorithm;
     use platform::gen::{paper_instance, PaperInstanceConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -246,14 +245,10 @@ mod tests {
             let inst = paper_instance(&mut r, &PaperInstanceConfig::default());
             for eps in [0usize, 1, 2, 5] {
                 let mut tb = StdRng::seed_from_u64(seed * 31 + eps as u64);
-                let f = ftsa(&inst, eps, &mut tb).unwrap();
-                validate(&inst, &f).unwrap();
-                let g = mc_ftsa(&inst, eps, Selector::Greedy, &mut tb).unwrap();
-                validate(&inst, &g).unwrap();
-                let bn = mc_ftsa(&inst, eps, Selector::Bottleneck, &mut tb).unwrap();
-                validate(&inst, &bn).unwrap();
-                let fb = ftbar(&inst, eps, &mut tb).unwrap();
-                validate(&inst, &fb).unwrap();
+                for alg in Algorithm::ALL {
+                    let s = crate::schedule(&inst, eps, alg, &mut tb).unwrap();
+                    validate(&inst, &s).unwrap_or_else(|e| panic!("{alg:?} eps={eps}: {e}"));
+                }
             }
         }
     }

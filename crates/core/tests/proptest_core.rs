@@ -73,12 +73,10 @@ proptest! {
         let exec = ExecutionMatrix::unrelated_with_procs(&dag, procs, &mut rng, 0.5);
         let inst = Instance::new(dag, platform, exec);
         let cp = critical_path_bound(&inst);
-        for alg in [
-            Algorithm::Ftsa,
-            Algorithm::McFtsaGreedy,
-            Algorithm::McFtsaBottleneck,
-            Algorithm::Ftbar,
-        ] {
+        // Every algorithm — the four paper configurations and the
+        // pipeline cross-combinations alike — must stay valid and
+        // bound-consistent on every family.
+        for alg in Algorithm::ALL {
             let mut tie = StdRng::seed_from_u64(seed);
             let s = schedule(&inst, eps, alg, &mut tie).unwrap();
             validate(&inst, &s)

@@ -18,7 +18,7 @@
 
 use crate::parallel::{default_threads, parallel_map};
 use crate::{mean, paper_granularities};
-use ftsched_core::{ftbar::ftbar, ftsa::ftsa, mc_ftsa, Schedule};
+use ftsched_core::{ftbar::ftbar, ftsa::ftsa, mc_ftsa, schedule, Algorithm, Schedule};
 use platform::gen::{paper_instance, PaperInstanceConfig};
 use platform::{FailureScenario, Instance};
 use rand::rngs::StdRng;
@@ -44,6 +44,13 @@ pub struct FigureConfig {
     pub extra_crash_counts: Vec<usize>,
     /// Include FTBAR and MC-FTSA series (Figure 4 plots FTSA only).
     pub compare_algorithms: bool,
+    /// Additional pipeline configurations to evaluate alongside the
+    /// paper's three — e.g. [`Algorithm::FtsaPressure`] or
+    /// [`Algorithm::FtbarMatched`]. Each contributes `-LowerBound` /
+    /// `-UpperBound` / crash / overhead series named after
+    /// [`Algorithm::name`], under the same crash scenario as the paper
+    /// algorithms of the cell.
+    pub extra_algorithms: Vec<Algorithm>,
     /// Base RNG seed.
     pub seed: u64,
 }
@@ -64,6 +71,7 @@ impl FigureConfig {
             repetitions,
             extra_crash_counts: extra,
             compare_algorithms: true,
+            extra_algorithms: Vec::new(),
             seed: 0xF16_0000 + epsilon as u64,
         }
     }
@@ -78,6 +86,7 @@ impl FigureConfig {
             repetitions,
             extra_crash_counts: vec![1],
             compare_algorithms: false,
+            extra_algorithms: Vec::new(),
             seed: 0xF16_4444,
         }
     }
@@ -208,6 +217,36 @@ fn run_cell(cfg: &FigureConfig, granularity: f64, rep: usize) -> BTreeMap<String
         );
     }
 
+    // The algorithm axis: extra pipeline configurations ride the same
+    // instance and crash pattern, each on its own tie-break stream so
+    // the paper series stay bit-identical whether or not extras run.
+    // An extra that duplicates a series this cell already produced
+    // (e.g. `--algorithms ftsa`) is skipped rather than allowed to
+    // overwrite the paper series with a different tie-break stream.
+    for (ai, &alg) in cfg.extra_algorithms.iter().enumerate() {
+        let name = alg.name();
+        if out.contains_key(&format!("{name}-LowerBound")) {
+            continue;
+        }
+        let mut tie2 = StdRng::seed_from_u64(cell_seed ^ (0xA1_6000 + ai as u64));
+        let s = schedule(&inst, eps, alg, &mut tie2).expect("enough processors");
+        out.insert(format!("{name}-LowerBound"), nl(s.latency_lower_bound()));
+        out.insert(format!("{name}-UpperBound"), nl(s.latency_upper_bound()));
+        let mut crash_rng3 = StdRng::seed_from_u64(cell_seed ^ 0xC4A5);
+        let scen = if eps == 0 {
+            FailureScenario::none()
+        } else {
+            FailureScenario::uniform(&mut crash_rng3, inst.num_procs(), eps)
+        };
+        let l = simulate(&inst, &s, &scen).latency;
+        out.insert(format!("{name} with {eps} Crash"), nl(l));
+        out.insert(format!("Overhead: {name} with {eps} Crash"), ov(l));
+        out.insert(
+            format!("Messages: {name}"),
+            s.message_count(&inst.dag) as f64,
+        );
+    }
+
     out
 }
 
@@ -331,6 +370,37 @@ mod tests {
         assert!(p.series.contains_key("FTSA with 2 Crash"));
         assert!(p.series.contains_key("FTSA with 1 Crash"));
         assert!(!p.series.contains_key("FTBAR-LowerBound"));
+    }
+
+    #[test]
+    fn extra_algorithm_axis_adds_series_without_disturbing_paper_series() {
+        let base = tiny_config();
+        let mut ext = tiny_config();
+        // Ftsa duplicates a paper series: it must be skipped, not allowed
+        // to overwrite the paper numbers with a different tie stream.
+        ext.extra_algorithms = vec![
+            Algorithm::FtsaPressure,
+            Algorithm::FtbarMatched,
+            Algorithm::Ftsa,
+        ];
+        let a = run_figure_with_threads(&base, 2);
+        let b = run_figure_with_threads(&ext, 2);
+        for (pa, pb) in a.points.iter().zip(&b.points) {
+            // The paper series are bit-identical with or without extras.
+            for (k, v) in &pa.series {
+                assert_eq!(pb.series[k].to_bits(), v.to_bits(), "series {k} disturbed");
+            }
+            for name in ["P-FTSA", "MC-FTBAR"] {
+                assert!(pb.series.contains_key(&format!("{name}-LowerBound")));
+                assert!(pb.series.contains_key(&format!("{name} with 1 Crash")));
+                assert!(
+                    pb.series[&format!("{name}-LowerBound")]
+                        <= pb.series[&format!("{name}-UpperBound")] + 1e-9
+                );
+            }
+            // MC-FTBAR inherits the matched-communication economy.
+            assert!(pb.series["Messages: MC-FTBAR"] <= pb.series["Messages: FTSA"] + 1e-9);
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! processors blows up (`O(P·N³)` in the paper).
 
 use crate::parallel::parallel_map;
-use ftsched_core::{ftbar::ftbar, ftsa::ftsa, mc_ftsa};
+use ftsched_core::{ftbar::ftbar, ftsa::ftsa, mc_ftsa, schedule, Algorithm};
 use platform::gen::{paper_instance, PaperInstanceConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,6 +25,10 @@ pub struct Table1Config {
     /// Cap above which FTBAR is skipped (its cubic growth makes the
     /// largest paper sizes take minutes; `usize::MAX` measures all).
     pub ftbar_size_cap: usize,
+    /// Additional pipeline configurations timed alongside the paper's
+    /// three; each contributes one extra column named after
+    /// [`Algorithm::name`].
+    pub extra_algorithms: Vec<Algorithm>,
     /// Base RNG seed.
     pub seed: u64,
 }
@@ -37,6 +41,7 @@ impl Table1Config {
             procs: 50,
             epsilon: 5,
             ftbar_size_cap: usize::MAX,
+            extra_algorithms: Vec::new(),
             seed: 0x7AB1E1,
         }
     }
@@ -48,6 +53,7 @@ impl Table1Config {
             procs: 50,
             epsilon: 5,
             ftbar_size_cap: 2000,
+            extra_algorithms: Vec::new(),
             seed: 0x7AB1E1,
         }
     }
@@ -72,6 +78,10 @@ pub struct Table1Row {
     pub mc_ftsa_latency: f64,
     /// Latency lower bound of the FTBAR schedule (`None` when skipped).
     pub ftbar_latency: Option<f64>,
+    /// One `(name, wall-clock seconds, latency lower bound)` triple per
+    /// requested extra algorithm, in [`Table1Config::extra_algorithms`]
+    /// order.
+    pub extra: Vec<(String, f64, f64)>,
 }
 
 /// Runs the timing experiment sequentially (one row at a time), keeping
@@ -126,6 +136,18 @@ fn run_row(cfg: &Table1Config, v: usize) -> Table1Row {
             s.latency_lower_bound()
         })
     });
+    let extra = cfg
+        .extra_algorithms
+        .iter()
+        .map(|&alg| {
+            let (secs, latency) = time(&|| {
+                let mut r = StdRng::seed_from_u64(cfg.seed);
+                let s = schedule(&inst, cfg.epsilon, alg, &mut r).expect("schedulable");
+                s.latency_lower_bound()
+            });
+            (alg.name().to_string(), secs, latency)
+        })
+        .collect();
     Table1Row {
         tasks: v,
         ftsa_secs,
@@ -134,21 +156,33 @@ fn run_row(cfg: &Table1Config, v: usize) -> Table1Row {
         ftsa_latency,
         mc_ftsa_latency,
         ftbar_latency: ftbar_run.map(|(_, latency)| latency),
+        extra,
     }
 }
 
-/// Formats the rows like the paper's Table 1.
+/// Formats the rows like the paper's Table 1 (extra algorithm columns
+/// appended after FTBAR).
 pub fn format_table1(rows: &[Table1Row]) -> String {
     let mut out = String::new();
-    out.push_str("Number of tasks    FTSA     MC-FTSA    FTBAR\n");
+    out.push_str("Number of tasks    FTSA     MC-FTSA    FTBAR");
+    if let Some(first) = rows.first() {
+        for (name, _, _) in &first.extra {
+            out.push_str(&format!(" {name:>10}"));
+        }
+    }
+    out.push('\n');
     for r in rows {
         let fb = r
             .ftbar_secs
             .map_or_else(|| "   (skipped)".into(), |s| format!("{s:>9.2}"));
         out.push_str(&format!(
-            "{:>14} {:>8.2} {:>10.2} {}\n",
+            "{:>14} {:>8.2} {:>10.2} {}",
             r.tasks, r.ftsa_secs, r.mc_ftsa_secs, fb
         ));
+        for &(_, secs, _) in &r.extra {
+            out.push_str(&format!(" {secs:>10.2}"));
+        }
+        out.push('\n');
     }
     out
 }
@@ -164,6 +198,7 @@ mod tests {
             procs: 20,
             epsilon: 2,
             ftbar_size_cap: 300,
+            extra_algorithms: vec![],
             seed: 1,
         };
         let rows = run_table1(&cfg);
@@ -190,6 +225,7 @@ mod tests {
             procs: 10,
             epsilon: 1,
             ftbar_size_cap: 100,
+            extra_algorithms: vec![],
             seed: 2,
         };
         let rows = run_table1(&cfg);
@@ -208,10 +244,32 @@ mod tests {
             ftsa_latency: 12.5,
             mc_ftsa_latency: 13.0,
             ftbar_latency: Some(20.0),
+            extra: vec![("P-FTSA".into(), 0.03, 14.0)],
         }];
         let s = format_table1(&rows);
         assert!(s.contains("Number of tasks"));
         assert!(s.contains("100"));
+    }
+
+    #[test]
+    fn extra_algorithm_columns_measured_and_formatted() {
+        let cfg = Table1Config {
+            sizes: vec![80],
+            procs: 10,
+            epsilon: 1,
+            ftbar_size_cap: 80,
+            extra_algorithms: vec![Algorithm::FtsaPressure, Algorithm::FtbarMatched],
+            seed: 9,
+        };
+        let rows = run_table1(&cfg);
+        assert_eq!(rows[0].extra.len(), 2);
+        assert_eq!(rows[0].extra[0].0, "P-FTSA");
+        assert_eq!(rows[0].extra[1].0, "MC-FTBAR");
+        for &(_, secs, latency) in &rows[0].extra {
+            assert!(secs >= 0.0 && latency > 0.0);
+        }
+        let s = format_table1(&rows);
+        assert!(s.contains("P-FTSA") && s.contains("MC-FTBAR"), "{s}");
     }
 
     #[test]
@@ -221,6 +279,7 @@ mod tests {
             procs: 10,
             epsilon: 1,
             ftbar_size_cap: 120,
+            extra_algorithms: vec![],
             seed: 3,
         };
         let seq = run_table1_with_threads(&cfg, 1);

@@ -53,6 +53,7 @@ pub mod prelude {
     pub use ftsched_core::ftbar::{ftbar, ftbar_with_options};
     pub use ftsched_core::ftsa::{ftsa, ftsa_with_policy, PriorityPolicy};
     pub use ftsched_core::mc_ftsa::{mc_ftsa, Selector};
+    pub use ftsched_core::pipeline::{CommAxis, ListScheduler, PlacementAxis, PriorityAxis};
     pub use ftsched_core::stats::{schedule_stats, ScheduleStats};
     pub use ftsched_core::validate::validate;
     pub use ftsched_core::{schedule, Algorithm, CommSelection, Replica, Schedule, ScheduleError};

@@ -56,6 +56,14 @@ impl Platform {
         self.delay[k * self.m + h]
     }
 
+    /// Outgoing delay row `d(P_k, ·)` as a slice indexed by destination;
+    /// lets hot loops stream one sender's delays without per-cell
+    /// index arithmetic.
+    #[inline]
+    pub fn delay_row(&self, k: usize) -> &[f64] {
+        &self.delay[k * self.m..(k + 1) * self.m]
+    }
+
     /// Average delay `d̄` over ordered pairs of *distinct* processors;
     /// this is the `d` used for the static bottom levels. Zero when
     /// `m == 1`.

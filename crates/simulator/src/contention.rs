@@ -361,7 +361,7 @@ mod tests {
     fn unbounded_matches_base_engine() {
         for seed in 0..3u64 {
             let inst = instance(seed);
-            for alg in [Algorithm::Ftsa, Algorithm::McFtsaGreedy] {
+            for alg in Algorithm::ALL {
                 let s = schedule(&inst, 2, alg, &mut StdRng::seed_from_u64(seed)).unwrap();
                 let base = simulate(&inst, &s, &FailureScenario::none());
                 let cont =

@@ -598,11 +598,16 @@ mod tests {
         for seed in 0..4u64 {
             let mut r = rng(seed + 50);
             let inst = paper_instance(&mut r, &PaperInstanceConfig::default());
-            for (eps, alg) in [
-                (1usize, Algorithm::Ftsa),
-                (2, Algorithm::Ftsa),
-                (1, Algorithm::Ftbar),
-            ] {
+            // Every all-to-all pipeline configuration (the eq. 3/4
+            // guarantee is specific to all-to-all first-arrival
+            // semantics; matched schedules are covered separately).
+            let all_to_all = Algorithm::ALL
+                .into_iter()
+                .filter(|a| a.scheduler().comm == ftsched_core::pipeline::CommAxis::AllToAll);
+            for (eps, alg) in [1usize, 2]
+                .into_iter()
+                .flat_map(|e| all_to_all.clone().map(move |a| (e, a)))
+            {
                 let s = schedule(&inst, eps, alg, &mut rng(seed)).unwrap();
                 for probe in 0..6u64 {
                     let scen = FailureScenario::uniform(
@@ -737,11 +742,7 @@ mod tests {
     #[test]
     fn exhaustive_single_failures_diamond() {
         let inst = diamond_instance(4);
-        for alg in [
-            Algorithm::Ftsa,
-            Algorithm::McFtsaGreedy,
-            Algorithm::McFtsaBottleneck,
-        ] {
+        for alg in Algorithm::ALL {
             let s = schedule(&inst, 1, alg, &mut rng(3)).unwrap();
             for p in 0..4u32 {
                 let scen = FailureScenario::at_time_zero([ProcId(p)]);
@@ -754,7 +755,7 @@ mod tests {
     #[test]
     fn exhaustive_double_failures_diamond() {
         let inst = diamond_instance(5);
-        for alg in [Algorithm::Ftsa, Algorithm::McFtsaGreedy] {
+        for alg in Algorithm::ALL {
             let s = schedule(&inst, 2, alg, &mut rng(4)).unwrap();
             for a in 0..5u32 {
                 for b in (a + 1)..5u32 {

@@ -32,12 +32,7 @@ fn main() {
         "{:<12} {:>10} {:>10} {:>10} {:>9}",
         "algorithm", "M* (lb)", "M (ub)", "messages", "2-crash"
     );
-    for alg in [
-        Algorithm::Ftsa,
-        Algorithm::McFtsaGreedy,
-        Algorithm::McFtsaBottleneck,
-        Algorithm::Ftbar,
-    ] {
+    for alg in Algorithm::ALL {
         let mut tie = StdRng::seed_from_u64(5);
         let sched = schedule(&inst, epsilon, alg, &mut tie).expect("schedulable");
         validate(&inst, &sched).expect("valid");

@@ -10,6 +10,12 @@
 //!
 //! Bench targets must set `harness = false`, exactly as with upstream
 //! criterion.
+//!
+//! Like upstream, passing `--test` to the bench binary (i.e.
+//! `cargo bench --bench <name> -- --test`) runs every benchmark once as
+//! a smoke test instead of collecting timed samples — CI uses this to
+//! keep the targets compiling *and running* without paying full bench
+//! time.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,12 +32,18 @@ pub struct Criterion {
     _private: (),
 }
 
+/// Whether the bench binary was invoked with `--test` (smoke mode: one
+/// untimed sample per benchmark).
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
         BenchmarkGroup {
             name: name.into(),
-            sample_size: 10,
+            sample_size: if test_mode() { 1 } else { 10 },
         }
     }
 
@@ -55,10 +67,13 @@ pub struct BenchmarkGroup {
 }
 
 impl BenchmarkGroup {
-    /// Sets the number of timed samples per benchmark.
+    /// Sets the number of timed samples per benchmark (ignored in
+    /// `--test` smoke mode, which always runs one sample).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         assert!(n >= 1, "sample_size must be at least 1");
-        self.sample_size = n;
+        if !test_mode() {
+            self.sample_size = n;
+        }
         self
     }
 

@@ -131,12 +131,15 @@ fn fault_free_variants_agree_with_epsilon_zero() {
     // exactly ε = 0 of each algorithm.
     let mut rng = StdRng::seed_from_u64(77);
     let inst = paper_instance(&mut rng, &PaperInstanceConfig::default());
-    for alg in [Algorithm::Ftsa, Algorithm::McFtsaGreedy, Algorithm::Ftbar] {
+    for alg in Algorithm::ALL {
         let s = schedule(&inst, 0, alg, &mut StdRng::seed_from_u64(3)).unwrap();
+        let duplicating = alg.scheduler().placement
+            == ftsched::core::pipeline::PlacementAxis::MinStart { duplicate: true };
         for t in inst.dag.tasks() {
             assert!(!s.replicas_of(t).is_empty());
-            // ε = 0 ⇒ one primary replica (FTBAR may add duplicates).
-            if alg != Algorithm::Ftbar {
+            // ε = 0 ⇒ one primary replica (minimize-start-time placements
+            // may add duplicates).
+            if !duplicating {
                 assert_eq!(s.replicas_of(t).len(), 1);
             }
         }

@@ -101,6 +101,7 @@ fn table1_rows_identical_across_thread_counts() {
         procs: 10,
         epsilon: 1,
         ftbar_size_cap: 140,
+        extra_algorithms: vec![],
         seed: 0xDE7,
     };
     let reference = run_table1_with_threads(&cfg, 1);

@@ -5,13 +5,8 @@
 use ftsched::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
 
-fn algorithms() -> [Algorithm; 4] {
-    [
-        Algorithm::Ftsa,
-        Algorithm::McFtsaGreedy,
-        Algorithm::McFtsaBottleneck,
-        Algorithm::Ftbar,
-    ]
+fn algorithms() -> [Algorithm; 7] {
+    Algorithm::ALL
 }
 
 #[test]

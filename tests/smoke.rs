@@ -24,12 +24,7 @@ fn small_instance(seed: u64) -> Instance {
 fn all_algorithms_schedule_validate_and_simulate() {
     let inst = small_instance(2024);
     let eps = 2;
-    for alg in [
-        Algorithm::Ftsa,
-        Algorithm::McFtsaGreedy,
-        Algorithm::McFtsaBottleneck,
-        Algorithm::Ftbar,
-    ] {
+    for alg in Algorithm::ALL {
         let mut rng = StdRng::seed_from_u64(7);
         let sched = schedule(&inst, eps, alg, &mut rng)
             .unwrap_or_else(|e| panic!("{alg:?} failed to schedule: {e}"));
