@@ -5,17 +5,35 @@
 //! (see `crates/bench/BENCH_scheduler.json`): later PRs compare their
 //! medians against that baseline to keep the placement loop fast.
 //!
+//! Since the flat-CSR / zero-allocation PR the target also tracks:
+//!
+//! * `scheduler/large` — the production-scale regime (v = 2000 / 5000 /
+//!   10000) the ROADMAP targets, an order of magnitude past the paper's
+//!   experiments;
+//! * `scheduler/reuse` — steady-state `schedule_into` over one
+//!   `ScheduleWorkspace` (the experiment-grid / sweep workload, 0 heap
+//!   allocations per run);
+//! * `scheduler/montecarlo` — the crash-campaign hot path
+//!   (`simulate_replication_outcomes_into`, flat `CrashWorkspace`
+//!   state, allocation-free after the first replication).
+//!
 //! Run a quick correctness pass (1 sample per benchmark) with
 //! `cargo bench --bench scheduler -- --test`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ftsched_bench::bench_instance;
-use ftsched_core::{schedule, Algorithm};
+use ftsched_core::{schedule, schedule_into, Algorithm, ScheduleWorkspace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use simulator::crash::{simulate_replication_outcomes_into, CrashWorkspace, ReplicationOutcome};
 
 /// The fig1 sweep sizes tracked by the baseline JSON.
 const SIZES: [usize; 3] = [100, 500, 1000];
+
+/// The production-scale sweep sizes (FTBAR's O(free·m) σ sweep is
+/// quadratic in v on these shapes, so the large series tracks the two
+/// near-linear algorithms).
+const LARGE_SIZES: [usize; 3] = [2000, 5000, 10000];
 
 fn bench_schedule_fig1(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduler/fig1");
@@ -30,6 +48,49 @@ fn bench_schedule_fig1(c: &mut Criterion) {
                 })
             });
         }
+    }
+    group.finish();
+}
+
+fn bench_schedule_large(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler/large");
+    group.sample_size(10);
+    for v in LARGE_SIZES {
+        let inst = bench_instance(v, 20, 0x1A26E + v as u64);
+        for alg in [Algorithm::Ftsa, Algorithm::McFtsaGreedy] {
+            if alg == Algorithm::McFtsaGreedy && v > 5000 {
+                continue; // keep the CI smoke pass fast; FTSA covers 10k
+            }
+            group.bench_with_input(BenchmarkId::new(alg.name(), v), &inst, |b, inst| {
+                let mut ws = ScheduleWorkspace::new();
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(7);
+                    schedule_into(inst, 1, alg, &mut rng, &mut ws)
+                        .unwrap()
+                        .latency_lower_bound()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_schedule_reuse(c: &mut Criterion) {
+    // The experiment-grid workload: repeated scheduling of one instance
+    // shape through a warm workspace — the zero-allocation steady state.
+    let mut group = c.benchmark_group("scheduler/reuse");
+    group.sample_size(10);
+    let inst = bench_instance(1000, 20, 0xF161 + 1000);
+    for alg in [Algorithm::Ftsa, Algorithm::McFtsaGreedy, Algorithm::Ftbar] {
+        group.bench_with_input(BenchmarkId::new(alg.name(), 1000), &inst, |b, inst| {
+            let mut ws = ScheduleWorkspace::new();
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                schedule_into(inst, 1, alg, &mut rng, &mut ws)
+                    .unwrap()
+                    .latency_lower_bound()
+            })
+        });
     }
     group.finish();
 }
@@ -51,9 +112,41 @@ fn bench_schedule_high_replication(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_monte_carlo_replications(c: &mut Criterion) {
+    // The Monte-Carlo crash-campaign hot path: one warm CrashWorkspace
+    // drives every replication (zero allocation after the first).
+    let mut group = c.benchmark_group("scheduler/montecarlo");
+    group.sample_size(10);
+    for (v, reps) in [(500usize, 200usize), (1000, 100)] {
+        let inst = bench_instance(v, 20, 0xF161 + v as u64);
+        let sched = {
+            let mut rng = StdRng::seed_from_u64(7);
+            schedule(&inst, 2, Algorithm::Ftsa, &mut rng).unwrap()
+        };
+        group.bench_with_input(
+            BenchmarkId::new(format!("FTSA-reps{reps}"), v),
+            &(inst, sched),
+            |b, (inst, sched)| {
+                let mut ws = CrashWorkspace::new();
+                let mut out: Vec<ReplicationOutcome> = Vec::new();
+                b.iter(|| {
+                    simulate_replication_outcomes_into(
+                        inst, sched, 2, reps, 0xCAFE, &mut out, &mut ws,
+                    );
+                    out.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_schedule_fig1,
-    bench_schedule_high_replication
+    bench_schedule_large,
+    bench_schedule_reuse,
+    bench_schedule_high_replication,
+    bench_monte_carlo_replications
 );
 criterion_main!(benches);

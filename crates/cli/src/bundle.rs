@@ -69,7 +69,7 @@ mod tests {
         };
         let json = b.to_json().unwrap();
         let back = Bundle::from_json(&json).unwrap();
-        assert_eq!(back.schedule.replicas, s.replicas);
+        assert_eq!(back.schedule, s);
         assert_eq!(back.algorithm, "FTSA");
         // The reassembled instance still validates the schedule.
         ftsched_core::validate::validate(&back.instance(), &back.schedule).unwrap();

@@ -38,6 +38,12 @@ pub struct DaryHeap<P, const D: usize = 4> {
 
 const ABSENT: usize = usize::MAX;
 
+impl<P: Ord, const D: usize> Default for DaryHeap<P, D> {
+    fn default() -> Self {
+        DaryHeap::new(0)
+    }
+}
+
 impl<P: Ord, const D: usize> DaryHeap<P, D> {
     /// Creates a heap able to hold ids `0..capacity` (grows on demand).
     pub fn new(capacity: usize) -> Self {
@@ -73,6 +79,14 @@ impl<P: Ord, const D: usize> DaryHeap<P, D> {
         } else {
             None
         }
+    }
+
+    /// Removes every entry, keeping the allocated capacity — O(capacity).
+    /// Reusing a heap across scheduler runs this way is allocation-free
+    /// as long as the id universe does not grow.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.pos.fill(ABSENT);
     }
 
     fn ensure_id(&mut self, id: usize) {
@@ -287,6 +301,20 @@ mod tests {
         }
         assert_eq!(h.len(), 100);
         assert_eq!(h.pop(), Some((99, 1)));
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn clear_resets_membership() {
+        let mut h: DaryHeap<i32, 4> = DaryHeap::new(8);
+        for id in 0..8 {
+            h.push(id, id as i32);
+        }
+        h.clear();
+        assert!(h.is_empty());
+        assert!(!h.contains(3));
+        h.push(3, -1);
+        assert_eq!(h.pop(), Some((3, -1)));
         h.check_invariants().unwrap();
     }
 

@@ -39,4 +39,4 @@ pub use dary::DaryHeap;
 pub use heap::IndexedHeap;
 pub use ordf64::OrdF64;
 pub use priority_list::PriorityList;
-pub use select::select_smallest;
+pub use select::{select_smallest, select_smallest_into};

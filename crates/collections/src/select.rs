@@ -23,10 +23,25 @@
 pub fn select_smallest(
     m: usize,
     count: usize,
-    mut value: impl FnMut(usize) -> f64,
+    value: impl FnMut(usize) -> f64,
 ) -> Vec<(usize, f64)> {
-    debug_assert!(count <= m, "cannot select {count} of {m} candidates");
     let mut best: Vec<(usize, f64)> = Vec::with_capacity(count);
+    select_smallest_into(m, count, value, &mut best);
+    best
+}
+
+/// [`select_smallest`] writing into a caller-provided buffer — the
+/// zero-allocation form the scheduler's steady state uses. `best` is
+/// cleared first; after the call it holds exactly the `count`-prefix of
+/// the stable-by-index full sort.
+pub fn select_smallest_into(
+    m: usize,
+    count: usize,
+    mut value: impl FnMut(usize) -> f64,
+    best: &mut Vec<(usize, f64)>,
+) {
+    debug_assert!(count <= m, "cannot select {count} of {m} candidates");
+    best.clear();
     for j in 0..m {
         let v = value(j);
         if best.len() == count {
@@ -45,7 +60,6 @@ pub fn select_smallest(
         let at = best.partition_point(|&(_, w)| w.total_cmp(&v).is_le());
         best.insert(at, (j, v));
     }
-    best
 }
 
 #[cfg(test)]
@@ -104,5 +118,15 @@ mod tests {
     fn negative_zero_and_infinities_total_order() {
         let vals = [0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY, 1.0];
         assert_eq!(select_smallest(5, 5, |j| vals[j]), oracle(&vals, 5));
+    }
+
+    #[test]
+    fn into_variant_clears_and_reuses_the_buffer() {
+        let vals = [5.0, 1.0, 3.0, 1.0, 4.0];
+        let mut buf = vec![(99usize, 0.0f64); 7]; // stale content
+        select_smallest_into(5, 2, |j| vals[j], &mut buf);
+        assert_eq!(buf, oracle(&vals, 2));
+        select_smallest_into(5, 4, |j| vals[j], &mut buf);
+        assert_eq!(buf, oracle(&vals, 4));
     }
 }

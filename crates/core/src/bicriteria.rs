@@ -14,8 +14,9 @@
 //!   end of the scheduling process.
 
 use crate::error::ScheduleError;
-use crate::ftsa::{ftsa, ftsa_impl, PriorityPolicy};
+use crate::ftsa::{ftsa_impl, PriorityPolicy};
 use crate::schedule::Schedule;
+use crate::workspace::ScheduleWorkspace;
 use platform::Instance;
 use rand::Rng;
 use rand::SeedableRng;
@@ -29,28 +30,45 @@ pub struct MaxEpsilon {
     pub schedule: Schedule,
 }
 
-fn run_at(inst: &Instance, eps: usize, seed: u64) -> Option<Schedule> {
+/// Runs one FTSA probe into `ws`. Every ε-sweep below reuses a single
+/// workspace, so the repeated scheduling inside a search allocates
+/// nothing after the first probe (schedules are only cloned out when
+/// they become the search's current best).
+fn run_at(inst: &Instance, eps: usize, seed: u64, ws: &mut ScheduleWorkspace) -> bool {
     // Each ε gets its own deterministic tie-break stream so the search is
     // reproducible regardless of probe order.
     let mut rng =
         rand::rngs::StdRng::seed_from_u64(seed ^ (eps as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    ftsa(inst, eps, &mut rng).ok()
+    ftsa_impl_into(inst, eps, &mut rng, ws)
+}
+
+fn ftsa_impl_into(
+    inst: &Instance,
+    eps: usize,
+    rng: &mut rand::rngs::StdRng,
+    ws: &mut ScheduleWorkspace,
+) -> bool {
+    crate::Algorithm::Ftsa
+        .scheduler()
+        .run_into(inst, eps, rng, ws)
+        .is_ok()
 }
 
 /// Linear scan: the paper's "simplest way" — schedule for 1 failure, then
 /// 2, … while the guaranteed latency `M` stays within `budget`.
 /// Returns `None` when even ε = 0 misses the budget.
 pub fn max_epsilon_linear(inst: &Instance, budget: f64, seed: u64) -> Option<MaxEpsilon> {
+    let mut ws = ScheduleWorkspace::new();
     let mut best: Option<MaxEpsilon> = None;
     for eps in 0..inst.num_procs() {
-        match run_at(inst, eps, seed) {
-            Some(s) if s.latency_upper_bound() <= budget + 1e-9 => {
-                best = Some(MaxEpsilon {
-                    epsilon: eps,
-                    schedule: s,
-                });
-            }
-            _ => break,
+        if run_at(inst, eps, seed, &mut ws) && ws.schedule().latency_upper_bound() <= budget + 1e-9
+        {
+            best = Some(MaxEpsilon {
+                epsilon: eps,
+                schedule: ws.schedule().clone(),
+            });
+        } else {
+            break;
         }
     }
     best
@@ -60,24 +78,27 @@ pub fn max_epsilon_linear(inst: &Instance, budget: f64, seed: u64) -> Option<Max
 /// feasibility may not be monotone, so the candidate is verified and
 /// the probe falls back toward smaller ε when needed.
 pub fn max_epsilon_binary(inst: &Instance, budget: f64, seed: u64) -> Option<MaxEpsilon> {
-    let feasible = |eps: usize| -> Option<Schedule> {
-        run_at(inst, eps, seed).filter(|s| s.latency_upper_bound() <= budget + 1e-9)
+    let mut ws = ScheduleWorkspace::new();
+    let feasible = |eps: usize, ws: &mut ScheduleWorkspace| -> bool {
+        run_at(inst, eps, seed, ws) && ws.schedule().latency_upper_bound() <= budget + 1e-9
     };
     let mut lo = 0usize;
     let mut hi = inst.num_procs() - 1;
-    feasible(lo)?;
+    if !feasible(lo, &mut ws) {
+        return None;
+    }
     // Invariant: lo is feasible; shrink [lo, hi] to the last feasible ε.
     while lo < hi {
         let mid = lo + (hi - lo).div_ceil(2);
-        if feasible(mid).is_some() {
+        if feasible(mid, &mut ws) {
             lo = mid;
         } else {
             hi = mid - 1;
         }
     }
-    feasible(lo).map(|schedule| MaxEpsilon {
+    feasible(lo, &mut ws).then(|| MaxEpsilon {
         epsilon: lo,
-        schedule,
+        schedule: ws.take_schedule(),
     })
 }
 
@@ -175,7 +196,9 @@ mod tests {
     fn binary_matches_linear_on_moderate_budget() {
         let inst = inst();
         // Budget: 1.3x the ε=0 guaranteed latency — somewhere in between.
-        let base = run_at(&inst, 0, 7).unwrap().latency_upper_bound();
+        let mut ws = ScheduleWorkspace::new();
+        assert!(run_at(&inst, 0, 7, &mut ws));
+        let base = ws.schedule().latency_upper_bound();
         let budget = base * 1.3;
         let lin = max_epsilon_linear(&inst, budget, 7);
         let bin = max_epsilon_binary(&inst, budget, 7);
@@ -199,7 +222,9 @@ mod tests {
     #[test]
     fn both_criteria_feasible_with_loose_latency() {
         let inst = inst();
-        let loose = run_at(&inst, 1, 7).unwrap().latency_upper_bound() * 4.0;
+        let mut ws = ScheduleWorkspace::new();
+        assert!(run_at(&inst, 1, 7, &mut ws));
+        let loose = ws.schedule().latency_upper_bound() * 4.0;
         let mut rng = StdRng::seed_from_u64(7);
         let s = ftsa_both_criteria(&inst, 1, loose, &mut rng).unwrap();
         assert!(s.latency_upper_bound() <= loose);

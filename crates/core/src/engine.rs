@@ -2,9 +2,11 @@
 //! arrival caches, used by every configuration of the list-scheduling
 //! pipeline.
 //!
-//! The engine owns the growing [`Schedule`] plus per-processor ready
-//! times `r(P_j)` on both timelines, and implements the arrival terms of
-//! equations (1) and (3):
+//! The engine *borrows* its state — the growing [`Schedule`] plus the
+//! per-processor ready times `r(P_j)` and the flat per-(edge, processor)
+//! arrival cache — from a [`crate::workspace::ScheduleWorkspace`], so
+//! repeated runs reuse every buffer and the steady state allocates
+//! nothing. It implements the arrival terms of equations (1) and (3):
 //!
 //! * optimistic arrival (eq. 1): `max_{t* ∈ Γ⁻(t)} min_k { F(t*ᵏ) + W(t*ᵏ, t) }`
 //! * pessimistic arrival (eq. 3): `max_{t* ∈ Γ⁻(t)} max_k { F(t*ᵏ) + W(t*ᵏ, t) }`
@@ -43,35 +45,46 @@
 //! golden suite pins this.
 
 use crate::schedule::{Replica, Schedule};
-use ftcollections::select_smallest;
+use ftcollections::select_smallest_into;
 use platform::{Instance, ProcId};
 use taskgraph::{EdgeId, TaskId};
 
-/// Dual-timeline placement state.
-#[derive(Debug, Clone)]
+/// Dual-timeline placement state, borrowing its buffers from a
+/// [`crate::workspace::ScheduleWorkspace`].
+#[derive(Debug)]
 pub(crate) struct Engine<'a> {
     pub inst: &'a Instance,
-    pub sched: Schedule,
+    pub sched: &'a mut Schedule,
     /// `r(P_j)` on the optimistic timeline.
-    pub ready_lb: Vec<f64>,
+    pub ready_lb: &'a mut [f64],
     /// `r(P_j)` on the pessimistic timeline.
-    pub ready_ub: Vec<f64>,
+    pub ready_ub: &'a mut [f64],
     /// `arrive_lb[eid · m + j]`: cached optimistic per-edge arrival.
-    arrive_lb: Vec<f64>,
+    arrive_lb: &'a mut [f64],
     /// Processor count (row stride of the edge cache).
     m: usize,
 }
 
 impl<'a> Engine<'a> {
-    pub fn new(inst: &'a Instance, epsilon: usize) -> Self {
+    /// Wraps freshly reset workspace buffers. `ready_lb`/`ready_ub` must
+    /// be zeroed at length `m`; `arrive_lb` must be `+∞`-filled at
+    /// length `e · m`; `sched` must be an empty skeleton.
+    pub fn new(
+        inst: &'a Instance,
+        sched: &'a mut Schedule,
+        ready_lb: &'a mut [f64],
+        ready_ub: &'a mut [f64],
+        arrive_lb: &'a mut [f64],
+    ) -> Self {
         let m = inst.num_procs();
-        let cells = inst.dag.num_edges() * m;
+        debug_assert_eq!(ready_lb.len(), m);
+        debug_assert_eq!(arrive_lb.len(), inst.dag.num_edges() * m);
         Engine {
             inst,
-            sched: Schedule::empty(inst.num_tasks(), m, epsilon),
-            ready_lb: vec![0.0; m],
-            ready_ub: vec![0.0; m],
-            arrive_lb: vec![f64::INFINITY; cells],
+            sched,
+            ready_lb,
+            ready_ub,
+            arrive_lb,
             m,
         }
     }
@@ -84,6 +97,24 @@ impl<'a> Engine<'a> {
             arrival = arrival.max(self.arrive_lb[eid.index() * self.m + j]);
         }
         arrival
+    }
+
+    /// Fills `row[j] = arrival_lb(t, j)` for every processor at once,
+    /// streaming each incoming edge's contiguous cache row instead of
+    /// striding across rows per processor — the cache-friendly form the
+    /// selection sweeps use. `f64::max` over the same operands in the
+    /// same per-processor order, so the values are bit-identical to
+    /// [`Engine::arrival_lb`].
+    pub fn arrival_row_lb(&self, t: TaskId, row: &mut Vec<f64>) {
+        row.clear();
+        row.resize(self.m, 0.0);
+        for &(_, eid) in self.inst.dag.preds(t) {
+            let base = eid.index() * self.m;
+            let cache = &self.arrive_lb[base..base + self.m];
+            for (r, &c) in row.iter_mut().zip(cache) {
+                *r = r.max(c);
+            }
+        }
     }
 
     /// Pessimistic arrival term of eq. (3): each predecessor delivers
@@ -150,9 +181,7 @@ impl<'a> Engine<'a> {
             start_ub,
             finish_ub,
         };
-        let idx = self.sched.replicas[t.index()].len();
-        self.sched.replicas[t.index()].push(rep);
-        self.sched.proc_order[j].push((t, idx));
+        let idx = self.sched.push_replica(t, j, rep);
         self.ready_lb[j] = finish_lb;
         self.ready_ub[j] = finish_ub;
 
@@ -175,11 +204,26 @@ impl<'a> Engine<'a> {
 
     /// Selects the `count` processors realizing the smallest candidate
     /// finish times of eq. (1) (ties broken toward the lower index, which
-    /// keeps runs deterministic). Returns `(proc, finish)` pairs sorted by
-    /// finish — a partial selection, not a full `m log m` sort.
-    pub fn best_procs(&self, t: TaskId, count: usize) -> Vec<(usize, f64)> {
+    /// keeps runs deterministic) into the caller's buffer. `out` ends up
+    /// holding `(proc, finish)` pairs sorted by finish — a partial
+    /// selection, not a full `m log m` sort, and no allocation. `row` is
+    /// arrival scratch (see [`Engine::arrival_row_lb`]).
+    pub fn best_procs_into(
+        &self,
+        t: TaskId,
+        count: usize,
+        row: &mut Vec<f64>,
+        out: &mut Vec<(usize, f64)>,
+    ) {
         debug_assert!(count <= self.m);
-        select_smallest(self.m, count, |j| self.finish_candidate_lb(t, j))
+        self.arrival_row_lb(t, row);
+        let exec = self.inst.exec.times_row(t.index());
+        select_smallest_into(
+            self.m,
+            count,
+            |j| exec[j] + row[j].max(self.ready_lb[j]),
+            out,
+        );
     }
 
     /// Current schedule length on the optimistic timeline (FTBAR's

@@ -197,10 +197,10 @@ mod tests {
     fn per_processor_intervals_disjoint() {
         let inst = diamond_instance();
         let s = ftsa(&inst, 2, &mut rng()).unwrap();
-        for order in &s.proc_order {
+        for j in 0..s.num_procs() {
             let mut last_lb = 0.0f64;
             let mut last_ub = 0.0f64;
-            for &(t, k) in order {
+            for (t, k) in s.proc_order(j) {
                 let r = s.replicas_of(t)[k];
                 assert!(r.start_lb >= last_lb - 1e-9);
                 assert!(r.start_ub >= last_ub - 1e-9);

@@ -18,7 +18,7 @@
 use platform::Instance;
 
 /// Precomputed average costs of an instance.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct AverageCosts {
     /// `Ē(t)` per task.
     pub exec: Vec<f64>,
@@ -29,13 +29,21 @@ pub struct AverageCosts {
 impl AverageCosts {
     /// Computes the averages for `inst`.
     pub fn new(inst: &Instance) -> Self {
-        let exec = (0..inst.num_tasks())
-            .map(|t| inst.exec.average(t))
-            .collect();
-        AverageCosts {
-            exec,
-            mean_delay: inst.platform.average_delay(),
-        }
+        let mut costs = AverageCosts {
+            exec: Vec::new(),
+            mean_delay: 0.0,
+        };
+        costs.fill(inst);
+        costs
+    }
+
+    /// Recomputes the averages for `inst` in place, reusing the `exec`
+    /// buffer (allocation-free once its capacity covers the task count).
+    pub fn fill(&mut self, inst: &Instance) {
+        self.exec.clear();
+        self.exec
+            .extend((0..inst.num_tasks()).map(|t| inst.exec.average(t)));
+        self.mean_delay = inst.platform.average_delay();
     }
 
     /// Average communication cost `W̄` of shipping `volume` units.
@@ -48,8 +56,17 @@ impl AverageCosts {
 /// Computes the static bottom levels `bℓ(t)` for every task, in reverse
 /// topological order.
 pub fn bottom_levels(inst: &Instance, avg: &AverageCosts) -> Vec<f64> {
+    let mut bl = Vec::new();
+    bottom_levels_into(inst, avg, &mut bl);
+    bl
+}
+
+/// [`bottom_levels`] writing into a caller-provided buffer (cleared
+/// first) — the allocation-free form the scheduler workspace uses.
+pub fn bottom_levels_into(inst: &Instance, avg: &AverageCosts, bl: &mut Vec<f64>) {
     let dag = &inst.dag;
-    let mut bl = vec![0.0f64; dag.num_tasks()];
+    bl.clear();
+    bl.resize(dag.num_tasks(), 0.0);
     for &t in dag.topological_order().iter().rev() {
         let e = avg.exec[t.index()];
         let succs = dag.succs(t);
@@ -62,7 +79,6 @@ pub fn bottom_levels(inst: &Instance, avg: &AverageCosts) -> Vec<f64> {
                 .fold(f64::NEG_INFINITY, f64::max)
         };
     }
-    bl
 }
 
 #[cfg(test)]

@@ -31,6 +31,13 @@
 //! predecessor replica — the `O(e·m²)` bound of Theorem 4.2 with a much
 //! smaller constant (see `engine.rs` for the cache invariants).
 //!
+//! All run state — the flat-arena [`Schedule`], the arrival cache, the
+//! free list and every per-step scratch buffer — lives in a
+//! [`ScheduleWorkspace`]: [`schedule_into`] reuses it across runs with
+//! **zero heap allocations** in the steady state (see the [`workspace`]
+//! module docs for the contract; `tests/alloc_counter.rs` at the repo
+//! root pins it with a counting allocator).
+//!
 //! The paper's algorithms are *named configurations* of the pipeline
 //! ([`Algorithm::scheduler`]), pinned bit-for-bit to the original
 //! implementations by the golden suite (`tests/golden.rs`):
@@ -84,9 +91,11 @@ pub mod pipeline;
 pub mod schedule;
 pub mod stats;
 pub mod validate;
+pub mod workspace;
 
 pub use error::ScheduleError;
 pub use schedule::{CommSelection, Replica, Schedule};
+pub use workspace::ScheduleWorkspace;
 
 use crate::pipeline::{CommAxis, ListScheduler, PlacementAxis, PriorityAxis};
 use platform::Instance;
@@ -237,6 +246,35 @@ pub fn schedule(
     rng: &mut impl Rng,
 ) -> Result<Schedule, ScheduleError> {
     algorithm.scheduler().run(inst, epsilon, rng)
+}
+
+/// [`schedule()`](fn@crate::schedule) reusing a caller-held
+/// [`ScheduleWorkspace`]: after the first call on a given instance
+/// shape, scheduling performs no heap allocation (see the
+/// [`workspace`] module docs for the exact contract). The schedule is
+/// borrowed from the workspace — clone it to keep it past the next run.
+///
+/// ```
+/// use ftsched_core::{schedule_into, Algorithm, ScheduleWorkspace};
+/// use platform::gen::{paper_instance, PaperInstanceConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let inst = paper_instance(&mut rng, &PaperInstanceConfig::default());
+/// let mut ws = ScheduleWorkspace::new();
+/// for eps in [0, 1, 2] {
+///     let sched = schedule_into(&inst, eps, Algorithm::Ftsa, &mut rng, &mut ws).unwrap();
+///     assert!(sched.latency_lower_bound() <= sched.latency_upper_bound());
+/// }
+/// ```
+pub fn schedule_into<'w>(
+    inst: &Instance,
+    epsilon: usize,
+    algorithm: Algorithm,
+    rng: &mut impl Rng,
+    ws: &'w mut ScheduleWorkspace,
+) -> Result<&'w Schedule, ScheduleError> {
+    algorithm.scheduler().run_into(inst, epsilon, rng, ws)
 }
 
 #[cfg(test)]

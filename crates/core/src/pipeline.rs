@@ -17,13 +17,24 @@
 //! communications — are one-liners rather than a fourth copy of the
 //! loop.
 //!
+//! # Zero-allocation steady state
+//!
+//! Every buffer the loop touches lives in a
+//! [`ScheduleWorkspace`](crate::workspace::ScheduleWorkspace):
+//! [`ListScheduler::run_into`] resets and refills it in place, so
+//! repeated scheduling (pressure sweeps, bicriteria searches, experiment
+//! grids) allocates nothing after the first run — see the workspace
+//! module docs for the reuse contract. [`ListScheduler::run`] is the
+//! convenience form that builds a throwaway workspace.
+//!
 //! # Registering a new policy
 //!
 //! 1. Add a variant to the relevant axis enum below.
 //! 2. Implement it in the *one* `match` that consumes the axis
-//!    (`select` for priorities, `choose_procs` for placements,
+//!    (`select_next` for priorities, `choose_procs` for placements,
 //!    `place_replicas` for comm policies) — the compiler's
-//!    exhaustiveness check lists every site.
+//!    exhaustiveness check lists every site. Route any per-step storage
+//!    through a workspace field, not a fresh allocation.
 //! 3. Optionally name the combination: add an [`crate::Algorithm`]
 //!    variant, wire `scheduler()` / `name()` / `FromStr`, and append it
 //!    to [`crate::Algorithm::ALL`] so the CLI, the experiment axes and
@@ -48,11 +59,11 @@
 
 use crate::engine::Engine;
 use crate::error::ScheduleError;
-use crate::levels::{bottom_levels, AverageCosts};
 use crate::mc_ftsa::Selector;
-use crate::schedule::{CommSelection, Schedule};
-use ftcollections::{select_smallest, DaryHeap, OrdF64};
-use matching::{bottleneck_matching, greedy_matching, BipartiteGraph, Matching};
+use crate::schedule::{CommSelection, Replica, Schedule};
+use crate::workspace::ScheduleWorkspace;
+use ftcollections::{select_smallest_into, DaryHeap, OrdF64};
+use matching::{bottleneck_matching, greedy_matching_into, BipartiteGraph, GreedyScratch};
 use platform::Instance;
 use rand::Rng;
 use std::cmp::Reverse;
@@ -116,6 +127,22 @@ pub struct ListScheduler {
     pub comm: CommAxis,
 }
 
+/// Task-selection state operating on workspace buffers: the heap-backed
+/// `α` of FTSA, or FTBAR's free list swept under the pressure objective.
+enum SelKind {
+    /// Priority-ranked free list `α`; the key is `(priority, random
+    /// tie-break)`, so the heap head is exactly the paper's `H(α)`.
+    Ranked {
+        /// Whether the priority is `tℓ + bℓ` (true) or `bℓ` alone.
+        dynamic: bool,
+    },
+    /// FTBAR's sweep; selection scans all free tasks each step.
+    Pressure {
+        /// Current schedule length `R(n−1)`.
+        r_len: f64,
+    },
+}
+
 impl ListScheduler {
     /// Builds a pipeline configuration.
     pub fn new(priority: PriorityAxis, placement: PlacementAxis, comm: CommAxis) -> Self {
@@ -128,6 +155,9 @@ impl ListScheduler {
 
     /// Schedules `inst` tolerating `epsilon` fail-stop failures. `rng`
     /// drives random tie-breaking only.
+    ///
+    /// Builds a throwaway [`ScheduleWorkspace`]; batch callers should
+    /// hold one and use [`ListScheduler::run_into`] instead.
     pub fn run(
         &self,
         inst: &Instance,
@@ -135,6 +165,22 @@ impl ListScheduler {
         rng: &mut impl Rng,
     ) -> Result<Schedule, ScheduleError> {
         self.run_with_deadlines(inst, epsilon, rng, None)
+    }
+
+    /// [`ListScheduler::run`] reusing the caller's workspace: after the
+    /// first call on a given instance shape, scheduling performs **no**
+    /// heap allocation (greedy/all-to-all configurations; the bottleneck
+    /// matcher still allocates internally). The schedule stays owned by
+    /// the workspace — clone it to keep it past the next run.
+    pub fn run_into<'w>(
+        &self,
+        inst: &Instance,
+        epsilon: usize,
+        rng: &mut impl Rng,
+        ws: &'w mut ScheduleWorkspace,
+    ) -> Result<&'w Schedule, ScheduleError> {
+        self.run_with_deadlines_into(inst, epsilon, rng, None, ws)?;
+        Ok(&ws.sched)
     }
 
     /// [`ListScheduler::run`] with the Section 4.3 per-task deadline
@@ -148,29 +194,118 @@ impl ListScheduler {
         rng: &mut impl Rng,
         deadlines: Option<&[f64]>,
     ) -> Result<Schedule, ScheduleError> {
+        let mut ws = ScheduleWorkspace::new();
+        self.run_with_deadlines_into(inst, epsilon, rng, deadlines, &mut ws)?;
+        Ok(ws.take_schedule())
+    }
+
+    /// The workspace-reusing core: one loop, three axes, no allocation
+    /// in the steady state.
+    pub(crate) fn run_with_deadlines_into(
+        &self,
+        inst: &Instance,
+        epsilon: usize,
+        rng: &mut impl Rng,
+        deadlines: Option<&[f64]>,
+        ws: &mut ScheduleWorkspace,
+    ) -> Result<(), ScheduleError> {
         let m = inst.num_procs();
         if epsilon + 1 > m {
             return Err(ScheduleError::NotEnoughProcessors { epsilon, procs: m });
         }
         let dag = &inst.dag;
-        let v = dag.num_tasks();
         let replicas = epsilon + 1;
 
-        let avg = AverageCosts::new(inst);
-        let bl = bottom_levels(inst, &avg);
-        let mut waiting_preds: Vec<usize> =
-            (0..v).map(|i| dag.in_degree(TaskId(i as u32))).collect();
+        ws.prepare(inst, epsilon);
 
-        let mut sel = SelectState::init(self.priority, inst, &bl, rng);
-        let mut eng = Engine::new(inst, epsilon);
+        // Recycle the previous run's matched table: clearing the inner
+        // vectors keeps their capacity, so MC-FTSA's steady state stays
+        // allocation-free.
         let mut comm_tbl: Option<Vec<Vec<(usize, usize)>>> = match self.comm {
             CommAxis::AllToAll => None,
-            CommAxis::Matched(_) => Some(vec![Vec::new(); dag.num_edges()]),
+            CommAxis::Matched(_) => {
+                let tbl = match std::mem::replace(&mut ws.sched.comm, CommSelection::AllToAll) {
+                    CommSelection::Matched(mut t) => {
+                        for inner in &mut t {
+                            inner.clear();
+                        }
+                        t.resize_with(dag.num_edges(), Vec::new);
+                        t
+                    }
+                    CommSelection::AllToAll => vec![Vec::new(); dag.num_edges()],
+                };
+                debug_assert_eq!(tbl.len(), dag.num_edges());
+                debug_assert!(tbl.iter().all(Vec::is_empty));
+                Some(tbl)
+            }
         };
 
-        while let Some((t, suggested)) = sel.select(&eng, &bl, replicas) {
-            let chosen = self.choose_procs(&eng, t, replicas, suggested);
-            let procs: Vec<usize> = chosen.iter().map(|&(j, _)| j).collect();
+        let ScheduleWorkspace {
+            sched,
+            ready_lb,
+            ready_ub,
+            arrive_lb,
+            bl,
+            waiting_preds,
+            alpha,
+            tl,
+            free,
+            token,
+            row,
+            chosen,
+            sweep,
+            procs,
+            arrival,
+            senders,
+            graph,
+            forced,
+            pairs,
+            greedy,
+            ..
+        } = ws;
+
+        // Seed the free list with the entry tasks (consuming the RNG in
+        // entry order, exactly as the seed implementations did).
+        let mut sel = match self.priority {
+            PriorityAxis::Criticalness | PriorityAxis::BottomLevel => {
+                for &t in dag.entries() {
+                    alpha.push(t.index(), Reverse((OrdF64::new(bl[t.index()]), rng.gen())));
+                }
+                SelKind::Ranked {
+                    dynamic: matches!(self.priority, PriorityAxis::Criticalness),
+                }
+            }
+            PriorityAxis::Pressure => {
+                free.extend_from_slice(dag.entries());
+                for &t in dag.entries() {
+                    token[t.index()] = rng.gen();
+                }
+                SelKind::Pressure { r_len: 0.0 }
+            }
+        };
+
+        let mut eng = Engine::new(inst, sched, ready_lb, ready_ub, arrive_lb);
+
+        while let Some((t, suggested)) = select_next(
+            &mut sel, &eng, alpha, free, token, bl, replicas, row, chosen, sweep,
+        ) {
+            // Processor set hosting t's primary replicas, as
+            // `(processor, selection score)` pairs in `chosen` — the
+            // score is the eq. (1) candidate finish under BestFinish and
+            // the earliest start (or σ-sweep value) under MinStart.
+            match self.placement {
+                PlacementAxis::BestFinish => eng.best_procs_into(t, replicas, row, chosen),
+                PlacementAxis::MinStart { .. } => {
+                    if !suggested {
+                        // The σ sweep (when present) already ordered the
+                        // processors by start time; otherwise compute.
+                        eng.arrival_row_lb(t, row);
+                        select_smallest_into(m, replicas, |j| row[j].max(eng.ready_lb[j]), chosen);
+                    }
+                }
+            }
+            procs.clear();
+            procs.extend(chosen.iter().map(|&(j, _)| j));
 
             // Section 4.3 feasibility: the worst guaranteed finish among
             // the selected processors must meet the task's deadline.
@@ -194,221 +329,167 @@ impl ListScheduler {
                 }
             }
 
-            self.place_replicas(&mut eng, t, &procs, replicas, comm_tbl.as_mut());
+            // Place the replicas under the comm policy.
+            match self.comm {
+                CommAxis::AllToAll => {
+                    let duplicate =
+                        matches!(self.placement, PlacementAxis::MinStart { duplicate: true });
+                    for &j in procs.iter() {
+                        if duplicate {
+                            try_duplicate_critical_parent(&mut eng, t, j);
+                        }
+                        eng.place(t, j);
+                    }
+                }
+                CommAxis::Matched(selector) => place_matched(
+                    &mut eng,
+                    t,
+                    procs,
+                    replicas,
+                    selector,
+                    comm_tbl.as_mut().expect("matched comm allocates its table"),
+                    arrival,
+                    senders,
+                    graph,
+                    forced,
+                    pairs,
+                    greedy,
+                ),
+            }
             eng.sched.schedule_order.push(t);
-            sel.after_schedule(t, &eng, &bl, &mut waiting_preds, rng);
+
+            // Refresh successor priorities and release the ones that
+            // became free.
+            after_schedule(
+                &mut sel,
+                t,
+                &eng,
+                alpha,
+                free,
+                token,
+                tl,
+                bl,
+                waiting_preds,
+                rng,
+            );
         }
 
-        eng.sched.comm = match comm_tbl {
+        sched.comm = match comm_tbl {
             None => CommSelection::AllToAll,
             Some(tbl) => CommSelection::Matched(tbl),
         };
-        Ok(eng.sched)
-    }
-
-    /// The processor set hosting `t`'s primary replicas, as
-    /// `(processor, selection score)` pairs — the score is the eq. (1)
-    /// candidate finish under [`PlacementAxis::BestFinish`] and the
-    /// earliest start (or σ-sweep value) under
-    /// [`PlacementAxis::MinStart`].
-    fn choose_procs(
-        &self,
-        eng: &Engine<'_>,
-        t: TaskId,
-        replicas: usize,
-        suggested: Option<ScoredProcs>,
-    ) -> ScoredProcs {
-        match self.placement {
-            PlacementAxis::BestFinish => eng.best_procs(t, replicas),
-            PlacementAxis::MinStart { .. } => match suggested {
-                // The σ sweep already ordered processors by start time.
-                Some(procs) => procs,
-                None => select_smallest(eng.inst.num_procs(), replicas, |j| {
-                    eng.arrival_lb(t, j).max(eng.ready_lb[j])
-                }),
-            },
-        }
-    }
-
-    /// Places `t`'s replicas on `procs` under the comm policy.
-    fn place_replicas(
-        &self,
-        eng: &mut Engine<'_>,
-        t: TaskId,
-        procs: &[usize],
-        replicas: usize,
-        comm_tbl: Option<&mut Vec<Vec<(usize, usize)>>>,
-    ) {
-        match (self.comm, comm_tbl) {
-            (CommAxis::AllToAll, _) => {
-                let duplicate =
-                    matches!(self.placement, PlacementAxis::MinStart { duplicate: true });
-                for &j in procs {
-                    if duplicate {
-                        try_duplicate_critical_parent(eng, t, j);
-                    }
-                    eng.place(t, j);
-                }
-            }
-            (CommAxis::Matched(selector), Some(tbl)) => {
-                place_matched(eng, t, procs, replicas, selector, tbl);
-            }
-            (CommAxis::Matched(_), None) => unreachable!("matched comm allocates its table"),
-        }
+        Ok(())
     }
 }
 
-/// `(processor, selection score)` pairs ordered by score — the output
-/// of every processor-selection rule.
-type ScoredProcs = Vec<(usize, f64)>;
-
-/// Task-selection state: the heap-backed `α` of FTSA, or FTBAR's plain
-/// free list swept under the pressure objective.
-enum SelectState {
-    /// Priority-ranked free list `α` on an indexed 4-ary max-heap; the
-    /// key is `(priority, random tie-break)`, so the head is exactly the
-    /// paper's `H(α)` with random tie-breaking.
-    Ranked {
-        alpha: DaryHeap<Reverse<(OrdF64, u64)>, 4>,
-        /// Dynamic top levels `tℓ` (left at 0 under [`PriorityAxis::BottomLevel`]).
-        tl: Vec<f64>,
-        /// Whether the priority is `tℓ + bℓ` (true) or `bℓ` alone.
-        dynamic: bool,
-    },
-    /// FTBAR's free list; selection sweeps all free tasks each step.
-    Pressure {
-        free: Vec<TaskId>,
-        /// Random urgency tie-break tokens, drawn when a task frees up.
-        token: Vec<u64>,
-        /// Current schedule length `R(n−1)`.
-        r_len: f64,
-    },
-}
-
-impl SelectState {
-    fn init(
-        priority: PriorityAxis,
-        inst: &Instance,
-        bl: &[f64],
-        rng: &mut impl Rng,
-    ) -> SelectState {
-        let dag = &inst.dag;
-        let v = dag.num_tasks();
-        match priority {
-            PriorityAxis::Criticalness | PriorityAxis::BottomLevel => {
-                let mut alpha = DaryHeap::new(v);
-                for t in dag.entries() {
-                    alpha.push(t.index(), Reverse((OrdF64::new(bl[t.index()]), rng.gen())));
-                }
-                SelectState::Ranked {
-                    alpha,
-                    tl: vec![0.0f64; v],
-                    dynamic: matches!(priority, PriorityAxis::Criticalness),
-                }
-            }
-            PriorityAxis::Pressure => {
-                let free = dag.entries();
-                let mut token = vec![0u64; v];
-                for t in &free {
-                    token[t.index()] = rng.gen();
-                }
-                SelectState::Pressure {
-                    free,
-                    token,
-                    r_len: 0.0,
-                }
-            }
+/// Pops the next task. For the pressure sweep, `chosen` is additionally
+/// filled with the selected processor set (ordered by σ, i.e. by start
+/// time) and the returned flag is `true`.
+#[allow(clippy::too_many_arguments)]
+fn select_next(
+    sel: &mut SelKind,
+    eng: &Engine<'_>,
+    alpha: &mut DaryHeap<crate::workspace::AlphaKey, 4>,
+    free: &mut Vec<TaskId>,
+    token: &mut [u64],
+    s_latest: &[f64],
+    replicas: usize,
+    row: &mut Vec<f64>,
+    chosen: &mut Vec<(usize, f64)>,
+    sweep: &mut Vec<(usize, f64)>,
+) -> Option<(TaskId, bool)> {
+    match sel {
+        SelKind::Ranked { .. } => {
+            let (ti, _) = alpha.pop()?;
+            Some((TaskId(ti as u32), false))
         }
-    }
-
-    /// Pops the next task; the pressure sweep also returns its processor
-    /// set (ordered by σ, i.e. by start time).
-    fn select(
-        &mut self,
-        eng: &Engine<'_>,
-        s_latest: &[f64],
-        replicas: usize,
-    ) -> Option<(TaskId, Option<ScoredProcs>)> {
-        match self {
-            SelectState::Ranked { alpha, .. } => {
-                let (ti, _) = alpha.pop()?;
-                Some((TaskId(ti as u32), None))
+        SelKind::Pressure { r_len } => {
+            if free.is_empty() {
+                return None;
             }
-            SelectState::Pressure { free, token, r_len } => {
-                if free.is_empty() {
-                    return None;
-                }
-                let m = eng.inst.num_procs();
-                // Most urgent (task, processor-set) pair: the free task
-                // whose best-σ set has the largest `ε+1`-th pressure,
-                // ties broken by the larger random token.
-                let mut best: Option<(usize, ScoredProcs, f64, u64)> = None;
-                for (fi, &t) in free.iter().enumerate() {
-                    let sig = select_smallest(m, replicas, |j| {
-                        let start = eng.arrival_lb(t, j).max(eng.ready_lb[j]);
+            let m = eng.inst.num_procs();
+            // Most urgent (task, processor-set) pair: the free task
+            // whose best-σ set has the largest `ε+1`-th pressure, ties
+            // broken by the larger random token. The winning set is
+            // kept in `chosen` by swapping the two scratch buffers.
+            let mut best: Option<(usize, f64, u64)> = None;
+            for (fi, &t) in free.iter().enumerate() {
+                eng.arrival_row_lb(t, row);
+                select_smallest_into(
+                    m,
+                    replicas,
+                    |j| {
+                        let start = row[j].max(eng.ready_lb[j]);
                         start + s_latest[t.index()] - *r_len
-                    });
-                    let urgency = sig.last().expect("replicas >= 1").1;
-                    let tok = token[t.index()];
-                    let better = match &best {
-                        None => true,
-                        Some((_, _, u, bt)) => urgency > *u || (urgency == *u && tok > *bt),
-                    };
-                    if better {
-                        best = Some((fi, sig, urgency, tok));
-                    }
+                    },
+                    sweep,
+                );
+                let urgency = sweep.last().expect("replicas >= 1").1;
+                let tok = token[t.index()];
+                let better = match &best {
+                    None => true,
+                    Some((_, u, bt)) => urgency > *u || (urgency == *u && tok > *bt),
+                };
+                if better {
+                    best = Some((fi, urgency, tok));
+                    std::mem::swap(chosen, sweep);
                 }
-                let (fi, procs, _, _) = best.expect("free list nonempty");
-                Some((free.swap_remove(fi), Some(procs)))
             }
+            let (fi, _, _) = best.expect("free list nonempty");
+            Some((free.swap_remove(fi), true))
         }
     }
+}
 
-    /// Refreshes successor priorities after `t` was placed and releases
-    /// the successors that became free.
-    fn after_schedule(
-        &mut self,
-        t: TaskId,
-        eng: &Engine<'_>,
-        bl: &[f64],
-        waiting_preds: &mut [usize],
-        rng: &mut impl Rng,
-    ) {
-        let inst = eng.inst;
-        let dag = &inst.dag;
-        match self {
-            SelectState::Ranked { alpha, tl, dynamic } => {
-                // Refresh successor top levels:
-                //   tℓ(s) ≥ min_k { F(tᵏ) + V(t, s) · max_j d(P(tᵏ), P_j) }
-                // (worst-case outgoing delay since s's processor is unknown
-                // yet; min over replicas matches equation (1)'s optimistic
-                // semantics).
-                for &(s, eid) in dag.succs(t) {
-                    let vol = dag.volume(eid);
-                    let cand = eng
-                        .sched
-                        .replicas_of(t)
-                        .iter()
-                        .map(|r| r.finish_lb + vol * inst.platform.max_delay_from(r.proc.index()))
-                        .fold(f64::INFINITY, f64::min);
-                    let si = s.index();
-                    tl[si] = tl[si].max(cand);
-                    waiting_preds[si] -= 1;
-                    if waiting_preds[si] == 0 {
-                        let priority = if *dynamic { tl[si] + bl[si] } else { bl[si] };
-                        alpha.push(si, Reverse((OrdF64::new(priority), rng.gen())));
-                    }
+/// Refreshes successor priorities after `t` was placed and releases the
+/// successors that became free.
+#[allow(clippy::too_many_arguments)]
+fn after_schedule(
+    sel: &mut SelKind,
+    t: TaskId,
+    eng: &Engine<'_>,
+    alpha: &mut DaryHeap<crate::workspace::AlphaKey, 4>,
+    free: &mut Vec<TaskId>,
+    token: &mut [u64],
+    tl: &mut [f64],
+    bl: &[f64],
+    waiting_preds: &mut [u32],
+    rng: &mut impl Rng,
+) {
+    let inst = eng.inst;
+    let dag = &inst.dag;
+    match sel {
+        SelKind::Ranked { dynamic } => {
+            // Refresh successor top levels:
+            //   tℓ(s) ≥ min_k { F(tᵏ) + V(t, s) · max_j d(P(tᵏ), P_j) }
+            // (worst-case outgoing delay since s's processor is unknown
+            // yet; min over replicas matches equation (1)'s optimistic
+            // semantics).
+            for &(s, eid) in dag.succs(t) {
+                let vol = dag.volume(eid);
+                let cand = eng
+                    .sched
+                    .replicas_of(t)
+                    .iter()
+                    .map(|r| r.finish_lb + vol * inst.platform.max_delay_from(r.proc.index()))
+                    .fold(f64::INFINITY, f64::min);
+                let si = s.index();
+                tl[si] = tl[si].max(cand);
+                waiting_preds[si] -= 1;
+                if waiting_preds[si] == 0 {
+                    let priority = if *dynamic { tl[si] + bl[si] } else { bl[si] };
+                    alpha.push(si, Reverse((OrdF64::new(priority), rng.gen())));
                 }
             }
-            SelectState::Pressure { free, token, r_len } => {
-                *r_len = eng.current_length_lb();
-                for &(s, _) in dag.succs(t) {
-                    let si = s.index();
-                    waiting_preds[si] -= 1;
-                    if waiting_preds[si] == 0 {
-                        token[si] = rng.gen();
-                        free.push(s);
-                    }
+        }
+        SelKind::Pressure { r_len } => {
+            *r_len = eng.current_length_lb();
+            for &(s, _) in dag.succs(t) {
+                let si = s.index();
+                waiting_preds[si] -= 1;
+                if waiting_preds[si] == 0 {
+                    token[si] = rng.gen();
+                    free.push(s);
                 }
             }
         }
@@ -461,6 +542,10 @@ fn try_duplicate_critical_parent(eng: &mut Engine<'_>, t: TaskId, j: usize) {
 /// robust one-to-one communication set between the predecessor's
 /// replicas and the destination processors, then place each replica
 /// with its deterministic matched times (the two timelines coincide).
+/// All scratch comes from the workspace; with the greedy selector the
+/// step performs no allocation (the bottleneck binary search still
+/// allocates internally).
+#[allow(clippy::too_many_arguments)]
 fn place_matched(
     eng: &mut Engine<'_>,
     t: TaskId,
@@ -468,20 +553,28 @@ fn place_matched(
     replicas: usize,
     selector: Selector,
     comm: &mut [Vec<(usize, usize)>],
+    arrival: &mut Vec<f64>,
+    senders: &mut Vec<Replica>,
+    g: &mut BipartiteGraph,
+    forced: &mut Vec<(usize, usize)>,
+    pairs: &mut Vec<(usize, usize)>,
+    greedy: &mut GreedyScratch,
 ) {
     let inst = eng.inst;
     let dag = &inst.dag;
 
     // Per destination replica r (running on procs[r]), the arrival time
     // of each predecessor's data through the selected matching.
-    let mut arrival = vec![0.0f64; replicas];
+    arrival.clear();
+    arrival.resize(replicas, 0.0);
 
     for &(p, eid) in dag.preds(t) {
         let vol = dag.volume(eid);
-        let senders = eng.sched.replicas_of(p).to_vec();
+        senders.clear();
+        senders.extend_from_slice(eng.sched.replicas_of(p));
         // Build the bipartite graph of Section 4.2.
-        let mut g = BipartiteGraph::new(senders.len(), replicas);
-        let mut forced: Vec<(usize, usize)> = Vec::new();
+        g.reset(senders.len(), replicas);
+        forced.clear();
         for (k, srep) in senders.iter().enumerate() {
             let sp = srep.proc.index();
             if let Some(r) = procs.iter().position(|&q| q == sp) {
@@ -500,13 +593,23 @@ fn place_matched(
                 }
             }
         }
-        let matching: Matching = match selector {
-            Selector::Greedy => greedy_matching(&g, &forced),
-            Selector::Bottleneck => bottleneck_matching(&g, &forced),
+        match selector {
+            Selector::Greedy => {
+                let ok = greedy_matching_into(g, forced, greedy, pairs);
+                assert!(
+                    ok,
+                    "matched-comm bipartite graphs always admit a left-perfect matching"
+                );
+            }
+            Selector::Bottleneck => {
+                let matching = bottleneck_matching(g, forced)
+                    .expect("matched-comm bipartite graphs always admit a left-perfect matching");
+                pairs.clear();
+                pairs.extend_from_slice(&matching.pairs);
+            }
         }
-        .expect("matched-comm bipartite graphs always admit a left-perfect matching");
 
-        for &(k, r) in &matching.pairs {
+        for &(k, r) in pairs.iter() {
             let srep = &senders[k];
             let q = procs[r];
             let a = srep.finish_lb + vol * inst.platform.delay(srep.proc.index(), q);

@@ -91,10 +91,10 @@ pub fn validate(inst: &Instance, sched: &Schedule) -> Result<(), ScheduleError> 
     for t in dag.tasks() {
         seen[t.index()] = vec![false; sched.replicas_of(t).len()];
     }
-    for (j, order) in sched.proc_order.iter().enumerate() {
+    for j in 0..sched.num_procs() {
         let mut last_lb = f64::NEG_INFINITY;
         let mut last_ub = f64::NEG_INFINITY;
-        for &(t, k) in order {
+        for (t, k) in sched.proc_order(j) {
             let reps = sched.replicas_of(t);
             if k >= reps.len() {
                 return fail(format!("proc P{j} references missing replica {k} of {t}"));
@@ -259,12 +259,11 @@ mod tests {
         let inst = paper_instance(&mut r, &PaperInstanceConfig::default());
         let mut s = ftsa(&inst, 1, &mut StdRng::seed_from_u64(3)).unwrap();
         // Corrupt: force both replicas of task 0 onto the same processor.
-        let p = s.replicas[0][0].proc;
-        let old = s.replicas[0][1].proc;
-        s.replicas[0][1].proc = p;
+        let t0 = taskgraph::TaskId(0);
+        let p = s.replicas_of(t0)[0].proc;
+        s.replica_mut(t0, 1).proc = p;
         let err = validate(&inst, &s).unwrap_err();
         assert!(err.to_string().contains("4.1") || err.to_string().contains("recorded"));
-        let _ = old;
     }
 
     #[test]
@@ -278,8 +277,8 @@ mod tests {
             .tasks()
             .find(|&t| inst.dag.in_degree(t) > 0)
             .expect("nonempty dag");
-        s.replicas[t.index()][0].start_lb = 0.0;
-        s.replicas[t.index()][0].finish_lb = 0.01;
+        s.replica_mut(t, 0).start_lb = 0.0;
+        s.replica_mut(t, 0).finish_lb = 0.01;
         assert!(validate(&inst, &s).is_err());
     }
 

@@ -1,0 +1,147 @@
+//! Reusable scheduling state: the zero-allocation steady-state contract.
+//!
+//! Building a schedule needs a dozen working buffers — the output
+//! [`Schedule`] arenas, the per-(edge, processor) arrival cache, ready
+//! times, bottom levels, the heap-backed free list, per-step processor
+//! selections and the matched-communication scratch. A
+//! [`ScheduleWorkspace`] owns all of them; [`crate::pipeline::ListScheduler::run_into`]
+//! (or [`crate::schedule_into`]) resets and refills them in place, so
+//! after the first run on a given instance shape **no further heap
+//! allocation happens**: FTBAR pressure sweeps, bicriteria ε-searches and
+//! experiment grids that reschedule thousands of times touch the
+//! allocator exactly once. The root `tests/alloc_counter.rs` suite pins
+//! this with a counting global allocator.
+//!
+//! # Reuse contract
+//!
+//! * Every buffer is `clear()`-then-`resize()`d at run start — never
+//!   reallocated while its capacity suffices. Growing to a *larger*
+//!   instance allocates once and then plateaus again.
+//! * The produced [`Schedule`] stays owned by the workspace; `run_into`
+//!   returns `&Schedule`. Clone it (or [`ScheduleWorkspace::take_schedule`])
+//!   to keep it beyond the next run.
+//! * A matched-communication table found in the previous run's
+//!   `Schedule` is recycled: its per-edge `Vec`s are cleared, not
+//!   dropped, so MC-FTSA's steady state is allocation-free too (with the
+//!   greedy selector; the bottleneck selector's binary search still
+//!   allocates internally).
+//!
+//! When adding a new policy to the pipeline, route any per-step storage
+//! through a field here (cleared in [`ScheduleWorkspace::prepare`])
+//! instead of allocating in the loop — that keeps the allocator test
+//! green and the hot path flat.
+
+use crate::levels::AverageCosts;
+use crate::schedule::{Replica, Schedule};
+use ftcollections::{DaryHeap, OrdF64};
+use matching::{BipartiteGraph, GreedyScratch};
+use platform::Instance;
+use std::cmp::Reverse;
+use taskgraph::TaskId;
+
+/// Priority key of the ranked free list `α`: max-heap over
+/// `(priority, random tie-break)`.
+pub(crate) type AlphaKey = Reverse<(OrdF64, u64)>;
+
+/// Owns every buffer a [`crate::pipeline::ListScheduler`] run needs, so
+/// repeated runs are allocation-free. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct ScheduleWorkspace {
+    /// The output schedule (arenas reused across runs).
+    pub(crate) sched: Schedule,
+    /// Engine: optimistic per-processor ready times.
+    pub(crate) ready_lb: Vec<f64>,
+    /// Engine: pessimistic per-processor ready times.
+    pub(crate) ready_ub: Vec<f64>,
+    /// Engine: flat per-(edge, processor) optimistic arrival cache.
+    pub(crate) arrive_lb: Vec<f64>,
+    /// Average execution / delay costs (`Ē`, `d̄`).
+    pub(crate) avg: AverageCosts,
+    /// Static bottom levels `bℓ`.
+    pub(crate) bl: Vec<f64>,
+    /// Unscheduled-predecessor counts.
+    pub(crate) waiting_preds: Vec<u32>,
+    /// Ranked free list `α` (criticalness / bottom-level priorities).
+    pub(crate) alpha: DaryHeap<AlphaKey, 4>,
+    /// Dynamic top levels `tℓ`.
+    pub(crate) tl: Vec<f64>,
+    /// FTBAR's plain free list.
+    pub(crate) free: Vec<TaskId>,
+    /// Random urgency tie-break tokens for the pressure sweep.
+    pub(crate) token: Vec<u64>,
+    /// Per-processor arrival-row scratch (see
+    /// [`crate::engine`]'s row-major arrival fold).
+    pub(crate) row: Vec<f64>,
+    /// Per-step chosen `(processor, score)` set.
+    pub(crate) chosen: Vec<(usize, f64)>,
+    /// Pressure-sweep candidate buffer (per free task).
+    pub(crate) sweep: Vec<(usize, f64)>,
+    /// Per-step plain processor list.
+    pub(crate) procs: Vec<usize>,
+    /// Matched placement: per-destination-replica arrival times.
+    pub(crate) arrival: Vec<f64>,
+    /// Matched placement: sender replicas of the current predecessor.
+    pub(crate) senders: Vec<Replica>,
+    /// Matched placement: the Section 4.2 bipartite graph.
+    pub(crate) graph: BipartiteGraph,
+    /// Matched placement: forced internal pairs.
+    pub(crate) forced: Vec<(usize, usize)>,
+    /// Matched placement: selected pairs of the current predecessor.
+    pub(crate) pairs: Vec<(usize, usize)>,
+    /// Greedy selector scratch.
+    pub(crate) greedy: GreedyScratch,
+}
+
+impl ScheduleWorkspace {
+    /// Creates an empty workspace; buffers are sized lazily by the first
+    /// run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The schedule produced by the most recent run.
+    pub fn schedule(&self) -> &Schedule {
+        &self.sched
+    }
+
+    /// Moves the most recent schedule out, leaving an empty one behind
+    /// (the next run then re-grows the arenas — use [`Clone`] on
+    /// [`ScheduleWorkspace::schedule`] instead to stay allocation-free).
+    pub fn take_schedule(&mut self) -> Schedule {
+        std::mem::take(&mut self.sched)
+    }
+
+    /// Resets every buffer for a run over `inst` at `epsilon`, reusing
+    /// capacity. Also recomputes the average costs and bottom levels.
+    pub(crate) fn prepare(&mut self, inst: &Instance, epsilon: usize) {
+        let dag = &inst.dag;
+        let v = dag.num_tasks();
+        let m = inst.num_procs();
+        self.sched.reset(v, m, epsilon);
+        self.ready_lb.clear();
+        self.ready_lb.resize(m, 0.0);
+        self.ready_ub.clear();
+        self.ready_ub.resize(m, 0.0);
+        self.arrive_lb.clear();
+        self.arrive_lb.resize(dag.num_edges() * m, f64::INFINITY);
+        self.avg.fill(inst);
+        crate::levels::bottom_levels_into(inst, &self.avg, &mut self.bl);
+        self.waiting_preds.clear();
+        self.waiting_preds
+            .extend((0..v as u32).map(|t| dag.in_degree(TaskId(t)) as u32));
+        self.alpha.clear();
+        self.tl.clear();
+        self.tl.resize(v, 0.0);
+        self.free.clear();
+        self.token.clear();
+        self.token.resize(v, 0);
+        self.row.clear();
+        self.chosen.clear();
+        self.sweep.clear();
+        self.procs.clear();
+        self.arrival.clear();
+        self.senders.clear();
+        self.forced.clear();
+        self.pairs.clear();
+    }
+}

@@ -35,7 +35,7 @@ fn digest(sched: &Schedule) -> String {
         .map(|t| t.index().to_string())
         .collect();
     let _ = writeln!(out, "order {}", order.join(" "));
-    for (ti, reps) in sched.replicas.iter().enumerate() {
+    for (ti, reps) in sched.tasks_replicas().enumerate() {
         for (k, r) in reps.iter().enumerate() {
             let _ = writeln!(
                 out,

@@ -110,7 +110,7 @@ proptest! {
             &mut StdRng::seed_from_u64(seed),
         )
         .unwrap();
-        prop_assert_eq!(f.replicas.clone(), mc.replicas.clone());
+        prop_assert_eq!(f.replica_lists(), mc.replica_lists());
         prop_assert!((f.latency_lower_bound() - mc.latency_lower_bound()).abs() < 1e-9);
         prop_assert_eq!(f.message_count(&inst.dag), mc.message_count(&inst.dag));
     }

@@ -56,12 +56,18 @@ pub mod prelude {
     pub use ftsched_core::pipeline::{CommAxis, ListScheduler, PlacementAxis, PriorityAxis};
     pub use ftsched_core::stats::{schedule_stats, ScheduleStats};
     pub use ftsched_core::validate::validate;
-    pub use ftsched_core::{schedule, Algorithm, CommSelection, Replica, Schedule, ScheduleError};
+    pub use ftsched_core::{
+        schedule, schedule_into, Algorithm, CommSelection, Replica, Schedule, ScheduleError,
+        ScheduleWorkspace,
+    };
     pub use platform::gen::{paper_instance, random_platform, PaperInstanceConfig};
     pub use platform::granularity::{granularity, scale_to_granularity};
     pub use platform::{ExecutionMatrix, FailureScenario, Instance, Platform, ProcId};
     pub use simulator::contention::{simulate_contention, ContentionResult, PortModel};
-    pub use simulator::crash::FallbackPolicy;
+    pub use simulator::crash::{
+        simulate_into, simulate_outcome_into, simulate_replication_outcomes,
+        simulate_replication_outcomes_into, CrashWorkspace, FallbackPolicy, ReplicationOutcome,
+    };
     pub use simulator::reliability::{
         design_point_probability, survival_probability_exact, survival_probability_monte_carlo,
     };

@@ -38,6 +38,16 @@ impl BipartiteGraph {
         }
     }
 
+    /// Clears the graph in place and sets new side sizes, keeping the
+    /// edge buffer's capacity. The scheduler's matched-communication
+    /// placement rebuilds one graph per predecessor this way, so its
+    /// steady state performs no allocation.
+    pub fn reset(&mut self, n_left: usize, n_right: usize) {
+        self.n_left = n_left;
+        self.n_right = n_right;
+        self.edges.clear();
+    }
+
     /// Number of left nodes.
     #[inline]
     pub fn n_left(&self) -> usize {

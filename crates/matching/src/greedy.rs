@@ -32,9 +32,41 @@ use crate::Matching;
 /// assert_eq!(m.bottleneck, 2.0);
 /// ```
 pub fn greedy_matching(g: &BipartiteGraph, forced: &[(usize, usize)]) -> Option<Matching> {
-    let mut left_used = vec![false; g.n_left()];
-    let mut right_used = vec![false; g.n_right()];
+    let mut scratch = GreedyScratch::default();
     let mut pairs = Vec::with_capacity(g.n_left());
+    if greedy_matching_into(g, forced, &mut scratch, &mut pairs) {
+        Some(Matching::from_pairs(g, pairs))
+    } else {
+        None
+    }
+}
+
+/// Reusable buffers for [`greedy_matching_into`].
+#[derive(Debug, Clone, Default)]
+pub struct GreedyScratch {
+    left_used: Vec<bool>,
+    right_used: Vec<bool>,
+    order: Vec<u32>,
+}
+
+/// [`greedy_matching`] writing the selected pairs into a caller-provided
+/// buffer — the zero-allocation form used by the scheduler's matched
+/// placement. `pairs` is cleared first and, on success (`true`), holds
+/// the forced pairs followed by the greedy picks in non-decreasing
+/// weight order — exactly the pair sequence [`greedy_matching`] records.
+pub fn greedy_matching_into(
+    g: &BipartiteGraph,
+    forced: &[(usize, usize)],
+    scratch: &mut GreedyScratch,
+    pairs: &mut Vec<(usize, usize)>,
+) -> bool {
+    let left_used = &mut scratch.left_used;
+    let right_used = &mut scratch.right_used;
+    left_used.clear();
+    left_used.resize(g.n_left(), false);
+    right_used.clear();
+    right_used.resize(g.n_right(), false);
+    pairs.clear();
 
     for &(l, r) in forced {
         assert!(
@@ -50,12 +82,21 @@ pub fn greedy_matching(g: &BipartiteGraph, forced: &[(usize, usize)]) -> Option<
         pairs.push((l, r));
     }
 
-    // Sort edge indices by weight (stable ⇒ deterministic for ties).
-    let mut order: Vec<usize> = (0..g.edges().len()).collect();
-    order.sort_by(|&a, &b| g.edges()[a].weight.total_cmp(&g.edges()[b].weight));
+    // Order edge indices by (weight, index): the index tiebreak makes
+    // the key total, so the allocation-free unstable sort produces
+    // exactly the stable by-weight order (deterministic for ties).
+    let order = &mut scratch.order;
+    order.clear();
+    order.extend(0..g.edges().len() as u32);
+    order.sort_unstable_by(|&a, &b| {
+        g.edges()[a as usize]
+            .weight
+            .total_cmp(&g.edges()[b as usize].weight)
+            .then(a.cmp(&b))
+    });
 
-    for ei in order {
-        let e = g.edges()[ei];
+    for &ei in order.iter() {
+        let e = g.edges()[ei as usize];
         if !left_used[e.left] && !right_used[e.right] {
             left_used[e.left] = true;
             right_used[e.right] = true;
@@ -66,11 +107,7 @@ pub fn greedy_matching(g: &BipartiteGraph, forced: &[(usize, usize)]) -> Option<
         }
     }
 
-    if left_used.iter().all(|&u| u) {
-        Some(Matching::from_pairs(g, pairs))
-    } else {
-        None
-    }
+    left_used.iter().all(|&u| u)
 }
 
 #[cfg(test)]

@@ -31,7 +31,7 @@ pub mod hopcroft_karp;
 
 pub use bipartite::{BipartiteGraph, Edge};
 pub use bottleneck::bottleneck_matching;
-pub use greedy::greedy_matching;
+pub use greedy::{greedy_matching, greedy_matching_into, GreedyScratch};
 pub use hopcroft_karp::{maximum_matching, MatchResult};
 
 /// A selected set of communications: one `(left, right)` pair per edge of

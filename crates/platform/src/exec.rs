@@ -90,6 +90,14 @@ impl ExecutionMatrix {
         self.times[task * self.m + proc]
     }
 
+    /// The contiguous per-processor row `E(t, ·)` of `task` — the
+    /// scheduler's selection sweeps stream this instead of issuing `m`
+    /// strided [`ExecutionMatrix::time`] lookups.
+    #[inline]
+    pub fn times_row(&self, task: usize) -> &[f64] {
+        &self.times[task * self.m..(task + 1) * self.m]
+    }
+
     /// Average execution time `Ē(t)` over all processors (used by the
     /// static bottom levels).
     pub fn average(&self, task: usize) -> f64 {

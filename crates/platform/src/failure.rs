@@ -64,16 +64,43 @@ impl FailureScenario {
 
     /// Draws `count` distinct processors uniformly from `0..m`, all
     /// failing at time 0 ("processors that fail during the schedule
-    /// process are chosen uniformly", Section 6).
+    /// process are chosen uniformly", Section 6). Delegates to
+    /// [`FailureScenario::refill_uniform`], the single home of the
+    /// partial Fisher–Yates draw.
     pub fn uniform(rng: &mut impl Rng, m: usize, count: usize) -> Self {
+        let mut scenario = Self::none();
+        let mut ids = Vec::new();
+        scenario.refill_uniform(rng, m, count, &mut ids);
+        scenario
+    }
+
+    /// Redraws this scenario in place — a partial Fisher–Yates for
+    /// `count` distinct fail-at-time-zero processors, reusing `ids` as
+    /// scratch. This is the allocation-free form the Monte-Carlo crash
+    /// campaigns use between replications; [`FailureScenario::uniform`]
+    /// is the owned convenience wrapper around it.
+    pub fn refill_uniform(
+        &mut self,
+        rng: &mut impl Rng,
+        m: usize,
+        count: usize,
+        ids: &mut Vec<u32>,
+    ) {
         assert!(count <= m, "cannot fail more processors than exist");
-        // Partial Fisher–Yates for distinct picks.
-        let mut ids: Vec<u32> = (0..m as u32).collect();
+        ids.clear();
+        ids.extend(0..m as u32);
         for i in 0..count {
             let j = rng.gen_range(i..ids.len());
             ids.swap(i, j);
         }
-        Self::at_time_zero(ids[..count].iter().map(|&i| ProcId(i)))
+        self.failures.clear();
+        self.failures
+            .extend(ids[..count].iter().map(|&i| (ProcId(i), 0.0)));
+    }
+
+    /// Empties the scenario in place (no failures), keeping capacity.
+    pub fn clear(&mut self) {
+        self.failures.clear();
     }
 
     /// Like [`FailureScenario::uniform`] but with failure times drawn
@@ -180,6 +207,19 @@ mod tests {
     #[should_panic]
     fn duplicate_processor_panics() {
         let _ = FailureScenario::new(vec![(ProcId(1), 0.0), (ProcId(1), 5.0)]);
+    }
+
+    #[test]
+    fn refill_uniform_matches_uniform_bit_for_bit() {
+        let mut scratch = Vec::new();
+        let mut scen = FailureScenario::none();
+        for seed in 0..20u64 {
+            let fresh = FailureScenario::uniform(&mut StdRng::seed_from_u64(seed), 12, 4);
+            scen.refill_uniform(&mut StdRng::seed_from_u64(seed), 12, 4, &mut scratch);
+            assert_eq!(scen, fresh, "seed {seed}");
+        }
+        scen.clear();
+        assert!(scen.is_empty());
     }
 
     #[test]

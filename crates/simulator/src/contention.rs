@@ -176,7 +176,10 @@ pub fn simulate_contention(
         .map(|t| vec![None; sched.replicas_of(t).len()])
         .collect();
 
-    // Per-processor compute queue state.
+    // Per-processor compute queue state. The placement chains are
+    // materialized once so the advance loop can index a flat slice.
+    let proc_orders: Vec<Vec<(TaskId, usize)>> =
+        (0..m).map(|j| sched.proc_order(j).collect()).collect();
     let mut ptr = vec![0usize; m];
     let mut free_at = vec![0.0f64; m];
 
@@ -218,7 +221,7 @@ pub fn simulate_contention(
         ($j:expr, $sched:expr) => {{
             let j = $j;
             if !failed[j] {
-                let order = &$sched.proc_order[j];
+                let order = &proc_orders[j];
                 while ptr[j] < order.len() {
                     let (t, k) = order[ptr[j]];
                     if dead[t.index()][k] {

@@ -23,6 +23,19 @@
 //!   unchanged, since fallback messages flow only after a failure.
 //!   Supported for fail-at-time-zero scenarios (the paper's experimental
 //!   model).
+//!
+//! # Memory layout / zero-allocation replications
+//!
+//! All replay state lives in a [`CrashWorkspace`] as flat arrays indexed
+//! by a dense *global replica id* (`rep_off[t] + k`) and a dense
+//! *(replica, predecessor-slot)* id (`slot_off[rid] + slot`) — no nested
+//! `Vec<Vec<…>>`, no per-replica allocation. Reusing the workspace
+//! across runs makes everything after the first replication
+//! allocation-free: [`simulate_replication_outcomes_into`] is the
+//! sequential zero-allocation driver (pinned by the root
+//! `tests/alloc_counter.rs` suite), and the parallel campaigns
+//! ([`simulate_replications`], [`simulate_replication_outcomes`]) hand
+//! each deterministic chunk of replications one workspace.
 
 use ftcollections::{IndexedHeap, OrdF64};
 use ftsched_core::{CommSelection, Schedule};
@@ -96,19 +109,24 @@ impl SimResult {
     }
 }
 
-#[derive(Debug, Clone)]
-struct RepState {
-    /// Per predecessor slot: first arrival received?
-    satisfied: Vec<bool>,
-    /// Per predecessor slot: potential senders that may still deliver.
-    remaining: Vec<usize>,
-    /// Per predecessor slot: has the matched sender died (rerouted mode)?
-    matched_dead: Vec<bool>,
-    /// Number of satisfied slots.
-    satisfied_count: usize,
-    /// Time the latest first-arrival landed.
-    ready_time: f64,
-    phase: Phase,
+/// Scalar summary of one Monte-Carlo replication — everything the
+/// campaign statistics need, with no per-replica payload (and therefore
+/// no allocation per replication).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicationOutcome {
+    /// Achieved latency (`f64::INFINITY` when a task was lost).
+    pub latency: f64,
+    /// The first task (by id) that lost every replica, if any.
+    pub lost_task: Option<TaskId>,
+    /// Number of events processed (diagnostics).
+    pub events: usize,
+}
+
+impl ReplicationOutcome {
+    /// Whether every task completed at least one replica.
+    pub fn completed(&self) -> bool {
+        self.lost_task.is_none()
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,17 +140,494 @@ enum Phase {
 #[derive(Debug, Clone, Copy)]
 enum Event {
     /// Data for replica `(task, rep)` along predecessor slot `slot`.
-    Arrival {
-        task: TaskId,
-        rep: usize,
-        slot: usize,
-    },
+    Arrival { task: TaskId, rep: u32, slot: u32 },
     /// Replica `(task, rep)` on processor `proc` completes.
-    Finish {
-        task: TaskId,
-        rep: usize,
-        proc: usize,
-    },
+    Finish { task: TaskId, rep: u32, proc: u32 },
+}
+
+const NO_SRC: u32 = u32::MAX;
+
+/// Flat, reusable crash-replay state. See the [module docs](self) for
+/// the layout; every buffer is cleared and refilled in place, so a
+/// workspace driven over many replications (or many schedules of the
+/// same shape) allocates nothing after its first run.
+#[derive(Debug, Default)]
+pub struct CrashWorkspace {
+    // --- schedule/instance shape (rebuilt by `prepare`) -----------------
+    /// Prefix sums of per-task replica counts; `rid = rep_off[t] + k`.
+    rep_off: Vec<u32>,
+    /// Prefix sums of per-replica predecessor-slot counts.
+    slot_off: Vec<u32>,
+    /// Hosting processor per global replica id.
+    rep_proc: Vec<u32>,
+    /// Slot of each edge within its destination's predecessor list.
+    slot_of_edge: Vec<u32>,
+    /// Matched schedules: prefix sums of per-edge destination replica
+    /// counts into `matched_src`.
+    matched_off: Vec<u32>,
+    /// Matched schedules: per (edge, dst replica), the matched source
+    /// replica index (`NO_SRC` when unmatched).
+    matched_src: Vec<u32>,
+    /// Flattened per-processor placement order (prefix offsets + items).
+    order_off: Vec<u32>,
+    order_items: Vec<(TaskId, u32)>,
+    // --- per-run state ---------------------------------------------------
+    fail_at: Vec<f64>,
+    /// Per (replica, slot): first arrival received?
+    satisfied: Vec<bool>,
+    /// Per (replica, slot): potential senders that may still deliver.
+    remaining: Vec<u32>,
+    /// Per (replica, slot): has the matched sender died (rerouted mode)?
+    matched_dead: Vec<bool>,
+    satisfied_count: Vec<u32>,
+    ready_time: Vec<f64>,
+    phase: Vec<Phase>,
+    times: Vec<Option<(f64, f64)>>,
+    ptr: Vec<u32>,
+    free_at: Vec<f64>,
+    proc_dead: Vec<bool>,
+    events: IndexedHeap<(OrdF64, usize)>,
+    event_data: Vec<Event>,
+    pending_advance: Vec<u32>,
+    start_queue: Vec<(f64, TaskId, u32, u32)>,
+    kill_work: Vec<(TaskId, u32)>,
+    processed: usize,
+    matched: bool,
+    rerouted: bool,
+    // --- replication-driver scratch --------------------------------------
+    scenario: FailureScenario,
+    ids: Vec<u32>,
+}
+
+impl CrashWorkspace {
+    /// Creates an empty workspace; buffers are sized by the first run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn rid(&self, t: TaskId, k: usize) -> usize {
+        self.rep_off[t.index()] as usize + k
+    }
+
+    #[inline]
+    fn reps(&self, t: TaskId) -> usize {
+        (self.rep_off[t.index() + 1] - self.rep_off[t.index()]) as usize
+    }
+
+    #[inline]
+    fn slot_idx(&self, rid: usize, slot: usize) -> usize {
+        self.slot_off[rid] as usize + slot
+    }
+
+    #[inline]
+    fn matched_src_of(&self, eid: usize, d: usize) -> u32 {
+        self.matched_src[self.matched_off[eid] as usize + d]
+    }
+
+    /// Rebuilds the shape tables for `(inst, sched)` — O(v + e + R)
+    /// overwrites, allocation-free once the buffers are warm.
+    fn prepare(&mut self, inst: &Instance, sched: &Schedule, policy: FallbackPolicy) {
+        let dag = &inst.dag;
+        let m = inst.num_procs();
+
+        self.matched = matches!(sched.comm, CommSelection::Matched(_));
+        self.rerouted = self.matched && policy == FallbackPolicy::Rerouted;
+
+        self.rep_off.clear();
+        self.rep_off.push(0);
+        for t in dag.tasks() {
+            let prev = *self.rep_off.last().expect("nonempty");
+            self.rep_off.push(prev + sched.replicas_of(t).len() as u32);
+        }
+        let total_reps = *self.rep_off.last().expect("nonempty") as usize;
+
+        self.slot_off.clear();
+        self.slot_off.push(0);
+        self.rep_proc.clear();
+        for t in dag.tasks() {
+            let preds = dag.preds(t).len() as u32;
+            for r in sched.replicas_of(t) {
+                let prev = *self.slot_off.last().expect("nonempty");
+                self.slot_off.push(prev + preds);
+                self.rep_proc.push(r.proc.index() as u32);
+            }
+        }
+        debug_assert_eq!(self.rep_proc.len(), total_reps);
+
+        self.slot_of_edge.clear();
+        self.slot_of_edge.resize(dag.num_edges(), u32::MAX);
+        for t in dag.tasks() {
+            for (slot, &(_, eid)) in dag.preds(t).iter().enumerate() {
+                self.slot_of_edge[eid.index()] = slot as u32;
+            }
+        }
+
+        self.matched_off.clear();
+        self.matched_src.clear();
+        if let CommSelection::Matched(mm) = &sched.comm {
+            self.matched_off.push(0);
+            for (eid, _, dst, _) in dag.edge_list() {
+                let prev = *self.matched_off.last().expect("nonempty");
+                self.matched_off
+                    .push(prev + sched.replicas_of(dst).len() as u32);
+                let _ = eid;
+            }
+            self.matched_src
+                .resize(*self.matched_off.last().expect("nonempty") as usize, NO_SRC);
+            for (eid, _, _, _) in dag.edge_list() {
+                let base = self.matched_off[eid.index()] as usize;
+                for &(s, d) in &mm[eid.index()] {
+                    self.matched_src[base + d] = s as u32;
+                }
+            }
+        }
+
+        self.order_off.clear();
+        self.order_off.push(0);
+        self.order_items.clear();
+        for j in 0..m {
+            self.order_items
+                .extend(sched.proc_order(j).map(|(t, k)| (t, k as u32)));
+            self.order_off.push(self.order_items.len() as u32);
+        }
+    }
+
+    /// Resets the per-run state for `scenario`.
+    fn reset_run(&mut self, inst: &Instance, sched: &Schedule, scenario: &FailureScenario) {
+        let dag = &inst.dag;
+        let m = inst.num_procs();
+        let total_reps = self.rep_proc.len();
+        let total_slots = *self.slot_off.last().map_or(&0, |x| x) as usize;
+
+        self.fail_at.clear();
+        self.fail_at.resize(m, f64::INFINITY);
+        for (p, t) in scenario.iter() {
+            self.fail_at[p.index()] = t;
+        }
+
+        self.satisfied.clear();
+        self.satisfied.resize(total_slots, false);
+        self.matched_dead.clear();
+        self.matched_dead.resize(total_slots, false);
+        self.satisfied_count.clear();
+        self.satisfied_count.resize(total_reps, 0);
+        self.ready_time.clear();
+        self.ready_time.resize(total_reps, 0.0);
+        self.phase.clear();
+        self.phase.resize(total_reps, Phase::Waiting);
+        self.times.clear();
+        self.times.resize(total_reps, None);
+
+        // `remaining` counts the senders that may still deliver per
+        // (replica, slot): all replicas of the predecessor for
+        // all-to-all and for rerouted matched delivery; exactly the
+        // matched sender for strict.
+        self.remaining.clear();
+        for t in dag.tasks() {
+            let preds = dag.preds(t);
+            let reps = sched.replicas_of(t).len();
+            for rep in 0..reps {
+                for &(p, eid) in preds {
+                    let senders = if self.matched && !self.rerouted {
+                        u32::from(self.matched_src_of(eid.index(), rep) != NO_SRC)
+                    } else {
+                        sched.replicas_of(p).len() as u32
+                    };
+                    self.remaining.push(senders);
+                }
+            }
+        }
+        debug_assert_eq!(self.remaining.len(), total_slots);
+
+        self.ptr.clear();
+        self.ptr.resize(m, 0);
+        self.free_at.clear();
+        self.free_at.resize(m, 0.0);
+        self.proc_dead.clear();
+        self.proc_dead.resize(m, false);
+        self.events.clear();
+        self.event_data.clear();
+        self.pending_advance.clear();
+        self.start_queue.clear();
+        self.kill_work.clear();
+        self.processed = 0;
+    }
+
+    /// Kill cascade: marks replicas dead, propagates starvation, flags
+    /// matched-dead slots in rerouted mode, and queues the touched
+    /// processors for re-advancement.
+    fn kill_cascade(&mut self, dag: &taskgraph::Dag) {
+        while let Some((t, k)) = self.kill_work.pop() {
+            let rid = self.rid(t, k as usize);
+            if self.phase[rid] != Phase::Waiting {
+                continue;
+            }
+            self.phase[rid] = Phase::Dead;
+            self.pending_advance.push(self.rep_proc[rid]);
+            for &(s, eid) in dag.succs(t) {
+                let slot = self.slot_of_edge[eid.index()] as usize;
+                let sreps = self.reps(s);
+                // Who loses a potential sender? All receivers for
+                // all-to-all and rerouted matched delivery (the latter
+                // additionally flags the matched receivers for fallback
+                // delivery); only the matched receivers for strict.
+                if self.matched && self.rerouted {
+                    for d in 0..sreps {
+                        if self.matched_src_of(eid.index(), d) == k {
+                            let si = self.slot_idx(self.rid(s, d), slot);
+                            self.matched_dead[si] = true;
+                        }
+                    }
+                }
+                for d in 0..sreps {
+                    if self.matched && !self.rerouted && self.matched_src_of(eid.index(), d) != k {
+                        continue;
+                    }
+                    let rid_s = self.rid(s, d);
+                    let si = self.slot_idx(rid_s, slot);
+                    if self.phase[rid_s] == Phase::Waiting && !self.satisfied[si] {
+                        self.remaining[si] -= 1;
+                        if self.remaining[si] == 0 {
+                            self.kill_work.push((s, d as u32));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advances processor `j`: skips dead replicas, starts the head when
+    /// its inputs are ready, detects fail-stop overruns.
+    fn try_advance(&mut self, j: usize, inst: &Instance) {
+        if self.proc_dead[j] {
+            return;
+        }
+        let lo = self.order_off[j] as usize;
+        let hi = self.order_off[j + 1] as usize;
+        while lo + (self.ptr[j] as usize) < hi {
+            let (t, k) = self.order_items[lo + self.ptr[j] as usize];
+            let rid = self.rid(t, k as usize);
+            match self.phase[rid] {
+                Phase::Dead => {
+                    self.ptr[j] += 1;
+                }
+                Phase::Running | Phase::Done => return,
+                Phase::Waiting => {
+                    if (self.satisfied_count[rid] as usize) < inst.dag.preds(t).len() {
+                        return; // head waits for inputs
+                    }
+                    let start = self.ready_time[rid].max(self.free_at[j]);
+                    let finish = start + inst.exec.time(t.index(), j);
+                    if finish > self.fail_at[j] {
+                        // Fail-stop during (or before) this replica: it
+                        // and everything after it on this queue are lost.
+                        self.proc_dead[j] = true;
+                        let at = lo + self.ptr[j] as usize;
+                        for idx in at..hi {
+                            self.kill_work.push(self.order_items[idx]);
+                        }
+                        return;
+                    }
+                    self.phase[rid] = Phase::Running;
+                    self.times[rid] = Some((start, finish));
+                    self.free_at[j] = finish;
+                    self.ptr[j] += 1;
+                    self.start_queue.push((finish, t, k, j as u32));
+                }
+            }
+        }
+    }
+
+    /// The main event loop. `prepare` and `reset_run` must have run.
+    fn run(&mut self, inst: &Instance) {
+        let dag = &inst.dag;
+        let m = inst.num_procs();
+
+        for j in 0..m {
+            if self.fail_at[j] <= 0.0 {
+                self.proc_dead[j] = true;
+                let lo = self.order_off[j] as usize;
+                let hi = self.order_off[j + 1] as usize;
+                for idx in lo..hi {
+                    self.kill_work.push(self.order_items[idx]);
+                }
+            }
+        }
+        self.pending_advance.extend(0..m as u32);
+        self.kill_cascade(dag);
+
+        loop {
+            while let Some(j) = self.pending_advance.pop() {
+                self.try_advance(j as usize, inst);
+                if !self.kill_work.is_empty() {
+                    self.kill_cascade(dag);
+                }
+                // FIFO drain (the queue is taken out and restored so the
+                // loop body can push events — no allocation either way).
+                let mut sq = std::mem::take(&mut self.start_queue);
+                for (finish, t, k, j2) in sq.drain(..) {
+                    let id = self.event_data.len();
+                    self.event_data.push(Event::Finish {
+                        task: t,
+                        rep: k,
+                        proc: j2,
+                    });
+                    self.events.push(id, (OrdF64::new(finish), id));
+                }
+                self.start_queue = sq;
+            }
+
+            let Some((id, (time, _))) = self.events.pop() else {
+                break;
+            };
+            self.processed += 1;
+            let now = time.get();
+            match self.event_data[id] {
+                Event::Arrival { task, rep, slot } => {
+                    let rid = self.rid(task, rep as usize);
+                    let si = self.slot_idx(rid, slot as usize);
+                    if self.phase[rid] != Phase::Waiting || self.satisfied[si] {
+                        continue; // first-input-wins: later copies ignored
+                    }
+                    self.satisfied[si] = true;
+                    self.satisfied_count[rid] += 1;
+                    self.ready_time[rid] = self.ready_time[rid].max(now);
+                    if self.satisfied_count[rid] as usize == dag.preds(task).len() {
+                        self.pending_advance.push(self.rep_proc[rid]);
+                    }
+                }
+                Event::Finish { task, rep, proc } => {
+                    let rid = self.rid(task, rep as usize);
+                    self.phase[rid] = Phase::Done;
+                    for &(s, eid) in dag.succs(task) {
+                        let vol = dag.volume(eid);
+                        let slot = self.slot_of_edge[eid.index()];
+                        // Candidate receivers: everyone for all-to-all
+                        // and rerouted matched; the matched receivers
+                        // for strict. Iterated directly over the
+                        // destination-replica range — no index
+                        // collection per event.
+                        for d in 0..self.reps(s) {
+                            if self.matched
+                                && !self.rerouted
+                                && self.matched_src_of(eid.index(), d) != rep
+                            {
+                                continue;
+                            }
+                            let rid_s = self.rid(s, d);
+                            let si = self.slot_idx(rid_s, slot as usize);
+                            if self.phase[rid_s] != Phase::Waiting || self.satisfied[si] {
+                                continue;
+                            }
+                            // Rerouted matched delivery: a non-matched
+                            // sender only feeds receivers whose matched
+                            // sender died.
+                            if self.rerouted
+                                && self.matched_src_of(eid.index(), d) != rep
+                                && !self.matched_dead[si]
+                            {
+                                continue;
+                            }
+                            let dst_proc = self.rep_proc[rid_s] as usize;
+                            let at = now + vol * inst.platform.delay(proc as usize, dst_proc);
+                            let nid = self.event_data.len();
+                            self.event_data.push(Event::Arrival {
+                                task: s,
+                                rep: d as u32,
+                                slot,
+                            });
+                            self.events.push(nid, (OrdF64::new(at), nid));
+                        }
+                    }
+                    self.pending_advance.push(proc);
+                }
+            }
+        }
+    }
+
+    /// Scalar outcome of the completed run (no allocation).
+    fn outcome(&self, inst: &Instance) -> ReplicationOutcome {
+        let dag = &inst.dag;
+        let mut lost_task = None;
+        for t in dag.tasks() {
+            let lo = self.rep_off[t.index()] as usize;
+            let hi = self.rep_off[t.index() + 1] as usize;
+            if !self.times[lo..hi].iter().any(Option::is_some) {
+                lost_task = Some(t);
+                break;
+            }
+        }
+        let latency = if lost_task.is_some() {
+            f64::INFINITY
+        } else {
+            dag.exits()
+                .iter()
+                .map(|&t| {
+                    let lo = self.rep_off[t.index()] as usize;
+                    let hi = self.rep_off[t.index() + 1] as usize;
+                    self.times[lo..hi]
+                        .iter()
+                        .flatten()
+                        .map(|&(_, f)| f)
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .fold(0.0, f64::max)
+        };
+        ReplicationOutcome {
+            latency,
+            lost_task,
+            events: self.processed,
+        }
+    }
+
+    /// Expands the completed run into the nested [`SimResult`] form
+    /// (allocates the per-replica payload).
+    fn to_result(&self, inst: &Instance) -> SimResult {
+        let dag = &inst.dag;
+        let out = self.outcome(inst);
+        let status: Vec<Vec<ReplicaStatus>> = dag
+            .tasks()
+            .map(|t| {
+                let lo = self.rep_off[t.index()] as usize;
+                let hi = self.rep_off[t.index() + 1] as usize;
+                self.phase[lo..hi]
+                    .iter()
+                    .map(|p| match p {
+                        Phase::Done => ReplicaStatus::Done,
+                        _ => ReplicaStatus::Dead,
+                    })
+                    .collect()
+            })
+            .collect();
+        let times: Vec<Vec<Option<(f64, f64)>>> = dag
+            .tasks()
+            .map(|t| {
+                let lo = self.rep_off[t.index()] as usize;
+                let hi = self.rep_off[t.index() + 1] as usize;
+                self.times[lo..hi].to_vec()
+            })
+            .collect();
+        SimResult {
+            latency: out.latency,
+            outcome: match out.lost_task {
+                None => SimOutcome::Completed,
+                Some(lost_task) => SimOutcome::Failed { lost_task },
+            },
+            status,
+            times,
+            events: out.events,
+        }
+    }
+}
+
+fn check_rerouted_scenario(rerouted: bool, scenario: &FailureScenario) {
+    if rerouted {
+        assert!(
+            scenario.iter().all(|(_, t)| t == 0.0),
+            "rerouted matched delivery supports fail-at-time-zero scenarios only"
+        );
+    }
 }
 
 /// Simulates `sched` under `scenario` with the default policy:
@@ -151,353 +646,88 @@ pub fn simulate(inst: &Instance, sched: &Schedule, scenario: &FailureScenario) -
 /// finishing at or before the instant completes and its messages are
 /// delivered — fail-silent semantics). Rerouted matched delivery is
 /// restricted to fail-at-time-zero scenarios.
+///
+/// Builds a throwaway [`CrashWorkspace`]; batch callers should hold one
+/// and use [`simulate_outcome_into`] (scalar result, allocation-free) or
+/// [`simulate_into`] (full result).
 pub fn simulate_with(
     inst: &Instance,
     sched: &Schedule,
     scenario: &FailureScenario,
     policy: FallbackPolicy,
 ) -> SimResult {
-    let matched = matches!(sched.comm, CommSelection::Matched(_));
-    let rerouted = matched && policy == FallbackPolicy::Rerouted;
-    if rerouted {
-        assert!(
-            scenario.iter().all(|(_, t)| t == 0.0),
-            "rerouted matched delivery supports fail-at-time-zero scenarios only"
-        );
-    }
+    let mut ws = CrashWorkspace::new();
+    simulate_into(inst, sched, scenario, policy, &mut ws)
+}
 
-    let m = inst.num_procs();
-    let dag = &inst.dag;
+/// [`simulate_with`] reusing the caller's workspace for the replay state;
+/// only the returned [`SimResult`]'s nested payload allocates.
+pub fn simulate_into(
+    inst: &Instance,
+    sched: &Schedule,
+    scenario: &FailureScenario,
+    policy: FallbackPolicy,
+    ws: &mut CrashWorkspace,
+) -> SimResult {
+    run_into(inst, sched, scenario, policy, ws);
+    ws.to_result(inst)
+}
 
-    let mut fail_at = vec![f64::INFINITY; m];
-    for (p, t) in scenario.iter() {
-        fail_at[p.index()] = t;
-    }
+/// [`simulate_with`] reusing the caller's workspace and returning only
+/// the scalar [`ReplicationOutcome`] — fully allocation-free once the
+/// workspace is warm.
+pub fn simulate_outcome_into(
+    inst: &Instance,
+    sched: &Schedule,
+    scenario: &FailureScenario,
+    policy: FallbackPolicy,
+    ws: &mut CrashWorkspace,
+) -> ReplicationOutcome {
+    run_into(inst, sched, scenario, policy, ws);
+    ws.outcome(inst)
+}
 
-    // Slot of each edge within its destination's predecessor list.
-    let mut slot_of_edge = vec![usize::MAX; dag.num_edges()];
-    for t in dag.tasks() {
-        for (slot, &(_, eid)) in dag.preds(t).iter().enumerate() {
-            slot_of_edge[eid.index()] = slot;
-        }
-    }
+fn run_into(
+    inst: &Instance,
+    sched: &Schedule,
+    scenario: &FailureScenario,
+    policy: FallbackPolicy,
+    ws: &mut CrashWorkspace,
+) {
+    ws.prepare(inst, sched, policy);
+    run_prepared(inst, sched, scenario, ws);
+}
 
-    // matched_of[eid][dst_rep] = src replica index (matched schedules).
-    let matched_of: Vec<Vec<usize>> = match &sched.comm {
-        CommSelection::AllToAll => Vec::new(),
-        CommSelection::Matched(mm) => dag
-            .edge_list()
-            .map(|(eid, _, dst, _)| {
-                let mut v = vec![usize::MAX; sched.replicas_of(dst).len()];
-                for &(s, d) in &mm[eid.index()] {
-                    v[d] = s;
-                }
-                v
-            })
-            .collect(),
-    };
+/// The per-scenario half of a run: `ws.prepare` must already have been
+/// called for this `(inst, sched, policy)`. The replication campaigns
+/// prepare once and then only re-run this part — the shape tables are
+/// identical across a campaign.
+fn run_prepared(
+    inst: &Instance,
+    sched: &Schedule,
+    scenario: &FailureScenario,
+    ws: &mut CrashWorkspace,
+) {
+    check_rerouted_scenario(ws.rerouted, scenario);
+    ws.reset_run(inst, sched, scenario);
+    ws.run(inst);
+}
 
-    // Per-replica state. `remaining` counts the senders that may still
-    // deliver: all replicas of the predecessor for all-to-all and for
-    // rerouted matched delivery; exactly the matched sender for strict.
-    let mut state: Vec<Vec<RepState>> = Vec::with_capacity(dag.num_tasks());
-    for t in dag.tasks() {
-        let preds = dag.preds(t);
-        let reps = sched.replicas_of(t).len();
-        let mut per_task = Vec::with_capacity(reps);
-        #[allow(clippy::needless_range_loop)] // `rep` indexes parallel tables
-        for rep in 0..reps {
-            let remaining: Vec<usize> = preds
-                .iter()
-                .map(|&(p, eid)| {
-                    if matched && !rerouted {
-                        usize::from(matched_of[eid.index()][rep] != usize::MAX)
-                    } else {
-                        sched.replicas_of(p).len()
-                    }
-                })
-                .collect();
-            per_task.push(RepState {
-                satisfied: vec![false; preds.len()],
-                remaining,
-                matched_dead: vec![false; preds.len()],
-                satisfied_count: 0,
-                ready_time: 0.0,
-                phase: Phase::Waiting,
-            });
-        }
-        state.push(per_task);
-    }
-
-    let mut times: Vec<Vec<Option<(f64, f64)>>> = dag
-        .tasks()
-        .map(|t| vec![None; sched.replicas_of(t).len()])
-        .collect();
-
-    let mut ptr = vec![0usize; m];
-    let mut free_at = vec![0.0f64; m];
-    let mut proc_dead = vec![false; m];
-    let mut events: IndexedHeap<(OrdF64, usize)> = IndexedHeap::new(1024);
-    let mut event_data: Vec<Event> = Vec::with_capacity(1024);
-
-    // Receivers a dying/finishing sender replica `k` is *matched* to.
-    let matched_receivers = |eid: taskgraph::EdgeId, k: usize| -> Vec<usize> {
-        match &sched.comm {
-            CommSelection::AllToAll => Vec::new(),
-            CommSelection::Matched(mm) => mm[eid.index()]
-                .iter()
-                .filter(|&&(s, _)| s == k)
-                .map(|&(_, d)| d)
-                .collect(),
-        }
-    };
-
-    // Kill cascade: marks replicas dead, propagates starvation, flags
-    // matched_dead slots in rerouted mode. Returns touched processors.
-    let kill_cascade = |seed: Vec<(TaskId, usize)>, state: &mut Vec<Vec<RepState>>| -> Vec<usize> {
-        let mut work = seed;
-        let mut touched = Vec::new();
-        while let Some((t, k)) = work.pop() {
-            if state[t.index()][k].phase != Phase::Waiting {
-                continue;
-            }
-            state[t.index()][k].phase = Phase::Dead;
-            touched.push(sched.replicas_of(t)[k].proc.index());
-            for &(s, eid) in dag.succs(t) {
-                let slot = slot_of_edge[eid.index()];
-                // Who loses a potential sender?
-                let affected: Vec<usize> = match (&sched.comm, rerouted) {
-                    (CommSelection::AllToAll, _) => (0..sched.replicas_of(s).len()).collect(),
-                    (CommSelection::Matched(_), true) => {
-                        // Every receiver counted all senders; also flag
-                        // the matched ones for fallback delivery.
-                        for d in matched_receivers(eid, k) {
-                            state[s.index()][d].matched_dead[slot] = true;
-                        }
-                        (0..sched.replicas_of(s).len()).collect()
-                    }
-                    (CommSelection::Matched(_), false) => matched_receivers(eid, k),
-                };
-                for d in affected {
-                    let rst = &mut state[s.index()][d];
-                    if rst.phase == Phase::Waiting && !rst.satisfied[slot] {
-                        rst.remaining[slot] -= 1;
-                        if rst.remaining[slot] == 0 {
-                            work.push((s, d));
-                        }
-                    }
-                }
-            }
-        }
-        touched
-    };
-
-    // Advances processor `j`: skips dead replicas, starts the head when
-    // its inputs are ready, detects fail-stop overruns.
-    #[allow(clippy::too_many_arguments)]
-    fn try_advance(
-        j: usize,
-        inst: &Instance,
-        sched: &Schedule,
-        state: &mut [Vec<RepState>],
-        times: &mut [Vec<Option<(f64, f64)>>],
-        ptr: &mut [usize],
-        free_at: &mut [f64],
-        proc_dead: &mut [bool],
-        fail_at: &[f64],
-        start_queue: &mut Vec<(f64, TaskId, usize, usize)>,
-        kill_queue: &mut Vec<(TaskId, usize)>,
-    ) {
-        if proc_dead[j] {
-            return;
-        }
-        let order = &sched.proc_order[j];
-        while ptr[j] < order.len() {
-            let (t, k) = order[ptr[j]];
-            let st = &state[t.index()][k];
-            match st.phase {
-                Phase::Dead => {
-                    ptr[j] += 1;
-                }
-                Phase::Running | Phase::Done => return,
-                Phase::Waiting => {
-                    if st.satisfied_count < inst.dag.preds(t).len() {
-                        return; // head waits for inputs
-                    }
-                    let start = st.ready_time.max(free_at[j]);
-                    let finish = start + inst.exec.time(t.index(), j);
-                    if finish > fail_at[j] {
-                        // Fail-stop during (or before) this replica: it
-                        // and everything after it on this queue are lost.
-                        proc_dead[j] = true;
-                        for &(t2, k2) in &order[ptr[j]..] {
-                            kill_queue.push((t2, k2));
-                        }
-                        return;
-                    }
-                    state[t.index()][k].phase = Phase::Running;
-                    times[t.index()][k] = Some((start, finish));
-                    free_at[j] = finish;
-                    ptr[j] += 1;
-                    start_queue.push((finish, t, k, j));
-                }
-            }
-        }
-    }
-
-    // --- main loop -------------------------------------------------------
-
-    let mut seed_kills = Vec::new();
-    for j in 0..m {
-        if fail_at[j] <= 0.0 {
-            proc_dead[j] = true;
-            seed_kills.extend(sched.proc_order[j].iter().copied());
-        }
-    }
-    let mut pending_advance: Vec<usize> = (0..m).collect();
-    pending_advance.extend(kill_cascade(seed_kills, &mut state));
-
-    let mut start_queue: Vec<(f64, TaskId, usize, usize)> = Vec::new();
-    let mut kill_queue: Vec<(TaskId, usize)> = Vec::new();
-    let mut processed = 0usize;
-
-    loop {
-        while let Some(j) = pending_advance.pop() {
-            try_advance(
-                j,
-                inst,
-                sched,
-                &mut state,
-                &mut times,
-                &mut ptr,
-                &mut free_at,
-                &mut proc_dead,
-                &fail_at,
-                &mut start_queue,
-                &mut kill_queue,
-            );
-            if !kill_queue.is_empty() {
-                let seeds = std::mem::take(&mut kill_queue);
-                pending_advance.extend(kill_cascade(seeds, &mut state));
-            }
-            for (finish, t, k, j2) in start_queue.drain(..) {
-                let id = event_data.len();
-                event_data.push(Event::Finish {
-                    task: t,
-                    rep: k,
-                    proc: j2,
-                });
-                events.push(id, (OrdF64::new(finish), id));
-            }
-        }
-
-        let Some((id, (time, _))) = events.pop() else {
-            break;
-        };
-        processed += 1;
-        let now = time.get();
-        match event_data[id] {
-            Event::Arrival { task, rep, slot } => {
-                let st = &mut state[task.index()][rep];
-                if st.phase != Phase::Waiting || st.satisfied[slot] {
-                    continue; // first-input-wins: later copies ignored
-                }
-                st.satisfied[slot] = true;
-                st.satisfied_count += 1;
-                st.ready_time = st.ready_time.max(now);
-                if st.satisfied_count == dag.preds(task).len() {
-                    pending_advance.push(sched.replicas_of(task)[rep].proc.index());
-                }
-            }
-            Event::Finish { task, rep, proc } => {
-                state[task.index()][rep].phase = Phase::Done;
-                for &(s, eid) in dag.succs(task) {
-                    let vol = dag.volume(eid);
-                    let slot = slot_of_edge[eid.index()];
-                    let candidates: Vec<usize> = match &sched.comm {
-                        CommSelection::AllToAll => (0..sched.replicas_of(s).len()).collect(),
-                        CommSelection::Matched(_) if rerouted => {
-                            (0..sched.replicas_of(s).len()).collect()
-                        }
-                        CommSelection::Matched(_) => matched_receivers(eid, rep),
-                    };
-                    for d in candidates {
-                        let rst = &state[s.index()][d];
-                        if rst.phase != Phase::Waiting || rst.satisfied[slot] {
-                            continue;
-                        }
-                        // Rerouted matched delivery: a non-matched sender
-                        // only feeds receivers whose matched sender died.
-                        if rerouted && matched_of[eid.index()][d] != rep && !rst.matched_dead[slot]
-                        {
-                            continue;
-                        }
-                        let dst_proc = sched.replicas_of(s)[d].proc.index();
-                        let at = now + vol * inst.platform.delay(proc, dst_proc);
-                        let nid = event_data.len();
-                        event_data.push(Event::Arrival {
-                            task: s,
-                            rep: d,
-                            slot,
-                        });
-                        events.push(nid, (OrdF64::new(at), nid));
-                    }
-                }
-                pending_advance.push(proc);
-            }
-        }
-    }
-
-    // --- results ----------------------------------------------------------
-
-    let status: Vec<Vec<ReplicaStatus>> = state
-        .iter()
-        .map(|per| {
-            per.iter()
-                .map(|s| match s.phase {
-                    Phase::Done => ReplicaStatus::Done,
-                    _ => ReplicaStatus::Dead,
-                })
-                .collect()
-        })
-        .collect();
-
-    let mut outcome = SimOutcome::Completed;
-    for t in dag.tasks() {
-        if !times[t.index()].iter().any(Option::is_some) {
-            outcome = SimOutcome::Failed { lost_task: t };
-            break;
-        }
-    }
-    let latency = if matches!(outcome, SimOutcome::Failed { .. }) {
-        f64::INFINITY
-    } else {
-        dag.exits()
-            .iter()
-            .map(|&t| {
-                times[t.index()]
-                    .iter()
-                    .flatten()
-                    .map(|&(_, f)| f)
-                    .fold(f64::INFINITY, f64::min)
-            })
-            .fold(0.0, f64::max)
-    };
-
-    SimResult {
-        latency,
-        outcome,
-        status,
-        times,
-        events: processed,
-    }
+/// Deterministic chunking for the parallel campaigns: depends only on
+/// the replication count, so results are identical at any thread count.
+fn campaign_chunk(replications: usize) -> usize {
+    replications.div_ceil(64).max(1)
 }
 
 /// Monte-Carlo crash campaign: simulates `replications` independent
 /// uniform `crashes`-processor fail-at-time-zero scenarios against
 /// `sched`, fanned out over the ambient rayon thread pool (pin the
 /// worker count with `ThreadPool::install` or `FTSCHED_THREADS` in the
-/// experiment layers).
+/// experiment layers). Each deterministic chunk of replications shares
+/// one [`CrashWorkspace`], so per-replication state is reused; only the
+/// returned [`SimResult`] payloads allocate — prefer
+/// [`simulate_replication_outcomes`] when the per-replica traces are not
+/// needed.
 ///
 /// Replication `r` draws its scenario from
 /// [`crate::replication_seed`]`(base_seed, r)`, so the returned vector is
@@ -510,18 +740,107 @@ pub fn simulate_replications(
     replications: usize,
     base_seed: u64,
 ) -> Vec<SimResult> {
-    (0..replications)
-        .into_par_iter()
-        .map(|r| {
-            let mut rng = StdRng::seed_from_u64(crate::replication_seed(base_seed, r as u64));
-            let scenario = if crashes == 0 {
-                FailureScenario::none()
-            } else {
-                FailureScenario::uniform(&mut rng, inst.num_procs(), crashes)
-            };
-            simulate(inst, sched, &scenario)
+    let idx: Vec<u32> = (0..replications as u32).collect();
+    let nested: Vec<Vec<SimResult>> = idx
+        .par_chunks(campaign_chunk(replications))
+        .map(|chunk| {
+            let mut ws = CrashWorkspace::new();
+            ws.prepare(inst, sched, FallbackPolicy::Rerouted);
+            chunk
+                .iter()
+                .map(|&r| {
+                    prep_scenario(&mut ws, inst.num_procs(), crashes, base_seed, r);
+                    let scen = std::mem::take(&mut ws.scenario);
+                    run_prepared(inst, sched, &scen, &mut ws);
+                    ws.scenario = scen;
+                    ws.to_result(inst)
+                })
+                .collect()
         })
-        .collect()
+        .collect();
+    nested.into_iter().flatten().collect()
+}
+
+/// Scalar-result Monte-Carlo crash campaign: like
+/// [`simulate_replications`] but returning only the per-replication
+/// [`ReplicationOutcome`]s — the event replay allocates nothing after
+/// each chunk's first replication.
+pub fn simulate_replication_outcomes(
+    inst: &Instance,
+    sched: &Schedule,
+    crashes: usize,
+    replications: usize,
+    base_seed: u64,
+) -> Vec<ReplicationOutcome> {
+    let idx: Vec<u32> = (0..replications as u32).collect();
+    let nested: Vec<Vec<ReplicationOutcome>> = idx
+        .par_chunks(campaign_chunk(replications))
+        .map(|chunk| {
+            let mut ws = CrashWorkspace::new();
+            ws.prepare(inst, sched, FallbackPolicy::Rerouted);
+            let mut out = Vec::with_capacity(chunk.len());
+            for &r in chunk {
+                out.push(replication_outcome(
+                    inst, sched, crashes, base_seed, r, &mut ws,
+                ));
+            }
+            out
+        })
+        .collect();
+    nested.into_iter().flatten().collect()
+}
+
+/// Sequential zero-allocation Monte-Carlo driver: runs `replications`
+/// scenarios into `out` (cleared first) reusing `ws` throughout. After
+/// the first replication on a warm workspace, the entire campaign
+/// performs **no** heap allocation — the counting-allocator regression
+/// test at the repo root pins this. Bit-identical to
+/// [`simulate_replication_outcomes`].
+pub fn simulate_replication_outcomes_into(
+    inst: &Instance,
+    sched: &Schedule,
+    crashes: usize,
+    replications: usize,
+    base_seed: u64,
+    out: &mut Vec<ReplicationOutcome>,
+    ws: &mut CrashWorkspace,
+) {
+    out.clear();
+    out.reserve(replications);
+    ws.prepare(inst, sched, FallbackPolicy::Rerouted);
+    for r in 0..replications as u32 {
+        out.push(replication_outcome(inst, sched, crashes, base_seed, r, ws));
+    }
+}
+
+/// Draws replication `r`'s scenario into `ws.scenario` exactly as the
+/// pre-workspace implementation drew it (same seed derivation, same RNG
+/// consumption), reusing the workspace scratch.
+fn prep_scenario(ws: &mut CrashWorkspace, m: usize, crashes: usize, base_seed: u64, r: u32) {
+    let mut rng = StdRng::seed_from_u64(crate::replication_seed(base_seed, r as u64));
+    if crashes == 0 {
+        ws.scenario.clear();
+    } else {
+        let CrashWorkspace { scenario, ids, .. } = ws;
+        scenario.refill_uniform(&mut rng, m, crashes, ids);
+    }
+}
+
+/// One replication against a workspace already `prepare`d for
+/// `(inst, sched, Rerouted)`.
+fn replication_outcome(
+    inst: &Instance,
+    sched: &Schedule,
+    crashes: usize,
+    base_seed: u64,
+    r: u32,
+    ws: &mut CrashWorkspace,
+) -> ReplicationOutcome {
+    prep_scenario(ws, inst.num_procs(), crashes, base_seed, r);
+    let scen = std::mem::take(&mut ws.scenario);
+    run_prepared(inst, sched, &scen, ws);
+    ws.scenario = scen;
+    ws.outcome(inst)
 }
 
 #[cfg(test)]
@@ -707,27 +1026,26 @@ mod tests {
             start_ub: s,
             finish_ub: f,
         };
-        let mut sched = ftsched_core::Schedule {
-            epsilon: 1,
-            replicas: vec![
+        let mut matched = vec![Vec::new(); 2];
+        matched[e_at.index()] = vec![(0usize, 0usize), (1, 1)];
+        matched[e_bt.index()] = vec![(0usize, 1usize), (1, 0)];
+        let sched = ftsched_core::Schedule::from_parts(
+            1,
+            vec![
                 vec![mk(0, 0.0, 1.0), mk(1, 0.0, 1.0)],
                 vec![mk(0, 1.0, 2.0), mk(2, 0.0, 1.0)],
                 vec![mk(3, 3.0, 4.0), mk(4, 3.0, 4.0)],
             ],
-            proc_order: vec![
+            vec![
                 vec![(a, 0), (b, 0)],
                 vec![(a, 1)],
                 vec![(b, 1)],
                 vec![(t, 0)],
                 vec![(t, 1)],
             ],
-            comm: CommSelection::AllToAll,
-            schedule_order: vec![a, b, t],
-        };
-        let mut matched = vec![Vec::new(); 2];
-        matched[e_at.index()] = vec![(0usize, 0usize), (1, 1)];
-        matched[e_bt.index()] = vec![(0usize, 1usize), (1, 0)];
-        sched.comm = CommSelection::Matched(matched);
+            CommSelection::Matched(matched),
+            vec![a, b, t],
+        );
 
         let scen = FailureScenario::at_time_zero([ProcId(0)]);
         let strict = simulate_with(&inst, &sched, &scen, FallbackPolicy::Strict);
@@ -887,6 +1205,46 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.latency.to_bits(), y.latency.to_bits());
             assert_eq!(x.times, y.times);
+        }
+    }
+
+    #[test]
+    fn outcomes_agree_with_full_results() {
+        // The scalar campaign must be bit-identical to the full one, and
+        // the sequential zero-allocation driver must match both.
+        let mut r = rng(92);
+        let inst = paper_instance(&mut r, &PaperInstanceConfig::default());
+        let s = schedule(&inst, 2, Algorithm::McFtsaGreedy, &mut rng(92)).unwrap();
+        let full = simulate_replications(&inst, &s, 2, 24, 0xBEEF);
+        let scalar = simulate_replication_outcomes(&inst, &s, 2, 24, 0xBEEF);
+        let mut seq = Vec::new();
+        let mut ws = CrashWorkspace::new();
+        simulate_replication_outcomes_into(&inst, &s, 2, 24, 0xBEEF, &mut seq, &mut ws);
+        assert_eq!(scalar.len(), full.len());
+        assert_eq!(seq, scalar);
+        for (f, o) in full.iter().zip(&scalar) {
+            assert_eq!(f.latency.to_bits(), o.latency.to_bits());
+            assert_eq!(f.completed(), o.completed());
+            assert_eq!(f.events, o.events);
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_across_scenarios_and_policies() {
+        // One workspace driven across different scenarios, policies and
+        // schedules must match fresh-workspace runs exactly.
+        let inst = diamond_instance(4);
+        let mut ws = CrashWorkspace::new();
+        for alg in [Algorithm::Ftsa, Algorithm::McFtsaGreedy] {
+            let s = schedule(&inst, 1, alg, &mut rng(13)).unwrap();
+            for p in 0..4u32 {
+                let scen = FailureScenario::at_time_zero([ProcId(p)]);
+                let reused = simulate_into(&inst, &s, &scen, FallbackPolicy::Rerouted, &mut ws);
+                let fresh = simulate(&inst, &s, &scen);
+                assert_eq!(reused.latency.to_bits(), fresh.latency.to_bits());
+                assert_eq!(reused.times, fresh.times);
+                assert_eq!(reused.status, fresh.status);
+            }
         }
     }
 

@@ -36,8 +36,7 @@ fn task_masks(sched: &Schedule, m: usize) -> Vec<u64> {
         "mask-based reliability supports up to 64 processors"
     );
     let mut masks: Vec<u64> = sched
-        .replicas
-        .iter()
+        .tasks_replicas()
         .filter(|reps| !reps.is_empty())
         .map(|reps| {
             reps.iter()

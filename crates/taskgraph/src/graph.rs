@@ -1,5 +1,19 @@
-//! The DAG representation: dense task/edge ids, bidirectional adjacency,
-//! edge data volumes and abstract per-task work.
+//! The DAG representation: dense task/edge ids, bidirectional adjacency
+//! in a flat CSR layout, edge data volumes and abstract per-task work.
+//!
+//! # Memory layout
+//!
+//! Adjacency is stored *compressed sparse row* style: one contiguous
+//! `(TaskId, EdgeId)` arena per direction plus a `v + 1` offset array, so
+//! `preds(t)` / `succs(t)` are O(1) slice views into memory that is
+//! contiguous across consecutive task ids — the scheduler's per-edge
+//! folds stream it without pointer chasing. Within a task, neighbors
+//! appear in **edge-insertion order** (the order `add_edge` was called),
+//! which is the order the pre-CSR `Vec<Vec<…>>` representation produced;
+//! the golden bit-identity suite and a dedicated property test pin this.
+//!
+//! Entry tasks, exit tasks and a topological order are precomputed by
+//! [`DagBuilder::build`] and returned as slices — no per-call filtering.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -51,6 +65,50 @@ pub(crate) struct EdgeData {
     pub volume: f64,
 }
 
+/// One direction of adjacency in CSR form: `items[off[t]..off[t + 1]]`
+/// are the `(neighbor, connecting edge)` pairs of task `t`, in edge
+/// insertion order.
+#[derive(Debug, Clone, Default)]
+struct CsrAdjacency {
+    off: Vec<u32>,
+    items: Vec<(TaskId, EdgeId)>,
+}
+
+impl CsrAdjacency {
+    /// Builds the CSR arrays by stable counting sort over `edges`,
+    /// bucketing each edge under `key(edge)`; iterating edges in id order
+    /// keeps every bucket in insertion order.
+    fn build(v: usize, edges: &[EdgeData], key: impl Fn(&EdgeData) -> (TaskId, TaskId)) -> Self {
+        let mut off = vec![0u32; v + 1];
+        for e in edges {
+            let (owner, _) = key(e);
+            off[owner.index() + 1] += 1;
+        }
+        for t in 0..v {
+            off[t + 1] += off[t];
+        }
+        let mut cursor = off.clone();
+        let mut items = vec![(TaskId(0), EdgeId(0)); edges.len()];
+        for (i, e) in edges.iter().enumerate() {
+            let (owner, neighbor) = key(e);
+            let slot = cursor[owner.index()];
+            items[slot as usize] = (neighbor, EdgeId(i as u32));
+            cursor[owner.index()] = slot + 1;
+        }
+        CsrAdjacency { off, items }
+    }
+
+    #[inline]
+    fn row(&self, t: TaskId) -> &[(TaskId, EdgeId)] {
+        &self.items[self.off[t.index()] as usize..self.off[t.index() + 1] as usize]
+    }
+
+    #[inline]
+    fn degree(&self, t: TaskId) -> usize {
+        (self.off[t.index() + 1] - self.off[t.index()]) as usize
+    }
+}
+
 /// A weighted directed acyclic task graph.
 ///
 /// Construct with [`DagBuilder`], which validates acyclicity:
@@ -67,16 +125,20 @@ pub(crate) struct EdgeData {
 /// assert_eq!(dag.entries(), vec![a]);
 /// assert_eq!(dag.exits(), vec![c]);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dag {
     pub(crate) nodes: Vec<NodeData>,
     pub(crate) edges: Vec<EdgeData>,
-    /// `preds[t]` = (predecessor, connecting edge) pairs — `Γ⁻(t)`.
-    pub(crate) preds: Vec<Vec<(TaskId, EdgeId)>>,
-    /// `succs[t]` = (successor, connecting edge) pairs — `Γ⁺(t)`.
-    pub(crate) succs: Vec<Vec<(TaskId, EdgeId)>>,
+    /// CSR view of `Γ⁻`: per task, (predecessor, connecting edge).
+    preds: CsrAdjacency,
+    /// CSR view of `Γ⁺`: per task, (successor, connecting edge).
+    succs: CsrAdjacency,
     /// A fixed topological order, computed at build time.
     pub(crate) topo: Vec<TaskId>,
+    /// Tasks with no predecessors, in increasing id order.
+    entries: Vec<TaskId>,
+    /// Tasks with no successors, in increasing id order.
+    exits: Vec<TaskId>,
 }
 
 impl Dag {
@@ -130,35 +192,39 @@ impl Dag {
     /// Immediate predecessors `Γ⁻(t)` with the connecting edges.
     #[inline]
     pub fn preds(&self, t: TaskId) -> &[(TaskId, EdgeId)] {
-        &self.preds[t.index()]
+        self.preds.row(t)
     }
 
     /// Immediate successors `Γ⁺(t)` with the connecting edges.
     #[inline]
     pub fn succs(&self, t: TaskId) -> &[(TaskId, EdgeId)] {
-        &self.succs[t.index()]
+        self.succs.row(t)
     }
 
     /// In-degree of `t`.
     #[inline]
     pub fn in_degree(&self, t: TaskId) -> usize {
-        self.preds[t.index()].len()
+        self.preds.degree(t)
     }
 
     /// Out-degree of `t`.
     #[inline]
     pub fn out_degree(&self, t: TaskId) -> usize {
-        self.succs[t.index()].len()
+        self.succs.degree(t)
     }
 
-    /// Entry tasks (no predecessors).
-    pub fn entries(&self) -> Vec<TaskId> {
-        self.tasks().filter(|&t| self.in_degree(t) == 0).collect()
+    /// Entry tasks (no predecessors), in increasing id order.
+    /// Precomputed at build time — O(1).
+    #[inline]
+    pub fn entries(&self) -> &[TaskId] {
+        &self.entries
     }
 
-    /// Exit tasks (no successors).
-    pub fn exits(&self) -> Vec<TaskId> {
-        self.tasks().filter(|&t| self.out_degree(t) == 0).collect()
+    /// Exit tasks (no successors), in increasing id order.
+    /// Precomputed at build time — O(1).
+    #[inline]
+    pub fn exits(&self) -> &[TaskId] {
+        &self.exits
     }
 
     /// A topological order of the tasks (fixed at build time).
@@ -192,6 +258,34 @@ impl Dag {
         for n in &mut self.nodes {
             n.work *= factor;
         }
+    }
+}
+
+/// Only `nodes` and `edges` are serialized; the CSR adjacency, the
+/// topological order and the entry/exit sets are derived data and are
+/// rebuilt (and re-validated) on deserialization.
+impl Serialize for Dag {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("nodes".to_string(), self.nodes.to_value()),
+            ("edges".to_string(), self.edges.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Dag {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let nodes = Vec::<NodeData>::from_value(
+            v.get("nodes")
+                .ok_or_else(|| serde::Error::custom("Dag: missing field `nodes`"))?,
+        )?;
+        let edges = Vec::<EdgeData>::from_value(
+            v.get("edges")
+                .ok_or_else(|| serde::Error::custom("Dag: missing field `edges`"))?,
+        )?;
+        DagBuilder { nodes, edges }
+            .build()
+            .map_err(|e| serde::Error::custom(format!("Dag: invalid graph: {e}")))
     }
 }
 
@@ -277,26 +371,24 @@ impl DagBuilder {
     }
 
     /// Finalizes the graph, checking for self-loops, duplicate edges and
-    /// cycles (Kahn's algorithm).
+    /// cycles (Kahn's algorithm), and assembling the flat CSR adjacency
+    /// plus the precomputed entry/exit sets.
     pub fn build(self) -> Result<Dag, GraphError> {
         let v = self.nodes.len();
-        let mut preds: Vec<Vec<(TaskId, EdgeId)>> = vec![Vec::new(); v];
-        let mut succs: Vec<Vec<(TaskId, EdgeId)>> = vec![Vec::new(); v];
         let mut seen = std::collections::HashSet::with_capacity(self.edges.len());
-        for (i, e) in self.edges.iter().enumerate() {
+        for e in &self.edges {
             if e.src == e.dst {
                 return Err(GraphError::SelfLoop(e.src));
             }
             if !seen.insert((e.src, e.dst)) {
                 return Err(GraphError::DuplicateEdge(e.src, e.dst));
             }
-            let eid = EdgeId(i as u32);
-            succs[e.src.index()].push((e.dst, eid));
-            preds[e.dst.index()].push((e.src, eid));
         }
+        let preds = CsrAdjacency::build(v, &self.edges, |e| (e.dst, e.src));
+        let succs = CsrAdjacency::build(v, &self.edges, |e| (e.src, e.dst));
 
         // Kahn's algorithm: topological order + cycle detection.
-        let mut indeg: Vec<usize> = preds.iter().map(Vec::len).collect();
+        let mut indeg: Vec<usize> = (0..v as u32).map(|t| preds.degree(TaskId(t))).collect();
         let mut queue: std::collections::VecDeque<TaskId> = (0..v as u32)
             .map(TaskId)
             .filter(|t| indeg[t.index()] == 0)
@@ -304,7 +396,7 @@ impl DagBuilder {
         let mut topo = Vec::with_capacity(v);
         while let Some(t) = queue.pop_front() {
             topo.push(t);
-            for &(s, _) in &succs[t.index()] {
+            for &(s, _) in succs.row(t) {
                 indeg[s.index()] -= 1;
                 if indeg[s.index()] == 0 {
                     queue.push_back(s);
@@ -315,12 +407,23 @@ impl DagBuilder {
             return Err(GraphError::Cyclic);
         }
 
+        let entries: Vec<TaskId> = (0..v as u32)
+            .map(TaskId)
+            .filter(|&t| preds.degree(t) == 0)
+            .collect();
+        let exits: Vec<TaskId> = (0..v as u32)
+            .map(TaskId)
+            .filter(|&t| succs.degree(t) == 0)
+            .collect();
+
         Ok(Dag {
             nodes: self.nodes,
             edges: self.edges,
             preds,
             succs,
             topo,
+            entries,
+            exits,
         })
     }
 }
@@ -351,6 +454,22 @@ mod tests {
         assert_eq!(g.out_degree(TaskId(0)), 2);
         assert_eq!(g.total_work(), 10.0);
         assert_eq!(g.total_volume(), 10.0);
+    }
+
+    #[test]
+    fn adjacency_preserves_insertion_order() {
+        let g = diamond();
+        // succs(t0): edges 0 then 1; preds(t3): edges 2 then 3 — exactly
+        // the order `add_edge` was called, as the Vec-of-Vecs layout
+        // produced before the CSR flattening.
+        assert_eq!(
+            g.succs(TaskId(0)),
+            &[(TaskId(1), EdgeId(0)), (TaskId(2), EdgeId(1))]
+        );
+        assert_eq!(
+            g.preds(TaskId(3)),
+            &[(TaskId(1), EdgeId(2)), (TaskId(2), EdgeId(3))]
+        );
     }
 
     #[test]
@@ -427,5 +546,13 @@ mod tests {
         assert_eq!(g2.num_tasks(), g.num_tasks());
         assert_eq!(g2.num_edges(), g.num_edges());
         assert_eq!(g2.total_work(), g.total_work());
+        // Derived data is rebuilt identically.
+        assert_eq!(g2.entries(), g.entries());
+        assert_eq!(g2.exits(), g.exits());
+        assert_eq!(g2.topological_order(), g.topological_order());
+        for t in g.tasks() {
+            assert_eq!(g2.preds(t), g.preds(t));
+            assert_eq!(g2.succs(t), g.succs(t));
+        }
     }
 }

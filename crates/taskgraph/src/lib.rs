@@ -9,8 +9,11 @@
 //!
 //! Provided here, all built from scratch:
 //!
-//! * [`Dag`] — the graph representation (dense ids, adjacency in both
-//!   directions, edge volumes, abstract per-task work).
+//! * [`Dag`] — the graph representation: dense ids, edge volumes,
+//!   abstract per-task work, and bidirectional adjacency in a flat CSR
+//!   layout (`preds`/`succs` are O(1) slice views into one contiguous
+//!   arena, in edge-insertion order; entry/exit sets and a topological
+//!   order are precomputed at build time — see [`graph`]).
 //! * [`generators`] — random DAGs: layered (the shape used in the paper's
 //!   experiments and the scheduling literature), Erdős–Rényi-style, and
 //!   fork–join families.

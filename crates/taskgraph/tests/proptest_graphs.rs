@@ -12,7 +12,33 @@ use taskgraph::metrics::{width_exact, width_lower_bound};
 use taskgraph::topology::{is_weakly_connected, levels};
 use taskgraph::Dag;
 
+/// Oracle for the CSR flattening: rebuild the adjacency the way the
+/// pre-CSR `Vec<Vec<…>>` representation did — one push per edge, in
+/// edge-insertion (id) order — and demand the CSR accessors return the
+/// same neighbors in the same order, along with consistent degrees and
+/// the precomputed entry/exit sets.
+fn check_csr_matches_insertion_order(g: &Dag) {
+    let v = g.num_tasks();
+    let mut preds: Vec<Vec<(taskgraph::TaskId, taskgraph::EdgeId)>> = vec![Vec::new(); v];
+    let mut succs: Vec<Vec<(taskgraph::TaskId, taskgraph::EdgeId)>> = vec![Vec::new(); v];
+    for (eid, src, dst, _) in g.edge_list() {
+        succs[src.index()].push((dst, eid));
+        preds[dst.index()].push((src, eid));
+    }
+    for t in g.tasks() {
+        assert_eq!(g.preds(t), &preds[t.index()][..], "preds of {t}");
+        assert_eq!(g.succs(t), &succs[t.index()][..], "succs of {t}");
+        assert_eq!(g.in_degree(t), preds[t.index()].len());
+        assert_eq!(g.out_degree(t), succs[t.index()].len());
+    }
+    let entries: Vec<_> = g.tasks().filter(|&t| preds[t.index()].is_empty()).collect();
+    let exits: Vec<_> = g.tasks().filter(|&t| succs[t.index()].is_empty()).collect();
+    assert_eq!(g.entries(), &entries[..]);
+    assert_eq!(g.exits(), &exits[..]);
+}
+
 fn check_structural_sanity(g: &Dag) {
+    check_csr_matches_insertion_order(g);
     // Topological order covers all tasks and respects edges.
     let topo = g.topological_order();
     assert_eq!(topo.len(), g.num_tasks());

@@ -14,8 +14,10 @@ fn schedule_round_trips_through_json() {
     let json = serde_json::to_string(&sched).unwrap();
     let back: Schedule = serde_json::from_str(&json).unwrap();
     assert_eq!(back.epsilon, sched.epsilon);
-    assert_eq!(back.replicas, sched.replicas);
-    assert_eq!(back.proc_order, sched.proc_order);
+    // `Schedule` equality is logical content: per-task replica slices,
+    // per-processor placement order, comm table and schedule order —
+    // independent of the arena layout the JSON was built from.
+    assert_eq!(back, sched);
     assert_eq!(back.comm, sched.comm);
 
     // The deserialized schedule still validates and simulates.
@@ -46,7 +48,7 @@ fn instance_components_round_trip() {
     let rebuilt = Instance::new(dag2, plat2, exec2);
     let a = schedule(&inst, 1, Algorithm::Ftsa, &mut StdRng::seed_from_u64(5)).unwrap();
     let b = schedule(&rebuilt, 1, Algorithm::Ftsa, &mut StdRng::seed_from_u64(5)).unwrap();
-    assert_eq!(a.replicas, b.replicas);
+    assert_eq!(a, b);
 }
 
 #[test]
