@@ -1,0 +1,58 @@
+//! Campaign-engine bench: the declarative scenario-grid executor end to
+//! end (enumeration → per-worker-state cells → streaming aggregation)
+//! at 1 and 4 workers, plus the per-cell evaluation hot path on a warm
+//! `CellContext` — the number that the zero-allocation workspace
+//! threading is meant to keep flat.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use experiments::campaign::{
+    evaluate_cell_into, instance_for_cell, presets, run_campaign_with_threads, CellContext,
+    CellCoord, CellPlan, SeriesKey,
+};
+
+fn bench_campaign_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(5);
+    let spec = presets::ci_smoke(3);
+    for threads in [1usize, 4] {
+        group.bench_function(format!("ci_smoke/threads/{threads}"), |b| {
+            b.iter(|| run_campaign_with_threads(black_box(&spec), threads).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_campaign_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_cell");
+    group.sample_size(10);
+    let spec = presets::preset("fig1", Some(1)).unwrap();
+    let plan = CellPlan::new(&spec);
+    let coord = CellCoord {
+        workload: 0,
+        platform: 4, // g = 1.0 in the paper sweep
+        eps: 0,
+        rep: 0,
+    };
+    let inst = instance_for_cell(&spec, &coord);
+    let mut ctx = CellContext::new();
+    let mut out: Vec<(SeriesKey, f64)> = Vec::new();
+    // Warm the workspaces so the measured loop is the steady state.
+    evaluate_cell_into(&spec, &plan, &coord, &inst, &mut ctx, &mut out);
+    group.bench_function("fig1_cell_steady_state", |b| {
+        b.iter(|| {
+            evaluate_cell_into(
+                black_box(&spec),
+                &plan,
+                &coord,
+                black_box(&inst),
+                &mut ctx,
+                &mut out,
+            );
+            out.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign_executor, bench_campaign_cell);
+criterion_main!(benches);

@@ -2,8 +2,11 @@
 
 use crate::args::Args;
 use crate::bundle::Bundle;
+use experiments::campaign::{presets, run_campaign_with_threads, CampaignSpec};
 use experiments::figures::{run_figure_with_threads, FigureConfig};
-use experiments::output::{figure_to_table, write_figure_csv};
+use experiments::output::{
+    campaign_to_table, figure_to_table, write_campaign_outputs, write_figure_csv,
+};
 use experiments::parallel::default_threads;
 use experiments::table1::{format_table1, run_table1_with_threads, Table1Config};
 use ftsched_core::{schedule as run_schedule, validate::validate, Algorithm};
@@ -333,6 +336,73 @@ pub fn experiment(args: &Args) -> Result<String, String> {
     }
 }
 
+/// `ftsched campaign` — runs a declarative scenario grid: a named
+/// preset (`--preset fig1|…|ci-smoke`) or an arbitrary spec file
+/// (`--spec grid.json`), with streaming aggregation and unified CSV/JSON
+/// emission. Results are bit-identical at any `--threads` count.
+pub fn campaign(args: &Args) -> Result<String, String> {
+    let threads = threads_from(args)?;
+    // The repetition override applies to *both* sources — a spec file
+    // run with `--quick` must actually shrink, not silently ignore the
+    // flag and burn the full grid.
+    let reps_override: Option<usize> = if args.has_flag("quick") {
+        Some(10)
+    } else {
+        args.get("reps")
+            .map(|s| s.parse().map_err(|_| "bad --reps"))
+            .transpose()?
+    };
+    let mut spec: CampaignSpec = match (args.get("preset"), args.get("spec")) {
+        (Some(_), Some(_)) => return Err("--preset and --spec are mutually exclusive".into()),
+        (Some(name), None) => presets::preset(name, None).ok_or_else(|| {
+            format!(
+                "unknown preset `{name}` (expected one of: {})",
+                presets::PRESET_NAMES.join("|")
+            )
+        })?,
+        (None, Some(path)) => {
+            let s = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            CampaignSpec::from_json(&s).map_err(|e| format!("parsing {path}: {e}"))?
+        }
+        (None, None) => {
+            return Err(format!(
+                "campaign needs --preset <name> or --spec <file.json>\n\
+                 presets: {}",
+                presets::PRESET_NAMES.join(", ")
+            ))
+        }
+    };
+    if let Some(r) = reps_override {
+        if r == 0 {
+            return Err("--reps must be at least 1".into());
+        }
+        spec.repetitions = r;
+    }
+    if args.has_flag("dump-spec") {
+        return spec.to_json();
+    }
+
+    let res = run_campaign_with_threads(&spec, threads)?;
+    let mut out = format!(
+        "== campaign {}: {} cells ({} workloads x {} platforms x {} eps x {} reps), \
+         {threads} thread(s) ==\n\n",
+        spec.id,
+        spec.num_cells(),
+        spec.workloads.len(),
+        spec.platforms.len(),
+        spec.epsilons.len(),
+        spec.repetitions,
+    );
+    out.push_str(&campaign_to_table(&res));
+    if let Some(dir) = args.get("out") {
+        let (csv, json) = write_campaign_outputs(&res, std::path::Path::new(dir))
+            .map_err(|e| format!("writing outputs: {e}"))?;
+        let _ = writeln!(out, "[csv] {}", csv.display());
+        let _ = writeln!(out, "[json] {}", json.display());
+    }
+    Ok(out)
+}
+
 /// `ftsched info`
 pub fn info(args: &Args) -> Result<String, String> {
     let dag = read_graph(args.require("graph")?)?;
@@ -474,6 +544,66 @@ mod tests {
         .unwrap();
         assert!(msg.contains("Number of tasks"), "{msg}");
         assert!(experiment(&argv("--what nope")).is_err());
+    }
+
+    #[test]
+    fn campaign_preset_runs_and_emits_outputs() {
+        let dir = tmp("campaign_out");
+        let msg = campaign(&argv(&format!(
+            "--preset ci-smoke --reps 1 --threads 2 --out {dir}"
+        )))
+        .unwrap();
+        assert!(msg.contains("campaign ci-smoke"), "{msg}");
+        assert!(msg.contains("FTSA-LowerBound"), "{msg}");
+        let json_path = format!("{dir}/ci-smoke.campaign.json");
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.contains("paper-layered[30..40]"));
+        assert!(json.contains("wavefront[4]"));
+        let csv = std::fs::read_to_string(format!("{dir}/ci-smoke.campaign.csv")).unwrap();
+        assert!(csv.starts_with("workload,procs,granularity,epsilon,series"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn campaign_spec_file_round_trip() {
+        let dir = tmp("campaign_spec");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Dump a preset spec, edit nothing, run it back through --spec.
+        let spec_json = campaign(&argv("--preset ci-smoke --reps 1 --dump-spec")).unwrap();
+        let path = format!("{dir}/grid.json");
+        std::fs::write(&path, &spec_json).unwrap();
+        let msg = campaign(&argv(&format!("--spec {path} --threads 1"))).unwrap();
+        assert!(msg.contains("campaign ci-smoke"), "{msg}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn campaign_spec_file_honours_reps_override() {
+        // `--quick` / `--reps` must shrink a spec-file run too, not be
+        // silently dropped.
+        let dir = tmp("campaign_reps");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_json = campaign(&argv("--preset ci-smoke --reps 3 --dump-spec")).unwrap();
+        // --dump-spec reflects the override…
+        assert!(spec_json.contains("\"repetitions\": 3"), "{spec_json}");
+        let path = format!("{dir}/grid.json");
+        std::fs::write(&path, &spec_json).unwrap();
+        // …and a run from the file applies a further override.
+        let msg = campaign(&argv(&format!("--spec {path} --reps 1 --threads 1"))).unwrap();
+        assert!(msg.contains("x 1 reps"), "{msg}");
+        assert!(campaign(&argv(&format!("--spec {path} --reps 0"))).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn campaign_argument_errors() {
+        assert!(campaign(&argv("")).unwrap_err().contains("--preset"));
+        assert!(campaign(&argv("--preset nope"))
+            .unwrap_err()
+            .contains("unknown preset"));
+        let err = campaign(&argv("--preset fig1 --spec x.json")).unwrap_err();
+        assert!(err.contains("mutually exclusive"));
+        assert!(campaign(&argv("--spec /definitely/missing.json")).is_err());
     }
 
     #[test]

@@ -14,10 +14,14 @@
 //!   Monte-Carlo reliability estimator through the rayon shim's parallel
 //!   harness (`--threads` pins the worker count; results are identical
 //!   at any thread count).
+//! * `campaign` — run a declarative scenario grid: a named preset or an
+//!   arbitrary `CampaignSpec` JSON file, with streaming aggregation and
+//!   unified CSV/JSON emission (see `experiments::campaign`).
 //! * `info` — structural statistics of a graph file.
 //!
-//! Argument parsing is a tiny hand-rolled `key value` scanner — the
-//! sanctioned dependency set has no CLI parser, and the surface is small.
+//! Argument parsing is the tiny shared `--key value` scanner from
+//! `experiments::args` — the sanctioned dependency set has no CLI
+//! parser, and the surface is small.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +44,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "schedule" => commands::schedule_cmd(&args),
         "simulate" => commands::simulate_cmd(&args),
         "experiment" => commands::experiment(&args),
+        "campaign" => commands::campaign(&args),
         "info" => commands::info(&args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command `{other}`\n\n{}", usage())),
@@ -65,6 +70,9 @@ USAGE:
                      [--algorithms p-ftsa,mc-ftbar,...]  (extra series, figures+table1)
                      [--paper | --sizes 100,500] [--procs M] [--epsilon E]  (table1)
                      [--bundle b.json] [--p P] [--samples N]  (reliability)
+  ftsched campaign --preset <fig1|fig2|fig3|fig4|table1|table1-full|contention|reliability|ci-smoke>
+                   | --spec grid.json
+                   [--reps N | --quick] [--threads T] [--out DIR] [--dump-spec]
   ftsched info --graph graph.json
 
 `--threads 0` (the default) resolves from FTSCHED_THREADS or the

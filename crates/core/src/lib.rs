@@ -214,6 +214,26 @@ impl std::fmt::Display for Algorithm {
     }
 }
 
+/// Serialized as the CLI token ([`Algorithm::key`]) — the form campaign
+/// spec files use (`"algorithms": ["ftsa", "mc-ftbar"]`).
+impl serde::Serialize for Algorithm {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.key().to_string())
+    }
+}
+
+impl serde::Deserialize for Algorithm {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::String(s) => s.parse().map_err(serde::Error::custom),
+            other => Err(serde::Error::custom(format!(
+                "expected algorithm name string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
 impl std::str::FromStr for Algorithm {
     type Err = String;
 
@@ -301,5 +321,17 @@ mod tests {
     #[test]
     fn all_contains_paper_prefix() {
         assert_eq!(&Algorithm::ALL[..4], &Algorithm::PAPER[..]);
+    }
+
+    #[test]
+    fn algorithm_serde_round_trips_as_key_string() {
+        for alg in Algorithm::ALL {
+            let v = serde::Serialize::to_value(&alg);
+            assert_eq!(v, serde::Value::String(alg.key().to_string()));
+            let back: Algorithm = serde::Deserialize::from_value(&v).unwrap();
+            assert_eq!(back, alg);
+        }
+        let bad = serde::Value::String("nope".into());
+        assert!(<Algorithm as serde::Deserialize>::from_value(&bad).is_err());
     }
 }

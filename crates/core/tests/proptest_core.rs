@@ -14,7 +14,9 @@ use taskgraph::generators::{
     erdos, fork_join, layered, series_parallel, ErdosConfig, ForkJoinConfig, LayeredConfig,
     SeriesParallelConfig,
 };
-use taskgraph::workloads::{cholesky, fft, gaussian_elimination};
+use taskgraph::workloads::{
+    cholesky, fft, gaussian_elimination, map_reduce, stencil_1d, wavefront,
+};
 use taskgraph::Dag;
 
 #[derive(Debug, Clone, Copy)]
@@ -26,6 +28,9 @@ enum Family {
     Gauss,
     Fft,
     Cholesky,
+    Stencil,
+    MapReduce,
+    Wavefront,
 }
 
 fn build(family: Family, seed: u64, size: usize) -> Dag {
@@ -40,6 +45,9 @@ fn build(family: Family, seed: u64, size: usize) -> Dag {
         Family::Gauss => gaussian_elimination(size % 8 + 2, 5.0, 2.0),
         Family::Fft => fft(1 << (size % 4 + 1), 8.0, 12.0),
         Family::Cholesky => cholesky(size % 6 + 2, 6.0, 9.0),
+        Family::Stencil => stencil_1d(size % 5 + 2, size % 4 + 2, 7.0, 11.0),
+        Family::MapReduce => map_reduce(size % 6 + 1, size % 3 + 1, 9.0, 13.0, 6.0),
+        Family::Wavefront => wavefront(size % 5 + 2, size % 4 + 2, 8.0, 10.0),
     }
 }
 
@@ -52,6 +60,9 @@ fn family_strategy() -> impl Strategy<Value = Family> {
         Just(Family::Gauss),
         Just(Family::Fft),
         Just(Family::Cholesky),
+        Just(Family::Stencil),
+        Just(Family::MapReduce),
+        Just(Family::Wavefront),
     ]
 }
 

@@ -1,0 +1,217 @@
+//! Minimal `--key value` / `--flag` argument scanner — the one parser
+//! shared by the `ftsched` CLI and every experiment binary.
+//!
+//! The sanctioned dependency set has no CLI parser and the surface is
+//! small, so this hand-rolled scanner is the single home of argument
+//! handling: the experiment binaries' `--quick/--reps/--out/--threads`
+//! contract lives in [`RunOptions`], and `ftsched-cli` re-exports
+//! [`Args`] for its subcommands.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Parsed command-line arguments: `--key value` pairs and bare flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `argv` (without the command word). Keys must start with
+    /// `--`; a key followed by another key (or nothing) is a flag.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let key = argv[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --option, got `{}`", argv[i]))?;
+            match argv.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    values.insert(key.to_string(), v.clone());
+                    i += 2;
+                }
+                _ => {
+                    flags.push(key.to_string());
+                    i += 1;
+                }
+            }
+        }
+        Ok(Args { values, flags })
+    }
+
+    /// Parses the process arguments (skipping the binary name),
+    /// reporting errors on stderr and exiting — the experiment binaries'
+    /// entry point.
+    pub fn from_env() -> Args {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        match Args::parse(&argv) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Parsed numeric option with default.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("option --{key}: cannot parse `{s}`")),
+        }
+    }
+
+    /// Required numeric option.
+    pub fn require_num<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        self.require(key)?
+            .parse()
+            .map_err(|_| format!("option --{key}: cannot parse `{}`", self.get(key).unwrap()))
+    }
+
+    /// Bare-flag presence.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+/// The shared option contract of the experiment binaries:
+/// `[--quick | --reps N] [--out DIR] [--threads T] [--full]`.
+///
+/// Every binary routes through this one struct, so the flags mean the
+/// same thing everywhere (the pre-campaign binaries each re-implemented
+/// a subset of this parsing by scanning `std::env::args()` directly).
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// The remaining parsed arguments (binary-specific extras like
+    /// `--granularity` stay accessible).
+    pub args: Args,
+}
+
+impl RunOptions {
+    /// Parses the process arguments.
+    pub fn from_env() -> RunOptions {
+        RunOptions {
+            args: Args::from_env(),
+        }
+    }
+
+    /// Wraps already-parsed arguments (tests).
+    pub fn new(args: Args) -> RunOptions {
+        RunOptions { args }
+    }
+
+    /// Reports a malformed option on stderr and exits — a typo like
+    /// `--reps 3O` must not silently fall back to a default and burn
+    /// minutes of compute at the wrong scale.
+    pub fn num_or_exit<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.args.get_num(key, default) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Repetitions: `--quick` = 10, else `--reps N`, else `default`.
+    pub fn repetitions(&self, default: usize) -> usize {
+        if self.args.has_flag("quick") {
+            return 10;
+        }
+        self.num_or_exit("reps", default)
+    }
+
+    /// Output directory from `--out DIR` (default `results/`).
+    pub fn out_dir(&self) -> PathBuf {
+        self.args
+            .get("out")
+            .map_or_else(|| PathBuf::from("results"), PathBuf::from)
+    }
+
+    /// Worker count: `--threads T` when positive, else the
+    /// `FTSCHED_THREADS` / available-parallelism default.
+    pub fn threads(&self) -> usize {
+        match self.num_or_exit::<usize>("threads", 0) {
+            t if t > 0 => t,
+            _ => crate::parallel::default_threads(),
+        }
+    }
+
+    /// The `--full` flag (paper-complete sweeps, e.g. Table 1's 5000-task
+    /// row).
+    pub fn full(&self) -> bool {
+        self.args.has_flag("full")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let a = Args::parse(&argv("--tasks 120 --gantt --out x.json")).unwrap();
+        assert_eq!(a.get("tasks"), Some("120"));
+        assert_eq!(a.get("out"), Some("x.json"));
+        assert!(a.has_flag("gantt"));
+        assert!(!a.has_flag("tasks"));
+    }
+
+    #[test]
+    fn numeric_helpers() {
+        let a = Args::parse(&argv("--epsilon 2")).unwrap();
+        assert_eq!(a.require_num::<usize>("epsilon").unwrap(), 2);
+        assert_eq!(a.get_num::<usize>("procs", 20).unwrap(), 20);
+        assert!(a.require_num::<usize>("missing").is_err());
+    }
+
+    #[test]
+    fn rejects_bare_words() {
+        assert!(Args::parse(&argv("tasks 120")).is_err());
+    }
+
+    #[test]
+    fn bad_number_reported() {
+        let a = Args::parse(&argv("--tasks many")).unwrap();
+        let err = a.get_num::<usize>("tasks", 1).unwrap_err();
+        assert!(err.contains("cannot parse"));
+    }
+
+    #[test]
+    fn run_options_contract() {
+        let o = RunOptions::new(Args::parse(&argv("--quick --out /tmp/r --threads 3")).unwrap());
+        assert_eq!(o.repetitions(60), 10);
+        assert_eq!(o.out_dir(), PathBuf::from("/tmp/r"));
+        assert_eq!(o.threads(), 3);
+        assert!(!o.full());
+
+        let o = RunOptions::new(Args::parse(&argv("--reps 25 --full")).unwrap());
+        assert_eq!(o.repetitions(60), 25);
+        assert_eq!(o.out_dir(), PathBuf::from("results"));
+        assert!(o.full());
+
+        let o = RunOptions::new(Args::parse(&argv("")).unwrap());
+        assert_eq!(o.repetitions(60), 60);
+        assert!(o.threads() >= 1);
+    }
+}

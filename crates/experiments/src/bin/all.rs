@@ -1,27 +1,31 @@
-//! Regenerates every figure and table of the paper in one run.
+//! Regenerates every figure and table of the paper in one run, through
+//! the campaign presets.
 //!
-//! Usage: `all [--reps N | --quick] [--out DIR] [--full]`
+//! Usage: `all [--reps N | --quick] [--out DIR] [--threads T] [--full]`
 
 mod common;
 
-use experiments::figures::FigureConfig;
-use experiments::table1::{format_table1, run_table1, Table1Config};
+use experiments::figures::run_figure_with_threads;
+use experiments::output::figure_to_table;
 
 fn main() {
-    let reps = common::repetitions_from_args();
-    for (id, eps) in [("fig1", 1usize), ("fig2", 2), ("fig3", 5)] {
-        let cfg = FigureConfig::comparison(id, eps, reps);
-        common::run_comparison_figure(&cfg);
+    let opts = common::options();
+    for id in ["fig1", "fig2", "fig3"] {
+        let cfg = common::figure_config(id, &opts);
+        common::run_comparison_figure(&cfg, &opts);
         println!();
     }
 
     // Figure 4 (small platform).
-    let cfg = FigureConfig::small_platform(reps);
-    println!("== fig4 — ε = 2, 5 processors, {reps} graphs/point ==");
-    let fig = experiments::figures::run_figure(&cfg);
+    let cfg = common::figure_config("fig4", &opts);
+    println!(
+        "== fig4 — ε = 2, 5 processors, {} graphs/point ==",
+        cfg.repetitions
+    );
+    let fig = run_figure_with_threads(&cfg, opts.threads());
     println!(
         "{}",
-        experiments::output::figure_to_table(
+        figure_to_table(
             &fig,
             &[
                 "FTSA with 2 Crash",
@@ -32,15 +36,8 @@ fn main() {
             ],
         )
     );
-    common::write_csv(&fig);
+    common::write_csv(&fig, &opts);
     println!();
 
-    let full = std::env::args().any(|a| a == "--full");
-    let tcfg = if full {
-        Table1Config::paper()
-    } else {
-        Table1Config::quick()
-    };
-    println!("== Table 1 — running times in seconds ==");
-    print!("{}", format_table1(&run_table1(&tcfg)));
+    common::run_table1_main(&opts);
 }

@@ -1,42 +1,52 @@
 #![allow(dead_code)] // each binary uses a subset of these helpers
 
-//! Shared glue for the figure binaries: argument parsing, printing the
-//! three sub-figures (bounds / crash latency / overhead) and CSV output.
+//! Shared glue for the experiment binaries, built on the campaign
+//! preset layer and the one shared argument parser
+//! (`experiments::args`): every binary honours the same
+//! `--quick/--reps/--out/--threads` contract, builds its grid through
+//! `campaign::presets`, and prints the historical panels.
 
-use experiments::figures::{run_figure, FigureConfig, FigureResult};
+use experiments::args::RunOptions;
+use experiments::figures::{run_figure_with_threads, FigureConfig, FigureResult};
 use experiments::output::{figure_to_table, write_figure_csv};
-use std::path::PathBuf;
+use experiments::table1::{format_table1, run_table1_with_threads, Table1Config};
 
-/// Repetitions from `--reps N` (default: the paper's 60; `--quick` = 10).
-pub fn repetitions_from_args() -> usize {
-    let args: Vec<String> = std::env::args().collect();
-    if args.iter().any(|a| a == "--quick") {
-        return 10;
-    }
-    args.iter()
-        .position(|a| a == "--reps")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(60)
+/// Parses the shared experiment options from the process arguments.
+pub fn options() -> RunOptions {
+    RunOptions::from_env()
 }
 
-/// Output directory from `--out DIR` (default `results/`).
-pub fn out_dir_from_args() -> PathBuf {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map_or_else(|| PathBuf::from("results"), PathBuf::from)
+/// The figure preset configuration for `fig1`–`fig4` at the requested
+/// repetitions (the paper's 60 by default, `--quick` = 10).
+pub fn figure_config(name: &str, opts: &RunOptions) -> FigureConfig {
+    let reps = opts.repetitions(60);
+    match name {
+        "fig1" => FigureConfig::comparison("fig1", 1, reps),
+        "fig2" => FigureConfig::comparison("fig2", 2, reps),
+        "fig3" => FigureConfig::comparison("fig3", 5, reps),
+        "fig4" => FigureConfig::small_platform(reps),
+        other => panic!("unknown figure preset `{other}`"),
+    }
+}
+
+/// The Table 1 preset configuration (`--full` = the paper's complete
+/// size list including FTBAR at 5000 tasks).
+pub fn table1_config(opts: &RunOptions) -> Table1Config {
+    if opts.full() {
+        Table1Config::paper()
+    } else {
+        Table1Config::quick()
+    }
 }
 
 /// Runs a comparison figure (Figures 1–3) and prints its three panels.
-pub fn run_comparison_figure(cfg: &FigureConfig) {
+pub fn run_comparison_figure(cfg: &FigureConfig, opts: &RunOptions) {
     let eps = cfg.epsilon;
     println!(
         "== {} — ε = {eps}, {} processors, {} graphs/point ==\n",
         cfg.id, cfg.procs, cfg.repetitions
     );
-    let fig = run_figure(cfg);
+    let fig = run_figure_with_threads(cfg, opts.threads());
 
     println!("--- ({}a) normalized latency bounds ---", cfg.id);
     println!(
@@ -83,13 +93,30 @@ pub fn run_comparison_figure(cfg: &FigureConfig) {
     println!("--- ({}c) average overhead (%) ---", cfg.id);
     println!("{}", figure_to_table(&fig, &refs));
 
-    write_csv(&fig);
+    write_csv(&fig, opts);
+}
+
+/// Runs the Table 1 preset and prints it.
+pub fn run_table1_main(opts: &RunOptions) {
+    let cfg = table1_config(opts);
+    println!(
+        "== Table 1 — running times in seconds ({} processors, ε = {}) ==",
+        cfg.procs, cfg.epsilon
+    );
+    if !opts.full() {
+        println!("(quick subset; pass --full for the paper's complete size list)");
+    }
+    println!();
+    // Sequential by default: the seconds columns measure the algorithms,
+    // and co-scheduled rows would contend for cores.
+    let threads = opts.num_or_exit("threads", 1).max(1);
+    let rows = run_table1_with_threads(&cfg, threads);
+    print!("{}", format_table1(&rows));
 }
 
 /// Writes the figure CSV and reports where it went.
-pub fn write_csv(fig: &FigureResult) {
-    let dir = out_dir_from_args();
-    match write_figure_csv(fig, &dir) {
+pub fn write_csv(fig: &FigureResult, opts: &RunOptions) {
+    match write_figure_csv(fig, &opts.out_dir()) {
         Ok(path) => println!("[csv] {}", path.display()),
         Err(e) => eprintln!("[csv] failed to write: {e}"),
     }

@@ -1,32 +1,25 @@
 //! Extension experiment (paper Section 7, future work): one-port
 //! communication contention. Quantifies the prediction that MC-FTSA's
 //! `e(ε+1)` messages pay a smaller serialization penalty than FTSA's
-//! `e(ε+1)²`.
+//! `e(ε+1)²`. A thin wrapper over the `contention` campaign preset.
 //!
-//! Usage: `contention [--reps N] [--granularity G]`
+//! Usage: `contention [--reps N | --quick] [--granularity G] [--threads T]`
 
-use experiments::extensions::{format_contention, run_contention};
+mod common;
+
+use experiments::extensions::{format_contention, run_contention_with_threads};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let reps = args
-        .iter()
-        .position(|a| a == "--reps")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(30);
-    let granularity = args
-        .iter()
-        .position(|a| a == "--granularity")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.4);
+    let opts = common::options();
+    let reps = opts.repetitions(30);
+    let granularity: f64 = opts.num_or_exit("granularity", 0.4);
 
     println!(
         "== one-port contention, fine-grain instances (g = {granularity}), \
          {reps} graphs/point =="
     );
     println!("(penalty = one-port latency / unbounded latency, fault-free)\n");
-    let rows = run_contention(&[1, 2, 3, 5], reps, granularity, 0xC0417);
+    let rows =
+        run_contention_with_threads(&[1, 2, 3, 5], reps, granularity, 0xC0417, opts.threads());
     print!("{}", format_contention(&rows));
 }

@@ -1,15 +1,14 @@
 //! Regenerates Figure 2 of the paper: average normalized latency and
 //! overhead comparison between FTSA, MC-FTSA and FTBAR (bound and crash
-//! cases, ε = 2, 20 processors).
+//! cases, ε = 2, 20 processors). A thin wrapper over the `fig2`
+//! campaign preset.
 //!
-//! Usage: `fig2 [--reps N | --quick] [--out DIR]`
+//! Usage: `fig2 [--reps N | --quick] [--out DIR] [--threads T]`
 
 mod common;
 
-use experiments::figures::FigureConfig;
-
 fn main() {
-    let reps = common::repetitions_from_args();
-    let cfg = FigureConfig::comparison("fig2", 2, reps);
-    common::run_comparison_figure(&cfg);
+    let opts = common::options();
+    let cfg = common::figure_config("fig2", &opts);
+    common::run_comparison_figure(&cfg, &opts);
 }

@@ -1,15 +1,14 @@
 //! Regenerates Figure 3 of the paper: average normalized latency and
 //! overhead comparison between FTSA, MC-FTSA and FTBAR (bound and crash
-//! cases, ε = 5, 20 processors).
+//! cases, ε = 5, 20 processors). A thin wrapper over the `fig3`
+//! campaign preset.
 //!
-//! Usage: `fig3 [--reps N | --quick] [--out DIR]`
+//! Usage: `fig3 [--reps N | --quick] [--out DIR] [--threads T]`
 
 mod common;
 
-use experiments::figures::FigureConfig;
-
 fn main() {
-    let reps = common::repetitions_from_args();
-    let cfg = FigureConfig::comparison("fig3", 5, reps);
-    common::run_comparison_figure(&cfg);
+    let opts = common::options();
+    let cfg = common::figure_config("fig3", &opts);
+    common::run_comparison_figure(&cfg, &opts);
 }

@@ -1,23 +1,24 @@
 //! Regenerates Figure 4 of the paper: average normalized latency and
 //! overhead for FTSA with 0, 1 and 2 crashes on a *small* platform
 //! (5 processors, ε = 2) — where the latency increase with the number of
-//! failures becomes clearly visible.
+//! failures becomes clearly visible. A thin wrapper over the `fig4`
+//! campaign preset.
 //!
-//! Usage: `fig4 [--reps N | --quick] [--out DIR]`
+//! Usage: `fig4 [--reps N | --quick] [--out DIR] [--threads T]`
 
 mod common;
 
-use experiments::figures::{run_figure, FigureConfig};
+use experiments::figures::run_figure_with_threads;
 use experiments::output::figure_to_table;
 
 fn main() {
-    let reps = common::repetitions_from_args();
-    let cfg = FigureConfig::small_platform(reps);
+    let opts = common::options();
+    let cfg = common::figure_config("fig4", &opts);
     println!(
         "== fig4 — ε = 2, {} processors, {} graphs/point ==\n",
         cfg.procs, cfg.repetitions
     );
-    let fig = run_figure(&cfg);
+    let fig = run_figure_with_threads(&cfg, opts.threads());
 
     println!("--- (fig4a) normalized latency, FTSA with 0/1/2 crashes ---");
     println!(
@@ -46,5 +47,5 @@ fn main() {
         )
     );
 
-    common::write_csv(&fig);
+    common::write_csv(&fig, &opts);
 }

@@ -1,20 +1,18 @@
 //! Extension experiment (paper Section 7, future work): application
 //! failure probability. Exact survival probability of FTSA schedules
 //! under iid per-processor failure probabilities, against the
-//! `P(≤ ε failures)` design point that Theorem 4.1 guarantees.
+//! `P(≤ ε failures)` design point that Theorem 4.1 guarantees. A thin
+//! wrapper over the `reliability` campaign preset.
 //!
 //! Usage: `reliability [--procs M]`
+
+mod common;
 
 use experiments::extensions::{format_reliability, run_reliability};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let procs = args
-        .iter()
-        .position(|a| a == "--procs")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10);
+    let opts = common::options();
+    let procs: usize = opts.num_or_exit("procs", 10);
 
     println!("== exact schedule survival probability ({procs} processors) ==\n");
     let rows = run_reliability(&[0, 1, 2, 4], &[0.01, 0.05, 0.1, 0.25, 0.5], procs, 0x8E11);

@@ -1,30 +1,16 @@
 //! Regenerates Table 1 of the paper: running times (seconds) of FTSA,
 //! MC-FTSA and FTBAR for task graphs of 100–5000 tasks on 50 processors
-//! with ε = 5.
+//! with ε = 5. A thin wrapper over the `table1` campaign preset.
 //!
-//! Usage: `table1 [--full]`
+//! Usage: `table1 [--full] [--threads T]`
 //!
 //! By default the quick subset (up to 2000 tasks) runs; `--full` measures
 //! the paper's complete size list including FTBAR at 5000 tasks, which
 //! takes a while by design — that blow-up *is* the table's claim.
 
-use experiments::table1::{format_table1, run_table1, Table1Config};
+mod common;
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let cfg = if full {
-        Table1Config::paper()
-    } else {
-        Table1Config::quick()
-    };
-    println!(
-        "== Table 1 — running times in seconds ({} processors, ε = {}) ==",
-        cfg.procs, cfg.epsilon
-    );
-    if !full {
-        println!("(quick subset; pass --full for the paper's complete size list)");
-    }
-    println!();
-    let rows = run_table1(&cfg);
-    print!("{}", format_table1(&rows));
+    let opts = common::options();
+    common::run_table1_main(&opts);
 }

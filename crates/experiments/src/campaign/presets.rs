@@ -1,0 +1,310 @@
+//! Named campaign presets: the paper's own evaluations (and the CI
+//! smoke grid) as [`CampaignSpec`]s.
+//!
+//! The `fig1`–`fig4`, `table1`, `contention` and `reliability` presets
+//! are **pinned bit-identical** to the pre-campaign bespoke drivers by
+//! `tests/campaign_parity.rs` (frozen reference implementations): same
+//! instances, same tie streams, same crash scenarios, same aggregation
+//! order. That is what the `Paper*` [`Seeding`] modes encode. New
+//! presets should use [`Seeding::Indexed`].
+
+use super::{
+    CampaignSpec, LayeredRange, MeasurePlan, PlatformSpec, Seeding, StructuredKernel,
+    StructuredWorkload, TimingCap, WorkloadSpec,
+};
+use crate::figures::FigureConfig;
+use crate::table1::Table1Config;
+use ftsched_core::Algorithm;
+use platform::{FailureModel, UniformFailures};
+
+/// Every preset name, in display order.
+pub const PRESET_NAMES: [&str; 9] = [
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "table1",
+    "table1-full",
+    "contention",
+    "reliability",
+    "ci-smoke",
+];
+
+/// Builds the named preset. `reps` overrides the preset's repetition
+/// count where one applies (figures, contention, ci-smoke).
+pub fn preset(name: &str, reps: Option<usize>) -> Option<CampaignSpec> {
+    match name {
+        "fig1" => Some(spec_from_figure(&FigureConfig::comparison(
+            "fig1",
+            1,
+            reps.unwrap_or(60),
+        ))),
+        "fig2" => Some(spec_from_figure(&FigureConfig::comparison(
+            "fig2",
+            2,
+            reps.unwrap_or(60),
+        ))),
+        "fig3" => Some(spec_from_figure(&FigureConfig::comparison(
+            "fig3",
+            5,
+            reps.unwrap_or(60),
+        ))),
+        "fig4" => Some(spec_from_figure(&FigureConfig::small_platform(
+            reps.unwrap_or(60),
+        ))),
+        "table1" => Some(spec_from_table1(&Table1Config::quick())),
+        "table1-full" => Some(spec_from_table1(&Table1Config::paper())),
+        "contention" => Some(spec_from_contention(
+            &[1, 2, 3, 5],
+            reps.unwrap_or(30),
+            0.4,
+            0xC0417,
+        )),
+        "reliability" => Some(spec_from_reliability(
+            &[0, 1, 2, 4],
+            &[0.01, 0.05, 0.1, 0.25, 0.5],
+            10,
+            0x8E11,
+        )),
+        "ci-smoke" => Some(ci_smoke(reps.unwrap_or(2))),
+        _ => None,
+    }
+}
+
+/// The campaign form of a figure experiment: paper layered workload, one
+/// platform point per granularity, the figure's ε, paper algorithms with
+/// fault-free baselines, ε-then-extra crash counts, normalized series.
+pub fn spec_from_figure(cfg: &FigureConfig) -> CampaignSpec {
+    let algorithms = if cfg.compare_algorithms {
+        vec![Algorithm::Ftsa, Algorithm::McFtsaGreedy, Algorithm::Ftbar]
+    } else {
+        vec![Algorithm::Ftsa]
+    };
+    let fault_free = if cfg.compare_algorithms {
+        vec![Algorithm::Ftsa, Algorithm::Ftbar]
+    } else {
+        vec![Algorithm::Ftsa]
+    };
+    let messages = if cfg.compare_algorithms {
+        vec![Algorithm::Ftsa, Algorithm::McFtsaGreedy]
+    } else {
+        vec![]
+    };
+    let mut failures = vec![
+        FailureModel::Epsilon,
+        FailureModel::Uniform(UniformFailures { crashes: 0 }),
+    ];
+    failures.extend(
+        cfg.extra_crash_counts
+            .iter()
+            .map(|&k| FailureModel::Uniform(UniformFailures { crashes: k })),
+    );
+    CampaignSpec {
+        id: cfg.id.clone(),
+        workloads: vec![WorkloadSpec::PaperLayered(LayeredRange {
+            tasks_lo: 100,
+            tasks_hi: 150,
+        })],
+        platforms: cfg
+            .granularities
+            .iter()
+            .map(|&g| PlatformSpec::paper(cfg.procs, g))
+            .collect(),
+        epsilons: vec![cfg.epsilon],
+        algorithms,
+        extra_algorithms: cfg.extra_algorithms.clone(),
+        repetitions: cfg.repetitions,
+        seed: cfg.seed,
+        seeding: Seeding::PaperFigure,
+        measures: MeasurePlan {
+            bounds: true,
+            normalize: true,
+            fault_free,
+            overhead: true,
+            failures,
+            messages,
+            ..Default::default()
+        },
+    }
+}
+
+/// The campaign form of the Table 1 timing experiment: one fixed-size
+/// paper workload per row, a single 50-processor point, wall-clock
+/// seconds plus raw (un-normalized) latency bounds, FTBAR capped.
+pub fn spec_from_table1(cfg: &Table1Config) -> CampaignSpec {
+    CampaignSpec {
+        id: "table1".into(),
+        workloads: cfg
+            .sizes
+            .iter()
+            .map(|&v| {
+                WorkloadSpec::PaperLayered(LayeredRange {
+                    tasks_lo: v,
+                    tasks_hi: v,
+                })
+            })
+            .collect(),
+        platforms: vec![PlatformSpec::paper(cfg.procs, 1.0)],
+        epsilons: vec![cfg.epsilon],
+        algorithms: vec![Algorithm::Ftsa, Algorithm::McFtsaGreedy, Algorithm::Ftbar],
+        extra_algorithms: cfg.extra_algorithms.clone(),
+        repetitions: 1,
+        seed: cfg.seed,
+        seeding: Seeding::PaperTable,
+        measures: MeasurePlan {
+            bounds: true,
+            normalize: false,
+            timing: true,
+            timing_caps: vec![TimingCap {
+                algorithm: Algorithm::Ftbar,
+                max_tasks: cfg.ftbar_size_cap,
+            }],
+            ..Default::default()
+        },
+    }
+}
+
+/// The campaign form of the one-port contention extension: fine-grain
+/// paper instances, ε axis, FTSA vs MC-FTSA penalties.
+pub fn spec_from_contention(
+    epsilons: &[usize],
+    repetitions: usize,
+    granularity: f64,
+    seed: u64,
+) -> CampaignSpec {
+    CampaignSpec {
+        id: "contention".into(),
+        workloads: vec![WorkloadSpec::PaperLayered(LayeredRange {
+            tasks_lo: 100,
+            tasks_hi: 150,
+        })],
+        platforms: vec![PlatformSpec::paper(20, granularity)],
+        epsilons: epsilons.to_vec(),
+        algorithms: vec![Algorithm::Ftsa, Algorithm::McFtsaGreedy],
+        extra_algorithms: vec![],
+        repetitions,
+        seed,
+        seeding: Seeding::PaperContention,
+        measures: MeasurePlan {
+            bounds: false,
+            normalize: false,
+            contention: true,
+            ..Default::default()
+        },
+    }
+}
+
+/// The campaign form of the exact-reliability extension: one small
+/// instance, ε axis, survival probabilities vs the Theorem 4.1 design
+/// point over a probability sweep.
+pub fn spec_from_reliability(
+    epsilons: &[usize],
+    probabilities: &[f64],
+    procs: usize,
+    seed: u64,
+) -> CampaignSpec {
+    CampaignSpec {
+        id: "reliability".into(),
+        workloads: vec![WorkloadSpec::PaperLayered(LayeredRange {
+            tasks_lo: 60,
+            tasks_hi: 60,
+        })],
+        platforms: vec![PlatformSpec::paper(procs, 1.0)],
+        epsilons: epsilons.to_vec(),
+        algorithms: vec![Algorithm::Ftsa],
+        extra_algorithms: vec![],
+        repetitions: 1,
+        seed,
+        seeding: Seeding::PaperReliability,
+        measures: MeasurePlan {
+            bounds: false,
+            normalize: false,
+            reliability: probabilities.to_vec(),
+            ..Default::default()
+        },
+    }
+}
+
+/// A deliberately tiny mixed-axis grid for CI: two workload families
+/// (paper layered + a structured kernel), two granularities, Indexed
+/// seeding, no timing columns — every emitted number is deterministic,
+/// so the CI thread matrix can `cmp` the JSON outputs byte for byte.
+pub fn ci_smoke(repetitions: usize) -> CampaignSpec {
+    CampaignSpec {
+        id: "ci-smoke".into(),
+        workloads: vec![
+            WorkloadSpec::PaperLayered(LayeredRange {
+                tasks_lo: 30,
+                tasks_hi: 40,
+            }),
+            WorkloadSpec::Structured(StructuredWorkload {
+                kernel: StructuredKernel::Wavefront,
+                size: 4,
+            }),
+        ],
+        platforms: vec![PlatformSpec::paper(8, 0.6), PlatformSpec::paper(8, 1.4)],
+        epsilons: vec![1],
+        algorithms: vec![Algorithm::Ftsa, Algorithm::McFtsaGreedy, Algorithm::Ftbar],
+        extra_algorithms: vec![],
+        repetitions,
+        seed: 0xC1_5304E,
+        seeding: Seeding::Indexed,
+        measures: MeasurePlan {
+            bounds: true,
+            normalize: true,
+            fault_free: vec![Algorithm::Ftsa],
+            overhead: true,
+            failures: vec![
+                FailureModel::Epsilon,
+                FailureModel::Uniform(UniformFailures { crashes: 0 }),
+            ],
+            messages: vec![Algorithm::Ftsa, Algorithm::McFtsaGreedy],
+            ..Default::default()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_preset_builds_and_validates() {
+        for name in PRESET_NAMES {
+            let spec = preset(name, Some(2)).unwrap_or_else(|| panic!("missing preset {name}"));
+            spec.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!spec.id.is_empty());
+        }
+        assert!(preset("nope", None).is_none());
+    }
+
+    #[test]
+    fn preset_reps_override_applies_to_figures() {
+        let spec = preset("fig1", Some(5)).unwrap();
+        assert_eq!(spec.repetitions, 5);
+        let spec = preset("fig1", None).unwrap();
+        assert_eq!(spec.repetitions, 60);
+    }
+
+    #[test]
+    fn figure_spec_mirrors_config_shape() {
+        let cfg = FigureConfig::comparison("fig2", 2, 7);
+        let spec = spec_from_figure(&cfg);
+        assert_eq!(spec.platforms.len(), cfg.granularities.len());
+        assert_eq!(spec.epsilons, vec![2]);
+        assert_eq!(spec.seeding, Seeding::PaperFigure);
+        // ε = 2 figures add the 1-crash comparison series.
+        assert_eq!(spec.measures.failures.len(), 3);
+        let json = spec.to_json().unwrap();
+        assert_eq!(CampaignSpec::from_json(&json).unwrap(), spec);
+    }
+
+    #[test]
+    fn table1_spec_caps_ftbar() {
+        let spec = spec_from_table1(&Table1Config::quick());
+        assert!(spec.measures.timing);
+        assert_eq!(spec.measures.timing_caps.len(), 1);
+        assert_eq!(spec.measures.timing_caps[0].algorithm, Algorithm::Ftbar);
+        assert_eq!(spec.repetitions, 1);
+    }
+}

@@ -1,0 +1,665 @@
+//! The declarative side of the campaign engine: serde-round-trippable
+//! scenario grids.
+//!
+//! A [`CampaignSpec`] is the full description of an experiment — the
+//! workload/platform/ε/repetition axes, the algorithm sets, the failure
+//! models and the measurement plan — as plain data. `ftsched campaign
+//! --spec file.json` runs one straight from disk; the named presets in
+//! [`crate::campaign::presets`] build the paper's own evaluations as
+//! specs.
+
+use ftsched_core::Algorithm;
+use platform::FailureModel;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use taskgraph::generators::{
+    erdos, fork_join, layered, series_parallel, ErdosConfig, ForkJoinConfig, LayeredConfig,
+    SeriesParallelConfig,
+};
+use taskgraph::{workloads, Dag};
+
+/// Task-count range of a paper-style layered workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayeredRange {
+    /// Inclusive lower bound of the task count (paper: 100).
+    pub tasks_lo: usize,
+    /// Inclusive upper bound of the task count (paper: 150).
+    pub tasks_hi: usize,
+}
+
+/// Task count of a single-parameter generator workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskCount {
+    /// Number of tasks to generate.
+    pub tasks: usize,
+}
+
+/// Shape of a fork–join generator workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForkJoinShape {
+    /// Parallel branches per stage.
+    pub width: usize,
+    /// Number of fork–join stages.
+    pub depth: usize,
+}
+
+/// A structured-kernel workload: which kernel at which size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StructuredWorkload {
+    /// The kernel.
+    pub kernel: StructuredKernel,
+    /// Size parameter (matrix dimension, FFT width, grid edge, …).
+    pub size: usize,
+}
+
+/// The classic structured application kernels of
+/// [`taskgraph::workloads`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StructuredKernel {
+    /// Tiled Cholesky factorization.
+    Cholesky,
+    /// Radix-2 FFT butterfly graph.
+    Fft,
+    /// Gaussian elimination update cascade.
+    GaussianElimination,
+    /// 1-D stencil sweep (width × steps grid).
+    Stencil1d,
+    /// Map–shuffle–reduce.
+    MapReduce,
+    /// 2-D wavefront (dynamic-programming dependence).
+    Wavefront,
+}
+
+impl StructuredKernel {
+    /// Every kernel, in canonical order.
+    pub const ALL: [StructuredKernel; 6] = [
+        StructuredKernel::Cholesky,
+        StructuredKernel::Fft,
+        StructuredKernel::GaussianElimination,
+        StructuredKernel::Stencil1d,
+        StructuredKernel::MapReduce,
+        StructuredKernel::Wavefront,
+    ];
+
+    /// Stable lower-case identifier (used in labels and spec files).
+    pub fn key(self) -> &'static str {
+        match self {
+            StructuredKernel::Cholesky => "cholesky",
+            StructuredKernel::Fft => "fft",
+            StructuredKernel::GaussianElimination => "gaussian_elimination",
+            StructuredKernel::Stencil1d => "stencil_1d",
+            StructuredKernel::MapReduce => "map_reduce",
+            StructuredKernel::Wavefront => "wavefront",
+        }
+    }
+
+    /// Builds the kernel DAG at `size` with the workspace's canonical
+    /// cost parameters (the same scales the CLI `generate` command uses).
+    pub fn build(self, size: usize) -> Dag {
+        match self {
+            StructuredKernel::Cholesky => workloads::cholesky(size.max(2), 10.0, 5.0),
+            StructuredKernel::Fft => workloads::fft(size.next_power_of_two().max(2), 10.0, 20.0),
+            StructuredKernel::GaussianElimination => {
+                workloads::gaussian_elimination(size.max(2), 10.0, 1.0)
+            }
+            StructuredKernel::Stencil1d => workloads::stencil_1d(size, size, 10.0, 15.0),
+            StructuredKernel::MapReduce => {
+                workloads::map_reduce(size, size / 2 + 1, 20.0, 30.0, 10.0)
+            }
+            StructuredKernel::Wavefront => workloads::wavefront(size, size, 10.0, 15.0),
+        }
+    }
+}
+
+/// One point of the workload axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// The paper's layered `U{tasks_lo..tasks_hi}` random graphs drawn
+    /// through [`platform::gen::paper_instance`] (volumes `U[50, 150]`,
+    /// delays `U[0.5, 1]`).
+    PaperLayered(LayeredRange),
+    /// Random layered graphs at a fixed task count.
+    Layered(TaskCount),
+    /// Sparse random Erdős–Rényi-style DAGs.
+    Erdos(TaskCount),
+    /// Fork–join stage graphs.
+    ForkJoin(ForkJoinShape),
+    /// Random series–parallel graphs.
+    SeriesParallel(TaskCount),
+    /// A structured application kernel.
+    Structured(StructuredWorkload),
+}
+
+impl WorkloadSpec {
+    /// Human-readable label used in campaign tables and CSV rows.
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadSpec::PaperLayered(r) => {
+                format!("paper-layered[{}..{}]", r.tasks_lo, r.tasks_hi)
+            }
+            WorkloadSpec::Layered(t) => format!("layered[{}]", t.tasks),
+            WorkloadSpec::Erdos(t) => format!("erdos[{}]", t.tasks),
+            WorkloadSpec::ForkJoin(s) => format!("fork-join[{}x{}]", s.width, s.depth),
+            WorkloadSpec::SeriesParallel(t) => format!("series-parallel[{}]", t.tasks),
+            WorkloadSpec::Structured(s) => format!("{}[{}]", s.kernel.key(), s.size),
+        }
+    }
+
+    /// Declared task count: the spec-stated bound for the random
+    /// families (`tasks_hi` for ranges — actual draws can only be
+    /// smaller or equal) and the **exact** task count for structured
+    /// kernels (computed by building the kernel graph once — a size
+    /// parameter of 50 means ~20k Cholesky tasks, so comparing caps
+    /// against the raw parameter would make them silently ineffective).
+    /// Timing caps compare against this, and the `PaperTable` seeding
+    /// mode derives its per-cell seed from it (matching the pre-campaign
+    /// Table 1 driver, which XORed the row's task count into the seed).
+    /// Deterministic; O(kernel size) for structured workloads, so cache
+    /// it (as [`crate::campaign::CellPlan`] does) rather than calling it
+    /// per cell.
+    pub fn declared_tasks(&self) -> usize {
+        match self {
+            WorkloadSpec::PaperLayered(r) => r.tasks_hi,
+            WorkloadSpec::Layered(t) | WorkloadSpec::Erdos(t) | WorkloadSpec::SeriesParallel(t) => {
+                t.tasks
+            }
+            WorkloadSpec::ForkJoin(s) => s.width * s.depth + 2,
+            WorkloadSpec::Structured(s) => s.kernel.build(s.size).num_tasks(),
+        }
+    }
+
+    /// Builds the task graph, consuming `rng` only for the random
+    /// families (structured kernels are deterministic).
+    pub fn build_dag(&self, rng: &mut impl Rng) -> Dag {
+        match self {
+            // Same single-home draw `paper_instance` starts with, so a
+            // standalone `build_dag` reproduces the campaign's graphs
+            // at the same seed.
+            WorkloadSpec::PaperLayered(r) => platform::gen::paper_dag(rng, r.tasks_lo, r.tasks_hi),
+            WorkloadSpec::Layered(t) => layered(rng, &LayeredConfig::paper(t.tasks)),
+            WorkloadSpec::Erdos(t) => erdos(rng, &ErdosConfig::sparse(t.tasks)),
+            WorkloadSpec::ForkJoin(s) => fork_join(rng, &ForkJoinConfig::new(s.width, s.depth)),
+            WorkloadSpec::SeriesParallel(t) => {
+                series_parallel(rng, &SeriesParallelConfig::new(t.tasks.max(2)))
+            }
+            WorkloadSpec::Structured(s) => s.kernel.build(s.size),
+        }
+    }
+
+    /// Whether this workload goes through
+    /// [`platform::gen::paper_instance`] (which draws graph, platform and
+    /// execution matrix in one fixed RNG order).
+    pub fn is_paper_layered(&self) -> bool {
+        matches!(self, WorkloadSpec::PaperLayered(_))
+    }
+}
+
+/// One point of the platform axis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlatformSpec {
+    /// Number of fully connected processors.
+    pub procs: usize,
+    /// Target granularity (computation / communication balance); `<= 0`
+    /// leaves the workload's natural costs unscaled.
+    pub granularity: f64,
+    /// Communication-to-computation ratio; when `> 0` it overrides
+    /// `granularity` as `granularity = 1 / ccr` (the two are reciprocal
+    /// views of the same rescaling).
+    pub ccr: f64,
+    /// Unrelated-machines heterogeneity spread of execution times.
+    pub heterogeneity: f64,
+}
+
+impl Default for PlatformSpec {
+    fn default() -> Self {
+        PlatformSpec {
+            procs: 20,
+            granularity: 1.0,
+            ccr: 0.0,
+            heterogeneity: 0.5,
+        }
+    }
+}
+
+impl PlatformSpec {
+    /// A paper-style platform point at `procs` processors and
+    /// `granularity`.
+    pub fn paper(procs: usize, granularity: f64) -> Self {
+        PlatformSpec {
+            procs,
+            granularity,
+            ..Default::default()
+        }
+    }
+
+    /// The granularity the instance is rescaled to, if any (`ccr` wins
+    /// over `granularity`).
+    pub fn effective_granularity(&self) -> Option<f64> {
+        if self.ccr > 0.0 {
+            Some(1.0 / self.ccr)
+        } else if self.granularity > 0.0 {
+            Some(self.granularity)
+        } else {
+            None
+        }
+    }
+}
+
+/// A timing cap: skip `algorithm` entirely (no seconds, no bounds) in
+/// cells whose workload declares more than `max_tasks` tasks — Table 1's
+/// "FTBAR at 5000 tasks takes minutes by design" escape hatch,
+/// generalized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingCap {
+    /// The algorithm to cap.
+    pub algorithm: Algorithm,
+    /// Largest declared task count the algorithm still runs at.
+    pub max_tasks: usize,
+}
+
+/// What to measure in every cell.
+///
+/// All families compose: a single campaign can record bounds, crash
+/// latencies, wall-clock seconds and one-port penalties at once. The
+/// legacy drivers are specific combinations (see
+/// [`crate::campaign::presets`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasurePlan {
+    /// Record the eq. (2)/(4) latency bounds (`{alg}-LowerBound`,
+    /// `{alg}-UpperBound`) of every primary and extra algorithm.
+    pub bounds: bool,
+    /// Divide latency-valued series by the instance's mean edge
+    /// communication cost `W̄` (the figures' normalization constant).
+    pub normalize: bool,
+    /// Algorithms additionally scheduled at `ε = 0` (`FaultFree-{alg}`
+    /// series). Must be a subset of the primary algorithm list.
+    pub fault_free: Vec<Algorithm>,
+    /// Record `Overhead: …` series (percent over the *first* primary
+    /// algorithm's fault-free latency) next to each crash series.
+    /// Requires `fault_free` to contain that first algorithm.
+    pub overhead: bool,
+    /// Failure models to inject. The first model's scenario is shared by
+    /// **every** algorithm of the cell (the paper's "identical failed
+    /// processors for every algorithm" protocol); the remaining models
+    /// are evaluated on the first primary algorithm only, drawn
+    /// sequentially from the cell's crash stream.
+    pub failures: Vec<FailureModel>,
+    /// Algorithms whose replication message count is recorded
+    /// (`Messages: {alg}`); extra algorithms are always counted.
+    pub messages: Vec<Algorithm>,
+    /// Record wall-clock scheduling seconds (`Seconds: {alg}`). Timing
+    /// columns are *not* covered by the bit-parity guarantees (they
+    /// measure the machine, not the algorithm).
+    pub timing: bool,
+    /// Per-algorithm task-count caps (only meaningful with per-algorithm
+    /// seeding modes; rejected with shared-stream seeding, where a
+    /// skipped slot would shift every later algorithm's tie stream).
+    pub timing_caps: Vec<TimingCap>,
+    /// Record one-port contention penalties (`OnePortPenalty: {alg}`,
+    /// `Transfers: {alg}`) of every primary algorithm, fault-free.
+    pub contention: bool,
+    /// Per-processor failure probabilities at which to record the exact
+    /// survival probability of the first primary algorithm's schedule
+    /// (`P(survive) p={p}`) and the Theorem 4.1 design point
+    /// (`DesignPoint p={p}`). Exponential in `procs` — small platforms
+    /// only.
+    pub reliability: Vec<f64>,
+}
+
+impl Default for MeasurePlan {
+    fn default() -> Self {
+        MeasurePlan {
+            bounds: true,
+            normalize: true,
+            fault_free: Vec::new(),
+            overhead: false,
+            failures: Vec::new(),
+            messages: Vec::new(),
+            timing: false,
+            timing_caps: Vec::new(),
+            contention: false,
+            reliability: Vec::new(),
+        }
+    }
+}
+
+/// How per-cell RNG seeds are derived.
+///
+/// New campaigns use [`Seeding::Indexed`]: every cell's seed is
+/// [`simulator::replication_seed`]`(spec.seed, cell_index)` and every
+/// schedule slot gets its own stream derived from its slot position.
+/// Stability contract: **appending workloads** (the outermost axis) or
+/// **appending extra algorithms** (slots at the end, separate streams)
+/// leaves every existing series bit-identical. Any edit that renumbers
+/// existing cells or slots — adding platform points, ε values,
+/// repetitions, primary algorithms or fault-free baselines — reseeds
+/// the affected series; treat those as a new experiment. The `Paper*`
+/// modes reproduce the exact seed derivations and tie-stream sharing of
+/// the pre-campaign drivers; they exist so the pinned presets stay
+/// **bit-identical** to the historical figure/table outputs (see
+/// `tests/campaign_parity.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Seeding {
+    /// `replication_seed(seed, cell_index)`; independent per-slot tie
+    /// streams.
+    Indexed,
+    /// The figure drivers' derivation: granularity/repetition-mixed cell
+    /// seed, one tie stream shared across the paper algorithms (extras
+    /// independent), crash stream at `cell_seed ^ 0xC4A5`.
+    PaperFigure,
+    /// The Table 1 driver's derivation: `seed ^ declared_tasks` for the
+    /// instance, a fresh `StdRng(seed)` tie stream per algorithm.
+    PaperTable,
+    /// The contention driver's derivation.
+    PaperContention,
+    /// The reliability driver's derivation: one instance per spec seed,
+    /// tie streams at `seed ^ ε`.
+    PaperReliability,
+}
+
+/// A declarative scenario grid: the cross product of the workload,
+/// platform, ε and repetition axes, evaluated under one measurement
+/// plan. See the [module docs](self) and the campaign engine docs
+/// ([`crate::campaign`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Campaign identifier (file stem of CSV/JSON outputs).
+    pub id: String,
+    /// Workload axis.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Platform axis.
+    pub platforms: Vec<PlatformSpec>,
+    /// Tolerated-failure axis.
+    pub epsilons: Vec<usize>,
+    /// Primary algorithms, evaluated on every cell's shared instance and
+    /// shared first failure scenario.
+    pub algorithms: Vec<Algorithm>,
+    /// Additional independently-seeded algorithms: each rides the same
+    /// instances and shared scenarios on its **own** tie stream, so
+    /// appending one never changes the primary series. An extra that
+    /// duplicates a primary (or an earlier extra) is skipped.
+    pub extra_algorithms: Vec<Algorithm>,
+    /// Random instances per (workload, platform, ε) group.
+    pub repetitions: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Per-cell seed derivation.
+    pub seeding: Seeding,
+    /// What to measure.
+    pub measures: MeasurePlan,
+}
+
+impl CampaignSpec {
+    /// Total number of cells in the grid.
+    pub fn num_cells(&self) -> usize {
+        self.workloads.len() * self.platforms.len() * self.epsilons.len() * self.repetitions
+    }
+
+    /// Number of aggregation groups (cells differing only in the
+    /// repetition coordinate share a group).
+    pub fn num_groups(&self) -> usize {
+        self.workloads.len() * self.platforms.len() * self.epsilons.len()
+    }
+
+    /// Structural validation: every error a run would otherwise hit
+    /// mid-grid, reported up front.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workloads.is_empty() {
+            return Err("campaign needs at least one workload".into());
+        }
+        if self.platforms.is_empty() {
+            return Err("campaign needs at least one platform point".into());
+        }
+        if self.epsilons.is_empty() {
+            return Err("campaign needs at least one epsilon".into());
+        }
+        if self.algorithms.is_empty() {
+            return Err("campaign needs at least one primary algorithm".into());
+        }
+        if self.repetitions == 0 {
+            return Err("campaign needs at least one repetition".into());
+        }
+        for p in &self.platforms {
+            if p.procs == 0 {
+                return Err("platform point with zero processors".into());
+            }
+            for &eps in &self.epsilons {
+                if eps + 1 > p.procs {
+                    return Err(format!(
+                        "epsilon {eps} needs {} processors, platform point has {}",
+                        eps + 1,
+                        p.procs
+                    ));
+                }
+                for fm in &self.measures.failures {
+                    if fm.crashes(eps) > p.procs {
+                        return Err(format!(
+                            "failure model {fm:?} draws {} distinct processors, \
+                             platform point has only {}",
+                            fm.crashes(eps),
+                            p.procs
+                        ));
+                    }
+                }
+            }
+        }
+        for fm in &self.measures.failures {
+            if let FailureModel::Timed(t) = fm {
+                if !(t.horizon.is_finite() && t.horizon >= 0.0) {
+                    return Err(format!("timed failure horizon {} invalid", t.horizon));
+                }
+            }
+        }
+        if self.measures.overhead {
+            let first = self.algorithms[0];
+            if !self.measures.fault_free.contains(&first) {
+                return Err(format!(
+                    "overhead series need the fault-free baseline of the first \
+                     primary algorithm ({}) in measures.fault_free",
+                    first.name()
+                ));
+            }
+        }
+        for alg in &self.measures.fault_free {
+            if !self.algorithms.contains(alg) {
+                return Err(format!(
+                    "fault-free algorithm {} is not in the primary set",
+                    alg.name()
+                ));
+            }
+        }
+        if !self.measures.timing_caps.is_empty()
+            && matches!(
+                self.seeding,
+                Seeding::PaperFigure | Seeding::PaperContention
+            )
+        {
+            return Err(
+                "timing caps cannot combine with shared-tie-stream seeding modes \
+                 (a skipped slot would shift later algorithms' streams)"
+                    .into(),
+            );
+        }
+        // The first primary algorithm's schedule is the reference for
+        // failure injection, contention and reliability; capping it away
+        // would leave those measures reading a stale (or empty) slot.
+        if (!self.measures.failures.is_empty()
+            || self.measures.contention
+            || !self.measures.reliability.is_empty())
+            && self
+                .measures
+                .timing_caps
+                .iter()
+                .any(|c| c.algorithm == self.algorithms[0])
+        {
+            return Err(format!(
+                "the first primary algorithm ({}) cannot carry a timing cap while \
+                 failure/contention/reliability measures are requested — its \
+                 schedule is every cell's reference",
+                self.algorithms[0].name()
+            ));
+        }
+        if matches!(self.seeding, Seeding::PaperFigure) {
+            for p in &self.platforms {
+                if p.effective_granularity().is_none() {
+                    return Err(
+                        "PaperFigure seeding derives cell seeds from the granularity; \
+                         every platform point needs granularity or ccr set"
+                            .into(),
+                    );
+                }
+            }
+        }
+        for p in &self.measures.reliability {
+            if !(0.0..=1.0).contains(p) {
+                return Err(format!("reliability probability {p} outside [0, 1]"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the spec as pretty JSON.
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
+    }
+
+    /// Parses a spec from JSON and validates it.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let spec: CampaignSpec = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platform::{TimedFailures, UniformFailures};
+
+    fn small_spec() -> CampaignSpec {
+        CampaignSpec {
+            id: "test".into(),
+            workloads: vec![
+                WorkloadSpec::PaperLayered(LayeredRange {
+                    tasks_lo: 20,
+                    tasks_hi: 30,
+                }),
+                WorkloadSpec::Structured(StructuredWorkload {
+                    kernel: StructuredKernel::Wavefront,
+                    size: 4,
+                }),
+            ],
+            platforms: vec![PlatformSpec::paper(8, 0.8)],
+            epsilons: vec![1, 2],
+            algorithms: vec![Algorithm::Ftsa, Algorithm::McFtsaGreedy],
+            extra_algorithms: vec![Algorithm::FtsaPressure],
+            repetitions: 3,
+            seed: 42,
+            seeding: Seeding::Indexed,
+            measures: MeasurePlan {
+                fault_free: vec![Algorithm::Ftsa],
+                overhead: true,
+                failures: vec![
+                    FailureModel::Epsilon,
+                    FailureModel::Uniform(UniformFailures { crashes: 0 }),
+                ],
+                messages: vec![Algorithm::Ftsa],
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = small_spec();
+        let json = spec.to_json().unwrap();
+        let back = CampaignSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn validation_rejects_structural_errors() {
+        let ok = small_spec();
+        assert!(ok.validate().is_ok());
+
+        let mut bad = ok.clone();
+        bad.epsilons = vec![9]; // 10 > 8 processors
+        assert!(bad.validate().unwrap_err().contains("processors"));
+
+        let mut bad = ok.clone();
+        bad.measures.failures = vec![FailureModel::Uniform(UniformFailures { crashes: 99 })];
+        assert!(bad.validate().unwrap_err().contains("distinct processors"));
+
+        let mut bad = ok.clone();
+        bad.measures.fault_free.clear();
+        assert!(bad.validate().unwrap_err().contains("fault-free"));
+
+        let mut bad = ok.clone();
+        bad.measures.failures = vec![FailureModel::Timed(TimedFailures {
+            crashes: 1,
+            horizon: f64::NAN,
+        })];
+        assert!(bad.validate().unwrap_err().contains("horizon"));
+
+        let mut bad = ok.clone();
+        bad.seeding = Seeding::PaperFigure;
+        bad.measures.timing_caps = vec![TimingCap {
+            algorithm: Algorithm::Ftbar,
+            max_tasks: 10,
+        }];
+        assert!(bad.validate().unwrap_err().contains("timing caps"));
+
+        // The first primary is the failure/contention/reliability
+        // reference schedule; capping it away must be rejected.
+        let mut bad = ok.clone();
+        bad.measures.timing_caps = vec![TimingCap {
+            algorithm: bad.algorithms[0],
+            max_tasks: 10,
+        }];
+        assert!(bad.validate().unwrap_err().contains("reference"));
+
+        let mut bad = ok;
+        bad.repetitions = 0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn workload_labels_and_sizes() {
+        assert_eq!(
+            WorkloadSpec::PaperLayered(LayeredRange {
+                tasks_lo: 100,
+                tasks_hi: 150
+            })
+            .label(),
+            "paper-layered[100..150]"
+        );
+        let w = WorkloadSpec::Structured(StructuredWorkload {
+            kernel: StructuredKernel::MapReduce,
+            size: 6,
+        });
+        assert_eq!(w.label(), "map_reduce[6]");
+        // Structured workloads declare the *actual* task count (the
+        // timing caps compare against it), not the size parameter:
+        // map_reduce(6, 4) = 6 mappers + 4 reducers + source + sink.
+        assert_eq!(w.declared_tasks(), 12);
+        // Every kernel builds a non-empty DAG and declares its exact
+        // task count.
+        for kernel in StructuredKernel::ALL {
+            let dag = kernel.build(4);
+            assert!(dag.num_tasks() > 0, "{kernel:?}");
+            let w = WorkloadSpec::Structured(StructuredWorkload { kernel, size: 4 });
+            assert_eq!(w.declared_tasks(), dag.num_tasks(), "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn effective_granularity_prefers_ccr() {
+        let mut p = PlatformSpec::paper(4, 0.5);
+        assert_eq!(p.effective_granularity(), Some(0.5));
+        p.ccr = 2.0;
+        assert_eq!(p.effective_granularity(), Some(0.5));
+        p.ccr = 0.0;
+        p.granularity = 0.0;
+        assert_eq!(p.effective_granularity(), None);
+    }
+}

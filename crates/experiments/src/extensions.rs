@@ -8,16 +8,19 @@
 //! * [`run_reliability`] — survival probability under iid processor
 //!   failure probabilities ("account for the failure probability of the
 //!   application").
+//!
+//! Both are campaign presets since the refactor
+//! ([`crate::campaign::presets::spec_from_contention`] /
+//! [`spec_from_reliability`](crate::campaign::presets::spec_from_reliability));
+//! this module converts the group statistics back into the historical
+//! row shapes, bit-identical to the pre-campaign drivers
+//! (`tests/campaign_parity.rs`).
 
-use crate::mean;
-use crate::parallel::{default_threads, parallel_map};
-use ftsched_core::{schedule, Algorithm};
-use platform::gen::{paper_instance, PaperInstanceConfig};
-use platform::FailureScenario;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use simulator::contention::{simulate_contention, PortModel};
-use simulator::reliability::{design_point_probability, survival_probability_exact};
+use crate::campaign::{
+    presets::{spec_from_contention, spec_from_reliability},
+    run_campaign, run_campaign_with_threads,
+};
+use crate::parallel::default_threads;
 
 /// One row of the contention experiment.
 #[derive(Debug, Clone)]
@@ -44,43 +47,32 @@ pub fn run_contention(
     granularity: f64,
     seed: u64,
 ) -> Vec<ContentionRow> {
+    run_contention_with_threads(epsilons, repetitions, granularity, seed, default_threads())
+}
+
+/// [`run_contention`] with an explicit worker count (results are
+/// bit-identical at any thread count).
+pub fn run_contention_with_threads(
+    epsilons: &[usize],
+    repetitions: usize,
+    granularity: f64,
+    seed: u64,
+    threads: usize,
+) -> Vec<ContentionRow> {
+    let spec = spec_from_contention(epsilons, repetitions, granularity, seed);
+    let res = run_campaign_with_threads(&spec, threads)
+        .unwrap_or_else(|e| panic!("contention spec invalid: {e}"));
     epsilons
         .iter()
-        .map(|&eps| {
-            let cells = parallel_map(repetitions, default_threads(), |rep| {
-                let cell_seed = seed ^ (eps as u64) << 32 | rep as u64;
-                let mut g = StdRng::seed_from_u64(cell_seed);
-                let inst = paper_instance(
-                    &mut g,
-                    &PaperInstanceConfig {
-                        granularity,
-                        ..Default::default()
-                    },
-                );
-                let mut tie = StdRng::seed_from_u64(cell_seed ^ 0xBEEF);
-                let f = schedule(&inst, eps, Algorithm::Ftsa, &mut tie).unwrap();
-                let mc = schedule(&inst, eps, Algorithm::McFtsaGreedy, &mut tie).unwrap();
-                let measure = |s: &ftsched_core::Schedule| {
-                    let unb = simulate_contention(
-                        &inst,
-                        s,
-                        &FailureScenario::none(),
-                        PortModel::Unbounded,
-                    );
-                    let one =
-                        simulate_contention(&inst, s, &FailureScenario::none(), PortModel::OnePort);
-                    (one.latency / unb.latency, one.transfers as f64)
-                };
-                let (fp, ft) = measure(&f);
-                let (mp, mt) = measure(&mc);
-                (fp, mp, ft, mt)
-            });
+        .enumerate()
+        .map(|(ei, &eps)| {
+            let g = &res.groups[ei];
             ContentionRow {
                 epsilon: eps,
-                ftsa_penalty: mean(&cells.iter().map(|c| c.0).collect::<Vec<_>>()),
-                mc_penalty: mean(&cells.iter().map(|c| c.1).collect::<Vec<_>>()),
-                ftsa_transfers: mean(&cells.iter().map(|c| c.2).collect::<Vec<_>>()),
-                mc_transfers: mean(&cells.iter().map(|c| c.3).collect::<Vec<_>>()),
+                ftsa_penalty: g.mean("OnePortPenalty: FTSA").expect("measured"),
+                mc_penalty: g.mean("OnePortPenalty: MC-FTSA").expect("measured"),
+                ftsa_transfers: g.mean("Transfers: FTSA").expect("measured"),
+                mc_transfers: g.mean("Transfers: MC-FTSA").expect("measured"),
             }
         })
         .collect()
@@ -122,27 +114,17 @@ pub fn run_reliability(
     procs: usize,
     seed: u64,
 ) -> Vec<ReliabilityRow> {
-    let mut g = StdRng::seed_from_u64(seed);
-    let inst = paper_instance(
-        &mut g,
-        &PaperInstanceConfig {
-            tasks_lo: 60,
-            tasks_hi: 60,
-            procs,
-            granularity: 1.0,
-            ..Default::default()
-        },
-    );
+    let spec = spec_from_reliability(epsilons, probabilities, procs, seed);
+    let res = run_campaign(&spec).unwrap_or_else(|e| panic!("reliability spec invalid: {e}"));
     let mut rows = Vec::new();
-    for &eps in epsilons {
-        let mut tie = StdRng::seed_from_u64(seed ^ eps as u64);
-        let sched = schedule(&inst, eps, Algorithm::Ftsa, &mut tie).unwrap();
+    for (ei, &eps) in epsilons.iter().enumerate() {
+        let g = &res.groups[ei];
         for &p in probabilities {
             rows.push(ReliabilityRow {
                 epsilon: eps,
                 p,
-                survival: survival_probability_exact(&inst, &sched, p),
-                design_point: design_point_probability(procs, eps, p),
+                survival: g.mean(&format!("P(survive) p={p}")).expect("measured"),
+                design_point: g.mean(&format!("DesignPoint p={p}")).expect("measured"),
             });
         }
     }
@@ -178,6 +160,11 @@ mod tests {
         assert!(r.mc_transfers < r.ftsa_transfers);
         let s = format_contention(&rows);
         assert!(s.contains("penalty"));
+        // The explicit worker count is honoured and thread-invariant.
+        let seq = run_contention_with_threads(&[2], 4, 0.4, 77, 1);
+        let par = run_contention_with_threads(&[2], 4, 0.4, 77, 4);
+        assert_eq!(seq[0].ftsa_penalty.to_bits(), par[0].ftsa_penalty.to_bits());
+        assert_eq!(seq[0].ftsa_penalty.to_bits(), r.ftsa_penalty.to_bits());
     }
 
     #[test]

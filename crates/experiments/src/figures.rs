@@ -1,30 +1,27 @@
 //! The figure experiments: normalized-latency bounds, crash-case
 //! latencies and replication overheads over the granularity sweep.
 //!
-//! One run evaluates, per (granularity, repetition) cell:
+//! Since the campaign refactor this module is a thin conversion layer:
+//! a [`FigureConfig`] maps onto a [`crate::campaign::CampaignSpec`] (see
+//! [`crate::campaign::presets::spec_from_figure`]) whose grid is one
+//! platform point per granularity, the figure's ε, the paper algorithms
+//! with fault-free baselines, and the ε / 0 / extra crash counts as
+//! [`platform::FailureModel`]s. The engine evaluates it through the
+//! shared zero-allocation executor, and [`run_figure`] folds the group
+//! statistics back into the historical [`FigureResult`] shape.
 //!
-//! * FTSA, MC-FTSA (greedy) and FTBAR schedules at the figure's `ε`,
-//!   plus the fault-free (`ε = 0`) FTSA and FTBAR baselines;
-//! * the equation-(2)/(4) bounds of each schedule;
-//! * crash simulations with the figure's crash counts (the failed
-//!   processors are drawn uniformly, identically for every algorithm of
-//!   the cell);
-//! * the Section 6 overhead
-//!   `(X − FTSA*) / FTSA*` where `FTSA*` is the fault-free FTSA latency.
-//!
-//! Series names match the paper's legends (`FTSA-LowerBound`,
-//! `MC-FTSA with 2 Crash`, …) so the printed tables read like the
-//! original plots.
+//! Every series is **bit-identical** to the pre-campaign bespoke driver
+//! at the same seeds — `tests/campaign_parity.rs` pins this against a
+//! frozen copy of the old implementation. Series names match the paper's
+//! legends (`FTSA-LowerBound`, `MC-FTSA with 2 Crash`, …) so the printed
+//! tables read like the original plots.
 
-use crate::parallel::{default_threads, parallel_map};
-use crate::{mean, paper_granularities};
-use ftsched_core::{ftbar::ftbar, ftsa::ftsa, mc_ftsa, schedule, Algorithm, Schedule};
-use platform::gen::{paper_instance, PaperInstanceConfig};
-use platform::{FailureScenario, Instance};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use simulator::simulate;
+use crate::campaign::{presets::spec_from_figure, run_campaign_with_threads};
+use crate::parallel::default_threads;
+use ftsched_core::Algorithm;
 use std::collections::BTreeMap;
+
+pub use crate::campaign::normalization;
 
 /// Configuration of one figure experiment.
 #[derive(Debug, Clone)]
@@ -67,7 +64,7 @@ impl FigureConfig {
             id: id.into(),
             epsilon,
             procs: 20,
-            granularities: paper_granularities(),
+            granularities: crate::paper_granularities(),
             repetitions,
             extra_crash_counts: extra,
             compare_algorithms: true,
@@ -82,7 +79,7 @@ impl FigureConfig {
             id: "fig4".into(),
             epsilon: 2,
             procs: 5,
-            granularities: paper_granularities(),
+            granularities: crate::paper_granularities(),
             repetitions,
             extra_crash_counts: vec![1],
             compare_algorithms: false,
@@ -111,177 +108,29 @@ pub struct FigureResult {
     pub points: Vec<FigurePoint>,
 }
 
-/// Normalization constant: the instance's mean edge communication cost
-/// `W̄ = mean_e V(e) · d̄` (see the crate docs).
-pub fn normalization(inst: &Instance) -> f64 {
-    let e = inst.dag.num_edges();
-    if e == 0 {
-        return 1.0;
-    }
-    let d = inst.platform.average_delay();
-    let total: f64 = inst.dag.edge_list().map(|(_, _, _, v)| v * d).sum();
-    (total / e as f64).max(f64::MIN_POSITIVE)
-}
-
-fn crash_latency(inst: &Instance, sched: &Schedule, crashes: usize, rng: &mut StdRng) -> f64 {
-    let scen = if crashes == 0 {
-        FailureScenario::none()
-    } else {
-        FailureScenario::uniform(rng, inst.num_procs(), crashes)
-    };
-    simulate(inst, sched, &scen).latency
-}
-
-/// Evaluates one (granularity, repetition) cell; returns the raw series.
-fn run_cell(cfg: &FigureConfig, granularity: f64, rep: usize) -> BTreeMap<String, f64> {
-    // Cell-local deterministic seed.
-    let cell_seed = cfg
-        .seed
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add((granularity * 1e6) as u64)
-        .wrapping_add(rep as u64);
-    let mut gen_rng = StdRng::seed_from_u64(cell_seed);
-    let inst = paper_instance(
-        &mut gen_rng,
-        &PaperInstanceConfig {
-            procs: cfg.procs,
-            granularity,
-            ..Default::default()
-        },
-    );
-    let norm = normalization(&inst);
-    let eps = cfg.epsilon;
-
-    let mut tie = StdRng::seed_from_u64(cell_seed ^ 0xA5A5);
-    let ftsa_s = ftsa(&inst, eps, &mut tie).expect("enough processors");
-    let ff_ftsa = ftsa(&inst, 0, &mut tie).expect("enough processors");
-
-    let mut out = BTreeMap::new();
-    let nl = |x: f64| x / norm;
-    out.insert("FTSA-LowerBound".into(), nl(ftsa_s.latency_lower_bound()));
-    out.insert("FTSA-UpperBound".into(), nl(ftsa_s.latency_upper_bound()));
-    out.insert("FaultFree-FTSA".into(), nl(ff_ftsa.latency_lower_bound()));
-
-    let ftsa_star = ff_ftsa.latency_lower_bound();
-    let ov = |x: f64| (x - ftsa_star) / ftsa_star * 100.0;
-
-    // Crash cases. One scenario per crash count, shared by algorithms.
-    let mut crash_rng = StdRng::seed_from_u64(cell_seed ^ 0xC4A5);
-    let l_ftsa_crash = crash_latency(&inst, &ftsa_s, eps, &mut crash_rng);
-    out.insert(format!("FTSA with {eps} Crash"), nl(l_ftsa_crash));
-    out.insert(format!("Overhead: FTSA with {eps} Crash"), ov(l_ftsa_crash));
-    let l_ftsa_0 = crash_latency(&inst, &ftsa_s, 0, &mut crash_rng);
-    out.insert("FTSA with 0 Crash".into(), nl(l_ftsa_0));
-    out.insert("Overhead: FTSA with 0 Crash".into(), ov(l_ftsa_0));
-    for &k in &cfg.extra_crash_counts {
-        let l = crash_latency(&inst, &ftsa_s, k, &mut crash_rng);
-        out.insert(format!("FTSA with {k} Crash"), nl(l));
-        out.insert(format!("Overhead: FTSA with {k} Crash"), ov(l));
-    }
-
-    if cfg.compare_algorithms {
-        let mc_s = mc_ftsa::mc_ftsa(&inst, eps, mc_ftsa::Selector::Greedy, &mut tie)
-            .expect("enough processors");
-        let ftbar_s = ftbar(&inst, eps, &mut tie).expect("enough processors");
-        let ff_ftbar = ftbar(&inst, 0, &mut tie).expect("enough processors");
-
-        out.insert("MC-FTSA-LowerBound".into(), nl(mc_s.latency_lower_bound()));
-        out.insert("MC-FTSA-UpperBound".into(), nl(mc_s.latency_upper_bound()));
-        out.insert("FTBAR-LowerBound".into(), nl(ftbar_s.latency_lower_bound()));
-        out.insert("FTBAR-UpperBound".into(), nl(ftbar_s.latency_upper_bound()));
-        out.insert("FaultFree-FTBAR".into(), nl(ff_ftbar.latency_lower_bound()));
-
-        // Same crash pattern for the competing algorithms.
-        let mut crash_rng2 = StdRng::seed_from_u64(cell_seed ^ 0xC4A5);
-        let scen = if eps == 0 {
-            FailureScenario::none()
-        } else {
-            FailureScenario::uniform(&mut crash_rng2, inst.num_procs(), eps)
-        };
-        let l_mc = simulate(&inst, &mc_s, &scen).latency;
-        let l_fb = simulate(&inst, &ftbar_s, &scen).latency;
-        out.insert(format!("MC-FTSA with {eps} Crash"), nl(l_mc));
-        out.insert(format!("Overhead: MC-FTSA with {eps} Crash"), ov(l_mc));
-        out.insert(format!("FTBAR with {eps} Crash"), nl(l_fb));
-        out.insert(format!("Overhead: FTBAR with {eps} Crash"), ov(l_fb));
-
-        // Message-count economy of Section 4.2 (extra series, not in the
-        // paper's plots but underpinning its e(ε+1)² vs e(ε+1) claim).
-        out.insert(
-            "Messages: FTSA".into(),
-            ftsa_s.message_count(&inst.dag) as f64,
-        );
-        out.insert(
-            "Messages: MC-FTSA".into(),
-            mc_s.message_count(&inst.dag) as f64,
-        );
-    }
-
-    // The algorithm axis: extra pipeline configurations ride the same
-    // instance and crash pattern, each on its own tie-break stream so
-    // the paper series stay bit-identical whether or not extras run.
-    // An extra that duplicates a series this cell already produced
-    // (e.g. `--algorithms ftsa`) is skipped rather than allowed to
-    // overwrite the paper series with a different tie-break stream.
-    for (ai, &alg) in cfg.extra_algorithms.iter().enumerate() {
-        let name = alg.name();
-        if out.contains_key(&format!("{name}-LowerBound")) {
-            continue;
-        }
-        let mut tie2 = StdRng::seed_from_u64(cell_seed ^ (0xA1_6000 + ai as u64));
-        let s = schedule(&inst, eps, alg, &mut tie2).expect("enough processors");
-        out.insert(format!("{name}-LowerBound"), nl(s.latency_lower_bound()));
-        out.insert(format!("{name}-UpperBound"), nl(s.latency_upper_bound()));
-        let mut crash_rng3 = StdRng::seed_from_u64(cell_seed ^ 0xC4A5);
-        let scen = if eps == 0 {
-            FailureScenario::none()
-        } else {
-            FailureScenario::uniform(&mut crash_rng3, inst.num_procs(), eps)
-        };
-        let l = simulate(&inst, &s, &scen).latency;
-        out.insert(format!("{name} with {eps} Crash"), nl(l));
-        out.insert(format!("Overhead: {name} with {eps} Crash"), ov(l));
-        out.insert(
-            format!("Messages: {name}"),
-            s.message_count(&inst.dag) as f64,
-        );
-    }
-
-    out
-}
-
 /// Runs a figure experiment, parallelized over all cells.
 pub fn run_figure(cfg: &FigureConfig) -> FigureResult {
     run_figure_with_threads(cfg, default_threads())
 }
 
 /// Runs a figure experiment with an explicit worker count (tests use 1).
+/// Routes through the campaign engine; results are bit-identical at any
+/// thread count.
 pub fn run_figure_with_threads(cfg: &FigureConfig, threads: usize) -> FigureResult {
-    let cells: Vec<(f64, usize)> = cfg
-        .granularities
-        .iter()
-        .flat_map(|&g| (0..cfg.repetitions).map(move |r| (g, r)))
-        .collect();
-    let raw = parallel_map(cells.len(), threads, |i| {
-        let (g, r) = cells[i];
-        (g, run_cell(cfg, g, r))
-    });
-
-    let mut points = Vec::with_capacity(cfg.granularities.len());
-    for &g in &cfg.granularities {
-        let mut acc: BTreeMap<String, Vec<f64>> = BTreeMap::new();
-        for (gg, cell) in raw.iter().filter(|(gg, _)| (gg - g).abs() < 1e-12) {
-            let _ = gg;
-            for (k, v) in cell {
-                acc.entry(k.clone()).or_default().push(*v);
-            }
-        }
-        let series = acc.into_iter().map(|(k, vs)| (k, mean(&vs))).collect();
-        points.push(FigurePoint {
+    let spec = spec_from_figure(cfg);
+    let res = run_campaign_with_threads(&spec, threads)
+        .unwrap_or_else(|e| panic!("figure {} spec invalid: {e}", cfg.id));
+    // One workload, one ε: groups are exactly the granularity points, in
+    // sweep order.
+    let points = res
+        .groups
+        .into_iter()
+        .zip(&cfg.granularities)
+        .map(|(group, &g)| FigurePoint {
             granularity: g,
-            series,
-        });
-    }
+            series: group.series.into_iter().map(|s| (s.name, s.mean)).collect(),
+        })
+        .collect();
     FigureResult {
         id: cfg.id.clone(),
         points,

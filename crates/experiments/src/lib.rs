@@ -1,18 +1,33 @@
-//! Experiment harness regenerating the FTSA paper's evaluation.
+//! Experiment harness: a declarative **campaign engine** plus the paper
+//! presets built on it.
 //!
-//! Section 6 setup: random layered graphs with `U{100..150}` tasks,
-//! granularity swept from 0.2 to 2.0 in steps of 0.2, 20 processors
-//! (5 for Figure 4, 50 for Table 1), `ε ∈ {1, 2, 5}`, unit link delays
-//! `U[0.5, 1]`, message volumes `U[50, 150]`, 60 random graphs per
-//! point.
+//! Section 6 of the paper evaluates one fixed grid: random layered
+//! graphs with `U{100..150}` tasks, granularity swept from 0.2 to 2.0 in
+//! steps of 0.2, 20 processors (5 for Figure 4, 50 for Table 1),
+//! `ε ∈ {1, 2, 5}`, unit link delays `U[0.5, 1]`, message volumes
+//! `U[50, 150]`, 60 random graphs per point. This crate generalizes that
+//! into one subsystem:
 //!
-//! * [`figures`] — the latency-bound / crash / overhead sweeps behind
-//!   Figures 1–4.
-//! * [`table1`] — the running-time scaling experiment behind Table 1.
-//! * [`parallel`] — a deterministic parallel map on the `rayon` shim's
-//!   work-stealing pool, used to spread the 60-graph repetitions across
-//!   cores (`FTSCHED_THREADS` pins the worker count).
-//! * [`output`] — CSV writing and ASCII plotting of the measured series.
+//! * [`campaign`] — **the engine.** A serde-round-trippable
+//!   [`campaign::CampaignSpec`] describes a scenario grid (workload ×
+//!   platform × ε × repetitions, algorithm sets, failure models,
+//!   measurement plan); the executor enumerates cells with deterministic
+//!   per-cell seeds, fans them out over the work-stealing pool with
+//!   per-worker reusable workspaces (zero allocations in the
+//!   scheduler/simulator hot path), and streams the results into
+//!   mean/stddev/percentile group statistics. The paper's evaluations
+//!   are named presets ([`campaign::presets`]), pinned bit-identical to
+//!   the pre-campaign bespoke drivers.
+//! * [`figures`] / [`table1`] / [`extensions`] — the historical result
+//!   shapes (figure points, table rows), now thin conversions over
+//!   campaign runs.
+//! * [`parallel`] — the deterministic parallel maps on the `rayon`
+//!   shim's pool ([`parallel::parallel_map`] and the stateful
+//!   [`parallel::parallel_map_with`]); `FTSCHED_THREADS` pins the worker
+//!   count, results are bit-identical at any thread count.
+//! * [`output`] — CSV/JSON emission and ASCII plotting.
+//! * [`args`] — the one `--key value` argument scanner shared by the
+//!   CLI and the experiment binaries.
 //!
 //! **Normalization.** The paper plots "normalized latency" without
 //! defining the constant. We divide by the instance's mean edge
@@ -25,6 +40,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod args;
+pub mod campaign;
 pub mod extensions;
 pub mod figures;
 pub mod output;

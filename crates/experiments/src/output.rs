@@ -1,24 +1,41 @@
-//! CSV emission and ASCII plotting of experiment series.
+//! CSV/JSON emission and ASCII plotting of experiment series.
 
+use crate::campaign::CampaignResult;
 use crate::figures::FigureResult;
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::path::Path;
 
+/// Escapes one CSV field: fields containing commas, quotes or newlines
+/// are wrapped in double quotes with embedded quotes doubled (RFC 4180);
+/// everything else passes through untouched.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
 /// Renders a figure as CSV: one row per granularity, one column per
-/// series (sorted by name for stable diffs).
+/// series, columns sorted by name for stable diffs.
+///
+/// The series-name union is built in a single pass over the points into
+/// an ordered set (the pre-campaign version re-collected every point's
+/// full key list into one flat vector and sorted that — quadratic-ish in
+/// points × series for no benefit).
 pub fn figure_to_csv(fig: &FigureResult) -> String {
-    let mut names: Vec<&str> = fig
-        .points
-        .iter()
-        .flat_map(|p| p.series.keys().map(String::as_str))
-        .collect();
-    names.sort_unstable();
-    names.dedup();
+    let mut names: BTreeSet<&str> = BTreeSet::new();
+    for p in &fig.points {
+        for k in p.series.keys() {
+            names.insert(k.as_str());
+        }
+    }
 
     let mut out = String::new();
     out.push_str("granularity");
     for n in &names {
-        let _ = write!(out, ",{}", n.replace(',', ";"));
+        let _ = write!(out, ",{}", csv_field(n));
     }
     out.push('\n');
     for p in &fig.points {
@@ -44,6 +61,57 @@ pub fn write_figure_csv(fig: &FigureResult, dir: &Path) -> std::io::Result<std::
     Ok(path)
 }
 
+/// Renders a campaign as long-format CSV: one row per (group, series)
+/// with the axis coordinates and the full statistics. Deterministic
+/// (groups in grid order, series sorted by name), so thread-matrix runs
+/// diff byte-for-byte.
+pub fn campaign_to_csv(res: &CampaignResult) -> String {
+    let mut out = String::from(
+        "workload,procs,granularity,epsilon,series,count,mean,stddev,min,max,p50,p90\n",
+    );
+    for g in &res.groups {
+        for s in &g.series {
+            let _ = writeln!(
+                out,
+                "{},{},{:.6},{},{},{},{:.9},{:.9},{:.9},{:.9},{:.9},{:.9}",
+                csv_field(&g.workload),
+                g.procs,
+                g.granularity,
+                g.epsilon,
+                csv_field(&s.name),
+                s.count,
+                s.mean,
+                s.stddev,
+                s.min,
+                s.max,
+                s.p50,
+                s.p90,
+            );
+        }
+    }
+    out
+}
+
+/// Renders a campaign as pretty JSON (serde round-trippable, fully
+/// deterministic — the CI thread matrix compares these byte-for-byte).
+pub fn campaign_to_json(res: &CampaignResult) -> String {
+    serde_json::to_string_pretty(res).expect("campaign results are always serializable")
+}
+
+/// Writes `<dir>/<id>.campaign.csv` and `<dir>/<id>.campaign.json`,
+/// creating `dir`; returns the two paths.
+pub fn write_campaign_outputs(
+    res: &CampaignResult,
+    dir: &Path,
+) -> std::io::Result<(std::path::PathBuf, std::path::PathBuf)> {
+    std::fs::create_dir_all(dir)?;
+    let csv = dir.join(format!("{}.campaign.csv", res.id));
+    std::fs::write(&csv, campaign_to_csv(res))?;
+    let json = dir.join(format!("{}.campaign.json", res.id));
+    std::fs::write(&json, campaign_to_json(res))?;
+    Ok((csv, json))
+}
+
 /// Prints selected series of a figure as an aligned text table (the
 /// "rows the paper reports").
 pub fn figure_to_table(fig: &FigureResult, series: &[&str]) -> String {
@@ -66,6 +134,27 @@ pub fn figure_to_table(fig: &FigureResult, series: &[&str]) -> String {
             }
         }
         out.push('\n');
+    }
+    out
+}
+
+/// Prints a campaign as aligned text: one block per group, mean ± stddev
+/// per series.
+pub fn campaign_to_table(res: &CampaignResult) -> String {
+    let mut out = String::new();
+    for g in &res.groups {
+        let _ = writeln!(
+            out,
+            "== {} | {} procs | g = {:.2} | eps = {} ==",
+            g.workload, g.procs, g.granularity, g.epsilon
+        );
+        for s in &g.series {
+            let _ = writeln!(
+                out,
+                "  {:<42} {:>14.4} ± {:>10.4}  (n = {})",
+                s.name, s.mean, s.stddev, s.count
+            );
+        }
     }
     out
 }
@@ -149,6 +238,45 @@ mod tests {
     }
 
     #[test]
+    fn csv_column_order_is_stable_and_commas_escaped() {
+        // Points with disjoint, unordered key sets — including names
+        // containing commas and quotes — must produce one sorted header
+        // with RFC 4180 quoting, identical across renders.
+        let mut s1 = BTreeMap::new();
+        s1.insert("Z series".to_string(), 1.0);
+        s1.insert("With, comma".to_string(), 2.0);
+        let mut s2 = BTreeMap::new();
+        s2.insert("A first".to_string(), 3.0);
+        s2.insert("Has \"quote\"".to_string(), 4.0);
+        let f = FigureResult {
+            id: "esc".into(),
+            points: vec![
+                FigurePoint {
+                    granularity: 0.2,
+                    series: s1,
+                },
+                FigurePoint {
+                    granularity: 0.4,
+                    series: s2,
+                },
+            ],
+        };
+        let csv = figure_to_csv(&f);
+        let header = csv.lines().next().unwrap();
+        assert_eq!(
+            header,
+            "granularity,A first,\"Has \"\"quote\"\"\",\"With, comma\",Z series"
+        );
+        assert_eq!(csv, figure_to_csv(&f), "render must be deterministic");
+        // Every row has header-many fields once quotes are respected:
+        // the comma inside the quoted name must not add a column.
+        assert_eq!(header.matches("\"With, comma\"").count(), 1);
+        // Missing cells render as empty fields, preserving column count.
+        let row1 = csv.lines().nth(1).unwrap();
+        assert!(row1.starts_with("0.200,"));
+    }
+
+    #[test]
     fn table_includes_headers_and_dashes() {
         let t = figure_to_table(&fig(), &["A", "missing"]);
         assert!(t.contains("granularity"));
@@ -172,5 +300,48 @@ mod tests {
         assert!(p.contains("0.2"));
         let missing = ascii_plot(&fig(), "Z", 5);
         assert!(missing.contains("no data"));
+    }
+
+    #[test]
+    fn campaign_emission_round_trip_and_csv_shape() {
+        use crate::campaign::{GroupResult, SeriesStats};
+        let res = CampaignResult {
+            id: "emit".into(),
+            groups: vec![GroupResult {
+                workload_index: 0,
+                workload: "paper-layered[100..150]".into(),
+                platform_index: 0,
+                procs: 20,
+                granularity: 0.4,
+                epsilon: 2,
+                series: vec![SeriesStats {
+                    name: "FTSA with 2 Crash".into(),
+                    count: 3,
+                    mean: 1.5,
+                    stddev: 0.1,
+                    min: 1.4,
+                    max: 1.6,
+                    p50: 1.5,
+                    p90: 1.6,
+                }],
+            }],
+        };
+        let csv = campaign_to_csv(&res);
+        assert!(csv.starts_with("workload,procs,granularity,epsilon,series"));
+        assert!(csv.contains("FTSA with 2 Crash"));
+        let json = campaign_to_json(&res);
+        let back: CampaignResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, res);
+        let table = campaign_to_table(&res);
+        assert!(table.contains("eps = 2"));
+
+        let dir = std::env::temp_dir().join("ftsched_campaign_out_test");
+        let (csv_path, json_path) = write_campaign_outputs(&res, &dir).unwrap();
+        assert!(csv_path.ends_with("emit.campaign.csv"));
+        assert!(std::fs::read_to_string(&json_path)
+            .unwrap()
+            .contains("emit"));
+        let _ = std::fs::remove_file(csv_path);
+        let _ = std::fs::remove_file(json_path);
     }
 }

@@ -5,13 +5,18 @@
 //! reproducible claim is the *scaling shape*: FTSA and MC-FTSA stay
 //! near-linear in `v` while FTBAR's per-step sweep over all free tasks ×
 //! processors blows up (`O(P·N³)` in the paper).
+//!
+//! Since the campaign refactor a [`Table1Config`] maps onto a
+//! [`crate::campaign::CampaignSpec`] (one fixed-size workload per row,
+//! `PaperTable` seeding, timing measures, FTBAR capped — see
+//! [`crate::campaign::presets::spec_from_table1`]); this module folds
+//! the group statistics back into [`Table1Row`]s. The deterministic
+//! latency columns are pinned bit-identical to the pre-campaign driver
+//! by `tests/campaign_parity.rs`; the seconds columns measure the
+//! machine and are not pinned.
 
-use crate::parallel::parallel_map;
-use ftsched_core::{ftbar::ftbar, ftsa::ftsa, mc_ftsa, schedule, Algorithm};
-use platform::gen::{paper_instance, PaperInstanceConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::time::Instant;
+use crate::campaign::{presets::spec_from_table1, run_campaign_with_threads, CampaignResult};
+use ftsched_core::Algorithm;
 
 /// Configuration of the timing experiment.
 #[derive(Debug, Clone)]
@@ -91,73 +96,44 @@ pub fn run_table1(cfg: &Table1Config) -> Vec<Table1Row> {
 }
 
 /// Runs the timing experiment with rows fanned out over `threads`
-/// workers through the rayon shim. The latency columns are unaffected by
-/// the worker count; the seconds columns measure algorithms that now run
-/// concurrently, so absolute timings are only comparable within a run at
-/// the same thread count (the scaling *shape* — Table 1's claim — is
-/// preserved).
+/// workers through the campaign executor. The latency columns are
+/// unaffected by the worker count; the seconds columns measure
+/// algorithms that now run concurrently, so absolute timings are only
+/// comparable within a run at the same thread count (the scaling
+/// *shape* — Table 1's claim — is preserved).
 pub fn run_table1_with_threads(cfg: &Table1Config, threads: usize) -> Vec<Table1Row> {
-    let sizes = cfg.sizes.clone();
-    parallel_map(sizes.len(), threads, |i| run_row(cfg, sizes[i]))
+    let spec = spec_from_table1(cfg);
+    let res = run_campaign_with_threads(&spec, threads)
+        .unwrap_or_else(|e| panic!("table1 spec invalid: {e}"));
+    rows_from_campaign(cfg, &res)
 }
 
-fn run_row(cfg: &Table1Config, v: usize) -> Table1Row {
-    let mut gen_rng = StdRng::seed_from_u64(cfg.seed ^ v as u64);
-    let inst = paper_instance(
-        &mut gen_rng,
-        &PaperInstanceConfig {
-            tasks_lo: v,
-            tasks_hi: v,
-            procs: cfg.procs,
-            granularity: 1.0,
-            ..Default::default()
-        },
-    );
-    let time = |f: &dyn Fn() -> f64| {
-        let t0 = Instant::now();
-        let latency = f();
-        (t0.elapsed().as_secs_f64(), latency)
-    };
-    let (ftsa_secs, ftsa_latency) = time(&|| {
-        let mut r = StdRng::seed_from_u64(cfg.seed);
-        let s = ftsa(&inst, cfg.epsilon, &mut r).expect("schedulable");
-        s.latency_lower_bound()
-    });
-    let (mc_ftsa_secs, mc_ftsa_latency) = time(&|| {
-        let mut r = StdRng::seed_from_u64(cfg.seed);
-        let s = mc_ftsa::mc_ftsa(&inst, cfg.epsilon, mc_ftsa::Selector::Greedy, &mut r)
-            .expect("schedulable");
-        s.latency_lower_bound()
-    });
-    let ftbar_run = (v <= cfg.ftbar_size_cap).then(|| {
-        time(&|| {
-            let mut r = StdRng::seed_from_u64(cfg.seed);
-            let s = ftbar(&inst, cfg.epsilon, &mut r).expect("schedulable");
-            s.latency_lower_bound()
-        })
-    });
-    let extra = cfg
-        .extra_algorithms
+fn rows_from_campaign(cfg: &Table1Config, res: &CampaignResult) -> Vec<Table1Row> {
+    cfg.sizes
         .iter()
-        .map(|&alg| {
-            let (secs, latency) = time(&|| {
-                let mut r = StdRng::seed_from_u64(cfg.seed);
-                let s = schedule(&inst, cfg.epsilon, alg, &mut r).expect("schedulable");
-                s.latency_lower_bound()
-            });
-            (alg.name().to_string(), secs, latency)
+        .enumerate()
+        .map(|(wi, &v)| {
+            // One platform point and one ε: group index == workload index.
+            let g = &res.groups[wi];
+            let secs = |alg: Algorithm| g.mean(&format!("Seconds: {}", alg.name()));
+            let latency = |alg: Algorithm| g.mean(&format!("{}-LowerBound", alg.name()));
+            let extra = cfg
+                .extra_algorithms
+                .iter()
+                .filter_map(|&alg| Some((alg.name().to_string(), secs(alg)?, latency(alg)?)))
+                .collect();
+            Table1Row {
+                tasks: v,
+                ftsa_secs: secs(Algorithm::Ftsa).expect("FTSA always timed"),
+                mc_ftsa_secs: secs(Algorithm::McFtsaGreedy).expect("MC-FTSA always timed"),
+                ftbar_secs: secs(Algorithm::Ftbar),
+                ftsa_latency: latency(Algorithm::Ftsa).expect("FTSA always measured"),
+                mc_ftsa_latency: latency(Algorithm::McFtsaGreedy).expect("MC-FTSA measured"),
+                ftbar_latency: latency(Algorithm::Ftbar),
+                extra,
+            }
         })
-        .collect();
-    Table1Row {
-        tasks: v,
-        ftsa_secs,
-        mc_ftsa_secs,
-        ftbar_secs: ftbar_run.map(|(secs, _)| secs),
-        ftsa_latency,
-        mc_ftsa_latency,
-        ftbar_latency: ftbar_run.map(|(_, latency)| latency),
-        extra,
-    }
+        .collect()
 }
 
 /// Formats the rows like the paper's Table 1 (extra algorithm columns
@@ -230,6 +206,7 @@ mod tests {
         };
         let rows = run_table1(&cfg);
         assert!(rows[0].ftbar_secs.is_none());
+        assert!(rows[0].ftbar_latency.is_none());
         let s = format_table1(&rows);
         assert!(s.contains("skipped"));
     }

@@ -105,29 +105,50 @@ impl FailureScenario {
 
     /// Like [`FailureScenario::uniform`] but with failure times drawn
     /// uniformly in `[0, horizon]` — the mid-execution crash extension.
+    /// Delegates to [`FailureScenario::refill_uniform_timed`], the single
+    /// home of the timed draw.
     pub fn uniform_timed(rng: &mut impl Rng, m: usize, count: usize, horizon: f64) -> Self {
-        assert!(count <= m);
-        assert!(horizon >= 0.0 && horizon.is_finite());
-        let mut ids: Vec<u32> = (0..m as u32).collect();
+        let mut scenario = Self::none();
+        let mut ids = Vec::new();
+        scenario.refill_uniform_timed(rng, m, count, horizon, &mut ids);
+        scenario
+    }
+
+    /// Redraws this scenario in place with `count` distinct processors
+    /// (same partial Fisher–Yates as [`FailureScenario::refill_uniform`],
+    /// so the *processor* draw is bit-identical at the same RNG state)
+    /// and failure times drawn uniformly in `[0, horizon]`, one per
+    /// chosen processor in draw order. `horizon == 0` degenerates to the
+    /// fail-at-time-zero model without consuming any further randomness.
+    /// Allocation-free once `ids` and the internal buffer have capacity.
+    pub fn refill_uniform_timed(
+        &mut self,
+        rng: &mut impl Rng,
+        m: usize,
+        count: usize,
+        horizon: f64,
+        ids: &mut Vec<u32>,
+    ) {
+        assert!(count <= m, "cannot fail more processors than exist");
+        assert!(
+            horizon >= 0.0 && horizon.is_finite(),
+            "failure horizon must be finite and >= 0"
+        );
+        ids.clear();
+        ids.extend(0..m as u32);
         for i in 0..count {
             let j = rng.gen_range(i..ids.len());
             ids.swap(i, j);
         }
-        Self::new(
-            ids[..count]
-                .iter()
-                .map(|&i| {
-                    (
-                        ProcId(i),
-                        if horizon == 0.0 {
-                            0.0
-                        } else {
-                            rng.gen_range(0.0..=horizon)
-                        },
-                    )
-                })
-                .collect(),
-        )
+        self.failures.clear();
+        for &i in &ids[..count] {
+            let t = if horizon == 0.0 {
+                0.0
+            } else {
+                rng.gen_range(0.0..=horizon)
+            };
+            self.failures.push((ProcId(i), t));
+        }
     }
 
     /// Number of failures.
@@ -158,6 +179,106 @@ impl FailureScenario {
     /// Iterates over `(processor, time)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ProcId, f64)> + '_ {
         self.failures.iter().copied()
+    }
+}
+
+/// Crash count of a [`FailureModel::Uniform`] model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UniformFailures {
+    /// Number of distinct processors failing at time 0.
+    pub crashes: usize,
+}
+
+/// Parameters of a [`FailureModel::Timed`] model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimedFailures {
+    /// Number of distinct processors failing.
+    pub crashes: usize,
+    /// Failure times are drawn uniformly in `[0, horizon]`.
+    pub horizon: f64,
+}
+
+/// A declarative failure-injection model: *how* scenarios are drawn, as
+/// opposed to [`FailureScenario`], which is one concrete draw.
+///
+/// This is what lets failure injection be a campaign *axis* instead of a
+/// hard-coded `FailureScenario::uniform` call at every experiment site:
+/// a spec names the model, and [`FailureModel::sample_into`] turns it
+/// into concrete scenarios at evaluation time.
+///
+/// Sampling guarantees (pinned by this module's tests):
+///
+/// * [`FailureModel::Epsilon`] / [`FailureModel::Uniform`] draws are
+///   **bit-identical** to [`FailureScenario::refill_uniform`] at the
+///   same RNG state — the paper's uniform fail-at-time-zero model;
+/// * [`FailureModel::Timed`] draws are bit-identical to
+///   [`FailureScenario::uniform_timed`]: failure times are finite and
+///   within `[0, horizon]`;
+/// * drawn processors are always pairwise distinct, and a model whose
+///   crash count exceeds the processor count is rejected (panic at the
+///   draw, `Err` from spec-level validation in the campaign layer).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FailureModel {
+    /// No failures (the fault-free reference).
+    None,
+    /// `ε` distinct processors fail at time 0, where `ε` is the
+    /// tolerated-failure count of the evaluation context (Section 6's
+    /// "processors that fail are chosen uniformly").
+    Epsilon,
+    /// A fixed number of distinct processors fail at time 0.
+    Uniform(UniformFailures),
+    /// Mid-execution crashes: distinct processors with failure times
+    /// drawn uniformly over a horizon, reusing [`FailureScenario`]'s
+    /// positive-time support.
+    Timed(TimedFailures),
+}
+
+impl FailureModel {
+    /// The crash count this model draws, with `epsilon` resolving
+    /// [`FailureModel::Epsilon`].
+    pub fn crashes(&self, epsilon: usize) -> usize {
+        match *self {
+            FailureModel::None => 0,
+            FailureModel::Epsilon => epsilon,
+            FailureModel::Uniform(UniformFailures { crashes }) => crashes,
+            FailureModel::Timed(TimedFailures { crashes, .. }) => crashes,
+        }
+    }
+
+    /// Whether this model can produce strictly positive failure times.
+    pub fn is_timed(&self) -> bool {
+        matches!(self, FailureModel::Timed(TimedFailures { horizon, .. }) if *horizon > 0.0)
+    }
+
+    /// Draws one scenario from this model in place, reusing `ids` as
+    /// scratch (allocation-free at capacity). A resolved crash count of
+    /// zero clears the scenario without consuming any randomness —
+    /// exactly the historical `if crashes == 0 { none() }` sites.
+    ///
+    /// # Panics
+    /// Panics if the resolved crash count exceeds `m`.
+    pub fn sample_into(
+        &self,
+        rng: &mut impl Rng,
+        m: usize,
+        epsilon: usize,
+        scenario: &mut FailureScenario,
+        ids: &mut Vec<u32>,
+    ) {
+        let count = self.crashes(epsilon);
+        if count == 0 {
+            scenario.clear();
+            return;
+        }
+        match *self {
+            FailureModel::None => unreachable!("count == 0 handled above"),
+            FailureModel::Epsilon | FailureModel::Uniform(_) => {
+                scenario.refill_uniform(rng, m, count, ids);
+            }
+            FailureModel::Timed(TimedFailures { horizon, .. }) => {
+                scenario.refill_uniform_timed(rng, m, count, horizon, ids);
+            }
+        }
     }
 }
 
@@ -236,5 +357,131 @@ mod tests {
         let s = FailureScenario::new(vec![(ProcId(2), 7.5)]);
         assert_eq!(s.failure_time(ProcId(2)), Some(7.5));
         assert_eq!(s.failure_time(ProcId(3)), None);
+    }
+
+    #[test]
+    fn refill_uniform_timed_matches_uniform_timed_bit_for_bit() {
+        let mut scratch = Vec::new();
+        let mut scen = FailureScenario::none();
+        for seed in 0..20u64 {
+            let fresh =
+                FailureScenario::uniform_timed(&mut StdRng::seed_from_u64(seed), 12, 4, 37.5);
+            scen.refill_uniform_timed(&mut StdRng::seed_from_u64(seed), 12, 4, 37.5, &mut scratch);
+            assert_eq!(scen, fresh, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn model_uniform_draw_bit_identical_to_refill_uniform() {
+        // Satellite contract: the declarative model's time-0 draw is the
+        // *same* partial Fisher–Yates as `refill_uniform`, bit for bit.
+        let mut scratch = Vec::new();
+        for seed in 0..20u64 {
+            for (model, count) in [
+                (FailureModel::Uniform(UniformFailures { crashes: 3 }), 3),
+                (FailureModel::Epsilon, 3),
+            ] {
+                let mut reference = FailureScenario::none();
+                reference.refill_uniform(&mut StdRng::seed_from_u64(seed), 10, count, &mut scratch);
+                let mut drawn = FailureScenario::none();
+                model.sample_into(
+                    &mut StdRng::seed_from_u64(seed),
+                    10,
+                    3,
+                    &mut drawn,
+                    &mut scratch,
+                );
+                assert_eq!(drawn, reference, "seed {seed} model {model:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn model_timed_draw_is_finite_in_horizon_and_distinct() {
+        let model = FailureModel::Timed(TimedFailures {
+            crashes: 4,
+            horizon: 25.0,
+        });
+        let mut scratch = Vec::new();
+        let mut scen = FailureScenario::none();
+        for seed in 0..30u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            model.sample_into(&mut rng, 9, 1, &mut scen, &mut scratch);
+            assert_eq!(scen.len(), 4);
+            let procs: std::collections::HashSet<_> = scen.iter().map(|(p, _)| p).collect();
+            assert_eq!(procs.len(), 4, "duplicate processor drawn (seed {seed})");
+            for (p, t) in scen.iter() {
+                assert!(p.index() < 9);
+                assert!(t.is_finite() && (0.0..=25.0).contains(&t), "t = {t}");
+            }
+            // Bit-identical to the owned constructor at the same state.
+            let fresh =
+                FailureScenario::uniform_timed(&mut StdRng::seed_from_u64(seed), 9, 4, 25.0);
+            assert_eq!(scen, fresh);
+        }
+    }
+
+    #[test]
+    fn model_zero_crashes_consumes_no_randomness() {
+        let mut scratch = Vec::new();
+        let mut scen = FailureScenario::none();
+        let mut rng = StdRng::seed_from_u64(5);
+        let before = rng.clone();
+        FailureModel::None.sample_into(&mut rng, 8, 2, &mut scen, &mut scratch);
+        assert!(scen.is_empty());
+        FailureModel::Uniform(UniformFailures { crashes: 0 }).sample_into(
+            &mut rng,
+            8,
+            2,
+            &mut scen,
+            &mut scratch,
+        );
+        assert!(scen.is_empty());
+        FailureModel::Epsilon.sample_into(&mut rng, 8, 0, &mut scen, &mut scratch);
+        assert!(scen.is_empty());
+        // The generator state is untouched: next draws equal a clone's.
+        let mut b = before;
+        assert_eq!(rng.gen_range(0..1_000_000), b.gen_range(0..1_000_000));
+    }
+
+    #[test]
+    #[should_panic]
+    fn model_overflowing_crash_count_rejected() {
+        let mut scratch = Vec::new();
+        let mut scen = FailureScenario::none();
+        FailureModel::Uniform(UniformFailures { crashes: 5 }).sample_into(
+            &mut StdRng::seed_from_u64(1),
+            3,
+            0,
+            &mut scen,
+            &mut scratch,
+        );
+    }
+
+    #[test]
+    fn model_crash_counts_and_serde_round_trip() {
+        assert_eq!(FailureModel::None.crashes(7), 0);
+        assert_eq!(FailureModel::Epsilon.crashes(7), 7);
+        assert_eq!(
+            FailureModel::Uniform(UniformFailures { crashes: 2 }).crashes(7),
+            2
+        );
+        let timed = FailureModel::Timed(TimedFailures {
+            crashes: 3,
+            horizon: 12.0,
+        });
+        assert_eq!(timed.crashes(0), 3);
+        assert!(timed.is_timed());
+        assert!(!FailureModel::Epsilon.is_timed());
+        for model in [
+            FailureModel::None,
+            FailureModel::Epsilon,
+            FailureModel::Uniform(UniformFailures { crashes: 2 }),
+            timed,
+        ] {
+            let v = serde::Serialize::to_value(&model);
+            let back: FailureModel = serde::Deserialize::from_value(&v).unwrap();
+            assert_eq!(back, model);
+        }
     }
 }

@@ -52,17 +52,25 @@ impl Default for PaperInstanceConfig {
     }
 }
 
+/// Draws the paper's layered DAG alone: `U[tasks_lo, tasks_hi]` tasks,
+/// `U[50, 150]` volumes. This is the first stage of [`paper_instance`]
+/// (same RNG consumption), split out so graph-only callers reproduce
+/// the campaign engine's instances at the same seed.
+pub fn paper_dag(rng: &mut impl Rng, tasks_lo: usize, tasks_hi: usize) -> Dag {
+    let tasks = if tasks_lo == tasks_hi {
+        tasks_lo
+    } else {
+        rng.gen_range(tasks_lo..=tasks_hi)
+    };
+    layered(rng, &LayeredConfig::paper(tasks))
+}
+
 /// Draws one complete random instance per the paper's setup: layered DAG
 /// with `U[tasks_lo, tasks_hi]` tasks and `U[50, 150]` volumes, symmetric
 /// link delays `U[0.5, 1]`, unrelated execution times, all rescaled to hit
 /// the target granularity exactly.
 pub fn paper_instance(rng: &mut impl Rng, cfg: &PaperInstanceConfig) -> Instance {
-    let tasks = if cfg.tasks_lo == cfg.tasks_hi {
-        cfg.tasks_lo
-    } else {
-        rng.gen_range(cfg.tasks_lo..=cfg.tasks_hi)
-    };
-    let dag: Dag = layered(rng, &LayeredConfig::paper(tasks));
+    let dag = paper_dag(rng, cfg.tasks_lo, cfg.tasks_hi);
     let platform = random_platform(rng, cfg.procs, 0.5, 1.0);
     let mut exec = ExecutionMatrix::unrelated_with_procs(&dag, cfg.procs, rng, cfg.heterogeneity);
     scale_to_granularity(&dag, &platform, &mut exec, cfg.granularity);

@@ -28,7 +28,7 @@ pub mod granularity;
 pub mod plat;
 
 pub use exec::ExecutionMatrix;
-pub use failure::{FailureScenario, ProcId};
+pub use failure::{FailureModel, FailureScenario, ProcId, TimedFailures, UniformFailures};
 pub use plat::Platform;
 
 use taskgraph::Dag;

@@ -203,6 +203,87 @@ fn parallel_map_keeps_index_derived_seed_contract() {
     }
 }
 
+#[test]
+fn campaign_json_identical_across_thread_counts() {
+    // The campaign engine end to end — enumeration, per-worker-state
+    // executor, streaming aggregation, JSON emission — must be **byte**
+    // identical at every thread count (this is what lets the CI matrix
+    // `cmp` the CLI's emitted files across FTSCHED_THREADS values). The
+    // ci-smoke preset carries no timing measures, so every emitted
+    // number is deterministic.
+    let spec = experiments::campaign::presets::preset("ci-smoke", Some(2)).expect("preset");
+    let reference = experiments::output::campaign_to_json(
+        &experiments::campaign::run_campaign_with_threads(&spec, 1).expect("valid spec"),
+    );
+    assert!(reference.contains("ci-smoke"));
+    for threads in thread_counts() {
+        let run = experiments::output::campaign_to_json(
+            &experiments::campaign::run_campaign_with_threads(&spec, threads).expect("valid spec"),
+        );
+        assert_eq!(
+            run, reference,
+            "campaign JSON diverged at {threads} threads"
+        );
+    }
+    // Rerun stability at a fixed thread count.
+    let again = experiments::output::campaign_to_json(
+        &experiments::campaign::run_campaign_with_threads(&spec, 2).expect("valid spec"),
+    );
+    assert_eq!(again, reference);
+}
+
+#[test]
+fn parallel_map_with_keeps_the_determinism_contract() {
+    // Per-worker state (the campaign executor's workspace threading)
+    // must be invisible in the output: bit-identical to the stateless
+    // map at every worker count, even though chunks share mutable state.
+    let cell = |i: usize| {
+        let mut rng = StdRng::seed_from_u64(simulator::replication_seed(0x5EED, i as u64));
+        let inst = paper_instance(
+            &mut rng,
+            &PaperInstanceConfig {
+                tasks_lo: 15,
+                tasks_hi: 25,
+                procs: 5,
+                ..Default::default()
+            },
+        );
+        schedule(&inst, 1, Algorithm::Ftsa, &mut rng)
+            .expect("schedulable")
+            .latency_lower_bound()
+    };
+    let reference = experiments::parallel::parallel_map(20, 1, cell);
+    for threads in thread_counts() {
+        let got = experiments::parallel::parallel_map_with(
+            20,
+            threads,
+            ftsched_core::ScheduleWorkspace::new,
+            |ws, i| {
+                // Exercise the state so reuse actually happens, without
+                // letting it affect the returned value.
+                let mut rng = StdRng::seed_from_u64(simulator::replication_seed(0x5EED, i as u64));
+                let inst = paper_instance(
+                    &mut rng,
+                    &PaperInstanceConfig {
+                        tasks_lo: 15,
+                        tasks_hi: 25,
+                        procs: 5,
+                        ..Default::default()
+                    },
+                );
+                ftsched_core::schedule_into(&inst, 1, Algorithm::Ftsa, &mut rng, ws)
+                    .expect("schedulable")
+                    .latency_lower_bound()
+            },
+        );
+        let same = reference
+            .iter()
+            .zip(&got)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "parallel_map_with diverged at {threads} threads");
+    }
+}
+
 // The wall-clock speedup measurement lives in its own test binary
 // (`tests/parallel_speedup.rs`) so no sibling test competes for cores
 // while it times the sweep.

@@ -1,0 +1,136 @@
+//! Scheduler invariants on the six structured workloads
+//! (`taskgraph::workloads`): every algorithm must schedule, validate and
+//! survive ε crashes on the fork–join / stencil / butterfly shapes —
+//! not just on the paper's random layered graphs. Before the campaign
+//! refactor only examples and the CLI touched these kernels, so no
+//! scheduler invariant was checked on them at all.
+
+use ftsched::prelude::*;
+use ftsched::taskgraph::{workloads, Dag};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// The six kernels at small sizes, with their names for diagnostics.
+fn kernels() -> Vec<(&'static str, Dag)> {
+    vec![
+        ("cholesky", workloads::cholesky(4, 10.0, 5.0)),
+        ("fft", workloads::fft(8, 10.0, 20.0)),
+        (
+            "gaussian_elimination",
+            workloads::gaussian_elimination(5, 10.0, 1.0),
+        ),
+        ("stencil_1d", workloads::stencil_1d(4, 4, 10.0, 15.0)),
+        ("map_reduce", workloads::map_reduce(5, 3, 20.0, 30.0, 10.0)),
+        ("wavefront", workloads::wavefront(4, 4, 10.0, 15.0)),
+    ]
+}
+
+fn instance_for(dag: Dag, procs: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let platform = random_platform(&mut rng, procs, 0.5, 1.0);
+    let exec = ExecutionMatrix::unrelated_with_procs(&dag, procs, &mut rng, 0.5);
+    Instance::new(dag, platform, exec)
+}
+
+#[test]
+fn every_algorithm_schedules_every_kernel_and_survives_crashes() {
+    let eps = 2;
+    let procs = 6;
+    for (name, dag) in kernels() {
+        let inst = instance_for(dag, procs, 0x5u64.wrapping_add(name.len() as u64));
+        for alg in Algorithm::ALL {
+            let mut rng = StdRng::seed_from_u64(11);
+            let sched = schedule(&inst, eps, alg, &mut rng)
+                .unwrap_or_else(|e| panic!("{alg:?} failed on {name}: {e}"));
+            validate(&inst, &sched).unwrap_or_else(|e| panic!("{alg:?} invalid on {name}: {e}"));
+
+            // Theorem 4.1: ε + 1 replicas per task on distinct processors.
+            for t in inst.dag.tasks() {
+                let primaries = &sched.replicas_of(t)[..eps + 1];
+                let distinct: std::collections::HashSet<_> =
+                    primaries.iter().map(|r| r.proc).collect();
+                assert_eq!(
+                    distinct.len(),
+                    eps + 1,
+                    "{alg:?} on {name}: clustered replicas for {t}"
+                );
+            }
+            assert!(sched.latency_lower_bound() <= sched.latency_upper_bound() + 1e-9);
+
+            // Crash survival under exactly ε uniform failures.
+            let mut frng = StdRng::seed_from_u64(23);
+            let scen = FailureScenario::uniform(&mut frng, inst.num_procs(), eps);
+            let sim = simulate(&inst, &sched, &scen);
+            assert!(sim.completed(), "{alg:?} on {name}: lost a task");
+            // The eq. (3)/(4) `L ≤ M` guarantee is specific to all-to-all
+            // first-arrival semantics (matched re-routing can pay a
+            // slower surviving sender than the bound's pessimistic
+            // all-to-all fold) — same scoping as the simulator's own
+            // Proposition 4.2 suite.
+            if alg.scheduler().comm == CommAxis::AllToAll {
+                assert!(
+                    sim.latency <= sched.latency_upper_bound() + 1e-6,
+                    "{alg:?} on {name}: crash latency {} above upper bound {}",
+                    sim.latency,
+                    sched.latency_upper_bound()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_free_simulation_matches_lower_bound_on_kernels() {
+    // On all-to-all FTSA schedules the no-failure replay equals M*
+    // exactly — also on the structured shapes, whose wide fork-joins
+    // stress different engine paths than layered graphs.
+    for (name, dag) in kernels() {
+        let inst = instance_for(dag, 5, 77);
+        for eps in [0usize, 1] {
+            let mut rng = StdRng::seed_from_u64(3);
+            let sched = schedule(&inst, eps, Algorithm::Ftsa, &mut rng).unwrap();
+            let sim = simulate(&inst, &sched, &FailureScenario::none());
+            assert!(
+                (sim.latency - sched.latency_lower_bound()).abs() < 1e-9,
+                "{name} eps={eps}: {} vs {}",
+                sim.latency,
+                sched.latency_lower_bound()
+            );
+        }
+    }
+}
+
+#[test]
+fn structured_campaign_axis_covers_all_kernels() {
+    // The campaign workload axis exposes every kernel; a one-rep grid
+    // over all six must run end to end with finite, crash-surviving
+    // results.
+    use experiments::campaign::{
+        run_campaign_with_threads, CampaignSpec, MeasurePlan, PlatformSpec, Seeding,
+        StructuredKernel, StructuredWorkload, WorkloadSpec,
+    };
+    let spec = CampaignSpec {
+        id: "kernels".into(),
+        workloads: StructuredKernel::ALL
+            .into_iter()
+            .map(|kernel| WorkloadSpec::Structured(StructuredWorkload { kernel, size: 4 }))
+            .collect(),
+        platforms: vec![PlatformSpec::paper(5, 1.0)],
+        epsilons: vec![1],
+        algorithms: vec![Algorithm::Ftsa, Algorithm::McFtsaGreedy],
+        extra_algorithms: vec![],
+        repetitions: 2,
+        seed: 99,
+        seeding: Seeding::Indexed,
+        measures: MeasurePlan {
+            failures: vec![ftsched::platform::FailureModel::Epsilon],
+            ..Default::default()
+        },
+    };
+    let res = run_campaign_with_threads(&spec, 2).unwrap();
+    assert_eq!(res.groups.len(), StructuredKernel::ALL.len());
+    for g in &res.groups {
+        let crash = g.mean("FTSA with 1 Crash").unwrap();
+        assert!(crash.is_finite() && crash > 0.0, "{}", g.workload);
+        assert!(g.mean("MC-FTSA with 1 Crash").unwrap().is_finite());
+    }
+}
