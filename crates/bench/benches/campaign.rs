@@ -2,12 +2,15 @@
 //! end (enumeration → per-worker-state cells → streaming aggregation)
 //! at 1 and 4 workers, plus the per-cell evaluation hot path on a warm
 //! `CellContext` — the number that the zero-allocation workspace
-//! threading is meant to keep flat.
+//! threading is meant to keep flat. The `online` series covers the
+//! arrival-axis path: a full streaming preset end to end and the
+//! stream-cell steady state (occupancy-floored scheduling + crash
+//! replay per arrival on warm workspaces).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use experiments::campaign::{
-    evaluate_cell_into, instance_for_cell, presets, run_campaign_with_threads, CellContext,
-    CellCoord, CellPlan, SeriesKey,
+    evaluate_cell_into, evaluate_stream_cell_into, instance_for_cell, presets,
+    run_campaign_with_threads, CellContext, CellCoord, CellPlan, SeriesKey,
 };
 
 fn bench_campaign_executor(c: &mut Criterion) {
@@ -19,6 +22,35 @@ fn bench_campaign_executor(c: &mut Criterion) {
             b.iter(|| run_campaign_with_threads(black_box(&spec), threads).unwrap())
         });
     }
+    let online = presets::online(2);
+    for threads in [1usize, 4] {
+        group.bench_function(format!("online/threads/{threads}"), |b| {
+            b.iter(|| run_campaign_with_threads(black_box(&online), threads).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_stream_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_cell");
+    group.sample_size(10);
+    let spec = presets::online(1);
+    let plan = CellPlan::new(&spec);
+    let coord = CellCoord {
+        workload: 0,
+        platform: 0,
+        eps: 0,
+        rep: 0,
+    };
+    let mut ctx = CellContext::new();
+    let mut out: Vec<(SeriesKey, f64)> = Vec::new();
+    evaluate_stream_cell_into(&spec, &plan, &coord, &mut ctx, &mut out);
+    group.bench_function("online_stream_steady_state", |b| {
+        b.iter(|| {
+            evaluate_stream_cell_into(black_box(&spec), &plan, &coord, &mut ctx, &mut out);
+            out.len()
+        })
+    });
     group.finish();
 }
 
@@ -54,5 +86,10 @@ fn bench_campaign_cell(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_campaign_executor, bench_campaign_cell);
+criterion_group!(
+    benches,
+    bench_campaign_executor,
+    bench_campaign_cell,
+    bench_stream_cell
+);
 criterion_main!(benches);

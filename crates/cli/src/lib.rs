@@ -70,7 +70,7 @@ USAGE:
                      [--algorithms p-ftsa,mc-ftbar,...]  (extra series, figures+table1)
                      [--paper | --sizes 100,500] [--procs M] [--epsilon E]  (table1)
                      [--bundle b.json] [--p P] [--samples N]  (reliability)
-  ftsched campaign --preset <fig1|fig2|fig3|fig4|table1|table1-full|contention|reliability|ci-smoke>
+  ftsched campaign --preset <fig1|fig2|fig3|fig4|table1|table1-full|contention|reliability|timed-crash|online|ci-smoke>
                    | --spec grid.json
                    [--reps N | --quick] [--threads T] [--out DIR] [--dump-spec]
   ftsched info --graph graph.json

@@ -179,7 +179,26 @@ impl ListScheduler {
         rng: &mut impl Rng,
         ws: &'w mut ScheduleWorkspace,
     ) -> Result<&'w Schedule, ScheduleError> {
-        self.run_with_deadlines_into(inst, epsilon, rng, None, ws)?;
+        self.run_with_deadlines_into(inst, epsilon, rng, None, None, ws)?;
+        Ok(&ws.sched)
+    }
+
+    /// [`ListScheduler::run_into`] on a *pre-occupied* platform: the
+    /// eq. (1)/(3) placement queries start from `occ`'s per-processor
+    /// release floors instead of time 0, so replica times come out in
+    /// the stream's absolute clock. An empty timeline is bit-identical
+    /// to [`ListScheduler::run_into`] (the golden suite's conservation
+    /// contract). The produced schedule is *not* folded back into `occ`
+    /// — callers decide which replicas actually occupy the platform.
+    pub fn run_onto<'w>(
+        &self,
+        inst: &Instance,
+        epsilon: usize,
+        rng: &mut impl Rng,
+        occ: &platform::OccupancyTimeline,
+        ws: &'w mut ScheduleWorkspace,
+    ) -> Result<&'w Schedule, ScheduleError> {
+        self.run_with_deadlines_into(inst, epsilon, rng, None, Some(occ.floors()), ws)?;
         Ok(&ws.sched)
     }
 
@@ -195,18 +214,21 @@ impl ListScheduler {
         deadlines: Option<&[f64]>,
     ) -> Result<Schedule, ScheduleError> {
         let mut ws = ScheduleWorkspace::new();
-        self.run_with_deadlines_into(inst, epsilon, rng, deadlines, &mut ws)?;
+        self.run_with_deadlines_into(inst, epsilon, rng, deadlines, None, &mut ws)?;
         Ok(ws.take_schedule())
     }
 
     /// The workspace-reusing core: one loop, three axes, no allocation
-    /// in the steady state.
+    /// in the steady state. `floors` (when `Some`) seeds the
+    /// per-processor ready times from a persistent occupancy state;
+    /// `None` is the historical empty-platform run.
     pub(crate) fn run_with_deadlines_into(
         &self,
         inst: &Instance,
         epsilon: usize,
         rng: &mut impl Rng,
         deadlines: Option<&[f64]>,
+        floors: Option<&[f64]>,
         ws: &mut ScheduleWorkspace,
     ) -> Result<(), ScheduleError> {
         let m = inst.num_procs();
@@ -216,7 +238,7 @@ impl ListScheduler {
         let dag = &inst.dag;
         let replicas = epsilon + 1;
 
-        ws.prepare(inst, epsilon);
+        ws.prepare(inst, epsilon, floors);
 
         // Recycle the previous run's matched table: clearing the inner
         // vectors keeps their capacity, so MC-FTSA's steady state stays

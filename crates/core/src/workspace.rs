@@ -113,15 +113,29 @@ impl ScheduleWorkspace {
 
     /// Resets every buffer for a run over `inst` at `epsilon`, reusing
     /// capacity. Also recomputes the average costs and bottom levels.
-    pub(crate) fn prepare(&mut self, inst: &Instance, epsilon: usize) {
+    ///
+    /// `floors` seeds the per-processor ready times from a persistent
+    /// occupancy state (see [`crate::schedule_onto`]): processor `j`
+    /// starts at `floors[j]` instead of `0.0`. `None` — or all-zero
+    /// floors — is bit-identical to the historical empty-platform run.
+    pub(crate) fn prepare(&mut self, inst: &Instance, epsilon: usize, floors: Option<&[f64]>) {
         let dag = &inst.dag;
         let v = dag.num_tasks();
         let m = inst.num_procs();
         self.sched.reset(v, m, epsilon);
         self.ready_lb.clear();
-        self.ready_lb.resize(m, 0.0);
         self.ready_ub.clear();
-        self.ready_ub.resize(m, 0.0);
+        match floors {
+            Some(f) => {
+                assert_eq!(f.len(), m, "occupancy floors must cover all processors");
+                self.ready_lb.extend_from_slice(f);
+                self.ready_ub.extend_from_slice(f);
+            }
+            None => {
+                self.ready_lb.resize(m, 0.0);
+                self.ready_ub.resize(m, 0.0);
+            }
+        }
         self.arrive_lb.clear();
         self.arrive_lb.resize(dag.num_edges() * m, f64::INFINITY);
         self.avg.fill(inst);

@@ -68,7 +68,7 @@ pub mod presets;
 mod spec;
 
 pub use spec::{
-    CampaignSpec, ForkJoinShape, LayeredRange, MeasurePlan, PlatformSpec, Seeding,
+    ArrivalSpec, CampaignSpec, ForkJoinShape, LayeredRange, MeasurePlan, PlatformSpec, Seeding,
     StructuredKernel, StructuredWorkload, TaskCount, TimingCap, WorkloadSpec,
 };
 
@@ -84,6 +84,9 @@ use simulator::contention::{simulate_contention, PortModel};
 use simulator::crash::{simulate_outcome_into, CrashWorkspace, FallbackPolicy};
 use simulator::reliability::{design_point_probability, survival_probability_exact};
 use simulator::replication_seed;
+use simulator::streaming::{
+    isolated_lower_bound_into, run_stream_into, DagOutcome, StreamWorkspace,
+};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -264,6 +267,20 @@ pub enum SeriesKey {
     Survival(u8),
     /// Theorem 4.1 design point `P(≤ ε failures)` at probability index.
     DesignPoint(u8),
+    /// Stream cells: mean per-DAG response time (finish − arrival) of
+    /// algorithm `alg`.
+    StreamResponse(u8),
+    /// Stream cells: mean per-DAG execution latency (finish − first
+    /// start) of `alg`.
+    StreamLatency(u8),
+    /// Stream cells: mean per-DAG queueing wait (first start − arrival)
+    /// of `alg`.
+    StreamWait(u8),
+    /// Stream cells: fraction of DAGs finishing after their deadline
+    /// (`arrival + stretch × isolated bound`) under `alg`.
+    StreamMiss(u8),
+    /// Stream cells: fraction of DAGs completing every task under `alg`.
+    StreamCompleted(u8),
 }
 
 /// One schedule slot of a cell: which algorithm at which ε variant.
@@ -405,6 +422,13 @@ pub struct CellContext {
     scenario: FailureScenario,
     shared: FailureScenario,
     ids: Vec<u32>,
+    // --- stream-cell state (arrival-axis campaigns only) ---------------
+    stream: StreamWorkspace,
+    insts: Vec<Instance>,
+    arrivals: Vec<f64>,
+    outcomes: Vec<DagOutcome>,
+    deadline_bounds: Vec<f64>,
+    lb_scratch: Vec<f64>,
 }
 
 impl CellContext {
@@ -457,6 +481,7 @@ pub fn evaluate_cell_into(
         scenario,
         shared,
         ids,
+        ..
     } = ctx;
     if slots.len() < plan.slots.len() {
         slots.resize_with(plan.slots.len(), ScheduleWorkspace::new);
@@ -469,6 +494,7 @@ pub fn evaluate_cell_into(
         _ => None,
     };
     let mut star = f64::NAN;
+    let mut lb0 = f64::NAN; // slot 0's un-normalized M* (TimedRelative reference)
     for (si, slot) in plan.slots.iter().enumerate() {
         if plan.capped(slot, coord.workload) {
             continue;
@@ -503,6 +529,9 @@ pub fn evaluate_cell_into(
                 star = lb;
             }
         } else {
+            if si == 0 {
+                lb0 = lb;
+            }
             if meas.timing {
                 out.push((SeriesKey::Seconds(slot.alg_id), secs));
             }
@@ -541,7 +570,9 @@ pub fn evaluate_cell_into(
                 continue; // duplicate label at this ε: no draw, no series
             }
             let buf: &mut FailureScenario = if fi == 0 { shared } else { scenario };
-            fm.sample_into(&mut crash_rng, m, eps, buf, ids);
+            // `lb0` (slot 0's M*) resolves TimedRelative horizons; every
+            // other model draws exactly as `sample_into` would.
+            fm.sample_into_scaled(&mut crash_rng, m, eps, lb0, buf, ids);
             let l =
                 simulate_outcome_into(inst, slots[0].schedule(), buf, policy(fm), crash).latency;
             out.push((
@@ -624,6 +655,152 @@ pub fn evaluate_cell_into(
     }
 }
 
+/// Builds one stream cell's instances into `insts` (cleared first): the
+/// platform point is drawn **once** and shared by every DAG of the
+/// stream (the persistent-occupancy premise), then each DAG draws its
+/// graph and execution matrix from the same cell RNG stream. Appending
+/// DAGs to a stream (a larger arrival count) therefore never redraws
+/// the earlier instances.
+fn stream_instances_from_seed(
+    spec: &CampaignSpec,
+    c: &CellCoord,
+    count: usize,
+    seed: u64,
+    insts: &mut Vec<Instance>,
+) {
+    insts.clear();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w = &spec.workloads[c.workload];
+    let p = &spec.platforms[c.platform];
+    let eff = p.effective_granularity();
+    let plat = random_platform(&mut rng, p.procs, 0.5, 1.0);
+    for _ in 0..count {
+        let dag = w.build_dag(&mut rng);
+        let mut exec =
+            ExecutionMatrix::unrelated_with_procs(&dag, p.procs, &mut rng, p.heterogeneity);
+        if let Some(g) = eff {
+            scale_to_granularity(&dag, &plat, &mut exec, g);
+        }
+        insts.push(Instance::new(dag, plat.clone(), exec));
+    }
+}
+
+/// Evaluates one **stream cell** of an arrival-axis campaign: the cell's
+/// DAGs arrive on a shared platform whose occupancy persists across
+/// DAGs, each algorithm replays the identical stream (same DAGs, same
+/// arrival instants, same failure scenario on the absolute clock), and
+/// the per-DAG outcomes aggregate into the `Stream*` series. Requires
+/// `spec.arrivals` to be `Some` (the engine dispatches here in that
+/// case); `spec.validate()` guarantees the measure plan carries no
+/// offline series.
+pub fn evaluate_stream_cell_into(
+    spec: &CampaignSpec,
+    plan: &CellPlan,
+    coord: &CellCoord,
+    ctx: &mut CellContext,
+    out: &mut Vec<(SeriesKey, f64)>,
+) {
+    let arr = spec
+        .arrivals
+        .as_ref()
+        .expect("evaluate_stream_cell_into needs an arrival axis");
+    let eps = spec.epsilons[coord.eps];
+    let m = spec.platforms[coord.platform].procs;
+    let seed = plan.cell_seed(spec, coord);
+    out.clear();
+
+    let CellContext {
+        scenario,
+        ids,
+        stream,
+        insts,
+        arrivals,
+        outcomes,
+        deadline_bounds,
+        lb_scratch,
+        ..
+    } = ctx;
+
+    stream_instances_from_seed(spec, coord, arr.process.count(), seed, insts);
+    let mut arrival_rng = StdRng::seed_from_u64(replication_seed(seed, 0xA221));
+    arr.process.sample_into(&mut arrival_rng, arrivals);
+    deadline_bounds.clear();
+    deadline_bounds.extend(
+        insts
+            .iter()
+            .map(|inst| isolated_lower_bound_into(inst, lb_scratch)),
+    );
+    // One failure draw per cell, shared by every algorithm — the same
+    // identical-failures protocol as the offline phase 2 (and the same
+    // crash-stream constant, so offline and stream cells of one seed
+    // family stay comparable).
+    let crash_seed = replication_seed(seed, 0xC4A5);
+    arr.failures.sample_into(
+        &mut StdRng::seed_from_u64(crash_seed),
+        m,
+        eps,
+        scenario,
+        ids,
+    );
+
+    for (si, slot) in plan.slots.iter().enumerate() {
+        if slot.baseline {
+            continue;
+        }
+        let stream_seed = replication_seed(seed, 0x71E0 + si as u64);
+        run_stream_into(
+            insts,
+            arrivals,
+            eps,
+            slot.alg,
+            scenario,
+            policy(&arr.failures),
+            stream_seed,
+            stream,
+            outcomes,
+        )
+        .unwrap_or_else(|e| {
+            panic!(
+                "campaign {}: stream of {} at eps {eps} on {m} procs failed: {e}",
+                spec.id,
+                slot.alg.name()
+            )
+        });
+
+        // Response / latency / wait are conditional on completion (a
+        // lost DAG has no finite finish); the loss itself is reported
+        // through the miss and completion fractions, which cover every
+        // arrival.
+        let n = outcomes.len() as f64;
+        let (mut resp, mut lat, mut wait) = (0.0f64, 0.0f64, 0.0f64);
+        let (mut missed, mut completed) = (0usize, 0usize);
+        for (o, &bound) in outcomes.iter().zip(deadline_bounds.iter()) {
+            // An infinite finish (lost DAG) always counts as a miss.
+            let deadline = o.arrival + arr.deadline_stretch * bound;
+            if o.finish > deadline + 1e-9 {
+                missed += 1;
+            }
+            if o.completed {
+                completed += 1;
+                resp += o.response_time();
+                lat += o.latency();
+                wait += o.wait_time();
+            }
+        }
+        if completed > 0 {
+            let c = completed as f64;
+            out.push((SeriesKey::StreamResponse(slot.alg_id), resp / c));
+            out.push((SeriesKey::StreamLatency(slot.alg_id), lat / c));
+            out.push((SeriesKey::StreamWait(slot.alg_id), wait / c));
+        }
+        out.push((SeriesKey::StreamMiss(slot.alg_id), missed as f64 / n));
+        out.push((
+            SeriesKey::StreamCompleted(slot.alg_id),
+            completed as f64 / n,
+        ));
+    }
+}
+
 /// Crash-delivery policy for a failure model: timed scenarios fall back
 /// to strict matched delivery (re-routing is only defined for
 /// fail-at-time-zero), everything else uses the default re-routed
@@ -660,6 +837,11 @@ pub fn series_name(spec: &CampaignSpec, plan: &CellPlan, eps: usize, key: Series
         SeriesKey::DesignPoint(p) => {
             format!("DesignPoint p={}", spec.measures.reliability[p as usize])
         }
+        SeriesKey::StreamResponse(a) => format!("Stream Response: {}", alg(a)),
+        SeriesKey::StreamLatency(a) => format!("Stream Latency: {}", alg(a)),
+        SeriesKey::StreamWait(a) => format!("Stream Wait: {}", alg(a)),
+        SeriesKey::StreamMiss(a) => format!("Stream DeadlineMiss: {}", alg(a)),
+        SeriesKey::StreamCompleted(a) => format!("Stream Completed: {}", alg(a)),
     }
 }
 
@@ -668,6 +850,9 @@ pub fn series_name(spec: &CampaignSpec, plan: &CellPlan, eps: usize, key: Series
 fn failure_label(fm: &FailureModel, eps: usize) -> String {
     match fm {
         FailureModel::Timed(t) => format!("{} Crash in [0,{}]", t.crashes, t.horizon),
+        FailureModel::TimedRelative(t) => {
+            format!("{} Crash in [0,{}*Mstar]", t.crashes, t.fraction)
+        }
         other => format!("{} Crash", other.crashes(eps)),
     }
 }
@@ -831,9 +1016,13 @@ pub fn run_campaign_with_threads(
     let cells: Vec<Vec<(SeriesKey, f64)>> =
         parallel_map_with(n, threads, CellContext::new, |ctx, i| {
             let coord = spec.coord(i);
-            let inst = instance_from_seed(spec, &coord, plan.cell_seed(spec, &coord));
             let mut out = Vec::new();
-            evaluate_cell_into(spec, &plan, &coord, &inst, ctx, &mut out);
+            if spec.arrivals.is_some() {
+                evaluate_stream_cell_into(spec, &plan, &coord, ctx, &mut out);
+            } else {
+                let inst = instance_from_seed(spec, &coord, plan.cell_seed(spec, &coord));
+                evaluate_cell_into(spec, &plan, &coord, &inst, ctx, &mut out);
+            }
             out
         });
     let mut agg = Aggregator::new(spec.num_groups());
@@ -862,6 +1051,7 @@ mod tests {
             repetitions: 3,
             seed: 7,
             seeding: Seeding::Indexed,
+            arrivals: None,
             measures: MeasurePlan {
                 fault_free: vec![Algorithm::Ftsa],
                 overhead: true,
@@ -873,6 +1063,48 @@ mod tests {
                 ..Default::default()
             },
         }
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_semantics() {
+        // Golden pins for the nearest-rank rule `sorted[round((n-1)*q)]`
+        // (round = half away from zero). Every emitted p50/p90 column
+        // flows through this function, so these values are part of the
+        // CSV/JSON byte-compatibility surface.
+        let ten: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(percentile(&ten, 0.5), 6.0); // round(4.5) = 5
+        assert_eq!(percentile(&ten, 0.9), 9.0); // round(8.1) = 8
+        let five: Vec<f64> = (1..=5).map(f64::from).collect();
+        assert_eq!(percentile(&five, 0.5), 3.0);
+        assert_eq!(percentile(&five, 0.9), 5.0); // round(3.6) = 4
+        let two = [1.0, 2.0];
+        assert_eq!(percentile(&two, 0.5), 2.0); // round(0.5) = 1
+        assert_eq!(percentile(&two, 0.9), 2.0);
+        assert_eq!(percentile(&[42.0], 0.5), 42.0);
+        assert_eq!(percentile(&[42.0], 0.9), 42.0);
+    }
+
+    #[test]
+    fn aggregator_statistics_match_golden_values() {
+        // End-to-end through push_cell/finalize: observations arrive
+        // unsorted, one per cell, exactly as the executor streams them.
+        let spec = tiny_spec();
+        let plan = CellPlan::new(&spec);
+        let mut agg = Aggregator::new(spec.num_groups());
+        for v in [7.0, 1.0, 9.0, 3.0, 5.0, 10.0, 2.0, 8.0, 6.0, 4.0] {
+            agg.push_cell(0, &[(SeriesKey::Messages(0), v)]);
+        }
+        let res = agg.finalize(&spec, &plan);
+        let s = &res.groups[0].series[0];
+        assert_eq!(s.name, "Messages: FTSA");
+        assert_eq!(s.count, 10);
+        assert_eq!(s.mean, 5.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 10.0);
+        assert_eq!(s.p50, 6.0);
+        assert_eq!(s.p90, 9.0);
+        // Untouched groups render as empty series lists, not errors.
+        assert!(res.groups[1].series.is_empty());
     }
 
     #[test]
@@ -1053,6 +1285,84 @@ mod tests {
         // And the unscaled spec still runs end to end.
         let res = run_campaign_with_threads(&unscaled, 2).unwrap();
         assert!(res.groups[0].mean("FTSA-LowerBound").is_some());
+    }
+
+    fn stream_spec() -> CampaignSpec {
+        use simulator::streaming::{ArrivalProcess, PoissonArrivals};
+        let mut spec = tiny_spec();
+        spec.id = "tiny-stream".into();
+        spec.platforms = vec![PlatformSpec::paper(6, 1.0)];
+        spec.repetitions = 2;
+        spec.arrivals = Some(ArrivalSpec {
+            process: ArrivalProcess::Poisson(PoissonArrivals {
+                rate: 0.01,
+                count: 4,
+            }),
+            deadline_stretch: 6.0,
+            failures: FailureModel::Uniform(UniformFailures { crashes: 1 }),
+        });
+        spec.measures = MeasurePlan {
+            bounds: false,
+            normalize: false,
+            ..Default::default()
+        };
+        spec
+    }
+
+    #[test]
+    fn stream_campaign_produces_stream_series() {
+        let spec = stream_spec();
+        let res = run_campaign_with_threads(&spec, 2).unwrap();
+        assert_eq!(res.groups.len(), 1);
+        let g = &res.groups[0];
+        for alg in ["FTSA", "MC-FTSA"] {
+            for series in [
+                "Stream Response",
+                "Stream Latency",
+                "Stream Wait",
+                "Stream DeadlineMiss",
+                "Stream Completed",
+            ] {
+                let name = format!("{series}: {alg}");
+                let mean = g.mean(&name).unwrap_or_else(|| panic!("missing {name}"));
+                assert!(mean.is_finite(), "{name} = {mean}");
+            }
+            // ε = 1 tolerates the single time-0 crash: every DAG
+            // completes, and response ≥ wait + 0 ≥ 0.
+            assert_eq!(g.mean(&format!("Stream Completed: {alg}")), Some(1.0));
+            assert!(g.mean(&format!("Stream Response: {alg}")).unwrap() > 0.0);
+            assert!(g.mean(&format!("Stream Wait: {alg}")).unwrap() >= 0.0);
+        }
+        // No offline series leak into stream cells.
+        assert!(g.mean("FTSA-LowerBound").is_none());
+    }
+
+    #[test]
+    fn stream_campaign_bit_identical_across_thread_counts() {
+        let spec = stream_spec();
+        let a = run_campaign_with_threads(&spec, 1).unwrap();
+        let b = run_campaign_with_threads(&spec, 4).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn timed_relative_failure_axis_scales_with_the_reference() {
+        // A fraction-of-M* horizon must resolve per cell: the series
+        // exists, is finite, and the label carries the fraction.
+        let mut spec = tiny_spec();
+        spec.measures.overhead = false;
+        spec.measures.failures = vec![
+            FailureModel::Epsilon,
+            FailureModel::TimedRelative(platform::TimedRelativeFailures {
+                crashes: 1,
+                fraction: 0.5,
+            }),
+        ];
+        let res = run_campaign_with_threads(&spec, 2).unwrap();
+        for g in &res.groups {
+            let timed = g.mean("FTSA with 1 Crash in [0,0.5*Mstar]").unwrap();
+            assert!(timed.is_finite() && timed > 0.0);
+        }
     }
 
     #[test]

@@ -9,16 +9,17 @@
 //! presets should use [`Seeding::Indexed`].
 
 use super::{
-    CampaignSpec, LayeredRange, MeasurePlan, PlatformSpec, Seeding, StructuredKernel,
+    ArrivalSpec, CampaignSpec, LayeredRange, MeasurePlan, PlatformSpec, Seeding, StructuredKernel,
     StructuredWorkload, TimingCap, WorkloadSpec,
 };
 use crate::figures::FigureConfig;
 use crate::table1::Table1Config;
 use ftsched_core::Algorithm;
-use platform::{FailureModel, UniformFailures};
+use platform::{FailureModel, TimedRelativeFailures, UniformFailures};
+use simulator::streaming::{ArrivalProcess, PoissonArrivals};
 
 /// Every preset name, in display order.
-pub const PRESET_NAMES: [&str; 9] = [
+pub const PRESET_NAMES: [&str; 11] = [
     "fig1",
     "fig2",
     "fig3",
@@ -27,6 +28,8 @@ pub const PRESET_NAMES: [&str; 9] = [
     "table1-full",
     "contention",
     "reliability",
+    "timed-crash",
+    "online",
     "ci-smoke",
 ];
 
@@ -66,6 +69,8 @@ pub fn preset(name: &str, reps: Option<usize>) -> Option<CampaignSpec> {
             10,
             0x8E11,
         )),
+        "timed-crash" => Some(timed_crash(reps.unwrap_or(30))),
+        "online" => Some(online(reps.unwrap_or(5))),
         "ci-smoke" => Some(ci_smoke(reps.unwrap_or(2))),
         _ => None,
     }
@@ -116,6 +121,7 @@ pub fn spec_from_figure(cfg: &FigureConfig) -> CampaignSpec {
         repetitions: cfg.repetitions,
         seed: cfg.seed,
         seeding: Seeding::PaperFigure,
+        arrivals: None,
         measures: MeasurePlan {
             bounds: true,
             normalize: true,
@@ -151,6 +157,7 @@ pub fn spec_from_table1(cfg: &Table1Config) -> CampaignSpec {
         repetitions: 1,
         seed: cfg.seed,
         seeding: Seeding::PaperTable,
+        arrivals: None,
         measures: MeasurePlan {
             bounds: true,
             normalize: false,
@@ -185,6 +192,7 @@ pub fn spec_from_contention(
         repetitions,
         seed,
         seeding: Seeding::PaperContention,
+        arrivals: None,
         measures: MeasurePlan {
             bounds: false,
             normalize: false,
@@ -216,10 +224,99 @@ pub fn spec_from_reliability(
         repetitions: 1,
         seed,
         seeding: Seeding::PaperReliability,
+        arrivals: None,
         measures: MeasurePlan {
             bounds: false,
             normalize: false,
             reliability: probabilities.to_vec(),
+            ..Default::default()
+        },
+    }
+}
+
+/// The mid-execution crash sweep: the paper's fail-at-time-zero
+/// protocol (`Epsilon`) side by side with `TimedRelative` horizons at
+/// 0.25/0.5/1.0 of each cell's reference makespan `M*` — so one preset
+/// answers "how much does *when* the crash lands cost?" across
+/// granularities without hand-tuning absolute horizons per instance
+/// scale. Crashes landing after the schedule drains are free; crashes
+/// at time 0 are the paper's worst case; the fractions interpolate.
+pub fn timed_crash(repetitions: usize) -> CampaignSpec {
+    CampaignSpec {
+        id: "timed-crash".into(),
+        workloads: vec![WorkloadSpec::PaperLayered(LayeredRange {
+            tasks_lo: 100,
+            tasks_hi: 150,
+        })],
+        platforms: vec![
+            PlatformSpec::paper(20, 0.5),
+            PlatformSpec::paper(20, 1.0),
+            PlatformSpec::paper(20, 2.0),
+        ],
+        epsilons: vec![2],
+        algorithms: vec![Algorithm::Ftsa, Algorithm::McFtsaGreedy],
+        extra_algorithms: vec![],
+        repetitions,
+        seed: 0x71AED,
+        seeding: Seeding::Indexed,
+        arrivals: None,
+        measures: MeasurePlan {
+            bounds: true,
+            normalize: true,
+            failures: vec![
+                FailureModel::Epsilon,
+                FailureModel::TimedRelative(TimedRelativeFailures {
+                    crashes: 2,
+                    fraction: 0.25,
+                }),
+                FailureModel::TimedRelative(TimedRelativeFailures {
+                    crashes: 2,
+                    fraction: 0.5,
+                }),
+                FailureModel::TimedRelative(TimedRelativeFailures {
+                    crashes: 2,
+                    fraction: 1.0,
+                }),
+            ],
+            ..Default::default()
+        },
+    }
+}
+
+/// The online-scheduling preset: Poisson DAG arrivals on a shared
+/// 8-processor platform with persistent occupancy, one mid-stream
+/// timed crash, and per-DAG response/latency/wait/deadline-miss
+/// series. Every emitted number is deterministic (Indexed seeding, no
+/// timing columns), so the CI thread matrix `cmp`s its outputs byte
+/// for byte — the streaming analogue of `ci-smoke`.
+pub fn online(repetitions: usize) -> CampaignSpec {
+    CampaignSpec {
+        id: "online".into(),
+        workloads: vec![WorkloadSpec::PaperLayered(LayeredRange {
+            tasks_lo: 20,
+            tasks_hi: 30,
+        })],
+        platforms: vec![PlatformSpec::paper(8, 1.0)],
+        epsilons: vec![1],
+        algorithms: vec![Algorithm::Ftsa, Algorithm::McFtsaGreedy],
+        extra_algorithms: vec![],
+        repetitions,
+        seed: 0x0A11E,
+        seeding: Seeding::Indexed,
+        arrivals: Some(ArrivalSpec {
+            process: ArrivalProcess::Poisson(PoissonArrivals {
+                rate: 0.001,
+                count: 10,
+            }),
+            deadline_stretch: 6.0,
+            failures: FailureModel::Timed(platform::TimedFailures {
+                crashes: 1,
+                horizon: 5000.0,
+            }),
+        }),
+        measures: MeasurePlan {
+            bounds: false,
+            normalize: false,
             ..Default::default()
         },
     }
@@ -249,6 +346,7 @@ pub fn ci_smoke(repetitions: usize) -> CampaignSpec {
         repetitions,
         seed: 0xC1_5304E,
         seeding: Seeding::Indexed,
+        arrivals: None,
         measures: MeasurePlan {
             bounds: true,
             normalize: true,
@@ -295,6 +393,37 @@ mod tests {
         assert_eq!(spec.seeding, Seeding::PaperFigure);
         // ε = 2 figures add the 1-crash comparison series.
         assert_eq!(spec.measures.failures.len(), 3);
+        let json = spec.to_json().unwrap();
+        assert_eq!(CampaignSpec::from_json(&json).unwrap(), spec);
+    }
+
+    #[test]
+    fn timed_crash_spec_sweeps_relative_horizons() {
+        let spec = preset("timed-crash", Some(3)).unwrap();
+        assert_eq!(spec.repetitions, 3);
+        assert_eq!(spec.measures.failures.len(), 4);
+        let fractions: Vec<f64> = spec
+            .measures
+            .failures
+            .iter()
+            .filter_map(|fm| match fm {
+                FailureModel::TimedRelative(t) => Some(t.fraction),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fractions, vec![0.25, 0.5, 1.0]);
+        let json = spec.to_json().unwrap();
+        assert_eq!(CampaignSpec::from_json(&json).unwrap(), spec);
+    }
+
+    #[test]
+    fn online_spec_is_a_deterministic_stream_grid() {
+        let spec = preset("online", None).unwrap();
+        let arr = spec.arrivals.as_ref().expect("online preset streams");
+        assert_eq!(arr.process.count(), 10);
+        // No wall-clock columns: the CI thread matrix byte-compares it.
+        assert!(!spec.measures.timing);
+        assert_eq!(spec.seeding, Seeding::Indexed);
         let json = spec.to_json().unwrap();
         assert_eq!(CampaignSpec::from_json(&json).unwrap(), spec);
     }

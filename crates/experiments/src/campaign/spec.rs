@@ -12,6 +12,7 @@ use ftsched_core::Algorithm;
 use platform::FailureModel;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use simulator::streaming::ArrivalProcess;
 use taskgraph::generators::{
     erdos, fork_join, layered, series_parallel, ErdosConfig, ForkJoinConfig, LayeredConfig,
     SeriesParallelConfig,
@@ -323,6 +324,29 @@ impl Default for MeasurePlan {
     }
 }
 
+/// The online-scheduling axis: when a spec carries an `ArrivalSpec`,
+/// every cell is one **DAG stream** instead of one offline instance.
+/// The workload spec describes each DAG in the stream, the platform
+/// point is drawn once per cell and shared (persistent occupancy), and
+/// the cell's series are the per-DAG stream measures — response time,
+/// latency, queueing wait, deadline-miss fraction and completion
+/// fraction per algorithm (see
+/// [`crate::campaign::evaluate_stream_cell_into`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalSpec {
+    /// How DAGs arrive (Poisson rate + count, or a recorded trace).
+    pub process: ArrivalProcess,
+    /// Per-DAG deadline = arrival + stretch × the DAG's isolated
+    /// critical-path lower bound
+    /// ([`simulator::streaming::isolated_lower_bound_into`]).
+    pub deadline_stretch: f64,
+    /// Failure model of the stream, drawn once per cell on the absolute
+    /// stream clock and shared by every algorithm (the paper's
+    /// identical-failures protocol). `TimedRelative` is rejected here —
+    /// a stream has no single reference makespan.
+    pub failures: FailureModel,
+}
+
 /// How per-cell RNG seeds are derived.
 ///
 /// New campaigns use [`Seeding::Indexed`]: every cell's seed is
@@ -385,6 +409,9 @@ pub struct CampaignSpec {
     pub seed: u64,
     /// Per-cell seed derivation.
     pub seeding: Seeding,
+    /// Online-scheduling axis: `Some` turns every cell into a DAG
+    /// stream on a shared platform (see [`ArrivalSpec`]).
+    pub arrivals: Option<ArrivalSpec>,
     /// What to measure.
     pub measures: MeasurePlan,
 }
@@ -447,6 +474,11 @@ impl CampaignSpec {
             if let FailureModel::Timed(t) = fm {
                 if !(t.horizon.is_finite() && t.horizon >= 0.0) {
                     return Err(format!("timed failure horizon {} invalid", t.horizon));
+                }
+            }
+            if let FailureModel::TimedRelative(t) = fm {
+                if !(t.fraction.is_finite() && t.fraction >= 0.0) {
+                    return Err(format!("timed failure fraction {} invalid", t.fraction));
                 }
             }
         }
@@ -515,6 +547,86 @@ impl CampaignSpec {
                 return Err(format!("reliability probability {p} outside [0, 1]"));
             }
         }
+        if let Some(arr) = &self.arrivals {
+            self.validate_arrivals(arr)?;
+        }
+        Ok(())
+    }
+
+    /// The arrival-axis half of [`CampaignSpec::validate`].
+    fn validate_arrivals(&self, arr: &ArrivalSpec) -> Result<(), String> {
+        if self.seeding != Seeding::Indexed {
+            return Err("arrival-process campaigns require Indexed seeding \
+                 (the Paper* modes encode pre-campaign offline drivers)"
+                .into());
+        }
+        let m = &self.measures;
+        if m.bounds
+            || m.overhead
+            || m.timing
+            || m.contention
+            || !m.fault_free.is_empty()
+            || !m.failures.is_empty()
+            || !m.messages.is_empty()
+            || !m.reliability.is_empty()
+            || !m.timing_caps.is_empty()
+        {
+            return Err("arrival-process campaigns record only the stream series; \
+                 disable bounds/overhead/timing/contention and clear \
+                 fault_free/failures/messages/reliability/timing_caps"
+                .into());
+        }
+        match &arr.process {
+            ArrivalProcess::Poisson(p) => {
+                if p.count == 0 {
+                    return Err("arrival process emits zero DAGs".into());
+                }
+                if !(p.rate.is_finite() && p.rate > 0.0) {
+                    return Err(format!("Poisson arrival rate {} invalid", p.rate));
+                }
+            }
+            ArrivalProcess::Trace(t) => {
+                if t.times.is_empty() {
+                    return Err("arrival process emits zero DAGs".into());
+                }
+                let mut prev = 0.0;
+                for &time in &t.times {
+                    if !(time.is_finite() && time >= prev) {
+                        return Err(format!(
+                            "trace arrivals must be finite, >= 0 and non-decreasing \
+                             (got {time} after {prev})"
+                        ));
+                    }
+                    prev = time;
+                }
+            }
+        }
+        if !(arr.deadline_stretch.is_finite() && arr.deadline_stretch > 0.0) {
+            return Err(format!(
+                "deadline stretch {} must be finite and > 0",
+                arr.deadline_stretch
+            ));
+        }
+        if arr.failures.needs_reference() {
+            return Err(
+                "TimedRelative failures are undefined on a stream (no single \
+                 reference makespan); use Timed with an absolute horizon"
+                    .into(),
+            );
+        }
+        for p in &self.platforms {
+            for &eps in &self.epsilons {
+                if arr.failures.crashes(eps) > p.procs {
+                    return Err(format!(
+                        "stream failure model {:?} draws {} distinct processors, \
+                         platform point has only {}",
+                        arr.failures,
+                        arr.failures.crashes(eps),
+                        p.procs
+                    ));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -556,6 +668,7 @@ mod tests {
             repetitions: 3,
             seed: 42,
             seeding: Seeding::Indexed,
+            arrivals: None,
             measures: MeasurePlan {
                 fault_free: vec![Algorithm::Ftsa],
                 overhead: true,
@@ -621,6 +734,70 @@ mod tests {
         let mut bad = ok;
         bad.repetitions = 0;
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn arrival_axis_validates_and_round_trips() {
+        use simulator::streaming::{PoissonArrivals, TraceArrivals};
+
+        let mut spec = small_spec();
+        spec.measures = MeasurePlan {
+            bounds: false,
+            normalize: false,
+            ..Default::default()
+        };
+        spec.arrivals = Some(ArrivalSpec {
+            process: ArrivalProcess::Poisson(PoissonArrivals {
+                rate: 0.01,
+                count: 5,
+            }),
+            deadline_stretch: 3.0,
+            failures: FailureModel::Uniform(UniformFailures { crashes: 1 }),
+        });
+        spec.validate().unwrap();
+        let json = spec.to_json().unwrap();
+        assert_eq!(CampaignSpec::from_json(&json).unwrap(), spec);
+
+        // Stream cells record only stream series.
+        let mut bad = spec.clone();
+        bad.measures.bounds = true;
+        assert!(bad.validate().unwrap_err().contains("stream series"));
+
+        // Streams need Indexed seeding.
+        let mut bad = spec.clone();
+        bad.seeding = Seeding::PaperTable;
+        assert!(bad.validate().unwrap_err().contains("Indexed"));
+
+        // Degenerate processes are rejected up front.
+        let mut bad = spec.clone();
+        bad.arrivals.as_mut().unwrap().process = ArrivalProcess::Poisson(PoissonArrivals {
+            rate: 0.0,
+            count: 5,
+        });
+        assert!(bad.validate().unwrap_err().contains("rate"));
+        let mut bad = spec.clone();
+        bad.arrivals.as_mut().unwrap().process = ArrivalProcess::Trace(TraceArrivals {
+            times: vec![3.0, 1.0],
+        });
+        assert!(bad.validate().unwrap_err().contains("non-decreasing"));
+        let mut bad = spec.clone();
+        bad.arrivals.as_mut().unwrap().deadline_stretch = 0.0;
+        assert!(bad.validate().unwrap_err().contains("stretch"));
+
+        // A stream has no reference makespan for TimedRelative.
+        let mut bad = spec.clone();
+        bad.arrivals.as_mut().unwrap().failures =
+            FailureModel::TimedRelative(platform::TimedRelativeFailures {
+                crashes: 1,
+                fraction: 0.5,
+            });
+        assert!(bad.validate().unwrap_err().contains("TimedRelative"));
+
+        // Crash counts are still bounded by the platform points.
+        let mut bad = spec;
+        bad.arrivals.as_mut().unwrap().failures =
+            FailureModel::Uniform(UniformFailures { crashes: 99 });
+        assert!(bad.validate().unwrap_err().contains("distinct processors"));
     }
 
     #[test]

@@ -198,6 +198,18 @@ pub struct TimedFailures {
     pub horizon: f64,
 }
 
+/// Parameters of a [`FailureModel::TimedRelative`] model: the horizon is
+/// a **fraction of a reference makespan** supplied at draw time
+/// (typically the reference schedule's `M*`), so one spec point covers
+/// instances of any scale.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimedRelativeFailures {
+    /// Number of distinct processors failing.
+    pub crashes: usize,
+    /// Failure times are drawn uniformly in `[0, fraction · reference]`.
+    pub fraction: f64,
+}
+
 /// A declarative failure-injection model: *how* scenarios are drawn, as
 /// opposed to [`FailureScenario`], which is one concrete draw.
 ///
@@ -231,6 +243,10 @@ pub enum FailureModel {
     /// drawn uniformly over a horizon, reusing [`FailureScenario`]'s
     /// positive-time support.
     Timed(TimedFailures),
+    /// Mid-execution crashes over a horizon expressed as a fraction of a
+    /// reference makespan resolved at draw time — drawable only through
+    /// [`FailureModel::sample_into_scaled`].
+    TimedRelative(TimedRelativeFailures),
 }
 
 impl FailureModel {
@@ -242,12 +258,23 @@ impl FailureModel {
             FailureModel::Epsilon => epsilon,
             FailureModel::Uniform(UniformFailures { crashes }) => crashes,
             FailureModel::Timed(TimedFailures { crashes, .. }) => crashes,
+            FailureModel::TimedRelative(TimedRelativeFailures { crashes, .. }) => crashes,
         }
     }
 
     /// Whether this model can produce strictly positive failure times.
     pub fn is_timed(&self) -> bool {
-        matches!(self, FailureModel::Timed(TimedFailures { horizon, .. }) if *horizon > 0.0)
+        match self {
+            FailureModel::Timed(TimedFailures { horizon, .. }) => *horizon > 0.0,
+            FailureModel::TimedRelative(TimedRelativeFailures { fraction, .. }) => *fraction > 0.0,
+            _ => false,
+        }
+    }
+
+    /// Whether drawing from this model needs a reference makespan
+    /// ([`FailureModel::sample_into_scaled`]'s extra argument).
+    pub fn needs_reference(&self) -> bool {
+        matches!(self, FailureModel::TimedRelative(_))
     }
 
     /// Draws one scenario from this model in place, reusing `ids` as
@@ -256,7 +283,9 @@ impl FailureModel {
     /// exactly the historical `if crashes == 0 { none() }` sites.
     ///
     /// # Panics
-    /// Panics if the resolved crash count exceeds `m`.
+    /// Panics if the resolved crash count exceeds `m`, or if the model
+    /// [`needs_reference`](FailureModel::needs_reference) (use
+    /// [`FailureModel::sample_into_scaled`]).
     pub fn sample_into(
         &self,
         rng: &mut impl Rng,
@@ -278,6 +307,44 @@ impl FailureModel {
             FailureModel::Timed(TimedFailures { horizon, .. }) => {
                 scenario.refill_uniform_timed(rng, m, count, horizon, ids);
             }
+            FailureModel::TimedRelative(_) => {
+                panic!("TimedRelative draws need a reference makespan: use sample_into_scaled")
+            }
+        }
+    }
+
+    /// [`FailureModel::sample_into`] with a reference makespan resolving
+    /// [`FailureModel::TimedRelative`] horizons (`fraction · reference`);
+    /// every other model ignores `reference` and draws identically to
+    /// `sample_into` — callers with a reference at hand can route all
+    /// models through this method unconditionally.
+    ///
+    /// # Panics
+    /// Panics if the resolved crash count exceeds `m`, or if a
+    /// `TimedRelative` draw is asked to scale a non-finite or negative
+    /// reference.
+    pub fn sample_into_scaled(
+        &self,
+        rng: &mut impl Rng,
+        m: usize,
+        epsilon: usize,
+        reference: f64,
+        scenario: &mut FailureScenario,
+        ids: &mut Vec<u32>,
+    ) {
+        match *self {
+            FailureModel::TimedRelative(TimedRelativeFailures { crashes, fraction }) => {
+                if crashes == 0 {
+                    scenario.clear();
+                    return;
+                }
+                assert!(
+                    reference.is_finite() && reference >= 0.0,
+                    "TimedRelative reference makespan must be finite and >= 0, got {reference}"
+                );
+                scenario.refill_uniform_timed(rng, m, crashes, fraction * reference, ids);
+            }
+            _ => self.sample_into(rng, m, epsilon, scenario, ids),
         }
     }
 }
@@ -442,6 +509,89 @@ mod tests {
         // The generator state is untouched: next draws equal a clone's.
         let mut b = before;
         assert_eq!(rng.gen_range(0..1_000_000), b.gen_range(0..1_000_000));
+    }
+
+    #[test]
+    fn timed_relative_scales_the_reference_makespan() {
+        let model = FailureModel::TimedRelative(TimedRelativeFailures {
+            crashes: 3,
+            fraction: 0.5,
+        });
+        assert_eq!(model.crashes(9), 3);
+        assert!(model.is_timed());
+        assert!(model.needs_reference());
+        assert!(!FailureModel::Epsilon.needs_reference());
+        let mut scratch = Vec::new();
+        let mut scen = FailureScenario::none();
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            model.sample_into_scaled(&mut rng, 8, 1, 60.0, &mut scen, &mut scratch);
+            assert_eq!(scen.len(), 3);
+            for (_, t) in scen.iter() {
+                assert!((0.0..=30.0).contains(&t), "t = {t} outside 0.5 * 60");
+            }
+            // Bit-identical to the absolute-horizon draw at the resolved
+            // horizon — TimedRelative is Timed with a late-bound horizon.
+            let fresh =
+                FailureScenario::uniform_timed(&mut StdRng::seed_from_u64(seed), 8, 3, 30.0);
+            assert_eq!(scen, fresh);
+        }
+        // Zero fraction degenerates to fail-at-time-zero, still drawable.
+        let zero = FailureModel::TimedRelative(TimedRelativeFailures {
+            crashes: 2,
+            fraction: 0.0,
+        });
+        assert!(!zero.is_timed());
+        zero.sample_into_scaled(
+            &mut StdRng::seed_from_u64(1),
+            8,
+            1,
+            60.0,
+            &mut scen,
+            &mut scratch,
+        );
+        assert!(scen.iter().all(|(_, t)| t == 0.0));
+        // Serde round trip.
+        let v = serde::Serialize::to_value(&model);
+        let back: FailureModel = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, model);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample_into_scaled")]
+    fn timed_relative_rejects_unscaled_draw() {
+        let model = FailureModel::TimedRelative(TimedRelativeFailures {
+            crashes: 2,
+            fraction: 0.5,
+        });
+        let mut scratch = Vec::new();
+        let mut scen = FailureScenario::none();
+        model.sample_into(&mut StdRng::seed_from_u64(1), 8, 1, &mut scen, &mut scratch);
+    }
+
+    #[test]
+    fn scaled_draw_matches_unscaled_for_absolute_models() {
+        let mut scratch = Vec::new();
+        let (mut a, mut b) = (FailureScenario::none(), FailureScenario::none());
+        for model in [
+            FailureModel::Epsilon,
+            FailureModel::Uniform(UniformFailures { crashes: 2 }),
+            FailureModel::Timed(TimedFailures {
+                crashes: 2,
+                horizon: 9.0,
+            }),
+        ] {
+            model.sample_into(&mut StdRng::seed_from_u64(3), 10, 2, &mut a, &mut scratch);
+            model.sample_into_scaled(
+                &mut StdRng::seed_from_u64(3),
+                10,
+                2,
+                123.0,
+                &mut b,
+                &mut scratch,
+            );
+            assert_eq!(a, b, "{model:?}");
+        }
     }
 
     #[test]

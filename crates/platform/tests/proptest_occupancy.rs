@@ -1,0 +1,136 @@
+//! Property tests for [`platform::OccupancyTimeline`] — the structural
+//! invariants the streaming driver leans on (see the module docs in
+//! `platform::occupancy`):
+//!
+//! * live busy intervals stay **sorted and pairwise disjoint** per
+//!   processor under any legal operation sequence;
+//! * every release floor is **monotone non-decreasing** across
+//!   `insert` / `advance` / `release_until` (only `reset` may lower it);
+//! * `release_until` retires history without changing floors or the
+//!   surviving intervals;
+//! * a timeline that never saw work is empty, and `reset` restores
+//!   exactly that state.
+
+use platform::OccupancyTimeline;
+use proptest::prelude::*;
+
+/// One randomized operation: `(selector, a, b)` with payloads drawn from
+/// a bounded time range. `a`/`b` are interpreted per operation.
+type Op = (u8, f64, f64);
+
+fn apply(occ: &mut OccupancyTimeline, op: &Op, j: usize) {
+    let (sel, a, b) = *op;
+    match sel % 4 {
+        // Legal insert: start at or after the current floor.
+        0 => {
+            let start = occ.release_floor(j) + a;
+            occ.insert(j, start, start + b);
+        }
+        1 => occ.advance(a),
+        2 => occ.release_until(a),
+        _ => {
+            // Zero-length span: floor bump without a recorded interval.
+            let start = occ.release_floor(j) + a;
+            occ.insert(j, start, start);
+        }
+    }
+}
+
+fn assert_sorted_disjoint(occ: &OccupancyTimeline) {
+    for j in 0..occ.num_procs() {
+        let iv = occ.busy_intervals(j);
+        for w in iv.windows(2) {
+            assert!(
+                w[0].end <= w[1].start,
+                "P{j}: intervals overlap or are unsorted: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        for span in iv {
+            assert!(span.start <= span.end && span.start.is_finite());
+            assert!(
+                span.end <= occ.release_floor(j),
+                "P{j}: interval {:?} past the floor {}",
+                span,
+                occ.release_floor(j)
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn intervals_stay_disjoint_and_floors_monotone(
+        m in 1usize..6,
+        ops in proptest::collection::vec((0u8..4, 0.0f64..40.0, 0.0f64..25.0), 1..50),
+    ) {
+        let mut occ = OccupancyTimeline::new(m);
+        for (i, op) in ops.iter().enumerate() {
+            let j = i % m;
+            let before: Vec<f64> = occ.floors().to_vec();
+            apply(&mut occ, op, j);
+            for (p, (&fb, &fa)) in before.iter().zip(occ.floors()).enumerate() {
+                prop_assert!(fa >= fb, "P{p}: floor dropped {fb} -> {fa} on op {op:?}");
+            }
+            assert_sorted_disjoint(&occ);
+            prop_assert!(occ.busy_time(j) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn release_preserves_floors_and_survivors(
+        m in 1usize..5,
+        ops in proptest::collection::vec((0u8..2, 0.0f64..10.0, 0.1f64..15.0), 1..30),
+        cut in 0.0f64..200.0,
+    ) {
+        // Build purely with inserts/advances, then release once and
+        // compare against the model: floors unchanged, surviving
+        // intervals exactly those ending after the cut.
+        let mut occ = OccupancyTimeline::new(m);
+        for (i, op) in ops.iter().enumerate() {
+            apply(&mut occ, op, i % m);
+        }
+        let floors: Vec<f64> = occ.floors().to_vec();
+        let expected: Vec<Vec<_>> = (0..m)
+            .map(|j| {
+                occ.busy_intervals(j)
+                    .iter()
+                    .copied()
+                    .filter(|iv| iv.end > cut)
+                    .collect()
+            })
+            .collect();
+        occ.release_until(cut);
+        prop_assert_eq!(occ.floors(), &floors[..]);
+        for (j, exp) in expected.iter().enumerate() {
+            prop_assert_eq!(occ.busy_intervals(j), &exp[..], "P{}", j);
+        }
+        // Releasing again at the same cut is idempotent.
+        occ.release_until(cut);
+        for (j, exp) in expected.iter().enumerate() {
+            prop_assert_eq!(occ.busy_intervals(j), &exp[..], "P{} (repeat)", j);
+        }
+    }
+
+    #[test]
+    fn reset_always_restores_the_empty_state(
+        m in 1usize..5,
+        ops in proptest::collection::vec((0u8..4, 0.0f64..30.0, 0.0f64..20.0), 0..25),
+    ) {
+        let mut occ = OccupancyTimeline::new(m);
+        prop_assert!(occ.is_empty(), "a fresh timeline is empty");
+        for (i, op) in ops.iter().enumerate() {
+            apply(&mut occ, op, i % m);
+        }
+        occ.reset();
+        prop_assert!(occ.is_empty());
+        prop_assert_eq!(occ.floors(), &vec![0.0; m][..]);
+        for j in 0..m {
+            prop_assert!(occ.busy_intervals(j).is_empty());
+            prop_assert_eq!(occ.busy_time(j), 0.0);
+        }
+    }
+}

@@ -687,6 +687,59 @@ pub fn simulate_outcome_into(
     ws.outcome(inst)
 }
 
+/// [`simulate_outcome_into`] on a **pre-occupied platform**: each
+/// processor becomes free for this DAG's replicas only at
+/// `floors[j]` (a persistent occupancy floor, typically
+/// `OccupancyTimeline::floors()` from the streaming driver) instead of
+/// `0.0`. Failure times in `scenario` are interpreted on the same
+/// absolute clock. All-zero floors are bit-identical to
+/// [`simulate_outcome_into`]. Allocation-free once the workspace is
+/// warm.
+pub fn simulate_outcome_from_into(
+    inst: &Instance,
+    sched: &Schedule,
+    scenario: &FailureScenario,
+    policy: FallbackPolicy,
+    floors: &[f64],
+    ws: &mut CrashWorkspace,
+) -> ReplicationOutcome {
+    assert_eq!(
+        floors.len(),
+        inst.num_procs(),
+        "occupancy floors must cover all processors"
+    );
+    ws.prepare(inst, sched, policy);
+    check_rerouted_scenario(ws.rerouted, scenario);
+    ws.reset_run(inst, sched, scenario);
+    ws.free_at.copy_from_slice(floors);
+    ws.run(inst);
+    ws.outcome(inst)
+}
+
+impl CrashWorkspace {
+    /// Streaming support: folds every simulated replica's busy span of
+    /// the completed run into `occ` (per processor, in execution order,
+    /// so inserts are tail-appends) and returns the earliest simulated
+    /// start across all replicas (`INFINITY` when nothing ran).
+    pub(crate) fn fold_busy_into(&self, occ: &mut platform::OccupancyTimeline) -> f64 {
+        let mut first = f64::INFINITY;
+        for j in 0..self.order_off.len().saturating_sub(1) {
+            let lo = self.order_off[j] as usize;
+            let hi = self.order_off[j + 1] as usize;
+            for &(t, k) in &self.order_items[lo..hi] {
+                let rid = self.rid(t, k as usize);
+                if let Some((s, f)) = self.times[rid] {
+                    occ.insert(j, s, f);
+                    if s < first {
+                        first = s;
+                    }
+                }
+            }
+        }
+        first
+    }
+}
+
 fn run_into(
     inst: &Instance,
     sched: &Schedule,

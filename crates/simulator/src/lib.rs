@@ -17,6 +17,13 @@
 //!   (placed on a failed processor, or starved because every potential
 //!   sender of some input died).
 //!
+//! Beyond single-schedule replay, [`streaming`] drives whole **DAG
+//! streams** on a shared platform: arrivals (Poisson or trace-driven)
+//! schedule onto the persistent [`platform::OccupancyTimeline`] left by
+//! earlier DAGs, failures strike mid-stream on the absolute clock, and
+//! an empty occupancy reduces every step bit-for-bit to the offline
+//! single-DAG pair.
+//!
 //! Two engines are provided and cross-checked against each other:
 //! [`crash::simulate`], the full event-queue engine (supports
 //! mid-execution failures), and [`replay::replay`], a memoized analytic
@@ -38,10 +45,14 @@ pub mod contention;
 pub mod crash;
 pub mod reliability;
 pub mod replay;
+pub mod streaming;
 pub mod trace;
 
 pub use contention::{simulate_contention, ContentionResult, PortModel};
 pub use crash::{simulate, simulate_replications, SimOutcome, SimResult};
+pub use streaming::{
+    run_stream_into, ArrivalProcess, DagOutcome, PoissonArrivals, StreamWorkspace, TraceArrivals,
+};
 
 /// Derives the RNG seed of Monte-Carlo replication `index` from a base
 /// seed (a SplitMix64 finalizer over `base ^ index`). Replications seeded

@@ -98,7 +98,80 @@ fn main() {
     monte_carlo_replications_after_first_allocate_nothing();
     matched_campaign_after_first_allocates_nothing();
     campaign_cell_loop_allocates_nothing();
+    streaming_arrivals_after_warm_allocate_nothing();
     println!("alloc_counter: zero-allocation steady-state contracts hold");
+}
+
+fn streaming_arrivals_after_warm_allocate_nothing() {
+    // The streaming driver's per-arrival path — occupancy-floored
+    // scheduling via `schedule_onto`, crash replay from the actual
+    // floors, interval folds into both timelines — must allocate
+    // nothing once the `StreamWorkspace` and output buffer are warm.
+    // Instance generation and arrival sampling happen outside the
+    // measured window (they are per-stream setup, not per-arrival work).
+    use platform::ProcId;
+    use simulator::crash::FallbackPolicy;
+    use simulator::streaming::{run_stream_into, DagOutcome, StreamWorkspace};
+
+    let mut rng = StdRng::seed_from_u64(0x57AEA);
+    let insts: Vec<Instance> = (0..6)
+        .map(|_| {
+            paper_instance(
+                &mut rng,
+                &PaperInstanceConfig {
+                    tasks_lo: 25,
+                    tasks_hi: 35,
+                    procs: 8,
+                    ..Default::default()
+                },
+            )
+        })
+        .collect();
+    let arrivals: Vec<f64> = (0..6).map(|i| i as f64 * 40.0).collect();
+    // A positive-time crash exercises the mid-stream failure path.
+    let scenario = platform::FailureScenario::new(vec![(ProcId(3), 90.0)]);
+    let mut ws = StreamWorkspace::new();
+    let mut out: Vec<DagOutcome> = Vec::new();
+
+    for _ in 0..2 {
+        run_stream_into(
+            &insts,
+            &arrivals,
+            1,
+            Algorithm::Ftsa,
+            &scenario,
+            FallbackPolicy::Strict,
+            0xBEE5,
+            &mut ws,
+            &mut out,
+        )
+        .unwrap();
+    }
+    let reference = out.clone();
+
+    let before = allocations();
+    for _ in 0..5 {
+        run_stream_into(
+            &insts,
+            &arrivals,
+            1,
+            Algorithm::Ftsa,
+            &scenario,
+            FallbackPolicy::Strict,
+            0xBEE5,
+            &mut ws,
+            &mut out,
+        )
+        .unwrap();
+    }
+    let counted = allocations() - before;
+    assert_eq!(
+        counted, 0,
+        "steady-state streaming arrivals performed {counted} heap \
+         allocations across 5 stream runs (contract: zero)"
+    );
+    assert_eq!(out, reference, "reuse must not change the stream outcomes");
+    assert!(out.iter().all(|o| o.completed));
 }
 
 fn steady_state_schedule_reuse_allocates_nothing() {
@@ -191,6 +264,7 @@ fn campaign_cell_loop_allocates_nothing() {
         repetitions: 1,
         seed: 0xA110C,
         seeding: Seeding::Indexed,
+        arrivals: None,
         measures: MeasurePlan {
             bounds: true,
             normalize: true,

@@ -233,6 +233,31 @@ fn campaign_json_identical_across_thread_counts() {
 }
 
 #[test]
+fn online_campaign_json_identical_across_thread_counts() {
+    // The streaming (arrival-axis) executor path: stream cells carry
+    // per-worker StreamWorkspaces and two occupancy timelines each, and
+    // the per-DAG RNGs are derived from the cell seed — so the emitted
+    // JSON must stay byte-identical at every thread count, exactly like
+    // the offline ci-smoke grid. CI `cmp`s the CLI outputs of this
+    // preset across FTSCHED_THREADS values.
+    let spec = experiments::campaign::presets::preset("online", Some(2)).expect("preset");
+    assert!(spec.arrivals.is_some(), "online preset must carry arrivals");
+    let reference = experiments::output::campaign_to_json(
+        &experiments::campaign::run_campaign_with_threads(&spec, 1).expect("valid spec"),
+    );
+    assert!(reference.contains("Stream Response"));
+    for threads in thread_counts() {
+        let run = experiments::output::campaign_to_json(
+            &experiments::campaign::run_campaign_with_threads(&spec, threads).expect("valid spec"),
+        );
+        assert_eq!(
+            run, reference,
+            "online campaign JSON diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn parallel_map_with_keeps_the_determinism_contract() {
     // Per-worker state (the campaign executor's workspace threading)
     // must be invisible in the output: bit-identical to the stateless

@@ -121,6 +121,7 @@ fn structured_campaign_axis_covers_all_kernels() {
         repetitions: 2,
         seed: 99,
         seeding: Seeding::Indexed,
+        arrivals: None,
         measures: MeasurePlan {
             failures: vec![ftsched::platform::FailureModel::Epsilon],
             ..Default::default()
