@@ -44,10 +44,10 @@ fn bench_stream_cell(c: &mut Criterion) {
     };
     let mut ctx = CellContext::new();
     let mut out: Vec<(SeriesKey, f64)> = Vec::new();
-    evaluate_stream_cell_into(&spec, &plan, &coord, &mut ctx, &mut out);
+    evaluate_stream_cell_into(&spec, &plan, &coord, &mut ctx, &mut out).unwrap();
     group.bench_function("online_stream_steady_state", |b| {
         b.iter(|| {
-            evaluate_stream_cell_into(black_box(&spec), &plan, &coord, &mut ctx, &mut out);
+            evaluate_stream_cell_into(black_box(&spec), &plan, &coord, &mut ctx, &mut out).unwrap();
             out.len()
         })
     });
@@ -69,7 +69,7 @@ fn bench_campaign_cell(c: &mut Criterion) {
     let mut ctx = CellContext::new();
     let mut out: Vec<(SeriesKey, f64)> = Vec::new();
     // Warm the workspaces so the measured loop is the steady state.
-    evaluate_cell_into(&spec, &plan, &coord, &inst, &mut ctx, &mut out);
+    evaluate_cell_into(&spec, &plan, &coord, &inst, &mut ctx, &mut out).unwrap();
     group.bench_function("fig1_cell_steady_state", |b| {
         b.iter(|| {
             evaluate_cell_into(
@@ -79,7 +79,8 @@ fn bench_campaign_cell(c: &mut Criterion) {
                 black_box(&inst),
                 &mut ctx,
                 &mut out,
-            );
+            )
+            .unwrap();
             out.len()
         })
     });

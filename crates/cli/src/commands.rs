@@ -8,6 +8,7 @@ use experiments::output::{
     campaign_to_table, figure_to_table, write_campaign_outputs, write_figure_csv,
 };
 use experiments::parallel::default_threads;
+use experiments::serve::{ServeConfig, Server};
 use experiments::table1::{format_table1, run_table1_with_threads, Table1Config};
 use ftsched_core::{schedule as run_schedule, validate::validate, Algorithm};
 use platform::gen::random_platform;
@@ -243,7 +244,7 @@ pub fn experiment(args: &Args) -> Result<String, String> {
             if let Some(list) = args.get("algorithms") {
                 cfg.extra_algorithms = parse_algorithm_list(list)?;
             }
-            let fig = run_figure_with_threads(&cfg, threads);
+            let fig = run_figure_with_threads(&cfg, threads).map_err(|e| e.to_string())?;
             let mut out = format!(
                 "== {what}: ε = {}, {} processors, {} graphs/point, {threads} thread(s) ==\n",
                 cfg.epsilon, cfg.procs, cfg.repetitions
@@ -299,7 +300,7 @@ pub fn experiment(args: &Args) -> Result<String, String> {
             if let Some(list) = args.get("algorithms") {
                 cfg.extra_algorithms = parse_algorithm_list(list)?;
             }
-            let rows = run_table1_with_threads(&cfg, threads);
+            let rows = run_table1_with_threads(&cfg, threads).map_err(|e| e.to_string())?;
             Ok(format!(
                 "== table1: {} processors, ε = {}, {threads} thread(s) ==\n{}",
                 cfg.procs,
@@ -382,7 +383,7 @@ pub fn campaign(args: &Args) -> Result<String, String> {
         return spec.to_json();
     }
 
-    let res = run_campaign_with_threads(&spec, threads)?;
+    let res = run_campaign_with_threads(&spec, threads).map_err(|e| e.to_string())?;
     let mut out = format!(
         "== campaign {}: {} cells ({} workloads x {} platforms x {} eps x {} reps), \
          {threads} thread(s) ==\n\n",
@@ -401,6 +402,24 @@ pub fn campaign(args: &Args) -> Result<String, String> {
         let _ = writeln!(out, "[json] {}", json.display());
     }
     Ok(out)
+}
+
+/// `ftsched serve` — the sharded streaming campaign service. Binds,
+/// prints the listening address, then blocks in the accept loop; the
+/// response bytes for a spec are identical to what `ftsched campaign`
+/// writes for it (see `experiments::serve` for the wire protocol).
+pub fn serve(args: &Args) -> Result<String, String> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
+    let config = ServeConfig {
+        threads: threads_from(args)?,
+        queue: args.get_num("queue", 32)?,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(addr, config).map_err(|e| format!("binding {addr}: {e}"))?;
+    let local = server.local_addr().map_err(|e| e.to_string())?;
+    println!("ftsched serve listening on http://{local} (POST /campaigns, GET /healthz)");
+    server.run().map_err(|e| format!("serve: {e}"))?;
+    Ok(String::new())
 }
 
 /// `ftsched info`

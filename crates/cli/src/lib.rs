@@ -17,6 +17,10 @@
 //! * `campaign` — run a declarative scenario grid: a named preset or an
 //!   arbitrary `CampaignSpec` JSON file, with streaming aggregation and
 //!   unified CSV/JSON emission (see `experiments::campaign`).
+//! * `serve` — the streaming campaign service: accept `CampaignSpec`
+//!   JSON over HTTP, shard groups across workers, and chunk-stream the
+//!   statistics back byte-identical to `campaign`'s file emission (see
+//!   `experiments::serve`).
 //! * `info` — structural statistics of a graph file.
 //!
 //! Argument parsing is the tiny shared `--key value` scanner from
@@ -45,6 +49,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "simulate" => commands::simulate_cmd(&args),
         "experiment" => commands::experiment(&args),
         "campaign" => commands::campaign(&args),
+        "serve" => commands::serve(&args),
         "info" => commands::info(&args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command `{other}`\n\n{}", usage())),
@@ -73,6 +78,9 @@ USAGE:
   ftsched campaign --preset <fig1|fig2|fig3|fig4|table1|table1-full|contention|reliability|timed-crash|online|ci-smoke>
                    | --spec grid.json
                    [--reps N | --quick] [--threads T] [--out DIR] [--dump-spec]
+  ftsched serve [--addr 127.0.0.1:7878] [--threads T] [--queue N]
+                (POST /campaigns with a CampaignSpec JSON body streams the
+                 statistics; resubmitting a spec replays the existing run)
   ftsched info --graph graph.json
 
 `--threads 0` (the default) resolves from FTSCHED_THREADS or the

@@ -63,7 +63,10 @@ use crate::mc_ftsa::Selector;
 use crate::schedule::{CommSelection, Replica, Schedule};
 use crate::workspace::ScheduleWorkspace;
 use ftcollections::{select_smallest_into, DaryHeap, OrdF64};
-use matching::{bottleneck_matching, greedy_matching_into, BipartiteGraph, GreedyScratch};
+use matching::{
+    bottleneck_matching_into, greedy_matching_into, BipartiteGraph, BottleneckScratch,
+    GreedyScratch,
+};
 use platform::Instance;
 use rand::Rng;
 use std::cmp::Reverse;
@@ -169,9 +172,9 @@ impl ListScheduler {
 
     /// [`ListScheduler::run`] reusing the caller's workspace: after the
     /// first call on a given instance shape, scheduling performs **no**
-    /// heap allocation (greedy/all-to-all configurations; the bottleneck
-    /// matcher still allocates internally). The schedule stays owned by
-    /// the workspace — clone it to keep it past the next run.
+    /// heap allocation — all configurations, both matched-communication
+    /// selectors included. The schedule stays owned by the workspace —
+    /// clone it to keep it past the next run.
     pub fn run_into<'w>(
         &self,
         inst: &Instance,
@@ -283,6 +286,7 @@ impl ListScheduler {
             forced,
             pairs,
             greedy,
+            bottleneck,
             ..
         } = ws;
 
@@ -376,6 +380,7 @@ impl ListScheduler {
                     forced,
                     pairs,
                     greedy,
+                    bottleneck,
                 ),
             }
             eng.sched.schedule_order.push(t);
@@ -564,9 +569,8 @@ fn try_duplicate_critical_parent(eng: &mut Engine<'_>, t: TaskId, j: usize) {
 /// robust one-to-one communication set between the predecessor's
 /// replicas and the destination processors, then place each replica
 /// with its deterministic matched times (the two timelines coincide).
-/// All scratch comes from the workspace; with the greedy selector the
-/// step performs no allocation (the bottleneck binary search still
-/// allocates internally).
+/// All scratch comes from the workspace; with either selector the step
+/// performs no allocation in steady state.
 #[allow(clippy::too_many_arguments)]
 fn place_matched(
     eng: &mut Engine<'_>,
@@ -581,6 +585,7 @@ fn place_matched(
     forced: &mut Vec<(usize, usize)>,
     pairs: &mut Vec<(usize, usize)>,
     greedy: &mut GreedyScratch,
+    bottleneck: &mut BottleneckScratch,
 ) {
     let inst = eng.inst;
     let dag = &inst.dag;
@@ -624,10 +629,11 @@ fn place_matched(
                 );
             }
             Selector::Bottleneck => {
-                let matching = bottleneck_matching(g, forced)
-                    .expect("matched-comm bipartite graphs always admit a left-perfect matching");
-                pairs.clear();
-                pairs.extend_from_slice(&matching.pairs);
+                let ok = bottleneck_matching_into(g, forced, bottleneck, pairs);
+                assert!(
+                    ok,
+                    "matched-comm bipartite graphs always admit a left-perfect matching"
+                );
             }
         }
 

@@ -22,9 +22,10 @@
 //!   to keep it beyond the next run.
 //! * A matched-communication table found in the previous run's
 //!   `Schedule` is recycled: its per-edge `Vec`s are cleared, not
-//!   dropped, so MC-FTSA's steady state is allocation-free too (with the
-//!   greedy selector; the bottleneck selector's binary search still
-//!   allocates internally).
+//!   dropped, so MC-FTSA's steady state is allocation-free too — for
+//!   both selectors: the greedy scratch and the bottleneck selector's
+//!   binary-search working set (thresholds, residual CSR adjacency,
+//!   Hopcroft–Karp buffers) live here and are reused run over run.
 //!
 //! When adding a new policy to the pipeline, route any per-step storage
 //! through a field here (cleared in [`ScheduleWorkspace::prepare`])
@@ -34,7 +35,7 @@
 use crate::levels::AverageCosts;
 use crate::schedule::{Replica, Schedule};
 use ftcollections::{DaryHeap, OrdF64};
-use matching::{BipartiteGraph, GreedyScratch};
+use matching::{BipartiteGraph, BottleneckScratch, GreedyScratch};
 use platform::Instance;
 use std::cmp::Reverse;
 use taskgraph::TaskId;
@@ -90,6 +91,8 @@ pub struct ScheduleWorkspace {
     pub(crate) pairs: Vec<(usize, usize)>,
     /// Greedy selector scratch.
     pub(crate) greedy: GreedyScratch,
+    /// Bottleneck selector scratch (binary search + Hopcroft–Karp).
+    pub(crate) bottleneck: BottleneckScratch,
 }
 
 impl ScheduleWorkspace {

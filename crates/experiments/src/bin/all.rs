@@ -22,7 +22,7 @@ fn main() {
         "== fig4 — ε = 2, 5 processors, {} graphs/point ==",
         cfg.repetitions
     );
-    let fig = run_figure_with_threads(&cfg, opts.threads());
+    let fig = common::run_or_exit(run_figure_with_threads(&cfg, opts.threads()));
     println!(
         "{}",
         figure_to_table(

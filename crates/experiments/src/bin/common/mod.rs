@@ -7,6 +7,7 @@
 //! `campaign::presets`, and prints the historical panels.
 
 use experiments::args::RunOptions;
+use experiments::campaign::CampaignError;
 use experiments::figures::{run_figure_with_threads, FigureConfig, FigureResult};
 use experiments::output::{figure_to_table, write_figure_csv};
 use experiments::table1::{format_table1, run_table1_with_threads, Table1Config};
@@ -14,6 +15,16 @@ use experiments::table1::{format_table1, run_table1_with_threads, Table1Config};
 /// Parses the shared experiment options from the process arguments.
 pub fn options() -> RunOptions {
     RunOptions::from_env()
+}
+
+/// Unwraps a campaign-backed driver result, exiting with a message
+/// instead of panicking (these presets are internally valid, so this
+/// only fires on a genuine regression).
+pub fn run_or_exit<T>(res: Result<T, CampaignError>) -> T {
+    res.unwrap_or_else(|e| {
+        eprintln!("experiment failed: {e}");
+        std::process::exit(1);
+    })
 }
 
 /// The figure preset configuration for `fig1`–`fig4` at the requested
@@ -46,7 +57,7 @@ pub fn run_comparison_figure(cfg: &FigureConfig, opts: &RunOptions) {
         "== {} — ε = {eps}, {} processors, {} graphs/point ==\n",
         cfg.id, cfg.procs, cfg.repetitions
     );
-    let fig = run_figure_with_threads(cfg, opts.threads());
+    let fig = run_or_exit(run_figure_with_threads(cfg, opts.threads()));
 
     println!("--- ({}a) normalized latency bounds ---", cfg.id);
     println!(
@@ -110,7 +121,7 @@ pub fn run_table1_main(opts: &RunOptions) {
     // Sequential by default: the seconds columns measure the algorithms,
     // and co-scheduled rows would contend for cores.
     let threads = opts.num_or_exit("threads", 1).max(1);
-    let rows = run_table1_with_threads(&cfg, threads);
+    let rows = run_or_exit(run_table1_with_threads(&cfg, threads));
     print!("{}", format_table1(&rows));
 }
 

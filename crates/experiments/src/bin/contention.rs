@@ -19,7 +19,12 @@ fn main() {
          {reps} graphs/point =="
     );
     println!("(penalty = one-port latency / unbounded latency, fault-free)\n");
-    let rows =
-        run_contention_with_threads(&[1, 2, 3, 5], reps, granularity, 0xC0417, opts.threads());
+    let rows = common::run_or_exit(run_contention_with_threads(
+        &[1, 2, 3, 5],
+        reps,
+        granularity,
+        0xC0417,
+        opts.threads(),
+    ));
     print!("{}", format_contention(&rows));
 }

@@ -18,7 +18,7 @@ fn main() {
         "== fig4 — ε = 2, {} processors, {} graphs/point ==\n",
         cfg.procs, cfg.repetitions
     );
-    let fig = run_figure_with_threads(&cfg, opts.threads());
+    let fig = common::run_or_exit(run_figure_with_threads(&cfg, opts.threads()));
 
     println!("--- (fig4a) normalized latency, FTSA with 0/1/2 crashes ---");
     println!(

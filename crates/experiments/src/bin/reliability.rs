@@ -15,7 +15,12 @@ fn main() {
     let procs: usize = opts.num_or_exit("procs", 10);
 
     println!("== exact schedule survival probability ({procs} processors) ==\n");
-    let rows = run_reliability(&[0, 1, 2, 4], &[0.01, 0.05, 0.1, 0.25, 0.5], procs, 0x8E11);
+    let rows = common::run_or_exit(run_reliability(
+        &[0, 1, 2, 4],
+        &[0.01, 0.05, 0.1, 0.25, 0.5],
+        procs,
+        0x8E11,
+    ));
     print!("{}", format_reliability(&rows));
     println!(
         "\nheadroom = survival beyond the guaranteed P(<=eps failures): active\n\

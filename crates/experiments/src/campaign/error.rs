@@ -1,0 +1,150 @@
+//! Typed campaign execution errors.
+//!
+//! Every failure the campaign engine (and the drivers built on it) can
+//! hit is a [`CampaignError`] value, never a panic: a spec rejected by
+//! [`super::CampaignSpec::validate`], a scheduler run failing inside a
+//! cell, a stream cell evaluated without an arrival axis, or a driver
+//! asking for a series the aggregation did not produce. A service front
+//! end (`experiments::serve`) relies on this — a worker thread must not
+//! die on user input, so `validate` rejects every spec shape that could
+//! reach the executor-level variants, which then only guard direct
+//! library callers.
+
+use ftsched_core::ScheduleError;
+use std::fmt;
+
+/// Errors raised by campaign execution and the drivers built on it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// The spec failed [`super::CampaignSpec::validate`].
+    InvalidSpec(String),
+    /// A scheduler run inside a cell failed.
+    Schedule {
+        /// The campaign id.
+        campaign: String,
+        /// Name of the algorithm that failed.
+        algorithm: &'static str,
+        /// The ε the run was attempted at.
+        epsilon: usize,
+        /// Processor count of the cell's platform point.
+        procs: usize,
+        /// The underlying scheduler error.
+        source: ScheduleError,
+    },
+    /// A streaming run inside a stream cell failed.
+    Stream {
+        /// The campaign id.
+        campaign: String,
+        /// Name of the algorithm that failed.
+        algorithm: &'static str,
+        /// The ε the run was attempted at.
+        epsilon: usize,
+        /// Processor count of the cell's platform point.
+        procs: usize,
+        /// The underlying scheduler error.
+        source: ScheduleError,
+    },
+    /// A stream cell was evaluated on a spec without an arrival axis.
+    MissingArrivals {
+        /// The campaign id.
+        campaign: String,
+    },
+    /// A driver looked up a series absent from the aggregated results
+    /// (see [`super::GroupResult::require_mean`]).
+    MissingSeries {
+        /// The series name that was requested.
+        series: String,
+        /// Workload label of the group.
+        workload: String,
+        /// Processor count of the group.
+        procs: usize,
+        /// ε of the group.
+        epsilon: usize,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::InvalidSpec(msg) => write!(f, "invalid campaign spec: {msg}"),
+            CampaignError::Schedule {
+                campaign,
+                algorithm,
+                epsilon,
+                procs,
+                source,
+            } => write!(
+                f,
+                "campaign {campaign}: {algorithm} at eps {epsilon} on {procs} procs \
+                 failed: {source}"
+            ),
+            CampaignError::Stream {
+                campaign,
+                algorithm,
+                epsilon,
+                procs,
+                source,
+            } => write!(
+                f,
+                "campaign {campaign}: stream of {algorithm} at eps {epsilon} on \
+                 {procs} procs failed: {source}"
+            ),
+            CampaignError::MissingArrivals { campaign } => write!(
+                f,
+                "campaign {campaign}: stream cell evaluated without an arrival axis"
+            ),
+            CampaignError::MissingSeries {
+                series,
+                workload,
+                procs,
+                epsilon,
+            } => write!(
+                f,
+                "series {series:?} missing from group (workload {workload}, \
+                 {procs} procs, eps {epsilon})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Schedule { source, .. } | CampaignError::Stream { source, .. } => {
+                Some(source)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CampaignError::InvalidSpec("no workloads".into());
+        assert!(e.to_string().contains("no workloads"));
+        let e = CampaignError::Schedule {
+            campaign: "fig1".into(),
+            algorithm: "FTSA",
+            epsilon: 3,
+            procs: 2,
+            source: ScheduleError::NotEnoughProcessors {
+                epsilon: 3,
+                procs: 2,
+            },
+        };
+        assert!(e.to_string().contains("fig1"));
+        assert!(e.to_string().contains("FTSA"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = CampaignError::MissingSeries {
+            series: "FTSA-LowerBound".into(),
+            workload: "layered".into(),
+            procs: 10,
+            epsilon: 1,
+        };
+        assert!(e.to_string().contains("FTSA-LowerBound"));
+    }
+}

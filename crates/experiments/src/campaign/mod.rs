@@ -64,9 +64,11 @@
 //! paper presets (`fig1`–`fig4`, `table1`, `contention`, `reliability`)
 //! reproduce the historical drivers bit for bit.
 
+mod error;
 pub mod presets;
 mod spec;
 
+pub use error::CampaignError;
 pub use spec::{
     ArrivalSpec, CampaignSpec, ForkJoinShape, LayeredRange, MeasurePlan, PlatformSpec, Seeding,
     StructuredKernel, StructuredWorkload, TaskCount, TimingCap, WorkloadSpec,
@@ -456,6 +458,10 @@ fn slot_tie_rng(spec: &CampaignSpec, seed: u64, eps: usize, slot_index: usize) -
 /// a warm `ctx` and an `out` at capacity it performs no heap allocation
 /// in the scheduler/simulator work (contention and exact-reliability
 /// measures excepted — their engines allocate internally).
+///
+/// A scheduler failure inside the cell surfaces as
+/// [`CampaignError::Schedule`]; specs that pass
+/// [`CampaignSpec::validate`] cannot reach it.
 pub fn evaluate_cell_into(
     spec: &CampaignSpec,
     plan: &CellPlan,
@@ -463,7 +469,7 @@ pub fn evaluate_cell_into(
     inst: &Instance,
     ctx: &mut CellContext,
     out: &mut Vec<(SeriesKey, f64)>,
-) {
+) -> Result<(), CampaignError> {
     let eps = spec.epsilons[coord.eps];
     let m = inst.num_procs();
     let seed = plan.cell_seed(spec, coord);
@@ -514,14 +520,18 @@ pub fn evaluate_cell_into(
             }
         };
         let secs = t0.elapsed().as_secs_f64();
-        let sched = run.unwrap_or_else(|e| {
-            panic!(
-                "campaign {}: {} at eps {run_eps} on {} procs failed: {e}",
-                spec.id,
-                slot.alg.name(),
-                m
-            )
-        });
+        let sched = match run {
+            Ok(s) => s,
+            Err(e) => {
+                return Err(CampaignError::Schedule {
+                    campaign: spec.id.clone(),
+                    algorithm: slot.alg.name(),
+                    epsilon: run_eps,
+                    procs: m,
+                    source: e,
+                })
+            }
+        };
         let lb = sched.latency_lower_bound();
         if slot.baseline {
             out.push((SeriesKey::FaultFree(slot.alg_id), lb / norm));
@@ -653,6 +663,7 @@ pub fn evaluate_cell_into(
             ));
         }
     }
+    Ok(())
 }
 
 /// Builds one stream cell's instances into `insts` (cleared first): the
@@ -691,19 +702,25 @@ fn stream_instances_from_seed(
 /// arrival instants, same failure scenario on the absolute clock), and
 /// the per-DAG outcomes aggregate into the `Stream*` series. Requires
 /// `spec.arrivals` to be `Some` (the engine dispatches here in that
-/// case); `spec.validate()` guarantees the measure plan carries no
-/// offline series.
+/// case) — [`CampaignError::MissingArrivals`] otherwise;
+/// `spec.validate()` guarantees the measure plan carries no offline
+/// series and that no stream run can fail
+/// ([`CampaignError::Stream`] guards direct callers).
 pub fn evaluate_stream_cell_into(
     spec: &CampaignSpec,
     plan: &CellPlan,
     coord: &CellCoord,
     ctx: &mut CellContext,
     out: &mut Vec<(SeriesKey, f64)>,
-) {
-    let arr = spec
-        .arrivals
-        .as_ref()
-        .expect("evaluate_stream_cell_into needs an arrival axis");
+) -> Result<(), CampaignError> {
+    let arr = match spec.arrivals.as_ref() {
+        Some(arr) => arr,
+        None => {
+            return Err(CampaignError::MissingArrivals {
+                campaign: spec.id.clone(),
+            })
+        }
+    };
     let eps = spec.epsilons[coord.eps];
     let m = spec.platforms[coord.platform].procs;
     let seed = plan.cell_seed(spec, coord);
@@ -748,7 +765,7 @@ pub fn evaluate_stream_cell_into(
             continue;
         }
         let stream_seed = replication_seed(seed, 0x71E0 + si as u64);
-        run_stream_into(
+        if let Err(e) = run_stream_into(
             insts,
             arrivals,
             eps,
@@ -758,14 +775,15 @@ pub fn evaluate_stream_cell_into(
             stream_seed,
             stream,
             outcomes,
-        )
-        .unwrap_or_else(|e| {
-            panic!(
-                "campaign {}: stream of {} at eps {eps} on {m} procs failed: {e}",
-                spec.id,
-                slot.alg.name()
-            )
-        });
+        ) {
+            return Err(CampaignError::Stream {
+                campaign: spec.id.clone(),
+                algorithm: slot.alg.name(),
+                epsilon: eps,
+                procs: m,
+                source: e,
+            });
+        }
 
         // Response / latency / wait are conditional on completion (a
         // lost DAG has no finite finish); the loss itself is reported
@@ -799,6 +817,7 @@ pub fn evaluate_stream_cell_into(
             completed as f64 / n,
         ));
     }
+    Ok(())
 }
 
 /// Crash-delivery policy for a failure model: timed scenarios fall back
@@ -903,6 +922,18 @@ impl GroupResult {
     pub fn mean(&self, name: &str) -> Option<f64> {
         self.series.iter().find(|s| s.name == name).map(|s| s.mean)
     }
+
+    /// Mean of the named series, or a typed
+    /// [`CampaignError::MissingSeries`] identifying the group — the
+    /// panic-free lookup the table/extension drivers build on.
+    pub fn require_mean(&self, name: &str) -> Result<f64, CampaignError> {
+        self.mean(name).ok_or_else(|| CampaignError::MissingSeries {
+            series: name.to_string(),
+            workload: self.workload.clone(),
+            procs: self.procs,
+            epsilon: self.epsilon,
+        })
+    }
 }
 
 /// A fully aggregated campaign.
@@ -949,45 +980,60 @@ impl Aggregator {
 
     /// Renders the per-group statistics.
     pub fn finalize(self, spec: &CampaignSpec, plan: &CellPlan) -> CampaignResult {
-        let mut groups = Vec::with_capacity(self.groups.len());
-        for (gi, series_map) in self.groups.into_iter().enumerate() {
-            let e = gi % spec.epsilons.len();
-            let rest = gi / spec.epsilons.len();
-            let p = rest % spec.platforms.len();
-            let w = rest / spec.platforms.len();
-            let eps = spec.epsilons[e];
-            let mut series: Vec<SeriesStats> = series_map
-                .into_iter()
-                .map(|(key, values)| {
-                    let mut sorted = values.clone();
-                    sorted.sort_by(f64::total_cmp);
-                    SeriesStats {
-                        name: series_name(spec, plan, eps, key),
-                        count: values.len(),
-                        mean: crate::mean(&values),
-                        stddev: crate::stddev(&values),
-                        min: sorted[0],
-                        max: sorted[sorted.len() - 1],
-                        p50: percentile(&sorted, 0.5),
-                        p90: percentile(&sorted, 0.9),
-                    }
-                })
-                .collect();
-            series.sort_by(|a, b| a.name.cmp(&b.name));
-            groups.push(GroupResult {
-                workload_index: w,
-                workload: spec.workloads[w].label(),
-                platform_index: p,
-                procs: spec.platforms[p].procs,
-                granularity: spec.platforms[p].effective_granularity().unwrap_or(0.0),
-                epsilon: eps,
-                series,
-            });
-        }
+        let groups = self
+            .groups
+            .into_iter()
+            .enumerate()
+            .map(|(gi, series_map)| finalize_group(spec, plan, gi, series_map))
+            .collect();
         CampaignResult {
             id: spec.id.clone(),
             groups,
         }
+    }
+}
+
+/// Renders one group's statistics from its raw per-series observations
+/// (in repetition order). This is [`Aggregator::finalize`]'s per-group
+/// step, extracted so the sharded `serve` path can render groups
+/// incrementally while staying byte-identical to the batch aggregation.
+pub fn finalize_group(
+    spec: &CampaignSpec,
+    plan: &CellPlan,
+    gi: usize,
+    series_map: BTreeMap<SeriesKey, Vec<f64>>,
+) -> GroupResult {
+    let e = gi % spec.epsilons.len();
+    let rest = gi / spec.epsilons.len();
+    let p = rest % spec.platforms.len();
+    let w = rest / spec.platforms.len();
+    let eps = spec.epsilons[e];
+    let mut series: Vec<SeriesStats> = series_map
+        .into_iter()
+        .map(|(key, values)| {
+            let mut sorted = values.clone();
+            sorted.sort_by(f64::total_cmp);
+            SeriesStats {
+                name: series_name(spec, plan, eps, key),
+                count: values.len(),
+                mean: crate::mean(&values),
+                stddev: crate::stddev(&values),
+                min: sorted[0],
+                max: sorted[sorted.len() - 1],
+                p50: percentile(&sorted, 0.5),
+                p90: percentile(&sorted, 0.9),
+            }
+        })
+        .collect();
+    series.sort_by(|a, b| a.name.cmp(&b.name));
+    GroupResult {
+        workload_index: w,
+        workload: spec.workloads[w].label(),
+        platform_index: p,
+        procs: spec.platforms[p].procs,
+        granularity: spec.platforms[p].effective_granularity().unwrap_or(0.0),
+        epsilon: eps,
+        series,
     }
 }
 
@@ -999,35 +1045,49 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 
 /// Runs a campaign with the default worker count
 /// ([`crate::parallel::default_threads`]).
-pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignResult, String> {
+pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignResult, CampaignError> {
     run_campaign_with_threads(spec, default_threads())
+}
+
+/// Evaluates one cell (offline or stream, per the spec's arrival axis)
+/// into `out`. The shared dispatch of the batch executor and the serve
+/// shards.
+pub fn evaluate_any_cell_into(
+    spec: &CampaignSpec,
+    plan: &CellPlan,
+    index: usize,
+    ctx: &mut CellContext,
+    out: &mut Vec<(SeriesKey, f64)>,
+) -> Result<(), CampaignError> {
+    let coord = spec.coord(index);
+    if spec.arrivals.is_some() {
+        evaluate_stream_cell_into(spec, plan, &coord, ctx, out)
+    } else {
+        let inst = instance_from_seed(spec, &coord, plan.cell_seed(spec, &coord));
+        evaluate_cell_into(spec, plan, &coord, &inst, ctx, out)
+    }
 }
 
 /// Runs a campaign with an explicit worker count. Cells fan out through
 /// [`parallel_map_with`] with one [`CellContext`] per deterministic
-/// chunk; results are bit-identical at any `threads`.
+/// chunk; results are bit-identical at any `threads`. Any cell failure
+/// (unreachable for validated specs) aborts the campaign with the first
+/// failing cell's error, in cell order.
 pub fn run_campaign_with_threads(
     spec: &CampaignSpec,
     threads: usize,
-) -> Result<CampaignResult, String> {
-    spec.validate()?;
+) -> Result<CampaignResult, CampaignError> {
+    spec.validate().map_err(CampaignError::InvalidSpec)?;
     let plan = CellPlan::new(spec);
     let n = spec.num_cells();
-    let cells: Vec<Vec<(SeriesKey, f64)>> =
+    let cells: Vec<Result<Vec<(SeriesKey, f64)>, CampaignError>> =
         parallel_map_with(n, threads, CellContext::new, |ctx, i| {
-            let coord = spec.coord(i);
             let mut out = Vec::new();
-            if spec.arrivals.is_some() {
-                evaluate_stream_cell_into(spec, &plan, &coord, ctx, &mut out);
-            } else {
-                let inst = instance_from_seed(spec, &coord, plan.cell_seed(spec, &coord));
-                evaluate_cell_into(spec, &plan, &coord, &inst, ctx, &mut out);
-            }
-            out
+            evaluate_any_cell_into(spec, &plan, i, ctx, &mut out).map(|()| out)
         });
     let mut agg = Aggregator::new(spec.num_groups());
-    for (i, cell) in cells.iter().enumerate() {
-        agg.push_cell(spec.group_index(&spec.coord(i)), cell);
+    for (i, cell) in cells.into_iter().enumerate() {
+        agg.push_cell(spec.group_index(&spec.coord(i)), &cell?);
     }
     Ok(agg.finalize(spec, &plan))
 }

@@ -193,6 +193,53 @@ impl WorkloadSpec {
     pub fn is_paper_layered(&self) -> bool {
         matches!(self, WorkloadSpec::PaperLayered(_))
     }
+
+    /// Structural validation: rejects the shapes whose generators would
+    /// panic or emit an empty DAG mid-grid (an inverted `PaperLayered`
+    /// range aborts `gen_range`; zero-task / zero-shape workloads have no
+    /// schedulable graph). Part of [`CampaignSpec::validate`].
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            WorkloadSpec::PaperLayered(r) => {
+                if r.tasks_lo == 0 {
+                    return Err(format!("workload {}: tasks_lo must be >= 1", self.label()));
+                }
+                if r.tasks_lo > r.tasks_hi {
+                    return Err(format!(
+                        "workload {}: tasks_lo {} exceeds tasks_hi {}",
+                        self.label(),
+                        r.tasks_lo,
+                        r.tasks_hi
+                    ));
+                }
+            }
+            WorkloadSpec::Layered(t) | WorkloadSpec::Erdos(t) | WorkloadSpec::SeriesParallel(t) => {
+                if t.tasks == 0 {
+                    return Err(format!(
+                        "workload {}: needs at least one task",
+                        self.label()
+                    ));
+                }
+            }
+            WorkloadSpec::ForkJoin(s) => {
+                if s.width == 0 || s.depth == 0 {
+                    return Err(format!(
+                        "workload {}: width and depth must be >= 1",
+                        self.label()
+                    ));
+                }
+            }
+            WorkloadSpec::Structured(s) => {
+                if s.size == 0 {
+                    return Err(format!(
+                        "workload {}: size parameter must be >= 1",
+                        self.label()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// One point of the platform axis.
@@ -446,9 +493,24 @@ impl CampaignSpec {
         if self.repetitions == 0 {
             return Err("campaign needs at least one repetition".into());
         }
+        for w in &self.workloads {
+            w.validate()?;
+        }
         for p in &self.platforms {
             if p.procs == 0 {
                 return Err("platform point with zero processors".into());
+            }
+            if !p.granularity.is_finite() {
+                return Err(format!("platform granularity {} invalid", p.granularity));
+            }
+            if !p.ccr.is_finite() {
+                return Err(format!("platform ccr {} invalid", p.ccr));
+            }
+            if !(p.heterogeneity.is_finite() && p.heterogeneity >= 0.0) {
+                return Err(format!(
+                    "platform heterogeneity {} invalid (must be finite and >= 0)",
+                    p.heterogeneity
+                ));
             }
             for &eps in &self.epsilons {
                 if eps + 1 > p.procs {

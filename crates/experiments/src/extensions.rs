@@ -18,7 +18,7 @@
 
 use crate::campaign::{
     presets::{spec_from_contention, spec_from_reliability},
-    run_campaign, run_campaign_with_threads,
+    run_campaign, run_campaign_with_threads, CampaignError,
 };
 use crate::parallel::default_threads;
 
@@ -46,7 +46,7 @@ pub fn run_contention(
     repetitions: usize,
     granularity: f64,
     seed: u64,
-) -> Vec<ContentionRow> {
+) -> Result<Vec<ContentionRow>, CampaignError> {
     run_contention_with_threads(epsilons, repetitions, granularity, seed, default_threads())
 }
 
@@ -58,22 +58,21 @@ pub fn run_contention_with_threads(
     granularity: f64,
     seed: u64,
     threads: usize,
-) -> Vec<ContentionRow> {
+) -> Result<Vec<ContentionRow>, CampaignError> {
     let spec = spec_from_contention(epsilons, repetitions, granularity, seed);
-    let res = run_campaign_with_threads(&spec, threads)
-        .unwrap_or_else(|e| panic!("contention spec invalid: {e}"));
+    let res = run_campaign_with_threads(&spec, threads)?;
     epsilons
         .iter()
         .enumerate()
         .map(|(ei, &eps)| {
             let g = &res.groups[ei];
-            ContentionRow {
+            Ok(ContentionRow {
                 epsilon: eps,
-                ftsa_penalty: g.mean("OnePortPenalty: FTSA").expect("measured"),
-                mc_penalty: g.mean("OnePortPenalty: MC-FTSA").expect("measured"),
-                ftsa_transfers: g.mean("Transfers: FTSA").expect("measured"),
-                mc_transfers: g.mean("Transfers: MC-FTSA").expect("measured"),
-            }
+                ftsa_penalty: g.require_mean("OnePortPenalty: FTSA")?,
+                mc_penalty: g.require_mean("OnePortPenalty: MC-FTSA")?,
+                ftsa_transfers: g.require_mean("Transfers: FTSA")?,
+                mc_transfers: g.require_mean("Transfers: MC-FTSA")?,
+            })
         })
         .collect()
 }
@@ -113,9 +112,9 @@ pub fn run_reliability(
     probabilities: &[f64],
     procs: usize,
     seed: u64,
-) -> Vec<ReliabilityRow> {
+) -> Result<Vec<ReliabilityRow>, CampaignError> {
     let spec = spec_from_reliability(epsilons, probabilities, procs, seed);
-    let res = run_campaign(&spec).unwrap_or_else(|e| panic!("reliability spec invalid: {e}"));
+    let res = run_campaign(&spec)?;
     let mut rows = Vec::new();
     for (ei, &eps) in epsilons.iter().enumerate() {
         let g = &res.groups[ei];
@@ -123,12 +122,12 @@ pub fn run_reliability(
             rows.push(ReliabilityRow {
                 epsilon: eps,
                 p,
-                survival: g.mean(&format!("P(survive) p={p}")).expect("measured"),
-                design_point: g.mean(&format!("DesignPoint p={p}")).expect("measured"),
+                survival: g.require_mean(&format!("P(survive) p={p}"))?,
+                design_point: g.require_mean(&format!("DesignPoint p={p}"))?,
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// Formats the reliability rows as an aligned table.
@@ -153,7 +152,7 @@ mod tests {
 
     #[test]
     fn contention_rows_report_mc_advantage() {
-        let rows = run_contention(&[2], 4, 0.4, 77);
+        let rows = run_contention(&[2], 4, 0.4, 77).unwrap();
         assert_eq!(rows.len(), 1);
         let r = &rows[0];
         assert!(r.mc_penalty <= r.ftsa_penalty + 1e-9);
@@ -161,15 +160,15 @@ mod tests {
         let s = format_contention(&rows);
         assert!(s.contains("penalty"));
         // The explicit worker count is honoured and thread-invariant.
-        let seq = run_contention_with_threads(&[2], 4, 0.4, 77, 1);
-        let par = run_contention_with_threads(&[2], 4, 0.4, 77, 4);
+        let seq = run_contention_with_threads(&[2], 4, 0.4, 77, 1).unwrap();
+        let par = run_contention_with_threads(&[2], 4, 0.4, 77, 4).unwrap();
         assert_eq!(seq[0].ftsa_penalty.to_bits(), par[0].ftsa_penalty.to_bits());
         assert_eq!(seq[0].ftsa_penalty.to_bits(), r.ftsa_penalty.to_bits());
     }
 
     #[test]
     fn reliability_rows_respect_theorem() {
-        let rows = run_reliability(&[0, 2], &[0.1, 0.4], 8, 5);
+        let rows = run_reliability(&[0, 2], &[0.1, 0.4], 8, 5).unwrap();
         assert_eq!(rows.len(), 4);
         for r in &rows {
             assert!(

@@ -16,7 +16,7 @@
 //! legends (`FTSA-LowerBound`, `MC-FTSA with 2 Crash`, …) so the printed
 //! tables read like the original plots.
 
-use crate::campaign::{presets::spec_from_figure, run_campaign_with_threads};
+use crate::campaign::{presets::spec_from_figure, run_campaign_with_threads, CampaignError};
 use crate::parallel::default_threads;
 use ftsched_core::Algorithm;
 use std::collections::BTreeMap;
@@ -109,17 +109,20 @@ pub struct FigureResult {
 }
 
 /// Runs a figure experiment, parallelized over all cells.
-pub fn run_figure(cfg: &FigureConfig) -> FigureResult {
+pub fn run_figure(cfg: &FigureConfig) -> Result<FigureResult, CampaignError> {
     run_figure_with_threads(cfg, default_threads())
 }
 
 /// Runs a figure experiment with an explicit worker count (tests use 1).
 /// Routes through the campaign engine; results are bit-identical at any
-/// thread count.
-pub fn run_figure_with_threads(cfg: &FigureConfig, threads: usize) -> FigureResult {
+/// thread count. An invalid config surfaces as the underlying
+/// [`CampaignError`] instead of aborting the process.
+pub fn run_figure_with_threads(
+    cfg: &FigureConfig,
+    threads: usize,
+) -> Result<FigureResult, CampaignError> {
     let spec = spec_from_figure(cfg);
-    let res = run_campaign_with_threads(&spec, threads)
-        .unwrap_or_else(|e| panic!("figure {} spec invalid: {e}", cfg.id));
+    let res = run_campaign_with_threads(&spec, threads)?;
     // One workload, one ε: groups are exactly the granularity points, in
     // sweep order.
     let points = res
@@ -131,10 +134,10 @@ pub fn run_figure_with_threads(cfg: &FigureConfig, threads: usize) -> FigureResu
             series: group.series.into_iter().map(|s| (s.name, s.mean)).collect(),
         })
         .collect();
-    FigureResult {
+    Ok(FigureResult {
         id: cfg.id.clone(),
         points,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -151,7 +154,7 @@ mod tests {
 
     #[test]
     fn figure_run_produces_all_series() {
-        let res = run_figure_with_threads(&tiny_config(), 2);
+        let res = run_figure_with_threads(&tiny_config(), 2).unwrap();
         assert_eq!(res.points.len(), 2);
         for p in &res.points {
             for key in [
@@ -176,7 +179,7 @@ mod tests {
 
     #[test]
     fn bounds_are_ordered_in_aggregates() {
-        let res = run_figure_with_threads(&tiny_config(), 2);
+        let res = run_figure_with_threads(&tiny_config(), 2).unwrap();
         for p in &res.points {
             assert!(p.series["FTSA-LowerBound"] <= p.series["FTSA-UpperBound"] + 1e-9);
             assert!(p.series["MC-FTSA-LowerBound"] <= p.series["MC-FTSA-UpperBound"] + 1e-9);
@@ -195,13 +198,13 @@ mod tests {
             repetitions: 5,
             ..FigureConfig::comparison("figshape", 1, 5)
         };
-        let res = run_figure_with_threads(&cfg, 2);
+        let res = run_figure_with_threads(&cfg, 2).unwrap();
         assert!(res.points[1].series["FTSA-LowerBound"] > res.points[0].series["FTSA-LowerBound"]);
     }
 
     #[test]
     fn mc_ftsa_ships_fewer_messages() {
-        let res = run_figure_with_threads(&tiny_config(), 2);
+        let res = run_figure_with_threads(&tiny_config(), 2).unwrap();
         for p in &res.points {
             assert!(p.series["Messages: MC-FTSA"] <= p.series["Messages: FTSA"] + 1e-9);
         }
@@ -214,7 +217,7 @@ mod tests {
             repetitions: 2,
             ..FigureConfig::small_platform(2)
         };
-        let res = run_figure_with_threads(&cfg, 1);
+        let res = run_figure_with_threads(&cfg, 1).unwrap();
         let p = &res.points[0];
         assert!(p.series.contains_key("FTSA with 2 Crash"));
         assert!(p.series.contains_key("FTSA with 1 Crash"));
@@ -232,8 +235,8 @@ mod tests {
             Algorithm::FtbarMatched,
             Algorithm::Ftsa,
         ];
-        let a = run_figure_with_threads(&base, 2);
-        let b = run_figure_with_threads(&ext, 2);
+        let a = run_figure_with_threads(&base, 2).unwrap();
+        let b = run_figure_with_threads(&ext, 2).unwrap();
         for (pa, pb) in a.points.iter().zip(&b.points) {
             // The paper series are bit-identical with or without extras.
             for (k, v) in &pa.series {
@@ -255,8 +258,8 @@ mod tests {
     #[test]
     fn deterministic_across_thread_counts() {
         let cfg = tiny_config();
-        let a = run_figure_with_threads(&cfg, 1);
-        let b = run_figure_with_threads(&cfg, 4);
+        let a = run_figure_with_threads(&cfg, 1).unwrap();
+        let b = run_figure_with_threads(&cfg, 4).unwrap();
         for (pa, pb) in a.points.iter().zip(&b.points) {
             assert_eq!(pa.series, pb.series);
         }

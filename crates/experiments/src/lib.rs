@@ -25,6 +25,10 @@
 //!   shim's pool ([`parallel::parallel_map`] and the stateful
 //!   [`parallel::parallel_map_with`]); `FTSCHED_THREADS` pins the worker
 //!   count, results are bit-identical at any thread count.
+//! * [`serve`] — the streaming campaign service behind `ftsched serve`:
+//!   a hand-rolled HTTP/1.1 gateway accepting `CampaignSpec` JSON,
+//!   sharding groups across workers and chunk-streaming statistics as
+//!   shards complete, byte-identical to the CLI's file emission.
 //! * [`output`] — CSV/JSON emission and ASCII plotting.
 //! * [`args`] — the one `--key value` argument scanner shared by the
 //!   CLI and the experiment binaries.
@@ -46,6 +50,7 @@ pub mod extensions;
 pub mod figures;
 pub mod output;
 pub mod parallel;
+pub mod serve;
 pub mod table1;
 
 /// Default granularity sweep of the paper: 0.2, 0.4, …, 2.0.

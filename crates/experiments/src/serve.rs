@@ -1,0 +1,609 @@
+//! `ftsched serve` — a sharded streaming campaign service over raw
+//! `std::net`.
+//!
+//! # Wire protocol
+//!
+//! Hand-rolled HTTP/1.1, one request per connection (`Connection:
+//! close` on every response; the build environment has no HTTP
+//! dependency and needs none):
+//!
+//! * `GET /healthz` → `200 ok` — liveness probe.
+//! * `POST /campaigns` with a [`CampaignSpec`] JSON body → `200` with
+//!   `Transfer-Encoding: chunked` and `Content-Type: application/json`.
+//!   The de-chunked body is **byte-identical** to the file the CLI
+//!   writes for the same spec (`ftsched campaign … --out DIR` →
+//!   `<id>.campaign.json`), so `cmp` between the two always passes.
+//! * Malformed requests never reach a worker: a body that is not valid
+//!   JSON, does not decode as a spec, or fails
+//!   [`CampaignSpec::validate`] is a `400`; a missing `Content-Length`
+//!   is a `411`; a body over [`ServeConfig::max_body`] is a `413`;
+//!   unknown paths are `404`, unsupported methods `405`. The hardened
+//!   validator makes the executor's [`CampaignError`] paths
+//!   structurally unreachable from the wire.
+//!
+//! Each streamed chunk carries a `;seq=<n>` chunk extension with a
+//! strictly increasing sequence number from 0 — standard de-chunkers
+//! (curl included) ignore extensions, while protocol tests can assert
+//! gapless ordering.
+//!
+//! # Sharding and determinism
+//!
+//! A run shards the campaign's **group index range** across
+//! [`ServeConfig::threads`] workers: shard *i* is group *i*, covering
+//! the row-major cell range `[i·reps, (i+1)·reps)`. Workers pull group
+//! indices from a shared atomic cursor and evaluate cells through the
+//! same [`evaluate_any_cell_into`] dispatch and indexed per-cell seeds
+//! as the batch executor, then render each group with
+//! [`finalize_group`] — each group's bytes are a pure function of
+//! `(spec, group index)`, so responses are **byte-reproducible at any
+//! shard or thread count**. The coordinator re-orders out-of-order
+//! completions and flushes groups strictly in index order.
+//!
+//! # Idempotency
+//!
+//! Specs are keyed by a content hash (FNV-1a of the canonical spec
+//! JSON, re-serialized after parse + validate so formatting differences
+//! collapse). Resubmitting a spec returns the existing run: the first
+//! submission answers `X-Campaign-Run: new` and computes; concurrent or
+//! later duplicates answer `X-Campaign-Run: existing` and replay the
+//! stored bytes. Retries never re-execute or alter an outcome.
+//!
+//! # Backpressure and failure policy
+//!
+//! The gateway follows the waiver-exchange queue discipline: ingress is
+//! a **non-blocking** bounded handoff (`try_send`; a full queue is an
+//! immediate `503`, the acceptor never blocks), and the per-run result
+//! sink is **lossless** — group results are never dropped. If a cell
+//! somehow fails mid-run (unreachable for validated specs), the run
+//! halts loudly: the error is logged, the chunked stream is cut without
+//! its terminating chunk (clients see a transfer error, never silently
+//! truncated data), the run slot is marked failed — and the server
+//! itself stays alive.
+
+use crate::campaign::{
+    evaluate_any_cell_into, finalize_group, CampaignError, CampaignSpec, CellContext, CellPlan,
+    SeriesKey,
+};
+use crate::parallel::default_threads;
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+/// Tuning knobs of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Shard workers per campaign run (`0` resolves like the CLI:
+    /// `FTSCHED_THREADS` or the available parallelism).
+    pub threads: usize,
+    /// Depth of the bounded ingress queue; a connection arriving while
+    /// it is full is answered `503` without blocking the acceptor.
+    pub queue: usize,
+    /// Connection-handler threads (concurrent in-flight requests).
+    pub handlers: usize,
+    /// Request body cap in bytes (`413` above it).
+    pub max_body: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: 0,
+            queue: 32,
+            handlers: 4,
+            max_body: 1 << 20,
+        }
+    }
+}
+
+/// One registered campaign run, keyed by spec content hash.
+#[derive(Debug)]
+struct RunSlot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+enum SlotState {
+    /// The first submitter is computing and streaming.
+    Running,
+    /// Finished: the exact response body, replayed to duplicates.
+    Done(Arc<String>),
+    /// Halted loudly; duplicates get a `500` with the message.
+    Failed(String),
+}
+
+#[derive(Default)]
+struct Registry {
+    runs: Mutex<HashMap<u64, Arc<RunSlot>>>,
+}
+
+/// FNV-1a over the canonical spec JSON: the idempotency key.
+fn content_hash(canonical_json: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in canonical_json.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// --- incremental rendering --------------------------------------------
+//
+// The streamed body re-creates `output::campaign_to_json` piecewise:
+// a prefix with the id and the opening of the `groups` array, one
+// re-indented pretty-printed group per chunk, and a closing suffix.
+// `render_pinned_to_batch_json` pins the equivalence byte-for-byte.
+
+fn render_prefix(id: &str) -> String {
+    let id_json = serde_json::to_string(&id).expect("strings always serialize");
+    format!("{{\n  \"id\": {id_json},\n  \"groups\": [\n")
+}
+
+const RENDER_SUFFIX: &str = "\n  ]\n}";
+
+/// Pretty-prints one group at the nesting depth it has inside the
+/// campaign document (two levels → four spaces).
+fn render_group(group: &crate::campaign::GroupResult) -> String {
+    let flat = serde_json::to_string_pretty(group).expect("groups always serialize");
+    let mut out = String::with_capacity(flat.len() + 64);
+    for (i, line) in flat.lines().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str("    ");
+        out.push_str(line);
+    }
+    out
+}
+
+/// Evaluates one group (its full repetition range) and renders it.
+/// A pure function of `(spec, plan, group index)` — the sharding
+/// invariant rests on exactly this.
+fn evaluate_group(
+    spec: &CampaignSpec,
+    plan: &CellPlan,
+    gi: usize,
+    ctx: &mut CellContext,
+) -> Result<String, CampaignError> {
+    let reps = spec.repetitions;
+    let mut series: BTreeMap<SeriesKey, Vec<f64>> = BTreeMap::new();
+    let mut out = Vec::new();
+    for rep in 0..reps {
+        out.clear();
+        evaluate_any_cell_into(spec, plan, gi * reps + rep, ctx, &mut out)?;
+        for &(key, value) in &out {
+            series.entry(key).or_default().push(value);
+        }
+    }
+    Ok(render_group(&finalize_group(spec, plan, gi, series)))
+}
+
+// --- HTTP plumbing -----------------------------------------------------
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn write_error(stream: &mut TcpStream, status: &str, message: &str) -> io::Result<()> {
+    let body = format!(
+        "{{\n  \"error\": {}\n}}",
+        serde_json::to_string(&message).expect("strings always serialize")
+    );
+    write_response(stream, status, &[], &body)
+}
+
+/// One chunk of a chunked response, tagged with its sequence number as
+/// a chunk extension (`<size-hex>;seq=<n>`). De-chunkers ignore the
+/// extension; protocol tests assert the numbers are gapless from 0.
+fn write_chunk(stream: &mut TcpStream, seq: u64, data: &str) -> io::Result<()> {
+    write!(stream, "{:x};seq={}\r\n", data.len(), seq)?;
+    stream.write_all(data.as_bytes())?;
+    stream.write_all(b"\r\n")
+}
+
+fn write_last_chunk(stream: &mut TcpStream) -> io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
+struct Request {
+    method: String,
+    path: String,
+    content_length: Option<usize>,
+    expect_continue: bool,
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Request> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    let mut content_length = None;
+    let mut expect_continue = false;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse::<usize>().ok();
+            } else if name.eq_ignore_ascii_case("expect")
+                && value.eq_ignore_ascii_case("100-continue")
+            {
+                expect_continue = true;
+            }
+        }
+    }
+    Ok(Request {
+        method,
+        path,
+        content_length,
+        expect_continue,
+    })
+}
+
+/// The streaming campaign server. Bind, then [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    config: ServeConfig,
+    registry: Arc<Registry>,
+}
+
+impl Server {
+    /// Binds the listener (`127.0.0.1:0` picks an ephemeral port for
+    /// tests; read it back with [`Server::local_addr`]).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            config,
+            registry: Arc::new(Registry::default()),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept loop: never returns under normal operation. Accepted
+    /// connections are handed to the bounded ingress queue
+    /// non-blockingly; handler threads drain it.
+    pub fn run(self) -> io::Result<()> {
+        let threads = if self.config.threads == 0 {
+            default_threads()
+        } else {
+            self.config.threads
+        };
+        let (tx, rx) = sync_channel::<TcpStream>(self.config.queue.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        for _ in 0..self.config.handlers.max(1) {
+            let rx = Arc::clone(&rx);
+            let registry = Arc::clone(&self.registry);
+            let max_body = self.config.max_body;
+            thread::spawn(move || loop {
+                let next = rx.lock().expect("ingress lock").recv();
+                match next {
+                    Ok(stream) => handle_connection(stream, &registry, threads, max_body),
+                    Err(_) => return,
+                }
+            });
+        }
+        for conn in self.listener.incoming() {
+            let stream = conn?;
+            match tx.try_send(stream) {
+                Ok(()) => {}
+                Err(TrySendError::Full(mut stream)) => {
+                    // Non-blocking ingress: shed load immediately.
+                    let _ = write_error(
+                        &mut stream,
+                        "503 Service Unavailable",
+                        "campaign queue full, retry later",
+                    );
+                }
+                Err(TrySendError::Disconnected(_)) => return Ok(()),
+            }
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(stream: TcpStream, registry: &Registry, threads: usize, max_body: usize) {
+    let peer = stream.peer_addr().ok();
+    if let Err(e) = try_handle(stream, registry, threads, max_body) {
+        // An I/O failure on one connection (client hung up mid-stream,
+        // …) must never take the server down.
+        eprintln!("serve: connection {peer:?} dropped: {e}");
+    }
+}
+
+fn try_handle(
+    stream: TcpStream,
+    registry: &Registry,
+    threads: usize,
+    max_body: usize,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut stream = stream;
+    let req = read_request(&mut reader)?;
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => write_response(&mut stream, "200 OK", &[], "ok\n"),
+        ("POST", "/campaigns") => {
+            let Some(len) = req.content_length else {
+                return write_error(
+                    &mut stream,
+                    "411 Length Required",
+                    "POST /campaigns needs a Content-Length",
+                );
+            };
+            if len > max_body {
+                return write_error(
+                    &mut stream,
+                    "413 Content Too Large",
+                    "campaign spec exceeds the body limit",
+                );
+            }
+            if req.expect_continue {
+                stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+                stream.flush()?;
+            }
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body)?;
+            let body = match String::from_utf8(body) {
+                Ok(s) => s,
+                Err(_) => return write_error(&mut stream, "400 Bad Request", "body is not UTF-8"),
+            };
+            handle_submission(&mut stream, registry, threads, &body)
+        }
+        ("GET" | "POST", _) => write_error(&mut stream, "404 Not Found", "no such resource"),
+        _ => write_error(&mut stream, "405 Method Not Allowed", "unsupported method"),
+    }
+}
+
+fn handle_submission(
+    stream: &mut TcpStream,
+    registry: &Registry,
+    threads: usize,
+    body: &str,
+) -> io::Result<()> {
+    // Every request passes the hardened validator before it can touch a
+    // worker: executor error paths are unreachable from the wire.
+    let spec = match CampaignSpec::from_json(body) {
+        Ok(spec) => spec,
+        Err(e) => return write_error(stream, "400 Bad Request", &format!("invalid spec: {e}")),
+    };
+    if let Err(e) = spec.validate() {
+        return write_error(stream, "400 Bad Request", &format!("invalid spec: {e}"));
+    }
+    let canonical = spec.to_json().expect("validated specs always re-serialize");
+    let key = content_hash(&canonical);
+
+    // Idempotency-key reservation: exactly one submitter computes.
+    let (slot, is_new) = {
+        let mut runs = registry.runs.lock().expect("registry lock");
+        match runs.get(&key) {
+            Some(slot) => (Arc::clone(slot), false),
+            None => {
+                let slot = Arc::new(RunSlot {
+                    state: Mutex::new(SlotState::Running),
+                    ready: Condvar::new(),
+                });
+                runs.insert(key, Arc::clone(&slot));
+                (slot, true)
+            }
+        }
+    };
+
+    if !is_new {
+        // Wait for the computing submitter, then replay its bytes.
+        let mut state = slot.state.lock().expect("slot lock");
+        while matches!(*state, SlotState::Running) {
+            state = slot.ready.wait(state).expect("slot lock");
+        }
+        return match &*state {
+            SlotState::Done(body) => {
+                let body = Arc::clone(body);
+                drop(state);
+                stream.write_all(
+                    b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+                      Transfer-Encoding: chunked\r\nX-Campaign-Run: existing\r\n\
+                      Connection: close\r\n\r\n",
+                )?;
+                write_chunk(stream, 0, &body)?;
+                write_last_chunk(stream)
+            }
+            SlotState::Failed(msg) => {
+                let msg = msg.clone();
+                drop(state);
+                write_error(stream, "500 Internal Server Error", &msg)
+            }
+            SlotState::Running => unreachable!("loop exits only on a settled state"),
+        };
+    }
+
+    let outcome = stream_new_run(stream, &spec, threads);
+    let mut state = slot.state.lock().expect("slot lock");
+    match &outcome {
+        Ok(body) => *state = SlotState::Done(Arc::new(body.clone())),
+        Err(StreamError::Campaign(e)) => {
+            // Lossless sink, halting loudly: the failure is recorded and
+            // reported, nothing is silently dropped, the server lives on.
+            eprintln!("serve: campaign {} halted: {e}", spec.id);
+            *state = SlotState::Failed(format!("campaign halted: {e}"));
+        }
+        Err(StreamError::Io(e)) => {
+            // The run itself did not fail — the client went away. Drop
+            // the reservation so a retry can compute.
+            drop(state);
+            registry.runs.lock().expect("registry lock").remove(&key);
+            slot.ready.notify_all();
+            return Err(io::Error::new(e.kind(), e.to_string()));
+        }
+    }
+    drop(state);
+    slot.ready.notify_all();
+    match outcome {
+        Err(StreamError::Campaign(_)) => Ok(()), // already reported; stream was cut
+        _ => Ok(()),
+    }
+}
+
+enum StreamError {
+    Io(io::Error),
+    Campaign(CampaignError),
+}
+
+impl From<io::Error> for StreamError {
+    fn from(e: io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+/// Shards the group range across workers and streams groups in index
+/// order as they complete. Returns the full body (for the idempotency
+/// replay) on success.
+fn stream_new_run(
+    stream: &mut TcpStream,
+    spec: &CampaignSpec,
+    threads: usize,
+) -> Result<String, StreamError> {
+    let plan = CellPlan::new(spec);
+    let groups = spec.num_groups();
+    let threads = threads.max(1).min(groups.max(1));
+
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+          Transfer-Encoding: chunked\r\nX-Campaign-Run: new\r\n\
+          Connection: close\r\n\r\n",
+    )?;
+
+    let mut full = render_prefix(&spec.id);
+    let mut seq = 0u64;
+    write_chunk(stream, seq, &full)?;
+    seq += 1;
+
+    let cursor = AtomicUsize::new(0);
+    let result: Result<(), StreamError> = thread::scope(|scope| {
+        // Lossless result sink: the channel holds every group, no
+        // try_send, no drops (ingress is where load is shed).
+        let (tx, rx) = sync_channel::<(usize, Result<String, CampaignError>)>(groups.max(1));
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let plan = &plan;
+            scope.spawn(move || {
+                let mut ctx = CellContext::new();
+                loop {
+                    let gi = cursor.fetch_add(1, Ordering::Relaxed);
+                    if gi >= groups {
+                        return;
+                    }
+                    let rendered = evaluate_group(spec, plan, gi, &mut ctx);
+                    let halted = rendered.is_err();
+                    if tx.send((gi, rendered)).is_err() || halted {
+                        return; // coordinator gone or run halting
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        // Coordinator: re-order completions, flush strictly in group
+        // index order, one chunk per group.
+        let mut pending: BTreeMap<usize, String> = BTreeMap::new();
+        let mut next_flush = 0usize;
+        for (gi, rendered) in rx {
+            pending.insert(gi, rendered.map_err(StreamError::Campaign)?);
+            while let Some(body) = pending.remove(&next_flush) {
+                let piece = if next_flush == 0 {
+                    body
+                } else {
+                    format!(",\n{body}")
+                };
+                write_chunk(stream, seq, &piece)?;
+                seq += 1;
+                full.push_str(&piece);
+                next_flush += 1;
+            }
+        }
+        Ok(())
+    });
+    result?;
+
+    write_chunk(stream, seq, RENDER_SUFFIX)?;
+    write_last_chunk(stream)?;
+    full.push_str(RENDER_SUFFIX);
+    Ok(full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{presets, run_campaign_with_threads};
+    use crate::output::campaign_to_json;
+
+    /// The incremental renderer must be byte-identical to the batch
+    /// emission — this is the contract the CI `cmp` step and the serve
+    /// loopback tests build on.
+    #[test]
+    fn render_pinned_to_batch_json() {
+        let spec = presets::preset("ci-smoke", Some(2)).expect("preset");
+        let res = run_campaign_with_threads(&spec, 2).expect("valid spec");
+        let batch = campaign_to_json(&res);
+
+        let mut incremental = render_prefix(&spec.id);
+        let plan = CellPlan::new(&spec);
+        let mut ctx = CellContext::new();
+        for gi in 0..spec.num_groups() {
+            if gi > 0 {
+                incremental.push_str(",\n");
+            }
+            incremental.push_str(&evaluate_group(&spec, &plan, gi, &mut ctx).expect("valid spec"));
+        }
+        incremental.push_str(RENDER_SUFFIX);
+        assert_eq!(incremental, batch);
+    }
+
+    #[test]
+    fn content_hash_collapses_formatting_not_content() {
+        let a = presets::preset("ci-smoke", Some(2)).expect("preset");
+        let mut b = a.clone();
+        assert_eq!(
+            content_hash(&a.to_json().unwrap()),
+            content_hash(&b.to_json().unwrap())
+        );
+        b.seed ^= 1;
+        assert_ne!(
+            content_hash(&a.to_json().unwrap()),
+            content_hash(&b.to_json().unwrap())
+        );
+    }
+}

@@ -15,7 +15,9 @@
 //! by `tests/campaign_parity.rs`; the seconds columns measure the
 //! machine and are not pinned.
 
-use crate::campaign::{presets::spec_from_table1, run_campaign_with_threads, CampaignResult};
+use crate::campaign::{
+    presets::spec_from_table1, run_campaign_with_threads, CampaignError, CampaignResult,
+};
 use ftsched_core::Algorithm;
 
 /// Configuration of the timing experiment.
@@ -91,7 +93,7 @@ pub struct Table1Row {
 
 /// Runs the timing experiment sequentially (one row at a time), keeping
 /// the wall-clock columns free of co-scheduling noise.
-pub fn run_table1(cfg: &Table1Config) -> Vec<Table1Row> {
+pub fn run_table1(cfg: &Table1Config) -> Result<Vec<Table1Row>, CampaignError> {
     run_table1_with_threads(cfg, 1)
 }
 
@@ -101,14 +103,19 @@ pub fn run_table1(cfg: &Table1Config) -> Vec<Table1Row> {
 /// algorithms that now run concurrently, so absolute timings are only
 /// comparable within a run at the same thread count (the scaling
 /// *shape* — Table 1's claim — is preserved).
-pub fn run_table1_with_threads(cfg: &Table1Config, threads: usize) -> Vec<Table1Row> {
+pub fn run_table1_with_threads(
+    cfg: &Table1Config,
+    threads: usize,
+) -> Result<Vec<Table1Row>, CampaignError> {
     let spec = spec_from_table1(cfg);
-    let res = run_campaign_with_threads(&spec, threads)
-        .unwrap_or_else(|e| panic!("table1 spec invalid: {e}"));
+    let res = run_campaign_with_threads(&spec, threads)?;
     rows_from_campaign(cfg, &res)
 }
 
-fn rows_from_campaign(cfg: &Table1Config, res: &CampaignResult) -> Vec<Table1Row> {
+fn rows_from_campaign(
+    cfg: &Table1Config,
+    res: &CampaignResult,
+) -> Result<Vec<Table1Row>, CampaignError> {
     cfg.sizes
         .iter()
         .enumerate()
@@ -122,16 +129,18 @@ fn rows_from_campaign(cfg: &Table1Config, res: &CampaignResult) -> Vec<Table1Row
                 .iter()
                 .filter_map(|&alg| Some((alg.name().to_string(), secs(alg)?, latency(alg)?)))
                 .collect();
-            Table1Row {
+            Ok(Table1Row {
                 tasks: v,
-                ftsa_secs: secs(Algorithm::Ftsa).expect("FTSA always timed"),
-                mc_ftsa_secs: secs(Algorithm::McFtsaGreedy).expect("MC-FTSA always timed"),
+                ftsa_secs: g.require_mean(&format!("Seconds: {}", Algorithm::Ftsa.name()))?,
+                mc_ftsa_secs: g
+                    .require_mean(&format!("Seconds: {}", Algorithm::McFtsaGreedy.name()))?,
                 ftbar_secs: secs(Algorithm::Ftbar),
-                ftsa_latency: latency(Algorithm::Ftsa).expect("FTSA always measured"),
-                mc_ftsa_latency: latency(Algorithm::McFtsaGreedy).expect("MC-FTSA measured"),
+                ftsa_latency: g.require_mean(&format!("{}-LowerBound", Algorithm::Ftsa.name()))?,
+                mc_ftsa_latency: g
+                    .require_mean(&format!("{}-LowerBound", Algorithm::McFtsaGreedy.name()))?,
                 ftbar_latency: latency(Algorithm::Ftbar),
                 extra,
-            }
+            })
         })
         .collect()
 }
@@ -177,7 +186,7 @@ mod tests {
             extra_algorithms: vec![],
             seed: 1,
         };
-        let rows = run_table1(&cfg);
+        let rows = run_table1(&cfg).unwrap();
         assert_eq!(rows.len(), 2);
         for r in &rows {
             assert!(r.ftsa_secs >= 0.0);
@@ -204,7 +213,7 @@ mod tests {
             extra_algorithms: vec![],
             seed: 2,
         };
-        let rows = run_table1(&cfg);
+        let rows = run_table1(&cfg).unwrap();
         assert!(rows[0].ftbar_secs.is_none());
         assert!(rows[0].ftbar_latency.is_none());
         let s = format_table1(&rows);
@@ -238,7 +247,7 @@ mod tests {
             extra_algorithms: vec![Algorithm::FtsaPressure, Algorithm::FtbarMatched],
             seed: 9,
         };
-        let rows = run_table1(&cfg);
+        let rows = run_table1(&cfg).unwrap();
         assert_eq!(rows[0].extra.len(), 2);
         assert_eq!(rows[0].extra[0].0, "P-FTSA");
         assert_eq!(rows[0].extra[1].0, "MC-FTBAR");
@@ -259,8 +268,8 @@ mod tests {
             extra_algorithms: vec![],
             seed: 3,
         };
-        let seq = run_table1_with_threads(&cfg, 1);
-        let par = run_table1_with_threads(&cfg, 4);
+        let seq = run_table1_with_threads(&cfg, 1).unwrap();
+        let par = run_table1_with_threads(&cfg, 4).unwrap();
         for (a, b) in seq.iter().zip(&par) {
             assert_eq!(a.tasks, b.tasks);
             assert_eq!(a.ftsa_latency.to_bits(), b.ftsa_latency.to_bits());

@@ -346,7 +346,7 @@ mod frozen {
 
 fn assert_figure_matches_frozen(cfg: &FigureConfig) {
     let reference = frozen::run_figure(cfg);
-    let campaign = run_figure_with_threads(cfg, 2);
+    let campaign = run_figure_with_threads(cfg, 2).unwrap();
     assert_eq!(campaign.points.len(), reference.len());
     for (point, (g, series)) in campaign.points.iter().zip(reference.iter()) {
         assert!((point.granularity - g).abs() < 1e-12);
@@ -431,7 +431,7 @@ fn table1_preset_matches_frozen_latency_columns() {
         ],
         seed: 0x7AB1E1,
     };
-    let rows = run_table1_with_threads(&cfg, 1);
+    let rows = run_table1_with_threads(&cfg, 1).unwrap();
     assert_eq!(rows.len(), cfg.sizes.len());
     for (row, &v) in rows.iter().zip(&cfg.sizes) {
         let reference = frozen::run_table1_row(&cfg, v);
@@ -468,7 +468,7 @@ fn table1_preset_matches_frozen_latency_columns() {
 #[test]
 fn contention_preset_matches_frozen_driver() {
     let epsilons = [1usize, 2];
-    let rows = experiments::extensions::run_contention(&epsilons, 3, 0.4, 0xC0417);
+    let rows = experiments::extensions::run_contention(&epsilons, 3, 0.4, 0xC0417).unwrap();
     let reference = frozen::run_contention(&epsilons, 3, 0.4, 0xC0417);
     assert_eq!(rows.len(), reference.len());
     for (row, rf) in rows.iter().zip(&reference) {
@@ -482,7 +482,7 @@ fn contention_preset_matches_frozen_driver() {
 
 #[test]
 fn reliability_preset_matches_frozen_driver() {
-    let rows = experiments::extensions::run_reliability(&[0, 2], &[0.1, 0.4], 8, 0x8E11);
+    let rows = experiments::extensions::run_reliability(&[0, 2], &[0.1, 0.4], 8, 0x8E11).unwrap();
     let reference = frozen::run_reliability(&[0, 2], &[0.1, 0.4], 8, 0x8E11);
     assert_eq!(rows.len(), reference.len());
     for (row, rf) in rows.iter().zip(&reference) {

@@ -15,8 +15,23 @@
 //! they dominate.
 
 use crate::bipartite::BipartiteGraph;
-use crate::hopcroft_karp::maximum_matching_with_adjacency;
+use crate::hopcroft_karp::{maximum_matching_csr_into, HopcroftKarpScratch};
 use crate::Matching;
+
+/// Reusable buffers for [`bottleneck_matching_into`]: the fixed-endpoint
+/// marks, the sorted threshold candidates, the flat CSR adjacency of the
+/// `≤ T` residual subgraph, and the Hopcroft–Karp working set.
+#[derive(Debug, Clone, Default)]
+pub struct BottleneckScratch {
+    left_fixed: Vec<bool>,
+    right_fixed: Vec<bool>,
+    free_left: Vec<usize>,
+    weights: Vec<f64>,
+    adj_off: Vec<usize>,
+    adj_cursor: Vec<usize>,
+    adj_edges: Vec<usize>,
+    hk: HopcroftKarpScratch,
+}
 
 /// Finds a left-perfect matching minimizing the maximum selected edge
 /// weight, subject to `forced` pairs being selected. Returns `None` when no
@@ -36,87 +51,152 @@ use crate::Matching;
 /// assert_eq!(m.bottleneck, 3.0); // {0-0, 1-1} beats {0-1, 1-0}
 /// ```
 pub fn bottleneck_matching(g: &BipartiteGraph, forced: &[(usize, usize)]) -> Option<Matching> {
+    let mut scratch = BottleneckScratch::default();
+    let mut pairs = Vec::with_capacity(g.n_left());
+    if bottleneck_matching_into(g, forced, &mut scratch, &mut pairs) {
+        Some(Matching::from_pairs(g, pairs))
+    } else {
+        None
+    }
+}
+
+/// Rebuilds the `≤ threshold` residual CSR adjacency and reports whether a
+/// maximum matching on it saturates every free left node. Edge indices stay
+/// in ascending order per left node — the same per-node order the previous
+/// nested-`Vec` construction produced, so the Hopcroft–Karp traversal (and
+/// therefore the selected matching) is unchanged.
+#[allow(clippy::too_many_arguments)]
+fn feasible(
+    g: &BipartiteGraph,
+    threshold: f64,
+    left_fixed: &[bool],
+    right_fixed: &[bool],
+    free_left: &[usize],
+    adj_off: &mut Vec<usize>,
+    adj_cursor: &mut Vec<usize>,
+    adj_edges: &mut Vec<usize>,
+    hk: &mut HopcroftKarpScratch,
+) -> bool {
     let n_left = g.n_left();
+    adj_off.clear();
+    adj_off.resize(n_left + 1, 0);
+    for e in g.edges() {
+        if e.weight <= threshold && !left_fixed[e.left] && !right_fixed[e.right] {
+            adj_off[e.left + 1] += 1;
+        }
+    }
+    for l in 0..n_left {
+        adj_off[l + 1] += adj_off[l];
+    }
+    adj_cursor.clear();
+    adj_cursor.extend_from_slice(&adj_off[..n_left]);
+    adj_edges.clear();
+    adj_edges.resize(adj_off[n_left], 0);
+    for (i, e) in g.edges().iter().enumerate() {
+        if e.weight <= threshold && !left_fixed[e.left] && !right_fixed[e.right] {
+            adj_edges[adj_cursor[e.left]] = i;
+            adj_cursor[e.left] += 1;
+        }
+    }
+    maximum_matching_csr_into(g, adj_off, adj_edges, hk);
+    free_left.iter().all(|&l| hk.match_left[l] != usize::MAX)
+}
+
+/// [`bottleneck_matching`] writing the selected pairs into a caller-provided
+/// buffer — the zero-allocation form used by the scheduler's matched
+/// placement. `pairs` is cleared first and, on success (`true`), holds the
+/// forced pairs followed by the optimal free assignment in `free_left`
+/// order — exactly the pair sequence [`bottleneck_matching`] records. On
+/// failure (`false`) `pairs` holds only the forced pairs.
+pub fn bottleneck_matching_into(
+    g: &BipartiteGraph,
+    forced: &[(usize, usize)],
+    scratch: &mut BottleneckScratch,
+    pairs: &mut Vec<(usize, usize)>,
+) -> bool {
+    let n_left = g.n_left();
+    pairs.clear();
 
     // Validate forced pairs and mark their endpoints as excluded from the
     // search; the search runs on the residual graph.
-    let mut left_fixed = vec![false; n_left];
-    let mut right_fixed = vec![false; g.n_right()];
-    let mut forced_bottleneck = f64::NEG_INFINITY;
+    let left_fixed = &mut scratch.left_fixed;
+    let right_fixed = &mut scratch.right_fixed;
+    left_fixed.clear();
+    left_fixed.resize(n_left, false);
+    right_fixed.clear();
+    right_fixed.resize(g.n_right(), false);
     for &(l, r) in forced {
-        let w = g
-            .weight(l, r)
-            .unwrap_or_else(|| panic!("forced pair ({l}, {r}) is not an edge"));
+        assert!(
+            g.weight(l, r).is_some(),
+            "forced pair ({l}, {r}) is not an edge"
+        );
         assert!(
             !left_fixed[l] && !right_fixed[r],
             "forced pairs must be disjoint"
         );
         left_fixed[l] = true;
         right_fixed[r] = true;
-        forced_bottleneck = forced_bottleneck.max(w);
+        pairs.push((l, r));
     }
 
-    let free_left: Vec<usize> = (0..n_left).filter(|&l| !left_fixed[l]).collect();
+    let free_left = &mut scratch.free_left;
+    free_left.clear();
+    free_left.extend((0..n_left).filter(|&l| !left_fixed[l]));
     if free_left.is_empty() {
-        return Some(Matching::from_pairs(g, forced.to_vec()));
+        return true;
     }
 
     // Candidate thresholds: the distinct weights of usable residual edges.
-    let mut weights: Vec<f64> = g
-        .edges()
-        .iter()
-        .filter(|e| !left_fixed[e.left] && !right_fixed[e.right])
-        .map(|e| e.weight)
-        .collect();
-    weights.sort_by(f64::total_cmp);
+    // The unstable sort is allocation-free; with `total_cmp` equal keys are
+    // bitwise-identical, so after `dedup` the result matches a stable sort.
+    let weights = &mut scratch.weights;
+    weights.clear();
+    weights.extend(
+        g.edges()
+            .iter()
+            .filter(|e| !left_fixed[e.left] && !right_fixed[e.right])
+            .map(|e| e.weight),
+    );
+    weights.sort_unstable_by(f64::total_cmp);
     weights.dedup();
     if weights.is_empty() {
-        return None; // free left nodes but no usable edges
+        return false; // free left nodes but no usable edges
     }
 
-    // Feasibility oracle: does the ≤ threshold residual subgraph saturate
-    // all free left nodes?
-    let residual_adjacency = |threshold: f64| -> Vec<Vec<usize>> {
-        let mut adj = vec![Vec::new(); n_left];
-        for (i, e) in g.edges().iter().enumerate() {
-            if e.weight <= threshold && !left_fixed[e.left] && !right_fixed[e.right] {
-                adj[e.left].push(i);
-            }
-        }
-        adj
-    };
-    let feasible = |threshold: f64| -> Option<Vec<(usize, usize)>> {
-        let adj = residual_adjacency(threshold);
-        let m = maximum_matching_with_adjacency(g, &adj);
-        if free_left.iter().all(|&l| m.match_left[l].is_some()) {
-            Some(
-                free_left
-                    .iter()
-                    .map(|&l| (l, m.match_left[l].expect("saturated")))
-                    .collect(),
-            )
-        } else {
-            None
-        }
-    };
-
     // Binary search for the smallest feasible threshold.
-    feasible(*weights.last().expect("nonempty"))?;
+    macro_rules! feasible_at {
+        ($t:expr) => {
+            feasible(
+                g,
+                $t,
+                left_fixed,
+                right_fixed,
+                free_left,
+                &mut scratch.adj_off,
+                &mut scratch.adj_cursor,
+                &mut scratch.adj_edges,
+                &mut scratch.hk,
+            )
+        };
+    }
+    if !feasible_at!(*weights.last().expect("nonempty")) {
+        return false;
+    }
     let mut lo = 0usize; // invariant: weights[hi] feasible
     let mut hi = weights.len() - 1;
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        if feasible(weights[mid]).is_some() {
+        if feasible_at!(weights[mid]) {
             hi = mid;
         } else {
             lo = mid + 1;
         }
     }
-    let pairs_free = feasible(weights[hi]).expect("binary search invariant");
+    let ok = feasible_at!(weights[hi]);
+    debug_assert!(ok, "binary search invariant");
 
-    let mut pairs = forced.to_vec();
-    pairs.extend(pairs_free);
-    Some(Matching::from_pairs(g, pairs))
+    pairs.extend(free_left.iter().map(|&l| (l, scratch.hk.match_left[l])));
+    true
 }
 
 #[cfg(test)]

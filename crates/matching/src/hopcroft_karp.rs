@@ -37,9 +37,117 @@ impl MatchResult {
 
 const INF: u32 = u32::MAX;
 
+/// Reusable buffers for [`maximum_matching_csr_into`]. After a call,
+/// `match_left` / `match_right` hold the computed matching with
+/// `usize::MAX` as the "unmatched" sentinel.
+#[derive(Debug, Clone, Default)]
+pub struct HopcroftKarpScratch {
+    /// `match_left[l]` = right node matched to `l`, or `usize::MAX`.
+    pub match_left: Vec<usize>,
+    /// `match_right[r]` = left node matched to `r`, or `usize::MAX`.
+    pub match_right: Vec<usize>,
+    dist: Vec<u32>,
+    queue: std::collections::VecDeque<usize>,
+}
+
 /// Computes a maximum matching of `g` using Hopcroft–Karp.
 pub fn maximum_matching(g: &BipartiteGraph) -> MatchResult {
     maximum_matching_with_adjacency(g, &g.adjacency())
+}
+
+/// [`maximum_matching_with_adjacency`] over a flat CSR adjacency, reusing
+/// caller-provided buffers — the zero-allocation form used by the
+/// bottleneck selector's feasibility oracle. `adj_edges[adj_off[l]..adj_off[l + 1]]`
+/// holds the edge indices of left node `l`, in the same per-node order the
+/// nested-`Vec` layout would list them. Returns the matching size; the
+/// matching itself is left in `scratch.match_left` / `scratch.match_right`.
+pub fn maximum_matching_csr_into(
+    g: &BipartiteGraph,
+    adj_off: &[usize],
+    adj_edges: &[usize],
+    scratch: &mut HopcroftKarpScratch,
+) -> usize {
+    let n_left = g.n_left();
+    let n_right = g.n_right();
+    let edges = g.edges();
+
+    let match_left = &mut scratch.match_left;
+    let match_right = &mut scratch.match_right;
+    let dist = &mut scratch.dist;
+    let queue = &mut scratch.queue;
+    match_left.clear();
+    match_left.resize(n_left, usize::MAX);
+    match_right.clear();
+    match_right.resize(n_right, usize::MAX);
+    dist.clear();
+    dist.resize(n_left, INF);
+    let mut size = 0usize;
+
+    loop {
+        // BFS phase: layer unmatched left nodes.
+        queue.clear();
+        for l in 0..n_left {
+            if match_left[l] == usize::MAX {
+                dist[l] = 0;
+                queue.push_back(l);
+            } else {
+                dist[l] = INF;
+            }
+        }
+        let mut found_augmenting = false;
+        while let Some(l) = queue.pop_front() {
+            for &ei in &adj_edges[adj_off[l]..adj_off[l + 1]] {
+                let r = edges[ei].right;
+                let l2 = match_right[r];
+                if l2 == usize::MAX {
+                    found_augmenting = true;
+                } else if dist[l2] == INF {
+                    dist[l2] = dist[l] + 1;
+                    queue.push_back(l2);
+                }
+            }
+        }
+        if !found_augmenting {
+            break;
+        }
+
+        // DFS phase: find vertex-disjoint shortest augmenting paths.
+        fn dfs(
+            l: usize,
+            edges: &[crate::bipartite::Edge],
+            adj_off: &[usize],
+            adj_edges: &[usize],
+            match_left: &mut [usize],
+            match_right: &mut [usize],
+            dist: &mut [u32],
+        ) -> bool {
+            for &ei in &adj_edges[adj_off[l]..adj_off[l + 1]] {
+                let r = edges[ei].right;
+                let l2 = match_right[r];
+                if l2 == usize::MAX
+                    || (dist[l2] == dist[l] + 1
+                        && dfs(l2, edges, adj_off, adj_edges, match_left, match_right, dist))
+                {
+                    match_left[l] = r;
+                    match_right[r] = l;
+                    return true;
+                }
+            }
+            dist[l] = INF;
+            false
+        }
+
+        for l in 0..n_left {
+            if match_left[l] == usize::MAX
+                && dist[l] == 0
+                && dfs(l, edges, adj_off, adj_edges, match_left, match_right, dist)
+            {
+                size += 1;
+            }
+        }
+    }
+
+    size
 }
 
 /// Computes a maximum matching over a caller-filtered adjacency (e.g. the
@@ -224,6 +332,32 @@ mod tests {
         for (nl, nr, edges) in cases {
             let g = graph(nl, nr, &edges);
             assert_eq!(maximum_matching(&g).size, brute_force_max_matching(&g));
+        }
+    }
+
+    #[test]
+    fn csr_variant_agrees_with_nested_adjacency() {
+        let g = graph(4, 4, &[(0, 1), (1, 1), (1, 2), (2, 0), (3, 3), (3, 0)]);
+        let adj = g.adjacency();
+        let nested = maximum_matching_with_adjacency(&g, &adj);
+
+        let mut adj_off = vec![0usize; g.n_left() + 1];
+        let mut adj_edges = Vec::new();
+        for (l, list) in adj.iter().enumerate() {
+            adj_off[l + 1] = adj_off[l] + list.len();
+            adj_edges.extend_from_slice(list);
+        }
+        let mut scratch = HopcroftKarpScratch::default();
+        let size = maximum_matching_csr_into(&g, &adj_off, &adj_edges, &mut scratch);
+
+        assert_eq!(size, nested.size);
+        for l in 0..g.n_left() {
+            let csr = (scratch.match_left[l] != usize::MAX).then_some(scratch.match_left[l]);
+            assert_eq!(csr, nested.match_left[l]);
+        }
+        for r in 0..g.n_right() {
+            let csr = (scratch.match_right[r] != usize::MAX).then_some(scratch.match_right[r]);
+            assert_eq!(csr, nested.match_right[r]);
         }
     }
 

@@ -30,9 +30,9 @@ pub mod greedy;
 pub mod hopcroft_karp;
 
 pub use bipartite::{BipartiteGraph, Edge};
-pub use bottleneck::bottleneck_matching;
+pub use bottleneck::{bottleneck_matching, bottleneck_matching_into, BottleneckScratch};
 pub use greedy::{greedy_matching, greedy_matching_into, GreedyScratch};
-pub use hopcroft_karp::{maximum_matching, MatchResult};
+pub use hopcroft_karp::{maximum_matching, HopcroftKarpScratch, MatchResult};
 
 /// A selected set of communications: one `(left, right)` pair per edge of
 /// the matching, plus the bottleneck (largest selected weight).

@@ -59,4 +59,24 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
         let len = rng.gen_range(self.size.lo..=self.size.hi);
         (0..len).map(|_| self.element.sample(rng)).collect()
     }
+
+    /// Length-wise shrinking: the declared minimum length, the first
+    /// half, then all-but-last — never below the strategy's own length
+    /// floor, so candidates stay inside the sampled domain.
+    fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let n = v.len();
+        let mut out: Vec<Vec<S::Value>> = Vec::new();
+        if n <= self.size.lo {
+            return out;
+        }
+        out.push(v[..self.size.lo].to_vec());
+        let half = (n / 2).max(self.size.lo);
+        if half < n && half != self.size.lo {
+            out.push(v[..half].to_vec());
+        }
+        if n - 1 != self.size.lo && n - 1 != half {
+            out.push(v[..n - 1].to_vec());
+        }
+        out
+    }
 }

@@ -8,9 +8,15 @@
 //! [`proptest!`] / [`prop_oneof!`] / `prop_assert*!` macros,
 //! [`ProptestConfig`] and [`test_runner::TestCaseError`].
 //!
-//! Differences from upstream: cases are drawn from a fixed per-test seed
-//! (deterministic across runs and platforms) and failing cases are
-//! reported with their inputs but **not shrunk**.
+//! Differences from upstream: every case draws from its own
+//! deterministic seed (derived from the test name and case index, so
+//! runs are identical across machines), a failing case panics with a
+//! **self-contained reproduction** — the error, the minimal inputs and
+//! a `FTSCHED_PROPTEST_SEED=<seed>` incantation replaying exactly that
+//! case — and shrinking is linear and minimal: integer strategies step
+//! toward their lower bound, `collection::vec` drops elements, tuples
+//! shrink component-wise. `prop_map`/`prop_flat_map` outputs do not
+//! shrink (the shim keeps no inverse).
 
 #![forbid(unsafe_code)]
 
@@ -69,28 +75,23 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let __config: $crate::ProptestConfig = $cfg;
-            let mut __rng =
-                <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(
-                    $crate::seed_of(stringify!($name)),
-                );
-            for __case in 0..__config.cases {
-                $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut __rng);)+
-                let __inputs = ::std::format!(
+            // All arguments bundle into one tuple strategy so the runner
+            // can shrink the whole input vector as a unit (draw order
+            // matches the per-argument order, left to right).
+            let __strat = ($($strat,)+);
+            $crate::test_runner::run(
+                ::std::stringify!($name),
+                &__config,
+                &__strat,
+                &|($($arg,)+)| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+                &|($($arg,)+)| ::std::format!(
                     ::std::concat!($("\n  ", ::std::stringify!($arg), " = {:?}"),+),
                     $(&$arg),+
-                );
-                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
-                    (move || { $body ::std::result::Result::Ok(()) })();
-                if let ::std::result::Result::Err(__e) = __outcome {
-                    ::std::panic!(
-                        "proptest case {}/{} failed: {}\ninputs:{}",
-                        __case + 1,
-                        __config.cases,
-                        __e,
-                        __inputs
-                    );
-                }
-            }
+                ),
+            );
         }
         $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
     };

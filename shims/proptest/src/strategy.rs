@@ -8,17 +8,28 @@ use std::rc::Rc;
 
 /// A recipe for sampling values of an associated type.
 pub trait Strategy {
-    /// The type of the sampled values.
-    type Value: Debug;
+    /// The type of the sampled values. `Clone` is required so the runner
+    /// can re-run a failing body against shrink candidates.
+    type Value: Debug + Clone;
 
     /// Draws one value.
     fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Proposes simpler candidates for a failing `value`, simplest
+    /// first. The runner adopts the first candidate that still fails and
+    /// repeats, so a linear candidate list yields a linear shrink. The
+    /// default (no candidates) disables shrinking for the strategy;
+    /// integer ranges, `any` over integers, tuples and
+    /// [`crate::collection::vec`] override it.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Post-processes samples with `f`.
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
-        U: Debug,
+        U: Debug + Clone,
         F: Fn(Self::Value) -> U,
     {
         Map { inner: self, f }
@@ -39,12 +50,28 @@ pub trait Strategy {
     where
         Self: Sized + 'static,
     {
-        BoxedStrategy(Rc::new(move |rng| self.sample(rng)))
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe mirror of [`Strategy`] behind [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_sample(&self, rng: &mut StdRng) -> T;
+    fn dyn_shrink(&self, value: &T) -> Vec<T>;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_sample(&self, rng: &mut StdRng) -> S::Value {
+        self.sample(rng)
+    }
+
+    fn dyn_shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        self.shrink(value)
     }
 }
 
 /// A type-erased strategy.
-pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut StdRng) -> T>);
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
 
 impl<T> Clone for BoxedStrategy<T> {
     fn clone(&self) -> Self {
@@ -52,11 +79,15 @@ impl<T> Clone for BoxedStrategy<T> {
     }
 }
 
-impl<T: Debug> Strategy for BoxedStrategy<T> {
+impl<T: Debug + Clone> Strategy for BoxedStrategy<T> {
     type Value = T;
 
     fn sample(&self, rng: &mut StdRng) -> T {
-        (self.0)(rng)
+        self.0.dyn_sample(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.0.dyn_shrink(value)
     }
 }
 
@@ -69,7 +100,7 @@ pub struct Map<S, F> {
 impl<S, U, F> Strategy for Map<S, F>
 where
     S: Strategy,
-    U: Debug,
+    U: Debug + Clone,
     F: Fn(S::Value) -> U,
 {
     type Value = U;
@@ -124,7 +155,7 @@ impl<T> Union<T> {
     }
 }
 
-impl<T: Debug> Strategy for Union<T> {
+impl<T: Debug + Clone> Strategy for Union<T> {
     type Value = T;
 
     fn sample(&self, rng: &mut StdRng) -> T {
@@ -133,13 +164,38 @@ impl<T: Debug> Strategy for Union<T> {
     }
 }
 
-macro_rules! impl_range_strategy {
+/// Shrink candidates for an integer `v` toward `lo`, simplest first:
+/// the floor itself, the halfway point, then one step down. Midpoints
+/// are computed in `i128` so no lo/v pair can overflow.
+macro_rules! int_toward {
+    ($t:ty, $lo:expr, $v:expr) => {{
+        let (lo, v) = ($lo, $v);
+        let mut out: Vec<$t> = Vec::new();
+        if v > lo {
+            out.push(lo);
+            let mid = ((lo as i128 + v as i128) / 2) as $t;
+            if mid != lo && mid != v {
+                out.push(mid);
+            }
+            if v - 1 != lo {
+                out.push(v - 1);
+            }
+        }
+        out
+    }};
+}
+
+macro_rules! impl_int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
             type Value = $t;
 
             fn sample(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                int_toward!($t, self.start, *v)
             }
         }
         impl Strategy for RangeInclusive<$t> {
@@ -148,10 +204,32 @@ macro_rules! impl_range_strategy {
             fn sample(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
             }
+
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                int_toward!($t, *self.start(), *v)
+            }
         }
     )*};
 }
-impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// Float ranges sample but do not shrink (the shim's shrinker is
+// integer/Vec only).
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
 
 macro_rules! impl_tuple_strategy {
     ($(($($name:ident : $idx:tt),+))*) => {$(
@@ -160,6 +238,18 @@ macro_rules! impl_tuple_strategy {
 
             fn sample(&self, rng: &mut StdRng) -> Self::Value {
                 ($(self.$idx.sample(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut t = value.clone();
+                        t.$idx = cand;
+                        out.push(t);
+                    }
+                )+
+                out
             }
         }
     )*};
@@ -174,21 +264,78 @@ impl_tuple_strategy! {
 }
 
 /// Types with a canonical whole-domain strategy.
-pub trait Arbitrary: Sized + Debug {
+pub trait Arbitrary: Sized + Debug + Clone {
     /// Draws a value from the type's full domain.
     fn arbitrary(rng: &mut StdRng) -> Self;
+
+    /// Shrink candidates toward the type's simplest value.
+    fn shrink_value(_value: &Self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
-macro_rules! impl_arbitrary_int {
+macro_rules! impl_arbitrary_unsigned {
     ($($t:ty),*) => {$(
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut StdRng) -> $t {
                 rng.gen()
             }
+
+            fn shrink_value(v: &$t) -> Vec<$t> {
+                int_toward!($t, 0, *v)
+            }
         }
     )*};
 }
-impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
+impl_arbitrary_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_arbitrary_signed {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.gen()
+            }
+
+            fn shrink_value(v: &$t) -> Vec<$t> {
+                let v = *v;
+                let mut out: Vec<$t> = Vec::new();
+                if v != 0 {
+                    out.push(0);
+                    let half = v / 2; // truncation moves toward zero
+                    if half != 0 {
+                        out.push(half);
+                    }
+                    let step = if v > 0 { v - 1 } else { v + 1 };
+                    if step != 0 && step != half {
+                        out.push(step);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+impl_arbitrary_signed!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen()
+    }
+
+    fn shrink_value(v: &bool) -> Vec<bool> {
+        if *v {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        rng.gen()
+    }
+}
 
 /// The strategy returned by [`any`].
 #[derive(Debug, Clone, Copy)]
@@ -199,6 +346,10 @@ impl<T: Arbitrary> Strategy for Any<T> {
 
     fn sample(&self, rng: &mut StdRng) -> T {
         T::arbitrary(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink_value(value)
     }
 }
 

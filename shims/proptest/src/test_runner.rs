@@ -1,24 +1,37 @@
-//! Test-runner configuration and case-level errors.
+//! Test-runner configuration, case-level errors and the case loop
+//! itself (sampling, failure capture, shrinking, reporting).
 
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
-/// Per-`proptest!` configuration (only `cases` is honoured by the shim).
+/// Per-`proptest!` configuration.
 #[derive(Debug, Clone)]
 pub struct ProptestConfig {
     /// Number of random cases to run per property.
     pub cases: u32,
+    /// Cap on body re-runs spent shrinking one failing case.
+    pub max_shrink_iters: u32,
 }
 
 impl ProptestConfig {
     /// A config running `cases` cases per property.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 128,
+        }
     }
 }
 
@@ -53,3 +66,116 @@ impl fmt::Display for TestCaseError {
 }
 
 impl std::error::Error for TestCaseError {}
+
+/// The environment variable that replays one recorded case seed instead
+/// of the test's full random sweep.
+pub const REPLAY_ENV: &str = "FTSCHED_PROPTEST_SEED";
+
+/// splitmix64-style derivation of one case's seed from the test's base
+/// seed. Every case is an independent, individually replayable stream.
+pub fn case_seed(base: u64, case: u32) -> u64 {
+    let mut z = base.wrapping_add((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `body` against a sampled value, converting a panic inside the
+/// body into a [`TestCaseError`] so shrinking and reporting see one
+/// failure shape.
+fn outcome<V>(
+    body: &dyn Fn(V) -> Result<(), TestCaseError>,
+    value: V,
+) -> Result<(), TestCaseError> {
+    match catch_unwind(AssertUnwindSafe(|| body(value))) {
+        Ok(res) => res,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "body panicked".into());
+            Err(TestCaseError::Fail(format!("panic: {msg}")))
+        }
+    }
+}
+
+/// The case loop behind the [`crate::proptest!`] macro: samples
+/// `config.cases` values (or replays one seed from
+/// [`REPLAY_ENV`]), and on the first failure shrinks linearly and
+/// panics with a self-contained reproduction — the failing error, the
+/// minimal inputs and the exact seed to replay them.
+pub fn run<S: Strategy>(
+    name: &str,
+    config: &ProptestConfig,
+    strat: &S,
+    body: &dyn Fn(S::Value) -> Result<(), TestCaseError>,
+    render: &dyn Fn(S::Value) -> String,
+) {
+    if let Ok(raw) = std::env::var(REPLAY_ENV) {
+        let seed: u64 = raw
+            .parse()
+            .unwrap_or_else(|_| panic!("{REPLAY_ENV} must be a u64, got `{raw}`"));
+        run_case(name, config, strat, body, render, seed, 0, 1);
+        return;
+    }
+    let base = crate::seed_of(name);
+    for case in 0..config.cases {
+        run_case(
+            name,
+            config,
+            strat,
+            body,
+            render,
+            case_seed(base, case),
+            case,
+            config.cases,
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // internal: one call site, the macro
+fn run_case<S: Strategy>(
+    name: &str,
+    config: &ProptestConfig,
+    strat: &S,
+    body: &dyn Fn(S::Value) -> Result<(), TestCaseError>,
+    render: &dyn Fn(S::Value) -> String,
+    seed: u64,
+    case: u32,
+    cases: u32,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sampled = strat.sample(&mut rng);
+    let first_err = match outcome(body, sampled.clone()) {
+        Ok(()) => return,
+        Err(e) => e,
+    };
+
+    // Linear shrink: adopt the first candidate that still fails, repeat
+    // until no candidate fails or the iteration budget is spent.
+    let mut current = sampled;
+    let mut steps = 0u32;
+    'outer: while steps < config.max_shrink_iters {
+        for cand in strat.shrink(&current) {
+            steps += 1;
+            if outcome(body, cand.clone()).is_err() {
+                current = cand;
+                continue 'outer;
+            }
+            if steps >= config.max_shrink_iters {
+                break;
+            }
+        }
+        break;
+    }
+    let final_err = outcome(body, current.clone()).err().unwrap_or(first_err);
+
+    panic!(
+        "proptest `{name}` case {}/{cases} failed: {final_err}\n\
+         minimal failing inputs (after {steps} shrink run(s)):{}\n\
+         reproduce with: {REPLAY_ENV}={seed} cargo test {name}",
+        case + 1,
+        render(current),
+    );
+}

@@ -1,0 +1,50 @@
+//! Seed replay: the `FTSCHED_PROPTEST_SEED` incantation printed in a
+//! failure report re-runs exactly the recorded case. This lives in its
+//! own test binary (single #[test]) because the replay variable is
+//! process-global.
+
+use proptest::prelude::*;
+use proptest::test_runner::REPLAY_ENV;
+
+proptest! {
+    fn always_fails_somewhere(x in 0u64..1_000_000) {
+        prop_assert!(x < 3);
+    }
+}
+
+fn failure_message() -> String {
+    let payload = std::panic::catch_unwind(always_fails_somewhere).expect_err("must fail");
+    *payload.downcast::<String>().expect("panic! message")
+}
+
+#[test]
+fn printed_seed_replays_the_same_case() {
+    // One #[test] driving every step sequentially: no other test in
+    // this binary races the environment variable.
+    std::env::remove_var(REPLAY_ENV);
+    let original = failure_message();
+    let seed = original
+        .split(&format!("{REPLAY_ENV}="))
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .expect("report carries a replay seed")
+        .to_string();
+    seed.parse::<u64>().expect("seed is a u64");
+
+    // Replaying the recorded seed reproduces the identical minimal case.
+    std::env::set_var(REPLAY_ENV, &seed);
+    let replayed = failure_message();
+    std::env::remove_var(REPLAY_ENV);
+
+    let inputs = |msg: &str| {
+        msg.split("minimal failing inputs")
+            .nth(1)
+            .expect("inputs section")
+            .to_string()
+    };
+    assert_eq!(inputs(&original), inputs(&replayed));
+    assert!(replayed.contains(&format!("{REPLAY_ENV}={seed}")));
+
+    // A replay run executes one case, not the whole sweep.
+    assert!(replayed.contains("case 1/1"), "{replayed}");
+}

@@ -79,9 +79,9 @@ fn assert_figures_identical(
 #[test]
 fn figure_cells_identical_across_thread_counts() {
     let cfg = tiny_figure();
-    let reference = run_figure_with_threads(&cfg, 1);
+    let reference = run_figure_with_threads(&cfg, 1).unwrap();
     for threads in thread_counts() {
-        let run = run_figure_with_threads(&cfg, threads);
+        let run = run_figure_with_threads(&cfg, threads).unwrap();
         assert_figures_identical(&reference, &run);
     }
 }
@@ -89,8 +89,8 @@ fn figure_cells_identical_across_thread_counts() {
 #[test]
 fn figure_rerun_with_same_seed_is_identical() {
     let cfg = tiny_figure();
-    let a = run_figure_with_threads(&cfg, 2);
-    let b = run_figure_with_threads(&cfg, 2);
+    let a = run_figure_with_threads(&cfg, 2).unwrap();
+    let b = run_figure_with_threads(&cfg, 2).unwrap();
     assert_figures_identical(&a, &b);
 }
 
@@ -104,9 +104,9 @@ fn table1_rows_identical_across_thread_counts() {
         extra_algorithms: vec![],
         seed: 0xDE7,
     };
-    let reference = run_table1_with_threads(&cfg, 1);
+    let reference = run_table1_with_threads(&cfg, 1).unwrap();
     for threads in thread_counts() {
-        let rows = run_table1_with_threads(&cfg, threads);
+        let rows = run_table1_with_threads(&cfg, threads).unwrap();
         assert_eq!(rows.len(), reference.len());
         for (a, b) in reference.iter().zip(&rows) {
             // Wall-clock columns are measurements, not outputs; every

@@ -19,14 +19,14 @@ fn figure_sweep_speedup_at_four_threads() {
         ..FigureConfig::comparison("speedup", 1, 8)
     };
     // Warm-up run so page faults and lazy init don't skew the baseline.
-    let warm = run_figure_with_threads(&cfg, 4);
+    let warm = run_figure_with_threads(&cfg, 4).unwrap();
     assert_eq!(warm.points.len(), 4);
 
     let time = |threads: usize| {
         (0..3)
             .map(|_| {
                 let t0 = std::time::Instant::now();
-                let fig = run_figure_with_threads(&cfg, threads);
+                let fig = run_figure_with_threads(&cfg, threads).unwrap();
                 assert_eq!(fig.points.len(), 4);
                 t0.elapsed().as_secs_f64()
             })

@@ -1,0 +1,203 @@
+//! Loopback integration tests for `experiments::serve`: real
+//! `TcpStream`s against a bound server, covering the three contract
+//! pillars — response bytes equal the CLI emission at any shard count,
+//! duplicate submissions share one run, and malformed specs bounce with
+//! a 4xx while the server stays live.
+
+use experiments::campaign::{presets, run_campaign_with_threads, CampaignSpec};
+use experiments::output::campaign_to_json;
+use experiments::serve::{ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+
+/// Binds a server on an ephemeral loopback port, runs its accept loop
+/// on a background thread, and returns the address to dial.
+fn spawn_server(config: ServeConfig) -> SocketAddr {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    thread::spawn(move || server.run());
+    addr
+}
+
+struct Response {
+    status: String,
+    headers: Vec<(String, String)>,
+    body: String,
+    /// `;seq=` chunk-extension values, in arrival order (chunked only).
+    seqs: Vec<u64>,
+}
+
+impl Response {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Sends one raw request and reads to EOF (the server closes after each
+/// response), de-chunking when the response is chunked.
+fn request(addr: SocketAddr, raw: &str) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("send request");
+    let mut bytes = Vec::new();
+    stream.read_to_end(&mut bytes).expect("read response");
+    let text = String::from_utf8(bytes).expect("responses are UTF-8");
+
+    let (head, payload) = text.split_once("\r\n\r\n").expect("header block");
+    let mut lines = head.split("\r\n");
+    let status = lines.next().expect("status line").to_string();
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+        .collect();
+
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k.eq_ignore_ascii_case("transfer-encoding") && v == "chunked");
+    let (body, seqs) = if chunked {
+        de_chunk(payload)
+    } else {
+        (payload.to_string(), Vec::new())
+    };
+    Response {
+        status,
+        headers,
+        body,
+        seqs,
+    }
+}
+
+/// Minimal de-chunker that also records the `;seq=` extensions.
+fn de_chunk(mut rest: &str) -> (String, Vec<u64>) {
+    let mut body = String::new();
+    let mut seqs = Vec::new();
+    loop {
+        let (size_line, after) = rest.split_once("\r\n").expect("chunk size line");
+        let (size_hex, ext) = match size_line.split_once(';') {
+            Some((s, e)) => (s, Some(e)),
+            None => (size_line, None),
+        };
+        let size = usize::from_str_radix(size_hex.trim(), 16).expect("hex chunk size");
+        if size == 0 {
+            return (body, seqs);
+        }
+        if let Some(ext) = ext {
+            let seq = ext
+                .strip_prefix("seq=")
+                .expect("seq extension")
+                .parse::<u64>()
+                .expect("numeric seq");
+            seqs.push(seq);
+        }
+        body.push_str(&after[..size]);
+        rest = after[size..].strip_prefix("\r\n").expect("chunk CRLF");
+    }
+}
+
+fn post_campaign(addr: SocketAddr, body: &str) -> Response {
+    request(
+        addr,
+        &format!(
+            "POST /campaigns HTTP/1.1\r\nHost: loopback\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn smoke_spec() -> CampaignSpec {
+    let mut spec = presets::preset("ci-smoke", Some(2)).expect("ci-smoke preset");
+    // Keep the loopback grid small; the CI smoke step runs the full one.
+    spec.id = "serve-loopback".into();
+    spec
+}
+
+#[test]
+fn response_bytes_equal_cli_emission_at_any_shard_count() {
+    let spec = smoke_spec();
+    let spec_json = spec.to_json().expect("spec serializes");
+    // What `ftsched campaign --out DIR` writes for this spec.
+    let reference = campaign_to_json(&run_campaign_with_threads(&spec, 1).expect("valid spec"));
+
+    for threads in [1usize, 3] {
+        let addr = spawn_server(ServeConfig {
+            threads,
+            ..ServeConfig::default()
+        });
+        let res = post_campaign(addr, &spec_json);
+        assert_eq!(res.status, "HTTP/1.1 200 OK", "{}", res.body);
+        assert_eq!(res.header("X-Campaign-Run"), Some("new"));
+        assert_eq!(
+            res.body, reference,
+            "serve bytes diverge from the CLI emission at {threads} shard(s)"
+        );
+        // The chunk sequence numbers are gapless from 0.
+        let expected: Vec<u64> = (0..res.seqs.len() as u64).collect();
+        assert_eq!(res.seqs, expected);
+        assert!(res.seqs.len() >= 2, "prefix + suffix at minimum");
+    }
+}
+
+#[test]
+fn concurrent_duplicate_submissions_share_one_run() {
+    let addr = spawn_server(ServeConfig::default());
+    let spec_json = smoke_spec().to_json().expect("spec serializes");
+
+    let responses: Vec<Response> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| scope.spawn(|| post_campaign(addr, &spec_json)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let new_runs = responses
+        .iter()
+        .filter(|r| r.header("X-Campaign-Run") == Some("new"))
+        .count();
+    assert_eq!(new_runs, 1, "exactly one submission computes");
+    for res in &responses {
+        assert_eq!(res.status, "HTTP/1.1 200 OK", "{}", res.body);
+        assert_eq!(res.body, responses[0].body, "duplicates replay the run");
+    }
+
+    // A later resubmission replays too, without recomputing.
+    let replay = post_campaign(addr, &spec_json);
+    assert_eq!(replay.header("X-Campaign-Run"), Some("existing"));
+    assert_eq!(replay.body, responses[0].body);
+}
+
+#[test]
+fn malformed_specs_bounce_and_the_server_stays_live() {
+    let addr = spawn_server(ServeConfig::default());
+
+    // Not JSON at all.
+    let res = post_campaign(addr, "this is not a campaign");
+    assert_eq!(res.status, "HTTP/1.1 400 Bad Request", "{}", res.body);
+
+    // Valid JSON, decodes as a spec, fails validate() — the shape that
+    // used to reach an executor panic.
+    let mut unschedulable = smoke_spec();
+    unschedulable.epsilons = vec![1000];
+    let res = post_campaign(addr, &unschedulable.to_json().expect("serializes"));
+    assert_eq!(res.status, "HTTP/1.1 400 Bad Request", "{}", res.body);
+    assert!(res.body.contains("invalid spec"), "{}", res.body);
+
+    // Protocol-level rejections.
+    let res = request(
+        addr,
+        "POST /campaigns HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(res.status, "HTTP/1.1 411 Length Required");
+    let res = request(addr, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(res.status, "HTTP/1.1 404 Not Found");
+    let res = request(addr, "DELETE /campaigns HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(res.status, "HTTP/1.1 405 Method Not Allowed");
+
+    // No worker died along the way: the server still answers.
+    let res = request(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(res.status, "HTTP/1.1 200 OK");
+    assert_eq!(res.body, "ok\n");
+}
