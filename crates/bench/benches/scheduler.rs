@@ -7,12 +7,20 @@
 //!
 //! Since the flat-CSR / zero-allocation PR the target also tracks:
 //!
-//! * `scheduler/large` — the production-scale regime (v = 2000 / 5000 /
-//!   10000) the ROADMAP targets, an order of magnitude past the paper's
-//!   experiments;
+//! * `scheduler/large` — the production-scale regime (v = 2000 … 100000)
+//!   the ROADMAP targets, two orders of magnitude past the paper's
+//!   experiments; since the incremental-pressure PR the series includes
+//!   FTBAR, whose σ sweep is no longer quadratic-with-full-rescans;
 //! * `scheduler/reuse` — steady-state `schedule_into` over one
 //!   `ScheduleWorkspace` (the experiment-grid / sweep workload, 0 heap
 //!   allocations per run);
+//! * `scheduler/pressure-ref` — the *exhaustive* reference pressure
+//!   sweep (`run_into_reference_pressure`) on the fig1 v = 1000 shape:
+//!   the before side of the incremental-pressure speedup, kept
+//!   measurable so the gap stays visible;
+//! * `scheduler/fold` — the arrival-row folds of `ftcollections::fold`
+//!   against their scalar references, at the scheduler's row width
+//!   (m = 20) and at a vectorization-friendly width (m = 1024);
 //! * `scheduler/montecarlo` — the crash-campaign hot path
 //!   (`simulate_replication_outcomes_into`, flat `CrashWorkspace`
 //!   state, allocation-free after the first replication).
@@ -30,10 +38,12 @@ use simulator::crash::{simulate_replication_outcomes_into, CrashWorkspace, Repli
 /// The fig1 sweep sizes tracked by the baseline JSON.
 const SIZES: [usize; 3] = [100, 500, 1000];
 
-/// The production-scale sweep sizes (FTBAR's O(free·m) σ sweep is
-/// quadratic in v on these shapes, so the large series tracks the two
-/// near-linear algorithms).
-const LARGE_SIZES: [usize; 3] = [2000, 5000, 10000];
+/// The production-scale sweep sizes. Since the incremental-pressure
+/// engine FTBAR joins FTSA here: its σ sweep re-evaluates only
+/// invalidated tasks, so the former 21× fig1 gap no longer explodes
+/// with v. MC-FTSA (greedy matching per edge) stays capped at 5000 to
+/// keep the CI smoke pass fast.
+const LARGE_SIZES: [usize; 5] = [2000, 5000, 10000, 50000, 100000];
 
 fn bench_schedule_fig1(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduler/fig1");
@@ -57,9 +67,9 @@ fn bench_schedule_large(c: &mut Criterion) {
     group.sample_size(10);
     for v in LARGE_SIZES {
         let inst = bench_instance(v, 20, 0x1A26E + v as u64);
-        for alg in [Algorithm::Ftsa, Algorithm::McFtsaGreedy] {
+        for alg in [Algorithm::Ftsa, Algorithm::McFtsaGreedy, Algorithm::Ftbar] {
             if alg == Algorithm::McFtsaGreedy && v > 5000 {
-                continue; // keep the CI smoke pass fast; FTSA covers 10k
+                continue; // keep the CI smoke pass fast; FTSA covers 10k+
             }
             group.bench_with_input(BenchmarkId::new(alg.name(), v), &inst, |b, inst| {
                 let mut ws = ScheduleWorkspace::new();
@@ -71,6 +81,86 @@ fn bench_schedule_large(c: &mut Criterion) {
                 })
             });
         }
+    }
+    group.finish();
+}
+
+fn bench_pressure_reference(c: &mut Criterion) {
+    // The exhaustive reference sweep on the fig1 v = 1000 shape — the
+    // "before" of the incremental-pressure engine, and the oracle the
+    // equivalence suite replays. Tracking it keeps the speedup honest:
+    // the production FTBAR series must stay well under this.
+    let mut group = c.benchmark_group("scheduler/pressure-ref");
+    group.sample_size(10);
+    let inst = bench_instance(1000, 20, 0xF161 + 1000);
+    let sched = Algorithm::Ftbar.scheduler();
+    group.bench_with_input(BenchmarkId::new("FTBAR-naive", 1000), &inst, |b, inst| {
+        let mut ws = ScheduleWorkspace::new();
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            sched
+                .run_into_reference_pressure(inst, 1, &mut rng, &mut ws)
+                .unwrap()
+                .latency_lower_bound()
+        })
+    });
+    group.finish();
+}
+
+fn bench_folds(c: &mut Criterion) {
+    // The elementwise folds behind every arrival-cache read and write,
+    // against their scalar references — at the scheduler's row width
+    // (m = 20) and at a width where vectorization dominates. The max
+    // fold's production form is 8-lane chunked (it wins); min-saxpy's is
+    // the plain loop (manual chunking measured ~2× slower — see the
+    // fold module docs), so its two series watch for codegen drift.
+    use ftcollections::fold::{
+        max_in_place, max_in_place_scalar, min_saxpy_in_place, min_saxpy_in_place_scalar,
+    };
+    let mut group = c.benchmark_group("scheduler/fold");
+    group.sample_size(10);
+    for n in [20usize, 1024] {
+        let src: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() + 2.0).collect();
+        let init: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).cos() + 2.0).collect();
+        // Each sample folds 4096 rows into one accumulator, mirroring
+        // the scheduler's many-rows-into-one access pattern.
+        const ROWS: usize = 4096;
+        group.bench_with_input(BenchmarkId::new("max-chunked", n), &n, |b, _| {
+            let mut dst = init.clone();
+            b.iter(|| {
+                for _ in 0..ROWS {
+                    max_in_place(&mut dst, &src);
+                }
+                dst[0]
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("max-scalar", n), &n, |b, _| {
+            let mut dst = init.clone();
+            b.iter(|| {
+                for _ in 0..ROWS {
+                    max_in_place_scalar(&mut dst, &src);
+                }
+                dst[0]
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("min-saxpy", n), &n, |b, _| {
+            let mut dst = init.clone();
+            b.iter(|| {
+                for _ in 0..ROWS {
+                    min_saxpy_in_place(&mut dst, 0.5, 1.0 + 1e-12, &src);
+                }
+                dst[0]
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("min-saxpy-scalar", n), &n, |b, _| {
+            let mut dst = init.clone();
+            b.iter(|| {
+                for _ in 0..ROWS {
+                    min_saxpy_in_place_scalar(&mut dst, 0.5, 1.0 + 1e-12, &src);
+                }
+                dst[0]
+            })
+        });
     }
     group.finish();
 }
@@ -145,6 +235,8 @@ criterion_group!(
     benches,
     bench_schedule_fig1,
     bench_schedule_large,
+    bench_pressure_reference,
+    bench_folds,
     bench_schedule_reuse,
     bench_schedule_high_replication,
     bench_monte_carlo_replications

@@ -1,0 +1,227 @@
+//! Elementwise min/max folds over contiguous `f64` rows.
+//!
+//! The scheduler's arrival bookkeeping is built from two row folds over
+//! the flat per-(edge, processor) cache:
+//!
+//! * *read side* — `row[j] = max(row[j], cache[j])` streams each
+//!   incoming edge's contiguous cache row into the per-processor
+//!   arrival row ([`max_in_place`]);
+//! * *write side* — `cache[j] = min(cache[j], finish + vol · delay[j])`
+//!   folds a newly placed replica into each outgoing edge row
+//!   ([`min_saxpy_in_place`]).
+//!
+//! Both are elementwise (no cross-lane reduction), so restructuring the
+//! loop cannot reassociate anything: every code shape computes *the same
+//! per-element expression* as the scalar reference loops and is
+//! therefore bit-identical by construction — pinned by the adversarial
+//! unit tests below (exact ties, `±0.0`, subnormals) and benchmarked by
+//! the `scheduler/fold` series.
+//!
+//! The comparisons are written as explicit compare-selects rather than
+//! `f64::max`/`f64::min`: LLVM's `maxnum`/`minnum` intrinsics leave the
+//! result *unspecified* for `(+0.0, -0.0)` pairs, so their lowering may
+//! legally differ between scalar and vector code. The compare-select
+//! form pins the tie behavior — **on ties (including `±0.0`) the
+//! accumulator keeps its current value** — which makes every code shape
+//! bit-equal under any codegen.
+//!
+//! The two folds want *different* code shapes, per the `scheduler/fold`
+//! microbench (release profile, baseline x86-64):
+//!
+//! * the pure max fold is fastest with a fixed 8-lane inner body
+//!   (`chunks_exact`), which hands the vectorizer exact trip counts —
+//!   ~1.2× over the plain loop at both m = 20 and m = 1024;
+//! * the fused multiply-add-min fold is fastest as the *plain
+//!   elementwise loop*: LLVM auto-vectorizes it to compact packed code,
+//!   while manual 8-lane (and 4-lane) chunking of the same body emitted
+//!   ~3× the instructions and ran ~2× slower. So [`min_saxpy_in_place`]
+//!   *is* the plain loop, kept distinct from its separately-compiled
+//!   reference so the bench series keeps watching for codegen drift.
+//!
+//! # Contract
+//!
+//! Inputs must be NaN-free (scheduler times are finite or `+∞`, never
+//! NaN). With a NaN operand the compare-select picks an arbitrary-but-
+//! deterministic side instead of propagating, so feeding NaN is a logic
+//! error upstream, not UB.
+
+/// Deterministic NaN-free maximum: `b` only replaces `a` when strictly
+/// greater, so ties (including `+0.0` vs `-0.0`) keep `a`.
+#[inline(always)]
+fn max2(a: f64, b: f64) -> f64 {
+    if b > a {
+        b
+    } else {
+        a
+    }
+}
+
+/// Deterministic NaN-free minimum: `b` only replaces `a` when strictly
+/// smaller, so ties (including `+0.0` vs `-0.0`) keep `a`.
+#[inline(always)]
+fn min2(a: f64, b: f64) -> f64 {
+    if b < a {
+        b
+    } else {
+        a
+    }
+}
+
+/// Number of `f64` lanes per unrolled chunk.
+const LANES: usize = 8;
+
+/// `dst[i] = max(dst[i], src[i])` for every `i`, chunked for
+/// autovectorization. Bit-identical to [`max_in_place_scalar`].
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn max_in_place(dst: &mut [f64], src: &[f64]) {
+    assert_eq!(dst.len(), src.len(), "row folds need equal-length rows");
+    let mut d = dst.chunks_exact_mut(LANES);
+    let mut s = src.chunks_exact(LANES);
+    for (dc, sc) in (&mut d).zip(&mut s) {
+        for i in 0..LANES {
+            dc[i] = max2(dc[i], sc[i]);
+        }
+    }
+    for (a, &b) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *a = max2(*a, b);
+    }
+}
+
+/// Scalar reference for [`max_in_place`] — the plain loop the chunked
+/// form must match bit for bit.
+pub fn max_in_place_scalar(dst: &mut [f64], src: &[f64]) {
+    assert_eq!(dst.len(), src.len(), "row folds need equal-length rows");
+    for (a, &b) in dst.iter_mut().zip(src) {
+        *a = max2(*a, b);
+    }
+}
+
+/// `dst[i] = min(dst[i], add + scale · src[i])` for every `i` — the
+/// arrival-cache write fold (`add` is the replica finish time, `scale`
+/// the edge volume, `src` the sender's delay row). The candidate is
+/// evaluated as `add + (scale * src[i])` with no FMA contraction.
+///
+/// Deliberately the plain elementwise loop: for this shape LLVM's
+/// auto-vectorization beats manual chunking by ~2× (see the module
+/// docs), so the production entry point and the reference differ only
+/// in being compiled separately.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn min_saxpy_in_place(dst: &mut [f64], add: f64, scale: f64, src: &[f64]) {
+    assert_eq!(dst.len(), src.len(), "row folds need equal-length rows");
+    for (a, &b) in dst.iter_mut().zip(src) {
+        *a = min2(*a, add + scale * b);
+    }
+}
+
+/// Scalar reference for [`min_saxpy_in_place`].
+pub fn min_saxpy_in_place_scalar(dst: &mut [f64], add: f64, scale: f64, src: &[f64]) {
+    assert_eq!(dst.len(), src.len(), "row folds need equal-length rows");
+    for (a, &b) in dst.iter_mut().zip(src) {
+        *a = min2(*a, add + scale * b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Adversarial row material: exact ties, signed zeros, subnormals,
+    /// infinities and mixed magnitudes — everything but NaN.
+    fn adversarial(n: usize, salt: u64) -> Vec<f64> {
+        let specials = [
+            0.0,
+            -0.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,        // smallest normal
+            f64::MIN_POSITIVE / 4.0,  // subnormal
+            -f64::MIN_POSITIVE / 8.0, // negative subnormal
+            5e-324,                   // smallest subnormal
+            1.0,
+            1.0 + f64::EPSILON, // adjacent floats
+            1.0,                // exact tie with index 8
+            1e300,
+            -1e300,
+            42.5,
+        ];
+        let mut state = salt | 1;
+        (0..n)
+            .map(|i| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                specials[(state as usize + i) % specials.len()]
+            })
+            .collect()
+    }
+
+    fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: lane {i} diverged ({x:?} vs {y:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn max_chunked_matches_scalar_bit_for_bit() {
+        // Lengths straddling the chunk width: empty, sub-chunk, exact
+        // multiples, and remainders — including the scheduler's m = 20.
+        for n in [0usize, 1, 3, 7, 8, 9, 15, 16, 20, 33, 50, 64, 100] {
+            for salt in [1u64, 0xBEEF, 0x5EED] {
+                let src = adversarial(n, salt);
+                let mut a = adversarial(n, salt.wrapping_mul(31));
+                let mut b = a.clone();
+                max_in_place(&mut a, &src);
+                max_in_place_scalar(&mut b, &src);
+                assert_bits_eq(&a, &b, &format!("max n={n} salt={salt}"));
+            }
+        }
+    }
+
+    #[test]
+    fn min_saxpy_matches_scalar_reference_bit_for_bit() {
+        for n in [0usize, 1, 7, 8, 9, 20, 50, 64, 100] {
+            for (add, scale) in [(0.0, 0.0), (12.5, 101.0), (1e300, 1e-300), (3.0, -0.0)] {
+                let src = adversarial(n, 0xA5A5);
+                let mut a = adversarial(n, 0x1234);
+                let mut b = a.clone();
+                min_saxpy_in_place(&mut a, add, scale, &src);
+                min_saxpy_in_place_scalar(&mut b, add, scale, &src);
+                assert_bits_eq(&a, &b, &format!("min n={n} add={add} scale={scale}"));
+            }
+        }
+    }
+
+    #[test]
+    fn ties_keep_the_accumulator_including_signed_zero() {
+        // The documented deterministic tie rule: the accumulator wins,
+        // so a +0.0 accumulator is NOT replaced by a -0.0 candidate and
+        // vice versa — under both folds and both code paths.
+        let mut dst = vec![0.0f64, -0.0, 1.0, 5e-324];
+        let src = vec![-0.0f64, 0.0, 1.0, 5e-324];
+        let expect: Vec<u64> = dst.iter().map(|x| x.to_bits()).collect();
+        max_in_place(&mut dst, &src);
+        assert_eq!(dst.iter().map(|x| x.to_bits()).collect::<Vec<_>>(), expect);
+        min_saxpy_in_place(&mut dst, 0.0, 1.0, &src);
+        // add = 0.0: candidates are 0.0 + 1.0 * src, so -0.0 becomes
+        // +0.0 — still a tie, still keeps the accumulator.
+        assert_eq!(dst.iter().map(|x| x.to_bits()).collect::<Vec<_>>(), expect);
+    }
+
+    #[test]
+    fn folds_do_real_work() {
+        let mut dst = vec![1.0, 10.0, f64::INFINITY];
+        max_in_place(&mut dst, &[2.0, 3.0, 0.0]);
+        assert_eq!(dst, vec![2.0, 10.0, f64::INFINITY]);
+        min_saxpy_in_place(&mut dst, 1.0, 2.0, &[0.5, 100.0, 0.25]);
+        assert_eq!(dst, vec![2.0, 10.0, 1.5]);
+    }
+}

@@ -20,6 +20,9 @@
 //! * [`select_smallest`] — deterministic `O(m · k)` partial selection of
 //!   the `k` smallest candidates, bit-equal to a stable sort-then-
 //!   truncate; backs the `ε + 1`-processor selection of the scheduler.
+//! * [`fold`] — elementwise min/max folds over contiguous `f64`
+//!   rows, bit-identical to their scalar references; the scheduler's
+//!   arrival-cache read/write folds stream through these.
 //! * [`OrdF64`] — a total-order wrapper over finite `f64` values, the key
 //!   type used throughout the scheduler (latencies and priorities are
 //!   finite by construction).
@@ -29,6 +32,7 @@
 
 pub mod avl;
 pub mod dary;
+pub mod fold;
 pub mod heap;
 pub mod ordf64;
 pub mod priority_list;

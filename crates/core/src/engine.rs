@@ -45,6 +45,7 @@
 //! golden suite pins this.
 
 use crate::schedule::{Replica, Schedule};
+use ftcollections::fold::{max_in_place, min_saxpy_in_place};
 use ftcollections::select_smallest_into;
 use platform::{Instance, ProcId};
 use taskgraph::{EdgeId, TaskId};
@@ -102,18 +103,25 @@ impl<'a> Engine<'a> {
     /// Fills `row[j] = arrival_lb(t, j)` for every processor at once,
     /// streaming each incoming edge's contiguous cache row instead of
     /// striding across rows per processor — the cache-friendly form the
-    /// selection sweeps use. `f64::max` over the same operands in the
-    /// same per-processor order, so the values are bit-identical to
-    /// [`Engine::arrival_lb`].
+    /// selection sweeps use. Each edge row is folded in with the 8-lane
+    /// chunked max of [`ftcollections::fold`] (same operands, same
+    /// per-processor order, deterministic ties), so the values are
+    /// bit-identical to [`Engine::arrival_lb`].
     pub fn arrival_row_lb(&self, t: TaskId, row: &mut Vec<f64>) {
         row.clear();
         row.resize(self.m, 0.0);
+        self.arrival_row_lb_slice(t, row);
+    }
+
+    /// [`Engine::arrival_row_lb`] into a caller-owned slice of length
+    /// `m` — the form the incremental pressure cache uses to fold
+    /// straight into its per-task row arena.
+    pub fn arrival_row_lb_slice(&self, t: TaskId, row: &mut [f64]) {
+        debug_assert_eq!(row.len(), self.m);
+        row.fill(0.0);
         for &(_, eid) in self.inst.dag.preds(t) {
             let base = eid.index() * self.m;
-            let cache = &self.arrive_lb[base..base + self.m];
-            for (r, &c) in row.iter_mut().zip(cache) {
-                *r = r.max(c);
-            }
+            max_in_place(row, &self.arrive_lb[base..base + self.m]);
         }
     }
 
@@ -187,17 +195,20 @@ impl<'a> Engine<'a> {
 
         // Fold the new replica into every outgoing edge's arrival cache:
         // O(succs · m) — the flip side of O(preds) arrival queries. The
-        // sender's delay row and the edge row are streamed as slices so
-        // the fold compiles to a branchless vectorizable min.
+        // sender's delay row and the edge row are streamed through the
+        // elementwise min-saxpy fold, which auto-vectorizes and keeps
+        // the per-cell expression `min(cell, finish + vol·d)` exact.
         let dag = &self.inst.dag;
         let drow = self.inst.platform.delay_row(j);
         for &(_, eid) in dag.succs(t) {
             let vol = dag.volume(eid);
             let base = eid.index() * self.m;
-            let row = &mut self.arrive_lb[base..base + self.m];
-            for (cell, &d) in row.iter_mut().zip(drow) {
-                *cell = cell.min(finish_lb + vol * d);
-            }
+            min_saxpy_in_place(
+                &mut self.arrive_lb[base..base + self.m],
+                finish_lb,
+                vol,
+                drow,
+            );
         }
         idx
     }

@@ -50,6 +50,50 @@
 //! discipline as a semantic change that must be justified against the
 //! golden suite.
 //!
+//! # Incremental schedule pressure
+//!
+//! The naive [`PriorityAxis::Pressure`] step re-evaluates eq. (1) for
+//! *every* free task × *every* processor — `O(free · (preds + ε) · m)`
+//! per step, the dominant cost of every FTBAR run. The production path
+//! instead caches, per free task, the eq. (1) arrival row *and* the
+//! σ-selection in a [`PressureCache`](crate::workspace::PressureCache),
+//! recomputing only the invalidated tier — exploiting two monotonicity
+//! invariants:
+//!
+//! * a task's cached per-processor arrival min only **decreases**, and
+//!   only when one of its predecessors gains a replica — the placement
+//!   step marks exactly those successors stale (including successors of
+//!   parents duplicated by the Ahmad–Kwok pass); only these re-run the
+//!   `O(preds · m)` arrival row fold;
+//! * per-processor ready times only **advance**, so a cached start
+//!   (`max(arrival, ready)`) is invalidated precisely when `ready_lb`
+//!   moved past it — checked lazily per cached σ-entry at selection
+//!   time, which also covers placements chosen outside the σ-set (the
+//!   `p-ftsa` best-finish combination). This tier re-runs only the
+//!   `O(m · (ε+1))` [`select_smallest_into`] from the still-exact
+//!   cached row; starts on processors outside the cached σ-set can only
+//!   have grown, so an untouched σ-set stays the bitwise selection.
+//!
+//! A third, purely outcome-level shortcut prunes most of the second
+//! tier: the winning task is the unique max of `(σ, token)` — an
+//! order-independent property — and for a ready-invalidated task the
+//! new σ-set starts on the *cached* processors are exactly
+//! `max(cached start, ready)` and bound the new `(ε+1)`-th smallest
+//! start from above. A task whose resulting urgency upper bound
+//! *strictly* loses to the running best cannot win the step, so its
+//! reselect is skipped and its cache simply stays invalidated.
+//!
+//! Selection stays bit-for-bit identical to the exhaustive sweep: raw
+//! urgencies are cached *without* the `− R(n−1)` term and the current
+//! `R(n−1)` is subtracted fresh at comparison time, so the float
+//! comparisons and token tie-breaks are the very ones the naive loop
+//! performs (subtracting the shared `R(n−1)` from unchanged starts
+//! reproduces the exact same σ values). The naive loop survives as
+//! [`ListScheduler::run_into_reference_pressure`], and a proptest
+//! oracle (`tests/pressure_incremental.rs`) pins the equivalence across
+//! random DAG families, ε values and seeds; the golden suite pins it
+//! against the seed implementations.
+//!
 //! Composition rule: [`CommAxis::Matched`] disables the duplication half
 //! of [`PlacementAxis::MinStart`]. Matched schedules give every replica
 //! a *unique* sender per predecessor (Proposition 4.3); minimize-start-
@@ -61,7 +105,7 @@ use crate::engine::Engine;
 use crate::error::ScheduleError;
 use crate::mc_ftsa::Selector;
 use crate::schedule::{CommSelection, Replica, Schedule};
-use crate::workspace::ScheduleWorkspace;
+use crate::workspace::{PressureCache, ScheduleWorkspace};
 use ftcollections::{select_smallest_into, DaryHeap, OrdF64};
 use matching::{
     bottleneck_matching_into, greedy_matching_into, BipartiteGraph, BottleneckScratch,
@@ -139,10 +183,14 @@ enum SelKind {
         /// Whether the priority is `tℓ + bℓ` (true) or `bℓ` alone.
         dynamic: bool,
     },
-    /// FTBAR's sweep; selection scans all free tasks each step.
+    /// FTBAR's sweep; selection scans all free tasks each step, but only
+    /// *dirty* tasks re-run the `O(m)` σ-selection (see the module docs).
     Pressure {
         /// Current schedule length `R(n−1)`.
         r_len: f64,
+        /// Run the exhaustive reference sweep instead of the cache
+        /// (the oracle path of `run_into_reference_pressure`).
+        naive: bool,
     },
 }
 
@@ -221,6 +269,26 @@ impl ListScheduler {
         Ok(ws.take_schedule())
     }
 
+    /// [`ListScheduler::run_into`] driving [`PriorityAxis::Pressure`]
+    /// through the *exhaustive reference sweep* instead of the
+    /// incremental cache — every free task × every processor, every
+    /// step, exactly the pre-incremental loop. This is the oracle the
+    /// proptest equivalence suite and the `scheduler/pressure-ref`
+    /// bench series run against; it is not a production entry point.
+    /// Configurations without a pressure axis behave exactly like
+    /// [`ListScheduler::run_into`].
+    #[doc(hidden)]
+    pub fn run_into_reference_pressure<'w>(
+        &self,
+        inst: &Instance,
+        epsilon: usize,
+        rng: &mut impl Rng,
+        ws: &'w mut ScheduleWorkspace,
+    ) -> Result<&'w Schedule, ScheduleError> {
+        self.run_core(inst, epsilon, rng, None, None, true, ws)?;
+        Ok(&ws.sched)
+    }
+
     /// The workspace-reusing core: one loop, three axes, no allocation
     /// in the steady state. `floors` (when `Some`) seeds the
     /// per-processor ready times from a persistent occupancy state;
@@ -232,6 +300,23 @@ impl ListScheduler {
         rng: &mut impl Rng,
         deadlines: Option<&[f64]>,
         floors: Option<&[f64]>,
+        ws: &mut ScheduleWorkspace,
+    ) -> Result<(), ScheduleError> {
+        self.run_core(inst, epsilon, rng, deadlines, floors, false, ws)
+    }
+
+    /// [`ListScheduler::run_with_deadlines_into`] with the pressure
+    /// implementation selectable (`naive_pressure` = the reference
+    /// sweep; every other axis is unaffected by the flag).
+    #[allow(clippy::too_many_arguments)]
+    fn run_core(
+        &self,
+        inst: &Instance,
+        epsilon: usize,
+        rng: &mut impl Rng,
+        deadlines: Option<&[f64]>,
+        floors: Option<&[f64]>,
+        naive_pressure: bool,
         ws: &mut ScheduleWorkspace,
     ) -> Result<(), ScheduleError> {
         let m = inst.num_procs();
@@ -276,6 +361,7 @@ impl ListScheduler {
             tl,
             free,
             token,
+            pressure,
             row,
             chosen,
             sweep,
@@ -302,18 +388,23 @@ impl ListScheduler {
                 }
             }
             PriorityAxis::Pressure => {
+                pressure.reset(dag.num_tasks(), replicas, m);
                 free.extend_from_slice(dag.entries());
                 for &t in dag.entries() {
                     token[t.index()] = rng.gen();
+                    pressure.stale[t.index()] = true;
                 }
-                SelKind::Pressure { r_len: 0.0 }
+                SelKind::Pressure {
+                    r_len: 0.0,
+                    naive: naive_pressure,
+                }
             }
         };
 
         let mut eng = Engine::new(inst, sched, ready_lb, ready_ub, arrive_lb);
 
         while let Some((t, suggested)) = select_next(
-            &mut sel, &eng, alpha, free, token, bl, replicas, row, chosen, sweep,
+            &mut sel, &eng, alpha, free, token, pressure, bl, replicas, row, chosen, sweep,
         ) {
             // Processor set hosting t's primary replicas, as
             // `(processor, selection score)` pairs in `chosen` — the
@@ -360,9 +451,14 @@ impl ListScheduler {
                 CommAxis::AllToAll => {
                     let duplicate =
                         matches!(self.placement, PlacementAxis::MinStart { duplicate: true });
+                    let track_dups = matches!(self.priority, PriorityAxis::Pressure);
                     for &j in procs.iter() {
                         if duplicate {
-                            try_duplicate_critical_parent(&mut eng, t, j);
+                            if let Some(p) = try_duplicate_critical_parent(&mut eng, t, j) {
+                                if track_dups {
+                                    pressure.dups.push(p);
+                                }
+                            }
                         }
                         eng.place(t, j);
                     }
@@ -385,6 +481,21 @@ impl ListScheduler {
             }
             eng.sched.schedule_order.push(t);
 
+            // Parents duplicated by the Ahmad–Kwok pass gained a
+            // replica, so their successors' arrival rows decreased —
+            // free tasks among them must re-run their σ-selection. (The
+            // placed task's own successors cannot be free yet; they are
+            // marked stale as they become free below.)
+            if !pressure.dups.is_empty() {
+                let PressureCache { dups, stale, .. } = &mut *pressure;
+                for &p in dups.iter() {
+                    for &(s, _) in dag.succs(p) {
+                        stale[s.index()] = true;
+                    }
+                }
+                dups.clear();
+            }
+
             // Refresh successor priorities and release the ones that
             // became free.
             after_schedule(
@@ -394,6 +505,7 @@ impl ListScheduler {
                 alpha,
                 free,
                 token,
+                pressure,
                 tl,
                 bl,
                 waiting_preds,
@@ -419,6 +531,7 @@ fn select_next(
     alpha: &mut DaryHeap<crate::workspace::AlphaKey, 4>,
     free: &mut Vec<TaskId>,
     token: &mut [u64],
+    pc: &mut PressureCache,
     s_latest: &[f64],
     replicas: usize,
     row: &mut Vec<f64>,
@@ -430,39 +543,153 @@ fn select_next(
             let (ti, _) = alpha.pop()?;
             Some((TaskId(ti as u32), false))
         }
-        SelKind::Pressure { r_len } => {
+        SelKind::Pressure { r_len, naive } => {
             if free.is_empty() {
                 return None;
             }
             let m = eng.inst.num_procs();
-            // Most urgent (task, processor-set) pair: the free task
-            // whose best-σ set has the largest `ε+1`-th pressure, ties
-            // broken by the larger random token. The winning set is
-            // kept in `chosen` by swapping the two scratch buffers.
+            if *naive {
+                // Exhaustive reference sweep: every free task re-runs
+                // the full σ-selection every step. The winning set is
+                // kept in `chosen` by swapping the two scratch buffers.
+                let mut best: Option<(usize, f64, u64)> = None;
+                for (fi, &t) in free.iter().enumerate() {
+                    eng.arrival_row_lb(t, row);
+                    select_smallest_into(
+                        m,
+                        replicas,
+                        |j| {
+                            let start = row[j].max(eng.ready_lb[j]);
+                            start + s_latest[t.index()] - *r_len
+                        },
+                        sweep,
+                    );
+                    let urgency = sweep.last().expect("replicas >= 1").1;
+                    let tok = token[t.index()];
+                    let better = match &best {
+                        None => true,
+                        Some((_, u, bt)) => urgency > *u || (urgency == *u && tok > *bt),
+                    };
+                    if better {
+                        best = Some((fi, urgency, tok));
+                        std::mem::swap(chosen, sweep);
+                    }
+                }
+                let (fi, _, _) = best.expect("free list nonempty");
+                return Some((free.swap_remove(fi), true));
+            }
+            // Incremental sweep. The winner is the unique max of
+            // `(σ, token)` over the free tasks — an order-independent
+            // property — so the scan runs in two passes:
+            //
+            // 1. *clean* tasks (valid cache) replay their cached raw
+            //    urgency — one subtraction each — establishing a high
+            //    running best; invalidated tasks are deferred;
+            // 2. each deferred task is first checked against an *exact*
+            //    urgency upper bound: its new σ-set starts on the cached
+            //    processors are exactly `max(cached start, ready)` when
+            //    only ready times advanced, and only *smaller* when the
+            //    arrival row decreased (the stale case — rows only
+            //    decrease), so the new `(ε+1)`-th smallest start cannot
+            //    exceed the max of those ε+1 values. A task whose bound
+            //    *strictly* loses cannot win the step: its recompute is
+            //    skipped and its cache simply stays invalidated.
+            //    Survivors re-run the `O(preds · m)` row fold (stale
+            //    only) and the `O(m · (ε+1))` σ-selection.
+            //
+            // `R(n−1)` is subtracted fresh at comparison time, so the
+            // comparisons that do run — and therefore the selected
+            // (task, σ-set) — are bitwise the reference sweep's.
+            let r = *r_len;
             let mut best: Option<(usize, f64, u64)> = None;
-            for (fi, &t) in free.iter().enumerate() {
-                eng.arrival_row_lb(t, row);
+            pc.pending.clear();
+            'scan: for (fi, &t) in free.iter().enumerate() {
+                let ti = t.index();
+                let base = ti * replicas;
+                if !pc.stale[ti] {
+                    for i in 0..replicas {
+                        if eng.ready_lb[pc.proc[base + i] as usize] > pc.start[base + i] {
+                            pc.pending.push(fi as u32);
+                            continue 'scan;
+                        }
+                    }
+                    // fl(fl(start + s) − r): bitwise the reference σ.
+                    let u = pc.urgency[ti] - r;
+                    let tok = token[ti];
+                    let better = match &best {
+                        None => true,
+                        Some((_, bu, bt)) => u > *bu || (u == *bu && tok > *bt),
+                    };
+                    if better {
+                        best = Some((fi, u, tok));
+                    }
+                } else {
+                    pc.pending.push(fi as u32);
+                }
+            }
+            for pi in 0..pc.pending.len() {
+                let fi = pc.pending[pi] as usize;
+                let t = free[fi];
+                let ti = t.index();
+                let base = ti * replicas;
+                let rbase = ti * m;
+                // Exact upper bound from the cached σ-set (`+∞` until
+                // the first evaluation, making the bound vacuous then).
+                let mut mstart = f64::NEG_INFINITY;
+                for i in 0..replicas {
+                    let cs = pc.start[base + i];
+                    let rd = eng.ready_lb[pc.proc[base + i] as usize];
+                    let ns = if rd > cs { rd } else { cs };
+                    if ns > mstart {
+                        mstart = ns;
+                    }
+                }
+                if let Some((_, bu, _)) = &best {
+                    let ub = (mstart + s_latest[ti]) - r;
+                    if ub < *bu {
+                        continue;
+                    }
+                }
+                if pc.stale[ti] {
+                    eng.arrival_row_lb_slice(t, &mut pc.row[rbase..rbase + m]);
+                    pc.stale[ti] = false;
+                }
+                let arow = &pc.row[rbase..rbase + m];
                 select_smallest_into(
                     m,
                     replicas,
                     |j| {
-                        let start = row[j].max(eng.ready_lb[j]);
-                        start + s_latest[t.index()] - *r_len
+                        let start = arow[j].max(eng.ready_lb[j]);
+                        start + s_latest[ti] - r
                     },
                     sweep,
                 );
-                let urgency = sweep.last().expect("replicas >= 1").1;
-                let tok = token[t.index()];
+                for (i, &(j, _)) in sweep.iter().enumerate() {
+                    pc.proc[base + i] = j as u32;
+                    pc.start[base + i] = arow[j].max(eng.ready_lb[j]);
+                }
+                pc.urgency[ti] = pc.start[base + replicas - 1] + s_latest[ti];
+                let u = pc.urgency[ti] - r;
+                let tok = token[ti];
                 let better = match &best {
                     None => true,
-                    Some((_, u, bt)) => urgency > *u || (urgency == *u && tok > *bt),
+                    Some((_, bu, bt)) => u > *bu || (u == *bu && tok > *bt),
                 };
                 if better {
-                    best = Some((fi, urgency, tok));
-                    std::mem::swap(chosen, sweep);
+                    best = Some((fi, u, tok));
                 }
             }
             let (fi, _, _) = best.expect("free list nonempty");
+            let t = free[fi];
+            let ti = t.index();
+            let base = ti * replicas;
+            chosen.clear();
+            for i in 0..replicas {
+                chosen.push((
+                    pc.proc[base + i] as usize,
+                    (pc.start[base + i] + s_latest[ti]) - r,
+                ));
+            }
             Some((free.swap_remove(fi), true))
         }
     }
@@ -478,6 +705,7 @@ fn after_schedule(
     alpha: &mut DaryHeap<crate::workspace::AlphaKey, 4>,
     free: &mut Vec<TaskId>,
     token: &mut [u64],
+    pc: &mut PressureCache,
     tl: &mut [f64],
     bl: &[f64],
     waiting_preds: &mut [u32],
@@ -509,13 +737,14 @@ fn after_schedule(
                 }
             }
         }
-        SelKind::Pressure { r_len } => {
+        SelKind::Pressure { r_len, .. } => {
             *r_len = eng.current_length_lb();
             for &(s, _) in dag.succs(t) {
                 let si = s.index();
                 waiting_preds[si] -= 1;
                 if waiting_preds[si] == 0 {
                     token[si] = rng.gen();
+                    pc.stale[si] = true;
                     free.push(s);
                 }
             }
@@ -526,12 +755,14 @@ fn after_schedule(
 /// Ahmad–Kwok Minimize-Start-Time (one level): if the start of `t` on
 /// `j` is dominated by the arrival from one parent, and duplicating that
 /// parent onto `j` would strictly lower the start, insert the duplicate.
-fn try_duplicate_critical_parent(eng: &mut Engine<'_>, t: TaskId, j: usize) {
+/// Returns the duplicated parent (its successors' arrival rows just
+/// decreased — pressure callers mark them stale).
+fn try_duplicate_critical_parent(eng: &mut Engine<'_>, t: TaskId, j: usize) -> Option<TaskId> {
     let dag = &eng.inst.dag;
 
     let preds = dag.preds(t);
     if preds.is_empty() {
-        return;
+        return None;
     }
     // Arrival per parent (the cached optimistic edge fold) and the
     // critical one.
@@ -551,18 +782,20 @@ fn try_duplicate_critical_parent(eng: &mut Engine<'_>, t: TaskId, j: usize) {
     let (p, crit_arrival) = crit.expect("nonempty preds");
     let old_start = crit_arrival.max(eng.ready_lb[j]);
     if old_start <= eng.ready_lb[j] + 1e-12 {
-        return; // the processor, not the parent, is the constraint
+        return None; // the processor, not the parent, is the constraint
     }
     // Already collocated? Then the arrival is already communication-free.
     if eng.sched.replicas_of(p).iter().any(|r| r.proc.index() == j) {
-        return;
+        return None;
     }
     // Cost of running a duplicate of p on j, right now.
     let dup_finish = eng.inst.exec.time(p.index(), j) + eng.arrival_lb(p, j).max(eng.ready_lb[j]);
     let new_start = dup_finish.max(second);
     if new_start + 1e-12 < old_start {
         eng.place(p, j);
+        return Some(p);
     }
+    None
 }
 
 /// MC-FTSA's placement step (Section 4.2): per predecessor, select a

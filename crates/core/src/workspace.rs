@@ -44,6 +44,75 @@ use taskgraph::TaskId;
 /// `(priority, random tie-break)`.
 pub(crate) type AlphaKey = Reverse<(OrdF64, u64)>;
 
+/// Incremental state of FTBAR's schedule-pressure sweep: per free task,
+/// the eq. (1) arrival row and the σ-selection are cached and only the
+/// invalidated part is recomputed.
+///
+/// The two invalidation causes have very different costs and are
+/// tracked separately:
+///
+/// * one of the task's predecessors gains a replica — its arrival row
+///   can only *decrease* (the PR 3/4 cache invariant), so the
+///   `O(preds · m)` row fold must re-run; flagged eagerly in
+///   [`stale`](Self::stale) by the placement step;
+/// * a processor in its cached σ-set advances its ready time past the
+///   cached start — detected lazily by comparing the cached starts
+///   against `ready_lb` at selection time (ready times only advance, so
+///   untouched cached entries are exact). Only the cheap `O(m·(ε+1))`
+///   σ-selection re-runs, straight from the cached [`row`](Self::row).
+///
+/// Everything is keyed by *r_len-free raw urgencies* (`start + s(t)`,
+/// without the `− R(n−1)` term): the current `R(n−1)` is subtracted at
+/// comparison time, reproducing the exhaustive sweep's float comparisons
+/// and token tie-breaks — see `select_next` in the pipeline.
+#[derive(Debug, Default)]
+pub(crate) struct PressureCache {
+    /// Cached per-task arrival rows (flat, stride = `m`): exact between
+    /// [`stale`](Self::stale) events, never read before the first one.
+    pub row: Vec<f64>,
+    /// Cached σ-set processors, `replicas` entries per task (flat,
+    /// stride = `ε + 1`), in σ order.
+    pub proc: Vec<u32>,
+    /// Cached start times aligned with [`proc`](Self::proc)
+    /// (`max(arrival, ready_lb)` at cache time); `+∞` until the task's
+    /// first evaluation, which makes the urgency upper bound vacuous for
+    /// never-evaluated tasks.
+    pub start: Vec<f64>,
+    /// Cached raw urgency per task: `(ε+1)`-th smallest start `+ s(t)`,
+    /// *without* the `− R(n−1)` term (subtracted fresh each step).
+    pub urgency: Vec<f64>,
+    /// Tasks whose arrival row changed (or that never were evaluated):
+    /// row fold + σ re-selection required.
+    pub stale: Vec<bool>,
+    /// Per-step scratch: free-list indices of invalidated tasks,
+    /// deferred to the second scan pass (pruned against the clean max).
+    pub pending: Vec<u32>,
+    /// Per-step scratch: parents duplicated by the Ahmad–Kwok pass this
+    /// step (their successors' arrival rows changed → mark stale).
+    pub dups: Vec<TaskId>,
+}
+
+impl PressureCache {
+    /// Clears and resizes every buffer for a run over `v` tasks on `m`
+    /// processors at `replicas = ε + 1` — reusing capacity, so
+    /// steady-state reruns allocate nothing. All tasks start non-stale;
+    /// the pipeline marks tasks stale as they enter the free list.
+    pub fn reset(&mut self, v: usize, replicas: usize, m: usize) {
+        self.row.clear();
+        self.row.resize(v * m, 0.0);
+        self.proc.clear();
+        self.proc.resize(v * replicas, 0);
+        self.start.clear();
+        self.start.resize(v * replicas, f64::INFINITY);
+        self.urgency.clear();
+        self.urgency.resize(v, 0.0);
+        self.stale.clear();
+        self.stale.resize(v, false);
+        self.pending.clear();
+        self.dups.clear();
+    }
+}
+
 /// Owns every buffer a [`crate::pipeline::ListScheduler`] run needs, so
 /// repeated runs are allocation-free. See the [module docs](self).
 #[derive(Debug, Default)]
@@ -70,6 +139,9 @@ pub struct ScheduleWorkspace {
     pub(crate) free: Vec<TaskId>,
     /// Random urgency tie-break tokens for the pressure sweep.
     pub(crate) token: Vec<u64>,
+    /// Incremental schedule-pressure state (cached σ-selections + dirty
+    /// tracking); sized by the pressure seeding step, cleared here.
+    pub(crate) pressure: PressureCache,
     /// Per-processor arrival-row scratch (see
     /// [`crate::engine`]'s row-major arrival fold).
     pub(crate) row: Vec<f64>,
@@ -152,6 +224,7 @@ impl ScheduleWorkspace {
         self.free.clear();
         self.token.clear();
         self.token.resize(v, 0);
+        self.pressure.dups.clear();
         self.row.clear();
         self.chosen.clear();
         self.sweep.clear();

@@ -93,11 +93,55 @@ fn zero_alloc_algorithms() -> impl Iterator<Item = Algorithm> {
 /// the scheduler or simulator hot path.
 fn main() {
     steady_state_schedule_reuse_allocates_nothing();
+    pressure_rerun_dirty_tracking_allocates_nothing();
     monte_carlo_replications_after_first_allocate_nothing();
     matched_campaign_after_first_allocates_nothing();
     campaign_cell_loop_allocates_nothing();
     streaming_arrivals_after_warm_allocate_nothing();
     println!("alloc_counter: zero-allocation steady-state contracts hold");
+}
+
+fn pressure_rerun_dirty_tracking_allocates_nothing() {
+    // The incremental schedule-pressure state (cached arrival rows,
+    // σ-sets, stale flags, pending/dups scratch) must be sized by the
+    // warm-up and then reused — including when ε, and therefore the
+    // σ-set stride of the cache, alternates between re-runs over one
+    // workspace. Covers every pressure-driven configuration.
+    let inst = test_instance();
+    for alg in [
+        Algorithm::Ftbar,
+        Algorithm::FtsaPressure,
+        Algorithm::FtbarMatched,
+    ] {
+        let mut ws = ScheduleWorkspace::new();
+        let mut reference = f64::NAN;
+        for _ in 0..2 {
+            for eps in [0usize, 2] {
+                let mut rng = StdRng::seed_from_u64(11);
+                reference = schedule_into(&inst, eps, alg, &mut rng, &mut ws)
+                    .unwrap()
+                    .latency_lower_bound();
+            }
+        }
+
+        let before = allocations();
+        let mut latency = f64::NAN;
+        for _ in 0..4 {
+            for eps in [0usize, 2] {
+                let mut rng = StdRng::seed_from_u64(11);
+                latency = schedule_into(&inst, eps, alg, &mut rng, &mut ws)
+                    .unwrap()
+                    .latency_lower_bound();
+            }
+        }
+        let counted = allocations() - before;
+        assert_eq!(
+            counted, 0,
+            "{alg:?}: alternating-ε pressure re-runs performed {counted} \
+             heap allocations (contract: zero)"
+        );
+        assert_eq!(latency.to_bits(), reference.to_bits());
+    }
 }
 
 fn streaming_arrivals_after_warm_allocate_nothing() {
