@@ -404,20 +404,31 @@ pub fn campaign(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-/// `ftsched serve` — the sharded streaming campaign service. Binds,
-/// prints the listening address, then blocks in the accept loop; the
-/// response bytes for a spec are identical to what `ftsched campaign`
-/// writes for it (see `experiments::serve` for the wire protocol).
+/// `ftsched serve` — the sharded streaming campaign service. Binds
+/// (recovering persisted runs first when `--data-dir` is given), prints
+/// the listening address, then blocks in the accept loop; the response
+/// bytes for a spec are identical to what `ftsched campaign` writes for
+/// it (see `experiments::serve` for the wire protocol and the
+/// durability contract).
 pub fn serve(args: &Args) -> Result<String, String> {
     let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
     let config = ServeConfig {
         threads: threads_from(args)?,
         queue: args.get_num("queue", 32)?,
+        data_dir: args.get("data-dir").map(std::path::PathBuf::from),
         ..ServeConfig::default()
     };
+    let durable = config.data_dir.is_some();
     let server = Server::bind(addr, config).map_err(|e| format!("binding {addr}: {e}"))?;
     let local = server.local_addr().map_err(|e| e.to_string())?;
-    println!("ftsched serve listening on http://{local} (POST /campaigns, GET /healthz)");
+    println!(
+        "ftsched serve listening on http://{local} \
+         (POST /campaigns, GET /campaigns[/<key>], GET /healthz{})",
+        if durable { ", durable runs on" } else { "" }
+    );
+    // The port line is parsed by supervisors and tests spawning the
+    // binary with piped stdout; push it past the pipe's block buffer.
+    std::io::Write::flush(&mut std::io::stdout()).map_err(|e| e.to_string())?;
     server.run().map_err(|e| format!("serve: {e}"))?;
     Ok(String::new())
 }

@@ -19,8 +19,9 @@
 //!   unified CSV/JSON emission (see `experiments::campaign`).
 //! * `serve` — the streaming campaign service: accept `CampaignSpec`
 //!   JSON over HTTP, shard groups across workers, and chunk-stream the
-//!   statistics back byte-identical to `campaign`'s file emission (see
-//!   `experiments::serve`).
+//!   statistics back byte-identical to `campaign`'s file emission; with
+//!   `--data-dir`, runs are durable — WAL-checkpointed per group and
+//!   resumed bit-exactly after a crash (see `experiments::serve`).
 //! * `info` — structural statistics of a graph file.
 //!
 //! Argument parsing is the tiny shared `--key value` scanner from
@@ -78,9 +79,12 @@ USAGE:
   ftsched campaign --preset <fig1|fig2|fig3|fig4|table1|table1-full|contention|reliability|timed-crash|online|ci-smoke>
                    | --spec grid.json
                    [--reps N | --quick] [--threads T] [--out DIR] [--dump-spec]
-  ftsched serve [--addr 127.0.0.1:7878] [--threads T] [--queue N]
+  ftsched serve [--addr 127.0.0.1:7878] [--threads T] [--queue N] [--data-dir DIR]
                 (POST /campaigns with a CampaignSpec JSON body streams the
-                 statistics; resubmitting a spec replays the existing run)
+                 statistics; resubmitting a spec replays the existing run;
+                 GET /campaigns lists runs, GET /campaigns/<key> replays or
+                 resumes one; --data-dir makes runs durable: a restart
+                 recovers them and resumes interrupted runs bit-exactly)
   ftsched info --graph graph.json
 
 `--threads 0` (the default) resolves from FTSCHED_THREADS or the

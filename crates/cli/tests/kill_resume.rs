@@ -1,0 +1,202 @@
+//! Kill-resume fault injection against the real release binary: spawn
+//! `ftsched serve --data-dir`, POST a multi-group campaign, SIGKILL the
+//! process mid-stream (after at least one WAL frame is durable),
+//! restart on the same data directory, and assert the resumed response
+//! is **byte-identical** to an uninterrupted control run — at 1 and 4
+//! worker threads. This is the acceptance gate of the durability
+//! contract: recovery uses persisted state only (the second process
+//! shares nothing with the first but the data dir).
+
+use experiments::campaign::{presets, run_campaign_with_threads, CampaignSpec, PlatformSpec};
+use experiments::output::campaign_to_json;
+use experiments::serve::spec_key;
+use experiments::store::{wal, Store};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Repetitions per group: high enough that the heavy tail of the run
+/// takes long enough to be killed reliably after its first durable
+/// frame and well before its completion record.
+const REPS: usize = 40;
+
+fn kill_spec() -> CampaignSpec {
+    let mut spec = presets::preset("ci-smoke", Some(REPS)).expect("ci-smoke preset");
+    spec.id = "kill-resume".into();
+    // Kill-window shaping: put the trivial wavefront workload first so
+    // group 0's frame commits almost immediately, and widen the
+    // platform axis to 8 groups so the heavy layered groups occupy a
+    // whole second shard wave even at 4 threads — the SIGKILL (sent as
+    // soon as one frame is durable) always lands mid-stream.
+    spec.workloads.reverse();
+    spec.platforms = vec![
+        PlatformSpec::paper(8, 0.6),
+        PlatformSpec::paper(8, 1.0),
+        PlatformSpec::paper(8, 1.4),
+        PlatformSpec::paper(8, 1.8),
+    ];
+    spec
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ftsched_kill_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct Serve {
+    child: Child,
+    port: u16,
+}
+
+/// Spawns the release-path binary (`CARGO_BIN_EXE_ftsched`) and parses
+/// the listening port from its (flushed) startup line.
+fn spawn_serve(data_dir: &Path, threads: usize) -> Serve {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ftsched"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--data-dir",
+            data_dir.to_str().expect("utf-8 scratch path"),
+        ])
+        .env("FTSCHED_THREADS", threads.to_string())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn ftsched serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read listening line");
+    let port = line
+        .split("http://127.0.0.1:")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|p| p.parse::<u16>().ok())
+        .unwrap_or_else(|| panic!("no port in serve banner: {line:?}"));
+    Serve { child, port }
+}
+
+fn post_request(spec_json: &str) -> String {
+    format!(
+        "POST /campaigns HTTP/1.1\r\nHost: loopback\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{spec_json}",
+        spec_json.len()
+    )
+}
+
+/// POSTs the spec and returns `(X-Campaign-Run header, de-chunked body)`.
+fn post_and_read(port: u16, spec_json: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    stream
+        .write_all(post_request(spec_json).as_bytes())
+        .expect("send request");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read response");
+    let (head, payload) = text.split_once("\r\n\r\n").expect("header block");
+    assert!(
+        head.starts_with("HTTP/1.1 200 OK"),
+        "unexpected response: {head}"
+    );
+    let run_header = head
+        .lines()
+        .find_map(|l| l.strip_prefix("X-Campaign-Run: "))
+        .expect("X-Campaign-Run header")
+        .to_string();
+    (run_header, de_chunk(payload))
+}
+
+fn de_chunk(mut rest: &str) -> String {
+    let mut body = String::new();
+    loop {
+        let (size_line, after) = rest.split_once("\r\n").expect("chunk size line");
+        let size_hex = size_line.split(';').next().unwrap_or(size_line);
+        let size = usize::from_str_radix(size_hex.trim(), 16).expect("hex chunk size");
+        if size == 0 {
+            return body;
+        }
+        body.push_str(&after[..size]);
+        rest = after[size..].strip_prefix("\r\n").expect("chunk CRLF");
+    }
+}
+
+/// Waits until the run's WAL holds at least one complete, checksummed
+/// frame — the earliest moment a SIGKILL leaves resumable state behind.
+fn wait_for_first_frame(wal_path: &Path, deadline: Duration) {
+    let start = Instant::now();
+    loop {
+        if wal_path.exists() {
+            if let Ok(contents) = wal::read(wal_path) {
+                if !contents.groups.is_empty() {
+                    return;
+                }
+            }
+        }
+        assert!(
+            start.elapsed() < deadline,
+            "no durable WAL frame appeared within {deadline:?}"
+        );
+        thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn sigkill_mid_stream_resumes_byte_identically() {
+    let spec = kill_spec();
+    let spec_json = spec.to_json().expect("spec serializes");
+    let key = spec_key(&spec);
+    // The uninterrupted control run (what `ftsched campaign` would
+    // write; thread count is irrelevant by the determinism contract).
+    let control = campaign_to_json(&run_campaign_with_threads(&spec, 2).expect("valid spec"));
+
+    for threads in [1usize, 4] {
+        let dir = scratch_dir(&format!("t{threads}"));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let wal_path = Store::open(&dir).expect("store").wal_path(key);
+
+        // First server: submit, wait for one durable group, SIGKILL.
+        let mut serve = spawn_serve(&dir, threads);
+        let port = serve.port;
+        let json = spec_json.clone();
+        let victim = thread::spawn(move || {
+            // Stream into the void; the read dies with the process.
+            let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+            stream
+                .write_all(post_request(&json).as_bytes())
+                .expect("send");
+            let mut sink = Vec::new();
+            let _ = stream.read_to_end(&mut sink);
+        });
+        wait_for_first_frame(&wal_path, Duration::from_secs(120));
+        serve.child.kill().expect("SIGKILL serve");
+        serve.child.wait().expect("reap serve");
+        victim.join().expect("victim thread");
+
+        // Second server, same data dir, nothing else shared: recovery
+        // must demote the torn run and resume only the missing groups.
+        let mut serve2 = spawn_serve(&dir, threads);
+        let (run_header, body) = post_and_read(serve2.port, &spec_json);
+        assert_eq!(
+            run_header, "resumed",
+            "restart must resume from persisted state at {threads} thread(s)"
+        );
+        assert_eq!(
+            body, control,
+            "resumed body diverges from the uninterrupted control at {threads} thread(s)"
+        );
+
+        // The completed run now replays as-is to a resubmission.
+        let (replay_header, replay_body) = post_and_read(serve2.port, &spec_json);
+        assert_eq!(replay_header, "existing");
+        assert_eq!(replay_body, control);
+
+        serve2.child.kill().expect("stop serve");
+        serve2.child.wait().expect("reap serve");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -12,6 +12,40 @@
 
 use ftsched_core::ScheduleError;
 use std::fmt;
+use std::sync::Arc;
+
+/// A shared, comparable wrapper over [`std::io::Error`] so persistence
+/// failures can live inside [`CampaignError`] (which is `Clone +
+/// PartialEq` for test ergonomics and result fan-out). Equality compares
+/// the error kind and rendered message — good enough for assertions,
+/// while [`std::error::Error::source`] still exposes the real chain.
+#[derive(Debug, Clone)]
+pub struct StoreIoError(pub Arc<std::io::Error>);
+
+impl StoreIoError {
+    /// Wraps an io error.
+    pub fn new(err: std::io::Error) -> StoreIoError {
+        StoreIoError(Arc::new(err))
+    }
+}
+
+impl PartialEq for StoreIoError {
+    fn eq(&self, other: &StoreIoError) -> bool {
+        self.0.kind() == other.0.kind() && self.0.to_string() == other.0.to_string()
+    }
+}
+
+impl fmt::Display for StoreIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl std::error::Error for StoreIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.0.source()
+    }
+}
 
 /// Errors raised by campaign execution and the drivers built on it.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,6 +82,17 @@ pub enum CampaignError {
     MissingArrivals {
         /// The campaign id.
         campaign: String,
+    },
+    /// A durable-store operation (run record, spec, or WAL persistence)
+    /// failed mid-run. The run halts loudly — partial durable state is
+    /// kept for resume — and the server stays alive.
+    Store {
+        /// The campaign id.
+        campaign: String,
+        /// What the store was doing when it failed.
+        operation: &'static str,
+        /// The underlying io error.
+        source: StoreIoError,
     },
     /// A driver looked up a series absent from the aggregated results
     /// (see [`super::GroupResult::require_mean`]).
@@ -93,6 +138,14 @@ impl fmt::Display for CampaignError {
                 f,
                 "campaign {campaign}: stream cell evaluated without an arrival axis"
             ),
+            CampaignError::Store {
+                campaign,
+                operation,
+                source,
+            } => write!(
+                f,
+                "campaign {campaign}: durable store failed while {operation}: {source}"
+            ),
             CampaignError::MissingSeries {
                 series,
                 workload,
@@ -113,6 +166,7 @@ impl std::error::Error for CampaignError {
             CampaignError::Schedule { source, .. } | CampaignError::Stream { source, .. } => {
                 Some(source)
             }
+            CampaignError::Store { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -146,5 +200,20 @@ mod tests {
             epsilon: 1,
         };
         assert!(e.to_string().contains("FTSA-LowerBound"));
+    }
+
+    #[test]
+    fn store_variant_chains_and_compares() {
+        let make = || CampaignError::Store {
+            campaign: "ci-smoke".into(),
+            operation: "appending group frame",
+            source: StoreIoError::new(std::io::Error::other("disk full")),
+        };
+        let e = make();
+        assert!(e.to_string().contains("appending group frame"));
+        assert!(e.to_string().contains("disk full"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert_eq!(e, make(), "equality by kind + message");
+        let _cloned = e.clone();
     }
 }

@@ -68,7 +68,7 @@ mod error;
 pub mod presets;
 mod spec;
 
-pub use error::CampaignError;
+pub use error::{CampaignError, StoreIoError};
 pub use spec::{
     ArrivalSpec, CampaignSpec, ForkJoinShape, LayeredRange, MeasurePlan, PlatformSpec, Seeding,
     StructuredKernel, StructuredWorkload, TaskCount, TimingCap, WorkloadSpec,

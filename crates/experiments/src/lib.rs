@@ -29,6 +29,10 @@
 //!   a hand-rolled HTTP/1.1 gateway accepting `CampaignSpec` JSON,
 //!   sharding groups across workers and chunk-streaming statistics as
 //!   shards complete, byte-identical to the CLI's file emission.
+//! * [`store`] — the durable run store behind `serve --data-dir`:
+//!   persistent idempotency records plus a checksummed write-ahead log
+//!   of rendered groups, with crash recovery that resumes interrupted
+//!   runs bit-exactly from the first missing group.
 //! * [`output`] — CSV/JSON emission and ASCII plotting.
 //! * [`args`] — the one `--key value` argument scanner shared by the
 //!   CLI and the experiment binaries.
@@ -51,6 +55,7 @@ pub mod figures;
 pub mod output;
 pub mod parallel;
 pub mod serve;
+pub mod store;
 pub mod table1;
 
 /// Default granularity sweep of the paper: 0.2, 0.4, …, 2.0.

@@ -1,5 +1,5 @@
 //! `ftsched serve` — a sharded streaming campaign service over raw
-//! `std::net`.
+//! `std::net`, with optional durable runs under `--data-dir`.
 //!
 //! # Wire protocol
 //!
@@ -13,6 +13,13 @@
 //!   The de-chunked body is **byte-identical** to the file the CLI
 //!   writes for the same spec (`ftsched campaign … --out DIR` →
 //!   `<id>.campaign.json`), so `cmp` between the two always passes.
+//! * `GET /campaigns` → `200` with a JSON listing of every registered
+//!   run (key, campaign id, group count, state, durable group count).
+//! * `GET /campaigns/<key>` (16 hex digits, the idempotency key) →
+//!   replays a completed run's exact bytes, waits on a running one,
+//!   resumes a resumable one from its durable checkpoints (store mode;
+//!   `409` without a store, since the spec is gone), `404` for unknown
+//!   keys.
 //! * Malformed requests never reach a worker: a body that is not valid
 //!   JSON, does not decode as a spec, or fails
 //!   [`CampaignSpec::validate`] is a `400`; a missing `Content-Length`
@@ -46,28 +53,68 @@
 //! collapse). Resubmitting a spec returns the existing run: the first
 //! submission answers `X-Campaign-Run: new` and computes; concurrent or
 //! later duplicates answer `X-Campaign-Run: existing` and replay the
-//! stored bytes. Retries never re-execute or alter an outcome.
+//! stored bytes; a submission that picks up an interrupted durable run
+//! answers `X-Campaign-Run: resumed` and re-executes only the missing
+//! group range. Retries never re-execute a completed group or alter an
+//! outcome.
+//!
+//! # Durability contract
+//!
+//! With [`ServeConfig::data_dir`] set, every run is backed by the
+//! [`crate::store`] module (one live server per data directory):
+//!
+//! * **Submission is durable before computation.** The canonical spec
+//!   and a `running` idempotency record are committed via atomic
+//!   write-rename — tmp file, `fsync`, `rename`, directory `fsync` — so
+//!   a record is always either absent or complete, never torn.
+//! * **A group is durable before it is visible.** The coordinator
+//!   appends each rendered group to the run's checksummed WAL and
+//!   `fsync`s **before** writing the group's chunk to the socket; a
+//!   client can never observe bytes a crash could un-happen.
+//! * **Completion is a single record flip.** After the last group frame
+//!   is durable, the record moves `running → completed` with the result
+//!   fingerprint (rolling FNV-1a over the group payloads); that atomic
+//!   rename is the commit point of the whole run.
+//! * **Recovery trusts only persisted state.** On bind the server scans
+//!   the data dir: orphaned tmp files are deleted, torn WAL tails are
+//!   truncated back to the last whole checksummed frame, `running`
+//!   records are demoted to `resumable` (the process died mid-run), and
+//!   `completed` records are re-verified against the replayed WAL —
+//!   a fingerprint mismatch demotes to `resumable` rather than serving
+//!   wrong bytes. No in-memory state survives; nothing else is needed.
+//! * **`resumable` means bit-exact continuation.** A resumable run
+//!   holds a valid WAL prefix of groups `0..k` and its spec; resuming
+//!   replays those frames and re-executes only groups `k..n`, and
+//!   because group bytes are pure functions of `(spec, group index)`
+//!   the final body is byte-identical to an uninterrupted run at any
+//!   thread count. A client hangup mid-stream likewise releases the run
+//!   slot as `resumable` — completed-group checkpoints are never
+//!   discarded with the connection.
 //!
 //! # Backpressure and failure policy
 //!
 //! The gateway follows the waiver-exchange queue discipline: ingress is
 //! a **non-blocking** bounded handoff (`try_send`; a full queue is an
-//! immediate `503`, the acceptor never blocks), and the per-run result
-//! sink is **lossless** — group results are never dropped. If a cell
-//! somehow fails mid-run (unreachable for validated specs), the run
-//! halts loudly: the error is logged, the chunked stream is cut without
-//! its terminating chunk (clients see a transfer error, never silently
-//! truncated data), the run slot is marked failed — and the server
-//! itself stays alive.
+//! immediate `503` with a `Retry-After` header, the acceptor never
+//! blocks), and the per-run result sink is **lossless** — group results
+//! are never dropped. If a cell somehow fails mid-run (unreachable for
+//! validated specs), or the durable store fails a persistence
+//! operation ([`CampaignError::Store`]), the run halts loudly: the
+//! error is logged, the chunked stream is cut without its terminating
+//! chunk (clients see a transfer error, never silently truncated
+//! data), the run slot is marked failed — and the server itself stays
+//! alive.
 
 use crate::campaign::{
     evaluate_any_cell_into, finalize_group, CampaignError, CampaignSpec, CellContext, CellPlan,
-    SeriesKey,
+    SeriesKey, StoreIoError,
 };
 use crate::parallel::default_threads;
+use crate::store::{key_hex, Fingerprint, RunState, Store, WalWriter};
 use std::collections::{BTreeMap, HashMap};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
@@ -86,6 +133,9 @@ pub struct ServeConfig {
     pub handlers: usize,
     /// Request body cap in bytes (`413` above it).
     pub max_body: usize,
+    /// Durable run store directory (`None` keeps PR 7's in-memory-only
+    /// registry). At most one live server per directory.
+    pub data_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -95,6 +145,7 @@ impl Default for ServeConfig {
             queue: 32,
             handlers: 4,
             max_body: 1 << 20,
+            data_dir: None,
         }
     }
 }
@@ -102,23 +153,33 @@ impl Default for ServeConfig {
 /// One registered campaign run, keyed by spec content hash.
 #[derive(Debug)]
 struct RunSlot {
+    /// The spec's campaign id (for listings and replayed prefixes).
+    campaign: String,
+    /// Total group count of the run.
+    groups: usize,
     state: Mutex<SlotState>,
     ready: Condvar,
 }
 
 #[derive(Debug)]
 enum SlotState {
-    /// The first submitter is computing and streaming.
+    /// A submitter is computing and streaming.
     Running,
+    /// Interrupted (crash recovery or client hangup): `groups_done`
+    /// groups are durable, the next claimant resumes from there.
+    Resumable {
+        /// Number of WAL-committed groups (0 without a store).
+        groups_done: usize,
+    },
     /// Finished: the exact response body, replayed to duplicates.
     Done(Arc<String>),
     /// Halted loudly; duplicates get a `500` with the message.
     Failed(String),
 }
 
-#[derive(Default)]
 struct Registry {
     runs: Mutex<HashMap<u64, Arc<RunSlot>>>,
+    store: Option<Store>,
 }
 
 /// FNV-1a over the canonical spec JSON: the idempotency key.
@@ -129,6 +190,12 @@ fn content_hash(canonical_json: &str) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
     h
+}
+
+/// The idempotency key of a spec: the FNV-1a content hash of its
+/// canonical JSON (16 hex digits in URLs and store file names).
+pub fn spec_key(spec: &CampaignSpec) -> u64 {
+    content_hash(&spec.to_json().expect("validated specs always re-serialize"))
 }
 
 // --- incremental rendering --------------------------------------------
@@ -182,6 +249,16 @@ fn evaluate_group(
     Ok(render_group(&finalize_group(spec, plan, gi, series)))
 }
 
+/// The exact rendered bytes of one group, as the server streams and
+/// checkpoints them. Exposed so fault-injection tests can fabricate
+/// partial WALs without a live server.
+#[doc(hidden)]
+pub fn rendered_group(spec: &CampaignSpec, gi: usize) -> Result<String, CampaignError> {
+    let plan = CellPlan::new(spec);
+    let mut ctx = CellContext::new();
+    evaluate_group(spec, &plan, gi, &mut ctx)
+}
+
 // --- HTTP plumbing -----------------------------------------------------
 
 fn write_response(
@@ -207,11 +284,20 @@ fn write_response(
 }
 
 fn write_error(stream: &mut TcpStream, status: &str, message: &str) -> io::Result<()> {
+    write_error_with(stream, status, &[], message)
+}
+
+fn write_error_with(
+    stream: &mut TcpStream,
+    status: &str,
+    extra_headers: &[(&str, &str)],
+    message: &str,
+) -> io::Result<()> {
     let body = format!(
         "{{\n  \"error\": {}\n}}",
         serde_json::to_string(&message).expect("strings always serialize")
     );
-    write_response(stream, status, &[], &body)
+    write_response(stream, status, extra_headers, &body)
 }
 
 /// One chunk of a chunked response, tagged with its sequence number as
@@ -226,6 +312,17 @@ fn write_chunk(stream: &mut TcpStream, seq: u64, data: &str) -> io::Result<()> {
 fn write_last_chunk(stream: &mut TcpStream) -> io::Result<()> {
     stream.write_all(b"0\r\n\r\n")?;
     stream.flush()
+}
+
+/// Streams a settled run's exact body as a single replayed chunk.
+fn replay_existing(stream: &mut TcpStream, body: &str) -> io::Result<()> {
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+          Transfer-Encoding: chunked\r\nX-Campaign-Run: existing\r\n\
+          Connection: close\r\n\r\n",
+    )?;
+    write_chunk(stream, 0, body)?;
+    write_last_chunk(stream)
 }
 
 struct Request {
@@ -280,12 +377,61 @@ pub struct Server {
 
 impl Server {
     /// Binds the listener (`127.0.0.1:0` picks an ephemeral port for
-    /// tests; read it back with [`Server::local_addr`]).
+    /// tests; read it back with [`Server::local_addr`]). With a
+    /// [`ServeConfig::data_dir`], runs the recovery bootstrap first:
+    /// every persisted run is loaded into the registry — completed runs
+    /// replay, interrupted ones come back `resumable` — before a single
+    /// connection is accepted. A data directory the store cannot make
+    /// sense of (unparseable run record) fails the bind loudly rather
+    /// than silently shadowing durable state.
     pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> io::Result<Server> {
+        let store = match &config.data_dir {
+            Some(dir) => Some(Store::open(dir)?),
+            None => None,
+        };
+        let mut runs = HashMap::new();
+        if let Some(store) = &store {
+            for run in store.recover()? {
+                let state = match run.record.state {
+                    RunState::Completed => {
+                        let mut body = render_prefix(&run.record.campaign);
+                        for (i, group) in run.groups.iter().enumerate() {
+                            if i > 0 {
+                                body.push_str(",\n");
+                            }
+                            body.push_str(group);
+                        }
+                        body.push_str(RENDER_SUFFIX);
+                        SlotState::Done(Arc::new(body))
+                    }
+                    RunState::Running | RunState::Resumable => SlotState::Resumable {
+                        groups_done: run.groups_done,
+                    },
+                    RunState::Failed => SlotState::Failed(
+                        run.record
+                            .error
+                            .clone()
+                            .unwrap_or_else(|| "persisted failure".to_string()),
+                    ),
+                };
+                runs.insert(
+                    run.key,
+                    Arc::new(RunSlot {
+                        campaign: run.record.campaign.clone(),
+                        groups: run.record.groups,
+                        state: Mutex::new(state),
+                        ready: Condvar::new(),
+                    }),
+                );
+            }
+        }
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             config,
-            registry: Arc::new(Registry::default()),
+            registry: Arc::new(Registry {
+                runs: Mutex::new(runs),
+                store,
+            }),
         })
     }
 
@@ -322,12 +468,28 @@ impl Server {
             match tx.try_send(stream) {
                 Ok(()) => {}
                 Err(TrySendError::Full(mut stream)) => {
-                    // Non-blocking ingress: shed load immediately.
-                    let _ = write_error(
+                    // Non-blocking ingress: shed load immediately, tell
+                    // the client when to come back. Half-close and drain
+                    // whatever request bytes are in flight before
+                    // dropping — closing with unread data turns the
+                    // close into an RST that can destroy the 503 before
+                    // the client reads it. The drain is bounded (8 reads
+                    // × 50 ms) so a slow sender can't pin the acceptor.
+                    let _ = write_error_with(
                         &mut stream,
                         "503 Service Unavailable",
+                        &[("Retry-After", "1")],
                         "campaign queue full, retry later",
                     );
+                    let _ = stream.shutdown(std::net::Shutdown::Write);
+                    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(50)));
+                    let mut sink = [0u8; 4096];
+                    for _ in 0..8 {
+                        match stream.read(&mut sink) {
+                            Ok(n) if n > 0 => {}
+                            _ => break,
+                        }
+                    }
                 }
                 Err(TrySendError::Disconnected(_)) => return Ok(()),
             }
@@ -356,6 +518,20 @@ fn try_handle(
     let req = read_request(&mut reader)?;
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => write_response(&mut stream, "200 OK", &[], "ok\n"),
+        ("GET", "/campaigns") => handle_listing(&mut stream, registry),
+        ("GET", path) if path.starts_with("/campaigns/") => {
+            let key_text = &path["/campaigns/".len()..];
+            match u64::from_str_radix(key_text, 16) {
+                Ok(key) if key_text.len() == 16 => {
+                    handle_lookup(&mut stream, registry, threads, key)
+                }
+                _ => write_error(
+                    &mut stream,
+                    "404 Not Found",
+                    "campaign keys are 16 hex digits",
+                ),
+            }
+        }
         ("POST", "/campaigns") => {
             let Some(len) = req.content_length else {
                 return write_error(
@@ -388,6 +564,81 @@ fn try_handle(
     }
 }
 
+/// `GET /campaigns`: a point-in-time JSON listing of the registry,
+/// sorted by key.
+fn handle_listing(stream: &mut TcpStream, registry: &Registry) -> io::Result<()> {
+    let mut entries: Vec<(u64, String, usize, &'static str, usize)> = {
+        let runs = registry.runs.lock().expect("registry lock");
+        runs.iter()
+            .map(|(&key, slot)| {
+                let (state, groups_done) = match &*slot.state.lock().expect("slot lock") {
+                    SlotState::Running => ("running", 0),
+                    SlotState::Resumable { groups_done } => ("resumable", *groups_done),
+                    SlotState::Done(_) => ("completed", slot.groups),
+                    SlotState::Failed(_) => ("failed", 0),
+                };
+                (key, slot.campaign.clone(), slot.groups, state, groups_done)
+            })
+            .collect()
+    };
+    entries.sort_unstable_by_key(|e| e.0);
+    let mut body = String::from("{\n  \"runs\": [");
+    for (i, (key, campaign, groups, state, groups_done)) in entries.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "\n    {{\n      \"key\": \"{}\",\n      \"campaign\": {},\n      \
+             \"groups\": {},\n      \"state\": \"{}\",\n      \"groups_done\": {}\n    }}",
+            key_hex(*key),
+            serde_json::to_string(campaign).expect("strings always serialize"),
+            groups,
+            state,
+            groups_done
+        ));
+    }
+    if !entries.is_empty() {
+        body.push_str("\n  ");
+    }
+    body.push_str("]\n}");
+    write_response(stream, "200 OK", &[], &body)
+}
+
+/// What a connection holding a run slot is entitled to do with it.
+enum Claim {
+    /// This connection owns the computation; the slot is `Running`.
+    /// `groups_done` counts durable groups to replay first (0 fresh).
+    Compute {
+        groups_done: usize,
+    },
+    Replay(Arc<String>),
+    Failed(String),
+}
+
+/// Waits out a running computation and claims the slot's settled state:
+/// a `Resumable` slot is atomically flipped back to `Running` — exactly
+/// one waiter wins and re-computes, the rest keep waiting on it.
+fn claim_slot(slot: &RunSlot) -> Claim {
+    let mut state = slot.state.lock().expect("slot lock");
+    loop {
+        match &*state {
+            SlotState::Running => state = slot.ready.wait(state).expect("slot lock"),
+            SlotState::Resumable { groups_done } => {
+                let groups_done = *groups_done;
+                *state = SlotState::Running;
+                return Claim::Compute { groups_done };
+            }
+            SlotState::Done(body) => return Claim::Replay(Arc::clone(body)),
+            SlotState::Failed(msg) => return Claim::Failed(msg.clone()),
+        }
+    }
+}
+
+fn settle(slot: &RunSlot, state: SlotState) {
+    *slot.state.lock().expect("slot lock") = state;
+    slot.ready.notify_all();
+}
+
 fn handle_submission(
     stream: &mut TcpStream,
     registry: &Registry,
@@ -407,72 +658,201 @@ fn handle_submission(
     let key = content_hash(&canonical);
 
     // Idempotency-key reservation: exactly one submitter computes.
-    let (slot, is_new) = {
+    let (slot, claim) = {
         let mut runs = registry.runs.lock().expect("registry lock");
         match runs.get(&key) {
-            Some(slot) => (Arc::clone(slot), false),
+            Some(slot) => (Arc::clone(slot), None),
             None => {
                 let slot = Arc::new(RunSlot {
+                    campaign: spec.id.clone(),
+                    groups: spec.num_groups(),
                     state: Mutex::new(SlotState::Running),
                     ready: Condvar::new(),
                 });
                 runs.insert(key, Arc::clone(&slot));
-                (slot, true)
+                (slot, Some(Claim::Compute { groups_done: 0 }))
             }
         }
     };
+    let (claim, fresh) = match claim {
+        Some(c) => (c, true),
+        None => (claim_slot(&slot), false),
+    };
 
-    if !is_new {
-        // Wait for the computing submitter, then replay its bytes.
-        let mut state = slot.state.lock().expect("slot lock");
-        while matches!(*state, SlotState::Running) {
-            state = slot.ready.wait(state).expect("slot lock");
+    match claim {
+        Claim::Replay(body) => replay_existing(stream, &body),
+        Claim::Failed(msg) => write_error(stream, "500 Internal Server Error", &msg),
+        Claim::Compute { groups_done } => compute_run(
+            stream,
+            registry,
+            &slot,
+            key,
+            &spec,
+            &canonical,
+            threads,
+            !fresh,
+            groups_done,
+        ),
+    }
+}
+
+/// `GET /campaigns/<key>`: replay, wait, or resume a registered run.
+fn handle_lookup(
+    stream: &mut TcpStream,
+    registry: &Registry,
+    threads: usize,
+    key: u64,
+) -> io::Result<()> {
+    let slot = {
+        let runs = registry.runs.lock().expect("registry lock");
+        runs.get(&key).cloned()
+    };
+    let Some(slot) = slot else {
+        return write_error(stream, "404 Not Found", "no campaign run under this key");
+    };
+    match claim_slot(&slot) {
+        Claim::Replay(body) => replay_existing(stream, &body),
+        Claim::Failed(msg) => write_error(stream, "500 Internal Server Error", &msg),
+        Claim::Compute { groups_done } => {
+            let Some(store) = &registry.store else {
+                // No durable spec to recompute from — hand the slot
+                // back exactly as claimed.
+                settle(&slot, SlotState::Resumable { groups_done });
+                return write_error(
+                    stream,
+                    "409 Conflict",
+                    "run is resumable but the server has no data dir; \
+                     resubmit the spec to POST /campaigns",
+                );
+            };
+            let parsed = store
+                .load_spec(key)
+                .map_err(|e| format!("persisted spec unreadable: {e}"))
+                .and_then(|json| {
+                    CampaignSpec::from_json(&json)
+                        .map(|spec| (spec, json))
+                        .map_err(|e| format!("persisted spec unparseable: {e}"))
+                });
+            match parsed {
+                Ok((spec, canonical)) => compute_run(
+                    stream,
+                    registry,
+                    &slot,
+                    key,
+                    &spec,
+                    &canonical,
+                    threads,
+                    true,
+                    groups_done,
+                ),
+                Err(msg) => {
+                    settle(&slot, SlotState::Resumable { groups_done });
+                    write_error(stream, "500 Internal Server Error", &msg)
+                }
+            }
         }
-        return match &*state {
-            SlotState::Done(body) => {
-                let body = Arc::clone(body);
-                drop(state);
-                stream.write_all(
-                    b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
-                      Transfer-Encoding: chunked\r\nX-Campaign-Run: existing\r\n\
-                      Connection: close\r\n\r\n",
-                )?;
-                write_chunk(stream, 0, &body)?;
-                write_last_chunk(stream)
-            }
-            SlotState::Failed(msg) => {
-                let msg = msg.clone();
-                drop(state);
-                write_error(stream, "500 Internal Server Error", &msg)
-            }
-            SlotState::Running => unreachable!("loop exits only on a settled state"),
+    }
+}
+
+/// Runs (or resumes) a claimed computation and settles the slot. The
+/// caller has already flipped the slot to `Running`.
+#[allow(clippy::too_many_arguments)]
+fn compute_run(
+    stream: &mut TcpStream,
+    registry: &Registry,
+    slot: &RunSlot,
+    key: u64,
+    spec: &CampaignSpec,
+    canonical: &str,
+    threads: usize,
+    resuming: bool,
+    groups_done: usize,
+) -> io::Result<()> {
+    // Durable setup happens before the response header: a store that
+    // cannot even register the run is a clean 500, not a cut stream.
+    let mut replayed: Vec<String> = Vec::new();
+    let mut wal: Option<WalWriter> = None;
+    if let Some(store) = &registry.store {
+        let (setup, operation) = if resuming {
+            (
+                store.resume_run(key).map(|(groups, writer)| {
+                    replayed = groups;
+                    writer
+                }),
+                "resuming the run",
+            )
+        } else {
+            (
+                store.begin_run(key, &spec.id, canonical, spec.num_groups()),
+                "registering the run",
+            )
         };
+        match setup {
+            Ok(writer) => wal = Some(writer),
+            Err(e) => {
+                let err = CampaignError::Store {
+                    campaign: spec.id.clone(),
+                    operation,
+                    source: StoreIoError::new(e),
+                };
+                let msg = format!("campaign halted: {err}");
+                eprintln!("serve: campaign {} halted: {err}", spec.id);
+                settle(slot, SlotState::Failed(msg.clone()));
+                return write_error(stream, "500 Internal Server Error", &msg);
+            }
+        }
+    } else if resuming {
+        // Without a store there are no checkpoints to replay: the
+        // "resume" is a full, fresh recomputation.
+        debug_assert_eq!(groups_done, 0);
     }
 
-    let outcome = stream_new_run(stream, &spec, threads);
-    let mut state = slot.state.lock().expect("slot lock");
-    match &outcome {
-        Ok(body) => *state = SlotState::Done(Arc::new(body.clone())),
-        Err(StreamError::Campaign(e)) => {
+    let mode = if replayed.is_empty() {
+        "new"
+    } else {
+        "resumed"
+    };
+    match stream_run(stream, spec, threads, &replayed, wal.as_mut(), mode) {
+        Ok(run) => {
+            if let Some(store) = &registry.store {
+                if let Err(e) = store.complete_run(key, run.fingerprint) {
+                    // Best-effort: every group frame is already durable,
+                    // and recovery re-verifies completion from the WAL.
+                    eprintln!(
+                        "serve: campaign {}: completion record not persisted: {e}",
+                        spec.id
+                    );
+                }
+            }
+            settle(slot, SlotState::Done(Arc::new(run.body)));
+            Ok(())
+        }
+        Err((StreamError::Campaign(e), _)) => {
             // Lossless sink, halting loudly: the failure is recorded and
             // reported, nothing is silently dropped, the server lives on.
+            let msg = format!("campaign halted: {e}");
             eprintln!("serve: campaign {} halted: {e}", spec.id);
-            *state = SlotState::Failed(format!("campaign halted: {e}"));
+            if let Some(store) = &registry.store {
+                let _ = store.fail_run(key, &msg);
+            }
+            settle(slot, SlotState::Failed(msg));
+            Ok(())
         }
-        Err(StreamError::Io(e)) => {
-            // The run itself did not fail — the client went away. Drop
-            // the reservation so a retry can compute.
-            drop(state);
-            registry.runs.lock().expect("registry lock").remove(&key);
-            slot.ready.notify_all();
-            return Err(io::Error::new(e.kind(), e.to_string()));
+        Err((StreamError::Io(e), durable)) => {
+            // The run itself did not fail — the client went away. The
+            // slot goes back to resumable with its durable checkpoints
+            // intact; a retry resumes instead of starting over.
+            if let Some(store) = &registry.store {
+                let _ = store.mark_resumable(key);
+            }
+            settle(
+                slot,
+                SlotState::Resumable {
+                    groups_done: durable,
+                },
+            );
+            Err(io::Error::new(e.kind(), e.to_string()))
         }
-    }
-    drop(state);
-    slot.ready.notify_all();
-    match outcome {
-        Err(StreamError::Campaign(_)) => Ok(()), // already reported; stream was cut
-        _ => Ok(()),
     }
 }
 
@@ -487,30 +867,77 @@ impl From<io::Error> for StreamError {
     }
 }
 
-/// Shards the group range across workers and streams groups in index
-/// order as they complete. Returns the full body (for the idempotency
-/// replay) on success.
-fn stream_new_run(
+/// Attaches the durable-group count to a stream failure so the caller
+/// can settle the slot as `Resumable { groups_done }`.
+fn staged(res: Result<(), StreamError>, durable: usize) -> Result<(), (StreamError, usize)> {
+    res.map_err(|e| (e, durable))
+}
+
+struct RunOutcome {
+    /// The complete response body (for idempotency replays).
+    body: String,
+    /// Rolling FNV-1a over the raw group payloads (the store's result
+    /// fingerprint).
+    fingerprint: u64,
+}
+
+/// Streams a run: replays durable groups, shards the missing group
+/// range across workers, flushes strictly in index order — appending
+/// each new group to the WAL (fsync) **before** its chunk hits the
+/// socket. On error, also reports how many groups are durable.
+fn stream_run(
     stream: &mut TcpStream,
     spec: &CampaignSpec,
     threads: usize,
-) -> Result<String, StreamError> {
+    replayed: &[String],
+    mut wal: Option<&mut WalWriter>,
+    mode: &str,
+) -> Result<RunOutcome, (StreamError, usize)> {
     let plan = CellPlan::new(spec);
     let groups = spec.num_groups();
+    let start = replayed.len().min(groups);
     let threads = threads.max(1).min(groups.max(1));
+    let mut durable = start;
+    let mut fingerprint = Fingerprint::new();
 
-    stream.write_all(
-        b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
-          Transfer-Encoding: chunked\r\nX-Campaign-Run: new\r\n\
-          Connection: close\r\n\r\n",
+    staged(
+        write!(
+            stream,
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+             Transfer-Encoding: chunked\r\nX-Campaign-Run: {mode}\r\n\
+             Connection: close\r\n\r\n"
+        )
+        .map_err(StreamError::Io),
+        durable,
     )?;
 
     let mut full = render_prefix(&spec.id);
     let mut seq = 0u64;
-    write_chunk(stream, seq, &full)?;
+    staged(
+        write_chunk(stream, seq, &full).map_err(StreamError::Io),
+        durable,
+    )?;
     seq += 1;
 
-    let cursor = AtomicUsize::new(0);
+    // Replay the durable prefix: groups 0..start come from the WAL,
+    // byte-identical to what the interrupted run streamed (and what an
+    // uninterrupted run would compute).
+    for (gi, group) in replayed.iter().take(start).enumerate() {
+        let piece = if gi == 0 {
+            group.clone()
+        } else {
+            format!(",\n{group}")
+        };
+        staged(
+            write_chunk(stream, seq, &piece).map_err(StreamError::Io),
+            durable,
+        )?;
+        seq += 1;
+        full.push_str(&piece);
+        fingerprint.push_group(group);
+    }
+
+    let cursor = AtomicUsize::new(start);
     let result: Result<(), StreamError> = thread::scope(|scope| {
         // Lossless result sink: the channel holds every group, no
         // try_send, no drops (ingress is where load is shed).
@@ -537,12 +964,23 @@ fn stream_new_run(
         drop(tx);
 
         // Coordinator: re-order completions, flush strictly in group
-        // index order, one chunk per group.
+        // index order — WAL first, then the wire — one chunk per group.
         let mut pending: BTreeMap<usize, String> = BTreeMap::new();
-        let mut next_flush = 0usize;
+        let mut next_flush = start;
         for (gi, rendered) in rx {
             pending.insert(gi, rendered.map_err(StreamError::Campaign)?);
             while let Some(body) = pending.remove(&next_flush) {
+                if let Some(writer) = wal.as_deref_mut() {
+                    writer.append(body.as_bytes()).map_err(|e| {
+                        StreamError::Campaign(CampaignError::Store {
+                            campaign: spec.id.clone(),
+                            operation: "appending a group frame",
+                            source: StoreIoError::new(e),
+                        })
+                    })?;
+                    durable = writer.next_group();
+                }
+                fingerprint.push_group(&body);
                 let piece = if next_flush == 0 {
                     body
                 } else {
@@ -556,12 +994,18 @@ fn stream_new_run(
         }
         Ok(())
     });
-    result?;
+    staged(result, durable)?;
 
-    write_chunk(stream, seq, RENDER_SUFFIX)?;
-    write_last_chunk(stream)?;
+    staged(
+        write_chunk(stream, seq, RENDER_SUFFIX).map_err(StreamError::Io),
+        durable,
+    )?;
+    staged(write_last_chunk(stream).map_err(StreamError::Io), durable)?;
     full.push_str(RENDER_SUFFIX);
-    Ok(full)
+    Ok(RunOutcome {
+        body: full,
+        fingerprint: fingerprint.finish(),
+    })
 }
 
 #[cfg(test)]
@@ -600,10 +1044,27 @@ mod tests {
             content_hash(&a.to_json().unwrap()),
             content_hash(&b.to_json().unwrap())
         );
+        assert_eq!(spec_key(&a), content_hash(&a.to_json().unwrap()));
         b.seed ^= 1;
         assert_ne!(
             content_hash(&a.to_json().unwrap()),
             content_hash(&b.to_json().unwrap())
         );
+    }
+
+    /// The store's fingerprint (over raw group payloads) must be
+    /// reproducible from `rendered_group` alone — recovery relies on
+    /// re-deriving it without a live run.
+    #[test]
+    fn fingerprint_reproducible_from_rendered_groups() {
+        let spec = presets::preset("ci-smoke", Some(2)).expect("preset");
+        let mut a = Fingerprint::new();
+        let mut b = Fingerprint::new();
+        for gi in 0..spec.num_groups() {
+            let g = rendered_group(&spec, gi).expect("valid spec");
+            a.push_group(&g);
+            b.push_group(&g);
+        }
+        assert_eq!(a.finish(), b.finish());
     }
 }

@@ -98,7 +98,41 @@ fn main() {
     matched_campaign_after_first_allocates_nothing();
     campaign_cell_loop_allocates_nothing();
     streaming_arrivals_after_warm_allocate_nothing();
+    wal_append_allocates_nothing();
     println!("alloc_counter: zero-allocation steady-state contracts hold");
+}
+
+fn wal_append_allocates_nothing() {
+    // WAL checkpointing rides the campaign hot path (one append per
+    // group, fsync included) — frame encoding must go through the
+    // writer's reusable scratch buffer, not fresh heap. Warm appends
+    // size the buffer; steady-state appends of same-sized payloads then
+    // allocate exactly nothing.
+    use experiments::store::{wal, WalWriter};
+
+    let path = std::env::temp_dir().join(format!("ftsched_alloc_wal_{}", std::process::id()));
+    let payload = [0x5Au8; 512];
+    let mut writer = WalWriter::create(&path).expect("create WAL");
+    writer.append(&payload).expect("warm append");
+    writer.append(&payload).expect("warm append");
+
+    let before = allocations();
+    for _ in 0..8 {
+        writer.append(&payload).expect("steady-state append");
+    }
+    let counted = allocations() - before;
+    assert_eq!(
+        counted, 0,
+        "steady-state WAL appends performed {counted} heap allocations \
+         across 8 checkpoints (contract: zero)"
+    );
+
+    // The measured frames are real: all ten appends replay.
+    drop(writer);
+    let contents = wal::read(&path).expect("read WAL");
+    assert_eq!(contents.groups.len(), 10);
+    assert!(!contents.truncated_tail);
+    let _ = std::fs::remove_file(&path);
 }
 
 fn pressure_rerun_dirty_tracking_allocates_nothing() {

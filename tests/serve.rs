@@ -1,15 +1,20 @@
 //! Loopback integration tests for `experiments::serve`: real
-//! `TcpStream`s against a bound server, covering the three contract
-//! pillars — response bytes equal the CLI emission at any shard count,
-//! duplicate submissions share one run, and malformed specs bounce with
-//! a 4xx while the server stays live.
+//! `TcpStream`s against a bound server, covering the contract pillars —
+//! response bytes equal the CLI emission at any shard count, duplicate
+//! submissions share one run, malformed specs bounce with a 4xx while
+//! the server stays live, and (with a data dir) runs survive a restart:
+//! completed runs replay byte-identically, interrupted ones resume from
+//! their WAL checkpoints bit-exactly.
 
 use experiments::campaign::{presets, run_campaign_with_threads, CampaignSpec};
 use experiments::output::campaign_to_json;
-use experiments::serve::{ServeConfig, Server};
+use experiments::serve::{rendered_group, spec_key, ServeConfig, Server};
+use experiments::store::{key_hex, Store};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
 use std::thread;
+use std::time::Duration;
 
 /// Binds a server on an ephemeral loopback port, runs its accept loop
 /// on a background thread, and returns the address to dial.
@@ -200,4 +205,215 @@ fn malformed_specs_bounce_and_the_server_stays_live() {
     let res = request(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
     assert_eq!(res.status, "HTTP/1.1 200 OK");
     assert_eq!(res.body, "ok\n");
+}
+
+/// A fresh scratch data directory for one durable-server test.
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ftsched_serve_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn get_campaign(addr: SocketAddr, key: u64) -> Response {
+    request(
+        addr,
+        &format!(
+            "GET /campaigns/{} HTTP/1.1\r\nHost: loopback\r\nConnection: close\r\n\r\n",
+            key_hex(key)
+        ),
+    )
+}
+
+/// A durable run survives a server restart: the second bind recovers it
+/// from the data dir alone and replays the exact bytes, to both the GET
+/// endpoint and a resubmission.
+#[test]
+fn durable_runs_survive_a_restart() {
+    let dir = scratch_dir("restart");
+    let spec = smoke_spec();
+    let spec_json = spec.to_json().expect("spec serializes");
+    let key = spec_key(&spec);
+
+    let addr = spawn_server(ServeConfig {
+        threads: 2,
+        data_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let first = post_campaign(addr, &spec_json);
+    assert_eq!(first.status, "HTTP/1.1 200 OK", "{}", first.body);
+    assert_eq!(first.header("X-Campaign-Run"), Some("new"));
+
+    // "Restart": a second server over the same data dir, no shared
+    // memory. (The first server's accept loop is idle from here on.)
+    let addr2 = spawn_server(ServeConfig {
+        threads: 2,
+        data_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let replayed = get_campaign(addr2, key);
+    assert_eq!(replayed.status, "HTTP/1.1 200 OK", "{}", replayed.body);
+    assert_eq!(replayed.header("X-Campaign-Run"), Some("existing"));
+    assert_eq!(replayed.body, first.body, "recovered bytes must be exact");
+
+    let resubmitted = post_campaign(addr2, &spec_json);
+    assert_eq!(resubmitted.header("X-Campaign-Run"), Some("existing"));
+    assert_eq!(resubmitted.body, first.body);
+
+    // The listing shows the recovered run as completed.
+    let listing = request(
+        addr2,
+        "GET /campaigns HTTP/1.1\r\nHost: loopback\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(listing.status, "HTTP/1.1 200 OK");
+    assert!(listing.body.contains(&key_hex(key)), "{}", listing.body);
+    assert!(listing.body.contains("\"completed\""), "{}", listing.body);
+
+    // Unknown and malformed keys 404 without disturbing anything.
+    let missing = get_campaign(addr2, key ^ 1);
+    assert_eq!(missing.status, "HTTP/1.1 404 Not Found");
+    let bad = request(
+        addr2,
+        "GET /campaigns/nothex HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(bad.status, "HTTP/1.1 404 Not Found");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A run interrupted mid-stream (fabricated: a `running` record with a
+/// partial WAL, exactly what a crash leaves behind) resumes from its
+/// checkpoints only — and the final body is byte-identical to an
+/// uninterrupted run, at more than one thread count.
+#[test]
+fn interrupted_run_resumes_bit_exactly() {
+    let spec = smoke_spec();
+    let spec_json = spec.to_json().expect("spec serializes");
+    let key = spec_key(&spec);
+    let groups = spec.num_groups();
+    assert!(groups >= 2, "need a resumable tail");
+    let reference = campaign_to_json(&run_campaign_with_threads(&spec, 1).expect("valid spec"));
+
+    for threads in [1usize, 4] {
+        let dir = scratch_dir(&format!("resume_t{threads}"));
+        // Crash state: spec + running record + WAL holding only the
+        // first group.
+        let store = Store::open(&dir).expect("open store");
+        let mut wal = store
+            .begin_run(key, &spec.id, &spec_json, groups)
+            .expect("begin run");
+        wal.append(rendered_group(&spec, 0).expect("group 0").as_bytes())
+            .expect("append");
+        drop(wal);
+        drop(store);
+
+        let addr = spawn_server(ServeConfig {
+            threads,
+            data_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        });
+        let res = post_campaign(addr, &spec_json);
+        assert_eq!(res.status, "HTTP/1.1 200 OK", "{}", res.body);
+        assert_eq!(
+            res.header("X-Campaign-Run"),
+            Some("resumed"),
+            "recovery must demote the running record to resumable"
+        );
+        assert_eq!(
+            res.body, reference,
+            "resumed body diverges from an uninterrupted run at {threads} thread(s)"
+        );
+        // And the now-completed run replays on the same server.
+        let replay = get_campaign(addr, key);
+        assert_eq!(replay.header("X-Campaign-Run"), Some("existing"));
+        assert_eq!(replay.body, reference);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A client hanging up right after submitting must not discard durable
+/// state: the spec/record/WAL files stay, and a retry converges on the
+/// exact uninterrupted bytes.
+#[test]
+fn client_hangup_keeps_durable_checkpoints() {
+    let dir = scratch_dir("hangup");
+    let spec = smoke_spec();
+    let spec_json = spec.to_json().expect("spec serializes");
+    let key = spec_key(&spec);
+    let reference = campaign_to_json(&run_campaign_with_threads(&spec, 1).expect("valid spec"));
+
+    let addr = spawn_server(ServeConfig {
+        threads: 1,
+        data_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+
+    // Submit and hang up immediately, without reading the response.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(
+                format!(
+                    "POST /campaigns HTTP/1.1\r\nHost: loopback\r\nContent-Length: {}\r\n\
+                     Connection: close\r\n\r\n{spec_json}",
+                    spec_json.len()
+                )
+                .as_bytes(),
+            )
+            .expect("send request");
+    } // dropped: RST on anything the server streams from here
+
+    // The retry waits out the interrupted run (claim protocol) and gets
+    // the full, exact body — new, resumed, or replayed depending on how
+    // far the first run got before noticing the hangup.
+    let retry = post_campaign(addr, &spec_json);
+    assert_eq!(retry.status, "HTTP/1.1 200 OK", "{}", retry.body);
+    assert_eq!(retry.body, reference);
+
+    // Durable state survived the hangup (whatever the interleaving).
+    let store = Store::open(&dir).expect("open store");
+    assert!(store.wal_path(key).exists(), "WAL discarded on hangup");
+    assert_eq!(store.load_spec(key).expect("spec persisted"), spec_json);
+
+    // After the retry, a restart recovers a completed run.
+    thread::sleep(Duration::from_millis(50)); // let the server settle the slot
+    let addr2 = spawn_server(ServeConfig {
+        threads: 1,
+        data_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let replay = get_campaign(addr2, key);
+    assert_eq!(replay.status, "HTTP/1.1 200 OK", "{}", replay.body);
+    assert_eq!(replay.body, reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Overflowing the bounded ingress queue sheds load with a 503 that
+/// tells the client when to retry.
+#[test]
+fn overflow_answers_503_with_retry_after() {
+    let addr = spawn_server(ServeConfig {
+        threads: 1,
+        queue: 1,
+        handlers: 1,
+        ..ServeConfig::default()
+    });
+
+    // Occupy the single handler with a connection that never sends its
+    // request, then fill the one-deep queue with a second idle one.
+    let hold_handler = TcpStream::connect(addr).expect("connect");
+    thread::sleep(Duration::from_millis(100));
+    let fill_queue = TcpStream::connect(addr).expect("connect");
+    thread::sleep(Duration::from_millis(100));
+
+    let res = request(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(
+        res.status, "HTTP/1.1 503 Service Unavailable",
+        "{}",
+        res.body
+    );
+    assert_eq!(res.header("Retry-After"), Some("1"));
+    assert!(res.body.contains("queue full"), "{}", res.body);
+
+    drop(hold_handler);
+    drop(fill_queue);
 }
