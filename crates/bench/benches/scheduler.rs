@@ -21,6 +21,11 @@
 //! * `scheduler/fold` — the arrival-row folds of `ftcollections::fold`
 //!   against their scalar references, at the scheduler's row width
 //!   (m = 20) and at a vectorization-friendly width (m = 1024);
+//! * `scheduler/heap` — the tombstone/epoch heap under the half-stale
+//!   churn pattern heap-driven pressure selection produces;
+//! * `scheduler/locality` — the pred-major arrival arena under widening
+//!   σ-sets (ε = 1 vs 3 at v = 10000): row-width scaling, isolated from
+//!   the task-count scaling `large` tracks;
 //! * `scheduler/montecarlo` — the crash-campaign hot path
 //!   (`simulate_replication_outcomes_into`, flat `CrashWorkspace`
 //!   state, allocation-free after the first replication).
@@ -41,9 +46,18 @@ const SIZES: [usize; 3] = [100, 500, 1000];
 /// The production-scale sweep sizes. Since the incremental-pressure
 /// engine FTBAR joins FTSA here: its σ sweep re-evaluates only
 /// invalidated tasks, so the former 21× fig1 gap no longer explodes
-/// with v. MC-FTSA (greedy matching per edge) stays capped at 5000 to
-/// keep the CI smoke pass fast.
-const LARGE_SIZES: [usize; 5] = [2000, 5000, 10000, 50000, 100000];
+/// with v — and since the heap-driven selection PR the sweep itself is
+/// gone (lazy max-heap + family migration, ~3 evaluations per step).
+/// The matched-communication algorithms (MC-FTSA, MC-FTBAR) run to
+/// 20000: the greedy per-edge matcher is their own cost centre, and
+/// MC-FTBAR's series records how much of the pressure-selection speedup
+/// survives matched comm.
+const LARGE_SIZES: [usize; 6] = [2000, 5000, 10000, 20000, 50000, 100000];
+
+/// Matched-communication cap inside `scheduler/large`: above this the
+/// greedy matcher dominates wall-clock and the CI smoke pass (one
+/// sample per benchmark) would stop being a smoke pass.
+const MATCHED_COMM_CAP: usize = 20000;
 
 fn bench_schedule_fig1(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduler/fig1");
@@ -67,9 +81,15 @@ fn bench_schedule_large(c: &mut Criterion) {
     group.sample_size(10);
     for v in LARGE_SIZES {
         let inst = bench_instance(v, 20, 0x1A26E + v as u64);
-        for alg in [Algorithm::Ftsa, Algorithm::McFtsaGreedy, Algorithm::Ftbar] {
-            if alg == Algorithm::McFtsaGreedy && v > 5000 {
-                continue; // keep the CI smoke pass fast; FTSA covers 10k+
+        for alg in [
+            Algorithm::Ftsa,
+            Algorithm::McFtsaGreedy,
+            Algorithm::Ftbar,
+            Algorithm::FtbarMatched,
+        ] {
+            let matched_comm = matches!(alg, Algorithm::McFtsaGreedy | Algorithm::FtbarMatched);
+            if matched_comm && v > MATCHED_COMM_CAP {
+                continue; // matcher-bound; FTSA + FTBAR cover 50k+
             }
             group.bench_with_input(BenchmarkId::new(alg.name(), v), &inst, |b, inst| {
                 let mut ws = ScheduleWorkspace::new();
@@ -165,6 +185,73 @@ fn bench_folds(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_epoch_heap(c: &mut Criterion) {
+    // The tombstone/epoch heap under the access pattern pressure
+    // selection actually produces: a push-heavy fill, then a pop phase
+    // where half the entries have been invalidated by epoch bumps (a
+    // placement bumps every rival it re-evaluates). Lazy deletion means
+    // the stale half is paid for at pop time — this series watches that
+    // cost at the scheduler's working-set size and at 64× it.
+    use ftcollections::{EpochHeap, OrdF64};
+    let mut group = c.benchmark_group("scheduler/heap");
+    group.sample_size(10);
+    for n in [1024usize, 65536] {
+        group.bench_with_input(BenchmarkId::new("churn-half-stale", n), &n, |b, &n| {
+            let mut heap: EpochHeap<OrdF64> = EpochHeap::new();
+            let mut epochs = vec![0u32; n];
+            b.iter(|| {
+                heap.clear();
+                for e in epochs.iter_mut() {
+                    *e = 0;
+                }
+                for i in 0..n {
+                    // Deterministic shuffled keys (Weyl sequence).
+                    let key = ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) as f64;
+                    heap.push(i as u32, 0, OrdF64::new(key));
+                }
+                // Invalidate every other entry, then re-push it with a
+                // new key at the bumped epoch — the rival cycle.
+                for i in (0..n).step_by(2) {
+                    epochs[i] = 1;
+                    heap.push(i as u32, 1, OrdF64::new(i as f64));
+                }
+                let mut live = 0usize;
+                while heap.pop(&epochs).is_some() {
+                    live += 1;
+                }
+                live
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_arena_locality(c: &mut Criterion) {
+    // The cache-resident arrival arena under widening σ-sets: raising ε
+    // multiplies the replicas folded per predecessor row, so this series
+    // isolates how the pred-major CSR packing scales with row width on
+    // a fixed 10k-task shape (the `large` series varies v instead).
+    let mut group = c.benchmark_group("scheduler/locality");
+    group.sample_size(10);
+    let inst = bench_instance(10_000, 20, 0x1A26E + 10_000);
+    for eps in [1usize, 3] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("FTBAR-eps{eps}"), 10_000),
+            &inst,
+            |b, inst| {
+                let mut ws = ScheduleWorkspace::new();
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(7);
+                    schedule_into(inst, eps, Algorithm::Ftbar, &mut rng, &mut ws)
+                        .unwrap()
+                        .latency_lower_bound()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_schedule_reuse(c: &mut Criterion) {
     // The experiment-grid workload: repeated scheduling of one instance
     // shape through a warm workspace — the zero-allocation steady state.
@@ -237,6 +324,8 @@ criterion_group!(
     bench_schedule_large,
     bench_pressure_reference,
     bench_folds,
+    bench_epoch_heap,
+    bench_arena_locality,
     bench_schedule_reuse,
     bench_schedule_high_replication,
     bench_monte_carlo_replications

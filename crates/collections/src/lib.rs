@@ -17,6 +17,10 @@
 //! * [`DaryHeap`] — an indexed d-ary min-heap (default arity 4); the
 //!   unified list-scheduling pipeline keeps its free list `α` here
 //!   (max-ordering via `core::cmp::Reverse` keys).
+//! * [`EpochHeap`] — a lazy d-ary max-heap with epoch-tombstoned
+//!   entries and O(1) invalidation through a caller-shared epoch array;
+//!   the incremental pressure engine keys its urgency queue and the
+//!   per-processor guard queues here.
 //! * [`select_smallest`] — deterministic `O(m · k)` partial selection of
 //!   the `k` smallest candidates, bit-equal to a stable sort-then-
 //!   truncate; backs the `ε + 1`-processor selection of the scheduler.
@@ -32,6 +36,7 @@
 
 pub mod avl;
 pub mod dary;
+pub mod epoch_heap;
 pub mod fold;
 pub mod heap;
 pub mod ordf64;
@@ -40,6 +45,7 @@ pub mod select;
 
 pub use avl::AvlTree;
 pub use dary::DaryHeap;
+pub use epoch_heap::EpochHeap;
 pub use heap::IndexedHeap;
 pub use ordf64::OrdF64;
 pub use priority_list::PriorityList;

@@ -34,6 +34,22 @@
 //! precisely what makes the fold updatable (a per-task `max`-of-`min`s
 //! cache could not absorb a decreasing inner `min`).
 //!
+//! # Arena layout (pred-major CSR)
+//!
+//! The edge cache is one flat `e · m` arena of doubles indexed by
+//! *predecessor slot*, not by edge id: row `k` of the arena is the
+//! cache row of `preds(t)[k - pred_base(t)]` for the task `t` owning
+//! slot `k`, mirroring the CSR adjacency of [`taskgraph::Dag`]. A
+//! task's incoming rows are therefore one contiguous block of
+//! `in_degree(t) · m` doubles, so the hottest read —
+//! [`Engine::arrival_row_lb_slice`], one full arrival row per pressure
+//! (re-)evaluation — streams a single block sequentially instead of
+//! gathering `preds` rows scattered across the arena. Writes (one
+//! `min`-SAXPY per outgoing edge on placement) stay `O(succs · m)`
+//! through the same slot indirection. Fold order per row is the CSR
+//! slot order, i.e. exactly the `preds` order the seed folds in, so the
+//! packing is invisible to the float results.
+//!
 //! The pessimistic eq. (3) fold is *not* cached: it is queried exactly
 //! once per placed replica (never during selection sweeps), so the seed
 //! recomputation is already optimal there and a second `e × m` cache
@@ -60,7 +76,9 @@ pub(crate) struct Engine<'a> {
     pub ready_lb: &'a mut [f64],
     /// `r(P_j)` on the pessimistic timeline.
     pub ready_ub: &'a mut [f64],
-    /// `arrive_lb[eid · m + j]`: cached optimistic per-edge arrival.
+    /// `arrive_lb[pred_slot(eid) · m + j]`: cached optimistic per-edge
+    /// arrival, **pred-major**: a task's incoming rows are contiguous
+    /// (see the module docs on the arena layout).
     arrive_lb: &'a mut [f64],
     /// Processor count (row stride of the edge cache).
     m: usize,
@@ -92,10 +110,13 @@ impl<'a> Engine<'a> {
 
     /// Optimistic arrival term of eq. (1) for task `t` on processor `j`:
     /// each predecessor delivers from its earliest-available replica.
+    /// With the pred-major arena, `t`'s incoming rows are a single
+    /// contiguous block — the fold walks it at stride `m`, same slot
+    /// order as [`taskgraph::Dag::preds`] (so same fold order as ever).
     pub fn arrival_lb(&self, t: TaskId, j: usize) -> f64 {
         let mut arrival = 0.0f64;
-        for &(_, eid) in self.inst.dag.preds(t) {
-            arrival = arrival.max(self.arrive_lb[eid.index() * self.m + j]);
+        for slot in self.inst.dag.pred_range(t) {
+            arrival = arrival.max(self.arrive_lb[slot * self.m + j]);
         }
         arrival
     }
@@ -119,8 +140,10 @@ impl<'a> Engine<'a> {
     pub fn arrival_row_lb_slice(&self, t: TaskId, row: &mut [f64]) {
         debug_assert_eq!(row.len(), self.m);
         row.fill(0.0);
-        for &(_, eid) in self.inst.dag.preds(t) {
-            let base = eid.index() * self.m;
+        // Pred-major arena: the whole query streams one contiguous
+        // block of `in_degree(t) · m` doubles, row by row.
+        for slot in self.inst.dag.pred_range(t) {
+            let base = slot * self.m;
             max_in_place(row, &self.arrive_lb[base..base + self.m]);
         }
     }
@@ -151,7 +174,7 @@ impl<'a> Engine<'a> {
     /// earliest time the edge's data can reach `P_j` from the source
     /// replicas placed so far (`+∞` while the source is unplaced).
     pub fn edge_arrival_lb(&self, eid: EdgeId, j: usize) -> f64 {
-        self.arrive_lb[eid.index() * self.m + j]
+        self.arrive_lb[self.inst.dag.pred_slot(eid) * self.m + j]
     }
 
     /// Candidate finish time `F(t, P_j)` of eq. (1).
@@ -160,18 +183,34 @@ impl<'a> Engine<'a> {
     }
 
     /// Places a replica of `t` on processor `j` with arrivals computed
-    /// from the current schedule state; returns the replica index.
+    /// from the current schedule state; returns the replica index. The
+    /// outgoing-edge arrival folds run immediately — the form the
+    /// duplication pass needs, whose new replica's rows are read within
+    /// the same step.
     pub fn place(&mut self, t: TaskId, j: usize) -> usize {
+        let idx = self.place_deferred(t, j);
+        self.fold_replica_out_edges(t, self.sched.replicas_of(t)[idx].finish_lb, j);
+        idx
+    }
+
+    /// [`Engine::place`] *without* the outgoing-edge folds: the caller
+    /// batches them per task via [`Engine::flush_out_edges`] after all
+    /// of the task's replicas landed. Legal whenever nothing reads the
+    /// task's outgoing rows before the flush — true for the main
+    /// placement loop, where a task's successors cannot become free (let
+    /// alone be queried) until the step completes.
+    pub fn place_deferred(&mut self, t: TaskId, j: usize) -> usize {
         let e = self.inst.exec.time(t.index(), j);
         let start_lb = self.arrival_lb(t, j).max(self.ready_lb[j]);
         let start_ub = self.arrival_ub(t, j).max(self.ready_ub[j]);
-        self.place_with_times(t, j, start_lb, start_lb + e, start_ub, start_ub + e)
+        self.place_with_times_deferred(t, j, start_lb, start_lb + e, start_ub, start_ub + e)
     }
 
     /// Places a replica with explicit times (matched-communication
     /// placement computes them from its selected senders). Updates ready
-    /// times, placement order and the outgoing-edge arrival caches.
-    pub fn place_with_times(
+    /// times and placement order; outgoing-edge folds are deferred to
+    /// [`Engine::flush_out_edges`].
+    pub fn place_with_times_deferred(
         &mut self,
         t: TaskId,
         j: usize,
@@ -192,17 +231,20 @@ impl<'a> Engine<'a> {
         let idx = self.sched.push_replica(t, j, rep);
         self.ready_lb[j] = finish_lb;
         self.ready_ub[j] = finish_ub;
+        idx
+    }
 
-        // Fold the new replica into every outgoing edge's arrival cache:
-        // O(succs · m) — the flip side of O(preds) arrival queries. The
-        // sender's delay row and the edge row are streamed through the
-        // elementwise min-saxpy fold, which auto-vectorizes and keeps
-        // the per-cell expression `min(cell, finish + vol·d)` exact.
+    /// Folds one new replica of `t` into every outgoing edge's arrival
+    /// cache: `O(succs · m)` — the flip side of O(preds) arrival
+    /// queries. The sender's delay row and the edge row are streamed
+    /// through the elementwise min-saxpy fold, which auto-vectorizes and
+    /// keeps the per-cell expression `min(cell, finish + vol·d)` exact.
+    fn fold_replica_out_edges(&mut self, t: TaskId, finish_lb: f64, j: usize) {
         let dag = &self.inst.dag;
         let drow = self.inst.platform.delay_row(j);
         for &(_, eid) in dag.succs(t) {
             let vol = dag.volume(eid);
-            let base = eid.index() * self.m;
+            let base = dag.pred_slot(eid) * self.m;
             min_saxpy_in_place(
                 &mut self.arrive_lb[base..base + self.m],
                 finish_lb,
@@ -210,7 +252,27 @@ impl<'a> Engine<'a> {
                 drow,
             );
         }
-        idx
+    }
+
+    /// Runs the outgoing-edge arrival folds for **all** replicas of `t`
+    /// at once, edge-major: each edge row is loaded once and all `ε + 1`
+    /// replica folds run over it back to back while it sits in L1 —
+    /// the cache-blocked loop interchange of the per-replica
+    /// [`Engine::place`] fold (the "tile" is the `m`-wide edge row). The
+    /// per-cell fold order is replica placement order, exactly the order
+    /// the immediate folds apply, so cached arrivals stay bit-identical.
+    pub fn flush_out_edges(&mut self, t: TaskId) {
+        let dag = &self.inst.dag;
+        let reps = self.sched.replicas_of(t);
+        for &(_, eid) in dag.succs(t) {
+            let vol = dag.volume(eid);
+            let base = dag.pred_slot(eid) * self.m;
+            let row = &mut self.arrive_lb[base..base + self.m];
+            for rep in reps {
+                let drow = self.inst.platform.delay_row(rep.proc.index());
+                min_saxpy_in_place(row, rep.finish_lb, vol, drow);
+            }
+        }
     }
 
     /// Selects the `count` processors realizing the smallest candidate

@@ -34,7 +34,7 @@
 
 use crate::levels::AverageCosts;
 use crate::schedule::{Replica, Schedule};
-use ftcollections::{DaryHeap, OrdF64};
+use ftcollections::{DaryHeap, EpochHeap, OrdF64};
 use matching::{BipartiteGraph, BottleneckScratch, GreedyScratch};
 use platform::Instance;
 use std::cmp::Reverse;
@@ -44,22 +44,57 @@ use taskgraph::TaskId;
 /// `(priority, random tie-break)`.
 pub(crate) type AlphaKey = Reverse<(OrdF64, u64)>;
 
-/// Incremental state of FTBAR's schedule-pressure sweep: per free task,
-/// the eq. (1) arrival row and the σ-selection are cached and only the
-/// invalidated part is recomputed.
+/// Incremental state of FTBAR's heap-driven schedule-pressure
+/// selection: per free task, the eq. (1) arrival row and the
+/// σ-selection are cached, a lazy max-heap over `(raw urgency, token)`
+/// keys orders the stable tasks, and only invalidated tasks whose
+/// urgency *upper bound* reaches the selection front are re-evaluated.
 ///
-/// The two invalidation causes have very different costs and are
-/// tracked separately:
+/// Every free task is in exactly one of four *families*, all sharing
+/// one [`epoch`](Self::epoch) array, so a single bump moves a task
+/// between families in O(1) (stale heap entries die lazily):
 ///
-/// * one of the task's predecessors gains a replica — its arrival row
-///   can only *decrease* (the PR 3/4 cache invariant), so the
-///   `O(preds · m)` row fold must re-run; flagged eagerly in
-///   [`stale`](Self::stale) by the placement step;
-/// * a processor in its cached σ-set advances its ready time past the
-///   cached start — detected lazily by comparing the cached starts
-///   against `ready_lb` at selection time (ready times only advance, so
-///   untouched cached entries are exact). Only the cheap `O(m·(ε+1))`
-///   σ-selection re-runs, straight from the cached [`row`](Self::row).
+/// * **clean** — its cached row, σ-set and urgency are the exact values
+///   the reference sweep would compute *right now*, and the σ-set is
+///   *stable*: every selected start strictly exceeds its processor's
+///   ready time. It holds one [`heap`](Self::heap) entry keyed
+///   `(raw urgency, token)` and one guard per cached σ processor in
+///   [`guards`](Self::guards), armed at the cached start. Clean tasks
+///   cost **nothing** per step; a ready time advancing past a guard
+///   fires it once (strictly, matching the reference's `ready > start`
+///   test) and demotes the task to **hot**.
+/// * **hot** — ready-dominated rivals whose arrivals are still in play,
+///   in the plain [`hot`](Self::hot) vec with *no* heap entries. Each
+///   step pays a 6-flop urgency upper bound per hot task
+///   (`max_i max(cached startᵢ, ready(σᵢ)) + s(t) − R(n−1)`, sound
+///   because cached starts only over-estimate and σ ready times bound
+///   the rest); tasks whose bound ties-or-beats the clean top run an
+///   exact `(ε+1)`-th-smallest pre-check on the cached row, and only
+///   qualifying tasks pay the full `O(m·(ε+1))` evaluation.
+/// * **fully ready-dominated (FRD)** — max arrival ≤ min ready time at
+///   a fresh fold: the exact urgency `rd₍ε₊₁₎ + s(t) − R(n−1)` no
+///   longer depends on the arrival row, so the task sits in the
+///   [`frd`](Self::frd) heap keyed by its fold-time `s(t)` and
+///   qualification pops as a *prefix* (the bound is monotone in `s`).
+///   The class is absorbing — ready times only grow, arrival rows only
+///   shrink — and absorbs the bulk of a wide frontier.
+/// * **lazy** — its 6-flop *bound* lost a hot sweep: parked in the
+///   [`dstat`](Self::dstat) heap (keyed by cached raw urgency) and one
+///   [`dproc`](Self::dproc)`[j]` heap per cached σ processor (keyed
+///   `s(t)`), resurfacing only when a bound part reaches the selection
+///   front. Since `x ↦ fl(fl(x + s) − r)` is weakly monotone, the
+///   tasks whose bound reaches any threshold form a prefix of each
+///   heap's order; only the `m + 3` heap *tops* are inspected per step.
+///
+/// A predecessor gaining a replica can only *decrease* the arrival row
+/// (the PR 3/4 cache invariant), so the cached urgency stays a valid
+/// static upper bound; the task is flagged [`stale`](Self::stale) (row
+/// refold required on evaluation) and demoted to hot. A non-clean task
+/// re-enters the clean family only through a full re-evaluation (row
+/// refold if stale + `O(m · (ε+1))` σ-selection) that lands stable —
+/// exactly the tasks the PR 8 two-pass scan re-evaluated, but found in
+/// `O(log)` per evaluation instead of an `O(free)` sweep, and ~3 per
+/// step in the large-v regime.
 ///
 /// Everything is keyed by *r_len-free raw urgencies* (`start + s(t)`,
 /// without the `− R(n−1)` term): the current `R(n−1)` is subtracted at
@@ -82,21 +117,97 @@ pub(crate) struct PressureCache {
     /// *without* the `− R(n−1)` term (subtracted fresh each step).
     pub urgency: Vec<f64>,
     /// Tasks whose arrival row changed (or that never were evaluated):
-    /// row fold + σ re-selection required.
+    /// row fold + σ re-selection required. `stale ⊆ dirty`.
     pub stale: Vec<bool>,
-    /// Per-step scratch: free-list indices of invalidated tasks,
-    /// deferred to the second scan pass (pruned against the clean max).
-    pub pending: Vec<u32>,
+    /// Tasks in the *dirty* family (bound-tracked, evaluation
+    /// deferred); cleared by re-evaluation. Clean tasks' main-heap keys
+    /// are exact.
+    pub dirty: Vec<bool>,
+    /// Whether the task is free (released, not yet selected) — gates
+    /// the dup-invalidation path, which must not resurrect the task
+    /// being placed or still-waiting successors.
+    pub in_free: Vec<bool>,
+    /// Per-task entry epoch; bumping tombstones every outstanding entry
+    /// of the task across *all* heaps below at once.
+    pub epoch: Vec<u32>,
+    /// Clean-family max-heap over `(exact raw urgency, token)`.
+    pub heap: EpochHeap<(OrdF64, u64)>,
+    /// Per-processor guard min-queues keyed by the cached σ start:
+    /// a clean task's guard on processor `j` fires when `ready_lb[j]`
+    /// moves strictly past it, demoting the task to the dirty family.
+    pub guards: Vec<EpochHeap<Reverse<OrdF64>>>,
+    /// Dirty-family max-heap over the *static* bound part — the cached
+    /// raw urgency (`max_i startᵢ + s(t)`; `+∞` for never-evaluated
+    /// tasks, which therefore always qualify for evaluation).
+    pub dstat: EpochHeap<OrdF64>,
+    /// Dirty-family per-processor max-heaps over `s(t)`, one entry per
+    /// cached σ processor: the dynamic bound part `ready_j + s(t)` is
+    /// monotone in the key, so qualifying tasks are a heap prefix.
+    pub dproc: Vec<EpochHeap<OrdF64>>,
+    /// The *hot* subset of the dirty family: frontier rivals whose σ
+    /// starts ride the advancing ready times. They hold **no** heap
+    /// entries; each selection re-checks their bound with the six-flop
+    /// PR 8 expression and either evaluates them (bound qualifies),
+    /// keeps them hot (evaluated but still ready-dominated), or sinks
+    /// them into `dstat`/`dproc` (bound lost — not competitive). This
+    /// keeps the eval ↔ invalidation cycle of competitive tasks free of
+    /// heap traffic.
+    pub hot: Vec<u32>,
+    /// *Fully ready-dominated* dirty tasks: every cached arrival is at
+    /// most every current ready time (witnessed by
+    /// `max_j arrival_j ≤ min_j ready_j` at a fresh fold), so every
+    /// per-processor score is `ready_j + s(t)` and the exact urgency is
+    /// `rd₍ε+1₎ + s(t) − R(n−1)` — the `(ε+1)`-th smallest ready time
+    /// plus the task size, *independent of the task's arrivals*. The
+    /// class is absorbing (ready times only grow, arrivals only
+    /// shrink), so one max-heap entry keyed `s(t)` serves until the
+    /// task wins: the per-step qualification `rd₍ε+1₎ + s − R ≥ bu` is
+    /// monotone in `s`, making qualifiers a heap prefix — the bulk of
+    /// the frontier rivals cost nothing per step.
+    pub frd: EpochHeap<OrdF64>,
+    /// Per-step scratch: fully-ready-dominated tasks evaluated this
+    /// step, re-pushed into [`frd`](Self::frd) after the drain
+    /// (re-pushing mid-loop would pop them again — their exact urgency
+    /// qualifies against itself).
+    pub requeue: Vec<u32>,
+    /// Number of free (released, unselected) tasks — the heap path's
+    /// replacement for the reference sweep's free list length.
+    pub free_len: usize,
+    /// Per-step scratch: entries popped during selection that did not
+    /// win, re-pushed after the winner is known (re-pushing mid-loop
+    /// could re-pop them within the same step).
+    pub popped: Vec<(u32, (OrdF64, u64))>,
     /// Per-step scratch: parents duplicated by the Ahmad–Kwok pass this
     /// step (their successors' arrival rows changed → mark stale).
     pub dups: Vec<TaskId>,
+    /// Run counters (reset per run): selection steps, full σ
+    /// re-evaluations, guard firings — the terms of the heap path's
+    /// `O(evals · m + fires)` cost model, exposed for diagnostics.
+    pub stats: PressureStats,
+}
+
+/// Work counters of one heap-driven pressure run; see
+/// [`PressureCache::stats`].
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct PressureStats {
+    /// Selection steps taken.
+    pub steps: u64,
+    /// Full σ re-evaluations (row folds counted separately via
+    /// [`PressureStats::folds`]).
+    pub evals: u64,
+    /// Guard firings (clean → dirty demotions from ready advances).
+    pub fires: u64,
+    /// Arrival-row refolds (the `O(preds · m)` tier).
+    pub folds: u64,
 }
 
 impl PressureCache {
     /// Clears and resizes every buffer for a run over `v` tasks on `m`
     /// processors at `replicas = ε + 1` — reusing capacity, so
-    /// steady-state reruns allocate nothing. All tasks start non-stale;
-    /// the pipeline marks tasks stale as they enter the free list.
+    /// steady-state reruns allocate nothing (guard queues are kept when
+    /// `m` shrinks and only grown when it grows). All tasks start
+    /// non-stale; the pipeline marks tasks stale/dirty as they enter the
+    /// free list.
     pub fn reset(&mut self, v: usize, replicas: usize, m: usize) {
         self.row.clear();
         self.row.resize(v * m, 0.0);
@@ -108,8 +219,33 @@ impl PressureCache {
         self.urgency.resize(v, 0.0);
         self.stale.clear();
         self.stale.resize(v, false);
-        self.pending.clear();
+        self.dirty.clear();
+        self.dirty.resize(v, false);
+        self.in_free.clear();
+        self.in_free.resize(v, false);
+        self.epoch.clear();
+        self.epoch.resize(v, 0);
+        self.heap.clear();
+        if self.guards.len() < m {
+            self.guards.resize_with(m, EpochHeap::new);
+        }
+        for g in &mut self.guards {
+            g.clear();
+        }
+        self.dstat.clear();
+        if self.dproc.len() < m {
+            self.dproc.resize_with(m, EpochHeap::new);
+        }
+        for g in &mut self.dproc {
+            g.clear();
+        }
+        self.hot.clear();
+        self.frd.clear();
+        self.requeue.clear();
+        self.free_len = 0;
+        self.popped.clear();
         self.dups.clear();
+        self.stats = PressureStats::default();
     }
 }
 

@@ -9,6 +9,16 @@
 //! every ε and every seed, for every pressure-driven configuration
 //! (FTBAR, P-FTSA, MC-FTBAR). These tests are the oracle that pins that
 //! claim beyond the fixed golden instances.
+//!
+//! The proptest oracle additionally runs the *checked* heap path
+//! (`run_into_xcheck_pressure`), which debug-asserts the heap winner
+//! against an exhaustive argmax recomputation at **every** selection
+//! step — so a divergence is caught at the step it happens, not just in
+//! the final schedule. Deterministic adversaries target the heap
+//! machinery specifically: exact-tie urgencies (token-only ordering
+//! through the tie-group pop), warm-workspace tombstone reuse across
+//! wildly different instance sizes, and a v=5000 layered instance deep
+//! in the regime the heap families were built for.
 
 use ftsched_core::{schedule_into, Algorithm, ScheduleWorkspace};
 use platform::gen::random_platform;
@@ -167,6 +177,16 @@ proptest! {
                     .clone()
             };
             assert_bit_identical(&inst, alg, eps, &inc, &reference)?;
+            // Checked heap path: per-step exhaustive argmax debug-assert
+            // inside, bit-identical schedule outside.
+            let checked = {
+                let mut tie = StdRng::seed_from_u64(seed);
+                alg.scheduler()
+                    .run_into_xcheck_pressure(&inst, eps, &mut tie, &mut ws)
+                    .unwrap()
+                    .clone()
+            };
+            assert_bit_identical(&inst, alg, eps, &checked, &reference)?;
         }
     }
 
@@ -208,6 +228,144 @@ proptest! {
                     .clone()
             };
             assert_bit_identical(inst, Algorithm::Ftbar, eps, &inc, &reference)?;
+        }
+    }
+}
+
+/// Exact-tie adversary: a symmetric wavefront with *constant* task
+/// costs, edge volumes and delays on a uniform platform. Whole layers
+/// of free tasks share bit-identical urgencies, so selection order is
+/// decided purely by the random tokens — the heap path must surface the
+/// full tie group (distinct raw keys can also collapse to equal
+/// urgencies after the `− R(n−1)` subtraction) and pick the same
+/// max-token task the reference sweep finds.
+#[test]
+fn exact_tie_urgencies_break_by_token() {
+    let dag = wavefront(9, 9, 3.0, 1.0);
+    let procs = 8;
+    let v = dag.num_tasks();
+    let platform = platform::Platform::uniform_delay(procs, 0.25);
+    let exec = ExecutionMatrix::from_fn(v, procs, |_, _| 3.0);
+    let inst = Instance::new(dag, platform, exec);
+    let mut ws = ScheduleWorkspace::new();
+    for alg in PRESSURE_ALGS {
+        for eps in [0usize, 1, 2, 3] {
+            for seed in [1u64, 77, 0xDEAD] {
+                let inc = {
+                    let mut tie = StdRng::seed_from_u64(seed);
+                    schedule_into(&inst, eps, alg, &mut tie, &mut ws)
+                        .unwrap()
+                        .clone()
+                };
+                let reference = {
+                    let mut tie = StdRng::seed_from_u64(seed);
+                    alg.scheduler()
+                        .run_into_reference_pressure(&inst, eps, &mut tie, &mut ws)
+                        .unwrap()
+                        .clone()
+                };
+                assert_eq!(
+                    inc.schedule_order, reference.schedule_order,
+                    "{alg:?}/eps{eps}/seed{seed}: tie-broken sequence diverged"
+                );
+                for t in inst.dag.tasks() {
+                    for (ra, rb) in inc.replicas_of(t).iter().zip(reference.replicas_of(t)) {
+                        assert_eq!(ra.proc, rb.proc, "{alg:?}/eps{eps}/seed{seed}: σ of {t:?}");
+                        assert_eq!(ra.finish_lb.to_bits(), rb.finish_lb.to_bits());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Tombstone-reuse adversary: one warm workspace carries heap arenas,
+/// epochs and guard queues from a 1500-task layered run into tiny
+/// instances and back, twice. Any entry surviving `reset` (a stale
+/// tombstone misread as live, a guard from the previous shape) would
+/// surface as a selection divergence.
+#[test]
+fn warm_tombstone_reuse_across_sizes() {
+    let mut rng = StdRng::seed_from_u64(0x70B5);
+    let big = {
+        let dag = layered(&mut rng, &LayeredConfig::paper(1500));
+        let platform = random_platform(&mut rng, 10, 0.5, 1.0);
+        let exec = ExecutionMatrix::unrelated_with_procs(&dag, 10, &mut rng, 0.5);
+        Instance::new(dag, platform, exec)
+    };
+    let tiny = {
+        let dag = wavefront(3, 3, 4.0, 2.0);
+        let platform = random_platform(&mut rng, 10, 0.5, 1.0);
+        let exec = ExecutionMatrix::unrelated_with_procs(&dag, 10, &mut rng, 0.5);
+        Instance::new(dag, platform, exec)
+    };
+    let mut ws = ScheduleWorkspace::new();
+    for alg in [Algorithm::Ftbar, Algorithm::FtbarMatched] {
+        for inst in [&big, &tiny, &big, &tiny] {
+            let inc = {
+                let mut tie = StdRng::seed_from_u64(0xEC0);
+                schedule_into(inst, 1, alg, &mut tie, &mut ws)
+                    .unwrap()
+                    .clone()
+            };
+            let reference = {
+                let mut tie = StdRng::seed_from_u64(0xEC0);
+                alg.scheduler()
+                    .run_into_reference_pressure(inst, 1, &mut tie, &mut ws)
+                    .unwrap()
+                    .clone()
+            };
+            assert_eq!(
+                inc.schedule_order,
+                reference.schedule_order,
+                "{alg:?}: warm-reuse sequence diverged at v={}",
+                inst.dag.num_tasks()
+            );
+            for t in inst.dag.tasks() {
+                for (ra, rb) in inc.replicas_of(t).iter().zip(reference.replicas_of(t)) {
+                    assert_eq!(ra.proc, rb.proc, "{alg:?}: warm-reuse σ of {t:?}");
+                    assert_eq!(ra.finish_lb.to_bits(), rb.finish_lb.to_bits());
+                    assert_eq!(ra.finish_ub.to_bits(), rb.finish_ub.to_bits());
+                }
+            }
+        }
+    }
+}
+
+/// The heap families were built for the large-v regime; pin bit-identity
+/// once deep inside it (v = 5000 layered, the bench family) rather than
+/// only on proptest-sized instances.
+#[test]
+fn large_layered_oracle_v5000() {
+    let mut rng = StdRng::seed_from_u64(0x5_000);
+    let dag = layered(&mut rng, &LayeredConfig::paper(5000));
+    let platform = random_platform(&mut rng, 16, 0.5, 1.0);
+    let exec = ExecutionMatrix::unrelated_with_procs(&dag, 16, &mut rng, 0.5);
+    let inst = Instance::new(dag, platform, exec);
+    let mut ws = ScheduleWorkspace::new();
+    let inc = {
+        let mut tie = StdRng::seed_from_u64(42);
+        schedule_into(&inst, 1, Algorithm::Ftbar, &mut tie, &mut ws)
+            .unwrap()
+            .clone()
+    };
+    let reference = {
+        let mut tie = StdRng::seed_from_u64(42);
+        Algorithm::Ftbar
+            .scheduler()
+            .run_into_reference_pressure(&inst, 1, &mut tie, &mut ws)
+            .unwrap()
+            .clone()
+    };
+    assert_eq!(
+        inc.schedule_order, reference.schedule_order,
+        "v=5000 layered: task sequence diverged"
+    );
+    for t in inst.dag.tasks() {
+        for (ra, rb) in inc.replicas_of(t).iter().zip(reference.replicas_of(t)) {
+            assert_eq!(ra.proc, rb.proc, "v=5000 layered: σ of {t:?}");
+            assert_eq!(ra.finish_lb.to_bits(), rb.finish_lb.to_bits());
+            assert_eq!(ra.finish_ub.to_bits(), rb.finish_ub.to_bits());
         }
     }
 }

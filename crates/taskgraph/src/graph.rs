@@ -75,6 +75,11 @@ struct CsrAdjacency {
 }
 
 impl CsrAdjacency {
+    #[inline]
+    fn range(&self, t: TaskId) -> std::ops::Range<usize> {
+        self.off[t.index()] as usize..self.off[t.index() + 1] as usize
+    }
+
     /// Builds the CSR arrays by stable counting sort over `edges`,
     /// bucketing each edge under `key(edge)`; iterating edges in id order
     /// keeps every bucket in insertion order.
@@ -133,6 +138,9 @@ pub struct Dag {
     preds: CsrAdjacency,
     /// CSR view of `Γ⁺`: per task, (successor, connecting edge).
     succs: CsrAdjacency,
+    /// `pred_slot[eid]` = position of edge `eid` in the preds CSR arena
+    /// (see [`Dag::pred_slot`]).
+    pred_slot: Vec<u32>,
     /// A fixed topological order, computed at build time.
     pub(crate) topo: Vec<TaskId>,
     /// Tasks with no predecessors, in increasing id order.
@@ -199,6 +207,26 @@ impl Dag {
     #[inline]
     pub fn succs(&self, t: TaskId) -> &[(TaskId, EdgeId)] {
         self.succs.row(t)
+    }
+
+    /// The contiguous range of *pred-arena slots* owned by `t`: the
+    /// positions of `t`'s incoming edges in the predecessor CSR arena,
+    /// aligned with [`Dag::preds`] (slot `pred_range(t).start + i`
+    /// belongs to `preds(t)[i]`). Consumers that key per-edge data by
+    /// pred-arena slot instead of [`EdgeId`] get one contiguous block
+    /// per destination task — the scheduler's arrival cache streams an
+    /// entire eq. (1) query from a single block this way.
+    #[inline]
+    pub fn pred_range(&self, t: TaskId) -> std::ops::Range<usize> {
+        self.preds.range(t)
+    }
+
+    /// The pred-arena slot of edge `e`: its position in the predecessor
+    /// CSR arena (the index [`Dag::pred_range`] addresses). Every edge
+    /// has exactly one slot; slots are a permutation of `0..num_edges()`.
+    #[inline]
+    pub fn pred_slot(&self, e: EdgeId) -> usize {
+        self.pred_slot[e.index()] as usize
     }
 
     /// In-degree of `t`.
@@ -386,6 +414,10 @@ impl DagBuilder {
         }
         let preds = CsrAdjacency::build(v, &self.edges, |e| (e.dst, e.src));
         let succs = CsrAdjacency::build(v, &self.edges, |e| (e.src, e.dst));
+        let mut pred_slot = vec![0u32; self.edges.len()];
+        for (slot, &(_, eid)) in preds.items.iter().enumerate() {
+            pred_slot[eid.index()] = slot as u32;
+        }
 
         // Kahn's algorithm: topological order + cycle detection.
         let mut indeg: Vec<usize> = (0..v as u32).map(|t| preds.degree(TaskId(t))).collect();
@@ -421,6 +453,7 @@ impl DagBuilder {
             edges: self.edges,
             preds,
             succs,
+            pred_slot,
             topo,
             entries,
             exits,
@@ -470,6 +503,42 @@ mod tests {
             g.preds(TaskId(3)),
             &[(TaskId(1), EdgeId(2)), (TaskId(2), EdgeId(3))]
         );
+    }
+
+    #[test]
+    fn pred_slots_are_contiguous_aligned_permutation() {
+        let mut rng_state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            rng_state
+        };
+        // A random DAG (edges only forward in id order) exercises
+        // interleaved insertion across destinations.
+        let mut b = DagBuilder::new();
+        let t: Vec<TaskId> = (0..40).map(|_| b.add_task(1.0)).collect();
+        let mut added = std::collections::HashSet::new();
+        for _ in 0..150 {
+            let i = (next() % 39) as usize;
+            let j = i + 1 + (next() % (39 - i as u64 + 1)) as usize;
+            if j < 40 && added.insert((i, j)) {
+                b.add_edge(t[i], t[j], 1.0);
+            }
+        }
+        let g = b.build().unwrap();
+        // Slot ranges align with preds() and partition 0..e.
+        let mut seen = vec![false; g.num_edges()];
+        for task in g.tasks() {
+            let range = g.pred_range(task);
+            assert_eq!(range.len(), g.in_degree(task));
+            for (i, &(_, eid)) in g.preds(task).iter().enumerate() {
+                assert_eq!(g.pred_slot(eid), range.start + i);
+                assert!(!seen[g.pred_slot(eid)]);
+                seen[g.pred_slot(eid)] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "slots are a permutation of 0..e");
     }
 
     #[test]

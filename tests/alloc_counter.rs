@@ -94,6 +94,7 @@ fn zero_alloc_algorithms() -> impl Iterator<Item = Algorithm> {
 fn main() {
     steady_state_schedule_reuse_allocates_nothing();
     pressure_rerun_dirty_tracking_allocates_nothing();
+    heap_family_selection_allocates_nothing();
     monte_carlo_replications_after_first_allocate_nothing();
     matched_campaign_after_first_allocates_nothing();
     campaign_cell_loop_allocates_nothing();
@@ -176,6 +177,55 @@ fn pressure_rerun_dirty_tracking_allocates_nothing() {
         );
         assert_eq!(latency.to_bits(), reference.to_bits());
     }
+}
+
+fn heap_family_selection_allocates_nothing() {
+    // The heap-driven pressure selection's whole family machinery —
+    // clean heap + guard queues, the hot vec, the fully-ready-dominated
+    // heap, the lazy static/per-processor heaps, tombstone compaction
+    // and the per-step requeue/popped scratch — must be sized by the
+    // warm-up and then reused. A 1500-task layered instance is large
+    // enough that every family fills, compaction triggers and the hot ↔
+    // lazy ↔ FRD migrations all fire; ε alternation changes the σ-set
+    // stride of every cache between runs.
+    let mut gen_rng = StdRng::seed_from_u64(0x4EA9);
+    let inst = paper_instance(
+        &mut gen_rng,
+        &PaperInstanceConfig {
+            tasks_lo: 1500,
+            tasks_hi: 1500,
+            procs: 16,
+            ..Default::default()
+        },
+    );
+    let mut ws = ScheduleWorkspace::new();
+    let mut reference = f64::NAN;
+    for _ in 0..2 {
+        for eps in [1usize, 3] {
+            let mut rng = StdRng::seed_from_u64(0x8EA9);
+            reference = schedule_into(&inst, eps, Algorithm::Ftbar, &mut rng, &mut ws)
+                .unwrap()
+                .latency_lower_bound();
+        }
+    }
+
+    let before = allocations();
+    let mut latency = f64::NAN;
+    for _ in 0..3 {
+        for eps in [1usize, 3] {
+            let mut rng = StdRng::seed_from_u64(0x8EA9);
+            latency = schedule_into(&inst, eps, Algorithm::Ftbar, &mut rng, &mut ws)
+                .unwrap()
+                .latency_lower_bound();
+        }
+    }
+    let counted = allocations() - before;
+    assert_eq!(
+        counted, 0,
+        "heap-family pressure selection performed {counted} heap \
+         allocations at v=1500 steady state (contract: zero)"
+    );
+    assert_eq!(latency.to_bits(), reference.to_bits());
 }
 
 fn streaming_arrivals_after_warm_allocate_nothing() {
